@@ -1,0 +1,125 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! deduplication on/off (what MISP storage traffic looks like without
+//! the paper's dedup stage), correlation-handle ablations (which
+//! interconnection rules actually cluster events), and the two weight
+//! normalization policies.
+
+use cais_bench::workloads;
+use cais_common::Timestamp;
+use cais_core::collector::aggregate_into_ciocs;
+use cais_core::heuristics::{score, FeatureValue, NormalizationPolicy, WeightScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Dedup ablation: the full collector vs pushing every record straight
+/// to aggregation (what a platform without Section III-A1's
+/// deduplicator would do).
+fn bench_dedup_ablation(c: &mut Criterion) {
+    let records = workloads::record_stream(13, 4, 300, 0.5, 0.3, Timestamp::EPOCH);
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("with_dedup", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |records| {
+                let mut collector = cais_core::collector::OsintCollector::new();
+                black_box(collector.ingest(records, Timestamp::EPOCH).len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("without_dedup", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |records| black_box(aggregate_into_ciocs(records, Timestamp::EPOCH).len()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Print the structural outcome once: cluster counts with and
+    // without dedup (the quality argument, not just the time).
+    let mut collector = cais_core::collector::OsintCollector::new();
+    let with_dedup = collector.ingest(records.clone(), Timestamp::EPOCH).len();
+    let without = aggregate_into_ciocs(records.clone(), Timestamp::EPOCH).len();
+    println!(
+        "ablation_dedup: {} records -> {} cIoCs with dedup, {} without",
+        records.len(),
+        with_dedup,
+        without
+    );
+}
+
+/// Correlation-handle ablation: strip the inputs each handle keys on
+/// and measure how clustering degrades.
+fn bench_correlation_handles(c: &mut Criterion) {
+    let full = workloads::record_stream(17, 4, 250, 0.0, 0.3, Timestamp::EPOCH);
+    let mut no_descriptions = full.clone();
+    for r in &mut no_descriptions {
+        r.description = None; // disables the malware-family handle
+    }
+    let mut no_cves = full.clone();
+    for r in &mut no_cves {
+        r.cve = None; // disables the CVE handle
+    }
+    let mut group = c.benchmark_group("ablation_correlation_handles");
+    for (name, records) in [
+        ("all_handles", &full),
+        ("no_family_handle", &no_descriptions),
+        ("no_cve_handle", &no_cves),
+    ] {
+        let clusters = aggregate_into_ciocs(records.clone(), Timestamp::EPOCH).len();
+        println!("ablation_correlation {name}: {clusters} clusters");
+        group.bench_with_input(BenchmarkId::from_parameter(name), records, |b, records| {
+            b.iter_batched(
+                || records.clone(),
+                |records| black_box(aggregate_into_ciocs(records, Timestamp::EPOCH).len()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Normalization-policy ablation: Table I's fixed weights vs Table V's
+/// renormalization, over vectors with missing features.
+fn bench_normalization_policy(c: &mut Criterion) {
+    let values: Vec<FeatureValue> = (0..9)
+        .map(|i| {
+            if i == 6 {
+                FeatureValue::Empty
+            } else {
+                FeatureValue::scored((i % 5 + 1) as u8)
+            }
+        })
+        .collect();
+    let fixed = WeightScheme::Static {
+        weights: vec![1.0 / 9.0; 9],
+        policy: NormalizationPolicy::Fixed,
+    };
+    let renorm = WeightScheme::Static {
+        weights: vec![1.0 / 9.0; 9],
+        policy: NormalizationPolicy::OverEvaluated,
+    };
+    println!(
+        "ablation_normalization: fixed TS={:.4}, renormalized TS={:.4}",
+        score::threat_score(&values, &fixed).total(),
+        score::threat_score(&values, &renorm).total(),
+    );
+    let mut group = c.benchmark_group("ablation_normalization");
+    group.bench_function("fixed", |b| {
+        b.iter(|| score::threat_score(black_box(&values), black_box(&fixed)))
+    });
+    group.bench_function("renormalized", |b| {
+        b.iter(|| score::threat_score(black_box(&values), black_box(&renorm)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dedup_ablation,
+    bench_correlation_handles,
+    bench_normalization_policy
+);
+criterion_main!(benches);

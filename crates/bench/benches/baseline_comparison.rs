@@ -1,0 +1,83 @@
+//! The context-aware pipeline vs the static baseline: per-IoC decision
+//! cost and the detection-quality evaluation the paper's future work
+//! promises.
+
+use cais_core::baseline::{evaluate_detection, labeled_population, Approach, StaticScorer};
+use cais_core::{Enricher, EvaluationContext, Reducer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_per_ioc_cost(c: &mut Criterion) {
+    let ctx = EvaluationContext::paper_use_case();
+    let population = labeled_population(3, 64, 0.3, &ctx);
+    let enricher = Enricher::new(ctx.clone());
+    let reducer = Reducer::new(Arc::clone(&ctx.inventory));
+    let scorer = StaticScorer;
+
+    let mut group = c.benchmark_group("per_ioc_decision");
+    group.throughput(Throughput::Elements(population.len() as u64));
+    group.bench_function("context_aware", |b| {
+        b.iter(|| {
+            let mut flagged = 0usize;
+            for sample in &population {
+                let eioc = enricher.enrich(sample.cioc.clone());
+                if reducer.reduce(&eioc).is_some() {
+                    flagged += 1;
+                }
+            }
+            black_box(flagged)
+        })
+    });
+    group.bench_function("static", |b| {
+        b.iter(|| {
+            let mut flagged = 0usize;
+            for sample in &population {
+                if scorer.score(&sample.cioc, &ctx) >= 3.5 {
+                    flagged += 1;
+                }
+            }
+            black_box(flagged)
+        })
+    });
+    group.finish();
+}
+
+fn bench_detection_evaluation(c: &mut Criterion) {
+    let ctx = EvaluationContext::paper_use_case();
+    let mut group = c.benchmark_group("detection_evaluation");
+    group.sample_size(10);
+    for size in [100usize, 400] {
+        let population = labeled_population(7, size, 0.3, &ctx);
+        group.bench_with_input(
+            BenchmarkId::new("context_aware", size),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    black_box(evaluate_detection(
+                        Approach::ContextAware,
+                        population,
+                        &ctx,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("static", size),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    black_box(evaluate_detection(
+                        Approach::Static { threshold: 3.5 },
+                        population,
+                        &ctx,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_ioc_cost, bench_detection_evaluation);
+criterion_main!(benches);

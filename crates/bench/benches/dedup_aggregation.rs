@@ -1,0 +1,76 @@
+//! Section II-A's claim: deduplication and aggregation shrink the data
+//! an analyst faces. Sweeps the duplication rate and feed count,
+//! measuring the collector in isolation.
+
+use cais_bench::workloads;
+use cais_common::Timestamp;
+use cais_core::collector::{aggregate_into_ciocs, Deduplicator, OsintCollector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_dedup_rate_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup_rate_sweep");
+    for dup in [0.0f64, 0.3, 0.6, 0.9] {
+        let records = workloads::record_stream(5, 4, 300, dup, 0.2, Timestamp::EPOCH);
+        group.throughput(Throughput::Elements(records.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct", dup * 100.0)),
+            &records,
+            |b, records| {
+                b.iter_batched(
+                    || records.clone(),
+                    |records| {
+                        let mut dedup = Deduplicator::new();
+                        black_box(dedup.filter_batch(records).len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_correlation");
+    for size in [200usize, 800, 3_200] {
+        let records = workloads::record_stream(6, 4, size / 4, 0.0, 0.3, Timestamp::EPOCH);
+        group.throughput(Throughput::Elements(records.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &records, |b, records| {
+            b.iter_batched(
+                || records.clone(),
+                |records| black_box(aggregate_into_ciocs(records, Timestamp::EPOCH).len()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_collector_feed_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_feed_count");
+    group.sample_size(20);
+    for feeds in [1usize, 4, 16] {
+        let records = workloads::record_stream(8, feeds, 200, 0.3, 0.3, Timestamp::EPOCH);
+        group.throughput(Throughput::Elements(records.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(feeds), &records, |b, records| {
+            b.iter_batched(
+                || records.clone(),
+                |records| {
+                    let mut collector = OsintCollector::new();
+                    black_box(collector.ingest(records, Timestamp::EPOCH).len())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dedup_rate_sweep,
+    bench_aggregation,
+    bench_collector_feed_count
+);
+criterion_main!(benches);

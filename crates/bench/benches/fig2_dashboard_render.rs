@@ -1,0 +1,86 @@
+//! Figs. 2–4: dashboard state aggregation and rendering (ASCII, HTML,
+//! JSON) under growing alarm/rIoC volumes — the paper's future-work
+//! concern about "representation of a huge amount of alarms and rIoCs".
+
+use cais_common::{Timestamp, Uuid};
+use cais_core::ReducedIoc;
+use cais_dashboard::{render, DashboardState, IssueBoard, NodeView, SecurityIssue};
+use cais_infra::inventory::Inventory;
+use cais_infra::{Alarm, AlarmSeverity, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn populated(alarms: usize, riocs: usize) -> DashboardState {
+    let mut state = DashboardState::new(Inventory::paper_table3());
+    for i in 0..alarms {
+        state.apply_alarm(Alarm::new(
+            i as u64,
+            NodeId((i % 4 + 1) as u32),
+            match i % 3 {
+                0 => AlarmSeverity::Low,
+                1 => AlarmSeverity::Medium,
+                _ => AlarmSeverity::High,
+            },
+            format!("203.0.113.{}", i % 250 + 1),
+            "192.168.1.14",
+            format!("alarm {i}"),
+            "suricata",
+            Timestamp::EPOCH,
+        ));
+    }
+    for i in 0..riocs {
+        state.apply_rioc(ReducedIoc {
+            id: Uuid::new_v5(&format!("rioc-{i}")),
+            cve: Some(format!("CVE-2019-{:04}", i % 9999 + 1)),
+            description: format!("issue {i}"),
+            affected_application: Some("apache".into()),
+            threat_score: (i % 50) as f64 / 10.0,
+            criteria: None,
+            nodes: vec![NodeId((i % 4 + 1) as u32)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        });
+    }
+    state
+}
+
+fn bench_renderers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_render");
+    for scale in [10usize, 100, 1_000] {
+        let state = populated(scale, scale);
+        group.bench_with_input(BenchmarkId::new("ascii", scale), &scale, |b, _| {
+            b.iter(|| black_box(render::ascii(&state)))
+        });
+        group.bench_with_input(BenchmarkId::new("html", scale), &scale, |b, _| {
+            b.iter(|| black_box(render::html(&state)))
+        });
+        group.bench_with_input(BenchmarkId::new("json", scale), &scale, |b, _| {
+            b.iter(|| black_box(render::json(&state)))
+        });
+        group.bench_with_input(BenchmarkId::new("badges", scale), &scale, |b, _| {
+            b.iter(|| black_box(state.badges()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig4_views");
+    let state = populated(500, 500);
+    group.bench_function("fig3_node_view", |b| {
+        b.iter(|| black_box(NodeView::build(&state, NodeId(4))))
+    });
+    group.bench_function("fig4_issue_board_cap20", |b| {
+        b.iter(|| {
+            let mut board = IssueBoard::with_cap(20);
+            for rioc in state.riocs() {
+                board.push(SecurityIssue::from_rioc(rioc, state.inventory()));
+            }
+            black_box(board.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_renderers, bench_views);
+criterion_main!(benches);

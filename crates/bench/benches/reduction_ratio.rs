@@ -1,0 +1,75 @@
+//! Section III's rationale for rIoCs: the reduced form is what makes
+//! visualization tractable. Measures the reducer's matching cost and
+//! the eIoC→rIoC size ratio across cluster sizes.
+
+use cais_bench::workloads;
+use cais_common::{Observable, ObservableKind};
+use cais_core::{ComposedIoc, Enricher, EvaluationContext, Reducer};
+use cais_feeds::{FeedRecord, ThreatCategory};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn enriched_cluster(ctx: &EvaluationContext, members: usize) -> cais_core::EnrichedIoc {
+    let mut records = vec![workloads::struts_advisory(ctx)];
+    for i in 1..members {
+        records.push(
+            FeedRecord::new(
+                Observable::new(ObservableKind::Ipv4, format!("203.0.113.{}", i % 250 + 1)),
+                ThreatCategory::VulnerabilityExploitation,
+                format!("feed-{i}"),
+                ctx.now.add_days(-(i as i64 % 90) - 1),
+            )
+            .with_cve("CVE-2017-9805")
+            .with_description("remote code execution in apache struts"),
+        );
+    }
+    let cioc = ComposedIoc::new(ThreatCategory::VulnerabilityExploitation, records, ctx.now);
+    Enricher::new(ctx.clone()).enrich(cioc)
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let ctx = EvaluationContext::paper_use_case();
+    let reducer = Reducer::new(Arc::clone(&ctx.inventory));
+    let mut group = c.benchmark_group("reduce_matching");
+    for members in [1usize, 10, 100] {
+        let eioc = enriched_cluster(&ctx, members);
+        group.bench_with_input(BenchmarkId::from_parameter(members), &eioc, |b, eioc| {
+            b.iter(|| black_box(reducer.reduce(eioc)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_size_ratio(c: &mut Criterion) {
+    // Not a timing benchmark so much as a measured artifact: serialize
+    // both forms and report the ratio through Criterion's output.
+    let ctx = EvaluationContext::paper_use_case();
+    let reducer = Reducer::new(Arc::clone(&ctx.inventory));
+    let mut group = c.benchmark_group("rioc_serialized_size");
+    for members in [1usize, 10, 100] {
+        let eioc = enriched_cluster(&ctx, members);
+        let rioc = reducer.reduce(&eioc).expect("matches node 4");
+        let eioc_bytes = serde_json::to_string(&eioc).expect("eioc json").len();
+        let rioc_bytes = serde_json::to_string(&rioc).expect("rioc json").len();
+        println!(
+            "members={members}: eIoC {eioc_bytes} B, rIoC {rioc_bytes} B, ratio {:.1}x",
+            eioc_bytes as f64 / rioc_bytes as f64
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serialize_both", members),
+            &(eioc, rioc),
+            |b, (eioc, rioc)| {
+                b.iter(|| {
+                    let e = serde_json::to_string(eioc).expect("eioc json").len();
+                    let r = serde_json::to_string(rioc).expect("rioc json").len();
+                    black_box((e, r))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce, bench_size_ratio);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table I: the Threat Score computation itself — the paper's Eq. 1
+//! over the three worked heuristics, plus scaling in feature count.
+
+use cais_core::heuristics::{score, CriteriaPoints, FeatureValue, WeightScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let weights = WeightScheme::fixed(vec![0.10, 0.25, 0.40, 0.15, 0.10]);
+    let rows = [
+        ("H1", [3u8, 4, 3, 1, 5]),
+        ("H2", [5, 2, 2, 4, 0]),
+        ("H3", [1, 1, 2, 3, 3]),
+    ];
+    let mut group = c.benchmark_group("table1_threat_score");
+    for (name, raw) in rows {
+        let values = raw.map(FeatureValue::scored);
+        group.bench_function(name, |b| {
+            b.iter(|| score::threat_score(black_box(&values), black_box(&weights)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threat_score_scaling");
+    for n in [5usize, 20, 80, 320] {
+        let values: Vec<FeatureValue> =
+            (0..n).map(|i| FeatureValue::scored((i % 6) as u8)).collect();
+        let static_scheme = WeightScheme::fixed(vec![1.0 / n as f64; n]);
+        let criteria_scheme = WeightScheme::from_criteria(
+            (0..n)
+                .map(|i| CriteriaPoints::new(1 + (i % 10) as u32, 1, 1, 1))
+                .collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("static", n), &n, |b, _| {
+            b.iter(|| score::threat_score(black_box(&values), black_box(&static_scheme)))
+        });
+        group.bench_with_input(BenchmarkId::new("criteria", n), &n, |b, _| {
+            b.iter(|| score::threat_score(black_box(&values), black_box(&criteria_scheme)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_feature_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table V: the full vulnerability-heuristic evaluation of the
+//! CVE-2017-9805 use case — feature extraction against the context plus
+//! Eq. 1 — and its sensitivity to dynamic-context size.
+
+use cais_common::{Observable, ObservableKind};
+use cais_core::heuristics::vulnerability;
+use cais_core::EvaluationContext;
+use cais_infra::{Alarm, AlarmSeverity, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_use_case(c: &mut Criterion) {
+    let ctx = EvaluationContext::paper_use_case();
+    let ioc = vulnerability::paper_rce_ioc();
+    c.bench_function("table5_rce_evaluation", |b| {
+        b.iter(|| vulnerability::evaluate(black_box(&ioc), black_box(&ctx)))
+    });
+}
+
+fn bench_context_size(c: &mut Criterion) {
+    let ioc = vulnerability::paper_rce_ioc();
+    let mut group = c.benchmark_group("table5_context_scaling");
+    for alarms in [0usize, 100, 1_000, 10_000] {
+        let ctx = EvaluationContext::paper_use_case();
+        for i in 0..alarms {
+            ctx.push_alarm(Alarm::new(
+                i as u64,
+                NodeId((i % 4 + 1) as u32),
+                AlarmSeverity::Medium,
+                "203.0.113.9",
+                "192.168.1.14",
+                format!("alarm {i}"),
+                "suricata",
+                ctx.now,
+            ));
+            ctx.sightings.record(
+                &Observable::new(ObservableKind::Ipv4, format!("10.0.{}.{}", i / 250, i % 250)),
+                ctx.now,
+                None,
+                "suricata",
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(alarms), &alarms, |b, _| {
+            b.iter(|| vulnerability::evaluate(black_box(&ioc), black_box(&ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_use_case, bench_context_size);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p cais-bench --bin report            # everything
+//! cargo run -p cais-bench --bin report -- table5  # one section
+//! ```
+
+use cais_bench::report;
+
+fn main() {
+    let sections: Vec<String> = std::env::args().skip(1).collect();
+    if sections.is_empty() {
+        print!("{}", report::full_report());
+        return;
+    }
+    for section in sections {
+        let text = match section.trim_start_matches("--") {
+            "table1" => report::table1(),
+            "table2" => report::table2(),
+            "table3" => report::table3(),
+            "table4" => report::table4(),
+            "table5" => report::table5(),
+            "fig1" => report::fig1(),
+            "fig2" => report::fig2(),
+            "fig3" => report::fig3(),
+            "fig4" => report::fig4(),
+            "dedup" => report::dedup_sweep(),
+            "reduction" => report::reduction_ratio(),
+            "baseline" => report::baseline_comparison(),
+            "nlp" => report::nlp_triage(),
+            "detection" => report::detection_replay(),
+            other => {
+                eprintln!(
+                    "unknown section {other:?}; try table1..table5, fig1..fig4, dedup, reduction, baseline, nlp, detection"
+                );
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+    }
+}

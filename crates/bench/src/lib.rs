@@ -1,0 +1,11 @@
+//! # cais-bench
+//!
+//! Shared workloads for the benchmark harness, plus the generators the
+//! `report` binary uses to regenerate every table and figure of the
+//! paper (see `EXPERIMENTS.md` at the repository root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,75 @@
+//! Reusable benchmark workloads.
+
+use cais_common::{Observable, ObservableKind, Timestamp};
+use cais_core::{EvaluationContext, Platform};
+use cais_feeds::synth::{SyntheticConfig, SyntheticFeedSet};
+use cais_feeds::{FeedRecord, ThreatCategory};
+
+/// A fresh platform over the paper's use-case context.
+pub fn platform() -> Platform {
+    Platform::paper_use_case()
+}
+
+/// The paper's Section IV advisory as a feed record.
+pub fn struts_advisory(ctx: &EvaluationContext) -> FeedRecord {
+    FeedRecord::new(
+        Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+        ThreatCategory::VulnerabilityExploitation,
+        "nvd-feed",
+        ctx.now.add_days(-100),
+    )
+    .with_cve("CVE-2017-9805")
+    .with_description("remote code execution in apache struts")
+}
+
+/// A flattened synthetic record stream with the given size and
+/// duplication characteristics, stamped relative to `now`.
+pub fn record_stream(
+    seed: u64,
+    feeds: usize,
+    records_per_feed: usize,
+    duplicate_rate: f64,
+    overlap_rate: f64,
+    now: Timestamp,
+) -> Vec<FeedRecord> {
+    SyntheticFeedSet::generate(&SyntheticConfig {
+        seed,
+        feeds,
+        records_per_feed,
+        duplicate_rate,
+        overlap_rate,
+        base_time: now.add_days(-10),
+        ..SyntheticConfig::default()
+    })
+    .all_records()
+}
+
+/// A stream of `count` CVE advisories, a `relevant_fraction` of which
+/// concern inventory software (drawn from the context's CVE database).
+pub fn advisory_stream(
+    seed: u64,
+    count: usize,
+    relevant_fraction: f64,
+    ctx: &EvaluationContext,
+) -> Vec<FeedRecord> {
+    cais_core::baseline::labeled_population(seed, count, relevant_fraction, ctx)
+        .into_iter()
+        .flat_map(|sample| sample.cioc.records)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_nonempty_and_seeded() {
+        let p = platform();
+        let a = record_stream(1, 4, 50, 0.2, 0.2, p.context().now);
+        let b = record_stream(1, 4, 50, 0.2, 0.2, p.context().now);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a, b);
+        let advisories = advisory_stream(1, 50, 0.5, p.context());
+        assert!(!advisories.is_empty());
+    }
+}

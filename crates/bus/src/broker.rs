@@ -1,0 +1,366 @@
+//! The in-process publish/subscribe broker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cais_common::Timestamp;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::RwLock;
+
+use crate::message::Message;
+use crate::topic::{Topic, TopicPattern};
+
+struct Subscriber {
+    id: u64,
+    pattern: TopicPattern,
+    sender: Sender<Message>,
+}
+
+struct Inner {
+    subscribers: RwLock<Vec<Subscriber>>,
+    replay: RwLock<std::collections::VecDeque<Message>>,
+    replay_cap: usize,
+    next_seq: AtomicU64,
+    next_subscriber_id: AtomicU64,
+}
+
+/// A cheaply clonable handle to an in-process message bus.
+///
+/// Publishing never blocks: messages are fanned out over unbounded
+/// channels to every subscription whose pattern matches. Dropped
+/// subscriptions are pruned lazily on the next publish.
+///
+/// # Examples
+///
+/// ```
+/// use cais_bus::{Broker, Topic};
+///
+/// let broker = Broker::new();
+/// let all = broker.subscribe("#");
+/// broker.publish(Topic::new("a.b"), serde_json::json!(1));
+/// assert_eq!(all.try_recv().unwrap().payload, serde_json::json!(1));
+/// ```
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<Inner>,
+}
+
+impl Broker {
+    /// Creates a new broker with no subscribers and a replay buffer of
+    /// 1024 messages.
+    pub fn new() -> Self {
+        Broker::with_replay_capacity(1_024)
+    }
+
+    /// Creates a broker retaining the last `replay_cap` messages for
+    /// [`Broker::subscribe_with_replay`] (0 disables replay).
+    pub fn with_replay_capacity(replay_cap: usize) -> Self {
+        Broker {
+            inner: Arc::new(Inner {
+                subscribers: RwLock::new(Vec::new()),
+                replay: RwLock::new(std::collections::VecDeque::new()),
+                replay_cap,
+                next_seq: AtomicU64::new(0),
+                next_subscriber_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Subscribes to every topic matching the pattern, pre-loading the
+    /// queue with the retained history that matches — how a dashboard
+    /// that reconnects catches up on rIoCs it missed.
+    pub fn subscribe_with_replay(&self, pattern: impl Into<TopicPattern>) -> Subscription {
+        let subscription = self.subscribe(pattern);
+        {
+            let replay = self.inner.replay.read();
+            let subscribers = self.inner.subscribers.read();
+            if let Some(me) = subscribers.iter().find(|s| s.id == subscription.id) {
+                for message in replay.iter() {
+                    if me.pattern.matches(&message.topic) {
+                        let _ = me.sender.send(message.clone());
+                    }
+                }
+            }
+        }
+        subscription
+    }
+
+    /// Subscribes to every topic matching the pattern.
+    pub fn subscribe(&self, pattern: impl Into<TopicPattern>) -> Subscription {
+        let (sender, receiver) = channel::unbounded();
+        let id = self.inner.next_subscriber_id.fetch_add(1, Ordering::Relaxed);
+        let pattern = pattern.into();
+        self.inner.subscribers.write().push(Subscriber {
+            id,
+            pattern: pattern.clone(),
+            sender,
+        });
+        Subscription {
+            id,
+            pattern,
+            receiver,
+            broker: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Publishes a JSON payload under a topic, returning the number of
+    /// subscriptions it was delivered to.
+    pub fn publish(&self, topic: Topic, payload: serde_json::Value) -> usize {
+        let message = Message {
+            seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
+            topic,
+            published_at: Timestamp::now(),
+            payload,
+        };
+        if self.inner.replay_cap > 0 {
+            let mut replay = self.inner.replay.write();
+            if replay.len() == self.inner.replay_cap {
+                replay.pop_front();
+            }
+            replay.push_back(message.clone());
+        }
+        let mut delivered = 0;
+        let mut dead: Vec<u64> = Vec::new();
+        {
+            let subscribers = self.inner.subscribers.read();
+            for sub in subscribers.iter() {
+                if sub.pattern.matches(&message.topic) {
+                    if sub.sender.send(message.clone()).is_ok() {
+                        delivered += 1;
+                    } else {
+                        dead.push(sub.id);
+                    }
+                }
+            }
+        }
+        if !dead.is_empty() {
+            self.inner
+                .subscribers
+                .write()
+                .retain(|s| !dead.contains(&s.id));
+        }
+        delivered
+    }
+
+    /// Publishes a serializable value, encoding it to JSON first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error when encoding fails.
+    pub fn publish_value<T: serde::Serialize>(
+        &self,
+        topic: impl Into<Topic>,
+        value: &T,
+    ) -> Result<usize, serde_json::Error> {
+        Ok(self.publish(topic.into(), serde_json::to_value(value)?))
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.subscribers.read().len()
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Broker::new()
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+/// A handle to a subscription: an unbounded queue of matching messages.
+///
+/// Dropping the subscription unsubscribes (lazily).
+pub struct Subscription {
+    id: u64,
+    pattern: TopicPattern,
+    receiver: Receiver<Message>,
+    broker: std::sync::Weak<Inner>,
+}
+
+impl Subscription {
+    /// The pattern this subscription was created with.
+    pub fn pattern(&self) -> &TopicPattern {
+        &self.pattern
+    }
+
+    /// Receives the next message without blocking.
+    pub fn try_recv(&self) -> Option<Message> {
+        match self.receiver.try_recv() {
+            Ok(msg) => Some(msg),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks until a message arrives or the timeout elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(msg) => Some(msg),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Drains every message currently queued.
+    pub fn drain(&self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.try_recv() {
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Number of messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        if let Some(inner) = self.broker.upgrade() {
+            inner.subscribers.write().retain(|s| s.id != self.id);
+        }
+    }
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("pattern", &self.pattern.as_str())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_to_matching_subscribers() {
+        let broker = Broker::new();
+        let events = broker.subscribe("misp.event.*");
+        let everything = broker.subscribe("#");
+        let alarms = broker.subscribe("infra.alarm.raised");
+
+        let delivered = broker.publish(Topic::new("misp.event.created"), serde_json::json!(1));
+        assert_eq!(delivered, 2);
+        assert_eq!(events.queued(), 1);
+        assert_eq!(everything.queued(), 1);
+        assert_eq!(alarms.queued(), 0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("#");
+        for _ in 0..5 {
+            broker.publish(Topic::new("t"), serde_json::Value::Null);
+        }
+        let seqs: Vec<u64> = sub.drain().into_iter().map(|m| m.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("#");
+        assert_eq!(broker.subscriber_count(), 1);
+        drop(sub);
+        assert_eq!(broker.subscriber_count(), 0);
+        assert_eq!(broker.publish(Topic::new("t"), serde_json::Value::Null), 0);
+    }
+
+    #[test]
+    fn publish_value_encodes() {
+        #[derive(serde::Serialize)]
+        struct Payload {
+            x: u32,
+        }
+        let broker = Broker::new();
+        let sub = broker.subscribe("typed");
+        broker.publish_value("typed", &Payload { x: 9 }).unwrap();
+        assert_eq!(sub.try_recv().unwrap().payload["x"], 9);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("work.#");
+        let publisher = broker.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                publisher.publish(Topic::new(format!("work.item.{i}")), serde_json::json!(i));
+            }
+        });
+        handle.join().unwrap();
+        let got = sub.drain();
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("#");
+        assert!(sub.recv_timeout(Duration::from_millis(10)).is_none());
+        broker.publish(Topic::new("t"), serde_json::Value::Null);
+        assert!(sub.recv_timeout(Duration::from_millis(10)).is_some());
+    }
+}
+
+#[cfg(test)]
+mod replay_tests {
+    use super::*;
+
+    #[test]
+    fn late_subscriber_catches_up() {
+        let broker = Broker::new();
+        for i in 0..5 {
+            broker.publish(Topic::new(format!("a.{i}")), serde_json::json!(i));
+        }
+        broker.publish(Topic::new("b.0"), serde_json::json!("other"));
+        let late = broker.subscribe_with_replay("a.*");
+        let caught_up = late.drain();
+        assert_eq!(caught_up.len(), 5);
+        assert_eq!(caught_up[0].payload, serde_json::json!(0));
+        // Live delivery continues after the replay.
+        broker.publish(Topic::new("a.99"), serde_json::json!(99));
+        assert_eq!(late.drain().len(), 1);
+    }
+
+    #[test]
+    fn replay_buffer_is_bounded() {
+        let broker = Broker::with_replay_capacity(3);
+        for i in 0..10 {
+            broker.publish(Topic::new("t"), serde_json::json!(i));
+        }
+        let late = broker.subscribe_with_replay("#");
+        let caught_up = late.drain();
+        assert_eq!(caught_up.len(), 3);
+        assert_eq!(caught_up[0].payload, serde_json::json!(7));
+    }
+
+    #[test]
+    fn replay_disabled_with_zero_capacity() {
+        let broker = Broker::with_replay_capacity(0);
+        broker.publish(Topic::new("t"), serde_json::json!(1));
+        let late = broker.subscribe_with_replay("#");
+        assert_eq!(late.queued(), 0);
+    }
+
+    #[test]
+    fn plain_subscribe_gets_no_history() {
+        let broker = Broker::new();
+        broker.publish(Topic::new("t"), serde_json::json!(1));
+        let sub = broker.subscribe("#");
+        assert_eq!(sub.queued(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # cais-bus
+//!
+//! A topic-based publish/subscribe message bus, standing in for the
+//! zeroMQ channel the paper's MISP instance uses to push events to the
+//! Heuristic Component, and for the socket.io channel that feeds the
+//! dashboard.
+//!
+//! * [`Broker`] — in-process bus: hierarchical topics, pattern
+//!   subscriptions, lock-free delivery via crossbeam channels.
+//! * [`tcp`] — a length-prefixed TCP transport bridging a broker across
+//!   processes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_bus::{Broker, Topic};
+//!
+//! let broker = Broker::new();
+//! let sub = broker.subscribe("misp.event.*");
+//! broker.publish(
+//!     Topic::new("misp.event.created"),
+//!     serde_json::json!({"event_id": 17}),
+//! );
+//! let msg = sub.try_recv().expect("delivered");
+//! assert_eq!(msg.topic.as_str(), "misp.event.created");
+//! assert_eq!(msg.payload["event_id"], 17);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod message;
+pub mod tcp;
+mod topic;
+
+pub use broker::{Broker, Subscription};
+pub use message::Message;
+pub use topic::{Topic, TopicPattern};
+
+/// Well-known topics used across the platform, mirroring MISP's zmq
+/// channel names plus CAIS-specific ones.
+pub mod topics {
+    /// A MISP event was created or updated.
+    pub const MISP_EVENT: &str = "misp.event.created";
+    /// A composed IoC entered the operational module.
+    pub const CIOC_RECEIVED: &str = "cais.cioc.received";
+    /// An enriched IoC is available.
+    pub const EIOC_READY: &str = "cais.eioc.ready";
+    /// A reduced IoC should be shown on the dashboard.
+    pub const RIOC_PUBLISHED: &str = "cais.rioc.published";
+    /// An infrastructure alarm fired.
+    pub const ALARM_RAISED: &str = "infra.alarm.raised";
+    /// An armed indicator pattern matched live observations.
+    pub const DETECTION_FIRED: &str = "cais.detection.fired";
+}

@@ -1,0 +1,74 @@
+//! The message envelope carried by the bus.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::topic::Topic;
+
+/// A published message: topic, JSON payload and delivery metadata.
+///
+/// Payloads are JSON values because everything the platform moves across
+/// the bus (MISP events, IoCs, alarms) already has a JSON wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Monotonic per-broker sequence number.
+    pub seq: u64,
+    /// The topic the message was published under.
+    pub topic: Topic,
+    /// When the broker accepted the message.
+    pub published_at: Timestamp,
+    /// The JSON payload.
+    pub payload: serde_json::Value,
+}
+
+impl Message {
+    /// Deserializes the payload into a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error when the payload does
+    /// not match `T`'s schema.
+    pub fn decode<T: serde::de::DeserializeOwned>(&self) -> Result<T, serde_json::Error> {
+        serde_json::from_value(self.payload.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Alarm {
+        node: String,
+        severity: u8,
+    }
+
+    #[test]
+    fn decode_typed_payload() {
+        let msg = Message {
+            seq: 1,
+            topic: Topic::new("infra.alarm.raised"),
+            published_at: Timestamp::EPOCH,
+            payload: serde_json::json!({"node": "gitlab", "severity": 3}),
+        };
+        let alarm: Alarm = msg.decode().unwrap();
+        assert_eq!(
+            alarm,
+            Alarm {
+                node: "gitlab".into(),
+                severity: 3
+            }
+        );
+    }
+
+    #[test]
+    fn decode_mismatch_errors() {
+        let msg = Message {
+            seq: 1,
+            topic: Topic::new("t"),
+            published_at: Timestamp::EPOCH,
+            payload: serde_json::json!("just a string"),
+        };
+        assert!(msg.decode::<Alarm>().is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! A length-prefixed TCP transport bridging a [`Broker`] across
+//! processes.
+//!
+//! The wire format is a 4-byte big-endian length followed by a JSON
+//! [`Message`]. A client connects, sends one frame containing its
+//! subscription pattern as a JSON string, and then receives every
+//! matching message the broker publishes — the same shape as MISP's
+//! zmq PUB socket.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::broker::Broker;
+use crate::message::Message;
+
+/// Maximum accepted frame size (16 MiB), protecting against corrupt
+/// length prefixes.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    writer.write_all(&buf)
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, EOF mid-frame, or a frame larger
+/// than the 16 MiB cap.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = (&len_buf[..]).get_u32();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// A TCP bridge publishing a broker's traffic to remote subscribers.
+///
+/// # Examples
+///
+/// ```
+/// use cais_bus::{Broker, Topic};
+/// use cais_bus::tcp::{BusServer, BusClient};
+///
+/// let broker = Broker::new();
+/// let server = BusServer::bind(broker.clone(), "127.0.0.1:0")?;
+/// let client = BusClient::connect(server.local_addr(), "misp.#")?;
+/// broker.publish(Topic::new("misp.event.created"), serde_json::json!(7));
+/// let msg = client.recv_timeout(std::time::Duration::from_secs(2)).expect("delivered");
+/// assert_eq!(msg.payload, serde_json::json!(7));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct BusServer {
+    local_addr: SocketAddr,
+}
+
+impl BusServer {
+    /// Binds a listener and serves broker traffic to every client that
+    /// connects. The accept loop runs on a background thread for the
+    /// lifetime of the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind(broker: Broker, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        thread::Builder::new()
+            .name("cais-bus-server".into())
+            .spawn(move || accept_loop(listener, broker))
+            .expect("spawn bus server thread");
+        Ok(BusServer { local_addr })
+    }
+
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl std::fmt::Debug for BusServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BusServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, broker: Broker) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let broker = broker.clone();
+        let _ = thread::Builder::new()
+            .name("cais-bus-conn".into())
+            .spawn(move || {
+                let _ = serve_client(stream, &broker);
+            });
+    }
+}
+
+fn serve_client(mut stream: TcpStream, broker: &Broker) -> io::Result<()> {
+    // First frame: the subscription pattern as a JSON string.
+    let frame = read_frame(&mut stream)?;
+    let pattern: String = serde_json::from_slice(&frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let subscription = broker.subscribe(pattern.as_str());
+    // Ack the handshake with an empty frame so the client knows the
+    // subscription is live before it lets its caller publish.
+    write_frame(&mut stream, &[])?;
+    loop {
+        // Block in short slices so a closed socket is noticed eventually.
+        if let Some(message) = subscription.recv_timeout(Duration::from_millis(200)) {
+            let bytes = serde_json::to_vec(&message)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            write_frame(&mut stream, &bytes)?;
+        } else {
+            // Probe liveness with a zero-length keepalive frame.
+            write_frame(&mut stream, &[])?;
+        }
+    }
+}
+
+/// A remote subscriber receiving bus messages over TCP.
+pub struct BusClient {
+    stream: TcpStream,
+}
+
+impl BusClient {
+    /// Connects and registers the given subscription pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection or handshake I/O errors.
+    pub fn connect(addr: SocketAddr, pattern: &str) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        let frame = serde_json::to_vec(pattern)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        write_frame(&mut stream, &frame)?;
+        // Wait for the server's empty ack frame: once it arrives the
+        // subscription is registered and no published message can race
+        // past it.
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let ack = read_frame(&mut stream)?;
+        if !ack.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected empty handshake ack",
+            ));
+        }
+        Ok(BusClient { stream })
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    ///
+    /// Returns `None` on timeout or when the connection closed.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut stream = &self.stream;
+        loop {
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            self.stream.set_read_timeout(Some(remaining)).ok()?;
+            match read_frame(&mut stream) {
+                Ok(frame) if frame.is_empty() => continue, // keepalive
+                Ok(frame) => return serde_json::from_slice(&frame).ok(),
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BusClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BusClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::Topic;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(buf.len(), 9);
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn frame_rejects_oversize() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn frame_eof_mid_payload_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // cut payload short
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let broker = Broker::new();
+        let server = BusServer::bind(broker.clone(), "127.0.0.1:0").unwrap();
+        let client = BusClient::connect(server.local_addr(), "misp.#").unwrap();
+        // Give the server a moment to register the subscription.
+        std::thread::sleep(Duration::from_millis(100));
+        broker.publish(Topic::new("misp.event.created"), serde_json::json!({"id": 1}));
+        broker.publish(Topic::new("other.topic"), serde_json::json!({"id": 2}));
+        broker.publish(Topic::new("misp.event.updated"), serde_json::json!({"id": 3}));
+
+        let first = client.recv_timeout(Duration::from_secs(5)).expect("first");
+        assert_eq!(first.payload["id"], 1);
+        let second = client.recv_timeout(Duration::from_secs(5)).expect("second");
+        assert_eq!(second.payload["id"], 3);
+    }
+
+    #[test]
+    fn client_timeout_when_idle() {
+        let broker = Broker::new();
+        let server = BusServer::bind(broker, "127.0.0.1:0").unwrap();
+        let client = BusClient::connect(server.local_addr(), "#").unwrap();
+        assert!(client.recv_timeout(Duration::from_millis(300)).is_none());
+    }
+}

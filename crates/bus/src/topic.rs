@@ -1,0 +1,158 @@
+//! Hierarchical topics and subscription patterns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dot-separated hierarchical topic name, such as `misp.event.created`.
+///
+/// # Examples
+///
+/// ```
+/// use cais_bus::Topic;
+///
+/// let t = Topic::new("misp.event.created");
+/// assert_eq!(t.segments().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Topic(String);
+
+impl Topic {
+    /// Creates a topic from its dotted name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topic(name.into())
+    }
+
+    /// The dotted name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the dot-separated segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Topic {
+    fn from(s: &str) -> Self {
+        Topic::new(s)
+    }
+}
+
+impl From<String> for Topic {
+    fn from(s: String) -> Self {
+        Topic(s)
+    }
+}
+
+/// A subscription pattern over topics.
+///
+/// Segments match literally; `*` matches exactly one segment; a trailing
+/// `#` matches any remainder (including none). The bare pattern `#`
+/// matches every topic.
+///
+/// # Examples
+///
+/// ```
+/// use cais_bus::{Topic, TopicPattern};
+///
+/// let p = TopicPattern::new("misp.event.*");
+/// assert!(p.matches(&Topic::new("misp.event.created")));
+/// assert!(!p.matches(&Topic::new("misp.attribute.created")));
+/// assert!(!p.matches(&Topic::new("misp.event.created.extra")));
+///
+/// let all = TopicPattern::new("misp.#");
+/// assert!(all.matches(&Topic::new("misp.event.created.extra")));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TopicPattern(String);
+
+impl TopicPattern {
+    /// Creates a pattern.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        TopicPattern(pattern.into())
+    }
+
+    /// The pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether the pattern matches a topic.
+    pub fn matches(&self, topic: &Topic) -> bool {
+        let mut pattern_segments = self.0.split('.').peekable();
+        let mut topic_segments = topic.segments();
+        loop {
+            match (pattern_segments.next(), topic_segments.next()) {
+                (None, None) => return true,
+                (Some("#"), _) => return pattern_segments.next().is_none(),
+                (Some("*"), Some(_)) => {}
+                (Some(p), Some(t)) if p == t => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl From<&str> for TopicPattern {
+    fn from(s: &str) -> Self {
+        TopicPattern::new(s)
+    }
+}
+
+impl fmt::Display for TopicPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matches(pattern: &str, topic: &str) -> bool {
+        TopicPattern::new(pattern).matches(&Topic::new(topic))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(matches("a.b.c", "a.b.c"));
+        assert!(!matches("a.b.c", "a.b.d"));
+        assert!(!matches("a.b.c", "a.b"));
+        assert!(!matches("a.b", "a.b.c"));
+    }
+
+    #[test]
+    fn single_segment_wildcard() {
+        assert!(matches("a.*.c", "a.b.c"));
+        assert!(matches("a.*.c", "a.x.c"));
+        assert!(!matches("a.*.c", "a.c"));
+        assert!(!matches("a.*", "a.b.c"));
+        assert!(matches("*", "anything"));
+        assert!(!matches("*", "two.segments"));
+    }
+
+    #[test]
+    fn multi_segment_wildcard() {
+        assert!(matches("#", "a"));
+        assert!(matches("#", "a.b.c"));
+        assert!(matches("a.#", "a.b.c"));
+        assert!(matches("a.#", "a"));
+        assert!(!matches("a.#", "b.a"));
+        // `#` must be terminal to act as a tail wildcard.
+        assert!(!matches("a.#.c", "a.b.c"));
+    }
+
+    #[test]
+    fn hash_matches_empty_tail() {
+        // "a.#" matching bare "a": pattern `#` consumes nothing.
+        assert!(matches("a.#", "a"));
+    }
+}

@@ -1,0 +1,571 @@
+//! Syntactic detection and extraction of cyber observables.
+//!
+//! OSINT feeds deliver indicator values as bare strings (an IP address, a
+//! domain, a file hash, a CVE identifier). [`ObservableKind::detect`]
+//! classifies a single token and [`extract`] scans free text — such as an
+//! advisory paragraph — and pulls out every observable it contains. The
+//! detectors are deliberately hand-rolled rather than regex-based: each is
+//! a few lines of explicit scanning code with exhaustive tests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The syntactic category of an observable value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ObservableKind {
+    /// An IPv4 address in dotted-quad notation.
+    Ipv4,
+    /// An IPv6 address (full or `::`-compressed hexadecimal form).
+    Ipv6,
+    /// A DNS domain name.
+    Domain,
+    /// A URL with an explicit scheme.
+    Url,
+    /// An e-mail address.
+    Email,
+    /// An MD5 digest (32 hex characters).
+    Md5,
+    /// A SHA-1 digest (40 hex characters).
+    Sha1,
+    /// A SHA-256 digest (64 hex characters).
+    Sha256,
+    /// A CVE identifier such as `CVE-2017-9805`.
+    Cve,
+}
+
+impl ObservableKind {
+    /// All observable kinds, in detection-priority order.
+    pub const ALL: [ObservableKind; 9] = [
+        ObservableKind::Cve,
+        ObservableKind::Url,
+        ObservableKind::Email,
+        ObservableKind::Ipv4,
+        ObservableKind::Ipv6,
+        ObservableKind::Md5,
+        ObservableKind::Sha1,
+        ObservableKind::Sha256,
+        ObservableKind::Domain,
+    ];
+
+    /// Classifies a single token, returning `None` when it matches no
+    /// known observable syntax.
+    ///
+    /// Detection is prioritized: a value that could be read several ways
+    /// is classified as the most specific kind (for example,
+    /// `CVE-2017-9805` is a [`ObservableKind::Cve`], not a domain, and a
+    /// 32-character hex string is an [`ObservableKind::Md5`], not a
+    /// domain label).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_common::ObservableKind;
+    ///
+    /// assert_eq!(ObservableKind::detect("198.51.100.7"), Some(ObservableKind::Ipv4));
+    /// assert_eq!(ObservableKind::detect("evil.example.com"), Some(ObservableKind::Domain));
+    /// assert_eq!(ObservableKind::detect("hello world"), None);
+    /// ```
+    pub fn detect(token: &str) -> Option<ObservableKind> {
+        let token = token.trim();
+        if is_cve(token) {
+            Some(ObservableKind::Cve)
+        } else if is_url(token) {
+            Some(ObservableKind::Url)
+        } else if is_email(token) {
+            Some(ObservableKind::Email)
+        } else if is_ipv4(token) {
+            Some(ObservableKind::Ipv4)
+        } else if is_ipv6(token) {
+            Some(ObservableKind::Ipv6)
+        } else if let Some(kind) = detect_hash(token) {
+            Some(kind)
+        } else if is_domain(token) {
+            Some(ObservableKind::Domain)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the STIX 2.0 cyber-observable object type corresponding to
+    /// this kind (for example `ipv4-addr` or `file`).
+    pub fn stix_object_type(self) -> &'static str {
+        match self {
+            ObservableKind::Ipv4 => "ipv4-addr",
+            ObservableKind::Ipv6 => "ipv6-addr",
+            ObservableKind::Domain => "domain-name",
+            ObservableKind::Url => "url",
+            ObservableKind::Email => "email-addr",
+            ObservableKind::Md5 | ObservableKind::Sha1 | ObservableKind::Sha256 => "file",
+            ObservableKind::Cve => "vulnerability",
+        }
+    }
+
+    /// Returns the MISP attribute type conventionally used for this kind.
+    pub fn misp_attribute_type(self) -> &'static str {
+        match self {
+            ObservableKind::Ipv4 | ObservableKind::Ipv6 => "ip-dst",
+            ObservableKind::Domain => "domain",
+            ObservableKind::Url => "url",
+            ObservableKind::Email => "email-src",
+            ObservableKind::Md5 => "md5",
+            ObservableKind::Sha1 => "sha1",
+            ObservableKind::Sha256 => "sha256",
+            ObservableKind::Cve => "vulnerability",
+        }
+    }
+}
+
+impl fmt::Display for ObservableKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ObservableKind::Ipv4 => "ipv4",
+            ObservableKind::Ipv6 => "ipv6",
+            ObservableKind::Domain => "domain",
+            ObservableKind::Url => "url",
+            ObservableKind::Email => "email",
+            ObservableKind::Md5 => "md5",
+            ObservableKind::Sha1 => "sha1",
+            ObservableKind::Sha256 => "sha256",
+            ObservableKind::Cve => "cve",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An observable value together with its detected kind.
+///
+/// # Examples
+///
+/// ```
+/// use cais_common::{Observable, ObservableKind};
+///
+/// let obs = Observable::parse("203.0.113.9").expect("an IPv4 address");
+/// assert_eq!(obs.kind(), ObservableKind::Ipv4);
+/// assert_eq!(obs.value(), "203.0.113.9");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Observable {
+    kind: ObservableKind,
+    value: String,
+}
+
+impl Observable {
+    /// Creates an observable with an explicitly known kind.
+    ///
+    /// The value is normalized: surrounding whitespace is trimmed, and
+    /// case-insensitive kinds (domains, hashes, e-mail, CVE) are
+    /// lowercased — except CVE identifiers, which are uppercased by
+    /// convention.
+    pub fn new(kind: ObservableKind, value: impl Into<String>) -> Self {
+        let raw = value.into();
+        let trimmed = raw.trim();
+        let value = match kind {
+            ObservableKind::Domain
+            | ObservableKind::Email
+            | ObservableKind::Md5
+            | ObservableKind::Sha1
+            | ObservableKind::Sha256 => trimmed.to_ascii_lowercase(),
+            ObservableKind::Cve => trimmed.to_ascii_uppercase(),
+            _ => trimmed.to_owned(),
+        };
+        Observable { kind, value }
+    }
+
+    /// Detects the kind of `token` and builds an observable from it.
+    ///
+    /// Returns `None` when the token matches no known observable syntax.
+    pub fn parse(token: &str) -> Option<Self> {
+        ObservableKind::detect(token).map(|kind| Observable::new(kind, token))
+    }
+
+    /// The detected kind.
+    pub fn kind(&self) -> ObservableKind {
+        self.kind
+    }
+
+    /// The normalized value.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// A stable deduplication key: kind plus normalized value.
+    pub fn dedup_key(&self) -> String {
+        format!("{}:{}", self.kind, self.value)
+    }
+}
+
+impl fmt::Display for Observable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.value, self.kind)
+    }
+}
+
+/// Extracts every observable appearing in free text.
+///
+/// Tokens are split on whitespace and common punctuation, with trailing
+/// sentence punctuation stripped, so observables embedded in prose
+/// (`"... exploited CVE-2017-9805, contacting 203.0.113.9."`) are found.
+///
+/// # Examples
+///
+/// ```
+/// use cais_common::{observable::extract, ObservableKind};
+///
+/// let found = extract("Struts RCE CVE-2017-9805 beacons to c2.evil.example.");
+/// assert_eq!(found.len(), 2);
+/// assert_eq!(found[0].kind(), ObservableKind::Cve);
+/// assert_eq!(found[1].value(), "c2.evil.example");
+/// ```
+pub fn extract(text: &str) -> Vec<Observable> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| c.is_whitespace() || matches!(c, ',' | ';' | '(' | ')' | '[' | ']' | '<' | '>' | '"' | '\'')) {
+        let token = raw.trim_matches(|c: char| matches!(c, '.' | '!' | '?' | ':') && !raw.starts_with("http"));
+        // Don't strip ':' from URLs.
+        let token = if is_url(raw) { raw.trim_end_matches(['.', '!', '?']) } else { token };
+        if token.is_empty() {
+            continue;
+        }
+        if let Some(obs) = Observable::parse(token) {
+            out.push(obs);
+        }
+    }
+    out
+}
+
+fn is_ipv4(s: &str) -> bool {
+    let mut parts = 0;
+    for part in s.split('.') {
+        parts += 1;
+        if parts > 4 || part.is_empty() || part.len() > 3 {
+            return false;
+        }
+        if !part.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+        if part.len() > 1 && part.starts_with('0') {
+            return false; // no leading zeros
+        }
+        match part.parse::<u32>() {
+            Ok(v) if v <= 255 => {}
+            _ => return false,
+        }
+    }
+    parts == 4
+}
+
+fn is_ipv6(s: &str) -> bool {
+    // Accepts full and `::`-compressed forms; rejects IPv4-mapped tails
+    // for simplicity (they are rare in feed data).
+    if !s.contains(':') {
+        return false;
+    }
+    let double_colons = s.matches("::").count();
+    if double_colons > 1 || s.contains(":::") {
+        return false;
+    }
+    let groups: Vec<&str> = s.split(':').collect();
+    if groups.len() > 8 {
+        return false;
+    }
+    let mut nonempty = 0;
+    for g in &groups {
+        if g.is_empty() {
+            continue;
+        }
+        if g.len() > 4 || !g.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return false;
+        }
+        nonempty += 1;
+    }
+    if double_colons == 1 {
+        (1..8).contains(&nonempty)
+    } else {
+        groups.len() == 8 && nonempty == 8
+    }
+}
+
+fn is_domain(s: &str) -> bool {
+    if s.len() < 4 || s.len() > 253 || !s.contains('.') {
+        return false;
+    }
+    if s.starts_with('.') || s.ends_with('.') || s.starts_with('-') {
+        return false;
+    }
+    let labels: Vec<&str> = s.split('.').collect();
+    if labels.len() < 2 {
+        return false;
+    }
+    for label in &labels {
+        if label.is_empty() || label.len() > 63 {
+            return false;
+        }
+        if label.starts_with('-') || label.ends_with('-') {
+            return false;
+        }
+        if !label
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return false;
+        }
+    }
+    // The top-level label must be alphabetic (rules out IPv4 and version
+    // strings like "1.2.3.4" or "v1.2").
+    let tld = labels.last().expect("at least two labels");
+    tld.len() >= 2 && tld.bytes().all(|b| b.is_ascii_alphabetic())
+}
+
+fn is_url(s: &str) -> bool {
+    let lower = s.to_ascii_lowercase();
+    for scheme in ["http://", "https://", "ftp://", "hxxp://", "hxxps://"] {
+        if let Some(rest) = lower.strip_prefix(scheme) {
+            return !rest.is_empty() && !rest.starts_with('/');
+        }
+    }
+    false
+}
+
+fn is_email(s: &str) -> bool {
+    let Some((local, domain)) = s.split_once('@') else {
+        return false;
+    };
+    if local.is_empty() || local.len() > 64 || s.matches('@').count() != 1 {
+        return false;
+    }
+    if !local
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-' | b'+'))
+    {
+        return false;
+    }
+    is_domain(domain)
+}
+
+fn detect_hash(s: &str) -> Option<ObservableKind> {
+    if !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    // Require at least one letter so a 32-digit decimal number is not
+    // mistaken for an MD5.
+    if !s.bytes().any(|b| b.is_ascii_alphabetic()) {
+        return None;
+    }
+    match s.len() {
+        32 => Some(ObservableKind::Md5),
+        40 => Some(ObservableKind::Sha1),
+        64 => Some(ObservableKind::Sha256),
+        _ => None,
+    }
+}
+
+fn is_cve(s: &str) -> bool {
+    let upper = s.to_ascii_uppercase();
+    let Some(rest) = upper.strip_prefix("CVE-") else {
+        return false;
+    };
+    let Some((year, seq)) = rest.split_once('-') else {
+        return false;
+    };
+    year.len() == 4
+        && year.bytes().all(|b| b.is_ascii_digit())
+        && seq.len() >= 4
+        && seq.len() <= 7
+        && seq.bytes().all(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_ipv4() {
+        assert_eq!(ObservableKind::detect("0.0.0.0"), Some(ObservableKind::Ipv4));
+        assert_eq!(
+            ObservableKind::detect("255.255.255.255"),
+            Some(ObservableKind::Ipv4)
+        );
+        assert_eq!(
+            ObservableKind::detect("198.51.100.7"),
+            Some(ObservableKind::Ipv4)
+        );
+    }
+
+    #[test]
+    fn reject_bad_ipv4() {
+        for s in ["256.1.1.1", "1.2.3", "1.2.3.4.5", "01.2.3.4", "a.b.c.d", "1..2.3"] {
+            assert_ne!(
+                ObservableKind::detect(s),
+                Some(ObservableKind::Ipv4),
+                "input {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn detect_ipv6() {
+        for s in [
+            "2001:db8:0:0:0:0:0:1",
+            "2001:db8::1",
+            "::1",
+            "fe80::a1b2:c3d4",
+        ] {
+            assert_eq!(ObservableKind::detect(s), Some(ObservableKind::Ipv6), "{s}");
+        }
+    }
+
+    #[test]
+    fn reject_bad_ipv6() {
+        for s in ["2001:db8", ":::1", "2001::db8::1", "12345::1", "g::1"] {
+            assert_ne!(ObservableKind::detect(s), Some(ObservableKind::Ipv6), "{s}");
+        }
+    }
+
+    #[test]
+    fn detect_domain() {
+        for s in ["example.com", "evil.example.co.uk", "xn--bcher-kva.example", "a-b.example.org"] {
+            assert_eq!(
+                ObservableKind::detect(s),
+                Some(ObservableKind::Domain),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn reject_bad_domain() {
+        for s in [
+            "localhost",
+            "example.",
+            ".example.com",
+            "exa mple.com",
+            "v1.2",
+            "-bad.example.com",
+            "bad-.example.com",
+            "example.c",
+        ] {
+            assert_ne!(
+                ObservableKind::detect(s),
+                Some(ObservableKind::Domain),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn detect_url() {
+        for s in [
+            "http://evil.example/payload",
+            "https://evil.example",
+            "hxxp://defanged.example/x", // defanged URLs common in OSINT reports
+            "ftp://files.example/drop.bin",
+        ] {
+            assert_eq!(ObservableKind::detect(s), Some(ObservableKind::Url), "{s}");
+        }
+    }
+
+    #[test]
+    fn detect_email() {
+        assert_eq!(
+            ObservableKind::detect("phisher+x@evil.example.com"),
+            Some(ObservableKind::Email)
+        );
+        assert_ne!(
+            ObservableKind::detect("not@an@email.com"),
+            Some(ObservableKind::Email)
+        );
+    }
+
+    #[test]
+    fn detect_hashes() {
+        let md5 = "d41d8cd98f00b204e9800998ecf8427e";
+        let sha1 = "da39a3ee5e6b4b0d3255bfef95601890afd80709";
+        let sha256 = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+        assert_eq!(ObservableKind::detect(md5), Some(ObservableKind::Md5));
+        assert_eq!(ObservableKind::detect(sha1), Some(ObservableKind::Sha1));
+        assert_eq!(ObservableKind::detect(sha256), Some(ObservableKind::Sha256));
+        // 33 hex chars is nothing.
+        assert_eq!(ObservableKind::detect(&format!("{md5}a")), None);
+        // all-digit strings of hash length are not hashes
+        assert_eq!(
+            ObservableKind::detect("12345678901234567890123456789012"),
+            None
+        );
+    }
+
+    #[test]
+    fn detect_cve() {
+        assert_eq!(
+            ObservableKind::detect("CVE-2017-9805"),
+            Some(ObservableKind::Cve)
+        );
+        assert_eq!(
+            ObservableKind::detect("cve-2021-44228"),
+            Some(ObservableKind::Cve)
+        );
+        for s in ["CVE-17-9805", "CVE-2017-1", "CVE-2017-98051234", "CVE20179805"] {
+            assert_ne!(ObservableKind::detect(s), Some(ObservableKind::Cve), "{s}");
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let d = Observable::new(ObservableKind::Domain, "  EVIL.Example.COM ");
+        assert_eq!(d.value(), "evil.example.com");
+        let c = Observable::new(ObservableKind::Cve, "cve-2017-9805");
+        assert_eq!(c.value(), "CVE-2017-9805");
+        let h = Observable::new(ObservableKind::Md5, "D41D8CD98F00B204E9800998ECF8427E");
+        assert_eq!(h.value(), "d41d8cd98f00b204e9800998ecf8427e");
+    }
+
+    #[test]
+    fn dedup_key_is_stable() {
+        let a = Observable::new(ObservableKind::Domain, "Evil.Example.COM");
+        let b = Observable::new(ObservableKind::Domain, "evil.example.com");
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn extract_from_prose() {
+        let text = "Apache Struts RCE (CVE-2017-9805) observed: c2 at 203.0.113.9, \
+                    domain c2.evil.example, payload d41d8cd98f00b204e9800998ecf8427e.";
+        let found = extract(text);
+        let kinds: Vec<ObservableKind> = found.iter().map(Observable::kind).collect();
+        assert!(kinds.contains(&ObservableKind::Cve));
+        assert!(kinds.contains(&ObservableKind::Ipv4));
+        assert!(kinds.contains(&ObservableKind::Domain));
+        assert!(kinds.contains(&ObservableKind::Md5));
+        assert_eq!(found.len(), 4);
+    }
+
+    #[test]
+    fn extract_urls_keep_punctuation_inside() {
+        let found = extract("payload hosted at http://evil.example/a.php.");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind(), ObservableKind::Url);
+        assert_eq!(found[0].value(), "http://evil.example/a.php");
+    }
+
+    #[test]
+    fn extract_from_empty_text() {
+        assert!(extract("").is_empty());
+        assert!(extract("no indicators in this sentence at all").is_empty());
+    }
+
+    #[test]
+    fn stix_and_misp_mappings_are_total() {
+        for kind in ObservableKind::ALL {
+            assert!(!kind.stix_object_type().is_empty());
+            assert!(!kind.misp_attribute_type().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let obs = Observable::parse("198.51.100.7").unwrap();
+        let json = serde_json::to_string(&obs).unwrap();
+        let back: Observable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, obs);
+    }
+}

@@ -1,0 +1,580 @@
+//! RFC 3339 timestamps and age bucketing.
+//!
+//! STIX 2.0 and MISP both exchange timestamps as RFC 3339 / ISO 8601
+//! strings in UTC (`2017-09-13T00:00:00.000Z`). [`Timestamp`] stores
+//! milliseconds since the Unix epoch and converts to and from that string
+//! form without external dependencies, using the standard civil-calendar
+//! algorithms.
+//!
+//! [`Age`] buckets a timestamp relative to "now" into the categories the
+//! paper's heuristic tables use (`last_24h`, `last_week`, `last_month`,
+//! `last_year`, `other`).
+
+use std::fmt;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Milliseconds in one second.
+const MILLIS_PER_SEC: i64 = 1_000;
+/// Milliseconds in one minute.
+const MILLIS_PER_MIN: i64 = 60 * MILLIS_PER_SEC;
+/// Milliseconds in one hour.
+const MILLIS_PER_HOUR: i64 = 60 * MILLIS_PER_MIN;
+/// Milliseconds in one day.
+pub const MILLIS_PER_DAY: i64 = 24 * MILLIS_PER_HOUR;
+
+/// A point in time, stored as milliseconds since the Unix epoch (UTC).
+///
+/// `Timestamp` is `Copy`, totally ordered, hashable and serializes as an
+/// RFC 3339 string, which makes it directly usable inside STIX and MISP
+/// JSON documents.
+///
+/// # Examples
+///
+/// ```
+/// use cais_common::Timestamp;
+///
+/// let t = Timestamp::parse_rfc3339("2017-09-13T12:30:45.123Z")?;
+/// assert_eq!(t.to_rfc3339(), "2017-09-13T12:30:45.123Z");
+/// assert!(t < Timestamp::parse_rfc3339("2018-01-01T00:00:00Z")?);
+/// # Ok::<(), cais_common::TimestampParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The Unix epoch, `1970-01-01T00:00:00Z`.
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from milliseconds since the Unix epoch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_common::Timestamp;
+    /// let t = Timestamp::from_unix_millis(0);
+    /// assert_eq!(t, Timestamp::EPOCH);
+    /// ```
+    pub const fn from_unix_millis(millis: i64) -> Self {
+        Timestamp(millis)
+    }
+
+    /// Creates a timestamp from whole seconds since the Unix epoch.
+    pub const fn from_unix_secs(secs: i64) -> Self {
+        Timestamp(secs * MILLIS_PER_SEC)
+    }
+
+    /// Creates a timestamp from a civil date and time-of-day in UTC.
+    ///
+    /// Months are 1-based (January = 1) and days are 1-based.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_common::Timestamp;
+    /// let t = Timestamp::from_ymd_hms(2017, 9, 13, 0, 0, 0);
+    /// assert_eq!(t.to_rfc3339(), "2017-09-13T00:00:00Z");
+    /// ```
+    pub fn from_ymd_hms(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Self {
+        let days = days_from_civil(year, month, day);
+        let millis = days * MILLIS_PER_DAY
+            + i64::from(hour) * MILLIS_PER_HOUR
+            + i64::from(min) * MILLIS_PER_MIN
+            + i64::from(sec) * MILLIS_PER_SEC;
+        Timestamp(millis)
+    }
+
+    /// Returns the current wall-clock time.
+    pub fn now() -> Self {
+        let since_epoch = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        Timestamp(since_epoch.as_millis() as i64)
+    }
+
+    /// Returns milliseconds since the Unix epoch.
+    pub const fn unix_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Returns whole seconds since the Unix epoch, truncating toward
+    /// negative infinity.
+    pub const fn unix_secs(self) -> i64 {
+        self.0.div_euclid(MILLIS_PER_SEC)
+    }
+
+    /// Returns a timestamp advanced by the given number of milliseconds
+    /// (which may be negative).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_common::Timestamp;
+    /// let t = Timestamp::EPOCH.add_millis(1_000);
+    /// assert_eq!(t.unix_secs(), 1);
+    /// ```
+    pub const fn add_millis(self, millis: i64) -> Self {
+        Timestamp(self.0 + millis)
+    }
+
+    /// Returns a timestamp advanced by the given number of whole days.
+    pub const fn add_days(self, days: i64) -> Self {
+        Timestamp(self.0 + days * MILLIS_PER_DAY)
+    }
+
+    /// Returns the signed difference `self - other` in milliseconds.
+    pub const fn millis_since(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+
+    /// Parses an RFC 3339 timestamp in UTC.
+    ///
+    /// Accepts `YYYY-MM-DDTHH:MM:SS[.fff...]Z` (any number of fractional
+    /// digits; precision beyond milliseconds is truncated), a `+00:00` /
+    /// `-00:00` offset suffix, a lowercase `t`/`z`, and a bare date
+    /// `YYYY-MM-DD` (interpreted as midnight UTC). Non-zero offsets are
+    /// rejected: threat-intelligence interchange is UTC-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimestampParseError`] when the input is not a valid UTC
+    /// RFC 3339 timestamp or the date does not exist in the proleptic
+    /// Gregorian calendar.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_common::Timestamp;
+    /// let a = Timestamp::parse_rfc3339("2017-09-13T00:00:00Z")?;
+    /// let b = Timestamp::parse_rfc3339("2017-09-13")?;
+    /// assert_eq!(a, b);
+    /// # Ok::<(), cais_common::TimestampParseError>(())
+    /// ```
+    pub fn parse_rfc3339(input: &str) -> Result<Self, TimestampParseError> {
+        let bytes = input.as_bytes();
+        let err = || TimestampParseError::new(input);
+
+        // Date part: YYYY-MM-DD
+        if bytes.len() < 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+            return Err(err());
+        }
+        let year: i32 = input[0..4].parse().map_err(|_| err())?;
+        let month: u32 = digits2(&bytes[5..7]).ok_or_else(err)?;
+        let day: u32 = digits2(&bytes[8..10]).ok_or_else(err)?;
+        if !valid_civil(year, month, day) {
+            return Err(err());
+        }
+
+        if bytes.len() == 10 {
+            return Ok(Timestamp::from_ymd_hms(year, month, day, 0, 0, 0));
+        }
+
+        // Time part: THH:MM:SS
+        if bytes.len() < 20 || (bytes[10] != b'T' && bytes[10] != b't' && bytes[10] != b' ') {
+            return Err(err());
+        }
+        if bytes[13] != b':' || bytes[16] != b':' {
+            return Err(err());
+        }
+        let hour: u32 = digits2(&bytes[11..13]).ok_or_else(err)?;
+        let min: u32 = digits2(&bytes[14..16]).ok_or_else(err)?;
+        let sec: u32 = digits2(&bytes[17..19]).ok_or_else(err)?;
+        if hour > 23 || min > 59 || sec > 60 {
+            return Err(err());
+        }
+        // Leap seconds are clamped to :59, matching common practice.
+        let sec = sec.min(59);
+
+        let mut pos = 19;
+        let mut frac_millis: i64 = 0;
+        if bytes.get(pos) == Some(&b'.') {
+            pos += 1;
+            let start = pos;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            if pos == start {
+                return Err(err());
+            }
+            // Use at most the first 3 digits (millisecond precision).
+            let digits = &input[start..pos.min(start + 3)];
+            let mut value: i64 = digits.parse().map_err(|_| err())?;
+            for _ in digits.len()..3 {
+                value *= 10;
+            }
+            frac_millis = value;
+        }
+
+        // Offset: Z | z | +00:00 | -00:00
+        let rest = &input[pos..];
+        match rest {
+            "Z" | "z" | "+00:00" | "-00:00" | "+0000" | "-0000" => {}
+            _ => return Err(err()),
+        }
+
+        Ok(Timestamp::from_ymd_hms(year, month, day, hour, min, sec).add_millis(frac_millis))
+    }
+
+    /// Formats the timestamp as RFC 3339 in UTC.
+    ///
+    /// The fractional part is included (exactly three digits) only when
+    /// the timestamp has sub-second precision, matching MISP's and STIX's
+    /// conventional output.
+    pub fn to_rfc3339(self) -> String {
+        let (year, month, day, hour, min, sec, millis) = self.to_civil();
+        if millis == 0 {
+            format!("{year:04}-{month:02}-{day:02}T{hour:02}:{min:02}:{sec:02}Z")
+        } else {
+            format!("{year:04}-{month:02}-{day:02}T{hour:02}:{min:02}:{sec:02}.{millis:03}Z")
+        }
+    }
+
+    /// Decomposes the timestamp into civil UTC fields
+    /// `(year, month, day, hour, minute, second, millisecond)`.
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(MILLIS_PER_DAY);
+        let mut rem = self.0.rem_euclid(MILLIS_PER_DAY);
+        let (year, month, day) = civil_from_days(days);
+        let hour = (rem / MILLIS_PER_HOUR) as u32;
+        rem %= MILLIS_PER_HOUR;
+        let min = (rem / MILLIS_PER_MIN) as u32;
+        rem %= MILLIS_PER_MIN;
+        let sec = (rem / MILLIS_PER_SEC) as u32;
+        let millis = (rem % MILLIS_PER_SEC) as u32;
+        (year, month, day, hour, min, sec, millis)
+    }
+
+    /// Buckets this timestamp's age relative to `now`.
+    ///
+    /// Future timestamps (`self > now`) are bucketed as
+    /// [`Age::Last24Hours`]: an indicator stamped slightly ahead of the
+    /// local clock is still "fresh".
+    pub fn age_at(self, now: Timestamp) -> Age {
+        Age::from_delta_millis(now.millis_since(self))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_rfc3339())
+    }
+}
+
+impl Serialize for Timestamp {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_rfc3339())
+    }
+}
+
+impl<'de> Deserialize<'de> for Timestamp {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Timestamp::parse_rfc3339(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Error returned when an RFC 3339 timestamp cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimestampParseError {
+    input: String,
+}
+
+impl TimestampParseError {
+    fn new(input: &str) -> Self {
+        TimestampParseError {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for TimestampParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid RFC 3339 timestamp: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for TimestampParseError {}
+
+/// Age bucket of an event relative to the evaluation time.
+///
+/// These are exactly the buckets the paper's Table IV uses for the
+/// `modified`/`created` and `valid_from` features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Age {
+    /// Within the last 24 hours (or in the future).
+    Last24Hours,
+    /// Older than 24 hours but within the last 7 days.
+    LastWeek,
+    /// Older than 7 days but within the last 30 days.
+    LastMonth,
+    /// Older than 30 days but within the last 365 days.
+    LastYear,
+    /// Older than 365 days.
+    Older,
+}
+
+impl Age {
+    /// Buckets a `now - then` difference in milliseconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_common::Age;
+    /// assert_eq!(Age::from_delta_millis(0), Age::Last24Hours);
+    /// assert_eq!(Age::from_delta_millis(8 * 24 * 3_600_000), Age::LastMonth);
+    /// ```
+    pub fn from_delta_millis(delta: i64) -> Age {
+        if delta <= MILLIS_PER_DAY {
+            Age::Last24Hours
+        } else if delta <= 7 * MILLIS_PER_DAY {
+            Age::LastWeek
+        } else if delta <= 30 * MILLIS_PER_DAY {
+            Age::LastMonth
+        } else if delta <= 365 * MILLIS_PER_DAY {
+            Age::LastYear
+        } else {
+            Age::Older
+        }
+    }
+}
+
+impl fmt::Display for Age {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Age::Last24Hours => "last_24h",
+            Age::LastWeek => "last_week",
+            Age::LastMonth => "last_month",
+            Age::LastYear => "last_year",
+            Age::Older => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+fn digits2(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() == 2 && bytes[0].is_ascii_digit() && bytes[1].is_ascii_digit() {
+        Some(u32::from(bytes[0] - b'0') * 10 + u32::from(bytes[1] - b'0'))
+    } else {
+        None
+    }
+}
+
+fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+fn valid_civil(year: i32, month: u32, day: u32) -> bool {
+    (1..=12).contains(&month) && day >= 1 && day <= days_in_month(year, month)
+}
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's
+/// `days_from_civil` algorithm, proleptic Gregorian calendar).
+fn days_from_civil(year: i32, month: u32, day: u32) -> i64 {
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for a number of days since the Unix epoch (Howard Hinnant's
+/// `civil_from_days` algorithm).
+fn civil_from_days(days: i64) -> (i32, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        assert_eq!(Timestamp::EPOCH.to_rfc3339(), "1970-01-01T00:00:00Z");
+        assert_eq!(
+            Timestamp::parse_rfc3339("1970-01-01T00:00:00Z").unwrap(),
+            Timestamp::EPOCH
+        );
+    }
+
+    #[test]
+    fn parse_paper_use_case_date() {
+        // CVE-2017-9805 created / last modified date from Section IV-B.
+        let t = Timestamp::parse_rfc3339("2017-09-13T00:00:00Z").unwrap();
+        let (y, m, d, ..) = t.to_civil();
+        assert_eq!((y, m, d), (2017, 9, 13));
+    }
+
+    #[test]
+    fn parse_bare_date_is_midnight() {
+        let a = Timestamp::parse_rfc3339("2017-09-13").unwrap();
+        let b = Timestamp::parse_rfc3339("2017-09-13T00:00:00Z").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_fractional_seconds() {
+        let t = Timestamp::parse_rfc3339("2020-02-29T23:59:59.123Z").unwrap();
+        assert_eq!(t.to_rfc3339(), "2020-02-29T23:59:59.123Z");
+        // More precision than milliseconds is truncated.
+        let u = Timestamp::parse_rfc3339("2020-02-29T23:59:59.123456Z").unwrap();
+        assert_eq!(t, u);
+        // Fewer digits are scaled up.
+        let v = Timestamp::parse_rfc3339("2020-02-29T23:59:59.1Z").unwrap();
+        assert_eq!(v.to_rfc3339(), "2020-02-29T23:59:59.100Z");
+    }
+
+    #[test]
+    fn parse_zero_offsets() {
+        for s in [
+            "2021-01-02T03:04:05Z",
+            "2021-01-02t03:04:05z",
+            "2021-01-02T03:04:05+00:00",
+            "2021-01-02T03:04:05-00:00",
+        ] {
+            let t = Timestamp::parse_rfc3339(s).unwrap();
+            assert_eq!(t.to_rfc3339(), "2021-01-02T03:04:05Z", "input {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_nonzero_offset() {
+        assert!(Timestamp::parse_rfc3339("2021-01-02T03:04:05+02:00").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "",
+            "not a date",
+            "2021-13-01T00:00:00Z",
+            "2021-00-10T00:00:00Z",
+            "2021-02-30T00:00:00Z",
+            "2021-01-02T24:00:00Z",
+            "2021-01-02T00:60:00Z",
+            "2021-01-02T00:00:00",
+            "2021-01-02T00:00:00.Z",
+            "2021-1-2T00:00:00Z",
+        ] {
+            assert!(Timestamp::parse_rfc3339(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(Timestamp::parse_rfc3339("2020-02-29T00:00:00Z").is_ok());
+        assert!(Timestamp::parse_rfc3339("2019-02-29T00:00:00Z").is_err());
+        assert!(Timestamp::parse_rfc3339("2000-02-29T00:00:00Z").is_ok());
+        assert!(Timestamp::parse_rfc3339("1900-02-29T00:00:00Z").is_err());
+    }
+
+    #[test]
+    fn leap_second_clamped() {
+        let t = Timestamp::parse_rfc3339("2016-12-31T23:59:60Z").unwrap();
+        assert_eq!(t.to_rfc3339(), "2016-12-31T23:59:59Z");
+    }
+
+    #[test]
+    fn civil_roundtrip_across_centuries() {
+        for &(y, m, d) in &[
+            (1969, 12, 31),
+            (1970, 1, 1),
+            (1999, 12, 31),
+            (2000, 1, 1),
+            (2000, 2, 29),
+            (2038, 1, 19),
+            (2100, 3, 1),
+            (1, 1, 1),
+        ] {
+            let t = Timestamp::from_ymd_hms(y, m, d, 12, 34, 56);
+            let (yy, mm, dd, h, mi, s, _) = t.to_civil();
+            assert_eq!((yy, mm, dd, h, mi, s), (y, m, d, 12, 34, 56));
+        }
+    }
+
+    #[test]
+    fn negative_timestamps_format() {
+        let t = Timestamp::from_ymd_hms(1969, 12, 31, 23, 59, 59);
+        assert!(t.unix_millis() < 0);
+        assert_eq!(t.to_rfc3339(), "1969-12-31T23:59:59Z");
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Timestamp::from_ymd_hms(2017, 9, 13, 0, 0, 0);
+        let b = a.add_days(1);
+        assert!(a < b);
+        assert_eq!(b.millis_since(a), MILLIS_PER_DAY);
+    }
+
+    #[test]
+    fn age_buckets() {
+        let now = Timestamp::from_ymd_hms(2018, 9, 13, 0, 0, 0);
+        let cases = [
+            (now, Age::Last24Hours),
+            (now.add_days(1), Age::Last24Hours), // future
+            (now.add_days(-1), Age::Last24Hours),
+            (now.add_days(-2), Age::LastWeek),
+            (now.add_days(-7), Age::LastWeek),
+            (now.add_days(-8), Age::LastMonth),
+            (now.add_days(-30), Age::LastMonth),
+            (now.add_days(-31), Age::LastYear),
+            (now.add_days(-365), Age::LastYear),
+            (now.add_days(-366), Age::Older),
+        ];
+        for (ts, expected) in cases {
+            assert_eq!(ts.age_at(now), expected, "ts {ts}");
+        }
+    }
+
+    #[test]
+    fn age_display_matches_paper_vocabulary() {
+        assert_eq!(Age::Last24Hours.to_string(), "last_24h");
+        assert_eq!(Age::LastWeek.to_string(), "last_week");
+        assert_eq!(Age::LastMonth.to_string(), "last_month");
+        assert_eq!(Age::LastYear.to_string(), "last_year");
+        assert_eq!(Age::Older.to_string(), "other");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Timestamp::parse_rfc3339("2017-09-13T10:20:30.400Z").unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "\"2017-09-13T10:20:30.400Z\"");
+        let back: Timestamp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn now_is_after_2020() {
+        assert!(Timestamp::now() > Timestamp::from_ymd_hms(2020, 1, 1, 0, 0, 0));
+    }
+}

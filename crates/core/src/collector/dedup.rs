@@ -1,0 +1,139 @@
+//! The deduplicator of Section III-A1: "compares the data received with
+//! the data already stored …, looking for security events equal to the
+//! received ones, and erases the duplicated ones".
+
+use std::collections::HashSet;
+
+use cais_feeds::FeedRecord;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing a deduplication run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DedupStats {
+    /// Records examined.
+    pub seen: usize,
+    /// Records passed through (first occurrences).
+    pub kept: usize,
+    /// Records dropped as duplicates.
+    pub dropped: usize,
+}
+
+impl DedupStats {
+    /// The fraction of input that was duplicated, in `[0, 1]`.
+    pub fn duplicate_ratio(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.seen as f64
+        }
+    }
+}
+
+/// A stateful, streaming deduplicator keyed on
+/// [`FeedRecord::dedup_key`] (threat category + normalized observable),
+/// so the same value reported by two feeds — or twice by one feed —
+/// passes only once.
+#[derive(Debug, Default)]
+pub struct Deduplicator {
+    seen: HashSet<String>,
+    stats: DedupStats,
+}
+
+impl Deduplicator {
+    /// Creates an empty deduplicator.
+    pub fn new() -> Self {
+        Deduplicator::default()
+    }
+
+    /// Offers one record; returns `true` when it is new (kept).
+    pub fn offer(&mut self, record: &FeedRecord) -> bool {
+        self.stats.seen += 1;
+        if self.seen.insert(record.dedup_key()) {
+            self.stats.kept += 1;
+            true
+        } else {
+            self.stats.dropped += 1;
+            false
+        }
+    }
+
+    /// Filters a batch, keeping first occurrences in order.
+    pub fn filter_batch(&mut self, records: Vec<FeedRecord>) -> Vec<FeedRecord> {
+        records
+            .into_iter()
+            .filter(|record| self.offer(record))
+            .collect()
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> DedupStats {
+        self.stats
+    }
+
+    /// Number of distinct keys on record.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Observable, ObservableKind, Timestamp};
+    use cais_feeds::ThreatCategory;
+
+    fn record(value: &str, source: &str, category: ThreatCategory) -> FeedRecord {
+        FeedRecord::new(
+            Observable::new(ObservableKind::Domain, value),
+            category,
+            source,
+            Timestamp::EPOCH,
+        )
+    }
+
+    #[test]
+    fn cross_feed_duplicates_dropped() {
+        let mut dedup = Deduplicator::new();
+        assert!(dedup.offer(&record("evil.example", "feed-a", ThreatCategory::MalwareDomain)));
+        assert!(!dedup.offer(&record("evil.example", "feed-b", ThreatCategory::MalwareDomain)));
+        assert_eq!(dedup.stats().dropped, 1);
+        assert_eq!(dedup.distinct(), 1);
+    }
+
+    #[test]
+    fn same_value_different_category_is_distinct() {
+        let mut dedup = Deduplicator::new();
+        assert!(dedup.offer(&record("evil.example", "f", ThreatCategory::MalwareDomain)));
+        assert!(dedup.offer(&record("evil.example", "f", ThreatCategory::Phishing)));
+    }
+
+    #[test]
+    fn batch_preserves_order_of_first_occurrences() {
+        let mut dedup = Deduplicator::new();
+        let batch = vec![
+            record("a.example", "f", ThreatCategory::Spam),
+            record("b.example", "f", ThreatCategory::Spam),
+            record("a.example", "g", ThreatCategory::Spam),
+            record("c.example", "f", ThreatCategory::Spam),
+        ];
+        let kept = dedup.filter_batch(batch);
+        let values: Vec<&str> = kept.iter().map(|r| r.observable.value()).collect();
+        assert_eq!(values, vec!["a.example", "b.example", "c.example"]);
+        assert!((dedup.stats().duplicate_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_persists_across_batches() {
+        let mut dedup = Deduplicator::new();
+        let first = dedup.filter_batch(vec![record("a.example", "f", ThreatCategory::Spam)]);
+        assert_eq!(first.len(), 1);
+        // Re-fetch of the same feed content later: everything dropped.
+        let second = dedup.filter_batch(vec![record("a.example", "f", ThreatCategory::Spam)]);
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn empty_input_ratio_is_zero() {
+        assert_eq!(Deduplicator::new().stats().duplicate_ratio(), 0.0);
+    }
+}

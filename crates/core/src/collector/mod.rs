@@ -1,0 +1,9 @@
+//! The Input Module: OSINT and infrastructure collectors.
+
+mod dedup;
+mod infra;
+mod osint;
+
+pub use dedup::{DedupStats, Deduplicator};
+pub use infra::InfrastructureCollector;
+pub use osint::{aggregate_into_ciocs, OsintCollector};

@@ -1,0 +1,145 @@
+//! The infrastructure context the heuristic engine evaluates against.
+//!
+//! "This assessment will complement the usage of static information
+//! about the monitored infrastructure with dynamic and real-time threat
+//! intelligence data reported from inside the own monitored
+//! infrastructure" (Section II-A). The context bundles exactly those
+//! two halves: the static inventory and CVE knowledge, and the dynamic
+//! alarms and sightings.
+
+use std::sync::Arc;
+
+use cais_common::{Observable, Timestamp};
+use cais_cvss::CveDatabase;
+use cais_infra::{Alarm, Inventory, SightingStore};
+
+/// Everything the Heuristic Component consults while scoring.
+#[derive(Clone)]
+pub struct EvaluationContext {
+    /// The system inventory (static).
+    pub inventory: Arc<Inventory>,
+    /// The local CVE knowledge base (static).
+    pub cve_db: Arc<CveDatabase>,
+    /// Internally-sighted observables (dynamic).
+    pub sightings: Arc<SightingStore>,
+    /// Current alarms (dynamic).
+    pub alarms: Arc<parking_lot::RwLock<Vec<Alarm>>>,
+    /// The evaluation instant ("now" for Timeliness buckets).
+    pub now: Timestamp,
+}
+
+impl EvaluationContext {
+    /// Creates a context around shared infrastructure state.
+    pub fn new(
+        inventory: Arc<Inventory>,
+        cve_db: Arc<CveDatabase>,
+        sightings: Arc<SightingStore>,
+        now: Timestamp,
+    ) -> Self {
+        EvaluationContext {
+            inventory,
+            cve_db,
+            sightings,
+            alarms: Arc::new(parking_lot::RwLock::new(Vec::new())),
+            now,
+        }
+    }
+
+    /// A context for the paper's use case: Table III inventory, the
+    /// synthetic CVE database (which always contains CVE-2017-9805) and
+    /// empty dynamic state, evaluated at 2018-06-01 — a date inside the
+    /// use case's one-year validity window, reproducing the printed
+    /// feature values.
+    pub fn paper_use_case() -> Self {
+        EvaluationContext::new(
+            Arc::new(Inventory::paper_table3()),
+            Arc::new(CveDatabase::synthetic(0, 200)),
+            Arc::new(SightingStore::new()),
+            Timestamp::from_ymd_hms(2018, 6, 1, 0, 0, 0),
+        )
+    }
+
+    /// Replaces the evaluation instant, builder-style.
+    pub fn at(mut self, now: Timestamp) -> Self {
+        self.now = now;
+        self
+    }
+
+    /// Records an alarm into the dynamic state.
+    pub fn push_alarm(&self, alarm: Alarm) {
+        self.alarms.write().push(alarm);
+    }
+
+    /// Whether any current alarm involves the given application.
+    pub fn alarm_involves_application(&self, applications: &[String]) -> bool {
+        let alarms = self.alarms.read();
+        alarms.iter().any(|alarm| {
+            alarm
+                .application
+                .as_ref()
+                .is_some_and(|app| applications.iter().any(|a| a.eq_ignore_ascii_case(app)))
+        })
+    }
+
+    /// Whether the infrastructure has ever sighted the observable.
+    pub fn seen_internally(&self, observable: &Observable) -> bool {
+        self.sightings.has_seen(observable)
+    }
+}
+
+impl std::fmt::Debug for EvaluationContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvaluationContext")
+            .field("nodes", &self.inventory.len())
+            .field("cves", &self.cve_db.len())
+            .field("sightings", &self.sightings.distinct_observables())
+            .field("alarms", &self.alarms.read().len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::ObservableKind;
+    use cais_infra::{AlarmSeverity, NodeId};
+
+    #[test]
+    fn paper_context_shape() {
+        let ctx = EvaluationContext::paper_use_case();
+        assert_eq!(ctx.inventory.len(), 4);
+        assert!(ctx.cve_db.len() >= 200);
+        assert_eq!(ctx.now, Timestamp::from_ymd_hms(2018, 6, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn alarm_application_matching() {
+        let ctx = EvaluationContext::paper_use_case();
+        assert!(!ctx.alarm_involves_application(&["apache struts".to_owned()]));
+        ctx.push_alarm(
+            Alarm::new(
+                1,
+                NodeId(4),
+                AlarmSeverity::High,
+                "203.0.113.9",
+                "192.168.1.14",
+                "struts probe",
+                "suricata",
+                ctx.now,
+            )
+            .with_application("Apache Struts"),
+        );
+        assert!(ctx.alarm_involves_application(&["apache struts".to_owned()]));
+        assert!(!ctx.alarm_involves_application(&["gitlab".to_owned()]));
+    }
+
+    #[test]
+    fn sighting_lookup() {
+        let ctx = EvaluationContext::paper_use_case();
+        let c2 = Observable::new(ObservableKind::Ipv4, "203.0.113.9");
+        assert!(!ctx.seen_internally(&c2));
+        ctx.sightings.record(&c2, ctx.now, None, "suricata");
+        assert!(ctx.seen_internally(&c2));
+    }
+}

@@ -1,0 +1,355 @@
+//! Detection replay: stored indicator patterns evaluated against live
+//! sensor observations.
+//!
+//! STIX indicators "contain patterns used to detect suspicious or
+//! malicious cyber activity" (Section III-B2a). This module turns the
+//! platform's stored intelligence back into detection: sensor events
+//! become STIX observations, every armed indicator's pattern is
+//! evaluated over a sliding window of them, and matches are recorded as
+//! sightings (feeding the Accuracy/Timeliness criteria of future
+//! scoring) and surfaced as alarms.
+
+use cais_common::Timestamp;
+use cais_infra::sensors::SensorEvent;
+use cais_infra::{Alarm, AlarmSeverity, SightingStore};
+use cais_stix::pattern::{Observation, Pattern};
+use cais_stix::prelude::*;
+use cais_stix::sdo::CyberObservable;
+use serde::{Deserialize, Serialize};
+
+/// One armed detection rule: a compiled pattern plus provenance.
+#[derive(Debug, Clone)]
+struct ArmedIndicator {
+    id: StixId,
+    name: String,
+    pattern: Pattern,
+    valid_from: Timestamp,
+    valid_until: Option<Timestamp>,
+}
+
+/// A pattern match against the observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// The indicator that fired.
+    pub indicator_id: StixId,
+    /// Its display name.
+    pub indicator_name: String,
+    /// When the detection was made.
+    pub detected_at: Timestamp,
+    /// How many observations in the window participated.
+    pub matched_observations: usize,
+}
+
+/// The replay engine: armed indicators over a bounded observation
+/// window.
+pub struct DetectionEngine {
+    indicators: Vec<ArmedIndicator>,
+    window: Vec<Observation>,
+    window_cap: usize,
+    rejected_patterns: usize,
+}
+
+impl DetectionEngine {
+    /// Creates an engine keeping at most `window_cap` recent
+    /// observations.
+    pub fn new(window_cap: usize) -> Self {
+        DetectionEngine {
+            indicators: Vec::new(),
+            window: Vec::new(),
+            window_cap: window_cap.max(1),
+            rejected_patterns: 0,
+        }
+    }
+
+    /// Arms a STIX indicator. Indicators whose patterns do not compile
+    /// are counted and skipped — a malformed pattern must not take down
+    /// detection.
+    pub fn arm(&mut self, indicator: &Indicator) {
+        match indicator.compiled_pattern() {
+            Ok(pattern) => self.indicators.push(ArmedIndicator {
+                id: indicator.id().clone(),
+                name: indicator
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| indicator.pattern.clone()),
+                pattern,
+                valid_from: indicator.valid_from,
+                valid_until: indicator.valid_until,
+            }),
+            Err(_) => self.rejected_patterns += 1,
+        }
+    }
+
+    /// Arms every indicator in a bundle, returning how many armed.
+    pub fn arm_bundle(&mut self, bundle: &Bundle) -> usize {
+        let before = self.indicators.len();
+        for object in bundle.objects() {
+            if let StixObject::Indicator(indicator) = object {
+                self.arm(indicator);
+            }
+        }
+        self.indicators.len() - before
+    }
+
+    /// Number of armed indicators.
+    pub fn armed(&self) -> usize {
+        self.indicators.len()
+    }
+
+    /// Patterns rejected at arm time.
+    pub fn rejected_patterns(&self) -> usize {
+        self.rejected_patterns
+    }
+
+    /// Converts a sensor event into a STIX observation (IPs and carried
+    /// observables become cyber-observable objects).
+    pub fn observation_from_event(event: &SensorEvent) -> Observation {
+        let mut observation = Observation::at(event.at);
+        if let Some(src) = &event.source_ip {
+            observation =
+                observation.with_object(CyberObservable::new("ipv4-addr", src.clone()));
+        }
+        if let Some(dst) = &event.destination_ip {
+            observation =
+                observation.with_object(CyberObservable::new("ipv4-addr", dst.clone()));
+        }
+        for observable in &event.observables {
+            observation = observation.with_object(CyberObservable::from(observable));
+        }
+        observation
+    }
+
+    /// Ingests observations and evaluates every valid armed indicator
+    /// over the updated window, returning the detections.
+    ///
+    /// Matching indicators are recorded into `sightings` so future
+    /// heuristic evaluations see the infrastructure-confirmed evidence.
+    pub fn ingest(
+        &mut self,
+        observations: Vec<Observation>,
+        now: Timestamp,
+        sightings: &SightingStore,
+    ) -> Vec<Detection> {
+        self.window.extend(observations);
+        if self.window.len() > self.window_cap {
+            let excess = self.window.len() - self.window_cap;
+            self.window.drain(..excess);
+        }
+        let mut detections = Vec::new();
+        for armed in &self.indicators {
+            if now < armed.valid_from || armed.valid_until.is_some_and(|until| now >= until) {
+                continue;
+            }
+            let outcome = armed.pattern.evaluate(&self.window);
+            if !outcome.is_match() {
+                continue;
+            }
+            for &index in outcome.matched_indices() {
+                for object in self.window[index].objects() {
+                    if let Some(value) = object.property("value") {
+                        if let Some(observable) = cais_common::Observable::parse(value) {
+                            sightings.record(&observable, now, None, "detection-engine");
+                        }
+                    }
+                }
+            }
+            detections.push(Detection {
+                indicator_id: armed.id.clone(),
+                indicator_name: armed.name.clone(),
+                detected_at: now,
+                matched_observations: outcome.matched_indices().len(),
+            });
+        }
+        detections
+    }
+
+    /// Ingests raw sensor events (converting them to observations).
+    pub fn ingest_events(
+        &mut self,
+        events: &[SensorEvent],
+        now: Timestamp,
+        sightings: &SightingStore,
+    ) -> Vec<Detection> {
+        let observations = events
+            .iter()
+            .map(DetectionEngine::observation_from_event)
+            .collect();
+        self.ingest(observations, now, sightings)
+    }
+}
+
+impl std::fmt::Debug for DetectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionEngine")
+            .field("armed", &self.indicators.len())
+            .field("window", &self.window.len())
+            .field("rejected_patterns", &self.rejected_patterns)
+            .finish()
+    }
+}
+
+impl Detection {
+    /// Renders the detection as an alarm for the dashboard.
+    pub fn to_alarm(&self, id: u64, node: cais_infra::NodeId) -> Alarm {
+        Alarm::new(
+            id,
+            node,
+            AlarmSeverity::High,
+            "-",
+            "-",
+            format!("indicator fired: {}", self.indicator_name),
+            "detection-engine",
+            self.detected_at,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c2_indicator(valid_from: Timestamp) -> Indicator {
+        Indicator::builder("[ipv4-addr:value = '203.0.113.9']", valid_from)
+            .name("struts-c2")
+            .label("malicious-activity")
+            .build()
+    }
+
+    fn event_with_src(src: &str, at: Timestamp) -> SensorEvent {
+        SensorEvent {
+            at,
+            sensor: "suricata".into(),
+            node: None,
+            severity: AlarmSeverity::Medium,
+            message: "flow".into(),
+            source_ip: Some(src.into()),
+            destination_ip: Some("192.168.1.14".into()),
+            application: None,
+            observables: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn armed_indicator_fires_on_matching_traffic() {
+        let mut engine = DetectionEngine::new(100);
+        engine.arm(&c2_indicator(Timestamp::EPOCH));
+        let sightings = SightingStore::new();
+        let now = Timestamp::from_unix_secs(100);
+
+        let miss = engine.ingest_events(
+            &[event_with_src("198.51.100.1", now)],
+            now,
+            &sightings,
+        );
+        assert!(miss.is_empty());
+
+        let hit = engine.ingest_events(&[event_with_src("203.0.113.9", now)], now, &sightings);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].indicator_name, "struts-c2");
+        // The match landed in the sighting store.
+        assert!(sightings.has_seen(&cais_common::Observable::parse("203.0.113.9").unwrap()));
+    }
+
+    #[test]
+    fn validity_window_is_enforced() {
+        let mut engine = DetectionEngine::new(100);
+        let mut builder = Indicator::builder(
+            "[ipv4-addr:value = '203.0.113.9']",
+            Timestamp::from_unix_secs(1_000),
+        );
+        builder
+            .name("late")
+            .label("malicious-activity")
+            .valid_until(Timestamp::from_unix_secs(2_000));
+        engine.arm(&builder.build());
+        let sightings = SightingStore::new();
+
+        let too_early = engine.ingest_events(
+            &[event_with_src("203.0.113.9", Timestamp::from_unix_secs(500))],
+            Timestamp::from_unix_secs(500),
+            &sightings,
+        );
+        assert!(too_early.is_empty());
+
+        let in_window = engine.ingest_events(
+            &[event_with_src("203.0.113.9", Timestamp::from_unix_secs(1_500))],
+            Timestamp::from_unix_secs(1_500),
+            &sightings,
+        );
+        assert_eq!(in_window.len(), 1);
+
+        let expired = engine.ingest_events(
+            &[event_with_src("203.0.113.9", Timestamp::from_unix_secs(2_500))],
+            Timestamp::from_unix_secs(2_500),
+            &sightings,
+        );
+        assert!(expired.is_empty());
+    }
+
+    #[test]
+    fn malformed_patterns_are_rejected_not_fatal() {
+        let mut engine = DetectionEngine::new(10);
+        let broken = Indicator::builder("[[[", Timestamp::EPOCH).build();
+        engine.arm(&broken);
+        assert_eq!(engine.armed(), 0);
+        assert_eq!(engine.rejected_patterns(), 1);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut engine = DetectionEngine::new(5);
+        engine.arm(&c2_indicator(Timestamp::EPOCH));
+        let sightings = SightingStore::new();
+        let now = Timestamp::from_unix_secs(10);
+        // The hit scrolls out of a 5-observation window after 5 misses.
+        engine.ingest_events(&[event_with_src("203.0.113.9", now)], now, &sightings);
+        let misses: Vec<SensorEvent> = (0..5)
+            .map(|i| event_with_src("198.51.100.1", now.add_millis(i)))
+            .collect();
+        let detections = engine.ingest_events(&misses, now, &sightings);
+        assert!(detections.is_empty());
+    }
+
+    #[test]
+    fn arm_bundle_picks_indicators_only() {
+        let mut engine = DetectionEngine::new(10);
+        let bundle = Bundle::new(vec![
+            c2_indicator(Timestamp::EPOCH).into(),
+            Malware::builder("emotet").label("trojan").build().into(),
+        ]);
+        assert_eq!(engine.arm_bundle(&bundle), 1);
+    }
+
+    #[test]
+    fn multi_observation_pattern_with_followedby() {
+        let mut engine = DetectionEngine::new(100);
+        let mut builder = Indicator::builder(
+            "[ipv4-addr:value = '203.0.113.9'] FOLLOWEDBY [ipv4-addr:value = '198.51.100.7']",
+            Timestamp::EPOCH,
+        );
+        builder.name("two-stage").label("malicious-activity");
+        engine.arm(&builder.build());
+        let sightings = SightingStore::new();
+        let t0 = Timestamp::from_unix_secs(10);
+        assert!(engine
+            .ingest_events(&[event_with_src("203.0.113.9", t0)], t0, &sightings)
+            .is_empty());
+        let t1 = Timestamp::from_unix_secs(20);
+        let hits = engine.ingest_events(&[event_with_src("198.51.100.7", t1)], t1, &sightings);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].matched_observations, 2);
+    }
+
+    #[test]
+    fn detection_converts_to_alarm() {
+        let detection = Detection {
+            indicator_id: StixId::generate("indicator"),
+            indicator_name: "struts-c2".into(),
+            detected_at: Timestamp::EPOCH,
+            matched_observations: 1,
+        };
+        let alarm = detection.to_alarm(7, cais_infra::NodeId(4));
+        assert_eq!(alarm.severity, AlarmSeverity::High);
+        assert!(alarm.description.contains("struts-c2"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors of the platform core.
+
+use std::fmt;
+
+/// Errors produced by the platform core.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A weight scheme does not fit the evaluated feature vector.
+    WeightMismatch {
+        /// Number of features evaluated.
+        features: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// Static weights must be non-negative and sum to 1.
+    InvalidWeights {
+        /// Why the weights were rejected.
+        reason: String,
+    },
+    /// An underlying MISP operation failed.
+    Misp(cais_misp::MispError),
+    /// An underlying feed operation failed.
+    Feed(cais_feeds::FeedError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::WeightMismatch { features, weights } => write!(
+                f,
+                "weight scheme has {weights} weights but {features} features were evaluated"
+            ),
+            CoreError::InvalidWeights { reason } => write!(f, "invalid weights: {reason}"),
+            CoreError::Misp(err) => write!(f, "MISP error: {err}"),
+            CoreError::Feed(err) => write!(f, "feed error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Misp(err) => Some(err),
+            CoreError::Feed(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<cais_misp::MispError> for CoreError {
+    fn from(err: cais_misp::MispError) -> Self {
+        CoreError::Misp(err)
+    }
+}
+
+impl From<cais_feeds::FeedError> for CoreError {
+    fn from(err: cais_feeds::FeedError) -> Self {
+        CoreError::Feed(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::WeightMismatch {
+            features: 9,
+            weights: 5,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,95 @@
+//! The weighting criteria of Section III-B2b: Relevance, Accuracy,
+//! Timeliness and Variety.
+//!
+//! Each feature carries expert-assigned points per criterion; a
+//! feature's weight `Pᵢ` is its point total over the point total of all
+//! evaluated features (Table V computes exactly this: the
+//! `external_references` row's 23 points over the 84 points of the
+//! eight evaluated features gives P = 0.2738).
+
+use serde::{Deserialize, Serialize};
+
+/// Expert points for one feature across the four criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CriteriaPoints {
+    /// Relevance: is the feature useful to identify a threat
+    /// (`no_info`, `optional`, `required`)?
+    pub relevance: u32,
+    /// Accuracy: does OSINT data match infrastructure information
+    /// (`no_info`, `no_match`, `partial_match`, `full_match`)?
+    pub accuracy: u32,
+    /// Timeliness: is the event related to an already-detected one
+    /// (`no_info`, `unseen`, `unchanged`, `changed`)?
+    pub timeliness: u32,
+    /// Variety: how many source kinds report it
+    /// (`no_info`, `single_source`, `multi_source`, `all_sources`)?
+    pub variety: u32,
+}
+
+impl CriteriaPoints {
+    /// Creates a point assignment.
+    pub const fn new(relevance: u32, accuracy: u32, timeliness: u32, variety: u32) -> Self {
+        CriteriaPoints {
+            relevance,
+            accuracy,
+            timeliness,
+            variety,
+        }
+    }
+
+    /// The feature's total points — the numerator of its weight.
+    pub const fn total(self) -> u32 {
+        self.relevance + self.accuracy + self.timeliness + self.variety
+    }
+}
+
+/// Per-criterion totals across a whole evaluation — the paper's
+/// future-work item of reporting "detailed information about each
+/// single criterion used in the evaluation of the score itself".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CriteriaTotals {
+    /// Sum of relevance points over evaluated features.
+    pub relevance: u32,
+    /// Sum of accuracy points over evaluated features.
+    pub accuracy: u32,
+    /// Sum of timeliness points over evaluated features.
+    pub timeliness: u32,
+    /// Sum of variety points over evaluated features.
+    pub variety: u32,
+}
+
+impl CriteriaTotals {
+    /// Accumulates one feature's points.
+    pub fn add(&mut self, points: CriteriaPoints) {
+        self.relevance += points.relevance;
+        self.accuracy += points.accuracy;
+        self.timeliness += points.timeliness;
+        self.variety += points.variety;
+    }
+
+    /// Grand total across criteria.
+    pub fn total(self) -> u32 {
+        self.relevance + self.accuracy + self.timeliness + self.variety
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let p = CriteriaPoints::new(7, 10, 1, 5);
+        assert_eq!(p.total(), 23);
+    }
+
+    #[test]
+    fn accumulate() {
+        let mut totals = CriteriaTotals::default();
+        totals.add(CriteriaPoints::new(5, 1, 1, 1));
+        totals.add(CriteriaPoints::new(5, 5, 1, 1));
+        assert_eq!(totals.relevance, 10);
+        assert_eq!(totals.accuracy, 6);
+        assert_eq!(totals.total(), 20);
+    }
+}

@@ -1,0 +1,95 @@
+//! Features: the scored dimensions of a heuristic.
+
+use serde::{Deserialize, Serialize};
+
+use super::criteria::CriteriaPoints;
+
+/// The evaluated value of one feature.
+///
+/// Following Table I of the paper (where heuristic H₂'s zero-valued
+/// feature lowers completeness to 4/5), a feature either carries a
+/// positive score in 1–5 or is *empty* — "no information". A raw score
+/// of zero normalizes to empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FeatureValue {
+    /// No information for this feature.
+    Empty,
+    /// A score in 1–5.
+    Scored(u8),
+}
+
+impl FeatureValue {
+    /// Normalizes a raw score: 0 becomes [`FeatureValue::Empty`], larger
+    /// values are clamped to 5.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_core::heuristics::FeatureValue;
+    ///
+    /// assert_eq!(FeatureValue::scored(0), FeatureValue::Empty);
+    /// assert_eq!(FeatureValue::scored(4), FeatureValue::Scored(4));
+    /// assert_eq!(FeatureValue::scored(9), FeatureValue::Scored(5));
+    /// ```
+    pub fn scored(raw: u8) -> FeatureValue {
+        match raw {
+            0 => FeatureValue::Empty,
+            v => FeatureValue::Scored(v.min(5)),
+        }
+    }
+
+    /// The numeric contribution of the feature (0 when empty).
+    pub fn value(self) -> f64 {
+        match self {
+            FeatureValue::Empty => 0.0,
+            FeatureValue::Scored(v) => f64::from(v),
+        }
+    }
+
+    /// Whether the feature carries information.
+    pub fn is_evaluated(self) -> bool {
+        matches!(self, FeatureValue::Scored(_))
+    }
+}
+
+/// The static definition of one feature within a heuristic: its name
+/// and its expert criteria points.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureDefinition {
+    /// The feature name as the paper's Table II spells it.
+    pub name: &'static str,
+    /// Expert Relevance/Accuracy/Timeliness/Variety points.
+    pub criteria: CriteriaPoints,
+}
+
+impl FeatureDefinition {
+    /// Creates a definition.
+    pub const fn new(name: &'static str, criteria: CriteriaPoints) -> Self {
+        FeatureDefinition { name, criteria }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_normalizes_to_empty() {
+        assert_eq!(FeatureValue::scored(0), FeatureValue::Empty);
+        assert!(!FeatureValue::scored(0).is_evaluated());
+        assert_eq!(FeatureValue::scored(0).value(), 0.0);
+    }
+
+    #[test]
+    fn clamp_to_five() {
+        assert_eq!(FeatureValue::scored(7), FeatureValue::Scored(5));
+    }
+
+    #[test]
+    fn value_and_evaluated() {
+        assert_eq!(FeatureValue::Scored(3).value(), 3.0);
+        assert!(FeatureValue::Scored(1).is_evaluated());
+        assert!(!FeatureValue::Empty.is_evaluated());
+    }
+}

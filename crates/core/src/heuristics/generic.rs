@@ -1,0 +1,468 @@
+//! Evaluators for the five non-vulnerability heuristics, completing the
+//! six SDO heuristics of Section III-B2a over arbitrary STIX objects.
+//!
+//! "The set of heuristics will be selected depending on what standard is
+//! used for representing cybersecurity events" (Section III-B2); here
+//! the standard is STIX 2.0 and the features are Table II's, scored by
+//! the same Table IV-style attribute bands the vulnerability heuristic
+//! uses: value in 1–5, `Empty` for missing information.
+
+use cais_common::Age;
+use cais_stix::prelude::*;
+use cais_stix::vocab;
+
+use super::feature::FeatureValue;
+use super::registry::HeuristicKind;
+use super::score::{threat_score_named, ThreatScore};
+use crate::context::EvaluationContext;
+
+/// Scores a timestamp's freshness: `last_24h (5) … other (1)`.
+fn age_band(stamp: cais_common::Timestamp, ctx: &EvaluationContext) -> FeatureValue {
+    FeatureValue::Scored(match stamp.age_at(ctx.now) {
+        Age::Last24Hours => 5,
+        Age::LastWeek => 4,
+        Age::LastMonth => 3,
+        Age::LastYear => 2,
+        Age::Older => 1,
+    })
+}
+
+/// Scores a validity start: `last_week (3) … other (empty)`.
+fn valid_from_band(
+    stamp: Option<cais_common::Timestamp>,
+    ctx: &EvaluationContext,
+) -> FeatureValue {
+    match stamp.map(|s| s.age_at(ctx.now)) {
+        None => FeatureValue::Empty,
+        Some(Age::Last24Hours | Age::LastWeek) => FeatureValue::Scored(3),
+        Some(Age::LastMonth) => FeatureValue::Scored(2),
+        Some(Age::LastYear) => FeatureValue::Scored(1),
+        Some(Age::Older) => FeatureValue::Empty,
+    }
+}
+
+/// Scores external references: `multi_known (5) / single_known (3) /
+/// unknown (1) / none (empty)`.
+fn references_band(common: &CommonProperties) -> FeatureValue {
+    let known = common.known_reference_count();
+    if known >= 2 {
+        FeatureValue::Scored(5)
+    } else if known == 1 {
+        FeatureValue::Scored(3)
+    } else if !common.external_references.is_empty() {
+        FeatureValue::Scored(1)
+    } else {
+        FeatureValue::Empty
+    }
+}
+
+/// Scores kill-chain coverage: several phases beat one.
+fn kill_chain_band(phases: &[KillChainPhase]) -> FeatureValue {
+    match phases.len() {
+        0 => FeatureValue::Empty,
+        1 => FeatureValue::Scored(3),
+        _ => FeatureValue::Scored(5),
+    }
+}
+
+/// Scores the `osint_source` provenance feature.
+fn osint_source_band(common: &CommonProperties) -> FeatureValue {
+    match &common.osint_source {
+        Some(_) => FeatureValue::Scored(3),
+        None => FeatureValue::Empty,
+    }
+}
+
+/// Scores the `source_type` feature: infrastructure-confirmed sources
+/// outrank pure OSINT, which outranks unstated provenance.
+fn source_type_band(common: &CommonProperties) -> FeatureValue {
+    match common.source_type.as_deref() {
+        Some(kind) if kind.eq_ignore_ascii_case("infrastructure") => FeatureValue::Scored(5),
+        Some(kind) if kind.eq_ignore_ascii_case("osint") => FeatureValue::Scored(3),
+        Some(_) => FeatureValue::Scored(2),
+        None => FeatureValue::Empty,
+    }
+}
+
+/// Scores a vocabulary-checked label: suggested value (5), custom (3),
+/// absent (empty).
+fn vocab_band(value: Option<&str>, in_vocab: impl Fn(&str) -> bool) -> FeatureValue {
+    match value {
+        Some(v) if in_vocab(v) => FeatureValue::Scored(5),
+        Some(_) => FeatureValue::Scored(3),
+        None => FeatureValue::Empty,
+    }
+}
+
+/// Evaluates the attack-pattern heuristic.
+pub fn evaluate_attack_pattern(ap: &AttackPattern, ctx: &EvaluationContext) -> ThreatScore {
+    let common = ap.common();
+    // A detection tool we actually run makes the report immediately
+    // actionable for this infrastructure.
+    let detection_tool = match ap.detection_tool.as_deref() {
+        Some(tool) if ctx.inventory.match_application(tool).is_match() => FeatureValue::Scored(5),
+        Some(_) => FeatureValue::Scored(3),
+        None => FeatureValue::Empty,
+    };
+    let values = vec![
+        match ap.attack_type.as_deref() {
+            Some(_) => FeatureValue::Scored(4),
+            None => FeatureValue::Empty,
+        },
+        detection_tool,
+        age_band(common.modified.max(common.created), ctx),
+        valid_from_band(Some(common.created), ctx),
+        references_band(common),
+        kill_chain_band(&ap.kill_chain_phases),
+        osint_source_band(common),
+        source_type_band(common),
+    ];
+    finish(HeuristicKind::AttackPattern, values)
+}
+
+/// Evaluates the identity heuristic.
+pub fn evaluate_identity(identity: &Identity, ctx: &EvaluationContext) -> ThreatScore {
+    let common = identity.common();
+    let values = vec![
+        vocab_band(identity.identity_class.as_deref(), |v| {
+            vocab::identity_class::contains(v)
+        }),
+        if identity.name.trim().is_empty() {
+            FeatureValue::Empty
+        } else {
+            FeatureValue::Scored(5)
+        },
+        match identity.sectors.len() {
+            0 => FeatureValue::Empty,
+            1 => FeatureValue::Scored(3),
+            _ => FeatureValue::Scored(4),
+        },
+        age_band(common.modified.max(common.created), ctx),
+        valid_from_band(Some(common.created), ctx),
+        match identity.location.as_deref() {
+            Some(_) => FeatureValue::Scored(3),
+            None => FeatureValue::Empty,
+        },
+        osint_source_band(common),
+        source_type_band(common),
+    ];
+    finish(HeuristicKind::Identity, values)
+}
+
+/// Evaluates the indicator heuristic over a STIX indicator object.
+pub fn evaluate_indicator(indicator: &Indicator, ctx: &EvaluationContext) -> ThreatScore {
+    let common = indicator.common();
+    // The pattern feature rewards a compilable detection pattern; a
+    // malformed one is worse than none because it silently detects
+    // nothing.
+    let pattern = if indicator.pattern.trim().is_empty() {
+        FeatureValue::Empty
+    } else if indicator.compiled_pattern().is_ok() {
+        FeatureValue::Scored(5)
+    } else {
+        FeatureValue::Scored(1)
+    };
+    let indicator_type = if common.labels.is_empty() {
+        FeatureValue::Empty
+    } else if common
+        .labels
+        .iter()
+        .any(|l| vocab::indicator_label::contains(l))
+    {
+        FeatureValue::Scored(5)
+    } else {
+        FeatureValue::Scored(3)
+    };
+    let values = vec![
+        indicator_type,
+        age_band(common.modified.max(common.created), ctx),
+        valid_from_band(Some(indicator.valid_from), ctx),
+        references_band(common),
+        kill_chain_band(&indicator.kill_chain_phases),
+        pattern,
+        osint_source_band(common),
+        source_type_band(common),
+    ];
+    finish(HeuristicKind::Indicator, values)
+}
+
+/// Evaluates the malware heuristic.
+pub fn evaluate_malware(malware: &Malware, ctx: &EvaluationContext) -> ThreatScore {
+    let common = malware.common();
+    let operating_system = if malware.operating_systems.is_empty() {
+        FeatureValue::Empty
+    } else {
+        let mut best = 0u8;
+        for os in &malware.operating_systems {
+            let os = os.to_ascii_lowercase();
+            let score = if os.contains("windows") {
+                5
+            } else if ["linux", "debian", "ubuntu", "centos"]
+                .iter()
+                .any(|f| os.contains(f))
+            {
+                3
+            } else {
+                1
+            };
+            best = best.max(score);
+        }
+        FeatureValue::scored(best)
+    };
+    let status = match malware.status.as_deref() {
+        Some(s) if s.eq_ignore_ascii_case("active") => FeatureValue::Scored(5),
+        Some(s) if s.eq_ignore_ascii_case("sinkholed") || s.eq_ignore_ascii_case("dormant") => {
+            FeatureValue::Scored(2)
+        }
+        Some(_) => FeatureValue::Scored(3),
+        None => FeatureValue::Empty,
+    };
+    let values = vec![
+        vocab_band(malware.category(), vocab::malware_label::contains),
+        status,
+        operating_system,
+        age_band(common.modified.max(common.created), ctx),
+        valid_from_band(Some(common.created), ctx),
+        references_band(common),
+        kill_chain_band(&malware.kill_chain_phases),
+        osint_source_band(common),
+        source_type_band(common),
+    ];
+    finish(HeuristicKind::Malware, values)
+}
+
+/// Evaluates the tool heuristic.
+pub fn evaluate_tool(tool: &Tool, ctx: &EvaluationContext) -> ThreatScore {
+    let common = tool.common();
+    // A dual-use tool the inventory actually runs is maximally relevant
+    // (an attacker report about software present on our own nodes).
+    let name = if tool.name.trim().is_empty() {
+        FeatureValue::Empty
+    } else if ctx.inventory.match_application(&tool.name).is_match() {
+        FeatureValue::Scored(5)
+    } else {
+        FeatureValue::Scored(3)
+    };
+    let values = vec![
+        vocab_band(tool.tool_type(), vocab::tool_label::contains),
+        name,
+        age_band(common.modified.max(common.created), ctx),
+        valid_from_band(Some(common.created), ctx),
+        kill_chain_band(&tool.kill_chain_phases),
+        osint_source_band(common),
+        source_type_band(common),
+    ];
+    finish(HeuristicKind::Tool, values)
+}
+
+/// Evaluates any STIX object its heuristic supports, returning the
+/// heuristic used and the score; `None` for the six unsupported SDO
+/// types and the SROs.
+pub fn evaluate_object(
+    object: &StixObject,
+    ctx: &EvaluationContext,
+) -> Option<(HeuristicKind, ThreatScore)> {
+    match object {
+        StixObject::AttackPattern(ap) => {
+            Some((HeuristicKind::AttackPattern, evaluate_attack_pattern(ap, ctx)))
+        }
+        StixObject::Identity(identity) => {
+            Some((HeuristicKind::Identity, evaluate_identity(identity, ctx)))
+        }
+        StixObject::Indicator(indicator) => {
+            Some((HeuristicKind::Indicator, evaluate_indicator(indicator, ctx)))
+        }
+        StixObject::Malware(malware) => {
+            Some((HeuristicKind::Malware, evaluate_malware(malware, ctx)))
+        }
+        StixObject::Tool(tool) => Some((HeuristicKind::Tool, evaluate_tool(tool, ctx))),
+        StixObject::Vulnerability(vuln) => Some((
+            HeuristicKind::Vulnerability,
+            super::vulnerability::evaluate(vuln, ctx),
+        )),
+        _ => None,
+    }
+}
+
+fn finish(kind: HeuristicKind, values: Vec<FeatureValue>) -> ThreatScore {
+    let names = super::registry::feature_names(kind);
+    threat_score_named(&names, &values, &kind.weight_scheme())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::Timestamp;
+
+    fn ctx() -> EvaluationContext {
+        EvaluationContext::paper_use_case()
+    }
+
+    fn recent(ctx: &EvaluationContext) -> Timestamp {
+        ctx.now.add_days(-2)
+    }
+
+    #[test]
+    fn every_supported_object_scores_in_range() {
+        let ctx = ctx();
+        let stamp = recent(&ctx);
+        let objects: Vec<StixObject> = vec![
+            AttackPattern::builder("spearphishing")
+                .attack_type("initial-access")
+                .detection_tool("suricata")
+                .created(stamp)
+                .modified(stamp)
+                .kill_chain_phase(KillChainPhase::lockheed_martin("delivery"))
+                .osint_source("feed")
+                .source_type("osint")
+                .build()
+                .into(),
+            Identity::builder("evil corp")
+                .identity_class("organization")
+                .sector("financial-services")
+                .location("RU")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
+            Indicator::builder("[ipv4-addr:value = '203.0.113.9']", stamp)
+                .label("malicious-activity")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
+            Malware::builder("emotet")
+                .label("trojan")
+                .status("active")
+                .operating_system("windows")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
+            Tool::builder("nmap")
+                .label("vulnerability-scanning")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
+            cais_stix::sdo::Vulnerability::builder("CVE-2017-9805")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
+        ];
+        for object in &objects {
+            let (kind, score) =
+                evaluate_object(object, &ctx).unwrap_or_else(|| panic!("{:?}", object.object_type()));
+            assert!(
+                score.total() > 0.0 && score.total() <= 5.0,
+                "{kind}: {}",
+                score.total()
+            );
+            assert_eq!(kind.stix_type(), object.object_type().as_str());
+        }
+    }
+
+    #[test]
+    fn unsupported_objects_are_none() {
+        let ctx = ctx();
+        let campaign: StixObject = Campaign::builder("op-x").build().into();
+        assert!(evaluate_object(&campaign, &ctx).is_none());
+        let report: StixObject = Report::builder("weekly", Timestamp::EPOCH).build().into();
+        assert!(evaluate_object(&report, &ctx).is_none());
+    }
+
+    #[test]
+    fn detection_tool_in_inventory_raises_attack_pattern_score() {
+        let ctx = ctx();
+        let stamp = recent(&ctx);
+        let with_our_tool = AttackPattern::builder("probe")
+            .detection_tool("suricata") // Table III node app
+            .created(stamp)
+            .modified(stamp)
+            .build();
+        let with_foreign_tool = AttackPattern::builder("probe")
+            .detection_tool("some-edr")
+            .created(stamp)
+            .modified(stamp)
+            .build();
+        assert!(
+            evaluate_attack_pattern(&with_our_tool, &ctx).total()
+                > evaluate_attack_pattern(&with_foreign_tool, &ctx).total()
+        );
+    }
+
+    #[test]
+    fn inventory_tool_is_maximally_relevant() {
+        let ctx = ctx();
+        let stamp = recent(&ctx);
+        let ours = Tool::builder("snort")
+            .label("network-capture")
+            .created(stamp)
+            .modified(stamp)
+            .build();
+        let foreign = Tool::builder("cobalt strike")
+            .label("remote-access")
+            .created(stamp)
+            .modified(stamp)
+            .build();
+        assert!(evaluate_tool(&ours, &ctx).total() > evaluate_tool(&foreign, &ctx).total());
+    }
+
+    #[test]
+    fn broken_pattern_scores_below_valid_pattern() {
+        let ctx = ctx();
+        let stamp = recent(&ctx);
+        let valid = Indicator::builder("[domain-name:value = 'evil.example']", stamp)
+            .label("malicious-activity")
+            .created(stamp)
+            .modified(stamp)
+            .build();
+        let broken = Indicator::builder("[[[", stamp)
+            .label("malicious-activity")
+            .created(stamp)
+            .modified(stamp)
+            .build();
+        assert!(
+            evaluate_indicator(&valid, &ctx).total() > evaluate_indicator(&broken, &ctx).total()
+        );
+    }
+
+    #[test]
+    fn active_malware_outranks_sinkholed() {
+        let ctx = ctx();
+        let stamp = recent(&ctx);
+        let build = |status: &str| {
+            Malware::builder("emotet")
+                .label("trojan")
+                .status(status)
+                .created(stamp)
+                .modified(stamp)
+                .build()
+        };
+        assert!(
+            evaluate_malware(&build("active"), &ctx).total()
+                > evaluate_malware(&build("sinkholed"), &ctx).total()
+        );
+    }
+
+    #[test]
+    fn missing_information_lowers_completeness() {
+        let ctx = ctx();
+        let stamp = recent(&ctx);
+        let rich = Identity::builder("acme")
+            .identity_class("organization")
+            .sector("technology")
+            .location("ES")
+            .created(stamp)
+            .modified(stamp)
+            .osint_source("feed")
+            .source_type("osint")
+            .build();
+        let bare = Identity::builder("acme").created(stamp).modified(stamp).build();
+        let rich_score = evaluate_identity(&rich, &ctx);
+        let bare_score = evaluate_identity(&bare, &ctx);
+        assert!(rich_score.completeness() > bare_score.completeness());
+        assert!(rich_score.total() > bare_score.total());
+    }
+}

@@ -1,0 +1,31 @@
+//! The Heuristic Component: features, weighting criteria and the
+//! Threat Score of Equation 1.
+//!
+//! ```text
+//! TS = Cp × Σᵢ Xᵢ·Pᵢ        (Eq. 1)
+//! ```
+//!
+//! * `Xᵢ` — the value assigned to feature *i* during evaluation
+//!   (0–5, based on Table IV-style attribute tables);
+//! * `Pᵢ` — the weight of feature *i*, either fixed (Table I) or derived
+//!   from expert Relevance/Accuracy/Timeliness/Variety points and
+//!   renormalized over the evaluated features (Table V);
+//! * `Cp` — the completeness criterion: non-empty features over total
+//!   features.
+//!
+//! `0 ≤ TS ≤ 5`; higher means a more reliable, higher-priority IoC.
+
+mod criteria;
+mod feature;
+pub mod generic;
+mod registry;
+pub mod score;
+pub mod tuning;
+mod weights;
+pub mod vulnerability;
+
+pub use criteria::{CriteriaPoints, CriteriaTotals};
+pub use feature::{FeatureDefinition, FeatureValue};
+pub use registry::{feature_names, HeuristicKind};
+pub use score::{threat_score, ScoreBreakdown, ThreatScore};
+pub use weights::{NormalizationPolicy, WeightScheme};

@@ -1,0 +1,247 @@
+//! The heuristic registry: the six SDO heuristics of Section III-B2a
+//! with their Table II feature sets and expert criteria points.
+//!
+//! The vulnerability heuristic's points are pinned by Table V (they
+//! must reproduce the printed `Pᵢ` values); the other five heuristics
+//! carry expert assignments following the same convention — required
+//! identity-bearing features get high relevance, infrastructure-matched
+//! features get high accuracy.
+
+use serde::{Deserialize, Serialize};
+
+use super::criteria::CriteriaPoints;
+use super::feature::FeatureDefinition;
+use super::weights::WeightScheme;
+
+/// The six SDO heuristics the paper selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum HeuristicKind {
+    /// Tactics, techniques and procedures.
+    AttackPattern,
+    /// Individuals, organizations or groups.
+    Identity,
+    /// Detection patterns.
+    Indicator,
+    /// Malicious code.
+    Malware,
+    /// Dual-use legitimate software.
+    Tool,
+    /// Software weaknesses.
+    Vulnerability,
+}
+
+impl HeuristicKind {
+    /// All six heuristics.
+    pub const ALL: [HeuristicKind; 6] = [
+        HeuristicKind::AttackPattern,
+        HeuristicKind::Identity,
+        HeuristicKind::Indicator,
+        HeuristicKind::Malware,
+        HeuristicKind::Tool,
+        HeuristicKind::Vulnerability,
+    ];
+
+    /// The feature definitions of this heuristic, in evaluation order.
+    pub fn features(self) -> &'static [FeatureDefinition] {
+        match self {
+            HeuristicKind::AttackPattern => ATTACK_PATTERN_FEATURES,
+            HeuristicKind::Identity => IDENTITY_FEATURES,
+            HeuristicKind::Indicator => INDICATOR_FEATURES,
+            HeuristicKind::Malware => MALWARE_FEATURES,
+            HeuristicKind::Tool => TOOL_FEATURES,
+            HeuristicKind::Vulnerability => VULNERABILITY_FEATURES,
+        }
+    }
+
+    /// The criteria-derived weight scheme over this heuristic's
+    /// features.
+    pub fn weight_scheme(self) -> WeightScheme {
+        WeightScheme::from_criteria(self.features().iter().map(|f| f.criteria).collect())
+    }
+
+    /// The STIX object-type name this heuristic scores.
+    pub fn stix_type(self) -> &'static str {
+        match self {
+            HeuristicKind::AttackPattern => "attack-pattern",
+            HeuristicKind::Identity => "identity",
+            HeuristicKind::Indicator => "indicator",
+            HeuristicKind::Malware => "malware",
+            HeuristicKind::Tool => "tool",
+            HeuristicKind::Vulnerability => "vulnerability",
+        }
+    }
+
+    /// Resolves a heuristic from a STIX object-type name.
+    pub fn from_stix_type(name: &str) -> Option<HeuristicKind> {
+        HeuristicKind::ALL.into_iter().find(|h| h.stix_type() == name)
+    }
+}
+
+impl std::fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.stix_type())
+    }
+}
+
+/// Feature names of a heuristic, in evaluation order.
+pub fn feature_names(kind: HeuristicKind) -> Vec<&'static str> {
+    kind.features().iter().map(|f| f.name).collect()
+}
+
+const fn f(name: &'static str, r: u32, a: u32, t: u32, v: u32) -> FeatureDefinition {
+    FeatureDefinition::new(name, CriteriaPoints::new(r, a, t, v))
+}
+
+/// Table II, attack-pattern row.
+static ATTACK_PATTERN_FEATURES: &[FeatureDefinition] = &[
+    f("attack_type", 10, 1, 1, 1),
+    f("detection_tool", 5, 5, 1, 1),
+    f("modified_created", 1, 1, 1, 1),
+    f("valid_from", 1, 1, 1, 1),
+    f("external_references", 7, 10, 1, 5),
+    f("kill_chain_phases", 5, 1, 1, 1),
+    f("osint_source", 3, 1, 1, 5),
+    f("source_type", 3, 1, 1, 5),
+];
+
+/// Table II, identity row.
+static IDENTITY_FEATURES: &[FeatureDefinition] = &[
+    f("identity_class", 5, 1, 1, 1),
+    f("name", 10, 1, 1, 1),
+    f("sectors", 5, 5, 1, 1),
+    f("modified_created", 1, 1, 1, 1),
+    f("valid_from", 1, 1, 1, 1),
+    f("location", 5, 5, 1, 1),
+    f("osint_source", 3, 1, 1, 5),
+    f("source_type", 3, 1, 1, 5),
+];
+
+/// Table II, indicator row.
+static INDICATOR_FEATURES: &[FeatureDefinition] = &[
+    f("indicator_type", 5, 1, 1, 1),
+    f("modified_created", 1, 1, 1, 1),
+    f("valid_from", 1, 1, 1, 1),
+    f("external_references", 7, 10, 1, 5),
+    f("kill_chain_phases", 5, 1, 1, 1),
+    f("pattern", 10, 5, 1, 1),
+    f("osint_source", 3, 1, 1, 5),
+    f("source_type", 3, 1, 1, 5),
+];
+
+/// Table II, malware row.
+static MALWARE_FEATURES: &[FeatureDefinition] = &[
+    f("category", 10, 1, 1, 1),
+    f("status", 5, 1, 3, 1),
+    f("operating_system", 5, 5, 1, 1),
+    f("modified_created", 1, 1, 1, 1),
+    f("valid_from", 1, 1, 1, 1),
+    f("external_references", 7, 10, 1, 5),
+    f("kill_chain_phases", 5, 1, 1, 1),
+    f("osint_source", 3, 1, 1, 5),
+    f("source_type", 3, 1, 1, 5),
+];
+
+/// Table II, tool row.
+static TOOL_FEATURES: &[FeatureDefinition] = &[
+    f("tool_type", 10, 1, 1, 1),
+    f("name", 5, 5, 1, 1),
+    f("modified_created", 1, 1, 1, 1),
+    f("valid_from", 1, 1, 1, 1),
+    f("kill_chain_phases", 5, 1, 1, 1),
+    f("osint_source", 3, 1, 1, 5),
+    f("source_type", 3, 1, 1, 5),
+];
+
+/// Table II vulnerability row, with the exact point totals Table V's
+/// printed weights require: {8, 8, 12, 8, 4, 4, 4, 23, 17}; the
+/// evaluated eight sum to 84.
+static VULNERABILITY_FEATURES: &[FeatureDefinition] = &[
+    f("operating_system", 5, 1, 1, 1),    //  8
+    f("source_diversity", 5, 1, 1, 1),    //  8
+    f("application", 5, 5, 1, 1),         // 12
+    f("vuln_app_in_alarm", 5, 1, 1, 1),   //  8
+    f("modified_created", 1, 1, 1, 1),    //  4
+    f("valid_from", 1, 1, 1, 1),          //  4
+    f("valid_until", 1, 1, 1, 1),         //  4
+    f("external_references", 7, 10, 1, 5), // 23
+    f("cve", 10, 5, 1, 1),                // 17
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stix_type_roundtrip() {
+        for kind in HeuristicKind::ALL {
+            assert_eq!(HeuristicKind::from_stix_type(kind.stix_type()), Some(kind));
+        }
+        assert_eq!(HeuristicKind::from_stix_type("campaign"), None);
+    }
+
+    #[test]
+    fn table2_feature_sets() {
+        // The exact feature lists of Table II (modified/created merged,
+        // as Table V's completeness arithmetic requires).
+        assert_eq!(
+            feature_names(HeuristicKind::Vulnerability),
+            vec![
+                "operating_system",
+                "source_diversity",
+                "application",
+                "vuln_app_in_alarm",
+                "modified_created",
+                "valid_from",
+                "valid_until",
+                "external_references",
+                "cve",
+            ]
+        );
+        assert_eq!(
+            feature_names(HeuristicKind::AttackPattern)[..2],
+            ["attack_type", "detection_tool"]
+        );
+        assert!(feature_names(HeuristicKind::Identity).contains(&"location"));
+        assert!(feature_names(HeuristicKind::Indicator).contains(&"pattern"));
+        assert!(feature_names(HeuristicKind::Malware).contains(&"status"));
+        assert!(feature_names(HeuristicKind::Tool).contains(&"tool_type"));
+        // Every heuristic tracks its OSINT provenance; the vulnerability
+        // heuristic does so through `source_diversity` (Table II).
+        for kind in HeuristicKind::ALL {
+            let names = feature_names(kind);
+            if kind == HeuristicKind::Vulnerability {
+                assert!(names.contains(&"source_diversity"));
+            } else {
+                assert!(names.contains(&"osint_source"), "{kind}");
+                assert!(names.contains(&"source_type"), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn vulnerability_point_totals_match_table5() {
+        let totals: Vec<u32> = HeuristicKind::Vulnerability
+            .features()
+            .iter()
+            .map(|f| f.criteria.total())
+            .collect();
+        assert_eq!(totals, vec![8, 8, 12, 8, 4, 4, 4, 23, 17]);
+        // Evaluated features in the use case (all but valid_until) sum
+        // to 84, the denominator of every printed Pᵢ.
+        let evaluated_sum: u32 = totals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 6)
+            .map(|(_, t)| t)
+            .sum();
+        assert_eq!(evaluated_sum, 84);
+    }
+
+    #[test]
+    fn weight_scheme_lengths_match_features() {
+        for kind in HeuristicKind::ALL {
+            assert_eq!(kind.weight_scheme().len(), kind.features().len());
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The Threat Score of Equation 1, with a full per-feature breakdown.
+
+use serde::{Deserialize, Serialize};
+
+use super::criteria::CriteriaTotals;
+use super::feature::FeatureValue;
+use super::weights::WeightScheme;
+
+/// One feature's line in the score breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreLine {
+    /// Feature name (empty when scored from anonymous vectors).
+    pub feature: String,
+    /// The evaluated value.
+    pub value: FeatureValue,
+    /// The resolved weight `Pᵢ`.
+    pub weight: f64,
+    /// `Xᵢ·Pᵢ`.
+    pub contribution: f64,
+}
+
+/// The full account of one scoring run — what the paper's future work
+/// wants displayed alongside the final number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ScoreBreakdown {
+    /// Per-feature lines, in feature order.
+    pub lines: Vec<ScoreLine>,
+    /// Per-criterion point totals over evaluated features (only
+    /// populated for criteria-derived schemes).
+    pub criteria_totals: Option<CriteriaTotals>,
+    /// Evaluated (non-empty) feature count.
+    pub evaluated: usize,
+    /// Total feature count.
+    pub total_features: usize,
+}
+
+/// A computed Threat Score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreatScore {
+    total: f64,
+    completeness: f64,
+    breakdown: ScoreBreakdown,
+}
+
+impl ThreatScore {
+    /// The final score, in `0 ≤ TS ≤ 5`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The completeness factor `Cp`.
+    pub fn completeness(&self) -> f64 {
+        self.completeness
+    }
+
+    /// The per-feature breakdown.
+    pub fn breakdown(&self) -> &ScoreBreakdown {
+        &self.breakdown
+    }
+
+    /// What the score could reach if every empty feature were filled
+    /// with evidence — the gap quantifies how much the IoC's quality
+    /// would improve with more information, the paper's future-work
+    /// theme of "improving the quality of the refined threat
+    /// intelligence".
+    ///
+    /// The bound assumes each empty feature could score 5 and that
+    /// completeness would rise to 1. Weights are not re-derived — empty
+    /// features are granted the mean weight of the evaluated ones — so
+    /// this is a fast estimate rather than a full re-evaluation.
+    pub fn potential_if_complete(&self) -> f64 {
+        if self.breakdown.total_features == 0 {
+            return 0.0;
+        }
+        let filled_sum: f64 = self.breakdown.lines.iter().map(|l| l.contribution).sum();
+        // Empty features carry no weight under renormalizing schemes;
+        // grant them the mean weight of evaluated features as the
+        // conservative estimate of what they would claim.
+        let evaluated_weight: f64 = self
+            .breakdown
+            .lines
+            .iter()
+            .filter(|l| l.value.is_evaluated())
+            .map(|l| l.weight)
+            .sum();
+        let evaluated = self.breakdown.evaluated.max(1);
+        let mean_weight = evaluated_weight / evaluated as f64;
+        let empty = self.breakdown.total_features - self.breakdown.evaluated;
+        let optimistic = filled_sum + empty as f64 * mean_weight * 5.0;
+        // Completeness would become 1; renormalize the weight mass.
+        let mass = evaluated_weight + empty as f64 * mean_weight;
+        if mass == 0.0 {
+            return 0.0;
+        }
+        (optimistic / mass).clamp(self.total, 5.0)
+    }
+
+    /// The paper's qualitative reading: scores near zero mean "poor,
+    /// incomplete and/or not reliable with a very low priority level".
+    pub fn priority_label(&self) -> &'static str {
+        if self.total < 1.0 {
+            "very-low"
+        } else if self.total < 2.0 {
+            "low"
+        } else if self.total < 3.0 {
+            "medium"
+        } else if self.total < 4.0 {
+            "high"
+        } else {
+            "critical"
+        }
+    }
+}
+
+/// Computes `TS = Cp × Σ Xᵢ·Pᵢ` over anonymous feature values.
+///
+/// For named features (and criteria totals in the breakdown), use
+/// [`threat_score_named`].
+///
+/// # Examples
+///
+/// ```
+/// use cais_core::heuristics::{score, FeatureValue, WeightScheme};
+///
+/// // Table I, H2: X = (5,2,2,4,0) → Cp = 4/5, TS = 1.92.
+/// let weights = WeightScheme::fixed(vec![0.10, 0.25, 0.40, 0.15, 0.10]);
+/// let values = [5, 2, 2, 4, 0].map(FeatureValue::scored);
+/// let ts = score::threat_score(&values, &weights);
+/// assert!((ts.total() - 1.92).abs() < 1e-9);
+/// assert!((ts.completeness() - 0.8).abs() < 1e-9);
+/// ```
+pub fn threat_score(values: &[FeatureValue], scheme: &WeightScheme) -> ThreatScore {
+    let names: Vec<String> = (0..values.len()).map(|i| format!("x{}", i + 1)).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    threat_score_named(&name_refs, values, scheme)
+}
+
+/// Computes the score with feature names carried into the breakdown.
+///
+/// # Panics
+///
+/// Panics when `names`, `values` and the scheme disagree on length (a
+/// programming error; the registry keeps them aligned).
+pub fn threat_score_named(
+    names: &[&str],
+    values: &[FeatureValue],
+    scheme: &WeightScheme,
+) -> ThreatScore {
+    assert_eq!(names.len(), values.len(), "names/values length mismatch");
+    let weights = scheme.resolve(values);
+    let evaluated = values.iter().filter(|v| v.is_evaluated()).count();
+    let total_features = values.len();
+    let completeness = if total_features == 0 {
+        0.0
+    } else {
+        evaluated as f64 / total_features as f64
+    };
+
+    let mut lines = Vec::with_capacity(values.len());
+    let mut weighted_sum = 0.0;
+    for ((name, value), weight) in names.iter().zip(values).zip(&weights) {
+        let contribution = value.value() * weight;
+        weighted_sum += contribution;
+        lines.push(ScoreLine {
+            feature: (*name).to_owned(),
+            value: *value,
+            weight: *weight,
+            contribution,
+        });
+    }
+
+    let criteria_totals = match scheme {
+        WeightScheme::Criteria { points } => {
+            let mut totals = CriteriaTotals::default();
+            for (point, value) in points.iter().zip(values) {
+                if value.is_evaluated() {
+                    totals.add(*point);
+                }
+            }
+            Some(totals)
+        }
+        WeightScheme::Static { .. } => None,
+    };
+
+    ThreatScore {
+        total: completeness * weighted_sum,
+        completeness,
+        breakdown: ScoreBreakdown {
+            lines,
+            criteria_totals,
+            evaluated,
+            total_features,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::CriteriaPoints;
+
+    fn table1_scheme() -> WeightScheme {
+        WeightScheme::fixed(vec![0.10, 0.25, 0.40, 0.15, 0.10])
+    }
+
+    #[test]
+    fn table1_h1() {
+        let ts = threat_score(&[3, 4, 3, 1, 5].map(FeatureValue::scored), &table1_scheme());
+        assert!((ts.total() - 3.15).abs() < 1e-9);
+        assert_eq!(ts.completeness(), 1.0);
+        assert_eq!(ts.priority_label(), "high");
+    }
+
+    #[test]
+    fn table1_h2() {
+        let ts = threat_score(&[5, 2, 2, 4, 0].map(FeatureValue::scored), &table1_scheme());
+        assert!((ts.total() - 1.92).abs() < 1e-9);
+        assert!((ts.completeness() - 0.8).abs() < 1e-9);
+        assert_eq!(ts.breakdown().evaluated, 4);
+        assert_eq!(ts.breakdown().total_features, 5);
+    }
+
+    #[test]
+    fn table1_h3() {
+        let ts = threat_score(&[1, 1, 2, 3, 3].map(FeatureValue::scored), &table1_scheme());
+        assert!((ts.total() - 1.90).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_lines_account_for_total() {
+        let ts = threat_score(&[3, 4, 3, 1, 5].map(FeatureValue::scored), &table1_scheme());
+        let sum: f64 = ts.breakdown().lines.iter().map(|l| l.contribution).sum();
+        assert!((ts.total() - ts.completeness() * sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn criteria_scheme_populates_totals() {
+        let scheme = WeightScheme::from_criteria(vec![
+            CriteriaPoints::new(5, 1, 1, 1),
+            CriteriaPoints::new(1, 1, 1, 1),
+        ]);
+        let ts = threat_score(
+            &[FeatureValue::Scored(3), FeatureValue::Empty],
+            &scheme,
+        );
+        let totals = ts.breakdown().criteria_totals.expect("criteria mode");
+        // Only the evaluated feature contributes.
+        assert_eq!(totals.relevance, 5);
+        assert_eq!(totals.total(), 8);
+    }
+
+    #[test]
+    fn empty_vector_scores_zero() {
+        let ts = threat_score(&[], &WeightScheme::fixed(vec![]));
+        assert_eq!(ts.total(), 0.0);
+        assert_eq!(ts.completeness(), 0.0);
+        assert_eq!(ts.priority_label(), "very-low");
+    }
+
+    #[test]
+    fn score_bounds_hold_for_normalized_weights() {
+        // With weights summing to 1 and X ≤ 5, TS ≤ 5.
+        let scheme = WeightScheme::fixed(vec![0.2; 5]);
+        let ts = threat_score(&[5; 5].map(FeatureValue::scored), &scheme);
+        assert!((ts.total() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_labels_cover_range() {
+        let labels: Vec<&str> = [0.5, 1.5, 2.5, 3.5, 4.5]
+            .iter()
+            .map(|&total| {
+                let ts = ThreatScore {
+                    total,
+                    completeness: 1.0,
+                    breakdown: ScoreBreakdown::default(),
+                };
+                ts.priority_label()
+            })
+            .collect();
+        assert_eq!(labels, vec!["very-low", "low", "medium", "high", "critical"]);
+    }
+}
+
+#[cfg(test)]
+mod potential_tests {
+    use super::*;
+
+    #[test]
+    fn complete_evaluations_have_no_headroom_beyond_filled_values() {
+        let scheme = WeightScheme::fixed(vec![0.2; 5]);
+        let ts = threat_score(&[5, 5, 5, 5, 5].map(FeatureValue::scored), &scheme);
+        assert!((ts.potential_if_complete() - ts.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_information_creates_headroom() {
+        // The paper's use case: valid_until is empty; filling it could
+        // raise the score.
+        let ctx = crate::context::EvaluationContext::paper_use_case();
+        let ts = crate::heuristics::vulnerability::evaluate(
+            &crate::heuristics::vulnerability::paper_rce_ioc(),
+            &ctx,
+        );
+        let potential = ts.potential_if_complete();
+        assert!(potential > ts.total(), "{potential} !> {}", ts.total());
+        assert!(potential <= 5.0);
+    }
+
+    #[test]
+    fn potential_never_drops_below_current() {
+        let scheme = WeightScheme::fixed(vec![0.25; 4]);
+        for raw in [[0u8, 0, 0, 0], [1, 0, 0, 0], [5, 0, 5, 0], [2, 3, 0, 1]] {
+            let ts = threat_score(&raw.map(FeatureValue::scored), &scheme);
+            assert!(ts.potential_if_complete() + 1e-12 >= ts.total(), "{raw:?}");
+            assert!(ts.potential_if_complete() <= 5.0 + 1e-12);
+        }
+    }
+}

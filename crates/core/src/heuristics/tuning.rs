@@ -1,0 +1,208 @@
+//! Expert tuning of heuristic weights.
+//!
+//! "A value must be assigned to each feature … based on expert knowledge
+//! and the usefulness of the criteria" (Section III-B2b). The built-in
+//! criteria points reproduce the paper's tables; deployments with their
+//! own expert assessments load a [`TuningProfile`] (plain JSON) that
+//! overrides points per heuristic feature, and derive weight schemes
+//! from it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use super::criteria::CriteriaPoints;
+use super::registry::HeuristicKind;
+use super::weights::WeightScheme;
+
+/// A deployment's expert weight overrides.
+///
+/// Keys are heuristic STIX type names (`vulnerability`), values map
+/// feature names to criteria points. Unmentioned features keep the
+/// built-in points, so a profile only lists what it changes.
+///
+/// # Examples
+///
+/// ```
+/// use cais_core::heuristics::{tuning::TuningProfile, HeuristicKind};
+///
+/// let profile = TuningProfile::from_json(r#"{
+///     "vulnerability": {
+///         "cve": {"relevance": 20, "accuracy": 5, "timeliness": 1, "variety": 1}
+///     }
+/// }"#).unwrap();
+/// let scheme = profile.weight_scheme(HeuristicKind::Vulnerability);
+/// assert_eq!(scheme.len(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TuningProfile {
+    overrides: BTreeMap<String, BTreeMap<String, CriteriaPoints>>,
+}
+
+impl TuningProfile {
+    /// An empty profile: every heuristic keeps the built-in points.
+    pub fn builtin() -> Self {
+        TuningProfile::default()
+    }
+
+    /// Parses a profile from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the profile to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.overrides).expect("profile serializes")
+    }
+
+    /// Sets one feature's points, builder-style.
+    pub fn with_points(
+        mut self,
+        heuristic: HeuristicKind,
+        feature: &str,
+        points: CriteriaPoints,
+    ) -> Self {
+        self.overrides
+            .entry(heuristic.stix_type().to_owned())
+            .or_default()
+            .insert(feature.to_owned(), points);
+        self
+    }
+
+    /// The effective criteria points of one heuristic, overrides
+    /// applied over the built-ins, in registry feature order.
+    pub fn effective_points(&self, heuristic: HeuristicKind) -> Vec<CriteriaPoints> {
+        let overrides = self.overrides.get(heuristic.stix_type());
+        heuristic
+            .features()
+            .iter()
+            .map(|feature| {
+                overrides
+                    .and_then(|map| map.get(feature.name))
+                    .copied()
+                    .unwrap_or(feature.criteria)
+            })
+            .collect()
+    }
+
+    /// The criteria-derived weight scheme after overrides.
+    pub fn weight_scheme(&self, heuristic: HeuristicKind) -> WeightScheme {
+        WeightScheme::from_criteria(self.effective_points(heuristic))
+    }
+
+    /// Feature names mentioned by the profile that no heuristic
+    /// defines — configuration typos surfaced for the operator.
+    pub fn unknown_features(&self) -> Vec<String> {
+        let mut unknown = Vec::new();
+        for (heuristic_name, features) in &self.overrides {
+            let Some(kind) = HeuristicKind::from_stix_type(heuristic_name) else {
+                unknown.push(format!("{heuristic_name} (heuristic)"));
+                continue;
+            };
+            let valid = super::registry::feature_names(kind);
+            for feature in features.keys() {
+                if !valid.contains(&feature.as_str()) {
+                    unknown.push(format!("{heuristic_name}.{feature}"));
+                }
+            }
+        }
+        unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{score::threat_score_named, feature_names, FeatureValue};
+
+    #[test]
+    fn builtin_profile_matches_registry() {
+        let profile = TuningProfile::builtin();
+        for kind in HeuristicKind::ALL {
+            assert_eq!(
+                profile.weight_scheme(kind),
+                kind.weight_scheme(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn override_shifts_weight() {
+        // Doubling the cve feature's points must raise a cve-heavy IoC's
+        // score relative to the built-in weighting.
+        let values: Vec<FeatureValue> = vec![
+            FeatureValue::Scored(1), // operating_system
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(1),
+            FeatureValue::Empty,
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(5), // cve maxed
+        ];
+        let names = feature_names(HeuristicKind::Vulnerability);
+        let builtin = threat_score_named(
+            &names,
+            &values,
+            &TuningProfile::builtin().weight_scheme(HeuristicKind::Vulnerability),
+        );
+        let boosted_profile = TuningProfile::builtin().with_points(
+            HeuristicKind::Vulnerability,
+            "cve",
+            CriteriaPoints::new(30, 5, 1, 1),
+        );
+        let boosted = threat_score_named(
+            &names,
+            &values,
+            &boosted_profile.weight_scheme(HeuristicKind::Vulnerability),
+        );
+        assert!(boosted.total() > builtin.total());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let profile = TuningProfile::builtin()
+            .with_points(
+                HeuristicKind::Vulnerability,
+                "cve",
+                CriteriaPoints::new(20, 5, 1, 1),
+            )
+            .with_points(
+                HeuristicKind::Malware,
+                "status",
+                CriteriaPoints::new(9, 1, 5, 1),
+            );
+        let json = profile.to_json();
+        let back = TuningProfile::from_json(&json).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn unknown_features_are_reported() {
+        let profile = TuningProfile::from_json(
+            r#"{
+                "vulnerability": {"no_such_feature": {"relevance":1,"accuracy":1,"timeliness":1,"variety":1}},
+                "frobnicator": {"x": {"relevance":1,"accuracy":1,"timeliness":1,"variety":1}}
+            }"#,
+        )
+        .unwrap();
+        let unknown = profile.unknown_features();
+        assert_eq!(unknown.len(), 2);
+        assert!(unknown.iter().any(|u| u.contains("no_such_feature")));
+        assert!(unknown.iter().any(|u| u.contains("frobnicator")));
+        assert!(TuningProfile::builtin().unknown_features().is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(TuningProfile::from_json("not json").is_err());
+        assert!(TuningProfile::from_json(r#"{"vulnerability": 3}"#).is_err());
+    }
+}

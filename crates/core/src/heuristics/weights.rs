@@ -1,0 +1,222 @@
+//! Weight schemes: how `Pᵢ` is obtained.
+//!
+//! The paper uses both forms. Table I fixes per-feature weights
+//! (P₁ = 0.10 … P₅ = 0.10) that stay fixed even when a feature is empty
+//! (H₂'s score is `4/5 × Σ Xᵢ·Pᵢ` with the original weights). Table V
+//! derives each weight from the feature's expert criteria points,
+//! normalized **over the evaluated features only** (the eight evaluated
+//! rows' points sum to 84 and the discarded `valid_until` contributes
+//! nothing to the denominator).
+
+use serde::{Deserialize, Serialize};
+
+use super::criteria::CriteriaPoints;
+use super::feature::FeatureValue;
+
+/// Whether weights renormalize when features are empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum NormalizationPolicy {
+    /// Weights stay as configured (Table I's behaviour: an empty
+    /// feature's weight is simply lost).
+    #[default]
+    Fixed,
+    /// Weights renormalize over the evaluated features (Table V's
+    /// behaviour).
+    OverEvaluated,
+}
+
+/// How feature weights `Pᵢ` are determined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WeightScheme {
+    /// Explicit per-feature weights plus a normalization policy.
+    Static {
+        /// The per-feature weights, in feature order.
+        weights: Vec<f64>,
+        /// Renormalization behaviour on empty features.
+        policy: NormalizationPolicy,
+    },
+    /// Weights derived from expert criteria points, always normalized
+    /// over the evaluated features.
+    Criteria {
+        /// Per-feature criteria points, in feature order.
+        points: Vec<CriteriaPoints>,
+    },
+}
+
+impl WeightScheme {
+    /// A static scheme with fixed weights (Table I's configuration).
+    pub fn fixed(weights: Vec<f64>) -> Self {
+        WeightScheme::Static {
+            weights,
+            policy: NormalizationPolicy::Fixed,
+        }
+    }
+
+    /// A criteria-derived scheme (Table V's configuration).
+    pub fn from_criteria(points: Vec<CriteriaPoints>) -> Self {
+        WeightScheme::Criteria { points }
+    }
+
+    /// Number of features the scheme covers.
+    pub fn len(&self) -> usize {
+        match self {
+            WeightScheme::Static { weights, .. } => weights.len(),
+            WeightScheme::Criteria { points } => points.len(),
+        }
+    }
+
+    /// Whether the scheme covers no features.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves the effective per-feature weights for a particular
+    /// evaluation (empty features receive weight 0 under renormalizing
+    /// policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len()` differs from the scheme length; the
+    /// registry guarantees matching lengths, and a mismatch is a
+    /// programming error.
+    pub fn resolve(&self, values: &[FeatureValue]) -> Vec<f64> {
+        assert_eq!(
+            values.len(),
+            self.len(),
+            "weight scheme covers {} features but {} were evaluated",
+            self.len(),
+            values.len()
+        );
+        match self {
+            WeightScheme::Static { weights, policy } => match policy {
+                NormalizationPolicy::Fixed => weights.clone(),
+                NormalizationPolicy::OverEvaluated => {
+                    let denom: f64 = weights
+                        .iter()
+                        .zip(values)
+                        .filter(|(_, v)| v.is_evaluated())
+                        .map(|(w, _)| *w)
+                        .sum();
+                    if denom == 0.0 {
+                        return vec![0.0; weights.len()];
+                    }
+                    weights
+                        .iter()
+                        .zip(values)
+                        .map(|(w, v)| if v.is_evaluated() { w / denom } else { 0.0 })
+                        .collect()
+                }
+            },
+            WeightScheme::Criteria { points } => {
+                let denom: u32 = points
+                    .iter()
+                    .zip(values)
+                    .filter(|(_, v)| v.is_evaluated())
+                    .map(|(p, _)| p.total())
+                    .sum();
+                if denom == 0 {
+                    return vec![0.0; points.len()];
+                }
+                points
+                    .iter()
+                    .zip(values)
+                    .map(|(p, v)| {
+                        if v.is_evaluated() {
+                            f64::from(p.total()) / f64::from(denom)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_weights_pass_through() {
+        let scheme = WeightScheme::fixed(vec![0.10, 0.25, 0.40, 0.15, 0.10]);
+        let values = [3, 4, 3, 1, 5].map(FeatureValue::scored);
+        assert_eq!(scheme.resolve(&values), vec![0.10, 0.25, 0.40, 0.15, 0.10]);
+        // Empty features keep their (now unused) weight under Fixed.
+        let with_empty = [5, 2, 2, 4, 0].map(FeatureValue::scored);
+        assert_eq!(
+            scheme.resolve(&with_empty),
+            vec![0.10, 0.25, 0.40, 0.15, 0.10]
+        );
+    }
+
+    #[test]
+    fn static_renormalization() {
+        let scheme = WeightScheme::Static {
+            weights: vec![0.5, 0.5],
+            policy: NormalizationPolicy::OverEvaluated,
+        };
+        let values = [FeatureValue::Scored(3), FeatureValue::Empty];
+        assert_eq!(scheme.resolve(&values), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn criteria_weights_match_table5() {
+        // Table V point totals: the evaluated eight features sum to 84.
+        let points = vec![
+            CriteriaPoints::new(5, 1, 1, 1),  // operating_system      8
+            CriteriaPoints::new(5, 1, 1, 1),  // source_diversity      8
+            CriteriaPoints::new(5, 5, 1, 1),  // application          12
+            CriteriaPoints::new(5, 1, 1, 1),  // vuln_app_in_alarm     8
+            CriteriaPoints::new(1, 1, 1, 1),  // modified_created      4
+            CriteriaPoints::new(1, 1, 1, 1),  // valid_from            4
+            CriteriaPoints::new(1, 1, 1, 1),  // valid_until           4 (empty)
+            CriteriaPoints::new(7, 10, 1, 5), // external_references  23
+            CriteriaPoints::new(10, 5, 1, 1), // cve                  17
+        ];
+        let scheme = WeightScheme::from_criteria(points);
+        let values = [
+            FeatureValue::Scored(3),
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(2),
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(2),
+            FeatureValue::Scored(1),
+            FeatureValue::Empty, // valid_until discarded
+            FeatureValue::Scored(5),
+            FeatureValue::Scored(4),
+        ];
+        let weights = scheme.resolve(&values);
+        // Paper's printed Pᵢ (4 decimals).
+        let expected = [
+            8.0 / 84.0,  // 0.0952
+            8.0 / 84.0,  // 0.0952
+            12.0 / 84.0, // 0.1429
+            8.0 / 84.0,  // 0.0952
+            4.0 / 84.0,  // 0.0476
+            4.0 / 84.0,  // 0.0476
+            0.0,
+            23.0 / 84.0, // 0.2738
+            17.0 / 84.0, // 0.2024
+        ];
+        for (w, e) in weights.iter().zip(expected) {
+            assert!((w - e).abs() < 1e-12, "{w} vs {e}");
+        }
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_empty_resolves_to_zero() {
+        let scheme = WeightScheme::from_criteria(vec![CriteriaPoints::new(1, 1, 1, 1); 3]);
+        let values = [FeatureValue::Empty; 3];
+        assert_eq!(scheme.resolve(&values), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight scheme covers")]
+    fn length_mismatch_panics() {
+        let scheme = WeightScheme::fixed(vec![1.0]);
+        let _ = scheme.resolve(&[FeatureValue::Empty, FeatureValue::Empty]);
+    }
+}

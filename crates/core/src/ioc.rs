@@ -1,0 +1,228 @@
+//! The three IoC forms of Section III: composed, enriched and reduced.
+
+use cais_common::{Timestamp, Uuid};
+use cais_feeds::{FeedRecord, ThreatCategory};
+use serde::{Deserialize, Serialize};
+
+use cais_infra::NodeId;
+
+use crate::heuristics::{CriteriaTotals, HeuristicKind, ThreatScore};
+
+/// A **composed IoC (cIoC)**: "the result of the aggregation and
+/// normalization of OSINT data, retrieved from various feeds, expressed
+/// in different formats".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComposedIoc {
+    /// Stable identifier.
+    pub id: Uuid,
+    /// The threat category all member records share.
+    pub category: ThreatCategory,
+    /// The correlated, deduplicated records composing this IoC.
+    pub records: Vec<FeedRecord>,
+    /// When the composition happened.
+    pub composed_at: Timestamp,
+}
+
+impl ComposedIoc {
+    /// Creates a cIoC over correlated records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `records` is empty — a cIoC is *composed of* events;
+    /// the aggregator never emits empty clusters.
+    pub fn new(category: ThreatCategory, records: Vec<FeedRecord>, composed_at: Timestamp) -> Self {
+        assert!(!records.is_empty(), "a cIoC must contain records");
+        // Deterministic id from member dedup keys, so identical clusters
+        // compose to the same IoC across runs.
+        let mut keys: Vec<String> = records.iter().map(FeedRecord::dedup_key).collect();
+        keys.sort_unstable();
+        let id = Uuid::new_v5(&format!("cioc|{category}|{}", keys.join(",")));
+        ComposedIoc {
+            id,
+            category,
+            records,
+            composed_at,
+        }
+    }
+
+    /// The distinct feed sources that contributed.
+    pub fn sources(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.records.iter().map(|r| r.source.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The first CVE any member carries, if one does.
+    pub fn cve(&self) -> Option<&str> {
+        self.records.iter().find_map(|r| r.cve.as_deref())
+    }
+
+    /// A one-line summary for event titles.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cluster of {} records from {} sources",
+            self.category,
+            self.records.len(),
+            self.sources().len()
+        )
+    }
+}
+
+/// An **enriched IoC (eIoC)**: a cIoC "after the correlation … with
+/// static and real-time information associated to the monitored
+/// infrastructure", carrying the computed Threat Score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnrichedIoc {
+    /// Identifier (shared with the underlying cIoC).
+    pub id: Uuid,
+    /// The composed IoC this enriches.
+    pub composed: ComposedIoc,
+    /// Which heuristic scored it.
+    pub heuristic: HeuristicKind,
+    /// The Threat Score with its full breakdown.
+    pub threat_score: ThreatScore,
+    /// The MISP event holding the stored form, when persisted.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub misp_event_id: Option<u64>,
+    /// When enrichment happened.
+    pub enriched_at: Timestamp,
+}
+
+impl EnrichedIoc {
+    /// The final score value.
+    pub fn score(&self) -> f64 {
+        self.threat_score.total()
+    }
+}
+
+/// A **reduced IoC (rIoC)**: "the reduced version of the corresponding
+/// enriched one … with just the most relevant information from the
+/// monitored infrastructure point of view", sent to the dashboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReducedIoc {
+    /// Identifier (shared with the eIoC it reduces).
+    pub id: Uuid,
+    /// The CVE, when the underlying threat has one.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cve: Option<String>,
+    /// Brief description of the vulnerability/threat.
+    pub description: String,
+    /// The affected application the inventory matched.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub affected_application: Option<String>,
+    /// The final Threat Score.
+    pub threat_score: f64,
+    /// Per-criterion point totals behind the score, when the heuristic
+    /// derived its weights from criteria — the paper's future-work item
+    /// of displaying "detailed information about each single criterion"
+    /// on the dashboard.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub criteria: Option<CriteriaTotals>,
+    /// The nodes the IoC is associated with (all nodes on a
+    /// common-keyword match).
+    pub nodes: Vec<NodeId>,
+    /// Whether the association came from a common keyword.
+    pub via_common_keyword: bool,
+    /// Link back to the stored eIoC's MISP event.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub misp_event_id: Option<u64>,
+}
+
+impl ReducedIoc {
+    /// The paper's dashboard priority reading of the score.
+    pub fn priority_label(&self) -> &'static str {
+        if self.threat_score < 1.0 {
+            "very-low"
+        } else if self.threat_score < 2.0 {
+            "low"
+        } else if self.threat_score < 3.0 {
+            "medium"
+        } else if self.threat_score < 4.0 {
+            "high"
+        } else {
+            "critical"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Observable, ObservableKind};
+
+    fn record(value: &str, source: &str) -> FeedRecord {
+        FeedRecord::new(
+            Observable::new(ObservableKind::Domain, value),
+            ThreatCategory::MalwareDomain,
+            source,
+            Timestamp::EPOCH,
+        )
+    }
+
+    #[test]
+    fn cioc_id_is_content_addressed() {
+        let a = ComposedIoc::new(
+            ThreatCategory::MalwareDomain,
+            vec![record("a.example", "f1"), record("b.example", "f2")],
+            Timestamp::EPOCH,
+        );
+        let b = ComposedIoc::new(
+            ThreatCategory::MalwareDomain,
+            vec![record("b.example", "f2"), record("a.example", "f1")],
+            Timestamp::EPOCH.add_days(1),
+        );
+        assert_eq!(a.id, b.id, "member order and time do not change identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain records")]
+    fn empty_cioc_panics() {
+        let _ = ComposedIoc::new(ThreatCategory::Spam, Vec::new(), Timestamp::EPOCH);
+    }
+
+    #[test]
+    fn sources_are_deduped() {
+        let c = ComposedIoc::new(
+            ThreatCategory::MalwareDomain,
+            vec![
+                record("a.example", "feed-1"),
+                record("b.example", "feed-1"),
+                record("c.example", "feed-2"),
+            ],
+            Timestamp::EPOCH,
+        );
+        assert_eq!(c.sources(), vec!["feed-1", "feed-2"]);
+        assert!(c.summary().contains("3 records"));
+    }
+
+    #[test]
+    fn cve_surfaces_from_members() {
+        let mut with_cve = record("exploit.example", "f");
+        with_cve.cve = Some("CVE-2017-9805".into());
+        let c = ComposedIoc::new(
+            ThreatCategory::VulnerabilityExploitation,
+            vec![record("a.example", "f"), with_cve],
+            Timestamp::EPOCH,
+        );
+        assert_eq!(c.cve(), Some("CVE-2017-9805"));
+    }
+
+    #[test]
+    fn rioc_priority_labels() {
+        let mut rioc = ReducedIoc {
+            id: Uuid::NIL,
+            cve: None,
+            description: "d".into(),
+            affected_application: None,
+            threat_score: 2.7406,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        };
+        assert_eq!(rioc.priority_label(), "medium");
+        rioc.threat_score = 4.2;
+        assert_eq!(rioc.priority_label(), "critical");
+    }
+}

@@ -1,0 +1,55 @@
+//! # cais-core
+//!
+//! The paper's primary contribution: the Context-Aware OSINT Platform's
+//! operational core.
+//!
+//! * [`collector`] — the Input Module: OSINT deduplication, aggregation
+//!   by threat category, pairwise correlation into **composed IoCs
+//!   (cIoCs)**, and the infrastructure collector.
+//! * [`heuristics`] — the Heuristic Component: features, the
+//!   Relevance/Accuracy/Timeliness/Variety weighting criteria,
+//!   completeness, and the Threat Score `TS = Cp × Σ Xi·Pi` (Eq. 1),
+//!   reproducing Table I and Table V of the paper exactly.
+//! * [`enrich`] — cIoC + infrastructure context → **enriched IoC
+//!   (eIoC)** carrying the score and its per-criterion breakdown.
+//! * [`reduce`] — eIoC × inventory → **reduced IoC (rIoC)** associated
+//!   with the affected nodes (common keywords match all nodes).
+//! * [`pipeline`] — the end-to-end platform of Fig. 1, wired over the
+//!   MISP instance and the message bus.
+//! * [`baseline`] — the static, context-free scorer the paper's
+//!   approach improves on, plus detection/false-positive evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_core::heuristics::{score, FeatureValue, WeightScheme};
+//!
+//! // Table I, heuristic H1: X = (3,4,3,1,5), static weights.
+//! let weights = WeightScheme::fixed(vec![0.10, 0.25, 0.40, 0.15, 0.10]);
+//! let values = [3, 4, 3, 1, 5].map(FeatureValue::scored);
+//! let ts = score::threat_score(&values, &weights).total();
+//! assert!((ts - 3.15).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod collector;
+pub mod context;
+pub mod detection;
+pub mod enrich;
+pub mod error;
+pub mod heuristics;
+pub mod ioc;
+pub mod pipeline;
+pub mod reduce;
+
+pub use context::EvaluationContext;
+pub use detection::{Detection, DetectionEngine};
+pub use enrich::Enricher;
+pub use error::CoreError;
+pub use heuristics::{FeatureValue, HeuristicKind, WeightScheme};
+pub use ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
+pub use pipeline::{Platform, PlatformConfig, PlatformReport};
+pub use reduce::Reducer;

@@ -1,0 +1,636 @@
+//! The end-to-end platform of Fig. 1: Input Module → Operational Module
+//! (MISP + Heuristic Component) → Output Module.
+//!
+//! Data flow, exactly as Section IV-A narrates it: collectors push IoCs
+//! into the MISP instance; OSINT events trigger the real-time sharing
+//! mechanism (the message bus standing in for zeroMQ); the Heuristic
+//! Component scores them against infrastructure data; the eIoC is
+//! written back to MISP; and when the inventory matches, the rIoC goes
+//! out to the dashboard topic (socket.io in the paper).
+
+use std::sync::Arc;
+
+use cais_bus::{topics, Broker, Topic};
+
+use cais_feeds::FeedRecord;
+use cais_infra::sensors::{hids, nids};
+use cais_misp::MispApi;
+use serde::{Deserialize, Serialize};
+
+use crate::collector::{InfrastructureCollector, OsintCollector};
+use crate::context::EvaluationContext;
+use crate::enrich::{persist_enriched, Enricher};
+use crate::error::CoreError;
+use crate::ioc::{EnrichedIoc, ReducedIoc};
+use crate::reduce::Reducer;
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// The operating organization (stamped on MISP events).
+    pub org: String,
+    /// Whether eIoCs are published on the MISP instance after
+    /// enrichment (enables onward sharing).
+    pub publish_enriched: bool,
+    /// Whether the NLP classifier of Section II-A drops feed records
+    /// whose descriptions carry no threat language ("tag OSINT data as
+    /// relevant or irrelevant"). Records without descriptions pass
+    /// untouched.
+    pub nlp_relevance_filter: bool,
+    /// Whether MISP-style warninglists drop feed records whose values
+    /// are known-benign (private/reserved addresses, public resolvers,
+    /// reserved domains, empty-input hashes).
+    pub warninglist_filter: bool,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            org: "CAIS".to_owned(),
+            publish_enriched: true,
+            nlp_relevance_filter: false,
+            warninglist_filter: false,
+        }
+    }
+}
+
+/// Counters of one ingestion round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlatformReport {
+    /// Feed records offered.
+    pub records_in: usize,
+    /// Records the NLP relevance filter dropped (0 unless enabled).
+    #[serde(default)]
+    pub nlp_filtered: usize,
+    /// Records the warninglist filter dropped as known-benign.
+    #[serde(default)]
+    pub benign_filtered: usize,
+    /// Records dropped by deduplication.
+    pub duplicates_dropped: usize,
+    /// Composed IoCs created.
+    pub ciocs: usize,
+    /// Enriched IoCs produced (always equals `ciocs`).
+    pub eiocs: usize,
+    /// Reduced IoCs that matched the infrastructure.
+    pub riocs: usize,
+}
+
+/// The assembled Context-Aware OSINT Platform.
+pub struct Platform {
+    config: PlatformConfig,
+    broker: Broker,
+    misp: MispApi,
+    ctx: EvaluationContext,
+    enricher: Enricher,
+    reducer: Reducer,
+    osint: OsintCollector,
+    infra: InfrastructureCollector,
+    classifier: cais_nlp::ThreatClassifier,
+    quality: cais_feeds::QualityTracker,
+    detection: crate::detection::DetectionEngine,
+    detections: Vec<crate::detection::Detection>,
+    alarms_forwarded: usize,
+    riocs: Vec<ReducedIoc>,
+    eiocs: Vec<EnrichedIoc>,
+}
+
+impl Platform {
+    /// Assembles the platform around an evaluation context.
+    pub fn new(config: PlatformConfig, ctx: EvaluationContext) -> Self {
+        let broker = Broker::new();
+        let misp = MispApi::new(config.org.clone()).with_broker(broker.clone());
+        let enricher = Enricher::new(ctx.clone());
+        let reducer = Reducer::new(Arc::clone(&ctx.inventory));
+        let infra =
+            InfrastructureCollector::new(Arc::clone(&ctx.inventory), Arc::clone(&ctx.sightings));
+        Platform {
+            config,
+            broker,
+            misp,
+            ctx,
+            enricher,
+            reducer,
+            osint: OsintCollector::new(),
+            classifier: cais_nlp::ThreatClassifier::new(),
+            quality: cais_feeds::QualityTracker::new(),
+            infra,
+            alarms_forwarded: 0,
+            detection: crate::detection::DetectionEngine::new(4_096),
+            detections: Vec::new(),
+            riocs: Vec::new(),
+            eiocs: Vec::new(),
+        }
+    }
+
+    /// A platform over the paper's Table III context.
+    pub fn paper_use_case() -> Self {
+        Platform::new(PlatformConfig::default(), EvaluationContext::paper_use_case())
+    }
+
+    /// The message bus (subscribe to [`topics::RIOC_PUBLISHED`] for the
+    /// dashboard feed).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The MISP instance.
+    pub fn misp(&self) -> &MispApi {
+        &self.misp
+    }
+
+    /// The evaluation context.
+    pub fn context(&self) -> &EvaluationContext {
+        &self.ctx
+    }
+
+    /// Every rIoC produced so far.
+    pub fn riocs(&self) -> &[ReducedIoc] {
+        &self.riocs
+    }
+
+    /// Every eIoC produced so far.
+    pub fn eiocs(&self) -> &[EnrichedIoc] {
+        &self.eiocs
+    }
+
+    /// Runs one OSINT ingestion round: dedup → aggregate/correlate →
+    /// store in MISP → heuristic analysis → eIoC write-back →
+    /// reduction → dashboard publication.
+    ///
+    /// # Errors
+    ///
+    /// Returns MISP persistence errors; scoring itself cannot fail.
+    pub fn ingest_feed_records(
+        &mut self,
+        records: Vec<FeedRecord>,
+    ) -> Result<PlatformReport, CoreError> {
+        let mut report = PlatformReport {
+            records_in: records.len(),
+            ..PlatformReport::default()
+        };
+        let records = if self.config.nlp_relevance_filter {
+            let before = records.len();
+            let kept: Vec<FeedRecord> = records
+                .into_iter()
+                .filter(|record| match &record.description {
+                    Some(description) => self.classifier.classify(description).is_relevant(),
+                    None => true,
+                })
+                .collect();
+            report.nlp_filtered = before - kept.len();
+            kept
+        } else {
+            records
+        };
+        let records = if self.config.warninglist_filter {
+            let before = records.len();
+            let kept: Vec<FeedRecord> = records
+                .into_iter()
+                .filter(|record| {
+                    cais_misp::warninglist::check_observable(&record.observable).is_none()
+                })
+                .collect();
+            report.benign_filtered = before - kept.len();
+            kept
+        } else {
+            records
+        };
+        self.quality.record_batch(&records, self.ctx.now);
+        let dropped_before = self.osint.dedup_stats().dropped;
+        let ciocs = self.osint.ingest(records, self.ctx.now);
+        report.duplicates_dropped = self.osint.dedup_stats().dropped - dropped_before;
+        report.ciocs = ciocs.len();
+
+        for cioc in ciocs {
+            let _ = self
+                .broker
+                .publish_value(Topic::new(topics::CIOC_RECEIVED), &cioc);
+            let mut eioc = self.enricher.enrich(cioc);
+            let event_id = persist_enriched(&self.misp, &mut eioc)?;
+            if self.config.publish_enriched {
+                self.misp.publish_event(event_id)?;
+            }
+            let _ = self
+                .broker
+                .publish_value(Topic::new(topics::EIOC_READY), &eioc);
+            report.eiocs += 1;
+
+            if let Some(rioc) = self.reducer.reduce(&eioc) {
+                let _ = self
+                    .broker
+                    .publish_value(Topic::new(topics::RIOC_PUBLISHED), &rioc);
+                self.riocs.push(rioc);
+                report.riocs += 1;
+            }
+            self.eiocs.push(eioc);
+        }
+        Ok(report)
+    }
+
+    /// Ingests a STIX 2.0 bundle from a sharing partner: every object a
+    /// heuristic supports is scored against the context, stored in MISP
+    /// with its threat score, and published. Returns how many objects
+    /// were scored.
+    ///
+    /// # Errors
+    ///
+    /// Returns MISP persistence errors.
+    pub fn ingest_stix_bundle(
+        &mut self,
+        bundle: &cais_stix::Bundle,
+    ) -> Result<usize, CoreError> {
+        use crate::heuristics::generic;
+        // Arm every carried indicator for live detection replay.
+        self.detection.arm_bundle(bundle);
+        let mut scored = 0;
+        for object in bundle.objects() {
+            let Some((heuristic, threat_score)) = generic::evaluate_object(object, &self.ctx)
+            else {
+                continue;
+            };
+            // Reuse the importer for the types it maps; build a minimal
+            // event for the rest.
+            let single = cais_stix::Bundle::new(vec![object.clone()]);
+            let event = cais_misp::import::events_from_stix(&single)
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| {
+                    let mut event = cais_misp::MispEvent::new(format!(
+                        "STIX {}: {}",
+                        object.object_type(),
+                        object.name().unwrap_or("unnamed"),
+                    ));
+                    event.date = object.created();
+                    event
+                });
+            let event_id = self.misp.add_event(event)?;
+            crate::enrich::attach_score(&self.misp, event_id, heuristic, &threat_score)?;
+            if self.config.publish_enriched {
+                self.misp.publish_event(event_id)?;
+            }
+            scored += 1;
+        }
+        Ok(scored)
+    }
+
+    /// Feeds network packets through the infrastructure collector,
+    /// forwarding fresh alarms to the context and the bus, and replays
+    /// armed indicator patterns over the traffic.
+    pub fn ingest_packets(&mut self, packets: &[nids::Packet]) {
+        self.infra.ingest_packets(packets);
+        self.forward_alarms();
+        let observations: Vec<cais_stix::pattern::Observation> = packets
+            .iter()
+            .map(|p| {
+                cais_stix::pattern::Observation::at(p.at)
+                    .with_object(cais_stix::sdo::CyberObservable::new(
+                        "ipv4-addr",
+                        p.src_ip.clone(),
+                    ))
+                    .with_object(cais_stix::sdo::CyberObservable::new(
+                        "ipv4-addr",
+                        p.dst_ip.clone(),
+                    ))
+            })
+            .collect();
+        let detections = self
+            .detection
+            .ingest(observations, self.ctx.now, &self.ctx.sightings);
+        for detection in detections {
+            let _ = self
+                .broker
+                .publish_value(Topic::new(topics::DETECTION_FIRED), &detection);
+            self.detections.push(detection);
+        }
+    }
+
+    /// Feeds host logs through the infrastructure collector.
+    pub fn ingest_logs(&mut self, logs: &[hids::LogLine]) {
+        self.infra.ingest_logs(logs);
+        self.forward_alarms();
+    }
+
+    /// Every indicator-pattern detection fired so far.
+    pub fn detections(&self) -> &[crate::detection::Detection] {
+        &self.detections
+    }
+
+    /// Per-feed quality grades (0–5), best feed first — volume-unique
+    /// contribution, freshness and reliability combined.
+    pub fn feed_scoreboard(&self) -> Vec<(String, f64)> {
+        self.quality
+            .scoreboard()
+            .into_iter()
+            .map(|(source, grade)| (source.to_owned(), grade))
+            .collect()
+    }
+
+    /// Number of indicators armed for detection replay.
+    pub fn armed_indicators(&self) -> usize {
+        self.detection.armed()
+    }
+
+    fn forward_alarms(&mut self) {
+        let alarms = self.infra.alarms();
+        for alarm in &alarms[self.alarms_forwarded.min(alarms.len())..] {
+            self.ctx.push_alarm(alarm.clone());
+            let _ = self
+                .broker
+                .publish_value(Topic::new(topics::ALARM_RAISED), alarm);
+        }
+        self.alarms_forwarded = alarms.len();
+    }
+
+    /// Shares every published eIoC event to another MISP instance
+    /// (trusted-organization sharing), returning how many transferred.
+    pub fn share_with(&self, partner: &MispApi) -> usize {
+        cais_misp::sync::push(&self.misp, partner).transferred
+    }
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("org", &self.config.org)
+            .field("eiocs", &self.eiocs.len())
+            .field("riocs", &self.riocs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::vulnerability::paper_rce_ioc;
+    use cais_common::{Observable, ObservableKind, Timestamp};
+    use cais_feeds::ThreatCategory;
+
+    fn struts_record(now: Timestamp) -> FeedRecord {
+        FeedRecord::new(
+            Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+            ThreatCategory::VulnerabilityExploitation,
+            "nvd-feed",
+            now.add_days(-100),
+        )
+        .with_cve("CVE-2017-9805")
+        .with_description("remote code execution in apache struts")
+    }
+
+    #[test]
+    fn end_to_end_use_case_flow() {
+        let mut platform = Platform::paper_use_case();
+        let rioc_feed = platform.broker().subscribe("cais.rioc.published");
+        let now = platform.context().now;
+
+        let report = platform
+            .ingest_feed_records(vec![struts_record(now), struts_record(now)])
+            .unwrap();
+        assert_eq!(report.records_in, 2);
+        assert_eq!(report.duplicates_dropped, 1);
+        assert_eq!(report.ciocs, 1);
+        assert_eq!(report.eiocs, 1);
+        assert_eq!(report.riocs, 1);
+
+        // The dashboard topic carried the rIoC.
+        let messages = rioc_feed.drain();
+        assert_eq!(messages.len(), 1);
+        let rioc: ReducedIoc = messages[0].decode().unwrap();
+        assert_eq!(rioc.cve.as_deref(), Some("CVE-2017-9805"));
+        assert_eq!(rioc.nodes, vec![cais_infra::NodeId(4)]);
+
+        // The eIoC landed in MISP with its score.
+        let event = platform
+            .misp()
+            .get_event(rioc.misp_event_id.unwrap())
+            .unwrap();
+        assert!(event.published);
+        assert!(event.threat_score().is_some());
+    }
+
+    #[test]
+    fn irrelevant_iocs_do_not_reach_the_dashboard() {
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Domain, "unrelated.example"),
+            ThreatCategory::MalwareDomain,
+            "feed",
+            now,
+        );
+        let report = platform.ingest_feed_records(vec![record]).unwrap();
+        assert_eq!(report.eiocs, 1);
+        assert_eq!(report.riocs, 0);
+        assert!(platform.riocs().is_empty());
+        // …but the eIoC is still stored for future correlation.
+        assert_eq!(platform.misp().store().len(), 1);
+    }
+
+    #[test]
+    fn alarms_feed_the_heuristics() {
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        // Struts exploitation traffic against node 4 raises an alarm
+        // tagged apache-struts…
+        let packet = nids::Packet {
+            at: now,
+            src_ip: "203.0.113.9".into(),
+            dst_ip: "192.168.1.14".into(),
+            dst_port: 8080,
+            payload: "XStreamHandler xstream exploit".into(),
+        };
+        platform.ingest_packets(&[packet]);
+        assert_eq!(platform.context().alarms.read().len(), 1);
+
+        // …so the use-case IoC now scores above its alarm-free 2.7407.
+        let score_with_alarm = crate::heuristics::vulnerability::evaluate(
+            &paper_rce_ioc(),
+            platform.context(),
+        );
+        assert!(score_with_alarm.total() > 2.7407);
+    }
+
+    #[test]
+    fn sharing_transfers_published_events() {
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        platform
+            .ingest_feed_records(vec![struts_record(now)])
+            .unwrap();
+        let partner = MispApi::new("partner-org");
+        let transferred = platform.share_with(&partner);
+        assert_eq!(transferred, 1);
+        assert_eq!(partner.store().len(), 1);
+    }
+
+    #[test]
+    fn report_counters_accumulate_per_round() {
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        platform
+            .ingest_feed_records(vec![struts_record(now)])
+            .unwrap();
+        // Second round: the same record is a pure duplicate.
+        let report = platform
+            .ingest_feed_records(vec![struts_record(now)])
+            .unwrap();
+        assert_eq!(report.duplicates_dropped, 1);
+        assert_eq!(report.ciocs, 0);
+        assert_eq!(platform.eiocs().len(), 1);
+    }
+
+    #[test]
+    fn nlp_filter_drops_irrelevant_descriptions() {
+        let mut platform = Platform::new(
+            PlatformConfig {
+                nlp_relevance_filter: true,
+                ..PlatformConfig::default()
+            },
+            crate::context::EvaluationContext::paper_use_case(),
+        );
+        let now = platform.context().now;
+        let threat = struts_record(now); // "remote code execution" fires
+        let noise = FeedRecord::new(
+            Observable::new(ObservableKind::Domain, "pr.example.com"),
+            ThreatCategory::MalwareDomain,
+            "feed",
+            now,
+        )
+        .with_description("company announces record quarterly earnings");
+        let undescribed = FeedRecord::new(
+            Observable::new(ObservableKind::Domain, "bare.example.com"),
+            ThreatCategory::MalwareDomain,
+            "feed",
+            now,
+        );
+        let report = platform
+            .ingest_feed_records(vec![threat, noise, undescribed])
+            .unwrap();
+        assert_eq!(report.records_in, 3);
+        assert_eq!(report.nlp_filtered, 1);
+        assert_eq!(report.ciocs, 2);
+    }
+
+    #[test]
+    fn stix_bundle_ingestion_scores_supported_objects() {
+        use cais_stix::prelude::*;
+        let mut platform = Platform::paper_use_case();
+        let stamp = platform.context().now.add_days(-3);
+        let bundle = Bundle::new(vec![
+            Malware::builder("emotet")
+                .label("trojan")
+                .status("active")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
+            Tool::builder("snort")
+                .label("network-capture")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
+            // Unsupported: contributes nothing.
+            Campaign::builder("op-x").created(stamp).modified(stamp).build().into(),
+        ]);
+        let scored = platform.ingest_stix_bundle(&bundle).unwrap();
+        assert_eq!(scored, 2);
+        assert_eq!(platform.misp().store().len(), 2);
+        for event in platform.misp().store().all() {
+            assert!(event.threat_score().is_some());
+            assert!(event.published);
+        }
+    }
+
+    #[test]
+    fn partner_indicators_detect_live_traffic() {
+        use cais_stix::prelude::*;
+        let mut platform = Platform::paper_use_case();
+        let detections_feed = platform.broker().subscribe("cais.detection.fired");
+        let stamp = platform.context().now.add_days(-1);
+
+        // A partner shares an indicator for a known C2 address.
+        let mut builder =
+            Indicator::builder("[ipv4-addr:value = '203.0.113.77']", stamp);
+        builder
+            .name("partner-c2")
+            .label("malicious-activity")
+            .created(stamp)
+            .modified(stamp);
+        let bundle = Bundle::new(vec![builder.build().into()]);
+        platform.ingest_stix_bundle(&bundle).unwrap();
+        assert_eq!(platform.armed_indicators(), 1);
+
+        // Traffic from that address arrives.
+        let packet = nids::Packet {
+            at: platform.context().now,
+            src_ip: "203.0.113.77".into(),
+            dst_ip: "192.168.1.11".into(),
+            dst_port: 443,
+            payload: "tls".into(),
+        };
+        platform.ingest_packets(&[packet]);
+        assert_eq!(platform.detections().len(), 1);
+        assert_eq!(platform.detections()[0].indicator_name, "partner-c2");
+        assert_eq!(detections_feed.drain().len(), 1);
+        // The detection registered a sighting, so future scoring sees
+        // infrastructure-confirmed evidence.
+        assert!(platform
+            .context()
+            .sightings
+            .has_seen(&cais_common::Observable::parse("203.0.113.77").unwrap()));
+    }
+}
+
+#[cfg(test)]
+mod warninglist_tests {
+    use super::*;
+    use cais_common::{Observable, ObservableKind};
+    use cais_feeds::ThreatCategory;
+
+    #[test]
+    fn warninglist_filter_drops_known_benign_values() {
+        let mut platform = Platform::new(
+            PlatformConfig {
+                warninglist_filter: true,
+                ..PlatformConfig::default()
+            },
+            crate::context::EvaluationContext::paper_use_case(),
+        );
+        let now = platform.context().now;
+        let make = |kind, value: &str| {
+            FeedRecord::new(
+                Observable::new(kind, value),
+                ThreatCategory::CommandAndControl,
+                "feed",
+                now,
+            )
+        };
+        let report = platform
+            .ingest_feed_records(vec![
+                make(ObservableKind::Ipv4, "10.0.0.7"),          // private
+                make(ObservableKind::Ipv4, "8.8.8.8"),           // resolver
+                make(ObservableKind::Domain, "foo.test"),        // reserved TLD
+                make(ObservableKind::Ipv4, "45.33.12.7"),        // genuine
+                make(ObservableKind::Domain, "real-threat.ru"),  // genuine
+            ])
+            .unwrap();
+        assert_eq!(report.records_in, 5);
+        assert_eq!(report.benign_filtered, 3);
+        assert_eq!(report.ciocs, 2);
+    }
+
+    #[test]
+    fn filter_off_passes_everything() {
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Ipv4, "10.0.0.7"),
+            ThreatCategory::CommandAndControl,
+            "feed",
+            now,
+        );
+        let report = platform.ingest_feed_records(vec![record]).unwrap();
+        assert_eq!(report.benign_filtered, 0);
+        assert_eq!(report.ciocs, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Reduction: eIoC × inventory → rIoC.
+//!
+//! Section IV: "Every eIoC is checked against this information
+//! [the inventory] and, if there is a match, the rIoC is generated,
+//! associated to a specific node, and, finally, sent to the Output
+//! Module. If there is no match, the rIoC is not generated, while, if
+//! the match is with a common keyword (e.g., Linux), the new rIoC is
+//! associated with all nodes."
+
+use std::sync::Arc;
+
+use cais_infra::Inventory;
+
+use crate::heuristics::HeuristicKind;
+use crate::ioc::{EnrichedIoc, ReducedIoc};
+
+/// The Output Module's reduction step.
+#[derive(Debug, Clone)]
+pub struct Reducer {
+    inventory: Arc<Inventory>,
+}
+
+impl Reducer {
+    /// Creates a reducer over the inventory.
+    pub fn new(inventory: Arc<Inventory>) -> Self {
+        Reducer { inventory }
+    }
+
+    /// Applies the paper's three-way rule. Returns `None` when nothing
+    /// in the infrastructure is affected — the eIoC stays stored for
+    /// future correlation, but nothing reaches the dashboard.
+    pub fn reduce(&self, eioc: &EnrichedIoc) -> Option<ReducedIoc> {
+        let candidates = self.candidate_names(eioc);
+        if candidates.is_empty() {
+            return None;
+        }
+        let matched = self.inventory.match_any(&candidates);
+        if !matched.is_match() {
+            return None;
+        }
+        let affected_application = candidates
+            .iter()
+            .find(|c| {
+                let m = self.inventory.match_application(c);
+                m.is_match() && !m.is_common_keyword()
+            })
+            .cloned();
+        let description = eioc
+            .composed
+            .records
+            .iter()
+            .find_map(|r| r.description.clone())
+            .unwrap_or_else(|| eioc.composed.summary());
+        Some(ReducedIoc {
+            id: eioc.id,
+            cve: eioc.composed.cve().map(str::to_owned),
+            description,
+            affected_application,
+            threat_score: eioc.score(),
+            criteria: eioc.threat_score.breakdown().criteria_totals,
+            nodes: matched.node_ids().to_vec(),
+            via_common_keyword: matched.is_common_keyword(),
+            misp_event_id: eioc.misp_event_id,
+        })
+    }
+
+    /// The names the eIoC can be matched on: affected applications and
+    /// operating systems for vulnerability IoCs (from the CVE database
+    /// merge done at enrichment), plus any product words appearing in
+    /// member descriptions.
+    fn candidate_names(&self, eioc: &EnrichedIoc) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        if eioc.heuristic == HeuristicKind::Vulnerability {
+            if let Some(cve) = eioc.composed.cve() {
+                if let Ok(id) = cve.parse::<cais_cvss::CveId>() {
+                    // The reducer re-reads the CVE record: the rIoC must
+                    // name the concrete affected application.
+                    if let Some(record) = self.cve_record(&id) {
+                        names.extend(record.affected_products.iter().cloned());
+                        names.extend(record.affected_os.iter().cloned());
+                    }
+                }
+            }
+        }
+        // Inventory application names mentioned in descriptions also
+        // count (e.g. "exploitation of gitlab instances").
+        for record in &eioc.composed.records {
+            if let Some(description) = &record.description {
+                let lower = description.to_ascii_lowercase();
+                for app in self.inventory.all_applications() {
+                    if lower.contains(app) && !names.iter().any(|n| n == app) {
+                        names.push(app.to_owned());
+                    }
+                }
+                for keyword in self.inventory.common_keywords() {
+                    if lower.contains(keyword.as_str()) && !names.contains(keyword) {
+                        names.push(keyword.clone());
+                    }
+                }
+            }
+        }
+        names
+    }
+
+    fn cve_record(&self, _id: &cais_cvss::CveId) -> Option<cais_cvss::CveRecord> {
+        // The reducer has no CVE database of its own; enrichment merges
+        // database knowledge into the cluster records' descriptions. The
+        // hook stays for deployments that attach one.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EvaluationContext;
+    use crate::enrich::Enricher;
+    use crate::ioc::ComposedIoc;
+    use cais_common::{Observable, ObservableKind};
+    use cais_feeds::{FeedRecord, ThreatCategory};
+    use cais_infra::NodeId;
+
+    fn eioc_with_description(description: &str) -> EnrichedIoc {
+        let ctx = EvaluationContext::paper_use_case();
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+            ThreatCategory::VulnerabilityExploitation,
+            "nvd-feed",
+            ctx.now.add_days(-100),
+        )
+        .with_cve("CVE-2017-9805")
+        .with_description(description);
+        let cioc = ComposedIoc::new(
+            ThreatCategory::VulnerabilityExploitation,
+            vec![record],
+            ctx.now,
+        );
+        Enricher::new(ctx).enrich(cioc)
+    }
+
+    fn reducer() -> Reducer {
+        Reducer::new(Arc::new(Inventory::paper_table3()))
+    }
+
+    #[test]
+    fn apache_match_associates_node4() {
+        let eioc = eioc_with_description("remote code execution in apache struts");
+        let rioc = reducer().reduce(&eioc).expect("match");
+        assert_eq!(rioc.nodes, vec![NodeId(4)]);
+        assert!(!rioc.via_common_keyword);
+        assert_eq!(rioc.cve.as_deref(), Some("CVE-2017-9805"));
+        assert_eq!(rioc.affected_application.as_deref(), Some("apache"));
+        assert!((rioc.threat_score - eioc.score()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_match_generates_nothing() {
+        let eioc = eioc_with_description("vulnerability in some appliance nobody runs");
+        assert!(reducer().reduce(&eioc).is_none());
+    }
+
+    #[test]
+    fn common_keyword_matches_all_nodes() {
+        let eioc = eioc_with_description("privilege escalation affecting all linux kernels");
+        let rioc = reducer().reduce(&eioc).expect("common keyword match");
+        assert!(rioc.via_common_keyword);
+        assert_eq!(rioc.nodes.len(), 4);
+        // No single concrete application: the keyword did the matching.
+        assert_eq!(rioc.affected_application, None);
+    }
+
+    #[test]
+    fn gitlab_match_from_description() {
+        let eioc = eioc_with_description("mass exploitation of gitlab instances observed");
+        let rioc = reducer().reduce(&eioc).expect("match");
+        assert_eq!(rioc.nodes, vec![NodeId(2)]);
+        assert_eq!(rioc.affected_application.as_deref(), Some("gitlab"));
+    }
+
+    #[test]
+    fn rioc_is_smaller_than_its_eioc() {
+        // The whole point of reduction: the dashboard payload is a
+        // fraction of the stored enriched IoC.
+        let eioc = eioc_with_description("remote code execution in apache struts");
+        let rioc = reducer().reduce(&eioc).expect("match");
+        let eioc_size = serde_json::to_string(&eioc).unwrap().len();
+        let rioc_size = serde_json::to_string(&rioc).unwrap().len();
+        assert!(
+            rioc_size * 2 < eioc_size,
+            "rIoC ({rioc_size} B) should be well under half the eIoC ({eioc_size} B)"
+        );
+    }
+}

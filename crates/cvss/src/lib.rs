@@ -1,0 +1,64 @@
+//! # cais-cvss
+//!
+//! CVSS (Common Vulnerability Scoring System) vectors and scores, plus a
+//! CVE record store with a synthetic generator.
+//!
+//! The paper's `cve` heuristic feature scores an IoC by whether it names
+//! a CVE and, if so, how severe that CVE's CVSS is (Table IV: no CVE = 0
+//! … CVE with critical CVSS = 5). The platform therefore needs to parse
+//! CVSS vectors, compute scores and bucket them into severity bands —
+//! and, lacking live NVD access, a synthetic CVE database that exercises
+//! the same lookups.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_cvss::v3::{CvssV3, Severity};
+//!
+//! // CVE-2017-9805, the paper's use case: CVSS v3.0 base score 8.1.
+//! let cvss: CvssV3 = "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+//! assert_eq!(cvss.base_score(), 8.1);
+//! assert_eq!(cvss.severity(), Severity::High);
+//! # Ok::<(), cais_cvss::CvssParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cve;
+pub mod v2;
+pub mod v3;
+
+pub use cve::{CveDatabase, CveId, CveRecord};
+pub use v3::{CvssV3, Severity};
+
+use std::fmt;
+
+/// Error returned when a CVSS vector string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CvssParseError {
+    input: String,
+    reason: String,
+}
+
+impl CvssParseError {
+    pub(crate) fn new(input: &str, reason: impl Into<String>) -> Self {
+        CvssParseError {
+            input: input.to_owned(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for CvssParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVSS vector {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for CvssParseError {}

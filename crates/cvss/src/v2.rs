@@ -1,0 +1,249 @@
+//! CVSS v2 base vectors, kept for feeds that still publish v2 scores.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CvssParseError;
+
+/// Access Vector (AV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AccessVector {
+    Local,
+    AdjacentNetwork,
+    Network,
+}
+
+/// Access Complexity (AC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AccessComplexity {
+    High,
+    Medium,
+    Low,
+}
+
+/// Authentication (Au).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Authentication {
+    Multiple,
+    Single,
+    None,
+}
+
+/// Impact on C/I/A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ImpactV2 {
+    None,
+    Partial,
+    Complete,
+}
+
+/// A CVSS v2 base vector.
+///
+/// # Examples
+///
+/// ```
+/// use cais_cvss::v2::CvssV2;
+///
+/// // CVE-2014-0160 (heartbleed) scored 5.0 under CVSS v2.
+/// let v: CvssV2 = "AV:N/AC:L/Au:N/C:P/I:N/A:N".parse()?;
+/// assert_eq!(v.base_score(), 5.0);
+/// # Ok::<(), cais_cvss::CvssParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CvssV2 {
+    /// Access Vector.
+    pub access_vector: AccessVector,
+    /// Access Complexity.
+    pub access_complexity: AccessComplexity,
+    /// Authentication.
+    pub authentication: Authentication,
+    /// Confidentiality impact.
+    pub confidentiality: ImpactV2,
+    /// Integrity impact.
+    pub integrity: ImpactV2,
+    /// Availability impact.
+    pub availability: ImpactV2,
+}
+
+impl CvssV2 {
+    /// Computes the CVSS v2 base score.
+    pub fn base_score(&self) -> f64 {
+        let impact = 10.41
+            * (1.0
+                - (1.0 - impact_weight(self.confidentiality))
+                    * (1.0 - impact_weight(self.integrity))
+                    * (1.0 - impact_weight(self.availability)));
+        let exploitability = 20.0
+            * match self.access_vector {
+                AccessVector::Local => 0.395,
+                AccessVector::AdjacentNetwork => 0.646,
+                AccessVector::Network => 1.0,
+            }
+            * match self.access_complexity {
+                AccessComplexity::High => 0.35,
+                AccessComplexity::Medium => 0.61,
+                AccessComplexity::Low => 0.71,
+            }
+            * match self.authentication {
+                Authentication::Multiple => 0.45,
+                Authentication::Single => 0.56,
+                Authentication::None => 0.704,
+            };
+        let f_impact = if impact == 0.0 { 0.0 } else { 1.176 };
+        let raw = (0.6 * impact + 0.4 * exploitability - 1.5) * f_impact;
+        (raw * 10.0).round() / 10.0
+    }
+}
+
+fn impact_weight(impact: ImpactV2) -> f64 {
+    match impact {
+        ImpactV2::None => 0.0,
+        ImpactV2::Partial => 0.275,
+        ImpactV2::Complete => 0.660,
+    }
+}
+
+impl FromStr for CvssV2 {
+    type Err = CvssParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &str| CvssParseError::new(s, reason);
+        let body = s.strip_prefix("CVSS:2.0/").unwrap_or(s);
+        let mut av = None;
+        let mut ac = None;
+        let mut au = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+        for part in body.split('/') {
+            let Some((metric, value)) = part.split_once(':') else {
+                return Err(err("metric missing `:`"));
+            };
+            match metric {
+                "AV" => {
+                    av = Some(match value {
+                        "L" => AccessVector::Local,
+                        "A" => AccessVector::AdjacentNetwork,
+                        "N" => AccessVector::Network,
+                        _ => return Err(err("bad AV value")),
+                    })
+                }
+                "AC" => {
+                    ac = Some(match value {
+                        "H" => AccessComplexity::High,
+                        "M" => AccessComplexity::Medium,
+                        "L" => AccessComplexity::Low,
+                        _ => return Err(err("bad AC value")),
+                    })
+                }
+                "Au" => {
+                    au = Some(match value {
+                        "M" => Authentication::Multiple,
+                        "S" => Authentication::Single,
+                        "N" => Authentication::None,
+                        _ => return Err(err("bad Au value")),
+                    })
+                }
+                "C" | "I" | "A" => {
+                    let impact = match value {
+                        "N" => ImpactV2::None,
+                        "P" => ImpactV2::Partial,
+                        "C" => ImpactV2::Complete,
+                        _ => return Err(err("bad impact value")),
+                    };
+                    match metric {
+                        "C" => c = Some(impact),
+                        "I" => i = Some(impact),
+                        _ => a = Some(impact),
+                    }
+                }
+                _ => return Err(err("unknown metric")),
+            }
+        }
+        Ok(CvssV2 {
+            access_vector: av.ok_or_else(|| err("missing AV"))?,
+            access_complexity: ac.ok_or_else(|| err("missing AC"))?,
+            authentication: au.ok_or_else(|| err("missing Au"))?,
+            confidentiality: c.ok_or_else(|| err("missing C"))?,
+            integrity: i.ok_or_else(|| err("missing I"))?,
+            availability: a.ok_or_else(|| err("missing A"))?,
+        })
+    }
+}
+
+impl fmt::Display for CvssV2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AV:{}/AC:{}/Au:{}/C:{}/I:{}/A:{}",
+            match self.access_vector {
+                AccessVector::Local => "L",
+                AccessVector::AdjacentNetwork => "A",
+                AccessVector::Network => "N",
+            },
+            match self.access_complexity {
+                AccessComplexity::High => "H",
+                AccessComplexity::Medium => "M",
+                AccessComplexity::Low => "L",
+            },
+            match self.authentication {
+                Authentication::Multiple => "M",
+                Authentication::Single => "S",
+                Authentication::None => "N",
+            },
+            impact_letter(self.confidentiality),
+            impact_letter(self.integrity),
+            impact_letter(self.availability),
+        )
+    }
+}
+
+fn impact_letter(impact: ImpactV2) -> &'static str {
+    match impact {
+        ImpactV2::None => "N",
+        ImpactV2::Partial => "P",
+        ImpactV2::Complete => "C",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(vector: &str) -> f64 {
+        vector.parse::<CvssV2>().unwrap().base_score()
+    }
+
+    #[test]
+    fn known_v2_scores() {
+        assert_eq!(score("AV:N/AC:L/Au:N/C:P/I:N/A:N"), 5.0); // heartbleed
+        assert_eq!(score("AV:N/AC:L/Au:N/C:C/I:C/A:C"), 10.0);
+        assert_eq!(score("AV:L/AC:H/Au:N/C:N/I:N/A:N"), 0.0);
+        assert_eq!(score("AV:N/AC:M/Au:N/C:P/I:P/A:P"), 6.8);
+    }
+
+    #[test]
+    fn accepts_optional_prefix() {
+        assert_eq!(score("CVSS:2.0/AV:N/AC:L/Au:N/C:P/I:N/A:N"), 5.0);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let v: CvssV2 = "AV:N/AC:M/Au:S/C:P/I:C/A:N".parse().unwrap();
+        let back: CvssV2 = v.to_string().parse().unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "AV:N", "AV:N/AC:L/Au:N/C:P/I:N/A:Z", "nonsense"] {
+            assert!(bad.parse::<CvssV2>().is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,789 @@
+//! CVSS v3.0 vectors: parsing and base/temporal scoring.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CvssParseError;
+
+/// Attack Vector (AV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AttackVector {
+    Network,
+    Adjacent,
+    Local,
+    Physical,
+}
+
+/// Attack Complexity (AC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AttackComplexity {
+    Low,
+    High,
+}
+
+/// Privileges Required (PR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum PrivilegesRequired {
+    None,
+    Low,
+    High,
+}
+
+/// User Interaction (UI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum UserInteraction {
+    None,
+    Required,
+}
+
+/// Scope (S).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Scope {
+    Unchanged,
+    Changed,
+}
+
+/// Impact on Confidentiality, Integrity or Availability (C/I/A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Impact {
+    None,
+    Low,
+    High,
+}
+
+/// Exploit Code Maturity (E), temporal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[allow(missing_docs)]
+pub enum ExploitMaturity {
+    #[default]
+    NotDefined,
+    Unproven,
+    ProofOfConcept,
+    Functional,
+    High,
+}
+
+/// Remediation Level (RL), temporal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[allow(missing_docs)]
+pub enum RemediationLevel {
+    #[default]
+    NotDefined,
+    OfficialFix,
+    TemporaryFix,
+    Workaround,
+    Unavailable,
+}
+
+/// Report Confidence (RC), temporal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[allow(missing_docs)]
+pub enum ReportConfidence {
+    #[default]
+    NotDefined,
+    Unknown,
+    Reasonable,
+    Confirmed,
+}
+
+/// A security requirement (CR/IR/AR) for environmental scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[allow(missing_docs)]
+pub enum Requirement {
+    #[default]
+    NotDefined,
+    Low,
+    Medium,
+    High,
+}
+
+impl Requirement {
+    fn weight(self) -> f64 {
+        match self {
+            Requirement::NotDefined | Requirement::Medium => 1.0,
+            Requirement::Low => 0.5,
+            Requirement::High => 1.5,
+        }
+    }
+}
+
+/// The deployment's confidentiality/integrity/availability requirements,
+/// driving the environmental score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct SecurityRequirements {
+    /// Confidentiality Requirement (CR).
+    pub confidentiality: Requirement,
+    /// Integrity Requirement (IR).
+    pub integrity: Requirement,
+    /// Availability Requirement (AR).
+    pub availability: Requirement,
+}
+
+/// Qualitative severity rating of a CVSS v3.0 score.
+///
+/// These are exactly the buckets the paper's Table IV `cve` feature maps
+/// to attribute scores 2–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+#[allow(missing_docs)]
+pub enum Severity {
+    None,
+    Low,
+    Medium,
+    High,
+    Critical,
+}
+
+impl Severity {
+    /// Buckets a score per the CVSS v3.0 qualitative rating scale.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cais_cvss::v3::Severity;
+    /// assert_eq!(Severity::from_score(8.1), Severity::High);
+    /// assert_eq!(Severity::from_score(9.8), Severity::Critical);
+    /// assert_eq!(Severity::from_score(0.0), Severity::None);
+    /// ```
+    pub fn from_score(score: f64) -> Severity {
+        if score <= 0.0 {
+            Severity::None
+        } else if score < 4.0 {
+            Severity::Low
+        } else if score < 7.0 {
+            Severity::Medium
+        } else if score < 9.0 {
+            Severity::High
+        } else {
+            Severity::Critical
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Severity::None => "none",
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A CVSS v3.0 vector: base metrics plus optional temporal metrics.
+///
+/// # Examples
+///
+/// ```
+/// use cais_cvss::v3::CvssV3;
+///
+/// let v: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+/// assert_eq!(v.base_score(), 9.8);
+/// assert_eq!(v.to_string(), "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+/// # Ok::<(), cais_cvss::CvssParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CvssV3 {
+    /// Attack Vector.
+    pub attack_vector: AttackVector,
+    /// Attack Complexity.
+    pub attack_complexity: AttackComplexity,
+    /// Privileges Required.
+    pub privileges_required: PrivilegesRequired,
+    /// User Interaction.
+    pub user_interaction: UserInteraction,
+    /// Scope.
+    pub scope: Scope,
+    /// Confidentiality impact.
+    pub confidentiality: Impact,
+    /// Integrity impact.
+    pub integrity: Impact,
+    /// Availability impact.
+    pub availability: Impact,
+    /// Exploit Code Maturity (temporal; defaults to Not Defined).
+    #[serde(default)]
+    pub exploit_maturity: ExploitMaturity,
+    /// Remediation Level (temporal; defaults to Not Defined).
+    #[serde(default)]
+    pub remediation_level: RemediationLevel,
+    /// Report Confidence (temporal; defaults to Not Defined).
+    #[serde(default)]
+    pub report_confidence: ReportConfidence,
+}
+
+/// Rounds up to one decimal place, as the CVSS v3.0 specification
+/// requires.
+fn roundup(value: f64) -> f64 {
+    (value * 10.0).ceil() / 10.0
+}
+
+impl CvssV3 {
+    /// Computes the base score per the CVSS v3.0 specification.
+    pub fn base_score(&self) -> f64 {
+        let iss = 1.0
+            - (1.0 - impact_weight(self.confidentiality))
+                * (1.0 - impact_weight(self.integrity))
+                * (1.0 - impact_weight(self.availability));
+        let impact = match self.scope {
+            Scope::Unchanged => 6.42 * iss,
+            Scope::Changed => 7.52 * (iss - 0.029) - 3.25 * (iss - 0.02).powi(15),
+        };
+        let exploitability = 8.22
+            * av_weight(self.attack_vector)
+            * ac_weight(self.attack_complexity)
+            * pr_weight(self.privileges_required, self.scope)
+            * ui_weight(self.user_interaction);
+        if impact <= 0.0 {
+            return 0.0;
+        }
+        match self.scope {
+            Scope::Unchanged => roundup((impact + exploitability).min(10.0)),
+            Scope::Changed => roundup((1.08 * (impact + exploitability)).min(10.0)),
+        }
+    }
+
+    /// Computes the temporal score (equal to the base score when all
+    /// temporal metrics are Not Defined).
+    pub fn temporal_score(&self) -> f64 {
+        let e = match self.exploit_maturity {
+            ExploitMaturity::NotDefined | ExploitMaturity::High => 1.0,
+            ExploitMaturity::Functional => 0.97,
+            ExploitMaturity::ProofOfConcept => 0.94,
+            ExploitMaturity::Unproven => 0.91,
+        };
+        let rl = match self.remediation_level {
+            RemediationLevel::NotDefined | RemediationLevel::Unavailable => 1.0,
+            RemediationLevel::Workaround => 0.97,
+            RemediationLevel::TemporaryFix => 0.96,
+            RemediationLevel::OfficialFix => 0.95,
+        };
+        let rc = match self.report_confidence {
+            ReportConfidence::NotDefined | ReportConfidence::Confirmed => 1.0,
+            ReportConfidence::Reasonable => 0.96,
+            ReportConfidence::Unknown => 0.92,
+        };
+        roundup(self.base_score() * e * rl * rc)
+    }
+
+    /// The qualitative severity of the base score.
+    pub fn severity(&self) -> Severity {
+        Severity::from_score(self.base_score())
+    }
+
+    /// Computes the environmental score per the CVSS v3.0 specification,
+    /// with the vector's own base metrics as the modified metrics and
+    /// the deployment's CR/IR/AR applied.
+    pub fn environmental_score(&self, requirements: SecurityRequirements) -> f64 {
+        let miss = (1.0
+            - (1.0 - impact_weight(self.confidentiality) * requirements.confidentiality.weight())
+                * (1.0 - impact_weight(self.integrity) * requirements.integrity.weight())
+                * (1.0 - impact_weight(self.availability) * requirements.availability.weight()))
+        .min(0.915);
+        let modified_impact = match self.scope {
+            Scope::Unchanged => 6.42 * miss,
+            Scope::Changed => 7.52 * (miss - 0.029) - 3.25 * (miss - 0.02).powi(15),
+        };
+        if modified_impact <= 0.0 {
+            return 0.0;
+        }
+        let modified_exploitability = 8.22
+            * av_weight(self.attack_vector)
+            * ac_weight(self.attack_complexity)
+            * pr_weight(self.privileges_required, self.scope)
+            * ui_weight(self.user_interaction);
+        let e = match self.exploit_maturity {
+            ExploitMaturity::NotDefined | ExploitMaturity::High => 1.0,
+            ExploitMaturity::Functional => 0.97,
+            ExploitMaturity::ProofOfConcept => 0.94,
+            ExploitMaturity::Unproven => 0.91,
+        };
+        let rl = match self.remediation_level {
+            RemediationLevel::NotDefined | RemediationLevel::Unavailable => 1.0,
+            RemediationLevel::Workaround => 0.97,
+            RemediationLevel::TemporaryFix => 0.96,
+            RemediationLevel::OfficialFix => 0.95,
+        };
+        let rc = match self.report_confidence {
+            ReportConfidence::NotDefined | ReportConfidence::Confirmed => 1.0,
+            ReportConfidence::Reasonable => 0.96,
+            ReportConfidence::Unknown => 0.92,
+        };
+        let combined = match self.scope {
+            Scope::Unchanged => (modified_impact + modified_exploitability).min(10.0),
+            Scope::Changed => (1.08 * (modified_impact + modified_exploitability)).min(10.0),
+        };
+        roundup(roundup(combined) * e * rl * rc)
+    }
+}
+
+fn impact_weight(impact: Impact) -> f64 {
+    match impact {
+        Impact::High => 0.56,
+        Impact::Low => 0.22,
+        Impact::None => 0.0,
+    }
+}
+
+fn av_weight(av: AttackVector) -> f64 {
+    match av {
+        AttackVector::Network => 0.85,
+        AttackVector::Adjacent => 0.62,
+        AttackVector::Local => 0.55,
+        AttackVector::Physical => 0.2,
+    }
+}
+
+fn ac_weight(ac: AttackComplexity) -> f64 {
+    match ac {
+        AttackComplexity::Low => 0.77,
+        AttackComplexity::High => 0.44,
+    }
+}
+
+fn pr_weight(pr: PrivilegesRequired, scope: Scope) -> f64 {
+    match (pr, scope) {
+        (PrivilegesRequired::None, _) => 0.85,
+        (PrivilegesRequired::Low, Scope::Unchanged) => 0.62,
+        (PrivilegesRequired::Low, Scope::Changed) => 0.68,
+        (PrivilegesRequired::High, Scope::Unchanged) => 0.27,
+        (PrivilegesRequired::High, Scope::Changed) => 0.5,
+    }
+}
+
+fn ui_weight(ui: UserInteraction) -> f64 {
+    match ui {
+        UserInteraction::None => 0.85,
+        UserInteraction::Required => 0.62,
+    }
+}
+
+impl FromStr for CvssV3 {
+    type Err = CvssParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &str| CvssParseError::new(s, reason);
+        let mut parts = s.split('/');
+        match parts.next() {
+            Some("CVSS:3.0") | Some("CVSS:3.1") => {}
+            _ => return Err(err("missing CVSS:3.x prefix")),
+        }
+        let mut av = None;
+        let mut ac = None;
+        let mut pr = None;
+        let mut ui = None;
+        let mut scope = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+        let mut e = ExploitMaturity::NotDefined;
+        let mut rl = RemediationLevel::NotDefined;
+        let mut rc = ReportConfidence::NotDefined;
+        for part in parts {
+            let Some((metric, value)) = part.split_once(':') else {
+                return Err(err("metric missing `:`"));
+            };
+            match metric {
+                "AV" => {
+                    av = Some(match value {
+                        "N" => AttackVector::Network,
+                        "A" => AttackVector::Adjacent,
+                        "L" => AttackVector::Local,
+                        "P" => AttackVector::Physical,
+                        _ => return Err(err("bad AV value")),
+                    })
+                }
+                "AC" => {
+                    ac = Some(match value {
+                        "L" => AttackComplexity::Low,
+                        "H" => AttackComplexity::High,
+                        _ => return Err(err("bad AC value")),
+                    })
+                }
+                "PR" => {
+                    pr = Some(match value {
+                        "N" => PrivilegesRequired::None,
+                        "L" => PrivilegesRequired::Low,
+                        "H" => PrivilegesRequired::High,
+                        _ => return Err(err("bad PR value")),
+                    })
+                }
+                "UI" => {
+                    ui = Some(match value {
+                        "N" => UserInteraction::None,
+                        "R" => UserInteraction::Required,
+                        _ => return Err(err("bad UI value")),
+                    })
+                }
+                "S" => {
+                    scope = Some(match value {
+                        "U" => Scope::Unchanged,
+                        "C" => Scope::Changed,
+                        _ => return Err(err("bad S value")),
+                    })
+                }
+                "C" | "I" | "A" => {
+                    let impact = match value {
+                        "N" => Impact::None,
+                        "L" => Impact::Low,
+                        "H" => Impact::High,
+                        _ => return Err(err("bad impact value")),
+                    };
+                    match metric {
+                        "C" => c = Some(impact),
+                        "I" => i = Some(impact),
+                        _ => a = Some(impact),
+                    }
+                }
+                "E" => {
+                    e = match value {
+                        "X" => ExploitMaturity::NotDefined,
+                        "U" => ExploitMaturity::Unproven,
+                        "P" => ExploitMaturity::ProofOfConcept,
+                        "F" => ExploitMaturity::Functional,
+                        "H" => ExploitMaturity::High,
+                        _ => return Err(err("bad E value")),
+                    }
+                }
+                "RL" => {
+                    rl = match value {
+                        "X" => RemediationLevel::NotDefined,
+                        "O" => RemediationLevel::OfficialFix,
+                        "T" => RemediationLevel::TemporaryFix,
+                        "W" => RemediationLevel::Workaround,
+                        "U" => RemediationLevel::Unavailable,
+                        _ => return Err(err("bad RL value")),
+                    }
+                }
+                "RC" => {
+                    rc = match value {
+                        "X" => ReportConfidence::NotDefined,
+                        "U" => ReportConfidence::Unknown,
+                        "R" => ReportConfidence::Reasonable,
+                        "C" => ReportConfidence::Confirmed,
+                        _ => return Err(err("bad RC value")),
+                    }
+                }
+                _ => return Err(err("unknown metric")),
+            }
+        }
+        Ok(CvssV3 {
+            attack_vector: av.ok_or_else(|| err("missing AV"))?,
+            attack_complexity: ac.ok_or_else(|| err("missing AC"))?,
+            privileges_required: pr.ok_or_else(|| err("missing PR"))?,
+            user_interaction: ui.ok_or_else(|| err("missing UI"))?,
+            scope: scope.ok_or_else(|| err("missing S"))?,
+            confidentiality: c.ok_or_else(|| err("missing C"))?,
+            integrity: i.ok_or_else(|| err("missing I"))?,
+            availability: a.ok_or_else(|| err("missing A"))?,
+            exploit_maturity: e,
+            remediation_level: rl,
+            report_confidence: rc,
+        })
+    }
+}
+
+impl fmt::Display for CvssV3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CVSS:3.0/AV:{}/AC:{}/PR:{}/UI:{}/S:{}/C:{}/I:{}/A:{}",
+            match self.attack_vector {
+                AttackVector::Network => "N",
+                AttackVector::Adjacent => "A",
+                AttackVector::Local => "L",
+                AttackVector::Physical => "P",
+            },
+            match self.attack_complexity {
+                AttackComplexity::Low => "L",
+                AttackComplexity::High => "H",
+            },
+            match self.privileges_required {
+                PrivilegesRequired::None => "N",
+                PrivilegesRequired::Low => "L",
+                PrivilegesRequired::High => "H",
+            },
+            match self.user_interaction {
+                UserInteraction::None => "N",
+                UserInteraction::Required => "R",
+            },
+            match self.scope {
+                Scope::Unchanged => "U",
+                Scope::Changed => "C",
+            },
+            impact_letter(self.confidentiality),
+            impact_letter(self.integrity),
+            impact_letter(self.availability),
+        )?;
+        if self.exploit_maturity != ExploitMaturity::NotDefined {
+            write!(
+                f,
+                "/E:{}",
+                match self.exploit_maturity {
+                    ExploitMaturity::NotDefined => "X",
+                    ExploitMaturity::Unproven => "U",
+                    ExploitMaturity::ProofOfConcept => "P",
+                    ExploitMaturity::Functional => "F",
+                    ExploitMaturity::High => "H",
+                }
+            )?;
+        }
+        if self.remediation_level != RemediationLevel::NotDefined {
+            write!(
+                f,
+                "/RL:{}",
+                match self.remediation_level {
+                    RemediationLevel::NotDefined => "X",
+                    RemediationLevel::OfficialFix => "O",
+                    RemediationLevel::TemporaryFix => "T",
+                    RemediationLevel::Workaround => "W",
+                    RemediationLevel::Unavailable => "U",
+                }
+            )?;
+        }
+        if self.report_confidence != ReportConfidence::NotDefined {
+            write!(
+                f,
+                "/RC:{}",
+                match self.report_confidence {
+                    ReportConfidence::NotDefined => "X",
+                    ReportConfidence::Unknown => "U",
+                    ReportConfidence::Reasonable => "R",
+                    ReportConfidence::Confirmed => "C",
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn impact_letter(impact: Impact) -> &'static str {
+    match impact {
+        Impact::None => "N",
+        Impact::Low => "L",
+        Impact::High => "H",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(vector: &str) -> f64 {
+        vector.parse::<CvssV3>().unwrap().base_score()
+    }
+
+    #[test]
+    fn known_scores_from_nvd() {
+        // CVE-2017-9805 (the paper's use case).
+        assert_eq!(score("CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"), 8.1);
+        // CVE-2021-44228 (log4shell).
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"), 10.0);
+        // CVE-2014-0160 (heartbleed).
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"), 7.5);
+        // A classic 9.8.
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+        // Low-severity local vector: impact 6.42×0.22 = 1.4124,
+        // exploitability 8.22×0.55×0.44×0.27×0.62 = 0.333, sum 1.745 → 1.8.
+        assert_eq!(score("CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"), 1.8);
+        // Scope-changed XSS-style vector.
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N"), 5.4);
+    }
+
+    #[test]
+    fn zero_impact_is_zero() {
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), 0.0);
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:N/I:N/A:N"), 0.0);
+    }
+
+    #[test]
+    fn severity_bands() {
+        let v: CvssV3 = "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert_eq!(v.severity(), Severity::High);
+        assert_eq!(Severity::from_score(3.9), Severity::Low);
+        assert_eq!(Severity::from_score(4.0), Severity::Medium);
+        assert_eq!(Severity::from_score(6.9), Severity::Medium);
+        assert_eq!(Severity::from_score(7.0), Severity::High);
+        assert_eq!(Severity::from_score(8.9), Severity::High);
+        assert_eq!(Severity::from_score(9.0), Severity::Critical);
+    }
+
+    #[test]
+    fn temporal_score_reduces_base() {
+        let v: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:U/RL:O/RC:U"
+            .parse()
+            .unwrap();
+        assert!(v.temporal_score() < v.base_score());
+        // All Not Defined → temporal == base.
+        let plain: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert_eq!(plain.temporal_score(), plain.base_score());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for vector in [
+            "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            "CVSS:3.0/AV:L/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:L",
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:F/RL:W/RC:R",
+        ] {
+            let parsed: CvssV3 = vector.parse().unwrap();
+            assert_eq!(parsed.to_string(), vector);
+            let reparsed: CvssV3 = parsed.to_string().parse().unwrap();
+            assert_eq!(reparsed, parsed);
+        }
+    }
+
+    #[test]
+    fn accepts_v31_prefix() {
+        assert!("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<CvssV3>().is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H",      // missing A
+            "CVSS:3.0/AV:Z/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",  // bad AV
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/QQ:Z", // unknown metric
+            "CVSS:3.0/AVN",                                    // missing colon
+        ] {
+            assert!(bad.parse::<CvssV3>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn roundup_behaviour() {
+        assert_eq!(roundup(4.02), 4.1);
+        assert_eq!(roundup(4.0), 4.0);
+        assert_eq!(roundup(0.0), 0.0);
+    }
+
+    #[test]
+    fn all_vectors_stay_in_range() {
+        // Exhaustive sweep of base-metric combinations.
+        use AttackComplexity as AC;
+        use AttackVector as AV;
+        use PrivilegesRequired as PR;
+        use UserInteraction as UI;
+        for av in [AV::Network, AV::Adjacent, AV::Local, AV::Physical] {
+            for ac in [AC::Low, AC::High] {
+                for pr in [PR::None, PR::Low, PR::High] {
+                    for ui in [UI::None, UI::Required] {
+                        for s in [Scope::Unchanged, Scope::Changed] {
+                            for c in [Impact::None, Impact::Low, Impact::High] {
+                                for i in [Impact::None, Impact::Low, Impact::High] {
+                                    for a in [Impact::None, Impact::Low, Impact::High] {
+                                        let v = CvssV3 {
+                                            attack_vector: av,
+                                            attack_complexity: ac,
+                                            privileges_required: pr,
+                                            user_interaction: ui,
+                                            scope: s,
+                                            confidentiality: c,
+                                            integrity: i,
+                                            availability: a,
+                                            exploit_maturity: ExploitMaturity::NotDefined,
+                                            remediation_level: RemediationLevel::NotDefined,
+                                            report_confidence: ReportConfidence::NotDefined,
+                                        };
+                                        let score = v.base_score();
+                                        assert!((0.0..=10.0).contains(&score), "{v} → {score}");
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod environmental_tests {
+    use super::*;
+
+    fn rce() -> CvssV3 {
+        "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap()
+    }
+
+    #[test]
+    fn default_requirements_reproduce_the_base_score() {
+        let v = rce();
+        assert_eq!(
+            v.environmental_score(SecurityRequirements::default()),
+            v.base_score()
+        );
+    }
+
+    #[test]
+    fn high_requirements_raise_the_score() {
+        let v = rce();
+        let high = SecurityRequirements {
+            confidentiality: Requirement::High,
+            integrity: Requirement::High,
+            availability: Requirement::High,
+        };
+        // Impact saturates at the 0.915 cap, so "high everything" cannot
+        // lower it and typically raises it.
+        assert!(v.environmental_score(high) >= v.base_score());
+    }
+
+    #[test]
+    fn low_requirements_lower_the_score() {
+        let v = rce();
+        let low = SecurityRequirements {
+            confidentiality: Requirement::Low,
+            integrity: Requirement::Low,
+            availability: Requirement::Low,
+        };
+        assert!(v.environmental_score(low) < v.base_score());
+    }
+
+    #[test]
+    fn environmental_stays_in_range() {
+        let low = SecurityRequirements {
+            confidentiality: Requirement::Low,
+            integrity: Requirement::Low,
+            availability: Requirement::Low,
+        };
+        let high = SecurityRequirements {
+            confidentiality: Requirement::High,
+            integrity: Requirement::High,
+            availability: Requirement::High,
+        };
+        for vector in [
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+            "CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N",
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N",
+        ] {
+            let v: CvssV3 = vector.parse().unwrap();
+            for req in [SecurityRequirements::default(), low, high] {
+                let score = v.environmental_score(req);
+                assert!((0.0..=10.0).contains(&score), "{vector} → {score}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_impact_stays_zero() {
+        let v: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N".parse().unwrap();
+        let high = SecurityRequirements {
+            confidentiality: Requirement::High,
+            integrity: Requirement::High,
+            availability: Requirement::High,
+        };
+        assert_eq!(v.environmental_score(high), 0.0);
+    }
+}

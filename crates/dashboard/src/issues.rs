@@ -1,0 +1,243 @@
+//! The security-issue detail view of Fig. 4, plus the top-N issue board
+//! for high-volume deployments (the paper's future-work item on
+//! "representation of a huge amount of alarms and rIoCs").
+
+use cais_core::ReducedIoc;
+use cais_infra::{Inventory, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The detailed view of one reduced IoC, as Fig. 4 lays it out:
+/// vulnerability identification, description, the affected
+/// infrastructure and the threat score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityIssue {
+    /// The CVE, when known.
+    pub cve: Option<String>,
+    /// Description of the vulnerability/threat.
+    pub description: String,
+    /// The affected application.
+    pub affected_application: Option<String>,
+    /// Names of the affected nodes.
+    pub affected_nodes: Vec<String>,
+    /// The threat score.
+    pub threat_score: f64,
+    /// Per-criterion summary behind the score (`R/A/T/V` point totals),
+    /// when available — the paper's future-work display item.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub criteria_summary: Option<String>,
+    /// The dashboard priority label.
+    pub priority: &'static str,
+    /// Link to the stored eIoC.
+    pub misp_event_id: Option<u64>,
+}
+
+impl SecurityIssue {
+    /// Builds the issue view from a rIoC, resolving node names.
+    pub fn from_rioc(rioc: &ReducedIoc, inventory: &Inventory) -> SecurityIssue {
+        let affected_nodes = rioc
+            .nodes
+            .iter()
+            .filter_map(|id| inventory.node(*id))
+            .map(|n| format!("{} ({})", n.name, n.id))
+            .collect();
+        let criteria_summary = rioc.criteria.map(|totals| {
+            format!(
+                "R={} A={} T={} V={}",
+                totals.relevance, totals.accuracy, totals.timeliness, totals.variety
+            )
+        });
+        SecurityIssue {
+            cve: rioc.cve.clone(),
+            description: rioc.description.clone(),
+            affected_application: rioc.affected_application.clone(),
+            affected_nodes,
+            threat_score: rioc.threat_score,
+            criteria_summary,
+            priority: rioc.priority_label(),
+            misp_event_id: rioc.misp_event_id,
+        }
+    }
+}
+
+/// The triage board: issues ranked by threat score, optionally capped.
+#[derive(Debug, Clone, Default)]
+pub struct IssueBoard {
+    issues: Vec<SecurityIssue>,
+    cap: Option<usize>,
+}
+
+impl IssueBoard {
+    /// An unbounded board.
+    pub fn new() -> Self {
+        IssueBoard::default()
+    }
+
+    /// A board keeping only the `cap` highest-scoring issues — how the
+    /// dashboard stays readable under rIoC floods.
+    pub fn with_cap(cap: usize) -> Self {
+        IssueBoard {
+            issues: Vec::new(),
+            cap: Some(cap),
+        }
+    }
+
+    /// Inserts an issue, keeping the board sorted by descending score
+    /// and enforcing the cap.
+    pub fn push(&mut self, issue: SecurityIssue) {
+        let position = self
+            .issues
+            .partition_point(|existing| existing.threat_score >= issue.threat_score);
+        self.issues.insert(position, issue);
+        if let Some(cap) = self.cap {
+            self.issues.truncate(cap);
+        }
+    }
+
+    /// The ranked issues.
+    pub fn issues(&self) -> &[SecurityIssue] {
+        &self.issues
+    }
+
+    /// Number of issues on the board.
+    pub fn len(&self) -> usize {
+        self.issues.len()
+    }
+
+    /// Whether the board is empty.
+    pub fn is_empty(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Issues concerning one node.
+    pub fn for_node(&self, inventory: &Inventory, node: NodeId) -> Vec<&SecurityIssue> {
+        let Some(name) = inventory.node(node).map(|n| format!("{} ({})", n.name, n.id)) else {
+            return Vec::new();
+        };
+        self.issues
+            .iter()
+            .filter(|i| i.affected_nodes.contains(&name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::Uuid;
+    use cais_infra::inventory::Inventory;
+
+    fn rioc(score: f64, cve: &str) -> ReducedIoc {
+        ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some(cve.into()),
+            description: "struts RCE".into(),
+            affected_application: Some("apache".into()),
+            threat_score: score,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: Some(7),
+        }
+    }
+
+    #[test]
+    fn fig4_issue_detail() {
+        let inventory = Inventory::paper_table3();
+        let issue = SecurityIssue::from_rioc(&rioc(2.7406, "CVE-2017-9805"), &inventory);
+        assert_eq!(issue.cve.as_deref(), Some("CVE-2017-9805"));
+        assert_eq!(issue.affected_nodes, vec!["XL-SIEM (node-4)"]);
+        assert_eq!(issue.priority, "medium");
+        assert_eq!(issue.misp_event_id, Some(7));
+    }
+
+    #[test]
+    fn board_ranks_by_score() {
+        let inventory = Inventory::paper_table3();
+        let mut board = IssueBoard::new();
+        for (score, cve) in [(2.0, "CVE-A-0001"), (4.0, "CVE-B-0001"), (3.0, "CVE-C-0001")] {
+            board.push(SecurityIssue::from_rioc(&rioc(score, cve), &inventory));
+        }
+        let scores: Vec<f64> = board.issues().iter().map(|i| i.threat_score).collect();
+        assert_eq!(scores, vec![4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn cap_keeps_the_top() {
+        let inventory = Inventory::paper_table3();
+        let mut board = IssueBoard::with_cap(2);
+        for score in [1.0, 5.0, 3.0, 4.0] {
+            board.push(SecurityIssue::from_rioc(&rioc(score, "CVE-X-0001"), &inventory));
+        }
+        let scores: Vec<f64> = board.issues().iter().map(|i| i.threat_score).collect();
+        assert_eq!(scores, vec![5.0, 4.0]);
+    }
+
+    #[test]
+    fn per_node_filter() {
+        let inventory = Inventory::paper_table3();
+        let mut board = IssueBoard::new();
+        board.push(SecurityIssue::from_rioc(&rioc(2.0, "CVE-X-0001"), &inventory));
+        assert_eq!(board.for_node(&inventory, NodeId(4)).len(), 1);
+        assert!(board.for_node(&inventory, NodeId(1)).is_empty());
+        assert!(board.for_node(&inventory, NodeId(99)).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod criteria_tests {
+    use super::*;
+    use cais_common::Uuid;
+    use cais_core::heuristics::CriteriaTotals;
+    use cais_core::ReducedIoc;
+    use cais_infra::inventory::Inventory;
+    use cais_infra::NodeId;
+
+    #[test]
+    fn criteria_summary_renders_when_present() {
+        let inventory = Inventory::paper_table3();
+        let rioc = ReducedIoc {
+            id: Uuid::NIL,
+            cve: Some("CVE-2017-9805".into()),
+            description: "struts RCE".into(),
+            affected_application: Some("apache".into()),
+            threat_score: 2.7406,
+            criteria: Some(CriteriaTotals {
+                relevance: 39,
+                accuracy: 25,
+                timeliness: 8,
+                variety: 12,
+            }),
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        };
+        let issue = SecurityIssue::from_rioc(&rioc, &inventory);
+        assert_eq!(
+            issue.criteria_summary.as_deref(),
+            Some("R=39 A=25 T=8 V=12")
+        );
+    }
+
+    #[test]
+    fn pipeline_riocs_carry_criteria_to_the_issue_view() {
+        use cais_common::{Observable, ObservableKind};
+        use cais_core::Platform;
+        use cais_feeds::{FeedRecord, ThreatCategory};
+
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+            ThreatCategory::VulnerabilityExploitation,
+            "nvd-feed",
+            now.add_days(-100),
+        )
+        .with_cve("CVE-2017-9805")
+        .with_description("remote code execution in apache struts");
+        platform.ingest_feed_records(vec![record]).unwrap();
+        let rioc = &platform.riocs()[0];
+        assert!(rioc.criteria.is_some(), "vulnerability heuristic is criteria-weighted");
+        let issue = SecurityIssue::from_rioc(rioc, &Inventory::paper_table3());
+        assert!(issue.criteria_summary.as_deref().unwrap().starts_with("R="));
+    }
+}

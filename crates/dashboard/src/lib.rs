@@ -1,0 +1,34 @@
+//! # cais-dashboard
+//!
+//! The Output Module's dashboard: the topology view with per-node alarm
+//! circles and rIoC stars (Fig. 2), the node-details view (Fig. 3), the
+//! security-issue detail (Fig. 4), renderers (ASCII, HTML, JSON) and a
+//! live stream applying bus messages to the state — the role socket.io
+//! plays in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_dashboard::{DashboardState, render};
+//! use cais_infra::inventory::Inventory;
+//!
+//! let state = DashboardState::new(Inventory::paper_table3());
+//! let text = render::ascii(&state);
+//! assert!(text.contains("OwnCloud"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod issues;
+mod node_view;
+pub mod render;
+mod state;
+mod stream;
+mod timeline;
+
+pub use issues::{IssueBoard, SecurityIssue};
+pub use node_view::NodeView;
+pub use state::{DashboardState, NodeBadge};
+pub use stream::DashboardStream;
+pub use timeline::{Timeline, TimelineBucket};

@@ -1,0 +1,177 @@
+//! The node-details view of Fig. 3: "the type of node (e.g., Server,
+//! Workstation); the IP addresses (known, unknown, source,
+//! destination); the operating system (e.g., Linux, Windows); and the
+//! connected networks (e.g., LAN, WAN)".
+
+use std::collections::BTreeSet;
+
+use cais_infra::{NodeId, NodeType};
+use serde::{Deserialize, Serialize};
+
+use crate::state::{DashboardState, NodeBadge};
+
+/// The drill-down view of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeView {
+    /// The node id.
+    pub id: NodeId,
+    /// Display name.
+    pub name: String,
+    /// Server or workstation.
+    pub node_type: NodeType,
+    /// Operating system.
+    pub operating_system: String,
+    /// The node's own (known) IP addresses.
+    pub known_ips: Vec<String>,
+    /// Foreign IPs observed in this node's alarms (sources of attacks).
+    pub unknown_ips: Vec<String>,
+    /// Connected networks.
+    pub networks: Vec<String>,
+    /// Installed applications.
+    pub applications: Vec<String>,
+    /// The badge (alarm circle + rIoC star).
+    pub badge: NodeBadge,
+    /// Brief alarm descriptions, most recent first.
+    pub alarm_summaries: Vec<String>,
+    /// rIoC one-liners (CVE + score), highest score first.
+    pub rioc_summaries: Vec<String>,
+}
+
+impl NodeView {
+    /// Builds the view of one node from the dashboard state.
+    ///
+    /// Returns `None` when the node is not in the inventory.
+    pub fn build(state: &DashboardState, id: NodeId) -> Option<NodeView> {
+        let node = state.inventory().node(id)?;
+        let badge = state.badges().get(&id).copied().unwrap_or_default();
+
+        let mut alarms = state.alarms_for(id);
+        alarms.sort_by_key(|a| std::cmp::Reverse(a.raised_at));
+        let known: BTreeSet<&str> = node.ip_addresses.iter().map(String::as_str).collect();
+        let mut unknown_ips: Vec<String> = alarms
+            .iter()
+            .flat_map(|a| [a.source_ip.as_str(), a.destination_ip.as_str()])
+            .filter(|ip| *ip != "-" && !known.contains(ip))
+            .map(str::to_owned)
+            .collect();
+        unknown_ips.sort_unstable();
+        unknown_ips.dedup();
+        let alarm_summaries = alarms
+            .iter()
+            .map(|a| {
+                format!(
+                    "[{}] {} ({} -> {})",
+                    a.severity.color(),
+                    a.description,
+                    a.source_ip,
+                    a.destination_ip
+                )
+            })
+            .collect();
+
+        let mut riocs = state.riocs_for(id);
+        riocs.sort_by(|a, b| b.threat_score.total_cmp(&a.threat_score));
+        let rioc_summaries = riocs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} TS={:.4} ({})",
+                    r.cve.as_deref().unwrap_or("no-cve"),
+                    r.threat_score,
+                    r.priority_label()
+                )
+            })
+            .collect();
+
+        Some(NodeView {
+            id,
+            name: node.name.clone(),
+            node_type: node.node_type,
+            operating_system: node.operating_system.clone(),
+            known_ips: node.ip_addresses.clone(),
+            unknown_ips,
+            networks: node.networks.clone(),
+            applications: node.applications.clone(),
+            badge,
+            alarm_summaries,
+            rioc_summaries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Timestamp, Uuid};
+    use cais_core::ReducedIoc;
+    use cais_infra::inventory::Inventory;
+    use cais_infra::{Alarm, AlarmSeverity};
+
+    fn populated_state() -> DashboardState {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        state.apply_alarm(Alarm::new(
+            1,
+            NodeId(4),
+            AlarmSeverity::High,
+            "203.0.113.9",
+            "192.168.1.14",
+            "struts exploitation attempt",
+            "suricata",
+            Timestamp::EPOCH,
+        ));
+        state.apply_rioc(ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some("CVE-2017-9805".into()),
+            description: "struts RCE".into(),
+            affected_application: Some("apache".into()),
+            threat_score: 2.7406,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: Some(1),
+        });
+        state
+    }
+
+    #[test]
+    fn fig3_node_details() {
+        let state = populated_state();
+        let view = NodeView::build(&state, NodeId(4)).expect("node 4 exists");
+        assert_eq!(view.name, "XL-SIEM");
+        assert_eq!(view.node_type, NodeType::Server);
+        assert_eq!(view.operating_system, "debian");
+        assert_eq!(view.known_ips, vec!["192.168.1.14"]);
+        // The attacker IP shows as unknown.
+        assert_eq!(view.unknown_ips, vec!["203.0.113.9"]);
+        assert_eq!(view.networks, vec!["LAN", "WAN"]);
+        assert_eq!(view.badge.red, 1);
+        assert_eq!(view.badge.riocs, 1);
+        assert!(view.alarm_summaries[0].contains("[red]"));
+        assert!(view.rioc_summaries[0].contains("CVE-2017-9805"));
+        assert!(view.rioc_summaries[0].contains("2.7406"));
+    }
+
+    #[test]
+    fn riocs_sorted_by_score() {
+        let mut state = populated_state();
+        state.apply_rioc(ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some("CVE-2019-0001".into()),
+            description: "critical".into(),
+            affected_application: None,
+            threat_score: 4.5,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        });
+        let view = NodeView::build(&state, NodeId(4)).unwrap();
+        assert!(view.rioc_summaries[0].contains("CVE-2019-0001"));
+    }
+
+    #[test]
+    fn missing_node_is_none() {
+        let state = populated_state();
+        assert!(NodeView::build(&state, NodeId(42)).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Terminal rendering of the dashboard: Fig. 2's topology with alarm
+//! circles and rIoC stars, drawn in ASCII.
+
+use crate::state::DashboardState;
+
+/// Renders the full dashboard as terminal text.
+///
+/// Each node prints as a box with its alarm circle `( g/y/r )` and rIoC
+/// star `★ n`, followed by the topology edges and the ranked issues.
+pub fn ascii(state: &DashboardState) -> String {
+    let mut out = String::new();
+    out.push_str("== CAIS dashboard ==\n\n");
+    let badges = state.badges();
+    for node in state.inventory().nodes() {
+        let badge = badges.get(&node.id).copied().unwrap_or_default();
+        out.push_str(&format!(
+            "+----------------------------+\n\
+             | ({:>2}/{:>2}/{:>2}) {:>13} |\n\
+             | {:<15} {:>8} |\n\
+             |                      * {:>3} |\n\
+             +----------------------------+\n",
+            badge.green,
+            badge.yellow,
+            badge.red,
+            badge.circle_color(),
+            truncate(&node.name, 15),
+            truncate(&node.operating_system, 8),
+            badge.riocs,
+        ));
+    }
+    out.push_str("\nlinks:\n");
+    for link in state.topology().links() {
+        out.push_str(&format!("  {} <-> {} ({:?})\n", link.a, link.b, link.kind));
+    }
+    out.push_str("\nissues (by threat score):\n");
+    let mut riocs: Vec<_> = state.riocs().iter().collect();
+    riocs.sort_by(|a, b| b.threat_score.total_cmp(&a.threat_score));
+    for rioc in riocs {
+        out.push_str(&format!(
+            "  TS={:.4} [{}] {} -> {}\n",
+            rioc.threat_score,
+            rioc.priority_label(),
+            rioc.cve.as_deref().unwrap_or("no-cve"),
+            rioc.nodes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        ));
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Timestamp, Uuid};
+    use cais_core::ReducedIoc;
+    use cais_infra::inventory::Inventory;
+    use cais_infra::{Alarm, AlarmSeverity, NodeId};
+
+    #[test]
+    fn renders_nodes_links_and_issues() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        state.apply_alarm(Alarm::new(
+            1,
+            NodeId(4),
+            AlarmSeverity::High,
+            "203.0.113.9",
+            "192.168.1.14",
+            "struts",
+            "suricata",
+            Timestamp::EPOCH,
+        ));
+        state.apply_rioc(ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some("CVE-2017-9805".into()),
+            description: "struts".into(),
+            affected_application: None,
+            threat_score: 2.7406,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        });
+        let text = ascii(&state);
+        assert!(text.contains("OwnCloud"));
+        assert!(text.contains("GitLab"));
+        assert!(text.contains("node-1 <-> node-2"));
+        assert!(text.contains("TS=2.7406"));
+        assert!(text.contains("[medium]"));
+        // Node 4's circle shows the red alarm.
+        assert!(text.contains("red"));
+    }
+
+    #[test]
+    fn truncation_is_utf8_safe() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("exactly-ten", 11), "exactly-ten");
+        let long = truncate("a-very-long-node-name", 10);
+        assert!(long.chars().count() <= 10);
+    }
+}

@@ -1,0 +1,104 @@
+//! Static HTML rendering of the dashboard (Fig. 2 as a web page).
+
+use crate::issues::SecurityIssue;
+use crate::state::DashboardState;
+
+/// Renders the dashboard as a self-contained HTML page.
+pub fn html(state: &DashboardState) -> String {
+    let mut out = String::from(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>CAIS dashboard</title>\n<style>\n\
+         body{font-family:sans-serif;background:#10151c;color:#e8e8e8}\n\
+         .node{display:inline-block;border:1px solid #444;border-radius:8px;\
+         margin:8px;padding:12px;min-width:170px;position:relative}\n\
+         .circle{position:absolute;top:-10px;left:-10px;border-radius:50%;\
+         width:34px;height:34px;line-height:34px;text-align:center;color:#000}\n\
+         .circle.green{background:#5dbb63}.circle.yellow{background:#e8c547}\
+         .circle.red{background:#e05252}\n\
+         .star{position:absolute;bottom:-8px;right:-6px;color:#e8c547}\n\
+         table{border-collapse:collapse;margin-top:16px}\
+         td,th{border:1px solid #444;padding:4px 10px}\n\
+         </style></head><body>\n<h1>CAIS dashboard</h1>\n<div class=\"topology\">\n",
+    );
+    let badges = state.badges();
+    for node in state.inventory().nodes() {
+        let badge = badges.get(&node.id).copied().unwrap_or_default();
+        out.push_str(&format!(
+            "<div class=\"node\" id=\"{id}\">\
+             <span class=\"circle {color}\">{alarms}</span>\
+             <strong>{name}</strong><br>{os} · {nets}\
+             <span class=\"star\">★ {riocs}</span></div>\n",
+            id = node.id,
+            color = badge.circle_color(),
+            alarms = badge.alarm_count(),
+            name = escape(&node.name),
+            os = escape(&node.operating_system),
+            nets = escape(&node.networks.join("/")),
+            riocs = badge.riocs,
+        ));
+    }
+    out.push_str("</div>\n<h2>Security issues</h2>\n<table><tr>\
+                  <th>CVE</th><th>Description</th><th>Application</th>\
+                  <th>Nodes</th><th>Threat score</th><th>Priority</th></tr>\n");
+    let mut riocs: Vec<_> = state.riocs().iter().collect();
+    riocs.sort_by(|a, b| b.threat_score.total_cmp(&a.threat_score));
+    for rioc in riocs {
+        let issue = SecurityIssue::from_rioc(rioc, state.inventory());
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{:.4}</td><td>{}</td></tr>\n",
+            escape(issue.cve.as_deref().unwrap_or("-")),
+            escape(&issue.description),
+            escape(issue.affected_application.as_deref().unwrap_or("-")),
+            escape(&issue.affected_nodes.join(", ")),
+            issue.threat_score,
+            issue.priority,
+        ));
+    }
+    out.push_str("</table>\n</body></html>\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::Uuid;
+    use cais_core::ReducedIoc;
+    use cais_infra::inventory::Inventory;
+    use cais_infra::NodeId;
+
+    #[test]
+    fn page_contains_nodes_and_issues() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        state.apply_rioc(ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some("CVE-2017-9805".into()),
+            description: "struts <RCE>".into(),
+            affected_application: Some("apache".into()),
+            threat_score: 2.7406,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        });
+        let page = html(&state);
+        assert!(page.contains("<strong>OwnCloud</strong>"));
+        assert!(page.contains("CVE-2017-9805"));
+        assert!(page.contains("2.7406"));
+        // HTML in descriptions is escaped.
+        assert!(page.contains("struts &lt;RCE&gt;"));
+        assert!(!page.contains("struts <RCE>"));
+    }
+
+    #[test]
+    fn escape_covers_special_characters() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+}

@@ -1,0 +1,90 @@
+//! JSON rendering: the machine-readable dashboard document that a web
+//! front-end would consume over the socket.
+
+use serde_json::json;
+
+use crate::issues::SecurityIssue;
+use crate::node_view::NodeView;
+use crate::state::DashboardState;
+
+/// Renders the complete dashboard state as one JSON document: node
+/// views, badges, topology and ranked issues.
+pub fn json(state: &DashboardState) -> serde_json::Value {
+    let nodes: Vec<serde_json::Value> = state
+        .inventory()
+        .nodes()
+        .filter_map(|n| NodeView::build(state, n.id))
+        .map(|view| serde_json::to_value(view).expect("node view serializes"))
+        .collect();
+    let links: Vec<serde_json::Value> = state
+        .topology()
+        .links()
+        .iter()
+        .map(|l| json!({ "a": l.a, "b": l.b, "kind": l.kind }))
+        .collect();
+    let mut riocs: Vec<_> = state.riocs().iter().collect();
+    riocs.sort_by(|a, b| b.threat_score.total_cmp(&a.threat_score));
+    let issues: Vec<serde_json::Value> = riocs
+        .into_iter()
+        .map(|r| {
+            serde_json::to_value(SecurityIssue::from_rioc(r, state.inventory()))
+                .expect("issue serializes")
+        })
+        .collect();
+    json!({
+        "nodes": nodes,
+        "links": links,
+        "issues": issues,
+        "alarm_total": state.alarms().len(),
+        "rioc_total": state.riocs().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Timestamp, Uuid};
+    use cais_core::ReducedIoc;
+    use cais_infra::inventory::Inventory;
+    use cais_infra::{Alarm, AlarmSeverity, NodeId};
+
+    #[test]
+    fn document_shape() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        state.apply_alarm(Alarm::new(
+            1,
+            NodeId(4),
+            AlarmSeverity::High,
+            "203.0.113.9",
+            "192.168.1.14",
+            "struts",
+            "suricata",
+            Timestamp::EPOCH,
+        ));
+        state.apply_rioc(ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some("CVE-2017-9805".into()),
+            description: "struts".into(),
+            affected_application: None,
+            threat_score: 2.7406,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        });
+        let doc = json(&state);
+        assert_eq!(doc["nodes"].as_array().unwrap().len(), 4);
+        assert_eq!(doc["links"].as_array().unwrap().len(), 6);
+        assert_eq!(doc["issues"][0]["cve"], "CVE-2017-9805");
+        assert_eq!(doc["alarm_total"], 1);
+        assert_eq!(doc["rioc_total"], 1);
+        // Node 4's view carries the badge.
+        let node4 = doc["nodes"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|n| n["id"] == 4)
+            .unwrap();
+        assert_eq!(node4["badge"]["red"], 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Renderers of the dashboard state.
+
+mod ascii;
+mod html;
+mod json;
+
+pub use ascii::ascii;
+pub use html::html;
+pub use json::json;

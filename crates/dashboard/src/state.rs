@@ -1,0 +1,215 @@
+//! The dashboard's aggregated state.
+//!
+//! "Each node will have in its upper left side a circle indicating the
+//! number and severity of the alarms (in colors green, yellow and red),
+//! and in its lower right side, a star indicating the number of rIoCs
+//! related to that particular node" (Section III-C1).
+
+use std::collections::BTreeMap;
+
+use cais_core::ReducedIoc;
+use cais_infra::{Alarm, AlarmSeverity, Inventory, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The per-node badge: the alarm circle plus the rIoC star.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeBadge {
+    /// Low-severity (green) alarm count.
+    pub green: usize,
+    /// Medium-severity (yellow) alarm count.
+    pub yellow: usize,
+    /// High-severity (red) alarm count.
+    pub red: usize,
+    /// Number of rIoCs associated with the node (the star).
+    pub riocs: usize,
+}
+
+impl NodeBadge {
+    /// Total alarms on the circle.
+    pub fn alarm_count(&self) -> usize {
+        self.green + self.yellow + self.red
+    }
+
+    /// The circle's dominant color: the worst severity present.
+    pub fn circle_color(&self) -> &'static str {
+        if self.red > 0 {
+            "red"
+        } else if self.yellow > 0 {
+            "yellow"
+        } else {
+            "green"
+        }
+    }
+}
+
+/// The dashboard's full state: topology + per-node badges + details.
+#[derive(Debug, Clone)]
+pub struct DashboardState {
+    inventory: Inventory,
+    topology: Topology,
+    alarms: Vec<Alarm>,
+    riocs: Vec<ReducedIoc>,
+}
+
+impl DashboardState {
+    /// Creates a dashboard over an inventory, deriving the topology.
+    pub fn new(inventory: Inventory) -> Self {
+        let topology = Topology::from_inventory(&inventory);
+        DashboardState {
+            inventory,
+            topology,
+            alarms: Vec::new(),
+            riocs: Vec::new(),
+        }
+    }
+
+    /// The inventory backing the view.
+    pub fn inventory(&self) -> &Inventory {
+        &self.inventory
+    }
+
+    /// The topology graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Applies one alarm.
+    pub fn apply_alarm(&mut self, alarm: Alarm) {
+        self.alarms.push(alarm);
+    }
+
+    /// Applies one rIoC.
+    pub fn apply_rioc(&mut self, rioc: ReducedIoc) {
+        self.riocs.push(rioc);
+    }
+
+    /// All applied alarms.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// All applied rIoCs.
+    pub fn riocs(&self) -> &[ReducedIoc] {
+        &self.riocs
+    }
+
+    /// Alarms concerning one node.
+    pub fn alarms_for(&self, node: NodeId) -> Vec<&Alarm> {
+        self.alarms.iter().filter(|a| a.node == node).collect()
+    }
+
+    /// rIoCs associated with one node.
+    pub fn riocs_for(&self, node: NodeId) -> Vec<&ReducedIoc> {
+        self.riocs
+            .iter()
+            .filter(|r| r.nodes.contains(&node))
+            .collect()
+    }
+
+    /// The badge of every node, in node order.
+    pub fn badges(&self) -> BTreeMap<NodeId, NodeBadge> {
+        let mut badges: BTreeMap<NodeId, NodeBadge> = self
+            .inventory
+            .nodes()
+            .map(|n| (n.id, NodeBadge::default()))
+            .collect();
+        for alarm in &self.alarms {
+            if let Some(badge) = badges.get_mut(&alarm.node) {
+                match alarm.severity {
+                    AlarmSeverity::Low => badge.green += 1,
+                    AlarmSeverity::Medium => badge.yellow += 1,
+                    AlarmSeverity::High => badge.red += 1,
+                }
+            }
+        }
+        for rioc in &self.riocs {
+            for node in &rioc.nodes {
+                if let Some(badge) = badges.get_mut(node) {
+                    badge.riocs += 1;
+                }
+            }
+        }
+        badges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Timestamp, Uuid};
+
+    fn rioc(nodes: Vec<NodeId>, score: f64) -> ReducedIoc {
+        ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some("CVE-2017-9805".into()),
+            description: "struts RCE".into(),
+            affected_application: Some("apache".into()),
+            threat_score: score,
+            criteria: None,
+            nodes,
+            via_common_keyword: false,
+            misp_event_id: None,
+        }
+    }
+
+    fn alarm(node: NodeId, severity: AlarmSeverity) -> Alarm {
+        Alarm::new(
+            1,
+            node,
+            severity,
+            "203.0.113.9",
+            "192.168.1.14",
+            "issue",
+            "suricata",
+            Timestamp::EPOCH,
+        )
+    }
+
+    #[test]
+    fn badges_aggregate_alarms_and_riocs() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        state.apply_alarm(alarm(NodeId(4), AlarmSeverity::High));
+        state.apply_alarm(alarm(NodeId(4), AlarmSeverity::Low));
+        state.apply_alarm(alarm(NodeId(1), AlarmSeverity::Medium));
+        state.apply_rioc(rioc(vec![NodeId(4)], 2.74));
+        state.apply_rioc(rioc(vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)], 1.5));
+
+        let badges = state.badges();
+        let node4 = badges[&NodeId(4)];
+        assert_eq!((node4.red, node4.green, node4.yellow), (1, 1, 0));
+        assert_eq!(node4.riocs, 2);
+        assert_eq!(node4.circle_color(), "red");
+        let node1 = badges[&NodeId(1)];
+        assert_eq!(node1.circle_color(), "yellow");
+        assert_eq!(node1.riocs, 1);
+        let node2 = badges[&NodeId(2)];
+        assert_eq!(node2.alarm_count(), 0);
+        assert_eq!(node2.riocs, 1);
+    }
+
+    #[test]
+    fn per_node_queries() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        state.apply_alarm(alarm(NodeId(2), AlarmSeverity::Low));
+        state.apply_rioc(rioc(vec![NodeId(2)], 3.0));
+        assert_eq!(state.alarms_for(NodeId(2)).len(), 1);
+        assert_eq!(state.riocs_for(NodeId(2)).len(), 1);
+        assert!(state.alarms_for(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn topology_is_derived() {
+        let state = DashboardState::new(Inventory::paper_table3());
+        assert_eq!(state.topology().links().len(), 6);
+    }
+
+    #[test]
+    fn alarms_for_unknown_node_are_kept_off_badges() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        state.apply_alarm(alarm(NodeId(99), AlarmSeverity::High));
+        let badges = state.badges();
+        assert!(badges.values().all(|b| b.alarm_count() == 0));
+        // The raw alarm is still recorded for the analyst.
+        assert_eq!(state.alarms().len(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The live dashboard feed: bus subscriptions applied to the state.
+//!
+//! "The rIoC … will be sent directly to the Dashboard through specific
+//! web sockets, developed relying on the socket.io library" (Section
+//! IV-A). [`DashboardStream`] plays the socket role: it subscribes to
+//! the rIoC and alarm topics and folds arriving messages into a
+//! [`DashboardState`].
+
+use cais_bus::{topics, Broker, Subscription};
+use cais_core::ReducedIoc;
+use cais_infra::Alarm;
+
+use crate::state::DashboardState;
+
+/// A dashboard wired to a live message bus.
+pub struct DashboardStream {
+    state: DashboardState,
+    riocs: Subscription,
+    alarms: Subscription,
+    applied_riocs: usize,
+    applied_alarms: usize,
+    decode_failures: usize,
+}
+
+impl DashboardStream {
+    /// Subscribes the dashboard to a broker's rIoC and alarm topics.
+    pub fn attach(state: DashboardState, broker: &Broker) -> Self {
+        DashboardStream {
+            state,
+            riocs: broker.subscribe(topics::RIOC_PUBLISHED),
+            alarms: broker.subscribe(topics::ALARM_RAISED),
+            applied_riocs: 0,
+            applied_alarms: 0,
+            decode_failures: 0,
+        }
+    }
+
+    /// Drains every queued message into the state, returning how many
+    /// updates were applied.
+    pub fn pump(&mut self) -> usize {
+        let mut applied = 0;
+        for message in self.riocs.drain() {
+            match message.decode::<ReducedIoc>() {
+                Ok(rioc) => {
+                    self.state.apply_rioc(rioc);
+                    self.applied_riocs += 1;
+                    applied += 1;
+                }
+                Err(_) => self.decode_failures += 1,
+            }
+        }
+        for message in self.alarms.drain() {
+            match message.decode::<Alarm>() {
+                Ok(alarm) => {
+                    self.state.apply_alarm(alarm);
+                    self.applied_alarms += 1;
+                    applied += 1;
+                }
+                Err(_) => self.decode_failures += 1,
+            }
+        }
+        applied
+    }
+
+    /// The current state (pump first for freshness).
+    pub fn state(&self) -> &DashboardState {
+        &self.state
+    }
+
+    /// rIoCs applied over the stream's lifetime.
+    pub fn applied_riocs(&self) -> usize {
+        self.applied_riocs
+    }
+
+    /// Alarms applied over the stream's lifetime.
+    pub fn applied_alarms(&self) -> usize {
+        self.applied_alarms
+    }
+
+    /// Messages that failed to decode (malformed publishers).
+    pub fn decode_failures(&self) -> usize {
+        self.decode_failures
+    }
+}
+
+impl std::fmt::Debug for DashboardStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DashboardStream")
+            .field("applied_riocs", &self.applied_riocs)
+            .field("applied_alarms", &self.applied_alarms)
+            .field("decode_failures", &self.decode_failures)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_bus::Topic;
+    use cais_common::{Timestamp, Uuid};
+    use cais_infra::inventory::Inventory;
+    use cais_infra::{AlarmSeverity, NodeId};
+
+    fn rioc() -> ReducedIoc {
+        ReducedIoc {
+            id: Uuid::new_v4(),
+            cve: Some("CVE-2017-9805".into()),
+            description: "struts".into(),
+            affected_application: None,
+            threat_score: 2.7406,
+            criteria: None,
+            nodes: vec![NodeId(4)],
+            via_common_keyword: false,
+            misp_event_id: None,
+        }
+    }
+
+    #[test]
+    fn pump_applies_published_messages() {
+        let broker = Broker::new();
+        let mut stream =
+            DashboardStream::attach(DashboardState::new(Inventory::paper_table3()), &broker);
+        broker.publish_value(topics::RIOC_PUBLISHED, &rioc()).unwrap();
+        broker
+            .publish_value(
+                topics::ALARM_RAISED,
+                &Alarm::new(
+                    1,
+                    NodeId(4),
+                    AlarmSeverity::High,
+                    "203.0.113.9",
+                    "192.168.1.14",
+                    "struts",
+                    "suricata",
+                    Timestamp::EPOCH,
+                ),
+            )
+            .unwrap();
+        assert_eq!(stream.pump(), 2);
+        assert_eq!(stream.state().riocs().len(), 1);
+        assert_eq!(stream.state().alarms().len(), 1);
+        let badge = stream.state().badges()[&NodeId(4)];
+        assert_eq!(badge.riocs, 1);
+        assert_eq!(badge.red, 1);
+    }
+
+    #[test]
+    fn malformed_messages_are_counted_not_fatal() {
+        let broker = Broker::new();
+        let mut stream =
+            DashboardStream::attach(DashboardState::new(Inventory::paper_table3()), &broker);
+        broker.publish(Topic::new(topics::RIOC_PUBLISHED), serde_json::json!("garbage"));
+        assert_eq!(stream.pump(), 0);
+        assert_eq!(stream.decode_failures(), 1);
+    }
+
+    #[test]
+    fn end_to_end_with_platform() {
+        use cais_common::{Observable, ObservableKind};
+        use cais_core::Platform;
+        use cais_feeds::{FeedRecord, ThreatCategory};
+
+        let mut platform = Platform::paper_use_case();
+        let mut stream = DashboardStream::attach(
+            DashboardState::new(Inventory::paper_table3()),
+            platform.broker(),
+        );
+        let now = platform.context().now;
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+            ThreatCategory::VulnerabilityExploitation,
+            "nvd-feed",
+            now.add_days(-100),
+        )
+        .with_cve("CVE-2017-9805")
+        .with_description("remote code execution in apache struts");
+        platform.ingest_feed_records(vec![record]).unwrap();
+        assert_eq!(stream.pump(), 1);
+        assert_eq!(stream.state().riocs().len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Temporal activity view: alarms bucketed over time.
+//!
+//! Section II-B calls for visualization models that "handle diverse
+//! types of data e.g., high-dimensional, **temporal**" and "the dynamic
+//! nature of the data … to support real-time analysis". The timeline
+//! buckets alarm activity into fixed windows and renders an ASCII
+//! sparkline per severity band, so an analyst sees bursts at a glance.
+
+use cais_common::Timestamp;
+use cais_infra::AlarmSeverity;
+use serde::{Deserialize, Serialize};
+
+use crate::state::DashboardState;
+
+/// One time bucket's counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TimelineBucket {
+    /// Low-severity alarms in the bucket.
+    pub low: usize,
+    /// Medium-severity alarms.
+    pub medium: usize,
+    /// High-severity alarms.
+    pub high: usize,
+}
+
+impl TimelineBucket {
+    /// Total alarms in the bucket.
+    pub fn total(&self) -> usize {
+        self.low + self.medium + self.high
+    }
+}
+
+/// An alarm timeline over fixed-width buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Start of the first bucket.
+    pub start: Timestamp,
+    /// Bucket width in milliseconds.
+    pub bucket_millis: i64,
+    /// The buckets, oldest first.
+    pub buckets: Vec<TimelineBucket>,
+}
+
+impl Timeline {
+    /// Builds a timeline over the state's alarms with `buckets` windows
+    /// of `bucket_millis` each, ending at `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buckets` is zero or `bucket_millis` is not positive.
+    pub fn build(
+        state: &DashboardState,
+        until: Timestamp,
+        bucket_millis: i64,
+        buckets: usize,
+    ) -> Timeline {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(bucket_millis > 0, "bucket width must be positive");
+        let start = until.add_millis(-(bucket_millis * buckets as i64));
+        let mut out = vec![TimelineBucket::default(); buckets];
+        for alarm in state.alarms() {
+            let offset = alarm.raised_at.millis_since(start);
+            if offset < 0 {
+                continue;
+            }
+            let index = (offset / bucket_millis) as usize;
+            if index >= buckets {
+                continue;
+            }
+            match alarm.severity {
+                AlarmSeverity::Low => out[index].low += 1,
+                AlarmSeverity::Medium => out[index].medium += 1,
+                AlarmSeverity::High => out[index].high += 1,
+            }
+        }
+        Timeline {
+            start,
+            bucket_millis,
+            buckets: out,
+        }
+    }
+
+    /// The busiest bucket's total (0 for an empty timeline).
+    pub fn peak(&self) -> usize {
+        self.buckets.iter().map(TimelineBucket::total).max().unwrap_or(0)
+    }
+
+    /// Renders the timeline as three ASCII sparklines (high/medium/low).
+    pub fn to_ascii(&self) -> String {
+        const LEVELS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = self.peak().max(1);
+        let spark = |extract: fn(&TimelineBucket) -> usize| -> String {
+            self.buckets
+                .iter()
+                .map(|bucket| {
+                    let value = extract(bucket);
+                    let level = (value * (LEVELS.len() - 1)).div_ceil(peak);
+                    LEVELS[level.min(LEVELS.len() - 1)]
+                })
+                .collect()
+        };
+        format!(
+            "alarms since {} ({} buckets × {}s, peak {}):\n  high   |{}|\n  medium |{}|\n  low    |{}|\n",
+            self.start,
+            self.buckets.len(),
+            self.bucket_millis / 1_000,
+            self.peak(),
+            spark(|b| b.high),
+            spark(|b| b.medium),
+            spark(|b| b.low),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_infra::inventory::Inventory;
+    use cais_infra::{Alarm, NodeId};
+
+    fn alarm(at: Timestamp, severity: AlarmSeverity) -> Alarm {
+        Alarm::new(1, NodeId(4), severity, "-", "-", "x", "test", at)
+    }
+
+    #[test]
+    fn buckets_count_by_severity_and_window() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        let until = Timestamp::from_unix_secs(1_000);
+        // Bucket width 100s, 10 buckets → window starts at t=0.
+        state.apply_alarm(alarm(Timestamp::from_unix_secs(50), AlarmSeverity::High)); // bucket 0
+        state.apply_alarm(alarm(Timestamp::from_unix_secs(150), AlarmSeverity::Low)); // bucket 1
+        state.apply_alarm(alarm(Timestamp::from_unix_secs(150), AlarmSeverity::Medium)); // bucket 1
+        state.apply_alarm(alarm(Timestamp::from_unix_secs(999), AlarmSeverity::High)); // bucket 9
+        state.apply_alarm(alarm(Timestamp::from_unix_secs(-50), AlarmSeverity::High)); // before window
+        state.apply_alarm(alarm(Timestamp::from_unix_secs(2_000), AlarmSeverity::High)); // after window
+
+        let timeline = Timeline::build(&state, until, 100_000, 10);
+        assert_eq!(timeline.buckets.len(), 10);
+        assert_eq!(timeline.buckets[0].high, 1);
+        assert_eq!(timeline.buckets[1].low, 1);
+        assert_eq!(timeline.buckets[1].medium, 1);
+        assert_eq!(timeline.buckets[9].high, 1);
+        let counted: usize = timeline.buckets.iter().map(TimelineBucket::total).sum();
+        assert_eq!(counted, 4);
+        assert_eq!(timeline.peak(), 2);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let mut state = DashboardState::new(Inventory::paper_table3());
+        for i in 0..20 {
+            state.apply_alarm(alarm(
+                Timestamp::from_unix_secs(i * 10),
+                if i % 3 == 0 {
+                    AlarmSeverity::High
+                } else {
+                    AlarmSeverity::Low
+                },
+            ));
+        }
+        let timeline = Timeline::build(&state, Timestamp::from_unix_secs(200), 20_000, 10);
+        let text = timeline.to_ascii();
+        assert!(text.contains("high   |"));
+        assert!(text.contains("medium |"));
+        assert!(text.contains("low    |"));
+        // Each sparkline row carries exactly 10 bucket glyphs.
+        for row in text.lines().skip(1) {
+            let inside: String = row.chars().skip_while(|c| *c != '|').skip(1).take_while(|c| *c != '|').collect();
+            assert_eq!(inside.chars().count(), 10, "{row}");
+        }
+    }
+
+    #[test]
+    fn empty_state_renders_quietly() {
+        let state = DashboardState::new(Inventory::paper_table3());
+        let timeline = Timeline::build(&state, Timestamp::from_unix_secs(100), 10_000, 5);
+        assert_eq!(timeline.peak(), 0);
+        assert!(timeline.to_ascii().contains("peak 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panic() {
+        let state = DashboardState::new(Inventory::paper_table3());
+        let _ = Timeline::build(&state, Timestamp::EPOCH, 1_000, 0);
+    }
+}

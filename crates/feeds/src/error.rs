@@ -1,0 +1,102 @@
+//! Feed ingestion errors.
+
+use std::fmt;
+
+/// Errors produced while fetching or parsing feeds.
+#[derive(Debug)]
+pub enum FeedError {
+    /// The source could not be fetched.
+    Fetch {
+        /// The source name.
+        source_name: String,
+        /// Why the fetch failed.
+        reason: String,
+    },
+    /// The payload could not be parsed.
+    Parse {
+        /// The source name.
+        source_name: String,
+        /// Line (1-based) where parsing failed, when known.
+        line: Option<usize>,
+        /// Why parsing failed.
+        reason: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl FeedError {
+    pub(crate) fn fetch(source_name: &str, reason: impl Into<String>) -> Self {
+        FeedError::Fetch {
+            source_name: source_name.to_owned(),
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn parse(
+        source_name: &str,
+        line: Option<usize>,
+        reason: impl Into<String>,
+    ) -> Self {
+        FeedError::Parse {
+            source_name: source_name.to_owned(),
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::Fetch {
+                source_name,
+                reason,
+            } => write!(f, "failed to fetch feed {source_name:?}: {reason}"),
+            FeedError::Parse {
+                source_name,
+                line: Some(line),
+                reason,
+            } => write!(f, "failed to parse feed {source_name:?} line {line}: {reason}"),
+            FeedError::Parse {
+                source_name,
+                line: None,
+                reason,
+            } => write!(f, "failed to parse feed {source_name:?}: {reason}"),
+            FeedError::Io(err) => write!(f, "feed I/O error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeedError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FeedError {
+    fn from(err: std::io::Error) -> Self {
+        FeedError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = FeedError::parse("abuse-ch", Some(12), "bad column count");
+        let s = e.to_string();
+        assert!(s.contains("abuse-ch") && s.contains("12") && s.contains("bad column count"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FeedError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # cais-feeds
+//!
+//! OSINT feed ingestion: the formats real feeds publish (plaintext
+//! blocklists, CSV, MISP feed JSON), pluggable sources with failure and
+//! latency injection, a polling scheduler, and a synthetic feed
+//! generator with controllable duplication — the load-bearing parameter
+//! for the paper's deduplication/aggregation claims.
+//!
+//! The paper's OSINT Data Collector "is configured with different types
+//! of OSINT feeds (e.g., malware domains, vulnerability exploitation)
+//! provided by several sources" and must normalize plaintext and CSV
+//! data into a common format (Section III-A1). This crate is that
+//! collector's front end.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_feeds::{parse, FeedFormat, ThreatCategory};
+//!
+//! let text = "# malware domains\nevil.example\nc2.evil.example\n";
+//! let records = parse::plaintext::parse(text, "my-feed", ThreatCategory::MalwareDomain)?;
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(records[0].source, "my-feed");
+//! # Ok::<(), cais_feeds::FeedError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+pub mod parse;
+pub mod quality;
+mod scheduler;
+mod source;
+pub mod synth;
+
+pub use error::FeedError;
+pub use model::{FeedFormat, FeedRecord, ThreatCategory};
+pub use quality::QualityTracker;
+pub use scheduler::{FeedScheduler, SchedulerHandle};
+pub use source::{FeedSource, FileSource, FlakySource, MemorySource};

@@ -1,0 +1,208 @@
+//! The normalized feed record and its vocabulary.
+
+use std::fmt;
+
+use cais_common::{Observable, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// The threat category a feed (or record) reports on.
+///
+/// The paper's collector "aggregates the security events by threat
+/// category, resulting in sets of events regarding a same category"
+/// (Section III-A1); this is that grouping key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ThreatCategory {
+    /// Domains serving malware.
+    MalwareDomain,
+    /// Phishing pages and senders.
+    Phishing,
+    /// Botnet command-and-control endpoints.
+    CommandAndControl,
+    /// Vulnerability advisories and exploitation reports.
+    VulnerabilityExploitation,
+    /// Hosts scanning the internet.
+    Scanner,
+    /// Spam senders.
+    Spam,
+    /// Ransomware infrastructure and samples.
+    Ransomware,
+    /// Malware sample hashes.
+    MalwareSample,
+}
+
+impl ThreatCategory {
+    /// All categories.
+    pub const ALL: [ThreatCategory; 8] = [
+        ThreatCategory::MalwareDomain,
+        ThreatCategory::Phishing,
+        ThreatCategory::CommandAndControl,
+        ThreatCategory::VulnerabilityExploitation,
+        ThreatCategory::Scanner,
+        ThreatCategory::Spam,
+        ThreatCategory::Ransomware,
+        ThreatCategory::MalwareSample,
+    ];
+
+    /// The kebab-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ThreatCategory::MalwareDomain => "malware-domain",
+            ThreatCategory::Phishing => "phishing",
+            ThreatCategory::CommandAndControl => "command-and-control",
+            ThreatCategory::VulnerabilityExploitation => "vulnerability-exploitation",
+            ThreatCategory::Scanner => "scanner",
+            ThreatCategory::Spam => "spam",
+            ThreatCategory::Ransomware => "ransomware",
+            ThreatCategory::MalwareSample => "malware-sample",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<ThreatCategory> {
+        ThreatCategory::ALL.into_iter().find(|c| c.as_str() == name)
+    }
+}
+
+impl fmt::Display for ThreatCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The serialization format a feed publishes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum FeedFormat {
+    /// One indicator value per line, `#`/`;` comments.
+    PlainText,
+    /// Comma-separated values with a header row.
+    Csv,
+    /// MISP feed JSON (one event with attributes).
+    MispFeed,
+}
+
+/// A normalized security event from an OSINT feed.
+///
+/// Whatever the original format, every feed entry normalizes to this
+/// shape before deduplication and aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedRecord {
+    /// The indicator value.
+    pub observable: Observable,
+    /// The threat category the feed reports.
+    pub category: ThreatCategory,
+    /// Name of the feed that published the record.
+    pub source: String,
+    /// When the feed says the indicator was seen (or the fetch time).
+    pub seen_at: Timestamp,
+    /// Free-text context, when the format carries one.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// A CVE identifier, when the record is a vulnerability advisory.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cve: Option<String>,
+    /// Tags carried by the feed entry.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tags: Vec<String>,
+}
+
+impl FeedRecord {
+    /// Creates a record with the required fields.
+    pub fn new(
+        observable: Observable,
+        category: ThreatCategory,
+        source: impl Into<String>,
+        seen_at: Timestamp,
+    ) -> Self {
+        FeedRecord {
+            observable,
+            category,
+            source: source.into(),
+            seen_at,
+            description: None,
+            cve: None,
+            tags: Vec::new(),
+        }
+    }
+
+    /// The content-based deduplication key: category plus normalized
+    /// observable. Two records with equal keys describe the same threat
+    /// datum regardless of which feed delivered them.
+    pub fn dedup_key(&self) -> String {
+        format!("{}|{}", self.category, self.observable.dedup_key())
+    }
+
+    /// Sets the description, builder-style.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Sets the CVE, builder-style.
+    pub fn with_cve(mut self, cve: impl Into<String>) -> Self {
+        self.cve = Some(cve.into());
+        self
+    }
+
+    /// Adds a tag, builder-style.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.push(tag.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::ObservableKind;
+
+    #[test]
+    fn category_names_roundtrip() {
+        for c in ThreatCategory::ALL {
+            assert_eq!(ThreatCategory::from_name(c.as_str()), Some(c));
+        }
+        assert_eq!(ThreatCategory::from_name("x"), None);
+    }
+
+    #[test]
+    fn dedup_key_ignores_source_and_time() {
+        let a = FeedRecord::new(
+            Observable::new(ObservableKind::Domain, "Evil.Example"),
+            ThreatCategory::MalwareDomain,
+            "feed-a",
+            Timestamp::EPOCH,
+        );
+        let b = FeedRecord::new(
+            Observable::new(ObservableKind::Domain, "evil.example"),
+            ThreatCategory::MalwareDomain,
+            "feed-b",
+            Timestamp::EPOCH.add_days(3),
+        );
+        assert_eq!(a.dedup_key(), b.dedup_key());
+        // Same value under a different category is a different datum.
+        let c = FeedRecord::new(
+            Observable::new(ObservableKind::Domain, "evil.example"),
+            ThreatCategory::Phishing,
+            "feed-b",
+            Timestamp::EPOCH,
+        );
+        assert_ne!(a.dedup_key(), c.dedup_key());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = FeedRecord::new(
+            Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+            ThreatCategory::VulnerabilityExploitation,
+            "nvd-feed",
+            Timestamp::EPOCH,
+        )
+        .with_description("struts RCE")
+        .with_cve("CVE-2017-9805")
+        .with_tag("rce");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FeedRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

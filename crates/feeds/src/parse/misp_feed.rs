@@ -1,0 +1,154 @@
+//! MISP feed JSON parsing.
+//!
+//! MISP feeds serve event documents of the form:
+//!
+//! ```json
+//! {"Event": {"uuid": "…", "info": "…", "date": "2019-04-02",
+//!            "Attribute": [{"type": "domain", "value": "evil.example",
+//!                           "category": "Network activity",
+//!                           "comment": "…"}]}}
+//! ```
+//!
+//! Parsing is lenient (unknown fields ignored, unparsable attributes
+//! skipped) because feed quality varies widely in practice.
+
+use cais_common::{Observable, Timestamp};
+use serde_json::Value;
+
+use crate::{FeedError, FeedRecord, ThreatCategory};
+
+/// Parses a MISP feed event document into records.
+///
+/// Either a single `{"Event": …}` document or a JSON array of them is
+/// accepted.
+///
+/// # Errors
+///
+/// Returns [`FeedError::Parse`] when the payload is not JSON or carries
+/// no `Event` object.
+pub fn parse(
+    payload: &str,
+    source: &str,
+    category: ThreatCategory,
+) -> Result<Vec<FeedRecord>, FeedError> {
+    let value: Value = serde_json::from_str(payload)
+        .map_err(|e| FeedError::parse(source, None, format!("invalid JSON: {e}")))?;
+    let events: Vec<&Value> = match &value {
+        Value::Array(items) => items.iter().collect(),
+        single => vec![single],
+    };
+    let mut records = Vec::new();
+    let mut saw_event = false;
+    for event_doc in events {
+        let Some(event) = event_doc.get("Event") else {
+            continue;
+        };
+        saw_event = true;
+        let event_time = event
+            .get("date")
+            .and_then(Value::as_str)
+            .and_then(|d| Timestamp::parse_rfc3339(d).ok())
+            .unwrap_or_else(Timestamp::now);
+        let info = event.get("info").and_then(Value::as_str);
+        let Some(attributes) = event.get("Attribute").and_then(Value::as_array) else {
+            continue;
+        };
+        for attribute in attributes {
+            let Some(raw_value) = attribute.get("value").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(observable) = Observable::parse(raw_value) else {
+                continue;
+            };
+            let seen_at = attribute
+                .get("timestamp")
+                .and_then(|t| match t {
+                    Value::String(s) => s.parse::<i64>().ok(),
+                    Value::Number(n) => n.as_i64(),
+                    _ => None,
+                })
+                .map(Timestamp::from_unix_secs)
+                .unwrap_or(event_time);
+            let mut record = FeedRecord::new(observable, category, source, seen_at);
+            if let Some(comment) = attribute
+                .get("comment")
+                .and_then(Value::as_str)
+                .filter(|c| !c.is_empty())
+            {
+                record.description = Some(comment.to_owned());
+            } else if let Some(info) = info {
+                record.description = Some(info.to_owned());
+            }
+            if let Some(misp_category) = attribute.get("category").and_then(Value::as_str) {
+                record.tags.push(misp_category.to_owned());
+            }
+            if record.observable.kind() == cais_common::ObservableKind::Cve {
+                record.cve = Some(record.observable.value().to_owned());
+            }
+            records.push(record);
+        }
+    }
+    if !saw_event {
+        return Err(FeedError::parse(source, None, "no Event object in payload"));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "Event": {
+            "uuid": "5c9f9a72-1234-4f6a-9d10-4f8a9c2d0001",
+            "info": "OSINT - emotet epoch 1 infrastructure",
+            "date": "2019-04-02",
+            "Attribute": [
+                {"type": "domain", "value": "c2.evil.example",
+                 "category": "Network activity", "timestamp": "1554200000"},
+                {"type": "ip-dst", "value": "203.0.113.9",
+                 "category": "Network activity", "comment": "tier-2 c2"},
+                {"type": "other", "value": "not parseable as indicator"}
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn parses_misp_event() {
+        let records = parse(SAMPLE, "misp-osint", ThreatCategory::CommandAndControl).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].observable.value(), "c2.evil.example");
+        assert_eq!(records[0].seen_at, Timestamp::from_unix_secs(1_554_200_000));
+        assert_eq!(
+            records[0].description.as_deref(),
+            Some("OSINT - emotet epoch 1 infrastructure")
+        );
+        assert_eq!(records[1].description.as_deref(), Some("tier-2 c2"));
+        assert_eq!(records[0].tags, vec!["Network activity"]);
+    }
+
+    #[test]
+    fn parses_array_of_events() {
+        let payload = format!("[{SAMPLE}, {SAMPLE}]");
+        let records = parse(&payload, "f", ThreatCategory::CommandAndControl).unwrap();
+        assert_eq!(records.len(), 4);
+    }
+
+    #[test]
+    fn cve_attributes_fill_cve_field() {
+        let payload = r#"{"Event": {"date": "2017-09-13", "Attribute":
+            [{"type": "vulnerability", "value": "CVE-2017-9805"}]}}"#;
+        let records = parse(payload, "f", ThreatCategory::VulnerabilityExploitation).unwrap();
+        assert_eq!(records[0].cve.as_deref(), Some("CVE-2017-9805"));
+    }
+
+    #[test]
+    fn non_json_is_error() {
+        assert!(parse("not json", "f", ThreatCategory::Spam).is_err());
+    }
+
+    #[test]
+    fn json_without_event_is_error() {
+        assert!(parse(r#"{"foo": 1}"#, "f", ThreatCategory::Spam).is_err());
+    }
+}

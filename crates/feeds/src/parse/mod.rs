@@ -1,0 +1,50 @@
+//! Parsers for the feed formats the platform ingests.
+//!
+//! Each submodule parses one wire format into normalized
+//! [`crate::FeedRecord`]s:
+//!
+//! * [`plaintext`] — one indicator per line (blocklist style),
+//! * [`csv`] — comma-separated with a header row,
+//! * [`misp_feed`] — MISP feed JSON.
+
+pub mod csv;
+pub mod misp_feed;
+pub mod plaintext;
+
+use crate::{FeedError, FeedFormat, FeedRecord, ThreatCategory};
+
+/// Parses a payload in any supported format.
+///
+/// # Errors
+///
+/// Returns [`FeedError::Parse`] when the payload does not conform to the
+/// declared format.
+pub fn parse_payload(
+    format: FeedFormat,
+    payload: &str,
+    source: &str,
+    category: ThreatCategory,
+) -> Result<Vec<FeedRecord>, FeedError> {
+    match format {
+        FeedFormat::PlainText => plaintext::parse(payload, source, category),
+        FeedFormat::Csv => csv::parse(payload, source, category),
+        FeedFormat::MispFeed => misp_feed::parse(payload, source, category),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_by_format() {
+        let recs = parse_payload(
+            FeedFormat::PlainText,
+            "evil.example\n",
+            "f",
+            ThreatCategory::MalwareDomain,
+        )
+        .unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+}

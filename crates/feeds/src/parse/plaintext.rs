@@ -1,0 +1,123 @@
+//! Plaintext blocklist parsing: one indicator per line.
+//!
+//! This is the dominant OSINT feed format (malware-domain lists, botnet
+//! IP lists): one value per line, blank lines ignored, `#` and `;`
+//! starting comments, optional inline comments after whitespace.
+
+use cais_common::{Observable, Timestamp};
+
+use crate::{FeedError, FeedRecord, ThreatCategory};
+
+/// Parses a plaintext blocklist into records.
+///
+/// Unrecognizable lines are *skipped*, not fatal: real blocklists carry
+/// headers and the occasional garbage line, and the paper's pipeline
+/// normalizes whatever it can. A payload where *no* line parses is
+/// reported as an error, since it most likely means the wrong format was
+/// configured.
+///
+/// # Errors
+///
+/// Returns [`FeedError::Parse`] when the payload is non-empty but yields
+/// zero indicators.
+///
+/// # Examples
+///
+/// ```
+/// use cais_feeds::{parse::plaintext, ThreatCategory};
+///
+/// let payload = "# c2 list 2019-04-02\n203.0.113.9\n198.51.100.7 ; seen twice\n";
+/// let records = plaintext::parse(payload, "c2-feed", ThreatCategory::CommandAndControl)?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[1].observable.value(), "198.51.100.7");
+/// # Ok::<(), cais_feeds::FeedError>(())
+/// ```
+pub fn parse(
+    payload: &str,
+    source: &str,
+    category: ThreatCategory,
+) -> Result<Vec<FeedRecord>, FeedError> {
+    let now = Timestamp::now();
+    let mut records = Vec::new();
+    let mut non_comment_lines = 0usize;
+    for raw_line in payload.lines() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            continue;
+        }
+        non_comment_lines += 1;
+        // Strip inline comments.
+        let value = line
+            .split(['#', ';'])
+            .next()
+            .unwrap_or_default()
+            .split_whitespace()
+            .last()
+            .unwrap_or_default();
+        if let Some(observable) = Observable::parse(value) {
+            records.push(FeedRecord::new(observable, category, source, now));
+        }
+    }
+    if records.is_empty() && non_comment_lines > 0 {
+        return Err(FeedError::parse(
+            source,
+            None,
+            "no line parsed as an indicator; wrong format configured?",
+        ));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::ObservableKind;
+
+    #[test]
+    fn parses_mixed_indicator_kinds() {
+        let payload = "evil.example\n203.0.113.9\nd41d8cd98f00b204e9800998ecf8427e\nCVE-2017-9805\n";
+        let records = parse(payload, "mixed", ThreatCategory::MalwareDomain).unwrap();
+        let kinds: Vec<ObservableKind> =
+            records.iter().map(|r| r.observable.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ObservableKind::Domain,
+                ObservableKind::Ipv4,
+                ObservableKind::Md5,
+                ObservableKind::Cve
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let payload = "# header\n\n; note\nevil.example # inline\nbad.example ; inline\n";
+        let records = parse(payload, "f", ThreatCategory::MalwareDomain).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].observable.value(), "evil.example");
+        assert_eq!(records[1].observable.value(), "bad.example");
+    }
+
+    #[test]
+    fn hosts_file_style() {
+        let payload = "127.0.0.1 evil.example\n0.0.0.0 c2.evil.example\n";
+        let records = parse(payload, "hosts", ThreatCategory::MalwareDomain).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].observable.kind(), ObservableKind::Domain);
+    }
+
+    #[test]
+    fn empty_payload_is_ok() {
+        assert!(parse("", "f", ThreatCategory::Spam).unwrap().is_empty());
+        assert!(parse("# only comments\n", "f", ThreatCategory::Spam)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn all_garbage_is_error() {
+        let err = parse("not an indicator\nat all\n", "f", ThreatCategory::Spam).unwrap_err();
+        assert!(matches!(err, FeedError::Parse { .. }));
+    }
+}

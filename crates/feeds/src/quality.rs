@@ -1,0 +1,212 @@
+//! Per-feed quality tracking.
+//!
+//! The paper's Variety criterion "evaluates the sources … from where
+//! the information is originated" — which presumes the platform knows
+//! its sources' characteristics. [`QualityTracker`] accumulates, per
+//! feed: volume, how much of its output is first-seen (unique
+//! contribution vs parroting other feeds), record freshness, and fetch
+//! reliability; and condenses them into a 0–5 trust grade an operator
+//! (or the weighting engine) can consume.
+
+use std::collections::{HashMap, HashSet};
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::FeedRecord;
+
+/// Accumulated per-feed counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedStats {
+    /// Records delivered.
+    pub records: usize,
+    /// Records this feed delivered before any other feed.
+    pub first_seen: usize,
+    /// Sum of record ages at delivery, in days (for the mean).
+    age_days_total: f64,
+    /// Successful fetches.
+    pub fetches_ok: usize,
+    /// Failed fetches.
+    pub fetches_failed: usize,
+}
+
+impl FeedStats {
+    /// Fraction of this feed's records that were new to the platform.
+    pub fn unique_ratio(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.first_seen as f64 / self.records as f64
+        }
+    }
+
+    /// Mean record age at delivery, in days.
+    pub fn mean_age_days(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.age_days_total / self.records as f64
+        }
+    }
+
+    /// Fetch success ratio (1.0 when the feed never fetched).
+    pub fn reliability(&self) -> f64 {
+        let total = self.fetches_ok + self.fetches_failed;
+        if total == 0 {
+            1.0
+        } else {
+            self.fetches_ok as f64 / total as f64
+        }
+    }
+
+    /// The 0–5 trust grade: equal parts unique contribution,
+    /// freshness (full marks within a day, none at 30+ days) and fetch
+    /// reliability, scaled to the score range the heuristics use.
+    pub fn grade(&self) -> f64 {
+        let freshness = (1.0 - (self.mean_age_days() / 30.0)).clamp(0.0, 1.0);
+        let composite = (self.unique_ratio() + freshness + self.reliability()) / 3.0;
+        composite * 5.0
+    }
+}
+
+/// Tracks quality across every feed the platform consumes.
+#[derive(Debug, Default)]
+pub struct QualityTracker {
+    stats: HashMap<String, FeedStats>,
+    seen_values: HashSet<String>,
+}
+
+impl QualityTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        QualityTracker::default()
+    }
+
+    /// Records a delivered batch, attributing first-seen credit in
+    /// delivery order.
+    pub fn record_batch(&mut self, records: &[FeedRecord], now: Timestamp) {
+        for record in records {
+            let stats = self.stats.entry(record.source.clone()).or_default();
+            stats.records += 1;
+            let age_days =
+                (now.millis_since(record.seen_at)).max(0) as f64 / (24.0 * 3_600_000.0);
+            stats.age_days_total += age_days;
+            if self.seen_values.insert(record.dedup_key()) {
+                stats.first_seen += 1;
+            }
+        }
+    }
+
+    /// Records a fetch outcome for a feed.
+    pub fn record_fetch(&mut self, source: &str, ok: bool) {
+        let stats = self.stats.entry(source.to_owned()).or_default();
+        if ok {
+            stats.fetches_ok += 1;
+        } else {
+            stats.fetches_failed += 1;
+        }
+    }
+
+    /// The stats of one feed.
+    pub fn stats(&self, source: &str) -> Option<&FeedStats> {
+        self.stats.get(source)
+    }
+
+    /// Every feed's grade, best first.
+    pub fn scoreboard(&self) -> Vec<(&str, f64)> {
+        let mut out: Vec<(&str, f64)> = self
+            .stats
+            .iter()
+            .map(|(source, stats)| (source.as_str(), stats.grade()))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreatCategory;
+    use cais_common::{Observable, ObservableKind};
+
+    fn record(value: &str, source: &str, seen_at: Timestamp) -> FeedRecord {
+        FeedRecord::new(
+            Observable::new(ObservableKind::Domain, value),
+            ThreatCategory::MalwareDomain,
+            source,
+            seen_at,
+        )
+    }
+
+    #[test]
+    fn first_seen_credit_goes_to_the_earlier_feed() {
+        let now = Timestamp::from_ymd_hms(2019, 4, 2, 0, 0, 0);
+        let mut tracker = QualityTracker::new();
+        tracker.record_batch(
+            &[
+                record("a.ru", "fast-feed", now),
+                record("b.ru", "fast-feed", now),
+            ],
+            now,
+        );
+        tracker.record_batch(
+            &[
+                record("a.ru", "slow-feed", now), // parroted
+                record("c.ru", "slow-feed", now), // original
+            ],
+            now,
+        );
+        assert_eq!(tracker.stats("fast-feed").unwrap().unique_ratio(), 1.0);
+        assert_eq!(tracker.stats("slow-feed").unwrap().unique_ratio(), 0.5);
+        let board = tracker.scoreboard();
+        assert_eq!(board[0].0, "fast-feed");
+        assert!(board[0].1 > board[1].1);
+    }
+
+    #[test]
+    fn freshness_degrades_the_grade() {
+        let now = Timestamp::from_ymd_hms(2019, 4, 2, 0, 0, 0);
+        let mut tracker = QualityTracker::new();
+        tracker.record_batch(&[record("fresh.ru", "fresh", now)], now);
+        tracker.record_batch(&[record("stale.ru", "stale", now.add_days(-60))], now);
+        let fresh = tracker.stats("fresh").unwrap().grade();
+        let stale = tracker.stats("stale").unwrap().grade();
+        assert!(fresh > stale, "{fresh} !> {stale}");
+        assert_eq!(tracker.stats("stale").unwrap().mean_age_days().round(), 60.0);
+    }
+
+    #[test]
+    fn reliability_tracks_fetch_outcomes() {
+        let mut tracker = QualityTracker::new();
+        tracker.record_fetch("flaky", true);
+        tracker.record_fetch("flaky", false);
+        tracker.record_fetch("flaky", false);
+        let stats = tracker.stats("flaky").unwrap();
+        assert!((stats.reliability() - 1.0 / 3.0).abs() < 1e-12);
+        // A feed that never fetched is presumed reliable.
+        assert_eq!(FeedStats::default().reliability(), 1.0);
+    }
+
+    #[test]
+    fn grades_stay_in_score_range() {
+        let now = Timestamp::from_ymd_hms(2019, 4, 2, 0, 0, 0);
+        let mut tracker = QualityTracker::new();
+        for i in 0..50 {
+            tracker.record_batch(
+                &[record(&format!("{i}.ru"), "feed", now.add_days(-(i % 90)))],
+                now,
+            );
+        }
+        let grade = tracker.stats("feed").unwrap().grade();
+        assert!((0.0..=5.0).contains(&grade));
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let stats = FeedStats::default();
+        assert_eq!(stats.unique_ratio(), 0.0);
+        assert_eq!(stats.mean_age_days(), 0.0);
+        assert!((0.0..=5.0).contains(&stats.grade()));
+    }
+}

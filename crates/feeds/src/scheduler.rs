@@ -1,0 +1,222 @@
+//! Periodic feed polling.
+//!
+//! The scheduler polls every registered source on its own interval from
+//! a single background thread and hands parsed records to a sink
+//! callback. Fetch failures are counted and retried on the next tick —
+//! one flaky feed must not stall the others.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{FeedRecord, FeedSource};
+
+struct Entry {
+    source: Box<dyn FeedSource>,
+    interval: Duration,
+    next_due: Instant,
+}
+
+/// Aggregate counters for a running scheduler.
+#[derive(Debug, Default)]
+pub struct SchedulerStats {
+    /// Successful fetch+parse rounds.
+    pub rounds_ok: AtomicU64,
+    /// Failed rounds (fetch or parse).
+    pub rounds_failed: AtomicU64,
+    /// Total records delivered to the sink.
+    pub records_delivered: AtomicU64,
+}
+
+/// Builds and starts a feed-polling loop.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::{Arc, Mutex};
+/// use std::time::Duration;
+/// use cais_feeds::{FeedScheduler, MemorySource, FeedFormat, ThreatCategory};
+///
+/// let collected = Arc::new(Mutex::new(Vec::new()));
+/// let sink = Arc::clone(&collected);
+/// let mut scheduler = FeedScheduler::new(move |records| {
+///     sink.lock().unwrap().extend(records);
+/// });
+/// scheduler.add_source(
+///     Box::new(MemorySource::new(
+///         "feed", FeedFormat::PlainText, ThreatCategory::MalwareDomain,
+///         "evil.example\n",
+///     )),
+///     Duration::from_millis(10),
+/// );
+/// let handle = scheduler.start(Duration::from_millis(5));
+/// std::thread::sleep(Duration::from_millis(60));
+/// handle.stop();
+/// assert!(!collected.lock().unwrap().is_empty());
+/// ```
+pub struct FeedScheduler<F> {
+    sink: F,
+    entries: Vec<Entry>,
+    stats: Arc<SchedulerStats>,
+}
+
+impl<F> FeedScheduler<F>
+where
+    F: FnMut(Vec<FeedRecord>) + Send + 'static,
+{
+    /// Creates a scheduler delivering records to `sink`.
+    pub fn new(sink: F) -> Self {
+        FeedScheduler {
+            sink,
+            entries: Vec::new(),
+            stats: Arc::new(SchedulerStats::default()),
+        }
+    }
+
+    /// Registers a source polled every `interval`. The first poll happens
+    /// immediately after start.
+    pub fn add_source(&mut self, source: Box<dyn FeedSource>, interval: Duration) {
+        self.entries.push(Entry {
+            source,
+            interval,
+            next_due: Instant::now(),
+        });
+    }
+
+    /// Shared statistics handle (live while the loop runs).
+    pub fn stats(&self) -> Arc<SchedulerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Starts the polling loop on a background thread, checking due
+    /// sources every `tick`.
+    pub fn start(mut self, tick: Duration) -> SchedulerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let stats = Arc::clone(&self.stats);
+        let handle = std::thread::Builder::new()
+            .name("cais-feed-scheduler".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    for entry in &mut self.entries {
+                        if now < entry.next_due {
+                            continue;
+                        }
+                        entry.next_due = now + entry.interval;
+                        match entry.source.collect() {
+                            Ok(records) => {
+                                stats.rounds_ok.fetch_add(1, Ordering::Relaxed);
+                                stats
+                                    .records_delivered
+                                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                                (self.sink)(records);
+                            }
+                            Err(_) => {
+                                stats.rounds_failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    std::thread::sleep(tick);
+                }
+            })
+            .expect("spawn feed scheduler thread");
+        SchedulerHandle {
+            stop,
+            thread: Some(handle),
+        }
+    }
+}
+
+/// Handle controlling a running scheduler; stopping joins the thread.
+#[derive(Debug)]
+pub struct SchedulerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SchedulerHandle {
+    /// Signals the loop to stop and waits for it to finish.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SchedulerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeedFormat, FlakySource, MemorySource, ThreatCategory};
+    use std::sync::Mutex;
+
+    fn mem(payload: &str) -> MemorySource {
+        MemorySource::new(
+            "feed",
+            FeedFormat::PlainText,
+            ThreatCategory::MalwareDomain,
+            payload,
+        )
+    }
+
+    #[test]
+    fn polls_and_delivers() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&collected);
+        let mut scheduler = FeedScheduler::new(move |records| {
+            sink.lock().unwrap().extend(records);
+        });
+        scheduler.add_source(Box::new(mem("evil.example\n")), Duration::from_millis(10));
+        let stats = scheduler.stats();
+        let handle = scheduler.start(Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(80));
+        handle.stop();
+        let total = collected.lock().unwrap().len();
+        assert!(total >= 2, "expected multiple polls, got {total}");
+        assert_eq!(
+            stats.records_delivered.load(Ordering::Relaxed),
+            total as u64
+        );
+    }
+
+    #[test]
+    fn failures_are_counted_and_do_not_stall() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&collected);
+        let mut scheduler = FeedScheduler::new(move |records| {
+            sink.lock().unwrap().extend(records);
+        });
+        // Every second fetch fails.
+        scheduler.add_source(
+            Box::new(FlakySource::new(mem("evil.example\n"), 2)),
+            Duration::from_millis(5),
+        );
+        let stats = scheduler.stats();
+        let handle = scheduler.start(Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(100));
+        handle.stop();
+        assert!(stats.rounds_failed.load(Ordering::Relaxed) >= 1);
+        assert!(stats.rounds_ok.load(Ordering::Relaxed) >= 1);
+        assert!(!collected.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stop_is_prompt() {
+        let scheduler = FeedScheduler::new(|_| {});
+        let handle = scheduler.start(Duration::from_millis(1));
+        let started = Instant::now();
+        handle.stop();
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,291 @@
+//! Feed sources: where payloads come from.
+//!
+//! A [`FeedSource`] yields raw payload text plus the metadata needed to
+//! parse it. Production deployments would implement this trait over
+//! HTTP; here the implementations are a file source, an in-memory source
+//! and a failure-injecting wrapper, which together exercise every code
+//! path the collector has (including retry behaviour).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::{parse, FeedError, FeedFormat, FeedRecord, ThreatCategory};
+
+/// A configured source of feed payloads.
+///
+/// Implementations must be thread-safe: the scheduler polls sources from
+/// a background thread.
+pub trait FeedSource: Send + Sync {
+    /// Stable name identifying the feed (used as `FeedRecord::source`).
+    fn name(&self) -> &str;
+
+    /// The format payloads arrive in.
+    fn format(&self) -> FeedFormat;
+
+    /// The threat category this feed reports on.
+    fn category(&self) -> ThreatCategory;
+
+    /// Fetches the current payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeedError::Fetch`] when the payload cannot be retrieved.
+    fn fetch(&self) -> Result<String, FeedError>;
+
+    /// Fetches and parses in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch and parse errors.
+    fn collect(&self) -> Result<Vec<FeedRecord>, FeedError> {
+        let payload = self.fetch()?;
+        parse::parse_payload(self.format(), &payload, self.name(), self.category())
+    }
+}
+
+/// A source serving a fixed in-memory payload (swappable at runtime).
+pub struct MemorySource {
+    name: String,
+    format: FeedFormat,
+    category: ThreatCategory,
+    payload: Mutex<String>,
+}
+
+impl MemorySource {
+    /// Creates a source serving `payload`.
+    pub fn new(
+        name: impl Into<String>,
+        format: FeedFormat,
+        category: ThreatCategory,
+        payload: impl Into<String>,
+    ) -> Self {
+        MemorySource {
+            name: name.into(),
+            format,
+            category,
+            payload: Mutex::new(payload.into()),
+        }
+    }
+
+    /// Replaces the payload (simulating the feed publishing an update).
+    pub fn set_payload(&self, payload: impl Into<String>) {
+        *self.payload.lock() = payload.into();
+    }
+}
+
+impl FeedSource for MemorySource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn format(&self) -> FeedFormat {
+        self.format
+    }
+
+    fn category(&self) -> ThreatCategory {
+        self.category
+    }
+
+    fn fetch(&self) -> Result<String, FeedError> {
+        Ok(self.payload.lock().clone())
+    }
+}
+
+impl std::fmt::Debug for MemorySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySource")
+            .field("name", &self.name)
+            .field("format", &self.format)
+            .finish()
+    }
+}
+
+/// A source reading its payload from a file on each fetch.
+#[derive(Debug)]
+pub struct FileSource {
+    name: String,
+    format: FeedFormat,
+    category: ThreatCategory,
+    path: PathBuf,
+}
+
+impl FileSource {
+    /// Creates a file-backed source.
+    pub fn new(
+        name: impl Into<String>,
+        format: FeedFormat,
+        category: ThreatCategory,
+        path: impl Into<PathBuf>,
+    ) -> Self {
+        FileSource {
+            name: name.into(),
+            format,
+            category,
+            path: path.into(),
+        }
+    }
+}
+
+impl FeedSource for FileSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn format(&self) -> FeedFormat {
+        self.format
+    }
+
+    fn category(&self) -> ThreatCategory {
+        self.category
+    }
+
+    fn fetch(&self) -> Result<String, FeedError> {
+        std::fs::read_to_string(&self.path)
+            .map_err(|e| FeedError::fetch(&self.name, format!("{}: {e}", self.path.display())))
+    }
+}
+
+/// A wrapper injecting deterministic fetch failures: every `period`-th
+/// fetch fails. Exercises the scheduler's retry path.
+pub struct FlakySource<S> {
+    inner: S,
+    period: u64,
+    counter: AtomicU64,
+}
+
+impl<S: FeedSource> FlakySource<S> {
+    /// Wraps `inner` so that fetches numbered `period`, `2·period`, …
+    /// fail (1-based). A period of 1 makes every fetch fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(inner: S, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        FlakySource {
+            inner,
+            period,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Total fetch attempts so far.
+    pub fn attempts(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: FeedSource> FeedSource for FlakySource<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn format(&self) -> FeedFormat {
+        self.inner.format()
+    }
+
+    fn category(&self) -> ThreatCategory {
+        self.inner.category()
+    }
+
+    fn fetch(&self) -> Result<String, FeedError> {
+        let attempt = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if attempt.is_multiple_of(self.period) {
+            Err(FeedError::fetch(
+                self.inner.name(),
+                format!("injected failure on attempt {attempt}"),
+            ))
+        } else {
+            self.inner.fetch()
+        }
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for FlakySource<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlakySource")
+            .field("inner", &self.inner)
+            .field("period", &self.period)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(payload: &str) -> MemorySource {
+        MemorySource::new(
+            "test-feed",
+            FeedFormat::PlainText,
+            ThreatCategory::MalwareDomain,
+            payload,
+        )
+    }
+
+    #[test]
+    fn memory_source_collects() {
+        let source = mem("evil.example\n");
+        let records = source.collect().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].source, "test-feed");
+    }
+
+    #[test]
+    fn memory_source_payload_updates() {
+        let source = mem("evil.example\n");
+        source.set_payload("a.example\nb.example\n");
+        assert_eq!(source.collect().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn file_source_reads_and_reports_missing() {
+        let dir = std::env::temp_dir().join("cais-feeds-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("list.txt");
+        std::fs::write(&path, "evil.example\n").unwrap();
+        let source = FileSource::new(
+            "file-feed",
+            FeedFormat::PlainText,
+            ThreatCategory::MalwareDomain,
+            &path,
+        );
+        assert_eq!(source.collect().unwrap().len(), 1);
+
+        let missing = FileSource::new(
+            "missing",
+            FeedFormat::PlainText,
+            ThreatCategory::MalwareDomain,
+            dir.join("no-such-file.txt"),
+        );
+        assert!(matches!(missing.fetch(), Err(FeedError::Fetch { .. })));
+    }
+
+    #[test]
+    fn flaky_source_fails_periodically() {
+        let source = FlakySource::new(mem("evil.example\n"), 3);
+        assert!(source.fetch().is_ok()); // 1
+        assert!(source.fetch().is_ok()); // 2
+        assert!(source.fetch().is_err()); // 3
+        assert!(source.fetch().is_ok()); // 4
+        assert_eq!(source.attempts(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn flaky_zero_period_panics() {
+        let _ = FlakySource::new(mem(""), 0);
+    }
+
+    #[test]
+    fn sources_are_object_safe() {
+        let sources: Vec<Box<dyn FeedSource>> = vec![
+            Box::new(mem("evil.example\n")),
+            Box::new(FlakySource::new(mem("evil.example\n"), 2)),
+        ];
+        assert_eq!(sources.len(), 2);
+        assert!(sources[0].collect().is_ok());
+    }
+}

@@ -1,0 +1,129 @@
+//! Alarms raised by the monitored infrastructure.
+//!
+//! The dashboard shows, per node, "a circle indicating the number and
+//! severity of the alarms (in colors green, yellow and red)" and each
+//! alarm carries "the number of issues, IP source and destination, as
+//! well as a brief description of the issue" (Section III-C1).
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::inventory::NodeId;
+
+/// Alarm severity, rendered green/yellow/red on the dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AlarmSeverity {
+    /// Informational (green).
+    Low,
+    /// Suspicious (yellow).
+    Medium,
+    /// Critical (red).
+    High,
+}
+
+impl AlarmSeverity {
+    /// The dashboard color for this severity.
+    pub fn color(self) -> &'static str {
+        match self {
+            AlarmSeverity::Low => "green",
+            AlarmSeverity::Medium => "yellow",
+            AlarmSeverity::High => "red",
+        }
+    }
+}
+
+/// One alarm raised against a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// Sequential identifier within the run.
+    pub id: u64,
+    /// The node the alarm concerns.
+    pub node: NodeId,
+    /// How serious the alarm is.
+    pub severity: AlarmSeverity,
+    /// Source IP of the triggering traffic/activity.
+    pub source_ip: String,
+    /// Destination IP.
+    pub destination_ip: String,
+    /// Brief description of the issue.
+    pub description: String,
+    /// The sensor that raised it (`snort`, `suricata`, `ossec`, …).
+    pub raised_by: String,
+    /// The application involved, when known — matched against IoCs by
+    /// the heuristic engine's `vuln_app_in_alarm` feature.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub application: Option<String>,
+    /// When the alarm fired.
+    pub raised_at: Timestamp,
+}
+
+impl Alarm {
+    /// Creates an alarm with the required fields.
+    #[allow(clippy::too_many_arguments)] // mirrors the alarm's wire shape
+    pub fn new(
+        id: u64,
+        node: NodeId,
+        severity: AlarmSeverity,
+        source_ip: impl Into<String>,
+        destination_ip: impl Into<String>,
+        description: impl Into<String>,
+        raised_by: impl Into<String>,
+        raised_at: Timestamp,
+    ) -> Self {
+        Alarm {
+            id,
+            node,
+            severity,
+            source_ip: source_ip.into(),
+            destination_ip: destination_ip.into(),
+            description: description.into(),
+            raised_by: raised_by.into(),
+            application: None,
+            raised_at,
+        }
+    }
+
+    /// Sets the involved application, builder-style.
+    pub fn with_application(mut self, application: impl Into<String>) -> Self {
+        self.application = Some(application.into().to_ascii_lowercase());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_colors_match_paper() {
+        assert_eq!(AlarmSeverity::Low.color(), "green");
+        assert_eq!(AlarmSeverity::Medium.color(), "yellow");
+        assert_eq!(AlarmSeverity::High.color(), "red");
+    }
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(AlarmSeverity::Low < AlarmSeverity::Medium);
+        assert!(AlarmSeverity::Medium < AlarmSeverity::High);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let alarm = Alarm::new(
+            1,
+            NodeId(4),
+            AlarmSeverity::High,
+            "203.0.113.9",
+            "192.168.1.14",
+            "struts exploitation attempt",
+            "suricata",
+            Timestamp::EPOCH,
+        )
+        .with_application("Apache Struts");
+        assert_eq!(alarm.application.as_deref(), Some("apache struts"));
+        let json = serde_json::to_string(&alarm).unwrap();
+        let back: Alarm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, alarm);
+    }
+}

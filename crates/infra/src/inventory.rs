@@ -1,0 +1,413 @@
+//! The system inventory: nodes, their installed applications and
+//! operating systems.
+//!
+//! The paper's reduction step requires "a system inventory containing
+//! the nodes, and their installed applications … to perform the match"
+//! (Section III-C1), and the use case pins the exact inventory in Table
+//! III, including the rule that "if the match is with a common keyword
+//! (e.g., Linux), the new rIoC is associated with all nodes".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A stable node identifier within an inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// The role of a node, shown in the dashboard's node-details tab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum NodeType {
+    /// A server machine.
+    Server,
+    /// An end-user workstation.
+    Workstation,
+}
+
+/// One machine in the monitored infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Stable identifier.
+    pub id: NodeId,
+    /// Display name (for example `OwnCloud` or `XL-SIEM`).
+    pub name: String,
+    /// Server or workstation.
+    pub node_type: NodeType,
+    /// Installed applications, lowercase.
+    pub applications: Vec<String>,
+    /// Operating system, lowercase.
+    pub operating_system: String,
+    /// IPv4 addresses assigned to the node.
+    pub ip_addresses: Vec<String>,
+    /// Networks the node is connected to (`LAN`, `WAN`, …).
+    pub networks: Vec<String>,
+}
+
+impl Node {
+    /// Whether the node has the application installed.
+    ///
+    /// Matching is case-insensitive and word-based in both directions:
+    /// the paper's use case matches the IoC's "Apache Struts" against
+    /// node 4's installed "apache" — the inventory name's words must be
+    /// a subset of the candidate's words or vice versa. The node's
+    /// operating system counts as an installed application.
+    pub fn has_application(&self, application: &str) -> bool {
+        let needle = application.to_ascii_lowercase();
+        self.applications
+            .iter()
+            .chain(std::iter::once(&self.operating_system))
+            .any(|installed| words_overlap(installed, &needle))
+    }
+}
+
+/// Whether one name's words are a subset of the other's.
+fn words_overlap(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    let a_words: Vec<&str> = a.split_whitespace().collect();
+    let b_words: Vec<&str> = b.split_whitespace().collect();
+    if a_words.is_empty() || b_words.is_empty() {
+        return false;
+    }
+    a_words.iter().all(|w| b_words.contains(w)) || b_words.iter().all(|w| a_words.contains(w))
+}
+
+/// The result of matching an application/keyword against the inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplicationMatch {
+    node_ids: Vec<NodeId>,
+    common_keyword: bool,
+}
+
+impl ApplicationMatch {
+    /// Nodes the application matched (all nodes for a common keyword).
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Whether the match was via a common keyword such as `linux`.
+    pub fn is_common_keyword(&self) -> bool {
+        self.common_keyword
+    }
+
+    /// Whether anything matched at all.
+    pub fn is_match(&self) -> bool {
+        !self.node_ids.is_empty()
+    }
+}
+
+/// The inventory of the monitored infrastructure.
+///
+/// Construct with [`Inventory::builder`] or use the paper's Table III
+/// fixture via [`Inventory::paper_table3`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Inventory {
+    nodes: BTreeMap<NodeId, Node>,
+    /// Keywords that match *all* nodes (Table III's "All Nodes: linux").
+    common_keywords: Vec<String>,
+}
+
+impl Inventory {
+    /// Starts building an inventory.
+    pub fn builder() -> InventoryBuilder {
+        InventoryBuilder {
+            inventory: Inventory::default(),
+            next_id: 1,
+        }
+    }
+
+    /// The inventory of the paper's Table III: four nodes (OwnCloud,
+    /// GitLab and two XL-SIEM machines) plus the common keyword `linux`.
+    pub fn paper_table3() -> Self {
+        let mut builder = Inventory::builder();
+        builder
+            .node("OwnCloud", NodeType::Server, "ubuntu")
+            .applications(&["ubuntu", "owncloud", "ossec", "snort", "suricata", "nids", "hids"])
+            .ip("192.168.1.11")
+            .network("LAN");
+        builder
+            .node("GitLab", NodeType::Server, "ubuntu")
+            .applications(&["ubuntu", "gitlab", "ossec", "snort", "suricata", "nids", "hids"])
+            .ip("192.168.1.12")
+            .network("LAN");
+        builder
+            .node("XL-SIEM", NodeType::Server, "ubuntu")
+            .applications(&["ubuntu", "snort", "suricata", "nids", "php"])
+            .ip("192.168.1.13")
+            .network("LAN");
+        builder
+            .node("XL-SIEM", NodeType::Server, "debian")
+            .applications(&["debian", "apache", "apache storm", "apache zookeeper", "server"])
+            .ip("192.168.1.14")
+            .network("LAN")
+            .network("WAN");
+        builder.common_keyword("linux");
+        builder.build()
+    }
+
+    /// All nodes, ordered by id.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the inventory has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Finds the node owning an IP address.
+    pub fn node_by_ip(&self, ip: &str) -> Option<&Node> {
+        self.nodes
+            .values()
+            .find(|n| n.ip_addresses.iter().any(|a| a == ip))
+    }
+
+    /// The configured common keywords.
+    pub fn common_keywords(&self) -> &[String] {
+        &self.common_keywords
+    }
+
+    /// Matches an application or keyword against the inventory,
+    /// implementing the paper's three-way rule: no match → empty;
+    /// common keyword → all nodes; otherwise → the owning nodes.
+    pub fn match_application(&self, application: &str) -> ApplicationMatch {
+        let needle = application.trim().to_ascii_lowercase();
+        if self.common_keywords.contains(&needle) {
+            return ApplicationMatch {
+                node_ids: self.nodes.keys().copied().collect(),
+                common_keyword: true,
+            };
+        }
+        let node_ids: Vec<NodeId> = self
+            .nodes
+            .values()
+            .filter(|n| n.has_application(&needle))
+            .map(|n| n.id)
+            .collect();
+        ApplicationMatch {
+            node_ids,
+            common_keyword: false,
+        }
+    }
+
+    /// Matches several candidate names at once, unioning the results
+    /// (used when an IoC lists multiple affected applications/OSes).
+    pub fn match_any(&self, candidates: &[String]) -> ApplicationMatch {
+        let mut node_ids: Vec<NodeId> = Vec::new();
+        let mut common = false;
+        for candidate in candidates {
+            let m = self.match_application(candidate);
+            common |= m.is_common_keyword();
+            for id in m.node_ids() {
+                if !node_ids.contains(id) {
+                    node_ids.push(*id);
+                }
+            }
+        }
+        node_ids.sort_unstable();
+        ApplicationMatch {
+            node_ids,
+            common_keyword: common,
+        }
+    }
+
+    /// Every distinct application name installed anywhere.
+    pub fn all_applications(&self) -> Vec<&str> {
+        let mut apps: Vec<&str> = self
+            .nodes
+            .values()
+            .flat_map(|n| n.applications.iter().map(String::as_str))
+            .collect();
+        apps.sort_unstable();
+        apps.dedup();
+        apps
+    }
+}
+
+/// Builder for [`Inventory`].
+#[derive(Debug)]
+pub struct InventoryBuilder {
+    inventory: Inventory,
+    next_id: u32,
+}
+
+impl InventoryBuilder {
+    /// Adds a node, returning a scoped builder for its details.
+    pub fn node(
+        &mut self,
+        name: impl Into<String>,
+        node_type: NodeType,
+        operating_system: impl Into<String>,
+    ) -> NodeBuilder<'_> {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.inventory.nodes.insert(
+            id,
+            Node {
+                id,
+                name: name.into(),
+                node_type,
+                applications: Vec::new(),
+                operating_system: operating_system.into().to_ascii_lowercase(),
+                ip_addresses: Vec::new(),
+                networks: Vec::new(),
+            },
+        );
+        NodeBuilder {
+            node: self.inventory.nodes.get_mut(&id).expect("just inserted"),
+        }
+    }
+
+    /// Registers a keyword that matches every node.
+    pub fn common_keyword(&mut self, keyword: impl Into<String>) -> &mut Self {
+        self.inventory
+            .common_keywords
+            .push(keyword.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Finishes the inventory.
+    pub fn build(self) -> Inventory {
+        self.inventory
+    }
+}
+
+/// Scoped builder configuring one node.
+#[derive(Debug)]
+pub struct NodeBuilder<'a> {
+    node: &'a mut Node,
+}
+
+impl NodeBuilder<'_> {
+    /// Adds one installed application.
+    pub fn application(&mut self, application: impl Into<String>) -> &mut Self {
+        self.node
+            .applications
+            .push(application.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Adds several installed applications.
+    pub fn applications(&mut self, applications: &[&str]) -> &mut Self {
+        for app in applications {
+            self.application(*app);
+        }
+        self
+    }
+
+    /// Adds an IP address.
+    pub fn ip(&mut self, ip: impl Into<String>) -> &mut Self {
+        self.node.ip_addresses.push(ip.into());
+        self
+    }
+
+    /// Adds a connected network.
+    pub fn network(&mut self, network: impl Into<String>) -> &mut Self {
+        self.node.networks.push(network.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape() {
+        let inv = Inventory::paper_table3();
+        assert_eq!(inv.len(), 4);
+        let names: Vec<&str> = inv.nodes().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["OwnCloud", "GitLab", "XL-SIEM", "XL-SIEM"]);
+        assert_eq!(inv.common_keywords(), &["linux".to_owned()]);
+    }
+
+    #[test]
+    fn apache_matches_only_node4() {
+        // The use case: CVE-2017-9805 affects Apache Struts; the only
+        // node running apache is node 4.
+        let inv = Inventory::paper_table3();
+        let m = inv.match_application("apache");
+        assert_eq!(m.node_ids(), &[NodeId(4)]);
+        assert!(!m.is_common_keyword());
+    }
+
+    #[test]
+    fn linux_is_common_keyword() {
+        let inv = Inventory::paper_table3();
+        let m = inv.match_application("Linux");
+        assert!(m.is_common_keyword());
+        assert_eq!(m.node_ids().len(), 4);
+    }
+
+    #[test]
+    fn unknown_application_matches_nothing() {
+        let inv = Inventory::paper_table3();
+        let m = inv.match_application("notepad");
+        assert!(!m.is_match());
+    }
+
+    #[test]
+    fn os_counts_as_application() {
+        let inv = Inventory::paper_table3();
+        let m = inv.match_application("debian");
+        assert_eq!(m.node_ids(), &[NodeId(4)]);
+        let m = inv.match_application("ubuntu");
+        assert_eq!(m.node_ids().len(), 3);
+    }
+
+    #[test]
+    fn match_any_unions() {
+        let inv = Inventory::paper_table3();
+        let m = inv.match_any(&["apache".to_owned(), "gitlab".to_owned()]);
+        assert_eq!(m.node_ids(), &[NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn node_by_ip() {
+        let inv = Inventory::paper_table3();
+        assert_eq!(inv.node_by_ip("192.168.1.12").unwrap().name, "GitLab");
+        assert!(inv.node_by_ip("10.0.0.1").is_none());
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let inv = Inventory::paper_table3();
+        assert!(inv.match_application("Apache Storm").is_match());
+        assert!(inv.match_application("OSSEC").is_match());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inv = Inventory::paper_table3();
+        let json = serde_json::to_string(&inv).unwrap();
+        let back: Inventory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inv);
+    }
+
+    #[test]
+    fn all_applications_deduped() {
+        let inv = Inventory::paper_table3();
+        let apps = inv.all_applications();
+        // "snort" appears on 3 nodes but once in the list.
+        assert_eq!(apps.iter().filter(|a| **a == "snort").count(), 1);
+    }
+}

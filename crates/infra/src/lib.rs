@@ -1,0 +1,41 @@
+//! # cais-infra
+//!
+//! The monitored infrastructure: system inventory (the paper's Table
+//! III), network topology, alarms, sensor simulators (NIDS/HIDS in the
+//! style of Snort/Suricata/OSSEC) and the internal sighting store the
+//! heuristic engine correlates OSINT data against.
+//!
+//! The paper's Infrastructure Data Collector "obtains information
+//! related to the monitored infrastructure that could lead to internal
+//! indicators of compromise (e.g., hashes, signatures, IPs, domains,
+//! URLs)" and gathers "installed applications, operating systems, …
+//! vulnerabilities" to contrast against external data (Section III-A2).
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_infra::inventory::Inventory;
+//!
+//! let inventory = Inventory::paper_table3();
+//! // "apache" matches only node 4 (the XL-SIEM server)…
+//! let hit = inventory.match_application("apache");
+//! assert_eq!(hit.node_ids().len(), 1);
+//! // …while the common keyword "linux" matches every node.
+//! let common = inventory.match_application("linux");
+//! assert!(common.is_common_keyword());
+//! assert_eq!(common.node_ids().len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alarm;
+pub mod inventory;
+pub mod sensors;
+pub mod sightings;
+pub mod topology;
+
+pub use alarm::{Alarm, AlarmSeverity};
+pub use inventory::{ApplicationMatch, Inventory, Node, NodeId, NodeType};
+pub use sightings::SightingStore;
+pub use topology::{LinkKind, Topology};

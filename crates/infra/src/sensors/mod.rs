@@ -1,0 +1,47 @@
+//! Sensor simulators: NIDS (Snort/Suricata-style) and HIDS
+//! (OSSEC-style) engines plus the SIEM correlator that turns their
+//! events into alarms.
+//!
+//! Table III's nodes run `snort`, `suricata`, `ossec`, `nids` and
+//! `hids`; these modules are those sensors. They consume synthetic
+//! traffic/logs (generated, seeded) and emit [`SensorEvent`]s, which the
+//! [`siem::SiemCorrelator`] aggregates into [`crate::Alarm`]s and
+//! records into the [`crate::SightingStore`].
+
+pub mod hids;
+pub mod nids;
+pub mod siem;
+
+use cais_common::{Observable, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::alarm::AlarmSeverity;
+use crate::inventory::NodeId;
+
+/// One event emitted by a sensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorEvent {
+    /// When the event occurred.
+    pub at: Timestamp,
+    /// The reporting sensor (`snort`, `suricata`, `ossec`).
+    pub sensor: String,
+    /// The node involved, when attributable.
+    pub node: Option<NodeId>,
+    /// Event severity.
+    pub severity: AlarmSeverity,
+    /// Human-readable message.
+    pub message: String,
+    /// Source IP, when network-related.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub source_ip: Option<String>,
+    /// Destination IP, when network-related.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub destination_ip: Option<String>,
+    /// Application involved, when known.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub application: Option<String>,
+    /// Observables carried by the event (IPs, domains, hashes) — these
+    /// feed the sighting store.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub observables: Vec<Observable>,
+}

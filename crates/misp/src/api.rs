@@ -1,0 +1,237 @@
+//! The PyMISP-style API facade with zmq-style publishing.
+//!
+//! "Both OSINT data and Infrastructure Data Collectors send IoCs to the
+//! MISP instance of the Operational Module through a set of API
+//! provided by the latter … events … trigger a built-in automated, and
+//! real-time, sharing mechanism, based on the asynchronous messaging
+//! library zeroMQ" (Section IV-A). [`MispApi`] is that API surface;
+//! adding or publishing an event pushes it onto the attached
+//! [`cais_bus::Broker`] under `misp.event.*` topics.
+
+use std::sync::Arc;
+
+use cais_bus::{Broker, Topic};
+
+use crate::attribute::MispAttribute;
+use crate::correlation::{correlate_event, Correlation};
+use crate::error::MispError;
+use crate::event::MispEvent;
+use crate::export::ExportRegistry;
+use crate::store::{MispStore, SearchQuery};
+
+/// The MISP instance facade: store + export registry + event bus.
+pub struct MispApi {
+    org: String,
+    store: Arc<MispStore>,
+    exports: ExportRegistry,
+    broker: Option<Broker>,
+}
+
+impl MispApi {
+    /// Creates an instance for the given organization, without a bus.
+    pub fn new(org: impl Into<String>) -> Self {
+        MispApi {
+            org: org.into(),
+            store: Arc::new(MispStore::new()),
+            exports: ExportRegistry::with_builtins(),
+            broker: None,
+        }
+    }
+
+    /// Attaches a message bus: every added event is announced on
+    /// `misp.event.created`, every published event on
+    /// `misp.event.published`.
+    pub fn with_broker(mut self, broker: Broker) -> Self {
+        self.broker = Some(broker);
+        self
+    }
+
+    /// The owning organization.
+    pub fn org(&self) -> &str {
+        &self.org
+    }
+
+    /// The underlying store (shared).
+    pub fn store(&self) -> &Arc<MispStore> {
+        &self.store
+    }
+
+    /// The export registry, for installing custom modules.
+    pub fn exports_mut(&mut self) -> &mut ExportRegistry {
+        &mut self.exports
+    }
+
+    /// Adds an event, stamping the organization, and announces it on the
+    /// bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors from the store.
+    pub fn add_event(&self, mut event: MispEvent) -> Result<u64, MispError> {
+        event.org = self.org.clone();
+        let id = self.store.insert(event)?;
+        self.announce("misp.event.created", id);
+        Ok(id)
+    }
+
+    /// Fetches an event.
+    pub fn get_event(&self, id: u64) -> Option<MispEvent> {
+        self.store.get(id)
+    }
+
+    /// Appends an attribute to an existing event and re-announces it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] or validation errors.
+    pub fn add_attribute(&self, event_id: u64, attribute: MispAttribute) -> Result<(), MispError> {
+        attribute.validate()?;
+        self.store.update(event_id, |event| {
+            event.add_attribute(attribute);
+        })?;
+        self.announce("misp.event.updated", event_id);
+        Ok(())
+    }
+
+    /// Publishes an event (marks it published, announces on the bus).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] for unknown ids.
+    pub fn publish_event(&self, id: u64) -> Result<(), MispError> {
+        self.store.publish(id)?;
+        self.announce("misp.event.published", id);
+        Ok(())
+    }
+
+    /// Events whose attributes carry the exact value, as
+    /// `(event_id, event)` pairs.
+    pub fn search_value(&self, value: &str) -> Vec<(u64, MispEvent)> {
+        self.store
+            .events_with_value(value)
+            .into_iter()
+            .filter_map(|id| self.store.get(id).map(|e| (id, e)))
+            .collect()
+    }
+
+    /// Filtered search over events.
+    pub fn search(&self, query: &SearchQuery) -> Vec<MispEvent> {
+        self.store.search(query)
+    }
+
+    /// The correlations of one event against the rest of the store.
+    pub fn correlations(&self, event_id: u64) -> Vec<Correlation> {
+        correlate_event(&self.store, event_id)
+    }
+
+    /// Exports an event in a named format (`misp-json`, `stix2`, `csv`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] for unknown ids and
+    /// conversion errors from the module; unknown formats yield
+    /// `Ok(None)` from the registry and surface here as
+    /// [`MispError::Json`]-free `None`.
+    pub fn export_event(&self, id: u64, format: &str) -> Result<Option<String>, MispError> {
+        let event = self
+            .store
+            .get(id)
+            .ok_or(MispError::EventNotFound { event_id: id })?;
+        self.exports.export(format, &event).transpose()
+    }
+
+    fn announce(&self, topic: &str, event_id: u64) {
+        if let Some(broker) = &self.broker {
+            if let Some(event) = self.store.get(event_id) {
+                let _ = broker.publish_value(Topic::new(topic), &event);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MispApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MispApi")
+            .field("org", &self.org)
+            .field("events", &self.store.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeCategory;
+
+    fn event(info: &str, value: &str) -> MispEvent {
+        let mut e = MispEvent::new(info);
+        e.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            value,
+        ));
+        e
+    }
+
+    #[test]
+    fn add_stamps_org_and_searches() {
+        let api = MispApi::new("ACME");
+        let id = api.add_event(event("a", "evil.example")).unwrap();
+        let stored = api.get_event(id).unwrap();
+        assert_eq!(stored.org, "ACME");
+        assert_eq!(api.search_value("evil.example").len(), 1);
+    }
+
+    #[test]
+    fn bus_announcements() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("misp.event.*");
+        let api = MispApi::new("ACME").with_broker(broker);
+        let id = api.add_event(event("a", "evil.example")).unwrap();
+        api.publish_event(id).unwrap();
+        let messages = sub.drain();
+        assert_eq!(messages.len(), 2);
+        assert_eq!(messages[0].topic.as_str(), "misp.event.created");
+        assert_eq!(messages[1].topic.as_str(), "misp.event.published");
+        // Payload is the full event, decodable.
+        let decoded: MispEvent = messages[1].decode().unwrap();
+        assert!(decoded.published);
+    }
+
+    #[test]
+    fn add_attribute_updates_and_announces() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("misp.event.updated");
+        let api = MispApi::new("ACME").with_broker(broker);
+        let id = api.add_event(event("a", "evil.example")).unwrap();
+        api.add_attribute(
+            id,
+            MispAttribute::new("ip-dst", AttributeCategory::NetworkActivity, "203.0.113.9"),
+        )
+        .unwrap();
+        assert_eq!(sub.drain().len(), 1);
+        assert_eq!(api.get_event(id).unwrap().attributes.len(), 2);
+    }
+
+    #[test]
+    fn export_via_registry() {
+        let api = MispApi::new("ACME");
+        let id = api.add_event(event("a", "evil.example")).unwrap();
+        let json = api.export_event(id, "misp-json").unwrap().unwrap();
+        assert!(json.contains("evil.example"));
+        let stix = api.export_event(id, "stix2").unwrap().unwrap();
+        assert!(stix.contains("bundle"));
+        assert!(api.export_event(id, "nonexistent").unwrap().is_none());
+        assert!(api.export_event(999, "csv").is_err());
+    }
+
+    #[test]
+    fn correlations_through_api() {
+        let api = MispApi::new("ACME");
+        let a = api.add_event(event("a", "shared.example")).unwrap();
+        let b = api.add_event(event("b", "shared.example")).unwrap();
+        let hits = api.correlations(a);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].other_event_id, b);
+    }
+}

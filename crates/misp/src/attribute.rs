@@ -1,0 +1,246 @@
+//! MISP attributes: typed indicator values attached to events.
+
+use cais_common::{ObservableKind, Timestamp, Uuid};
+use serde::{Deserialize, Serialize};
+
+use crate::error::MispError;
+use crate::tag::Tag;
+
+/// The MISP attribute categories used by this platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttributeCategory {
+    /// Network-level indicators (IPs, domains, URLs).
+    #[serde(rename = "Network activity")]
+    NetworkActivity,
+    /// File artifacts (hashes, filenames).
+    #[serde(rename = "Payload delivery")]
+    PayloadDelivery,
+    /// Third-party analysis results (CVEs, links).
+    #[serde(rename = "External analysis")]
+    ExternalAnalysis,
+    /// Persistence and installation artifacts.
+    #[serde(rename = "Persistence mechanism")]
+    PersistenceMechanism,
+    /// Attribution information.
+    #[serde(rename = "Attribution")]
+    Attribution,
+    /// Internal reference/bookkeeping values.
+    #[serde(rename = "Internal reference")]
+    InternalReference,
+    /// Anything else.
+    #[serde(rename = "Other")]
+    Other,
+}
+
+/// The attribute types this platform recognizes, a practical subset of
+/// MISP's registry.
+pub const KNOWN_TYPES: &[&str] = &[
+    "ip-src",
+    "ip-dst",
+    "domain",
+    "hostname",
+    "url",
+    "email-src",
+    "email-dst",
+    "md5",
+    "sha1",
+    "sha256",
+    "filename",
+    "vulnerability",
+    "text",
+    "comment",
+    "link",
+    "threat-score",
+];
+
+/// A typed indicator value within an event.
+///
+/// # Examples
+///
+/// ```
+/// use cais_misp::{MispAttribute, AttributeCategory};
+///
+/// let attr = MispAttribute::new("ip-dst", AttributeCategory::NetworkActivity, "203.0.113.9");
+/// assert!(attr.validate().is_ok());
+/// assert!(attr.to_ids);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MispAttribute {
+    /// Attribute UUID.
+    pub uuid: Uuid,
+    /// The MISP type name (see [`KNOWN_TYPES`]).
+    #[serde(rename = "type")]
+    pub attr_type: String,
+    /// The MISP category.
+    pub category: AttributeCategory,
+    /// The value.
+    pub value: String,
+    /// Whether the value is actionable for detection (exported to IDS).
+    pub to_ids: bool,
+    /// Free-text comment.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub comment: String,
+    /// Last modification time.
+    pub timestamp: Timestamp,
+    /// Attached tags.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tags: Vec<Tag>,
+}
+
+impl MispAttribute {
+    /// Creates an attribute. Detection-grade types (`ip-*`, `domain`,
+    /// `url`, hashes) default to `to_ids = true`; contextual types do
+    /// not.
+    pub fn new(
+        attr_type: impl Into<String>,
+        category: AttributeCategory,
+        value: impl Into<String>,
+    ) -> Self {
+        let attr_type = attr_type.into();
+        let to_ids = matches!(
+            attr_type.as_str(),
+            "ip-src" | "ip-dst" | "domain" | "hostname" | "url" | "md5" | "sha1" | "sha256"
+        );
+        MispAttribute {
+            uuid: Uuid::new_v4(),
+            attr_type,
+            category,
+            value: value.into(),
+            to_ids,
+            comment: String::new(),
+            timestamp: Timestamp::now(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Sets the comment, builder-style.
+    pub fn with_comment(mut self, comment: impl Into<String>) -> Self {
+        self.comment = comment.into();
+        self
+    }
+
+    /// Adds a tag, builder-style.
+    pub fn with_tag(mut self, tag: Tag) -> Self {
+        self.tags.push(tag);
+        self
+    }
+
+    /// Sets the timestamp, builder-style.
+    pub fn with_timestamp(mut self, timestamp: Timestamp) -> Self {
+        self.timestamp = timestamp;
+        self
+    }
+
+    /// Validates the type is known and the value is syntactically
+    /// plausible for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::UnknownAttributeType`] or
+    /// [`MispError::InvalidAttributeValue`].
+    pub fn validate(&self) -> Result<(), MispError> {
+        if !KNOWN_TYPES.contains(&self.attr_type.as_str()) {
+            return Err(MispError::UnknownAttributeType {
+                attr_type: self.attr_type.clone(),
+            });
+        }
+        let expected_kind = match self.attr_type.as_str() {
+            "ip-src" | "ip-dst" => Some(&[ObservableKind::Ipv4, ObservableKind::Ipv6][..]),
+            "domain" | "hostname" => Some(&[ObservableKind::Domain][..]),
+            "url" => Some(&[ObservableKind::Url][..]),
+            "email-src" | "email-dst" => Some(&[ObservableKind::Email][..]),
+            "md5" => Some(&[ObservableKind::Md5][..]),
+            "sha1" => Some(&[ObservableKind::Sha1][..]),
+            "sha256" => Some(&[ObservableKind::Sha256][..]),
+            "vulnerability" => Some(&[ObservableKind::Cve][..]),
+            _ => None, // free-text types
+        };
+        if let Some(kinds) = expected_kind {
+            match ObservableKind::detect(&self.value) {
+                Some(kind) if kinds.contains(&kind) => {}
+                _ => {
+                    return Err(MispError::InvalidAttributeValue {
+                        attr_type: self.attr_type.clone(),
+                        value: self.value.clone(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The correlation key: attributes with equal keys correlate across
+    /// events (MISP correlates on exact value match).
+    pub fn correlation_key(&self) -> String {
+        self.value.trim().to_ascii_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_types_default_to_ids() {
+        assert!(MispAttribute::new("ip-dst", AttributeCategory::NetworkActivity, "1.1.1.1").to_ids);
+        assert!(
+            !MispAttribute::new("comment", AttributeCategory::Other, "note").to_ids
+        );
+    }
+
+    #[test]
+    fn validation_accepts_well_typed_values() {
+        for (ty, value) in [
+            ("ip-dst", "203.0.113.9"),
+            ("domain", "evil.example"),
+            ("url", "http://evil.example/x"),
+            ("md5", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("vulnerability", "CVE-2017-9805"),
+            ("text", "anything goes"),
+            ("threat-score", "2.7406"),
+        ] {
+            let attr = MispAttribute::new(ty, AttributeCategory::Other, value);
+            assert!(attr.validate().is_ok(), "{ty} {value}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_mistyped_values() {
+        for (ty, value) in [
+            ("ip-dst", "evil.example"),
+            ("domain", "203.0.113.9"),
+            ("md5", "not-a-hash"),
+            ("vulnerability", "not-a-cve"),
+        ] {
+            let attr = MispAttribute::new(ty, AttributeCategory::Other, value);
+            assert!(
+                matches!(attr.validate(), Err(MispError::InvalidAttributeValue { .. })),
+                "{ty} {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let attr = MispAttribute::new("frobnicator", AttributeCategory::Other, "x");
+        assert!(matches!(
+            attr.validate(),
+            Err(MispError::UnknownAttributeType { .. })
+        ));
+    }
+
+    #[test]
+    fn correlation_key_normalizes() {
+        let a = MispAttribute::new("domain", AttributeCategory::NetworkActivity, " Evil.Example ");
+        let b = MispAttribute::new("domain", AttributeCategory::NetworkActivity, "evil.example");
+        assert_eq!(a.correlation_key(), b.correlation_key());
+    }
+
+    #[test]
+    fn category_serializes_with_misp_names() {
+        let attr = MispAttribute::new("ip-dst", AttributeCategory::NetworkActivity, "1.1.1.1");
+        let json = serde_json::to_value(&attr).unwrap();
+        assert_eq!(json["category"], "Network activity");
+        assert_eq!(json["type"], "ip-dst");
+    }
+}

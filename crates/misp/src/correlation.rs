@@ -1,0 +1,133 @@
+//! MISP-style value correlation across events.
+//!
+//! MISP automatically correlates events whose attributes share a value;
+//! the paper's operational module relies on this to "perform basic
+//! automated correlation steps, when some cIoCs are received, before
+//! performing the heuristic analysis" (Section III-B1).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::MispStore;
+
+/// One correlation hit: a shared value linking two events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Correlation {
+    /// The shared (normalized) attribute value.
+    pub value: String,
+    /// The other event carrying the value.
+    pub other_event_id: u64,
+}
+
+/// Finds every correlation from one event to the rest of the store.
+pub fn correlate_event(store: &MispStore, event_id: u64) -> Vec<Correlation> {
+    let Some(event) = store.get(event_id) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for attribute in &event.attributes {
+        let key = attribute.correlation_key();
+        for other in store.events_with_value(&key) {
+            if other != event_id {
+                let hit = Correlation {
+                    value: key.clone(),
+                    other_event_id: other,
+                };
+                if !out.contains(&hit) {
+                    out.push(hit);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The store-wide correlation graph: shared value → the (sorted, deduped)
+/// events carrying it. Only values appearing in at least two events are
+/// reported.
+pub fn correlation_graph(store: &MispStore) -> BTreeMap<String, Vec<u64>> {
+    let mut graph: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for event in store.all() {
+        for attribute in &event.attributes {
+            graph
+                .entry(attribute.correlation_key())
+                .or_default()
+                .push(event.id);
+        }
+    }
+    graph.retain(|_, ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len() > 1
+    });
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeCategory, MispAttribute};
+    use crate::event::MispEvent;
+
+    fn event(info: &str, values: &[&str]) -> MispEvent {
+        let mut e = MispEvent::new(info);
+        for v in values {
+            e.add_attribute(MispAttribute::new(
+                "domain",
+                AttributeCategory::NetworkActivity,
+                *v,
+            ));
+        }
+        e
+    }
+
+    #[test]
+    fn shared_value_correlates() {
+        let store = MispStore::new();
+        let a = store.insert(event("a", &["shared.example", "only-a.example"])).unwrap();
+        let b = store.insert(event("b", &["shared.example"])).unwrap();
+        let c = store.insert(event("c", &["only-c.example"])).unwrap();
+
+        let hits = correlate_event(&store, a);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].other_event_id, b);
+        assert_eq!(hits[0].value, "shared.example");
+        assert!(correlate_event(&store, c).is_empty());
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let store = MispStore::new();
+        let a = store.insert(event("a", &["x.example"])).unwrap();
+        let b = store.insert(event("b", &["x.example"])).unwrap();
+        assert_eq!(correlate_event(&store, a)[0].other_event_id, b);
+        assert_eq!(correlate_event(&store, b)[0].other_event_id, a);
+    }
+
+    #[test]
+    fn graph_reports_only_shared_values() {
+        let store = MispStore::new();
+        store.insert(event("a", &["shared.example", "solo.example"])).unwrap();
+        store.insert(event("b", &["shared.example"])).unwrap();
+        let graph = correlation_graph(&store);
+        assert_eq!(graph.len(), 1);
+        assert_eq!(graph["shared.example"].len(), 2);
+    }
+
+    #[test]
+    fn duplicate_values_within_one_event_do_not_self_correlate() {
+        let store = MispStore::new();
+        let id = store
+            .insert(event("a", &["dup.example", "dup.example"]))
+            .unwrap();
+        assert!(correlate_event(&store, id).is_empty());
+        assert!(correlation_graph(&store).is_empty());
+    }
+
+    #[test]
+    fn unknown_event_yields_empty() {
+        let store = MispStore::new();
+        assert!(correlate_event(&store, 99).is_empty());
+    }
+}

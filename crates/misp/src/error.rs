@@ -1,0 +1,74 @@
+//! Errors for the MISP-like platform.
+
+use std::fmt;
+
+/// Errors produced by store, API and sync operations.
+#[derive(Debug)]
+pub enum MispError {
+    /// The referenced event does not exist.
+    EventNotFound {
+        /// The missing event id.
+        event_id: u64,
+    },
+    /// The attribute type is not in the known-type registry.
+    UnknownAttributeType {
+        /// The rejected type name.
+        attr_type: String,
+    },
+    /// An attribute value failed type-specific validation.
+    InvalidAttributeValue {
+        /// The attribute type.
+        attr_type: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A JSON encoding/decoding failure during import/export.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for MispError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MispError::EventNotFound { event_id } => write!(f, "event {event_id} not found"),
+            MispError::UnknownAttributeType { attr_type } => {
+                write!(f, "unknown attribute type {attr_type:?}")
+            }
+            MispError::InvalidAttributeValue { attr_type, value } => {
+                write!(f, "value {value:?} is not valid for type {attr_type:?}")
+            }
+            MispError::Json(err) => write!(f, "MISP JSON error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for MispError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MispError::Json(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for MispError {
+    fn from(err: serde_json::Error) -> Self {
+        MispError::Json(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MispError::EventNotFound { event_id: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(MispError::UnknownAttributeType {
+            attr_type: "frob".into()
+        }
+        .to_string()
+        .contains("frob"));
+    }
+}

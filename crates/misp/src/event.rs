@@ -1,0 +1,227 @@
+//! MISP events: the unit of sharing and correlation.
+
+use cais_common::{Timestamp, Uuid};
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::MispAttribute;
+use crate::tag::Tag;
+
+/// MISP threat level (1 = high … 4 = undefined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ThreatLevel {
+    /// Level 1.
+    High,
+    /// Level 2.
+    Medium,
+    /// Level 3.
+    Low,
+    /// Level 4.
+    Undefined,
+}
+
+/// MISP analysis maturity (0 = initial, 1 = ongoing, 2 = complete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Analysis {
+    /// Analysis not started.
+    Initial,
+    /// Analysis in progress.
+    Ongoing,
+    /// Analysis finished.
+    Complete,
+}
+
+/// MISP distribution level, controlling how far an event propagates
+/// during synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Distribution {
+    /// Your organization only — never synced.
+    OrganizationOnly,
+    /// This community only — synced one hop, then pinned.
+    CommunityOnly,
+    /// Connected communities — synced, downgraded one level per hop.
+    ConnectedCommunities,
+    /// All communities — synced freely.
+    AllCommunities,
+}
+
+/// A MISP event: a titled container of attributes.
+///
+/// # Examples
+///
+/// ```
+/// use cais_misp::{MispEvent, MispAttribute, AttributeCategory, ThreatLevel};
+///
+/// let mut event = MispEvent::new("OSINT - struts exploitation");
+/// event.threat_level = ThreatLevel::High;
+/// event.add_attribute(MispAttribute::new(
+///     "ip-dst", AttributeCategory::NetworkActivity, "203.0.113.9",
+/// ));
+/// assert_eq!(event.attributes.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MispEvent {
+    /// Store-assigned id (0 until stored).
+    pub id: u64,
+    /// Globally unique identifier.
+    pub uuid: Uuid,
+    /// The owning organization.
+    pub org: String,
+    /// Event title.
+    pub info: String,
+    /// Event date.
+    pub date: Timestamp,
+    /// Last modification time.
+    pub timestamp: Timestamp,
+    /// Threat level.
+    pub threat_level: ThreatLevel,
+    /// Analysis maturity.
+    pub analysis: Analysis,
+    /// Distribution level.
+    pub distribution: Distribution,
+    /// Whether the event has been published.
+    pub published: bool,
+    /// The attributes.
+    #[serde(default, rename = "Attribute")]
+    pub attributes: Vec<MispAttribute>,
+    /// Event-level tags.
+    #[serde(default, rename = "Tag", skip_serializing_if = "Vec::is_empty")]
+    pub tags: Vec<Tag>,
+}
+
+impl MispEvent {
+    /// Creates an unstored event with sensible defaults (undefined
+    /// threat level, initial analysis, community distribution).
+    pub fn new(info: impl Into<String>) -> Self {
+        let now = Timestamp::now();
+        MispEvent {
+            id: 0,
+            uuid: Uuid::new_v4(),
+            org: String::new(),
+            info: info.into(),
+            date: now,
+            timestamp: now,
+            threat_level: ThreatLevel::Undefined,
+            analysis: Analysis::Initial,
+            distribution: Distribution::CommunityOnly,
+            published: false,
+            attributes: Vec::new(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Appends an attribute, refreshing the event timestamp.
+    pub fn add_attribute(&mut self, attribute: MispAttribute) {
+        self.timestamp = self.timestamp.max(attribute.timestamp);
+        self.attributes.push(attribute);
+    }
+
+    /// Adds an event-level tag (idempotent).
+    pub fn add_tag(&mut self, tag: Tag) {
+        if !self.tags.contains(&tag) {
+            self.tags.push(tag);
+        }
+    }
+
+    /// Finds attributes of a given type.
+    pub fn attributes_of_type<'a>(
+        &'a self,
+        attr_type: &'a str,
+    ) -> impl Iterator<Item = &'a MispAttribute> {
+        self.attributes
+            .iter()
+            .filter(move |a| a.attr_type == attr_type)
+    }
+
+    /// The first machine-tag value under `cais:threat-score`, parsed —
+    /// where the platform stores the paper's TS after enrichment.
+    pub fn threat_score(&self) -> Option<f64> {
+        // Attribute form takes precedence over the tag form.
+        if let Some(attr) = self.attributes_of_type("threat-score").next() {
+            if let Ok(score) = attr.value.parse() {
+                return Some(score);
+            }
+        }
+        self.tags
+            .iter()
+            .filter(|t| t.namespace() == Some("cais") && t.predicate() == Some("threat-score"))
+            .find_map(|t| t.value()?.parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeCategory;
+
+    #[test]
+    fn add_attribute_refreshes_timestamp() {
+        let mut event = MispEvent::new("test");
+        let later = event.timestamp.add_days(1);
+        event.add_attribute(
+            MispAttribute::new("text", AttributeCategory::Other, "x").with_timestamp(later),
+        );
+        assert_eq!(event.timestamp, later);
+    }
+
+    #[test]
+    fn tags_are_idempotent() {
+        let mut event = MispEvent::new("test");
+        event.add_tag(Tag::tlp_amber());
+        event.add_tag(Tag::tlp_amber());
+        assert_eq!(event.tags.len(), 1);
+    }
+
+    #[test]
+    fn threat_score_from_attribute_or_tag() {
+        let mut event = MispEvent::new("test");
+        assert_eq!(event.threat_score(), None);
+        event.add_tag(Tag::machine("cais", "threat-score", "2.7406"));
+        assert_eq!(event.threat_score(), Some(2.7406));
+        // Attribute form wins.
+        event.add_attribute(MispAttribute::new(
+            "threat-score",
+            AttributeCategory::InternalReference,
+            "3.15",
+        ));
+        assert_eq!(event.threat_score(), Some(3.15));
+    }
+
+    #[test]
+    fn attributes_of_type_filters() {
+        let mut event = MispEvent::new("test");
+        event.add_attribute(MispAttribute::new(
+            "ip-dst",
+            AttributeCategory::NetworkActivity,
+            "1.1.1.1",
+        ));
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            "evil.example",
+        ));
+        assert_eq!(event.attributes_of_type("ip-dst").count(), 1);
+        assert_eq!(event.attributes_of_type("sha256").count(), 0);
+    }
+
+    #[test]
+    fn distribution_ordering_matches_reach() {
+        assert!(Distribution::OrganizationOnly < Distribution::AllCommunities);
+    }
+
+    #[test]
+    fn serde_uses_misp_field_names() {
+        let mut event = MispEvent::new("test");
+        event.add_attribute(MispAttribute::new(
+            "ip-dst",
+            AttributeCategory::NetworkActivity,
+            "1.1.1.1",
+        ));
+        event.add_tag(Tag::tlp_white());
+        let json = serde_json::to_value(&event).unwrap();
+        assert!(json.get("Attribute").is_some());
+        assert!(json.get("Tag").is_some());
+    }
+}

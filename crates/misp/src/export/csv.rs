@@ -1,0 +1,74 @@
+//! CSV export, for spreadsheet-grade consumers.
+
+use crate::error::MispError;
+use crate::event::MispEvent;
+
+use super::ExportModule;
+
+/// Exports one event as CSV with a header row: one line per attribute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvExport;
+
+impl ExportModule for CsvExport {
+    fn format_name(&self) -> &str {
+        "csv"
+    }
+
+    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
+        let mut out = String::from("event_id,event_info,type,category,value,to_ids,comment\n");
+        for attribute in &event.attributes {
+            let category = serde_json::to_value(attribute.category)?
+                .as_str()
+                .unwrap_or("Other")
+                .to_owned();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                event.id,
+                quote(&event.info),
+                attribute.attr_type,
+                quote(&category),
+                quote(&attribute.value),
+                attribute.to_ids,
+                quote(&attribute.comment),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Quotes a CSV field when it needs quoting (commas, quotes, newlines).
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeCategory, MispAttribute};
+
+    #[test]
+    fn csv_shape() {
+        let mut event = MispEvent::new("c2, primary"); // comma forces quoting
+        event.add_attribute(
+            MispAttribute::new("ip-dst", AttributeCategory::NetworkActivity, "203.0.113.9")
+                .with_comment("said \"beacon\""),
+        );
+        let out = CsvExport.export(&event).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("event_id,"));
+        assert!(lines[1].contains("\"c2, primary\""));
+        assert!(lines[1].contains("\"said \"\"beacon\"\"\""));
+        assert!(lines[1].contains("203.0.113.9"));
+    }
+
+    #[test]
+    fn empty_event_exports_header_only() {
+        let out = CsvExport.export(&MispEvent::new("empty")).unwrap();
+        assert_eq!(out.lines().count(), 1);
+    }
+}

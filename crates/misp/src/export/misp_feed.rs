@@ -1,0 +1,114 @@
+//! MISP *feed* export: the `{"Event": …}` feed document other MISP
+//! instances (and this workspace's own `cais-feeds` parser) consume.
+//!
+//! This closes the sharing loop: a CAIS platform can publish its
+//! enriched events as an OSINT feed for downstream platforms.
+
+use crate::error::MispError;
+use crate::event::MispEvent;
+
+use super::ExportModule;
+
+/// Exports events in MISP feed-document form.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MispFeedExport;
+
+impl ExportModule for MispFeedExport {
+    fn format_name(&self) -> &str {
+        "misp-feed"
+    }
+
+    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
+        to_feed_document(event)
+    }
+}
+
+/// Serializes one event as a feed document: the subset of fields feed
+/// consumers rely on (`info`, `date`, `Attribute[{type, value,
+/// category, comment, timestamp}]`), with timestamps in the epoch-second
+/// form real MISP feeds use.
+///
+/// # Errors
+///
+/// Returns [`MispError::Json`] on encoding failure.
+pub fn to_feed_document(event: &MispEvent) -> Result<String, MispError> {
+    let attributes: Vec<serde_json::Value> = event
+        .attributes
+        .iter()
+        .map(|attribute| {
+            serde_json::json!({
+                "type": attribute.attr_type,
+                "value": attribute.value,
+                "category": attribute.category,
+                "comment": attribute.comment,
+                "timestamp": attribute.timestamp.unix_secs().to_string(),
+                "to_ids": attribute.to_ids,
+                "uuid": attribute.uuid,
+            })
+        })
+        .collect();
+    let (y, m, d, ..) = event.date.to_civil();
+    let doc = serde_json::json!({
+        "Event": {
+            "uuid": event.uuid,
+            "info": event.info,
+            "date": format!("{y:04}-{m:02}-{d:02}"),
+            "published": event.published,
+            "Attribute": attributes,
+            "Tag": event.tags,
+        }
+    });
+    Ok(serde_json::to_string_pretty(&doc)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeCategory, MispAttribute};
+    use crate::tag::Tag;
+
+    fn sample() -> MispEvent {
+        let mut event = MispEvent::new("CAIS enriched feed item");
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            "c2.evil.example",
+        ));
+        event.add_attribute(MispAttribute::new(
+            "vulnerability",
+            AttributeCategory::ExternalAnalysis,
+            "CVE-2017-9805",
+        ));
+        event.add_tag(Tag::machine("cais", "threat-score", "2.7406"));
+        event
+    }
+
+    #[test]
+    fn feed_document_shape() {
+        let doc = to_feed_document(&sample()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        assert!(value["Event"]["Attribute"].as_array().unwrap().len() == 2);
+        assert!(value["Event"]["date"].as_str().unwrap().len() == 10);
+    }
+
+    #[test]
+    fn feed_roundtrips_through_the_feed_parser() {
+        // The whole point: downstream CAIS instances must be able to
+        // ingest our feed with their ordinary OSINT collector.
+        let doc = to_feed_document(&sample()).unwrap();
+        let records = cais_feeds::parse::misp_feed::parse(
+            &doc,
+            "upstream-cais",
+            cais_feeds::ThreatCategory::CommandAndControl,
+        )
+        .unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].observable.value(), "c2.evil.example");
+        assert_eq!(records[1].cve.as_deref(), Some("CVE-2017-9805"));
+    }
+
+    #[test]
+    fn module_name() {
+        assert_eq!(MispFeedExport.format_name(), "misp-feed");
+    }
+}

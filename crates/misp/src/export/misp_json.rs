@@ -1,0 +1,88 @@
+//! The native MISP JSON export (`{"Event": …}` documents).
+//!
+//! "The JSON format is always used whenever two or more MISP instances
+//! are exchanging intelligence among them" (Section III-C2).
+
+use crate::error::MispError;
+use crate::event::MispEvent;
+
+use super::ExportModule;
+
+/// Exports events as `{"Event": …}` MISP JSON documents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MispJsonExport;
+
+impl ExportModule for MispJsonExport {
+    fn format_name(&self) -> &str {
+        "misp-json"
+    }
+
+    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
+        to_document(event)
+    }
+}
+
+/// Serializes one event as a MISP JSON document.
+///
+/// # Errors
+///
+/// Returns [`MispError::Json`] on encoding failure.
+pub fn to_document(event: &MispEvent) -> Result<String, MispError> {
+    let doc = serde_json::json!({ "Event": event });
+    Ok(serde_json::to_string_pretty(&doc)?)
+}
+
+/// Parses a MISP JSON document back into an event.
+///
+/// # Errors
+///
+/// Returns [`MispError::Json`] when the document is malformed or lacks
+/// the `Event` wrapper.
+pub fn from_document(json: &str) -> Result<MispEvent, MispError> {
+    #[derive(serde::Deserialize)]
+    struct Document {
+        #[serde(rename = "Event")]
+        event: MispEvent,
+    }
+    let doc: Document = serde_json::from_str(json)?;
+    Ok(doc.event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeCategory, MispAttribute};
+    use crate::tag::Tag;
+
+    fn sample() -> MispEvent {
+        let mut event = MispEvent::new("OSINT - struts exploitation");
+        event.add_attribute(MispAttribute::new(
+            "vulnerability",
+            AttributeCategory::ExternalAnalysis,
+            "CVE-2017-9805",
+        ));
+        event.add_tag(Tag::tlp_amber());
+        event
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let event = sample();
+        let json = to_document(&event).unwrap();
+        assert!(json.contains("\"Event\""));
+        assert!(json.contains("CVE-2017-9805"));
+        let back = from_document(&json).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn missing_wrapper_is_error() {
+        assert!(from_document("{\"NotEvent\": {}}").is_err());
+        assert!(from_document("garbage").is_err());
+    }
+
+    #[test]
+    fn module_name() {
+        assert_eq!(MispJsonExport.format_name(), "misp-json");
+    }
+}

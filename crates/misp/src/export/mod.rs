@@ -1,0 +1,130 @@
+//! Extensible export modules.
+//!
+//! "Thanks to specific export modules, \[events\] can be retrieved in
+//! various formats (e.g., MISP JSON, STIX 1.x and STIX 2.x) … the
+//! modules in charge to perform the conversion are extensible and can
+//! be adapted … in particular if they need to develop their own custom
+//! export module, and add it to MISP" (Sections III-B1, III-C2).
+//!
+//! [`ExportModule`] is that extension point; [`ExportRegistry`] is the
+//! set of installed modules, pre-loaded with MISP JSON, STIX 2.0 and
+//! CSV.
+
+pub mod csv;
+pub mod misp_feed;
+pub mod misp_json;
+pub mod stix1;
+pub mod stix2;
+
+use crate::error::MispError;
+use crate::event::MispEvent;
+
+/// A pluggable converter from MISP events to an external format.
+pub trait ExportModule: Send + Sync {
+    /// The format name used to select the module (`misp-json`,
+    /// `stix2`, `csv`, …).
+    fn format_name(&self) -> &str;
+
+    /// Serializes one event.
+    ///
+    /// # Errors
+    ///
+    /// Returns conversion errors (typically [`MispError::Json`]).
+    fn export(&self, event: &MispEvent) -> Result<String, MispError>;
+}
+
+/// The installed export modules.
+pub struct ExportRegistry {
+    modules: Vec<Box<dyn ExportModule>>,
+}
+
+impl ExportRegistry {
+    /// A registry with the five built-in modules installed: MISP JSON,
+    /// STIX 2.0, STIX 1.x XML, MISP feed documents and CSV — the format
+    /// set Section III-B1 names.
+    pub fn with_builtins() -> Self {
+        ExportRegistry {
+            modules: vec![
+                Box::new(misp_json::MispJsonExport),
+                Box::new(stix2::Stix2Export),
+                Box::new(stix1::Stix1Export),
+                Box::new(misp_feed::MispFeedExport),
+                Box::new(csv::CsvExport),
+            ],
+        }
+    }
+
+    /// Installs a custom module (later modules shadow earlier ones with
+    /// the same name).
+    pub fn install(&mut self, module: Box<dyn ExportModule>) {
+        self.modules.push(module);
+    }
+
+    /// Exports an event in the named format.
+    ///
+    /// Returns `None` when no module claims the format.
+    pub fn export(&self, format: &str, event: &MispEvent) -> Option<Result<String, MispError>> {
+        self.modules
+            .iter()
+            .rev()
+            .find(|m| m.format_name() == format)
+            .map(|m| m.export(event))
+    }
+
+    /// The installed format names, in registration order.
+    pub fn formats(&self) -> Vec<&str> {
+        self.modules.iter().map(|m| m.format_name()).collect()
+    }
+}
+
+impl Default for ExportRegistry {
+    fn default() -> Self {
+        ExportRegistry::with_builtins()
+    }
+}
+
+impl std::fmt::Debug for ExportRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExportRegistry")
+            .field("formats", &self.formats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered() {
+        let registry = ExportRegistry::with_builtins();
+        assert_eq!(
+            registry.formats(),
+            vec!["misp-json", "stix2", "stix1", "misp-feed", "csv"]
+        );
+    }
+
+    #[test]
+    fn unknown_format_returns_none() {
+        let registry = ExportRegistry::with_builtins();
+        let event = MispEvent::new("x");
+        assert!(registry.export("openioc", &event).is_none());
+    }
+
+    #[test]
+    fn custom_module_shadows_builtin() {
+        struct Custom;
+        impl ExportModule for Custom {
+            fn format_name(&self) -> &str {
+                "csv"
+            }
+            fn export(&self, _event: &MispEvent) -> Result<String, MispError> {
+                Ok("custom!".into())
+            }
+        }
+        let mut registry = ExportRegistry::with_builtins();
+        registry.install(Box::new(Custom));
+        let out = registry.export("csv", &MispEvent::new("x")).unwrap().unwrap();
+        assert_eq!(out, "custom!");
+    }
+}

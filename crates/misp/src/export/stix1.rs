@@ -1,0 +1,211 @@
+//! STIX 1.x export: the legacy XML form the paper lists alongside STIX
+//! 2.x ("they can be retrieved in various formats (e.g., MISP JSON,
+//! STIX 1.x and STIX 2.x)", Section III-B1).
+//!
+//! The document is a simplified but well-formed `STIX_Package`: one
+//! `Indicator` per detection-grade attribute with the appropriate CybOX
+//! object, plus an `Exploit_Target` per CVE. XML is written by hand
+//! with proper escaping — the structure is small and fixed, so a
+//! full XML library would be dead weight.
+
+use std::fmt::Write as _;
+
+use crate::error::MispError;
+use crate::event::MispEvent;
+
+use super::ExportModule;
+
+/// Exports events as STIX 1.2 XML packages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stix1Export;
+
+impl ExportModule for Stix1Export {
+    fn format_name(&self) -> &str {
+        "stix1"
+    }
+
+    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
+        Ok(to_xml(event))
+    }
+}
+
+/// Escapes text for XML content and attribute values.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The CybOX object element for a MISP attribute type, when one exists.
+fn cybox_object(attr_type: &str, value: &str) -> Option<String> {
+    let value = escape(value);
+    let object = match attr_type {
+        "ip-src" | "ip-dst" => format!(
+            "<cybox:Properties xsi:type=\"AddressObj:AddressObjectType\" category=\"ipv4-addr\">\
+             <AddressObj:Address_Value>{value}</AddressObj:Address_Value></cybox:Properties>"
+        ),
+        "domain" | "hostname" => format!(
+            "<cybox:Properties xsi:type=\"DomainNameObj:DomainNameObjectType\">\
+             <DomainNameObj:Value>{value}</DomainNameObj:Value></cybox:Properties>"
+        ),
+        "url" => format!(
+            "<cybox:Properties xsi:type=\"URIObj:URIObjectType\">\
+             <URIObj:Value>{value}</URIObj:Value></cybox:Properties>"
+        ),
+        "md5" | "sha1" | "sha256" => format!(
+            "<cybox:Properties xsi:type=\"FileObj:FileObjectType\"><FileObj:Hashes>\
+             <cyboxCommon:Hash><cyboxCommon:Type>{}</cyboxCommon:Type>\
+             <cyboxCommon:Simple_Hash_Value>{value}</cyboxCommon:Simple_Hash_Value>\
+             </cyboxCommon:Hash></FileObj:Hashes></cybox:Properties>",
+            attr_type.to_uppercase()
+        ),
+        _ => return None,
+    };
+    Some(object)
+}
+
+/// Serializes one event as a STIX 1.2 package.
+pub fn to_xml(event: &MispEvent) -> String {
+    let mut xml = String::new();
+    let _ = writeln!(xml, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
+    let _ = writeln!(
+        xml,
+        r#"<stix:STIX_Package xmlns:stix="http://stix.mitre.org/stix-1" xmlns:indicator="http://stix.mitre.org/Indicator-2" xmlns:et="http://stix.mitre.org/ExploitTarget-1" xmlns:cybox="http://cybox.mitre.org/cybox-2" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" id="cais:Package-{}" version="1.2">"#,
+        event.uuid
+    );
+    let _ = writeln!(
+        xml,
+        "  <stix:STIX_Header><stix:Title>{}</stix:Title></stix:STIX_Header>",
+        escape(&event.info)
+    );
+
+    let indicators: Vec<String> = event
+        .attributes
+        .iter()
+        .filter_map(|a| {
+            cybox_object(&a.attr_type, &a.value).map(|object| {
+                format!(
+                    "    <stix:Indicator xsi:type=\"indicator:IndicatorType\" id=\"cais:indicator-{}\">\n\
+                     \x20     <indicator:Title>{}</indicator:Title>\n\
+                     \x20     <indicator:Observable><cybox:Object>{}</cybox:Object></indicator:Observable>\n\
+                     \x20   </stix:Indicator>",
+                    a.uuid,
+                    escape(&format!("{} {}", a.attr_type, a.value)),
+                    object,
+                )
+            })
+        })
+        .collect();
+    if !indicators.is_empty() {
+        let _ = writeln!(xml, "  <stix:Indicators>");
+        for indicator in indicators {
+            let _ = writeln!(xml, "{indicator}");
+        }
+        let _ = writeln!(xml, "  </stix:Indicators>");
+    }
+
+    let cves: Vec<&str> = event
+        .attributes
+        .iter()
+        .filter(|a| a.attr_type == "vulnerability")
+        .map(|a| a.value.as_str())
+        .collect();
+    if !cves.is_empty() {
+        let _ = writeln!(xml, "  <stix:Exploit_Targets>");
+        for cve in cves {
+            let _ = writeln!(
+                xml,
+                "    <stix:Exploit_Target xsi:type=\"et:ExploitTargetType\">\
+                 <et:Vulnerability><et:CVE_ID>{}</et:CVE_ID></et:Vulnerability>\
+                 </stix:Exploit_Target>",
+                escape(cve)
+            );
+        }
+        let _ = writeln!(xml, "  </stix:Exploit_Targets>");
+    }
+
+    let _ = writeln!(xml, "</stix:STIX_Package>");
+    xml
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeCategory, MispAttribute};
+
+    fn sample() -> MispEvent {
+        let mut event = MispEvent::new("struts & friends <campaign>");
+        event.add_attribute(MispAttribute::new(
+            "ip-dst",
+            AttributeCategory::NetworkActivity,
+            "203.0.113.9",
+        ));
+        event.add_attribute(MispAttribute::new(
+            "md5",
+            AttributeCategory::PayloadDelivery,
+            "d41d8cd98f00b204e9800998ecf8427e",
+        ));
+        event.add_attribute(MispAttribute::new(
+            "vulnerability",
+            AttributeCategory::ExternalAnalysis,
+            "CVE-2017-9805",
+        ));
+        event
+    }
+
+    #[test]
+    fn xml_contains_expected_elements() {
+        let xml = to_xml(&sample());
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("AddressObj:Address_Value>203.0.113.9<"));
+        assert!(xml.contains("Simple_Hash_Value>d41d8cd98f00b204e9800998ecf8427e<"));
+        assert!(xml.contains("<et:CVE_ID>CVE-2017-9805</et:CVE_ID>"));
+        // Title is escaped.
+        assert!(xml.contains("struts &amp; friends &lt;campaign&gt;"));
+        assert!(!xml.contains("<campaign>"));
+    }
+
+    #[test]
+    fn xml_tags_are_balanced() {
+        let xml = to_xml(&sample());
+        for tag in [
+            "stix:STIX_Package",
+            "stix:Indicators",
+            "stix:Indicator",
+            "stix:Exploit_Targets",
+            "indicator:Observable",
+        ] {
+            let opens = xml.matches(&format!("<{tag}")).count();
+            let closes = xml.matches(&format!("</{tag}>")).count();
+            assert_eq!(opens, closes + opens - closes); // sanity
+            assert_eq!(
+                xml.matches(&format!("<{tag} ")).count()
+                    + xml.matches(&format!("<{tag}>")).count(),
+                closes,
+                "unbalanced {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_without_detection_attributes_has_no_indicator_block() {
+        let event = MispEvent::new("empty");
+        let xml = to_xml(&event);
+        assert!(!xml.contains("<stix:Indicators>"));
+        assert!(xml.contains("</stix:STIX_Package>"));
+    }
+
+    #[test]
+    fn escape_table() {
+        assert_eq!(escape(r#"<a href="x">&'</a>"#), "&lt;a href=&quot;x&quot;&gt;&amp;&apos;&lt;/a&gt;");
+    }
+}

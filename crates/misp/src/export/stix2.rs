@@ -1,0 +1,164 @@
+//! STIX 2.0 export: MISP events → STIX bundles.
+//!
+//! "This information is then converted into STIX 2.0, if necessary for
+//! the analysis, and exported to the Heuristic Component" (Section
+//! III-C2). Detection-grade attributes become `indicator` objects with
+//! STIX patterns; `vulnerability` attributes become `vulnerability`
+//! SDOs; the event title becomes a `report` tying everything together.
+
+use cais_stix::prelude::*;
+
+use crate::error::MispError;
+use crate::event::MispEvent;
+
+use super::ExportModule;
+
+/// Exports events as STIX 2.0 bundle JSON.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stix2Export;
+
+impl ExportModule for Stix2Export {
+    fn format_name(&self) -> &str {
+        "stix2"
+    }
+
+    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
+        let bundle = to_bundle(event);
+        bundle.to_json_pretty().map_err(|e| match e {
+            cais_stix::StixError::Json(err) => MispError::Json(err),
+            other => MispError::Json(serde_json::Error::io(std::io::Error::other(
+                other.to_string(),
+            ))),
+        })
+    }
+}
+
+/// Builds the STIX pattern for one detection-grade attribute.
+fn pattern_for(attr_type: &str, value: &str) -> Option<String> {
+    let escaped = value.replace('\\', "\\\\").replace('\'', "\\'");
+    let pattern = match attr_type {
+        "ip-src" | "ip-dst" => format!("[ipv4-addr:value = '{escaped}']"),
+        "domain" | "hostname" => format!("[domain-name:value = '{escaped}']"),
+        "url" => format!("[url:value = '{escaped}']"),
+        "email-src" | "email-dst" => format!("[email-addr:value = '{escaped}']"),
+        "md5" => format!("[file:hashes.MD5 = '{escaped}']"),
+        "sha1" => format!("[file:hashes.SHA-1 = '{escaped}']"),
+        "sha256" => format!("[file:hashes.SHA-256 = '{escaped}']"),
+        _ => return None,
+    };
+    Some(pattern)
+}
+
+/// Converts a MISP event into a STIX 2.0 bundle.
+pub fn to_bundle(event: &MispEvent) -> Bundle {
+    let mut objects: Vec<StixObject> = Vec::new();
+    for attribute in &event.attributes {
+        if let Some(pattern) = pattern_for(&attribute.attr_type, &attribute.value) {
+            let mut builder = Indicator::builder(pattern, event.date);
+            builder
+                .created(attribute.timestamp)
+                .modified(attribute.timestamp)
+                .label("malicious-activity");
+            if !attribute.comment.is_empty() {
+                builder.description(&attribute.comment);
+            }
+            objects.push(builder.build().into());
+        } else if attribute.attr_type == "vulnerability" {
+            let mut builder = Vulnerability::builder(&attribute.value);
+            builder
+                .created(attribute.timestamp)
+                .modified(attribute.timestamp)
+                .external_reference(ExternalReference::cve(&attribute.value));
+            if !attribute.comment.is_empty() {
+                builder.description(&attribute.comment);
+            }
+            objects.push(builder.build().into());
+        }
+    }
+    // A report object carries the event title and references everything.
+    let mut report = Report::builder(&event.info, event.date);
+    report.created(event.timestamp).modified(event.timestamp);
+    report.label("threat-report");
+    let refs: Vec<StixId> = objects.iter().map(|o| o.id().clone()).collect();
+    for id in refs {
+        report.object_ref(id);
+    }
+    objects.push(report.build().into());
+    Bundle::new(objects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeCategory, MispAttribute};
+    use cais_stix::object::ObjectType;
+
+    fn sample() -> MispEvent {
+        let mut event = MispEvent::new("struts campaign");
+        event.add_attribute(MispAttribute::new(
+            "ip-dst",
+            AttributeCategory::NetworkActivity,
+            "203.0.113.9",
+        ));
+        event.add_attribute(MispAttribute::new(
+            "vulnerability",
+            AttributeCategory::ExternalAnalysis,
+            "CVE-2017-9805",
+        ));
+        event.add_attribute(MispAttribute::new(
+            "md5",
+            AttributeCategory::PayloadDelivery,
+            "d41d8cd98f00b204e9800998ecf8427e",
+        ));
+        event
+    }
+
+    #[test]
+    fn bundle_has_expected_objects() {
+        let bundle = to_bundle(&sample());
+        assert_eq!(bundle.objects_of_type(ObjectType::Indicator).count(), 2);
+        assert_eq!(bundle.objects_of_type(ObjectType::Vulnerability).count(), 1);
+        assert_eq!(bundle.objects_of_type(ObjectType::Report).count(), 1);
+    }
+
+    #[test]
+    fn indicator_patterns_compile() {
+        let bundle = to_bundle(&sample());
+        for object in bundle.objects_of_type(ObjectType::Indicator) {
+            let StixObject::Indicator(indicator) = object else {
+                unreachable!()
+            };
+            indicator
+                .compiled_pattern()
+                .unwrap_or_else(|e| panic!("{}: {e}", indicator.pattern));
+        }
+    }
+
+    #[test]
+    fn report_references_all_objects() {
+        let bundle = to_bundle(&sample());
+        let report = bundle
+            .objects_of_type(ObjectType::Report)
+            .next()
+            .expect("report present");
+        let StixObject::Report(report) = report else {
+            unreachable!()
+        };
+        assert_eq!(report.object_refs.len(), 3);
+    }
+
+    #[test]
+    fn quote_escaping_in_patterns() {
+        assert_eq!(
+            pattern_for("domain", "o'neil.example").unwrap(),
+            "[domain-name:value = 'o\\'neil.example']"
+        );
+    }
+
+    #[test]
+    fn export_module_emits_bundle_json() {
+        let out = Stix2Export.export(&sample()).unwrap();
+        let parsed = Bundle::from_json(&out).unwrap();
+        assert_eq!(parsed.len(), 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Importers: normalized feed records and STIX bundles → MISP events.
+//!
+//! "Relying on MISP, all incoming cIoCs will be automatically converted
+//! into their MISP format representation for being stored correctly"
+//! (Section III-B1).
+
+use cais_feeds::{FeedRecord, ThreatCategory};
+use cais_stix::prelude::*;
+
+use crate::attribute::{AttributeCategory, MispAttribute};
+use crate::event::{MispEvent, ThreatLevel};
+use crate::tag::Tag;
+
+/// Converts a batch of feed records (typically one aggregated cIoC
+/// cluster) into a single MISP event.
+///
+/// # Examples
+///
+/// ```
+/// use cais_common::{Observable, ObservableKind, Timestamp};
+/// use cais_feeds::{FeedRecord, ThreatCategory};
+/// use cais_misp::import::event_from_records;
+///
+/// let record = FeedRecord::new(
+///     Observable::new(ObservableKind::Domain, "evil.example"),
+///     ThreatCategory::MalwareDomain,
+///     "feed-a",
+///     Timestamp::EPOCH,
+/// );
+/// let event = event_from_records("cluster-1", &[record]);
+/// assert_eq!(event.attributes.len(), 1);
+/// assert_eq!(event.attributes[0].attr_type, "domain");
+/// ```
+pub fn event_from_records(info: impl Into<String>, records: &[FeedRecord]) -> MispEvent {
+    let mut event = MispEvent::new(info);
+    if let Some(first) = records.first() {
+        event.date = records.iter().map(|r| r.seen_at).min().unwrap_or(first.seen_at);
+        event.add_tag(Tag::new(format!("cais:category=\"{}\"", first.category)));
+        event.threat_level = match first.category {
+            ThreatCategory::Ransomware | ThreatCategory::VulnerabilityExploitation => {
+                ThreatLevel::High
+            }
+            ThreatCategory::CommandAndControl | ThreatCategory::MalwareDomain => {
+                ThreatLevel::Medium
+            }
+            _ => ThreatLevel::Low,
+        };
+    }
+    for record in records {
+        let attr_type = record.observable.kind().misp_attribute_type();
+        let category = match attr_type {
+            "md5" | "sha1" | "sha256" => AttributeCategory::PayloadDelivery,
+            "vulnerability" => AttributeCategory::ExternalAnalysis,
+            _ => AttributeCategory::NetworkActivity,
+        };
+        let mut attribute = MispAttribute::new(attr_type, category, record.observable.value())
+            .with_timestamp(record.seen_at);
+        if let Some(description) = &record.description {
+            attribute.comment = description.clone();
+        }
+        attribute = attribute.with_tag(Tag::new(format!("source:{}", record.source)));
+        event.add_attribute(attribute);
+        if let Some(cve) = &record.cve {
+            // Carry the CVE explicitly even when the observable itself is
+            // not CVE-typed (e.g. a URL distributing an exploit).
+            if record.observable.value() != cve {
+                event.add_attribute(
+                    MispAttribute::new("vulnerability", AttributeCategory::ExternalAnalysis, cve)
+                        .with_timestamp(record.seen_at),
+                );
+            }
+        }
+    }
+    event
+}
+
+/// Converts a STIX bundle into one MISP event per paper-relevant SDO,
+/// carrying names, patterns and external references as attributes.
+pub fn events_from_stix(bundle: &Bundle) -> Vec<MispEvent> {
+    let mut events = Vec::new();
+    for object in bundle.objects() {
+        let mut event = match object {
+            StixObject::Vulnerability(v) => {
+                let mut event = MispEvent::new(format!("STIX vulnerability: {}", v.name));
+                event.threat_level = ThreatLevel::High;
+                if let Some(cve) = v.cve_id() {
+                    event.add_attribute(MispAttribute::new(
+                        "vulnerability",
+                        AttributeCategory::ExternalAnalysis,
+                        cve,
+                    ));
+                }
+                if let Some(description) = &v.description {
+                    event.add_attribute(MispAttribute::new(
+                        "text",
+                        AttributeCategory::Other,
+                        description,
+                    ));
+                }
+                event
+            }
+            StixObject::Indicator(indicator) => {
+                let mut event = MispEvent::new(format!(
+                    "STIX indicator: {}",
+                    indicator.name.as_deref().unwrap_or("unnamed")
+                ));
+                event.add_attribute(MispAttribute::new(
+                    "text",
+                    AttributeCategory::NetworkActivity,
+                    &indicator.pattern,
+                ));
+                event
+            }
+            StixObject::Malware(malware) => {
+                let mut event = MispEvent::new(format!("STIX malware: {}", malware.name));
+                if let Some(category) = malware.category() {
+                    event.add_tag(Tag::new(format!("malware:{category}")));
+                }
+                event
+            }
+            _ => continue,
+        };
+        event.date = object.created();
+        for reference in &object.common().external_references {
+            if let Some(url) = &reference.url {
+                event.add_attribute(MispAttribute::new(
+                    "link",
+                    AttributeCategory::ExternalAnalysis,
+                    url,
+                ));
+            }
+        }
+        events.push(event);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::{Observable, ObservableKind, Timestamp};
+
+    #[test]
+    fn records_become_typed_attributes() {
+        let records = vec![
+            FeedRecord::new(
+                Observable::new(ObservableKind::Ipv4, "203.0.113.9"),
+                ThreatCategory::CommandAndControl,
+                "feed-a",
+                Timestamp::from_unix_secs(100),
+            ),
+            FeedRecord::new(
+                Observable::new(ObservableKind::Md5, "d41d8cd98f00b204e9800998ecf8427e"),
+                ThreatCategory::CommandAndControl,
+                "feed-b",
+                Timestamp::from_unix_secs(50),
+            )
+            .with_description("dropper"),
+        ];
+        let event = event_from_records("c2 cluster", &records);
+        assert_eq!(event.attributes.len(), 2);
+        assert_eq!(event.attributes[0].attr_type, "ip-dst");
+        assert_eq!(event.attributes[1].attr_type, "md5");
+        assert_eq!(event.attributes[1].comment, "dropper");
+        // Event date is the earliest record.
+        assert_eq!(event.date, Timestamp::from_unix_secs(50));
+        assert_eq!(event.threat_level, ThreatLevel::Medium);
+    }
+
+    #[test]
+    fn cve_side_attribute_added() {
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Url, "http://exploit.example/kit"),
+            ThreatCategory::VulnerabilityExploitation,
+            "feed",
+            Timestamp::EPOCH,
+        )
+        .with_cve("CVE-2017-9805");
+        let event = event_from_records("exploit kit", &[record]);
+        assert_eq!(event.attributes.len(), 2);
+        assert!(event
+            .attributes
+            .iter()
+            .any(|a| a.attr_type == "vulnerability" && a.value == "CVE-2017-9805"));
+    }
+
+    #[test]
+    fn stix_vulnerability_import() {
+        let vuln = Vulnerability::builder("CVE-2017-9805")
+            .description("struts RCE")
+            .external_reference(ExternalReference::cve("CVE-2017-9805"))
+            .build();
+        let bundle = Bundle::new(vec![vuln.into()]);
+        let events = events_from_stix(&bundle);
+        assert_eq!(events.len(), 1);
+        let event = &events[0];
+        assert!(event
+            .attributes
+            .iter()
+            .any(|a| a.attr_type == "vulnerability"));
+        assert!(event.attributes.iter().any(|a| a.attr_type == "link"));
+    }
+
+    #[test]
+    fn unsupported_sdos_are_skipped() {
+        let identity = Identity::builder("ACME").build();
+        let bundle = Bundle::new(vec![identity.into()]);
+        assert!(events_from_stix(&bundle).is_empty());
+    }
+}

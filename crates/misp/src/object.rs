@@ -1,0 +1,313 @@
+//! MISP objects: typed groupings of attributes following a template.
+//!
+//! Where bare attributes are single values, MISP *objects* bundle
+//! related values under named relations — a `file` object carries
+//! `filename`, `md5`, `sha256`; a `domain-ip` object ties a domain to
+//! the address it resolves to. The paper points at "the MISP format"
+//! data models (Section III-A1, footnote 4); this module implements the
+//! object layer over a small registry of the templates the platform
+//! uses.
+
+use cais_common::Uuid;
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::MispAttribute;
+use crate::error::MispError;
+
+/// One relation slot in a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemplateRelation {
+    /// The relation name (`md5`, `domain`, `ip`, …).
+    pub name: &'static str,
+    /// The MISP attribute type the slot takes.
+    pub attr_type: &'static str,
+    /// Whether the template requires the slot to be filled.
+    pub required: bool,
+}
+
+/// An object template: a name plus its relation slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectTemplate {
+    /// Template name (`file`, `domain-ip`, `vulnerability`).
+    pub name: &'static str,
+    /// The slots.
+    pub relations: &'static [TemplateRelation],
+}
+
+const fn rel(name: &'static str, attr_type: &'static str, required: bool) -> TemplateRelation {
+    TemplateRelation {
+        name,
+        attr_type,
+        required,
+    }
+}
+
+/// The built-in templates, modeled on MISP's standard object library.
+pub const TEMPLATES: &[ObjectTemplate] = &[
+    ObjectTemplate {
+        name: "file",
+        relations: &[
+            rel("filename", "filename", false),
+            rel("md5", "md5", false),
+            rel("sha1", "sha1", false),
+            rel("sha256", "sha256", true),
+        ],
+    },
+    ObjectTemplate {
+        name: "domain-ip",
+        relations: &[
+            rel("domain", "domain", true),
+            rel("ip", "ip-dst", true),
+        ],
+    },
+    ObjectTemplate {
+        name: "vulnerability",
+        relations: &[
+            rel("id", "vulnerability", true),
+            rel("summary", "text", false),
+            rel("references", "link", false),
+        ],
+    },
+    ObjectTemplate {
+        name: "url",
+        relations: &[
+            rel("url", "url", true),
+            rel("domain", "domain", false),
+        ],
+    },
+];
+
+/// Finds a built-in template by name.
+pub fn template(name: &str) -> Option<&'static ObjectTemplate> {
+    TEMPLATES.iter().find(|t| t.name == name)
+}
+
+/// An instantiated MISP object: a template name plus attributes tagged
+/// with their relation.
+///
+/// # Examples
+///
+/// ```
+/// use cais_misp::object::MispObject;
+/// use cais_misp::{AttributeCategory, MispAttribute};
+///
+/// let mut object = MispObject::new("domain-ip")?;
+/// object.set(
+///     "domain",
+///     MispAttribute::new("domain", AttributeCategory::NetworkActivity, "c2.threat.ru"),
+/// )?;
+/// object.set(
+///     "ip",
+///     MispAttribute::new("ip-dst", AttributeCategory::NetworkActivity, "45.33.12.7"),
+/// )?;
+/// object.validate()?;
+/// # Ok::<(), cais_misp::MispError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MispObject {
+    /// Object UUID.
+    pub uuid: Uuid,
+    /// The template this object instantiates.
+    pub template: String,
+    /// `(relation, attribute)` pairs.
+    pub attributes: Vec<(String, MispAttribute)>,
+}
+
+impl MispObject {
+    /// Creates an empty object of a known template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::UnknownAttributeType`] (reused for unknown
+    /// template names, carrying the name) when the template is not
+    /// registered.
+    pub fn new(template_name: &str) -> Result<Self, MispError> {
+        if template(template_name).is_none() {
+            return Err(MispError::UnknownAttributeType {
+                attr_type: format!("object-template:{template_name}"),
+            });
+        }
+        Ok(MispObject {
+            uuid: Uuid::new_v4(),
+            template: template_name.to_owned(),
+            attributes: Vec::new(),
+        })
+    }
+
+    /// Fills a relation slot (replacing any previous value for it).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown relations, attribute types that do not match the
+    /// slot, and invalid attribute values.
+    pub fn set(&mut self, relation: &str, attribute: MispAttribute) -> Result<(), MispError> {
+        let tpl = template(&self.template).expect("validated at construction");
+        let Some(slot) = tpl.relations.iter().find(|r| r.name == relation) else {
+            return Err(MispError::UnknownAttributeType {
+                attr_type: format!("{}:{relation}", self.template),
+            });
+        };
+        if slot.attr_type != attribute.attr_type {
+            return Err(MispError::InvalidAttributeValue {
+                attr_type: format!("{}:{relation} expects {}", self.template, slot.attr_type),
+                value: attribute.attr_type.clone(),
+            });
+        }
+        attribute.validate()?;
+        self.attributes.retain(|(r, _)| r != relation);
+        self.attributes.push((relation.to_owned(), attribute));
+        Ok(())
+    }
+
+    /// The attribute filling a relation, if set.
+    pub fn get(&self, relation: &str) -> Option<&MispAttribute> {
+        self.attributes
+            .iter()
+            .find(|(r, _)| r == relation)
+            .map(|(_, a)| a)
+    }
+
+    /// Checks that every required relation is filled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::InvalidAttributeValue`] naming the first
+    /// missing required relation.
+    pub fn validate(&self) -> Result<(), MispError> {
+        let tpl = template(&self.template).expect("validated at construction");
+        for slot in tpl.relations.iter().filter(|r| r.required) {
+            if self.get(slot.name).is_none() {
+                return Err(MispError::InvalidAttributeValue {
+                    attr_type: format!("{}:{}", self.template, slot.name),
+                    value: "<missing required relation>".to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens the object into plain attributes (with the relation
+    /// recorded in each comment) for storage in an event.
+    pub fn into_attributes(self) -> Vec<MispAttribute> {
+        let template = self.template;
+        self.attributes
+            .into_iter()
+            .map(|(relation, mut attribute)| {
+                if attribute.comment.is_empty() {
+                    attribute.comment = format!("object:{template}/{relation}");
+                }
+                attribute
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeCategory;
+    use crate::event::MispEvent;
+
+    fn attr(ty: &str, value: &str) -> MispAttribute {
+        MispAttribute::new(ty, AttributeCategory::NetworkActivity, value)
+    }
+
+    #[test]
+    fn unknown_template_is_rejected() {
+        assert!(MispObject::new("no-such-template").is_err());
+        assert!(MispObject::new("file").is_ok());
+    }
+
+    #[test]
+    fn relation_type_checking() {
+        let mut object = MispObject::new("domain-ip").unwrap();
+        // Wrong attribute type for the slot.
+        assert!(object.set("domain", attr("ip-dst", "1.2.3.4")).is_err());
+        // Unknown relation.
+        assert!(object.set("hostname", attr("domain", "a.ru")).is_err());
+        // Correct.
+        assert!(object.set("domain", attr("domain", "c2.threat.ru")).is_ok());
+    }
+
+    #[test]
+    fn required_relations_enforced() {
+        let mut object = MispObject::new("domain-ip").unwrap();
+        object.set("domain", attr("domain", "c2.threat.ru")).unwrap();
+        assert!(object.validate().is_err(), "ip is required");
+        object.set("ip", attr("ip-dst", "45.33.12.7")).unwrap();
+        assert!(object.validate().is_ok());
+    }
+
+    #[test]
+    fn set_replaces_previous_value() {
+        let mut object = MispObject::new("url").unwrap();
+        object.set("url", attr("url", "http://a.ru/x")).unwrap();
+        object.set("url", attr("url", "http://b.ru/y")).unwrap();
+        assert_eq!(object.attributes.len(), 1);
+        assert_eq!(object.get("url").unwrap().value, "http://b.ru/y");
+    }
+
+    #[test]
+    fn flattening_into_an_event_preserves_correlation() {
+        let mut object = MispObject::new("file").unwrap();
+        object
+            .set(
+                "sha256",
+                MispAttribute::new(
+                    "sha256",
+                    AttributeCategory::PayloadDelivery,
+                    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+                ),
+            )
+            .unwrap();
+        object
+            .set(
+                "filename",
+                MispAttribute::new("filename", AttributeCategory::PayloadDelivery, "drop.bin"),
+            )
+            .unwrap();
+        object.validate().unwrap();
+
+        let mut event = MispEvent::new("sample");
+        for attribute in object.into_attributes() {
+            event.add_attribute(attribute);
+        }
+        assert_eq!(event.attributes.len(), 2);
+        assert!(event
+            .attributes
+            .iter()
+            .any(|a| a.comment.starts_with("object:file/")));
+
+        // Stored objects still correlate by value through the store.
+        let store = crate::store::MispStore::new();
+        let id = store.insert(event).unwrap();
+        assert_eq!(
+            store.events_with_value(
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+            ),
+            vec![id]
+        );
+    }
+
+    #[test]
+    fn templates_are_well_formed() {
+        for tpl in TEMPLATES {
+            assert!(!tpl.relations.is_empty(), "{}", tpl.name);
+            assert!(
+                tpl.relations.iter().any(|r| r.required),
+                "{} needs at least one required relation",
+                tpl.name
+            );
+            // Slot types are all known attribute types.
+            for slot in tpl.relations {
+                assert!(
+                    crate::attribute::KNOWN_TYPES.contains(&slot.attr_type),
+                    "{}:{} uses unknown type {}",
+                    tpl.name,
+                    slot.name,
+                    slot.attr_type
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The indexed in-memory event store — MISP's "relational database".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cais_common::{Timestamp, Uuid};
+use parking_lot::RwLock;
+
+use crate::attribute::MispAttribute;
+use crate::error::MispError;
+use crate::event::MispEvent;
+
+/// One sighting of an attribute value: somebody (a sensor, an analyst,
+/// a partner) confirmed seeing the value in the wild. MISP exposes the
+/// same concept through its `/sightings` API; the paper's Timeliness
+/// criterion asks exactly this question ("is a detected event related
+/// to an already detected one").
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EventSighting {
+    /// The event whose attribute was sighted.
+    pub event_id: u64,
+    /// Who reported the sighting.
+    pub source: String,
+    /// When it was seen.
+    pub seen_at: Timestamp,
+}
+
+/// Search filters for [`MispStore::search`]. Empty fields do not
+/// constrain.
+#[derive(Debug, Clone, Default)]
+pub struct SearchQuery {
+    /// Exact attribute type (`ip-dst`).
+    pub attr_type: Option<String>,
+    /// Case-insensitive substring of the attribute value.
+    pub value_contains: Option<String>,
+    /// Exact event-level tag name.
+    pub tag: Option<String>,
+    /// Only events dated at or after this instant.
+    pub since: Option<Timestamp>,
+    /// Only published events.
+    pub published_only: bool,
+}
+
+/// A thread-safe, indexed store of MISP events.
+///
+/// Maintains secondary indexes by event UUID and by normalized attribute
+/// value (the correlation index).
+#[derive(Debug, Default)]
+pub struct MispStore {
+    events: RwLock<HashMap<u64, MispEvent>>,
+    by_uuid: RwLock<HashMap<Uuid, u64>>,
+    by_value: RwLock<HashMap<String, Vec<u64>>>,
+    sightings: RwLock<HashMap<String, Vec<EventSighting>>>,
+    next_id: AtomicU64,
+}
+
+impl MispStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MispStore {
+            next_id: AtomicU64::new(1),
+            ..MispStore::default()
+        }
+    }
+
+    /// Inserts an event, assigning its store id. Attributes are
+    /// validated; an invalid attribute rejects the whole event (MISP
+    /// behaves the same on API add).
+    ///
+    /// # Errors
+    ///
+    /// Returns attribute-validation errors.
+    pub fn insert(&self, mut event: MispEvent) -> Result<u64, MispError> {
+        for attribute in &event.attributes {
+            attribute.validate()?;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        event.id = id;
+        self.by_uuid.write().insert(event.uuid, id);
+        {
+            let mut by_value = self.by_value.write();
+            for attribute in &event.attributes {
+                by_value
+                    .entry(attribute.correlation_key())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        self.events.write().insert(id, event);
+        Ok(id)
+    }
+
+    /// Fetches an event by id.
+    pub fn get(&self, id: u64) -> Option<MispEvent> {
+        self.events.read().get(&id).cloned()
+    }
+
+    /// Fetches an event by UUID.
+    pub fn get_by_uuid(&self, uuid: &Uuid) -> Option<MispEvent> {
+        let id = *self.by_uuid.read().get(uuid)?;
+        self.get(id)
+    }
+
+    /// Applies a closure to an event in place (used for enrichment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] for unknown ids.
+    pub fn update<F: FnOnce(&mut MispEvent)>(&self, id: u64, f: F) -> Result<(), MispError> {
+        let mut events = self.events.write();
+        let event = events
+            .get_mut(&id)
+            .ok_or(MispError::EventNotFound { event_id: id })?;
+        let before: Vec<String> = event
+            .attributes
+            .iter()
+            .map(MispAttribute::correlation_key)
+            .collect();
+        f(event);
+        event.timestamp = Timestamp::now().max(event.timestamp);
+        // Refresh the value index for any attributes the closure added.
+        let mut by_value = self.by_value.write();
+        for attribute in &event.attributes {
+            let key = attribute.correlation_key();
+            if !before.contains(&key) {
+                let ids = by_value.entry(key).or_default();
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks an event published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] for unknown ids.
+    pub fn publish(&self, id: u64) -> Result<MispEvent, MispError> {
+        self.update(id, |event| event.published = true)?;
+        Ok(self.get(id).expect("updated event exists"))
+    }
+
+    /// Event ids whose attributes carry exactly this normalized value.
+    pub fn events_with_value(&self, value: &str) -> Vec<u64> {
+        self.by_value
+            .read()
+            .get(&value.trim().to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Runs a filtered search, returning matching events.
+    pub fn search(&self, query: &SearchQuery) -> Vec<MispEvent> {
+        let events = self.events.read();
+        let mut out: Vec<MispEvent> = events
+            .values()
+            .filter(|event| {
+                if query.published_only && !event.published {
+                    return false;
+                }
+                if let Some(since) = query.since {
+                    if event.date < since {
+                        return false;
+                    }
+                }
+                if let Some(tag) = &query.tag {
+                    if !event.tags.iter().any(|t| t.name() == tag) {
+                        return false;
+                    }
+                }
+                if let Some(attr_type) = &query.attr_type {
+                    if !event.attributes.iter().any(|a| a.attr_type == *attr_type) {
+                        return false;
+                    }
+                }
+                if let Some(needle) = &query.value_contains {
+                    let needle = needle.to_ascii_lowercase();
+                    if !event
+                        .attributes
+                        .iter()
+                        .any(|a| a.value.to_ascii_lowercase().contains(&needle))
+                    {
+                        return false;
+                    }
+                }
+                true
+            })
+            .cloned()
+            .collect();
+        out.sort_by_key(|e| e.id);
+        out
+    }
+
+    /// Total stored events.
+    pub fn len(&self) -> usize {
+        self.events.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.read().is_empty()
+    }
+
+    /// Records a sighting of an attribute value against an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] when the event does not
+    /// exist, and [`MispError::InvalidAttributeValue`] when no attribute
+    /// of the event carries the value.
+    pub fn add_sighting(
+        &self,
+        event_id: u64,
+        value: &str,
+        source: impl Into<String>,
+        seen_at: Timestamp,
+    ) -> Result<(), MispError> {
+        let key = value.trim().to_ascii_lowercase();
+        {
+            let events = self.events.read();
+            let event = events
+                .get(&event_id)
+                .ok_or(MispError::EventNotFound { event_id })?;
+            if !event
+                .attributes
+                .iter()
+                .any(|a| a.correlation_key() == key)
+            {
+                return Err(MispError::InvalidAttributeValue {
+                    attr_type: "sighting".to_owned(),
+                    value: value.to_owned(),
+                });
+            }
+        }
+        self.sightings.write().entry(key).or_default().push(EventSighting {
+            event_id,
+            source: source.into(),
+            seen_at,
+        });
+        Ok(())
+    }
+
+    /// All sightings of a value, oldest first.
+    pub fn sightings_of(&self, value: &str) -> Vec<EventSighting> {
+        let mut out = self
+            .sightings
+            .read()
+            .get(&value.trim().to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_default();
+        out.sort_by_key(|s| s.seen_at);
+        out
+    }
+
+    /// Number of sightings of a value.
+    pub fn sighting_count(&self, value: &str) -> usize {
+        self.sightings
+            .read()
+            .get(&value.trim().to_ascii_lowercase())
+            .map_or(0, Vec::len)
+    }
+
+    /// Snapshot of all events, ordered by id.
+    pub fn all(&self) -> Vec<MispEvent> {
+        let mut out: Vec<MispEvent> = self.events.read().values().cloned().collect();
+        out.sort_by_key(|e| e.id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeCategory;
+    use crate::tag::Tag;
+
+    fn event_with(value: &str) -> MispEvent {
+        let mut event = MispEvent::new(format!("event for {value}"));
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            value,
+        ));
+        event
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let store = MispStore::new();
+        let a = store.insert(event_with("a.example")).unwrap();
+        let b = store.insert(event_with("b.example")).unwrap();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_invalid_attributes() {
+        let store = MispStore::new();
+        let mut event = MispEvent::new("bad");
+        event.add_attribute(MispAttribute::new(
+            "ip-dst",
+            AttributeCategory::NetworkActivity,
+            "not-an-ip",
+        ));
+        assert!(store.insert(event).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn uuid_lookup() {
+        let store = MispStore::new();
+        let event = event_with("a.example");
+        let uuid = event.uuid;
+        let id = store.insert(event).unwrap();
+        assert_eq!(store.get_by_uuid(&uuid).unwrap().id, id);
+        assert!(store.get_by_uuid(&Uuid::new_v4()).is_none());
+    }
+
+    #[test]
+    fn value_index_and_update() {
+        let store = MispStore::new();
+        let id = store.insert(event_with("shared.example")).unwrap();
+        assert_eq!(store.events_with_value("SHARED.example"), vec![id]);
+        // Add another attribute via update; the index must pick it up.
+        store
+            .update(id, |event| {
+                event.add_attribute(MispAttribute::new(
+                    "ip-dst",
+                    AttributeCategory::NetworkActivity,
+                    "203.0.113.9",
+                ));
+            })
+            .unwrap();
+        assert_eq!(store.events_with_value("203.0.113.9"), vec![id]);
+    }
+
+    #[test]
+    fn update_unknown_event_errors() {
+        let store = MispStore::new();
+        assert!(matches!(
+            store.update(42, |_| {}),
+            Err(MispError::EventNotFound { event_id: 42 })
+        ));
+    }
+
+    #[test]
+    fn publish_flags_event() {
+        let store = MispStore::new();
+        let id = store.insert(event_with("a.example")).unwrap();
+        assert!(!store.get(id).unwrap().published);
+        let published = store.publish(id).unwrap();
+        assert!(published.published);
+    }
+
+    #[test]
+    fn search_filters_compose() {
+        let store = MispStore::new();
+        let mut tagged = event_with("tagged.example");
+        tagged.add_tag(Tag::tlp_red());
+        store.insert(tagged).unwrap();
+        let plain_id = store.insert(event_with("plain.example")).unwrap();
+        store.publish(plain_id).unwrap();
+
+        let by_tag = store.search(&SearchQuery {
+            tag: Some("tlp:red".into()),
+            ..SearchQuery::default()
+        });
+        assert_eq!(by_tag.len(), 1);
+        assert!(by_tag[0].info.contains("tagged"));
+
+        let published = store.search(&SearchQuery {
+            published_only: true,
+            ..SearchQuery::default()
+        });
+        assert_eq!(published.len(), 1);
+        assert_eq!(published[0].id, plain_id);
+
+        let by_value = store.search(&SearchQuery {
+            value_contains: Some("PLAIN".into()),
+            ..SearchQuery::default()
+        });
+        assert_eq!(by_value.len(), 1);
+
+        let none = store.search(&SearchQuery {
+            attr_type: Some("sha256".into()),
+            ..SearchQuery::default()
+        });
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_get_unique_ids() {
+        use std::sync::Arc;
+        let store = Arc::new(MispStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    store
+                        .insert(event_with(&format!("t{t}-{i}.example")))
+                        .unwrap();
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(store.len(), 200);
+        let ids: std::collections::HashSet<u64> = store.all().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 200);
+    }
+}
+
+#[cfg(test)]
+mod sighting_tests {
+    use super::*;
+    use crate::attribute::AttributeCategory;
+
+    fn event_with(value: &str) -> MispEvent {
+        let mut event = MispEvent::new("s");
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            value,
+        ));
+        event
+    }
+
+    #[test]
+    fn sightings_accumulate_and_sort() {
+        let store = MispStore::new();
+        let id = store.insert(event_with("c2.threat.ru")).unwrap();
+        store
+            .add_sighting(id, "C2.THREAT.RU", "suricata", Timestamp::from_unix_secs(200))
+            .unwrap();
+        store
+            .add_sighting(id, "c2.threat.ru", "analyst", Timestamp::from_unix_secs(100))
+            .unwrap();
+        assert_eq!(store.sighting_count("c2.threat.ru"), 2);
+        let all = store.sightings_of("c2.threat.ru");
+        assert_eq!(all[0].source, "analyst");
+        assert_eq!(all[1].source, "suricata");
+    }
+
+    #[test]
+    fn sighting_requires_matching_attribute() {
+        let store = MispStore::new();
+        let id = store.insert(event_with("c2.threat.ru")).unwrap();
+        assert!(store
+            .add_sighting(id, "other.value.ru", "x", Timestamp::EPOCH)
+            .is_err());
+        assert!(store
+            .add_sighting(999, "c2.threat.ru", "x", Timestamp::EPOCH)
+            .is_err());
+        assert_eq!(store.sighting_count("other.value.ru"), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Instance-to-instance synchronization with MISP distribution
+//! semantics.
+//!
+//! MISP instances exchange events by push/pull; whether an event leaves
+//! an instance is governed by its distribution level, and the level is
+//! *downgraded one step per hop* so intelligence does not propagate
+//! beyond the producer's intent:
+//!
+//! * `OrganizationOnly` — never synced,
+//! * `CommunityOnly` — synced, arrives as `OrganizationOnly`,
+//! * `ConnectedCommunities` — synced, arrives as `CommunityOnly`,
+//! * `AllCommunities` — synced unchanged.
+
+use crate::api::MispApi;
+use crate::event::{Distribution, MispEvent};
+
+/// The outcome of one synchronization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncReport {
+    /// Events considered on the source.
+    pub considered: usize,
+    /// Events actually transferred.
+    pub transferred: usize,
+    /// Events withheld by distribution policy.
+    pub withheld: usize,
+    /// Events skipped because the target already has them (by UUID).
+    pub already_present: usize,
+}
+
+/// Computes the distribution level an event arrives with, or `None`
+/// when it must not leave the instance.
+pub fn downgrade(distribution: Distribution) -> Option<Distribution> {
+    match distribution {
+        Distribution::OrganizationOnly => None,
+        Distribution::CommunityOnly => Some(Distribution::OrganizationOnly),
+        Distribution::ConnectedCommunities => Some(Distribution::CommunityOnly),
+        Distribution::AllCommunities => Some(Distribution::AllCommunities),
+    }
+}
+
+/// Pushes every *published* shareable event from `source` to `target`.
+///
+/// Events already present on the target (same UUID) are skipped, making
+/// the operation idempotent.
+///
+/// # Examples
+///
+/// ```
+/// use cais_misp::{MispApi, MispEvent};
+/// use cais_misp::event::Distribution;
+/// use cais_misp::sync::push;
+///
+/// let source = MispApi::new("org-a");
+/// let target = MispApi::new("org-b");
+/// let mut event = MispEvent::new("shared intel");
+/// event.distribution = Distribution::AllCommunities;
+/// let id = source.add_event(event)?;
+/// source.publish_event(id)?;
+///
+/// let report = push(&source, &target);
+/// assert_eq!(report.transferred, 1);
+/// assert_eq!(push(&source, &target).already_present, 1); // idempotent
+/// # Ok::<(), cais_misp::MispError>(())
+/// ```
+pub fn push(source: &MispApi, target: &MispApi) -> SyncReport {
+    let mut report = SyncReport::default();
+    for event in source.store().all() {
+        if !event.published {
+            continue;
+        }
+        report.considered += 1;
+        let Some(arrival_distribution) = downgrade(event.distribution) else {
+            report.withheld += 1;
+            continue;
+        };
+        if target.store().get_by_uuid(&event.uuid).is_some() {
+            report.already_present += 1;
+            continue;
+        }
+        let mut transferred: MispEvent = event.clone();
+        transferred.id = 0;
+        transferred.distribution = arrival_distribution;
+        if target.add_event(transferred).is_ok() {
+            report.transferred += 1;
+        }
+    }
+    report
+}
+
+/// Pulls from `remote` into `local` — push with the roles swapped, which
+/// is exactly how MISP implements it.
+pub fn pull(local: &MispApi, remote: &MispApi) -> SyncReport {
+    push(remote, local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeCategory, MispAttribute};
+
+    fn published_event(api: &MispApi, info: &str, distribution: Distribution) -> u64 {
+        let mut event = MispEvent::new(info);
+        event.distribution = distribution;
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            format!("{}.example", info),
+        ));
+        let id = api.add_event(event).unwrap();
+        api.publish_event(id).unwrap();
+        id
+    }
+
+    #[test]
+    fn distribution_gates_transfer() {
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        published_event(&source, "org-only", Distribution::OrganizationOnly);
+        published_event(&source, "community", Distribution::CommunityOnly);
+        published_event(&source, "connected", Distribution::ConnectedCommunities);
+        published_event(&source, "all", Distribution::AllCommunities);
+
+        let report = push(&source, &target);
+        assert_eq!(report.considered, 4);
+        assert_eq!(report.withheld, 1);
+        assert_eq!(report.transferred, 3);
+        assert_eq!(target.store().len(), 3);
+    }
+
+    #[test]
+    fn distribution_downgrades_per_hop() {
+        let a = MispApi::new("a");
+        let b = MispApi::new("b");
+        let c = MispApi::new("c");
+        published_event(&a, "two-hops", Distribution::ConnectedCommunities);
+
+        push(&a, &b);
+        let on_b = &b.store().all()[0];
+        assert_eq!(on_b.distribution, Distribution::CommunityOnly);
+
+        // Re-publish on b so the second hop considers it.
+        b.publish_event(on_b.id).unwrap();
+        push(&b, &c);
+        let on_c = &c.store().all()[0];
+        assert_eq!(on_c.distribution, Distribution::OrganizationOnly);
+
+        // A third hop is impossible.
+        let d = MispApi::new("d");
+        c.publish_event(on_c.id).unwrap();
+        let report = push(&c, &d);
+        assert_eq!(report.withheld, 1);
+        assert_eq!(d.store().len(), 0);
+    }
+
+    #[test]
+    fn unpublished_events_stay_home() {
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        let mut event = MispEvent::new("draft");
+        event.distribution = Distribution::AllCommunities;
+        source.add_event(event).unwrap();
+        let report = push(&source, &target);
+        assert_eq!(report.considered, 0);
+        assert_eq!(target.store().len(), 0);
+    }
+
+    #[test]
+    fn pull_mirrors_push() {
+        let local = MispApi::new("local");
+        let remote = MispApi::new("remote");
+        published_event(&remote, "intel", Distribution::AllCommunities);
+        let report = pull(&local, &remote);
+        assert_eq!(report.transferred, 1);
+        assert_eq!(local.store().len(), 1);
+    }
+
+    #[test]
+    fn transferred_event_keeps_uuid_and_content() {
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        let id = published_event(&source, "intel", Distribution::AllCommunities);
+        let original = source.get_event(id).unwrap();
+        push(&source, &target);
+        let copy = target.store().get_by_uuid(&original.uuid).unwrap();
+        assert_eq!(copy.info, original.info);
+        assert_eq!(copy.attributes.len(), original.attributes.len());
+        // The copy belongs to the target org's store but retains origin.
+        assert_eq!(copy.org, "b");
+    }
+}

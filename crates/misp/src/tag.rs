@@ -1,0 +1,137 @@
+//! MISP tags and machine tags (taxonomy triples).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A tag attached to an event or attribute.
+///
+/// Tags are either free-form (`struts`) or *machine tags* following the
+/// `namespace:predicate="value"` / `namespace:predicate=value`
+/// convention (for example `tlp:amber` or
+/// `cais:threat-score="2.7406"`).
+///
+/// # Examples
+///
+/// ```
+/// use cais_misp::Tag;
+///
+/// let tlp = Tag::new("tlp:amber");
+/// assert_eq!(tlp.namespace(), Some("tlp"));
+/// assert_eq!(tlp.predicate(), Some("amber"));
+///
+/// let score = Tag::machine("cais", "threat-score", "2.7406");
+/// assert_eq!(score.value(), Some("2.7406"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Tag {
+    name: String,
+}
+
+impl Tag {
+    /// Creates a tag from its full name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Tag { name: name.into() }
+    }
+
+    /// Creates a machine tag `namespace:predicate="value"`.
+    pub fn machine(namespace: &str, predicate: &str, value: &str) -> Self {
+        Tag {
+            name: format!("{namespace}:{predicate}=\"{value}\""),
+        }
+    }
+
+    /// The full tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The namespace part, when the tag is namespaced.
+    pub fn namespace(&self) -> Option<&str> {
+        self.name.split_once(':').map(|(ns, _)| ns)
+    }
+
+    /// The predicate part (between `:` and `=`), when namespaced.
+    pub fn predicate(&self) -> Option<&str> {
+        let (_, rest) = self.name.split_once(':')?;
+        Some(rest.split_once('=').map_or(rest, |(p, _)| p))
+    }
+
+    /// The value part of a machine tag, unquoted.
+    pub fn value(&self) -> Option<&str> {
+        let (_, rest) = self.name.split_once(':')?;
+        let (_, value) = rest.split_once('=')?;
+        Some(value.trim_matches('"'))
+    }
+
+    /// The four standard TLP (Traffic Light Protocol) tags.
+    pub fn tlp_white() -> Self {
+        Tag::new("tlp:white")
+    }
+
+    /// `tlp:green`.
+    pub fn tlp_green() -> Self {
+        Tag::new("tlp:green")
+    }
+
+    /// `tlp:amber`.
+    pub fn tlp_amber() -> Self {
+        Tag::new("tlp:amber")
+    }
+
+    /// `tlp:red`.
+    pub fn tlp_red() -> Self {
+        Tag::new("tlp:red")
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for Tag {
+    fn from(name: &str) -> Self {
+        Tag::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_tag_has_no_parts() {
+        let tag = Tag::new("struts");
+        assert_eq!(tag.namespace(), None);
+        assert_eq!(tag.predicate(), None);
+        assert_eq!(tag.value(), None);
+    }
+
+    #[test]
+    fn namespaced_tag_parses() {
+        let tag = Tag::new("tlp:amber");
+        assert_eq!(tag.namespace(), Some("tlp"));
+        assert_eq!(tag.predicate(), Some("amber"));
+        assert_eq!(tag.value(), None);
+    }
+
+    #[test]
+    fn machine_tag_roundtrip() {
+        let tag = Tag::machine("cais", "threat-score", "2.7406");
+        assert_eq!(tag.name(), "cais:threat-score=\"2.7406\"");
+        assert_eq!(tag.namespace(), Some("cais"));
+        assert_eq!(tag.predicate(), Some("threat-score"));
+        assert_eq!(tag.value(), Some("2.7406"));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let tag = Tag::tlp_red();
+        assert_eq!(serde_json::to_string(&tag).unwrap(), "\"tlp:red\"");
+        let back: Tag = serde_json::from_str("\"tlp:red\"").unwrap();
+        assert_eq!(back, tag);
+    }
+}

@@ -1,0 +1,241 @@
+//! Warninglists: known-benign values that should not be treated as
+//! indicators.
+//!
+//! MISP ships "warninglists" of values that routinely show up in feeds
+//! but are never actionable — RFC 1918 addresses, loopback, reserved
+//! documentation ranges, well-known public resolvers, reserved example
+//! domains. Flagging them is how platforms "reduce false-positives"
+//! (the capability the paper's related-work section credits mature
+//! SIEMs with). The platform checks incoming attribute values and
+//! either tags or drops hits, per configuration.
+
+use cais_common::{Observable, ObservableKind};
+use serde::{Deserialize, Serialize};
+
+/// Why a value was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum WarningKind {
+    /// RFC 1918 / link-local / loopback / unspecified address space.
+    PrivateAddress,
+    /// IETF documentation and benchmark address ranges (TEST-NET etc.).
+    ReservedAddress,
+    /// A well-known public DNS resolver.
+    PublicResolver,
+    /// A reserved or example domain (`example.com`, `.test`, …).
+    ReservedDomain,
+    /// A hash of the empty input (the classic junk indicator).
+    EmptyInputHash,
+}
+
+impl std::fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            WarningKind::PrivateAddress => "private-address",
+            WarningKind::ReservedAddress => "reserved-address",
+            WarningKind::PublicResolver => "public-resolver",
+            WarningKind::ReservedDomain => "reserved-domain",
+            WarningKind::EmptyInputHash => "empty-input-hash",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Well-known public resolvers whose addresses appear in every DNS log.
+const PUBLIC_RESOLVERS: &[&str] = &[
+    "8.8.8.8", "8.8.4.4", "1.1.1.1", "1.0.0.1", "9.9.9.9", "149.112.112.112", "208.67.222.222",
+    "208.67.220.220",
+];
+
+/// Digests of the empty input: MD5, SHA-1 and SHA-256.
+const EMPTY_HASHES: &[&str] = &[
+    "d41d8cd98f00b204e9800998ecf8427e",
+    "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+];
+
+/// Checks one value against the built-in warninglists.
+///
+/// # Examples
+///
+/// ```
+/// use cais_misp::warninglist::{check, WarningKind};
+///
+/// assert_eq!(check("192.168.1.14"), Some(WarningKind::PrivateAddress));
+/// assert_eq!(check("8.8.8.8"), Some(WarningKind::PublicResolver));
+/// assert_eq!(check("203.0.113.9"), Some(WarningKind::ReservedAddress));
+/// assert_eq!(check("45.33.12.7"), None);
+/// ```
+pub fn check(value: &str) -> Option<WarningKind> {
+    let value = value.trim();
+    match ObservableKind::detect(value)? {
+        ObservableKind::Ipv4 => check_ipv4(value),
+        ObservableKind::Ipv6 => check_ipv6(value),
+        ObservableKind::Domain => check_domain(&value.to_ascii_lowercase()),
+        ObservableKind::Url => {
+            let rest = value.split_once("://")?.1;
+            let host = rest.split(['/', ':', '?']).next()?;
+            check(host)
+        }
+        ObservableKind::Md5 | ObservableKind::Sha1 | ObservableKind::Sha256 => {
+            let lower = value.to_ascii_lowercase();
+            EMPTY_HASHES
+                .contains(&lower.as_str())
+                .then_some(WarningKind::EmptyInputHash)
+        }
+        _ => None,
+    }
+}
+
+/// Checks an [`Observable`] directly.
+pub fn check_observable(observable: &Observable) -> Option<WarningKind> {
+    check(observable.value())
+}
+
+fn check_ipv4(value: &str) -> Option<WarningKind> {
+    if PUBLIC_RESOLVERS.contains(&value) {
+        return Some(WarningKind::PublicResolver);
+    }
+    let octets: Vec<u8> = value
+        .split('.')
+        .map(|part| part.parse().ok())
+        .collect::<Option<Vec<u8>>>()?;
+    let [a, b, ..] = octets[..] else { return None };
+    let private = a == 10
+        || (a == 172 && (16..=31).contains(&b))
+        || (a == 192 && b == 168)
+        || a == 127
+        || (a == 169 && b == 254)
+        || a == 0;
+    if private {
+        return Some(WarningKind::PrivateAddress);
+    }
+    // Documentation (TEST-NET-1/2/3) and benchmark ranges.
+    let reserved = (a == 192 && b == 0 && octets[2] == 2)
+        || (a == 198 && b == 51 && octets[2] == 100)
+        || (a == 203 && b == 0 && octets[2] == 113)
+        || (a == 198 && (b == 18 || b == 19))
+        || a >= 224;
+    reserved.then_some(WarningKind::ReservedAddress)
+}
+
+fn check_ipv6(value: &str) -> Option<WarningKind> {
+    let lower = value.to_ascii_lowercase();
+    if lower == "::1" || lower == "::" {
+        return Some(WarningKind::PrivateAddress);
+    }
+    if lower.starts_with("fe80:") || lower.starts_with("fc") || lower.starts_with("fd") {
+        return Some(WarningKind::PrivateAddress);
+    }
+    if lower.starts_with("2001:db8:") || lower.starts_with("2001:db8::") {
+        return Some(WarningKind::ReservedAddress);
+    }
+    None
+}
+
+fn check_domain(value: &str) -> Option<WarningKind> {
+    let reserved_suffixes = [
+        ".example", ".test", ".invalid", ".localhost", ".local", ".onion", ".internal",
+    ];
+    if value == "example.com"
+        || value == "example.org"
+        || value == "example.net"
+        || value.ends_with(".example.com")
+        || value.ends_with(".example.org")
+        || reserved_suffixes.iter().any(|s| value.ends_with(s))
+    {
+        return Some(WarningKind::ReservedDomain);
+    }
+    None
+}
+
+/// Splits attribute values into (benign hits, clean) — the bulk form the
+/// collector uses before storing an event.
+pub fn partition_values<'a, I>(values: I) -> (Vec<(&'a str, WarningKind)>, Vec<&'a str>)
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut hits = Vec::new();
+    let mut clean = Vec::new();
+    for value in values {
+        match check(value) {
+            Some(kind) => hits.push((value, kind)),
+            None => clean.push(value),
+        }
+    }
+    (hits, clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_ranges() {
+        for ip in ["10.0.0.1", "172.16.0.1", "172.31.255.255", "192.168.1.14", "127.0.0.1", "169.254.0.1"] {
+            assert_eq!(check(ip), Some(WarningKind::PrivateAddress), "{ip}");
+        }
+        // 172.15 / 172.32 are public.
+        assert_eq!(check("172.15.0.1"), None);
+        assert_eq!(check("172.32.0.1"), None);
+    }
+
+    #[test]
+    fn documentation_ranges() {
+        for ip in ["192.0.2.1", "198.51.100.7", "203.0.113.9", "198.18.0.1", "224.0.0.1"] {
+            assert_eq!(check(ip), Some(WarningKind::ReservedAddress), "{ip}");
+        }
+    }
+
+    #[test]
+    fn resolvers_and_hashes() {
+        assert_eq!(check("8.8.8.8"), Some(WarningKind::PublicResolver));
+        assert_eq!(
+            check("d41d8cd98f00b204e9800998ecf8427e"),
+            Some(WarningKind::EmptyInputHash)
+        );
+        assert_eq!(
+            check("E3B0C44298FC1C149AFBF4C8996FB92427AE41E4649B934CA495991B7852B855"),
+            Some(WarningKind::EmptyInputHash)
+        );
+        // A real-looking hash is clean.
+        assert_eq!(check("a41d8cd98f00b204e9800998ecf84bbb"), None);
+    }
+
+    #[test]
+    fn reserved_domains_and_urls() {
+        assert_eq!(check("evil.example"), Some(WarningKind::ReservedDomain));
+        assert_eq!(check("example.com"), Some(WarningKind::ReservedDomain));
+        assert_eq!(check("foo.test"), Some(WarningKind::ReservedDomain));
+        assert_eq!(check("real-malware-site.ru"), None);
+        assert_eq!(
+            check("http://c2.evil.example/drop"),
+            Some(WarningKind::ReservedDomain)
+        );
+        assert_eq!(check("http://genuine-threat.ru/x"), None);
+    }
+
+    #[test]
+    fn ipv6_ranges() {
+        assert_eq!(check("::1"), Some(WarningKind::PrivateAddress));
+        assert_eq!(check("fe80::1"), Some(WarningKind::PrivateAddress));
+        assert_eq!(check("fd00::1"), Some(WarningKind::PrivateAddress));
+        assert_eq!(check("2001:db8::1"), Some(WarningKind::ReservedAddress));
+        assert_eq!(check("2620:fe::fe"), None);
+    }
+
+    #[test]
+    fn non_observables_are_clean() {
+        assert_eq!(check("just some text"), None);
+        assert_eq!(check(""), None);
+        assert_eq!(check("CVE-2017-9805"), None);
+    }
+
+    #[test]
+    fn partition_splits_correctly() {
+        let values = ["10.0.0.1", "45.33.12.7", "8.8.8.8", "real-site.ru"];
+        let (hits, clean) = partition_values(values);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(clean, vec!["45.33.12.7", "real-site.ru"]);
+    }
+}

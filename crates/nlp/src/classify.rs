@@ -1,0 +1,248 @@
+//! The weighted keyword classifier.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lexicon::{Language, ThreatType, LEXICON};
+use crate::token::tokens_and_bigrams;
+
+/// Classifier verdict: per-threat evidence scores, the overall relevance
+/// decision and a calibrated confidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    scores: Vec<(ThreatType, f64)>,
+    confidence: f64,
+    language: Option<Language>,
+    matched_keywords: Vec<String>,
+}
+
+impl Verdict {
+    /// Whether the text should be tagged *relevant* (any threat evidence
+    /// above the classifier's threshold).
+    pub fn is_relevant(&self) -> bool {
+        self.confidence > 0.0
+    }
+
+    /// The dominant threat type, when any evidence was found.
+    pub fn top_threat(&self) -> Option<ThreatType> {
+        self.scores.first().map(|(t, _)| *t)
+    }
+
+    /// Per-threat evidence, strongest first. Scores are calibrated to
+    /// (0, 1).
+    pub fn scores(&self) -> &[(ThreatType, f64)] {
+        &self.scores
+    }
+
+    /// Overall confidence in (0, 1): the paper forwards this to SIEMs
+    /// "to avoid the issue of false alarms".
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Best-guess language of the matched keywords.
+    pub fn language(&self) -> Option<Language> {
+        self.language
+    }
+
+    /// The lexicon keywords that fired, for explainability.
+    pub fn matched_keywords(&self) -> &[String] {
+        &self.matched_keywords
+    }
+}
+
+/// A keyword-based threat classifier over the built-in multilingual
+/// lexicon.
+///
+/// Evidence per threat type accumulates as `1 - Π(1 - wᵢ)` over matched
+/// keyword weights — i.e. keywords act as independent weak detectors —
+/// so confidence saturates toward 1 with corroborating evidence and a
+/// single weak keyword yields a low score.
+///
+/// # Examples
+///
+/// ```
+/// use cais_nlp::ThreatClassifier;
+///
+/// let classifier = ThreatClassifier::new();
+/// assert!(classifier.classify("ransomware encrypted files at hospital").is_relevant());
+/// assert!(!classifier.classify("quarterly earnings beat expectations").is_relevant());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreatClassifier {
+    threshold: f64,
+}
+
+impl ThreatClassifier {
+    /// Creates a classifier with the default relevance threshold (0.4).
+    pub fn new() -> Self {
+        ThreatClassifier { threshold: 0.4 }
+    }
+
+    /// Creates a classifier with a custom relevance threshold in [0, 1].
+    /// Texts whose strongest threat evidence is below the threshold are
+    /// tagged irrelevant (confidence 0).
+    pub fn with_threshold(threshold: f64) -> Self {
+        ThreatClassifier {
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Classifies a text.
+    pub fn classify(&self, text: &str) -> Verdict {
+        let grams = tokens_and_bigrams(text);
+        let mut survival: HashMap<ThreatType, f64> = HashMap::new();
+        let mut language_votes: HashMap<&'static str, (Language, usize)> = HashMap::new();
+        let mut matched = Vec::new();
+        for entry in LEXICON {
+            let hits = grams.iter().filter(|g| g.as_str() == entry.keyword).count();
+            if hits == 0 {
+                continue;
+            }
+            matched.push(entry.keyword.to_owned());
+            let survive = survival.entry(entry.threat).or_insert(1.0);
+            // Repeated mentions add evidence, with diminishing returns.
+            for _ in 0..hits.min(3) {
+                *survive *= 1.0 - entry.weight;
+            }
+            let vote = language_votes
+                .entry(lang_key(entry.language))
+                .or_insert((entry.language, 0));
+            vote.1 += hits;
+        }
+        let mut scores: Vec<(ThreatType, f64)> = survival
+            .into_iter()
+            .map(|(threat, survive)| (threat, 1.0 - survive))
+            .collect();
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let strongest = scores.first().map_or(0.0, |(_, s)| *s);
+        let confidence = if strongest >= self.threshold {
+            strongest
+        } else {
+            0.0
+        };
+        let language = language_votes
+            .into_values()
+            .max_by_key(|(_, count)| *count)
+            .map(|(lang, _)| lang);
+        Verdict {
+            scores,
+            confidence,
+            language,
+            matched_keywords: matched,
+        }
+    }
+}
+
+impl Default for ThreatClassifier {
+    fn default() -> Self {
+        ThreatClassifier::new()
+    }
+}
+
+fn lang_key(language: Language) -> &'static str {
+    match language {
+        Language::English => "en",
+        Language::Spanish => "es",
+        Language::Portuguese => "pt",
+        Language::French => "fr",
+        Language::German => "de",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(text: &str) -> Verdict {
+        ThreatClassifier::new().classify(text)
+    }
+
+    #[test]
+    fn strong_keywords_dominate() {
+        let v = classify("New ransomware campaign spreads via phishing emails");
+        assert!(v.is_relevant());
+        assert_eq!(v.top_threat(), Some(ThreatType::Ransomware));
+        assert!(v.scores().iter().any(|(t, _)| *t == ThreatType::Phishing));
+    }
+
+    #[test]
+    fn corroboration_raises_confidence() {
+        let single = classify("a breach happened");
+        let corroborated = classify("security breach: data breach with exfiltration of records");
+        assert!(corroborated.confidence() > single.confidence());
+    }
+
+    #[test]
+    fn irrelevant_text_scores_zero() {
+        let v = classify("The weather in Lisbon is sunny today");
+        assert!(!v.is_relevant());
+        assert_eq!(v.confidence(), 0.0);
+        assert_eq!(v.top_threat(), None);
+    }
+
+    #[test]
+    fn weak_single_keyword_is_below_threshold() {
+        // "worm" alone has weight 0.5 > 0.4 threshold; "ransom" 0.6.
+        // Use "breach" (0.5) with a high threshold classifier.
+        let strict = ThreatClassifier::with_threshold(0.7);
+        let v = strict.classify("breach");
+        assert!(!v.is_relevant());
+        // The evidence is still reported in scores even when tagged
+        // irrelevant.
+        assert_eq!(v.scores().len(), 1);
+    }
+
+    #[test]
+    fn multilingual_detection() {
+        let es = classify("Grave fuga de información tras un acceso no autorizado");
+        assert!(es.is_relevant());
+        assert_eq!(es.language(), Some(Language::Spanish));
+
+        let fr = classify("Un rançongiciel paralyse l'hôpital, hameçonnage suspecté");
+        assert!(fr.is_relevant());
+        assert_eq!(fr.top_threat(), Some(ThreatType::Ransomware));
+        assert_eq!(fr.language(), Some(Language::French));
+
+        let de = classify("Datenleck nach unbefugter zugriff auf Server");
+        assert!(de.is_relevant());
+
+        let pt = classify("Vazamento de dados atinge milhões de contas");
+        assert!(pt.is_relevant());
+        assert_eq!(pt.top_threat(), Some(ThreatType::Leak));
+    }
+
+    #[test]
+    fn repeated_mentions_saturate() {
+        let v = classify("ddos ddos ddos ddos ddos ddos ddos ddos");
+        assert!(v.confidence() < 1.0);
+        assert!(v.confidence() > 0.99);
+    }
+
+    #[test]
+    fn matched_keywords_are_reported() {
+        let v = classify("zero-day exploit enables remote code execution");
+        assert!(v.matched_keywords().contains(&"zero-day".to_owned()));
+        assert!(v
+            .matched_keywords()
+            .contains(&"remote code execution".to_owned()));
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let v = classify("phishing phishing phishing and a minor breach");
+        let scores = v.scores();
+        for pair in scores.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = classify("ransomware outbreak");
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Verdict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,179 @@
+//! Entity extraction: locations, organizations, products and
+//! observables mentioned in OSINT text.
+
+use cais_common::observable;
+use serde::{Deserialize, Serialize};
+
+use crate::token::tokenize;
+
+/// The kind of an extracted entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum EntityKind {
+    /// A country or major city from the gazetteer.
+    Location,
+    /// An organization (suffix heuristic or known-vendor list).
+    Organization,
+    /// A software product from the product list.
+    Product,
+    /// A technical observable (IP, domain, hash, CVE, URL, e-mail).
+    Observable,
+}
+
+/// An entity found in text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Entity {
+    /// What kind of entity this is.
+    pub kind: EntityKind,
+    /// The matched text, normalized to lowercase except observables
+    /// (which keep observable normalization).
+    pub value: String,
+}
+
+/// Countries and major cities recognized as locations.
+const GAZETTEER: &[&str] = &[
+    "spain", "portugal", "france", "germany", "italy", "netherlands", "belgium", "poland",
+    "ukraine", "russia", "china", "india", "japan", "brazil", "mexico", "canada", "australia",
+    "madrid", "barcelona", "lisbon", "porto", "paris", "berlin", "london", "amsterdam", "kyiv",
+    "moscow", "beijing", "tokyo", "mumbai", "united states", "united kingdom", "south korea",
+];
+
+/// Known security/software vendors and institutions.
+const KNOWN_ORGS: &[&str] = &[
+    "microsoft", "apache", "oracle", "cisco", "google", "amazon", "ibm", "siemens", "sap",
+    "mozilla", "adobe", "vmware", "citrix", "fortinet", "kaspersky", "symantec", "gitlab",
+    "owncloud", "atos", "interpol", "europol", "nist", "mitre",
+];
+
+/// Organization suffixes (token must follow a capitalized-ish name; the
+/// tokenizer lowercases, so the heuristic keys on the suffix alone and
+/// attaches the preceding token).
+const ORG_SUFFIXES: &[&str] = &["inc", "corp", "ltd", "gmbh", "s.a", "llc", "plc", "ag"];
+
+/// Software products whose mention matters for inventory matching.
+const PRODUCTS: &[&str] = &[
+    "struts", "apache struts", "tomcat", "windows", "linux", "debian", "ubuntu", "centos",
+    "gitlab", "owncloud",
+    "wordpress", "drupal", "openssl", "nginx", "exchange", "sharepoint", "jenkins", "docker",
+    "kubernetes", "mysql", "postgresql", "php", "log4j", "zookeeper", "storm", "snort",
+    "suricata", "ossec",
+];
+
+/// Extracts every recognizable entity from free text.
+///
+/// # Examples
+///
+/// ```
+/// use cais_nlp::{extract_entities, EntityKind};
+///
+/// let entities = extract_entities(
+///     "Apache Struts exploited in Spain; C2 at 203.0.113.9 run by Evil Corp",
+/// );
+/// assert!(entities.iter().any(|e| e.kind == EntityKind::Product && e.value == "struts"));
+/// assert!(entities.iter().any(|e| e.kind == EntityKind::Location && e.value == "spain"));
+/// assert!(entities.iter().any(|e| e.kind == EntityKind::Observable));
+/// assert!(entities.iter().any(|e| e.kind == EntityKind::Organization));
+/// ```
+pub fn extract_entities(text: &str) -> Vec<Entity> {
+    let tokens = tokenize(text);
+    let mut entities = Vec::new();
+
+    // Single tokens and bigrams against the gazetteers.
+    let mut grams: Vec<String> = tokens.clone();
+    for window in tokens.windows(2) {
+        grams.push(format!("{} {}", window[0], window[1]));
+    }
+    for gram in &grams {
+        if GAZETTEER.contains(&gram.as_str()) {
+            push_unique(&mut entities, EntityKind::Location, gram);
+        }
+        if KNOWN_ORGS.contains(&gram.as_str()) {
+            push_unique(&mut entities, EntityKind::Organization, gram);
+        }
+        if PRODUCTS.contains(&gram.as_str()) {
+            push_unique(&mut entities, EntityKind::Product, gram);
+        }
+    }
+
+    // Suffix-based organizations: "<name> corp", "<name> gmbh", …
+    for window in tokens.windows(2) {
+        if ORG_SUFFIXES.contains(&window[1].as_str()) {
+            push_unique(
+                &mut entities,
+                EntityKind::Organization,
+                &format!("{} {}", window[0], window[1]),
+            );
+        }
+    }
+
+    // Technical observables via the shared detectors.
+    for obs in observable::extract(text) {
+        push_unique(&mut entities, EntityKind::Observable, obs.value());
+    }
+
+    entities
+}
+
+fn push_unique(entities: &mut Vec<Entity>, kind: EntityKind, value: &str) {
+    let entity = Entity {
+        kind,
+        value: value.to_owned(),
+    };
+    if !entities.contains(&entity) {
+        entities.push(entity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_all_kinds() {
+        let entities = extract_entities(
+            "Ransomware hits Lisbon hospital; Kaspersky attributes it to Shadow Ltd, \
+             payload at hxxp://drop.example/x, affects Debian and Apache Struts, \
+             see CVE-2017-9805.",
+        );
+        let has = |kind, value: &str| {
+            entities
+                .iter()
+                .any(|e| e.kind == kind && e.value == value)
+        };
+        assert!(has(EntityKind::Location, "lisbon"));
+        assert!(has(EntityKind::Organization, "kaspersky"));
+        assert!(has(EntityKind::Organization, "shadow ltd"));
+        assert!(has(EntityKind::Product, "debian"));
+        assert!(has(EntityKind::Product, "apache struts"));
+        assert!(has(EntityKind::Observable, "CVE-2017-9805"));
+        assert!(has(EntityKind::Observable, "hxxp://drop.example/x"));
+    }
+
+    #[test]
+    fn two_word_locations() {
+        let entities = extract_entities("outage reported across the United States");
+        assert!(entities
+            .iter()
+            .any(|e| e.kind == EntityKind::Location && e.value == "united states"));
+    }
+
+    #[test]
+    fn no_entities_in_plain_text() {
+        assert!(extract_entities("nothing to see here at all").is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let entities = extract_entities("spain spain spain");
+        assert_eq!(entities.len(), 1);
+    }
+
+    #[test]
+    fn gazetteers_are_lowercase() {
+        for list in [GAZETTEER, KNOWN_ORGS, PRODUCTS] {
+            for item in list {
+                assert_eq!(*item, item.to_lowercase());
+            }
+        }
+    }
+}

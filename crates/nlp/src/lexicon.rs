@@ -1,0 +1,240 @@
+//! The multilingual threat-keyword lexicon.
+//!
+//! Each entry maps a keyword or two-word phrase (already lowercased) to
+//! a [`ThreatType`] with a weight in (0, 1]: unambiguous terms like
+//! `ransomware` carry high weight, generic terms like `attack` carry
+//! low weight. Five languages are covered — English, Spanish,
+//! Portuguese, French and German — matching the paper's "major
+//! languages" requirement.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The threat type a keyword indicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+#[allow(missing_docs)]
+pub enum ThreatType {
+    Ddos,
+    DataBreach,
+    Leak,
+    Ransomware,
+    Phishing,
+    Malware,
+    Exploit,
+    Intrusion,
+    CredentialTheft,
+    Defacement,
+}
+
+impl ThreatType {
+    /// All threat types.
+    pub const ALL: [ThreatType; 10] = [
+        ThreatType::Ddos,
+        ThreatType::DataBreach,
+        ThreatType::Leak,
+        ThreatType::Ransomware,
+        ThreatType::Phishing,
+        ThreatType::Malware,
+        ThreatType::Exploit,
+        ThreatType::Intrusion,
+        ThreatType::CredentialTheft,
+        ThreatType::Defacement,
+    ];
+}
+
+impl fmt::Display for ThreatType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ThreatType::Ddos => "ddos",
+            ThreatType::DataBreach => "data-breach",
+            ThreatType::Leak => "leak",
+            ThreatType::Ransomware => "ransomware",
+            ThreatType::Phishing => "phishing",
+            ThreatType::Malware => "malware",
+            ThreatType::Exploit => "exploit",
+            ThreatType::Intrusion => "intrusion",
+            ThreatType::CredentialTheft => "credential-theft",
+            ThreatType::Defacement => "defacement",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Languages the lexicon covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Language {
+    English,
+    Spanish,
+    Portuguese,
+    French,
+    German,
+}
+
+/// One lexicon entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    pub keyword: &'static str,
+    pub threat: ThreatType,
+    pub weight: f64,
+    pub language: Language,
+}
+
+macro_rules! entries {
+    ($($kw:literal => $threat:ident, $weight:literal, $lang:ident;)*) => {
+        &[$(Entry {
+            keyword: $kw,
+            threat: ThreatType::$threat,
+            weight: $weight,
+            language: Language::$lang,
+        }),*]
+    };
+}
+
+/// The built-in lexicon.
+pub(crate) const LEXICON: &[Entry] = entries![
+    // --- English ---
+    "ddos" => Ddos, 0.95, English;
+    "denial-of-service" => Ddos, 0.95, English;
+    "denial of service" => Ddos, 0.95, English;
+    "amplification attack" => Ddos, 0.8, English;
+    "botnet" => Ddos, 0.5, English;
+    "data breach" => DataBreach, 0.95, English;
+    "security breach" => DataBreach, 0.9, English;
+    "breach" => DataBreach, 0.5, English;
+    "exfiltration" => DataBreach, 0.8, English;
+    "stolen records" => DataBreach, 0.8, English;
+    "leak" => Leak, 0.7, English;
+    "leaked" => Leak, 0.7, English;
+    "data leak" => Leak, 0.9, English;
+    "exposed database" => Leak, 0.85, English;
+    "ransomware" => Ransomware, 0.98, English;
+    "ransom" => Ransomware, 0.6, English;
+    "encrypted files" => Ransomware, 0.5, English;
+    "phishing" => Phishing, 0.95, English;
+    "spearphishing" => Phishing, 0.95, English;
+    "credential harvesting" => Phishing, 0.85, English;
+    "fake login" => Phishing, 0.75, English;
+    "malware" => Malware, 0.85, English;
+    "trojan" => Malware, 0.8, English;
+    "spyware" => Malware, 0.8, English;
+    "backdoor" => Malware, 0.75, English;
+    "worm" => Malware, 0.5, English;
+    "exploit" => Exploit, 0.8, English;
+    "zero-day" => Exploit, 0.95, English;
+    "remote code execution" => Exploit, 0.95, English;
+    "code execution" => Exploit, 0.8, English;
+    "vulnerability" => Exploit, 0.6, English;
+    "privilege escalation" => Exploit, 0.85, English;
+    "sql injection" => Exploit, 0.9, English;
+    "intrusion" => Intrusion, 0.8, English;
+    "unauthorized access" => Intrusion, 0.85, English;
+    "compromised" => Intrusion, 0.6, English;
+    "lateral movement" => Intrusion, 0.85, English;
+    "credential theft" => CredentialTheft, 0.9, English;
+    "password dump" => CredentialTheft, 0.85, English;
+    "credentials stolen" => CredentialTheft, 0.9, English;
+    "defacement" => Defacement, 0.9, English;
+    "defaced" => Defacement, 0.9, English;
+    // --- Spanish ---
+    "denegación de servicio" => Ddos, 0.95, Spanish;
+    "ataque ddos" => Ddos, 0.95, Spanish;
+    "fuga de datos" => Leak, 0.9, Spanish;
+    "fuga de información" => Leak, 0.9, Spanish;
+    "filtración" => Leak, 0.7, Spanish;
+    "brecha de seguridad" => DataBreach, 0.9, Spanish;
+    "secuestro de datos" => Ransomware, 0.9, Spanish;
+    "suplantación" => Phishing, 0.7, Spanish;
+    "vulnerabilidad" => Exploit, 0.6, Spanish;
+    "acceso no autorizado" => Intrusion, 0.85, Spanish;
+    "robo de credenciales" => CredentialTheft, 0.9, Spanish;
+    // --- Portuguese ---
+    "negação de serviço" => Ddos, 0.95, Portuguese;
+    "vazamento de dados" => Leak, 0.9, Portuguese;
+    "violação de dados" => DataBreach, 0.9, Portuguese;
+    "resgate" => Ransomware, 0.5, Portuguese;
+    "vulnerabilidade" => Exploit, 0.6, Portuguese;
+    "acesso não autorizado" => Intrusion, 0.85, Portuguese;
+    "roubo de credenciais" => CredentialTheft, 0.9, Portuguese;
+    // --- French ---
+    "déni de service" => Ddos, 0.95, French;
+    "fuite de données" => Leak, 0.9, French;
+    "violation de données" => DataBreach, 0.9, French;
+    "rançongiciel" => Ransomware, 0.95, French;
+    "hameçonnage" => Phishing, 0.95, French;
+    "logiciel malveillant" => Malware, 0.85, French;
+    "vulnérabilité" => Exploit, 0.6, French;
+    "accès non autorisé" => Intrusion, 0.85, French;
+    // --- German ---
+    "datenleck" => Leak, 0.9, German;
+    "datenpanne" => DataBreach, 0.85, German;
+    "erpressungstrojaner" => Ransomware, 0.95, German;
+    "schadsoftware" => Malware, 0.85, German;
+    "sicherheitslücke" => Exploit, 0.8, German;
+    "unbefugter zugriff" => Intrusion, 0.85, German;
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_weights_are_in_range() {
+        for entry in LEXICON {
+            assert!(
+                entry.weight > 0.0 && entry.weight <= 1.0,
+                "{} has weight {}",
+                entry.keyword,
+                entry.weight
+            );
+        }
+    }
+
+    #[test]
+    fn lexicon_keywords_are_lowercase() {
+        for entry in LEXICON {
+            assert_eq!(
+                entry.keyword,
+                entry.keyword.to_lowercase(),
+                "{} is not lowercase",
+                entry.keyword
+            );
+        }
+    }
+
+    #[test]
+    fn lexicon_has_no_duplicate_keywords() {
+        let mut keywords: Vec<&str> = LEXICON.iter().map(|e| e.keyword).collect();
+        keywords.sort_unstable();
+        let before = keywords.len();
+        keywords.dedup();
+        assert_eq!(keywords.len(), before);
+    }
+
+    #[test]
+    fn every_language_is_represented() {
+        for lang in [
+            Language::English,
+            Language::Spanish,
+            Language::Portuguese,
+            Language::French,
+            Language::German,
+        ] {
+            assert!(
+                LEXICON.iter().any(|e| e.language == lang),
+                "{lang:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_examples_are_covered() {
+        // "keywords that typically indicate a threat … such as ddos,
+        // security breach, leak" (Section II-A).
+        for kw in ["ddos", "security breach", "leak"] {
+            assert!(LEXICON.iter().any(|e| e.keyword == kw), "{kw} missing");
+        }
+    }
+}

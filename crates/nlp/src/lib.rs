@@ -1,0 +1,43 @@
+//! # cais-nlp
+//!
+//! Lightweight natural-language processing for OSINT triage: a
+//! tokenizer, a multilingual threat-keyword lexicon, a weighted keyword
+//! classifier with calibrated confidence, and entity extraction
+//! (locations, organizations, observables).
+//!
+//! Section II-A of the paper calls for "natural language processing
+//! techniques to identify threats from the use of keywords that
+//! typically indicate a threat in major languages; such as ddos,
+//! security breach, leak and more", tagging OSINT data as relevant or
+//! irrelevant, extracting "location and entities involved", and
+//! forwarding "the prediction confidence of the classifier … to SIEMs".
+//! This crate is that component.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_nlp::{ThreatClassifier, ThreatType};
+//!
+//! let classifier = ThreatClassifier::new();
+//! let verdict = classifier.classify(
+//!     "Massive DDoS amplification attack takes down banking portal",
+//! );
+//! assert!(verdict.is_relevant());
+//! assert_eq!(verdict.top_threat(), Some(ThreatType::Ddos));
+//! assert!(verdict.confidence() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod entity;
+mod lexicon;
+pub mod relevance;
+mod token;
+
+pub use classify::{ThreatClassifier, Verdict};
+pub use entity::{extract_entities, Entity, EntityKind};
+pub use lexicon::{Language, ThreatType};
+pub use relevance::RelevanceTag;
+pub use token::tokenize;

@@ -1,0 +1,164 @@
+//! Infrastructure-aware relevance tagging.
+//!
+//! Section II-A: NLP output "can be used to tag OSINT data as relevant
+//! or irrelevant" for the monitored infrastructure. This module fuses
+//! the two signals this crate produces — threat language (the
+//! classifier) and named entities — with the caller-supplied list of
+//! infrastructure product names: a text is *relevant* when it talks
+//! about a threat **and** either names software we run or names no
+//! product at all (generic threats still matter).
+
+use serde::{Deserialize, Serialize};
+
+use crate::classify::{ThreatClassifier, Verdict};
+use crate::entity::{extract_entities, EntityKind};
+
+/// The relevance tag attached to an OSINT text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelevanceTag {
+    /// Whether the text should reach the analyst at all.
+    pub relevant: bool,
+    /// Combined confidence in (0, 1): classifier confidence, boosted
+    /// when infrastructure software is named.
+    pub confidence: f64,
+    /// Products mentioned that the infrastructure runs.
+    pub matched_products: Vec<String>,
+    /// Products mentioned that the infrastructure does not run.
+    pub foreign_products: Vec<String>,
+    /// The underlying threat verdict.
+    pub verdict: Verdict,
+}
+
+/// Tags one text against the infrastructure's product names
+/// (lowercase).
+///
+/// # Examples
+///
+/// ```
+/// use cais_nlp::relevance::tag;
+///
+/// let products = ["apache struts".to_owned(), "gitlab".to_owned()];
+/// let hit = tag(
+///     "Remote code execution exploit published for Apache Struts",
+///     &products,
+/// );
+/// assert!(hit.relevant);
+/// assert!(hit.matched_products.contains(&"apache struts".to_owned()));
+///
+/// let miss = tag(
+///     "Exploit campaign targets SharePoint servers exclusively",
+///     &products,
+/// );
+/// assert!(!miss.relevant);
+/// ```
+pub fn tag(text: &str, infrastructure_products: &[String]) -> RelevanceTag {
+    let verdict = ThreatClassifier::new().classify(text);
+    let entities = extract_entities(text);
+    let mut matched = Vec::new();
+    let mut foreign = Vec::new();
+    for entity in entities {
+        if entity.kind != EntityKind::Product {
+            continue;
+        }
+        let runs_it = infrastructure_products.iter().any(|p| {
+            let p = p.to_ascii_lowercase();
+            p == entity.value
+                || p.split_whitespace().any(|w| w == entity.value)
+                || entity.value.split_whitespace().any(|w| w == p)
+        });
+        if runs_it {
+            if !matched.contains(&entity.value) {
+                matched.push(entity.value);
+            }
+        } else if !foreign.contains(&entity.value) {
+            foreign.push(entity.value);
+        }
+    }
+    let threatens = verdict.is_relevant();
+    // Product evidence decides when present; absent products leave the
+    // threat verdict in charge.
+    let relevant = threatens && (matched.is_empty() == foreign.is_empty() || !matched.is_empty());
+    let confidence = if !threatens {
+        0.0
+    } else if !matched.is_empty() {
+        // Named, installed software: corroborated.
+        (verdict.confidence() + 1.0) / 2.0
+    } else if !foreign.is_empty() {
+        // Named software we do not run: attenuated.
+        verdict.confidence() * 0.3
+    } else {
+        verdict.confidence()
+    };
+    RelevanceTag {
+        relevant,
+        confidence,
+        matched_products: matched,
+        foreign_products: foreign,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn products() -> Vec<String> {
+        vec![
+            "apache struts".to_owned(),
+            "gitlab".to_owned(),
+            "php".to_owned(),
+        ]
+    }
+
+    #[test]
+    fn threat_naming_our_software_is_relevant() {
+        let tag = tag("zero-day exploit in apache struts under active exploitation", &products());
+        assert!(tag.relevant);
+        assert!(tag.confidence > 0.5);
+        assert!(tag.matched_products.contains(&"struts".to_owned()));
+    }
+
+    #[test]
+    fn threat_naming_only_foreign_software_is_irrelevant() {
+        let result = tag("ransomware campaign hits exchange servers", &products());
+        assert!(!result.relevant);
+        assert!(result.foreign_products.contains(&"exchange".to_owned()));
+        // Confidence is attenuated but the verdict is preserved for audit.
+        assert!(result.verdict.is_relevant());
+    }
+
+    #[test]
+    fn generic_threat_without_products_stays_relevant() {
+        let result = tag("massive ddos attack disrupts european banks", &products());
+        assert!(result.relevant);
+        assert!(result.matched_products.is_empty());
+        assert!(result.foreign_products.is_empty());
+    }
+
+    #[test]
+    fn non_threat_text_is_never_relevant() {
+        let result = tag("apache struts 2.5.13 released with performance fixes", &products());
+        assert!(!result.relevant);
+        assert_eq!(result.confidence, 0.0);
+    }
+
+    #[test]
+    fn mixed_mentions_lean_relevant() {
+        // Both our software and foreign software named: relevant.
+        let result = tag(
+            "sql injection exploit chain hits wordpress and php deployments",
+            &products(),
+        );
+        assert!(result.relevant);
+        assert!(!result.matched_products.is_empty());
+        assert!(!result.foreign_products.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let result = tag("phishing kit targets gitlab credentials", &products());
+        let json = serde_json::to_string(&result).unwrap();
+        let back: RelevanceTag = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

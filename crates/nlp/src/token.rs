@@ -1,0 +1,99 @@
+//! Tokenization of OSINT text.
+
+/// Splits text into lowercase word tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters plus the intra-word
+/// connectors `-`, `.`, `_` and `'` (so `denial-of-service`,
+/// `CVE-2017-9805` and `it's` each stay one token); connectors are
+/// trimmed from token edges. Everything is lowercased, which suits both
+/// the keyword lexicon and observable detection.
+///
+/// # Examples
+///
+/// ```
+/// use cais_nlp::tokenize;
+///
+/// let tokens = tokenize("Massive DDoS attack (CVE-2017-9805)!");
+/// assert_eq!(tokens, vec!["massive", "ddos", "attack", "cve-2017-9805"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        let keep = c.is_alphanumeric() || matches!(c, '-' | '.' | '_' | '\'');
+        if keep {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            push_trimmed(&mut tokens, &mut current);
+        }
+    }
+    if !current.is_empty() {
+        push_trimmed(&mut tokens, &mut current);
+    }
+    tokens
+}
+
+fn push_trimmed(tokens: &mut Vec<String>, current: &mut String) {
+    let trimmed = current.trim_matches(['-', '.', '_', '\'']);
+    if !trimmed.is_empty() {
+        tokens.push(trimmed.to_owned());
+    }
+    current.clear();
+}
+
+/// Produces the token list plus every adjacent bigram and trigram —
+/// lexicon phrases span up to three words (`"security breach"`,
+/// `"remote code execution"`, `"fuga de información"`).
+pub fn tokens_and_bigrams(text: &str) -> Vec<String> {
+    let tokens = tokenize(text);
+    let mut out = Vec::with_capacity(tokens.len() * 3);
+    for window in tokens.windows(3) {
+        out.push(format!("{} {} {}", window[0], window[1], window[2]));
+    }
+    for window in tokens.windows(2) {
+        out.push(format!("{} {}", window[0], window[1]));
+    }
+    out.extend(tokens);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("   "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn connectors_stay_inside_words() {
+        assert_eq!(
+            tokenize("denial-of-service via evil.example"),
+            vec!["denial-of-service", "via", "evil.example"]
+        );
+    }
+
+    #[test]
+    fn edge_connectors_are_trimmed() {
+        assert_eq!(tokenize("...weird--- 'quoted'"), vec!["weird", "quoted"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(
+            tokenize("fuga de información"),
+            vec!["fuga", "de", "información"]
+        );
+    }
+
+    #[test]
+    fn bigrams_are_generated() {
+        let grams = tokens_and_bigrams("security breach reported");
+        assert!(grams.contains(&"security breach".to_owned()));
+        assert!(grams.contains(&"breach reported".to_owned()));
+        assert!(grams.contains(&"security".to_owned()));
+    }
+}

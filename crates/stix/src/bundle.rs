@@ -1,0 +1,201 @@
+//! STIX bundles: the top-level transport container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StixError;
+use crate::id::StixId;
+use crate::object::{ObjectType, StixObject};
+
+/// A collection of arbitrary STIX objects grouped for transport.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let mw = Malware::builder("emotet").label("trojan").build();
+/// let bundle = Bundle::new(vec![mw.into()]);
+/// let json = bundle.to_json()?;
+/// let back = Bundle::from_json(&json)?;
+/// assert_eq!(back.objects().len(), 1);
+/// # Ok::<(), cais_stix::StixError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bundle {
+    /// Always the literal string `bundle`.
+    #[serde(rename = "type")]
+    bundle_type: BundleTypeTag,
+    /// The bundle identifier.
+    pub id: StixId,
+    /// The STIX specification version (`2.0`).
+    pub spec_version: String,
+    /// The carried objects.
+    #[serde(default)]
+    objects: Vec<StixObject>,
+}
+
+/// Zero-sized marker that serializes as the string `"bundle"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+enum BundleTypeTag {
+    #[serde(rename = "bundle")]
+    #[default]
+    Bundle,
+}
+
+impl Bundle {
+    /// Creates a bundle around the given objects.
+    pub fn new(objects: Vec<StixObject>) -> Self {
+        Bundle {
+            bundle_type: BundleTypeTag::Bundle,
+            id: StixId::generate("bundle"),
+            spec_version: "2.0".to_owned(),
+            objects,
+        }
+    }
+
+    /// Creates an empty bundle.
+    pub fn empty() -> Self {
+        Bundle::new(Vec::new())
+    }
+
+    /// The carried objects.
+    pub fn objects(&self) -> &[StixObject] {
+        &self.objects
+    }
+
+    /// Consumes the bundle, returning its objects.
+    pub fn into_objects(self) -> Vec<StixObject> {
+        self.objects
+    }
+
+    /// Appends an object.
+    pub fn push(&mut self, object: StixObject) {
+        self.objects.push(object);
+    }
+
+    /// Number of carried objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the bundle carries no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over objects of one type.
+    pub fn objects_of_type(&self, ty: ObjectType) -> impl Iterator<Item = &StixObject> {
+        self.objects.iter().filter(move |o| o.object_type() == ty)
+    }
+
+    /// Finds an object by identifier.
+    pub fn find(&self, id: &StixId) -> Option<&StixObject> {
+        self.objects.iter().find(|o| o.id() == id)
+    }
+
+    /// Serializes to compact STIX JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StixError::Json`] if serialization fails (it cannot for
+    /// well-formed objects).
+    pub fn to_json(&self) -> Result<String, StixError> {
+        serde_json::to_string(self).map_err(StixError::from)
+    }
+
+    /// Serializes to pretty-printed STIX JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StixError::Json`] if serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, StixError> {
+        serde_json::to_string_pretty(self).map_err(StixError::from)
+    }
+
+    /// Parses a bundle from STIX JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StixError::Json`] when the document is not a valid STIX
+    /// 2.0 bundle.
+    pub fn from_json(json: &str) -> Result<Self, StixError> {
+        serde_json::from_str(json).map_err(StixError::from)
+    }
+}
+
+impl Default for Bundle {
+    fn default() -> Self {
+        Bundle::empty()
+    }
+}
+
+impl FromIterator<StixObject> for Bundle {
+    fn from_iter<I: IntoIterator<Item = StixObject>>(iter: I) -> Self {
+        Bundle::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<StixObject> for Bundle {
+    fn extend<I: IntoIterator<Item = StixObject>>(&mut self, iter: I) {
+        self.objects.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use cais_common::Timestamp;
+
+    fn sample() -> Bundle {
+        let vuln = Vulnerability::builder("CVE-2017-9805").build();
+        let ind =
+            Indicator::builder("[ipv4-addr:value = '203.0.113.9']", Timestamp::EPOCH).build();
+        let rel = Relationship::new(
+            RelationshipType::Indicates,
+            ind.id().clone(),
+            vuln.id().clone(),
+        );
+        [vuln.into(), ind.into(), rel.into()].into_iter().collect()
+    }
+
+    #[test]
+    fn wire_shape() {
+        let json: serde_json::Value = serde_json::to_value(sample()).unwrap();
+        assert_eq!(json["type"], "bundle");
+        assert_eq!(json["spec_version"], "2.0");
+        assert_eq!(json["objects"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = sample();
+        let back = Bundle::from_json(&b.to_json().unwrap()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn filter_by_type_and_find() {
+        let b = sample();
+        assert_eq!(b.objects_of_type(ObjectType::Vulnerability).count(), 1);
+        assert_eq!(b.objects_of_type(ObjectType::Campaign).count(), 0);
+        let id = b.objects()[0].id().clone();
+        assert!(b.find(&id).is_some());
+        assert!(b.find(&StixId::generate("malware")).is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_type_tag() {
+        let json = r#"{"type":"not-a-bundle","id":"bundle--550e8400-e29b-41d4-a716-446655440000","spec_version":"2.0","objects":[]}"#;
+        assert!(Bundle::from_json(json).is_err());
+    }
+
+    #[test]
+    fn extend_and_push() {
+        let mut b = Bundle::empty();
+        assert!(b.is_empty());
+        b.push(Tool::builder("nmap").build().into());
+        b.extend(sample().into_objects());
+        assert_eq!(b.len(), 4);
+    }
+}

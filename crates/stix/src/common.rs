@@ -1,0 +1,235 @@
+//! Properties shared by every STIX Domain Object.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::id::StixId;
+
+/// An external reference: a pointer from a STIX object to non-STIX
+/// content such as a CVE record, a CAPEC entry or a vendor advisory.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::ExternalReference;
+///
+/// let cve = ExternalReference::cve("CVE-2017-9805");
+/// assert_eq!(cve.source_name, "cve");
+/// assert_eq!(cve.external_id.as_deref(), Some("CVE-2017-9805"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExternalReference {
+    /// The name of the referenced source (for example `cve` or `capec`).
+    pub source_name: String,
+    /// Human-readable description of the reference.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// A URL to the referenced content.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub url: Option<String>,
+    /// An identifier within the referenced source (for example a CVE id).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub external_id: Option<String>,
+}
+
+impl ExternalReference {
+    /// Creates a reference with only a source name.
+    pub fn new(source_name: impl Into<String>) -> Self {
+        ExternalReference {
+            source_name: source_name.into(),
+            description: None,
+            url: None,
+            external_id: None,
+        }
+    }
+
+    /// Creates a CVE reference in the conventional form.
+    pub fn cve(cve_id: impl Into<String>) -> Self {
+        let cve_id = cve_id.into();
+        ExternalReference {
+            url: Some(format!("https://cve.mitre.org/cgi-bin/cvename.cgi?name={cve_id}")),
+            source_name: "cve".into(),
+            description: None,
+            external_id: Some(cve_id),
+        }
+    }
+
+    /// Creates a CAPEC (Common Attack Pattern Enumeration) reference.
+    pub fn capec(capec_id: impl Into<String>) -> Self {
+        ExternalReference {
+            source_name: "capec".into(),
+            description: None,
+            url: None,
+            external_id: Some(capec_id.into()),
+        }
+    }
+
+    /// Sets the URL, builder-style.
+    pub fn with_url(mut self, url: impl Into<String>) -> Self {
+        self.url = Some(url.into());
+        self
+    }
+
+    /// Sets the description, builder-style.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Returns `true` when this reference points at a well-known source
+    /// (CVE, CAPEC, CWE, NVD or MITRE ATT&CK) — the distinction the
+    /// paper's `external_references` feature scores
+    /// (`multi_known_ref` / `single_known_ref` / `unknown_ref`).
+    pub fn is_known_source(&self) -> bool {
+        matches!(
+            self.source_name.to_ascii_lowercase().as_str(),
+            "cve" | "capec" | "cwe" | "nvd" | "mitre-attack" | "mitre"
+        )
+    }
+}
+
+/// A phase within a kill chain (for example `reconnaissance` within
+/// `lockheed-martin-cyber-kill-chain`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KillChainPhase {
+    /// Name of the kill chain this phase belongs to.
+    pub kill_chain_name: String,
+    /// Name of the phase.
+    pub phase_name: String,
+}
+
+impl KillChainPhase {
+    /// Creates a kill-chain phase.
+    pub fn new(kill_chain_name: impl Into<String>, phase_name: impl Into<String>) -> Self {
+        KillChainPhase {
+            kill_chain_name: kill_chain_name.into(),
+            phase_name: phase_name.into(),
+        }
+    }
+
+    /// A phase of the Lockheed Martin Cyber Kill Chain.
+    pub fn lockheed_martin(phase_name: impl Into<String>) -> Self {
+        KillChainPhase::new("lockheed-martin-cyber-kill-chain", phase_name)
+    }
+}
+
+/// Properties common to every STIX Domain Object.
+///
+/// These are flattened into each SDO's JSON representation, giving the
+/// standard layout (`id`, `created`, `modified`, `labels`, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommonProperties {
+    /// The object identifier.
+    pub id: StixId,
+    /// When the object was created.
+    pub created: Timestamp,
+    /// When the object was last modified.
+    pub modified: Timestamp,
+    /// Reference to the identity that created this object.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub created_by_ref: Option<StixId>,
+    /// Open-vocabulary labels.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub labels: Vec<String>,
+    /// References to non-STIX content.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub external_references: Vec<ExternalReference>,
+    /// Whether the object is revoked.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub revoked: bool,
+    /// Confidence in the object's correctness, 0–100 (a STIX 2.1 field
+    /// accepted here because classifier confidence is forwarded to SIEMs,
+    /// per Section II-A of the paper).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub confidence: Option<u8>,
+    /// Custom property: the OSINT feed this object was derived from.
+    ///
+    /// Table II of the paper lists `osint_source` as a scored feature of
+    /// every heuristic; it is carried as a STIX custom property.
+    #[serde(rename = "x_cais_osint_source", skip_serializing_if = "Option::is_none")]
+    pub osint_source: Option<String>,
+    /// Custom property: the kind of source (`osint`, `infrastructure`,
+    /// `partner`, …), the paper's `source_type` feature.
+    #[serde(rename = "x_cais_source_type", skip_serializing_if = "Option::is_none")]
+    pub source_type: Option<String>,
+}
+
+fn is_false(value: &bool) -> bool {
+    !*value
+}
+
+impl CommonProperties {
+    /// Creates common properties with a fresh random id of the given
+    /// object type, stamping `created` and `modified` with `now`.
+    pub fn new(object_type: &str, now: Timestamp) -> Self {
+        CommonProperties {
+            id: StixId::generate(object_type),
+            created: now,
+            modified: now,
+            created_by_ref: None,
+            labels: Vec::new(),
+            external_references: Vec::new(),
+            revoked: false,
+            confidence: None,
+            osint_source: None,
+            source_type: None,
+        }
+    }
+
+    /// Counts external references to well-known sources, the quantity the
+    /// paper's `external_references` heuristic feature scores.
+    pub fn known_reference_count(&self) -> usize {
+        self.external_references
+            .iter()
+            .filter(|r| r.is_known_source())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cve_reference_shape() {
+        let r = ExternalReference::cve("CVE-2017-9805");
+        assert!(r.is_known_source());
+        assert!(r.url.as_deref().unwrap().contains("CVE-2017-9805"));
+    }
+
+    #[test]
+    fn known_source_detection() {
+        assert!(ExternalReference::capec("CAPEC-242").is_known_source());
+        assert!(ExternalReference::new("CVE").is_known_source()); // case-insensitive
+        assert!(!ExternalReference::new("random-blog").is_known_source());
+    }
+
+    #[test]
+    fn known_reference_count() {
+        let mut props = CommonProperties::new("vulnerability", Timestamp::EPOCH);
+        props.external_references = vec![
+            ExternalReference::cve("CVE-2017-9805"),
+            ExternalReference::capec("CAPEC-242"),
+            ExternalReference::new("blog").with_url("https://blog.example"),
+        ];
+        assert_eq!(props.known_reference_count(), 2);
+    }
+
+    #[test]
+    fn serde_omits_empty_fields() {
+        let props = CommonProperties::new("tool", Timestamp::EPOCH);
+        let json = serde_json::to_value(&props).unwrap();
+        let obj = json.as_object().unwrap();
+        assert!(!obj.contains_key("labels"));
+        assert!(!obj.contains_key("revoked"));
+        assert!(!obj.contains_key("created_by_ref"));
+        assert!(obj.contains_key("id"));
+    }
+
+    #[test]
+    fn kill_chain_phase_constructors() {
+        let p = KillChainPhase::lockheed_martin("exploitation");
+        assert_eq!(p.kill_chain_name, "lockheed-martin-cyber-kill-chain");
+        assert_eq!(p.phase_name, "exploitation");
+    }
+}

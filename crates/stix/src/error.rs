@@ -1,0 +1,96 @@
+//! Error types for STIX parsing, validation and pattern evaluation.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum StixError {
+    /// A STIX identifier was syntactically invalid.
+    InvalidId {
+        /// The offending identifier string.
+        input: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A JSON document could not be parsed into STIX objects.
+    Json(serde_json::Error),
+    /// An object failed semantic validation.
+    Validation {
+        /// Identifier of the failing object, when known.
+        id: Option<String>,
+        /// The failed constraint.
+        message: String,
+    },
+    /// A STIX pattern was syntactically invalid.
+    Pattern {
+        /// Byte offset of the error within the pattern source.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for StixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StixError::InvalidId { input, reason } => {
+                write!(f, "invalid STIX id {input:?}: {reason}")
+            }
+            StixError::Json(err) => write!(f, "invalid STIX JSON: {err}"),
+            StixError::Validation { id, message } => match id {
+                Some(id) => write!(f, "validation failed for {id}: {message}"),
+                None => write!(f, "validation failed: {message}"),
+            },
+            StixError::Pattern { offset, message } => {
+                write!(f, "invalid STIX pattern at offset {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StixError::Json(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for StixError {
+    fn from(err: serde_json::Error) -> Self {
+        StixError::Json(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StixError::InvalidId {
+            input: "x".into(),
+            reason: "missing `--` separator",
+        };
+        assert!(e.to_string().contains("missing `--` separator"));
+
+        let e = StixError::Validation {
+            id: Some("indicator--abc".into()),
+            message: "pattern is required".into(),
+        };
+        assert!(e.to_string().contains("indicator--abc"));
+
+        let e = StixError::Pattern {
+            offset: 7,
+            message: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("offset 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StixError>();
+    }
+}

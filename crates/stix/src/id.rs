@@ -1,0 +1,181 @@
+//! STIX object identifiers of the form `object-type--UUID`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use cais_common::Uuid;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::error::StixError;
+
+/// A STIX 2.0 identifier: an object type name, a literal `--`, and a UUID.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::StixId;
+///
+/// let id = StixId::generate("vulnerability");
+/// assert_eq!(id.object_type(), "vulnerability");
+///
+/// let parsed: StixId = id.to_string().parse()?;
+/// assert_eq!(parsed, id);
+/// # Ok::<(), cais_stix::StixError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StixId {
+    object_type: String,
+    uuid: Uuid,
+}
+
+impl StixId {
+    /// Creates an identifier from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StixError::InvalidId`] when `object_type` is not a valid
+    /// STIX type name (lowercase ASCII letters, digits and single hyphens,
+    /// 3–250 characters).
+    pub fn new(object_type: &str, uuid: Uuid) -> Result<Self, StixError> {
+        if !is_valid_type_name(object_type) {
+            return Err(StixError::InvalidId {
+                input: object_type.to_owned(),
+                reason: "object type must be lowercase letters, digits and hyphens",
+            });
+        }
+        Ok(StixId {
+            object_type: object_type.to_owned(),
+            uuid,
+        })
+    }
+
+    /// Generates a fresh identifier with a random v4 UUID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object_type` is not a valid STIX type name; use
+    /// [`StixId::new`] for untrusted input.
+    pub fn generate(object_type: &str) -> Self {
+        StixId::new(object_type, Uuid::new_v4()).expect("valid object type")
+    }
+
+    /// Derives a deterministic identifier from a name, so identical
+    /// content maps to the same id across runs (used for deduplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object_type` is not a valid STIX type name.
+    pub fn derived(object_type: &str, name: &str) -> Self {
+        StixId::new(object_type, Uuid::new_v5(name)).expect("valid object type")
+    }
+
+    /// The object-type prefix (for example `indicator`).
+    pub fn object_type(&self) -> &str {
+        &self.object_type
+    }
+
+    /// The UUID component.
+    pub fn uuid(&self) -> Uuid {
+        self.uuid
+    }
+}
+
+impl fmt::Display for StixId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}--{}", self.object_type, self.uuid)
+    }
+}
+
+impl FromStr for StixId {
+    type Err = StixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let Some((ty, uuid_str)) = s.split_once("--") else {
+            return Err(StixError::InvalidId {
+                input: s.to_owned(),
+                reason: "missing `--` separator",
+            });
+        };
+        let uuid: Uuid = uuid_str.parse().map_err(|_| StixError::InvalidId {
+            input: s.to_owned(),
+            reason: "invalid UUID component",
+        })?;
+        StixId::new(ty, uuid).map_err(|_| StixError::InvalidId {
+            input: s.to_owned(),
+            reason: "invalid object-type component",
+        })
+    }
+}
+
+impl Serialize for StixId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for StixId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+fn is_valid_type_name(s: &str) -> bool {
+    if s.len() < 3 || s.len() > 250 {
+        return false;
+    }
+    if s.starts_with('-') || s.ends_with('-') || s.contains("--") {
+        return false;
+    }
+    s.bytes()
+        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_and_parse() {
+        let id = StixId::generate("attack-pattern");
+        assert_eq!(id.object_type(), "attack-pattern");
+        let s = id.to_string();
+        assert!(s.starts_with("attack-pattern--"));
+        let parsed: StixId = s.parse().unwrap();
+        assert_eq!(parsed, id);
+    }
+
+    #[test]
+    fn derived_is_deterministic() {
+        let a = StixId::derived("indicator", "domain:evil.example");
+        let b = StixId::derived("indicator", "domain:evil.example");
+        assert_eq!(a, b);
+        assert_ne!(a, StixId::derived("indicator", "domain:other.example"));
+    }
+
+    #[test]
+    fn rejects_invalid_type_names() {
+        for ty in ["", "ab", "Upper-Case", "has_underscore", "-lead", "trail-", "dou--ble"] {
+            assert!(StixId::new(ty, Uuid::new_v4()).is_err(), "{ty:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_strings() {
+        for s in [
+            "indicator",
+            "indicator--not-a-uuid",
+            "--550e8400-e29b-41d4-a716-446655440000",
+        ] {
+            assert!(StixId::from_str(s).is_err(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let id = StixId::generate("malware");
+        let json = serde_json::to_string(&id).unwrap();
+        let back: StixId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,64 @@
+//! # cais-stix
+//!
+//! A from-scratch implementation of the STIX 2.0 data model: the twelve
+//! STIX Domain Objects (SDOs), the relationship objects (SROs), bundles,
+//! open vocabularies, object validation and the STIX patterning language
+//! (lexer, parser and an evaluator over observation data).
+//!
+//! The paper adopts STIX 2.0 as "the de-facto standard for describing
+//! threat intelligence" and selects six SDOs as its heuristics
+//! (attack-pattern, identity, indicator, malware, tool, vulnerability);
+//! this crate provides all twelve so the platform can ingest arbitrary
+//! STIX content.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_stix::prelude::*;
+//!
+//! let vuln = Vulnerability::builder("CVE-2017-9805")
+//!     .description("Apache Struts REST plugin XStream RCE")
+//!     .external_reference(ExternalReference::cve("CVE-2017-9805"))
+//!     .build();
+//!
+//! let bundle = Bundle::new(vec![vuln.into()]);
+//! let json = bundle.to_json_pretty()?;
+//! let back = Bundle::from_json(&json)?;
+//! assert_eq!(back.objects().len(), 1);
+//! # Ok::<(), cais_stix::StixError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod common;
+pub mod error;
+pub mod id;
+pub mod object;
+pub mod pattern;
+pub mod sdo;
+pub mod sro;
+pub mod validate;
+pub mod vocab;
+
+pub use bundle::Bundle;
+pub use common::{CommonProperties, ExternalReference, KillChainPhase};
+pub use error::StixError;
+pub use id::StixId;
+pub use object::{ObjectType, StixObject};
+pub use sro::{Relationship, RelationshipType, Sighting};
+
+/// Convenient glob import for working with STIX objects.
+pub mod prelude {
+    pub use crate::bundle::Bundle;
+    pub use crate::common::{CommonProperties, ExternalReference, KillChainPhase};
+    pub use crate::error::StixError;
+    pub use crate::id::StixId;
+    pub use crate::object::{ObjectType, StixObject};
+    pub use crate::sdo::{
+        AttackPattern, Campaign, CourseOfAction, Identity, Indicator, IntrusionSet, Malware,
+        ObservedData, Report, ThreatActor, Tool, Vulnerability,
+    };
+    pub use crate::sro::{Relationship, RelationshipType, Sighting};
+}

@@ -1,0 +1,316 @@
+//! The [`StixObject`] sum type over every SDO and SRO, tagged on the wire
+//! by the standard `type` property.
+
+use std::fmt;
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+use crate::sdo::{
+    AttackPattern, Campaign, CourseOfAction, Identity, Indicator, IntrusionSet, Malware,
+    ObservedData, Report, ThreatActor, Tool, Vulnerability,
+};
+use crate::sro::{Relationship, Sighting};
+
+/// Any STIX 2.0 object: one of the twelve SDOs or the two SROs.
+///
+/// Serialization follows the STIX wire format: the variant is selected by
+/// the `type` property of the JSON object.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let obj: StixObject = Vulnerability::builder("CVE-2017-9805").build().into();
+/// assert_eq!(obj.object_type(), ObjectType::Vulnerability);
+/// let json = serde_json::to_string(&obj).unwrap();
+/// assert!(json.contains("\"type\":\"vulnerability\""));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "kebab-case")]
+#[allow(missing_docs)]
+pub enum StixObject {
+    AttackPattern(AttackPattern),
+    Campaign(Campaign),
+    CourseOfAction(CourseOfAction),
+    Identity(Identity),
+    Indicator(Indicator),
+    IntrusionSet(IntrusionSet),
+    Malware(Malware),
+    ObservedData(ObservedData),
+    Report(Report),
+    ThreatActor(ThreatActor),
+    Tool(Tool),
+    Vulnerability(Vulnerability),
+    Relationship(Relationship),
+    Sighting(Sighting),
+}
+
+/// Discriminant of a [`StixObject`], without the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+#[allow(missing_docs)]
+pub enum ObjectType {
+    AttackPattern,
+    Campaign,
+    CourseOfAction,
+    Identity,
+    Indicator,
+    IntrusionSet,
+    Malware,
+    ObservedData,
+    Report,
+    ThreatActor,
+    Tool,
+    Vulnerability,
+    Relationship,
+    Sighting,
+}
+
+impl ObjectType {
+    /// All object types.
+    pub const ALL: [ObjectType; 14] = [
+        ObjectType::AttackPattern,
+        ObjectType::Campaign,
+        ObjectType::CourseOfAction,
+        ObjectType::Identity,
+        ObjectType::Indicator,
+        ObjectType::IntrusionSet,
+        ObjectType::Malware,
+        ObjectType::ObservedData,
+        ObjectType::Report,
+        ObjectType::ThreatActor,
+        ObjectType::Tool,
+        ObjectType::Vulnerability,
+        ObjectType::Relationship,
+        ObjectType::Sighting,
+    ];
+
+    /// The lowercase hyphenated name used in identifiers and the `type`
+    /// property.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObjectType::AttackPattern => "attack-pattern",
+            ObjectType::Campaign => "campaign",
+            ObjectType::CourseOfAction => "course-of-action",
+            ObjectType::Identity => "identity",
+            ObjectType::Indicator => "indicator",
+            ObjectType::IntrusionSet => "intrusion-set",
+            ObjectType::Malware => "malware",
+            ObjectType::ObservedData => "observed-data",
+            ObjectType::Report => "report",
+            ObjectType::ThreatActor => "threat-actor",
+            ObjectType::Tool => "tool",
+            ObjectType::Vulnerability => "vulnerability",
+            ObjectType::Relationship => "relationship",
+            ObjectType::Sighting => "sighting",
+        }
+    }
+
+    /// Parses a type name.
+    pub fn from_name(name: &str) -> Option<ObjectType> {
+        ObjectType::ALL.into_iter().find(|t| t.as_str() == name)
+    }
+
+    /// Whether this is one of the six SDO heuristics the paper selects
+    /// (Section III-B2a).
+    pub fn is_paper_heuristic(self) -> bool {
+        matches!(
+            self,
+            ObjectType::AttackPattern
+                | ObjectType::Identity
+                | ObjectType::Indicator
+                | ObjectType::Malware
+                | ObjectType::Tool
+                | ObjectType::Vulnerability
+        )
+    }
+}
+
+impl fmt::Display for ObjectType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl StixObject {
+    /// The object's type discriminant.
+    pub fn object_type(&self) -> ObjectType {
+        match self {
+            StixObject::AttackPattern(_) => ObjectType::AttackPattern,
+            StixObject::Campaign(_) => ObjectType::Campaign,
+            StixObject::CourseOfAction(_) => ObjectType::CourseOfAction,
+            StixObject::Identity(_) => ObjectType::Identity,
+            StixObject::Indicator(_) => ObjectType::Indicator,
+            StixObject::IntrusionSet(_) => ObjectType::IntrusionSet,
+            StixObject::Malware(_) => ObjectType::Malware,
+            StixObject::ObservedData(_) => ObjectType::ObservedData,
+            StixObject::Report(_) => ObjectType::Report,
+            StixObject::ThreatActor(_) => ObjectType::ThreatActor,
+            StixObject::Tool(_) => ObjectType::Tool,
+            StixObject::Vulnerability(_) => ObjectType::Vulnerability,
+            StixObject::Relationship(_) => ObjectType::Relationship,
+            StixObject::Sighting(_) => ObjectType::Sighting,
+        }
+    }
+
+    /// The shared common properties, for any variant.
+    pub fn common(&self) -> &CommonProperties {
+        match self {
+            StixObject::AttackPattern(o) => o.common(),
+            StixObject::Campaign(o) => o.common(),
+            StixObject::CourseOfAction(o) => o.common(),
+            StixObject::Identity(o) => o.common(),
+            StixObject::Indicator(o) => o.common(),
+            StixObject::IntrusionSet(o) => o.common(),
+            StixObject::Malware(o) => o.common(),
+            StixObject::ObservedData(o) => o.common(),
+            StixObject::Report(o) => o.common(),
+            StixObject::ThreatActor(o) => o.common(),
+            StixObject::Tool(o) => o.common(),
+            StixObject::Vulnerability(o) => o.common(),
+            StixObject::Relationship(o) => o.common(),
+            StixObject::Sighting(o) => o.common(),
+        }
+    }
+
+    /// Mutable access to the shared common properties, for any variant.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        match self {
+            StixObject::AttackPattern(o) => o.common_mut(),
+            StixObject::Campaign(o) => o.common_mut(),
+            StixObject::CourseOfAction(o) => o.common_mut(),
+            StixObject::Identity(o) => o.common_mut(),
+            StixObject::Indicator(o) => o.common_mut(),
+            StixObject::IntrusionSet(o) => o.common_mut(),
+            StixObject::Malware(o) => o.common_mut(),
+            StixObject::ObservedData(o) => o.common_mut(),
+            StixObject::Report(o) => o.common_mut(),
+            StixObject::ThreatActor(o) => o.common_mut(),
+            StixObject::Tool(o) => o.common_mut(),
+            StixObject::Vulnerability(o) => o.common_mut(),
+            StixObject::Relationship(o) => o.common_mut(),
+            StixObject::Sighting(o) => o.common_mut(),
+        }
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common().id
+    }
+
+    /// The `created` timestamp.
+    pub fn created(&self) -> Timestamp {
+        self.common().created
+    }
+
+    /// The `modified` timestamp.
+    pub fn modified(&self) -> Timestamp {
+        self.common().modified
+    }
+
+    /// The object's display name, when its type has one.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            StixObject::AttackPattern(o) => Some(&o.name),
+            StixObject::Campaign(o) => Some(&o.name),
+            StixObject::CourseOfAction(o) => Some(&o.name),
+            StixObject::Identity(o) => Some(&o.name),
+            StixObject::Indicator(o) => o.name.as_deref(),
+            StixObject::IntrusionSet(o) => Some(&o.name),
+            StixObject::Malware(o) => Some(&o.name),
+            StixObject::ObservedData(_) => None,
+            StixObject::Report(o) => Some(&o.name),
+            StixObject::ThreatActor(o) => Some(&o.name),
+            StixObject::Tool(o) => Some(&o.name),
+            StixObject::Vulnerability(o) => Some(&o.name),
+            StixObject::Relationship(_) => None,
+            StixObject::Sighting(_) => None,
+        }
+    }
+}
+
+macro_rules! impl_from_sdo {
+    ($($ty:ident),* $(,)?) => {
+        $(
+            impl From<$ty> for StixObject {
+                fn from(value: $ty) -> StixObject {
+                    StixObject::$ty(value)
+                }
+            }
+        )*
+    };
+}
+
+impl_from_sdo!(
+    AttackPattern,
+    Campaign,
+    CourseOfAction,
+    Identity,
+    Indicator,
+    IntrusionSet,
+    Malware,
+    ObservedData,
+    Report,
+    ThreatActor,
+    Tool,
+    Vulnerability,
+    Relationship,
+    Sighting,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tag_on_wire() {
+        let obj: StixObject = Malware::builder("emotet").label("trojan").build().into();
+        let json = serde_json::to_value(&obj).unwrap();
+        assert_eq!(json["type"], "malware");
+        let back: StixObject = serde_json::from_value(json).unwrap();
+        assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn object_type_names_match_id_prefixes() {
+        let obj: StixObject = Tool::builder("nmap").build().into();
+        assert_eq!(obj.object_type().as_str(), obj.id().object_type());
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for ty in ObjectType::ALL {
+            assert_eq!(ObjectType::from_name(ty.as_str()), Some(ty));
+        }
+        assert_eq!(ObjectType::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn paper_heuristics_are_the_six_selected_sdos() {
+        let selected: Vec<ObjectType> = ObjectType::ALL
+            .into_iter()
+            .filter(|t| t.is_paper_heuristic())
+            .collect();
+        assert_eq!(
+            selected,
+            vec![
+                ObjectType::AttackPattern,
+                ObjectType::Identity,
+                ObjectType::Indicator,
+                ObjectType::Malware,
+                ObjectType::Tool,
+                ObjectType::Vulnerability,
+            ]
+        );
+    }
+
+    #[test]
+    fn name_accessor() {
+        let obj: StixObject = Identity::builder("ACME").build().into();
+        assert_eq!(obj.name(), Some("ACME"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Abstract syntax tree of parsed STIX patterns.
+
+/// A literal value appearing on the right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternLiteral {
+    /// A single-quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A boolean (`true`/`false` keywords).
+    Bool(bool),
+}
+
+impl PatternLiteral {
+    /// The literal as a string slice when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PatternLiteral::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal coerced to a float when numeric.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            PatternLiteral::Int(i) => Some(*i as f64),
+            PatternLiteral::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// Comparison operators of the patterning grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `IN (…)`
+    In,
+    /// `LIKE '…'` (SQL-style `%` and `_` wildcards)
+    Like,
+    /// `MATCHES '…'` (regular expression)
+    Matches,
+}
+
+/// A comparison expression inside `[…]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComparisonExpr {
+    /// A single proposition `path op literal` (or `path IN (set)`).
+    Proposition {
+        /// The observable object type (`ipv4-addr`).
+        object_type: String,
+        /// The property path within the object (`value`, `hashes.MD5`).
+        path: String,
+        /// The comparison operator.
+        op: ComparisonOp,
+        /// Right-hand-side values (one element except for `IN`).
+        values: Vec<PatternLiteral>,
+        /// Whether the proposition is negated (`NOT` prefix).
+        negated: bool,
+    },
+    /// Conjunction: all must hold (on the same observable object).
+    And(Vec<ComparisonExpr>),
+    /// Disjunction: any must hold.
+    Or(Vec<ComparisonExpr>),
+}
+
+/// Temporal and repetition qualifiers attached to observation expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Qualifier {
+    /// All matched observations fall within the duration (seconds).
+    WithinSeconds(u64),
+    /// The expression matches at least this many distinct observations.
+    RepeatsTimes(u64),
+    /// The expression matches using only observations inside the
+    /// absolute window `[start, stop)` (millis since the Unix epoch).
+    StartStop {
+        /// Window start (inclusive).
+        start_millis: i64,
+        /// Window end (exclusive).
+        stop_millis: i64,
+    },
+}
+
+/// An observation expression: bracketed comparisons combined with
+/// `AND`, `OR` and `FOLLOWEDBY`, optionally qualified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObservationExpr {
+    /// `[ comparison ]`
+    Observation(ComparisonExpr),
+    /// Both sides must match (on any observations).
+    And(Box<ObservationExpr>, Box<ObservationExpr>),
+    /// Either side must match.
+    Or(Box<ObservationExpr>, Box<ObservationExpr>),
+    /// Left side must match no later than the right side.
+    FollowedBy(Box<ObservationExpr>, Box<ObservationExpr>),
+    /// A qualified sub-expression.
+    Qualified(Box<ObservationExpr>, Qualifier),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_coercions() {
+        assert_eq!(PatternLiteral::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(PatternLiteral::Int(3).as_number(), Some(3.0));
+        assert_eq!(PatternLiteral::Float(2.5).as_number(), Some(2.5));
+        assert_eq!(PatternLiteral::Bool(true).as_number(), None);
+        assert_eq!(PatternLiteral::Int(3).as_str(), None);
+    }
+}

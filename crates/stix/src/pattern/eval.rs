@@ -1,0 +1,410 @@
+//! Evaluation of parsed patterns over timestamped observations.
+
+use cais_common::Timestamp;
+
+use super::ast::{ComparisonExpr, ComparisonOp, ObservationExpr, Qualifier};
+use super::like::{like_match, regex_match};
+use crate::sdo::{CyberObservable, ObservedData};
+
+/// One observation: a set of cyber objects seen at an instant.
+///
+/// Sensors produce one observation per event; [`ObservedData`] converts
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    at: Timestamp,
+    objects: Vec<CyberObservable>,
+}
+
+impl Observation {
+    /// Creates an empty observation at the given instant.
+    pub fn at(at: Timestamp) -> Self {
+        Observation {
+            at,
+            objects: Vec::new(),
+        }
+    }
+
+    /// Adds an observed object, builder-style.
+    pub fn with_object(mut self, object: CyberObservable) -> Self {
+        self.objects.push(object);
+        self
+    }
+
+    /// When the observation occurred.
+    pub fn timestamp(&self) -> Timestamp {
+        self.at
+    }
+
+    /// The observed objects.
+    pub fn objects(&self) -> &[CyberObservable] {
+        &self.objects
+    }
+}
+
+impl From<&ObservedData> for Observation {
+    fn from(od: &ObservedData) -> Self {
+        Observation {
+            at: od.first_observed,
+            objects: od.objects.values().cloned().collect(),
+        }
+    }
+}
+
+/// The result of evaluating a pattern: which observations participated in
+/// the match, if any.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MatchOutcome {
+    matched_indices: Vec<usize>,
+}
+
+impl MatchOutcome {
+    fn no_match() -> Self {
+        MatchOutcome::default()
+    }
+
+    fn of(mut indices: Vec<usize>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        MatchOutcome {
+            matched_indices: indices,
+        }
+    }
+
+    /// Whether the pattern matched.
+    pub fn is_match(&self) -> bool {
+        !self.matched_indices.is_empty()
+    }
+
+    /// Indices (into the evaluated slice) of observations that satisfied
+    /// some leaf of the pattern.
+    pub fn matched_indices(&self) -> &[usize] {
+        &self.matched_indices
+    }
+}
+
+/// Evaluates an observation-expression tree.
+pub(crate) fn evaluate(expr: &ObservationExpr, observations: &[Observation]) -> MatchOutcome {
+    match expr {
+        ObservationExpr::Observation(comp) => {
+            let hits: Vec<usize> = observations
+                .iter()
+                .enumerate()
+                .filter(|(_, obs)| obs.objects.iter().any(|o| comp_matches(comp, o)))
+                .map(|(i, _)| i)
+                .collect();
+            if hits.is_empty() {
+                MatchOutcome::no_match()
+            } else {
+                MatchOutcome::of(hits)
+            }
+        }
+        ObservationExpr::And(left, right) => {
+            let l = evaluate(left, observations);
+            let r = evaluate(right, observations);
+            if l.is_match() && r.is_match() {
+                MatchOutcome::of(
+                    l.matched_indices
+                        .into_iter()
+                        .chain(r.matched_indices)
+                        .collect(),
+                )
+            } else {
+                MatchOutcome::no_match()
+            }
+        }
+        ObservationExpr::Or(left, right) => {
+            let l = evaluate(left, observations);
+            if l.is_match() {
+                return l;
+            }
+            evaluate(right, observations)
+        }
+        ObservationExpr::FollowedBy(left, right) => {
+            let l = evaluate(left, observations);
+            let r = evaluate(right, observations);
+            if !l.is_match() || !r.is_match() {
+                return MatchOutcome::no_match();
+            }
+            // The earliest left match must not be later than the latest
+            // right match.
+            let earliest_left = l
+                .matched_indices
+                .iter()
+                .map(|&i| observations[i].at)
+                .min()
+                .expect("non-empty");
+            let pairable: Vec<usize> = r
+                .matched_indices
+                .iter()
+                .copied()
+                .filter(|&j| observations[j].at >= earliest_left)
+                .collect();
+            if pairable.is_empty() {
+                MatchOutcome::no_match()
+            } else {
+                let left_kept: Vec<usize> = l
+                    .matched_indices
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        pairable
+                            .iter()
+                            .any(|&j| observations[j].at >= observations[i].at)
+                    })
+                    .collect();
+                MatchOutcome::of(left_kept.into_iter().chain(pairable).collect())
+            }
+        }
+        ObservationExpr::Qualified(inner, qualifier) => {
+            let base = evaluate(inner, observations);
+            if !base.is_match() {
+                return MatchOutcome::no_match();
+            }
+            match qualifier {
+                Qualifier::RepeatsTimes(n) => {
+                    if base.matched_indices.len() as u64 >= *n {
+                        base
+                    } else {
+                        MatchOutcome::no_match()
+                    }
+                }
+                Qualifier::StartStop {
+                    start_millis,
+                    stop_millis,
+                } => {
+                    // Re-evaluate the inner expression restricted to the
+                    // absolute window.
+                    let in_window: Vec<usize> = (0..observations.len())
+                        .filter(|&i| {
+                            let t = observations[i].at.unix_millis();
+                            t >= *start_millis && t < *stop_millis
+                        })
+                        .collect();
+                    let subset: Vec<Observation> = in_window
+                        .iter()
+                        .map(|&i| observations[i].clone())
+                        .collect();
+                    let sub = evaluate(inner, &subset);
+                    if sub.is_match() {
+                        MatchOutcome::of(
+                            sub.matched_indices.iter().map(|&j| in_window[j]).collect(),
+                        )
+                    } else {
+                        MatchOutcome::no_match()
+                    }
+                }
+                Qualifier::WithinSeconds(secs) => {
+                    // `(expr) WITHIN d SECONDS` holds when there exists a
+                    // time window of length d such that `expr` matches
+                    // using only the observations inside the window. Each
+                    // matched timestamp is tried as a window start.
+                    let span_millis = (*secs as i64) * 1_000;
+                    let mut starts: Vec<Timestamp> = base
+                        .matched_indices
+                        .iter()
+                        .map(|&i| observations[i].at)
+                        .collect();
+                    starts.sort_unstable();
+                    starts.dedup();
+                    for t0 in starts {
+                        let in_window: Vec<usize> = (0..observations.len())
+                            .filter(|&i| {
+                                let t = observations[i].at;
+                                t >= t0 && t.millis_since(t0) <= span_millis
+                            })
+                            .collect();
+                        let subset: Vec<Observation> = in_window
+                            .iter()
+                            .map(|&i| observations[i].clone())
+                            .collect();
+                        let sub = evaluate(inner, &subset);
+                        if sub.is_match() {
+                            return MatchOutcome::of(
+                                sub.matched_indices.iter().map(|&j| in_window[j]).collect(),
+                            );
+                        }
+                    }
+                    MatchOutcome::no_match()
+                }
+            }
+        }
+    }
+}
+
+fn comp_matches(expr: &ComparisonExpr, object: &CyberObservable) -> bool {
+    match expr {
+        ComparisonExpr::And(parts) => parts.iter().all(|p| comp_matches(p, object)),
+        ComparisonExpr::Or(parts) => parts.iter().any(|p| comp_matches(p, object)),
+        ComparisonExpr::Proposition {
+            object_type,
+            path,
+            op,
+            values,
+            negated,
+        } => {
+            if object.object_type != *object_type {
+                return false;
+            }
+            let actual = object.property(path);
+            let result = match actual {
+                // An absent property satisfies `!=` (the value is
+                // certainly not the literal) and fails everything else.
+                None => *op == ComparisonOp::Ne,
+                Some(actual) => prop_holds(actual, *op, values),
+            };
+            if *negated {
+                // NOT still requires the object type to match; an absent
+                // property satisfies the negation.
+                !result
+            } else {
+                result
+            }
+        }
+    }
+}
+
+fn prop_holds(actual: &str, op: ComparisonOp, values: &[super::ast::PatternLiteral]) -> bool {
+    use super::ast::PatternLiteral;
+    match op {
+        ComparisonOp::Eq | ComparisonOp::Ne => {
+            let eq = values.first().is_some_and(|v| literal_eq(actual, v));
+            if op == ComparisonOp::Eq {
+                eq
+            } else {
+                !eq
+            }
+        }
+        ComparisonOp::Lt | ComparisonOp::Le | ComparisonOp::Gt | ComparisonOp::Ge => {
+            let Some(expected) = values.first().and_then(PatternLiteral::as_number) else {
+                // Ordered comparison against a string literal falls back
+                // to lexicographic ordering.
+                let Some(PatternLiteral::Str(s)) = values.first() else {
+                    return false;
+                };
+                return match op {
+                    ComparisonOp::Lt => actual < s.as_str(),
+                    ComparisonOp::Le => actual <= s.as_str(),
+                    ComparisonOp::Gt => actual > s.as_str(),
+                    ComparisonOp::Ge => actual >= s.as_str(),
+                    _ => unreachable!(),
+                };
+            };
+            let Ok(actual_num) = actual.parse::<f64>() else {
+                return false;
+            };
+            match op {
+                ComparisonOp::Lt => actual_num < expected,
+                ComparisonOp::Le => actual_num <= expected,
+                ComparisonOp::Gt => actual_num > expected,
+                ComparisonOp::Ge => actual_num >= expected,
+                _ => unreachable!(),
+            }
+        }
+        ComparisonOp::In => values.iter().any(|v| literal_eq(actual, v)),
+        ComparisonOp::Like => values
+            .first()
+            .and_then(PatternLiteral::as_str)
+            .is_some_and(|p| like_match(p, actual)),
+        ComparisonOp::Matches => values
+            .first()
+            .and_then(PatternLiteral::as_str)
+            .is_some_and(|p| regex_match(p, actual)),
+    }
+}
+
+fn literal_eq(actual: &str, literal: &super::ast::PatternLiteral) -> bool {
+    use super::ast::PatternLiteral;
+    match literal {
+        PatternLiteral::Str(s) => actual == s,
+        PatternLiteral::Int(i) => actual.parse::<i64>() == Ok(*i),
+        PatternLiteral::Float(f) => actual.parse::<f64>().map(|a| a == *f).unwrap_or(false),
+        PatternLiteral::Bool(b) => actual.parse::<bool>() == Ok(*b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn obs(ty: &str, value: &str, secs: i64) -> Observation {
+        Observation::at(Timestamp::from_unix_secs(secs))
+            .with_object(CyberObservable::new(ty, value))
+    }
+
+    #[test]
+    fn outcome_reports_indices() {
+        let p = Pattern::parse("[ipv4-addr:value = '1.1.1.1']").unwrap();
+        let outcome = p.evaluate(&[
+            obs("ipv4-addr", "9.9.9.9", 0),
+            obs("ipv4-addr", "1.1.1.1", 1),
+            obs("ipv4-addr", "1.1.1.1", 2),
+        ]);
+        assert!(outcome.is_match());
+        assert_eq!(outcome.matched_indices(), &[1, 2]);
+    }
+
+    #[test]
+    fn empty_observations_never_match() {
+        let p = Pattern::parse("[ipv4-addr:value = '1.1.1.1']").unwrap();
+        assert!(!p.matches(&[]));
+        let empty = Observation::at(Timestamp::EPOCH);
+        assert!(!p.matches(&[empty]));
+    }
+
+    #[test]
+    fn negated_missing_property_matches() {
+        // NOT on a property the object lacks: negation holds.
+        let p = Pattern::parse("[ipv4-addr:x_extra != 'v']").unwrap();
+        assert!(p.matches(&[obs("ipv4-addr", "1.1.1.1", 0)]));
+    }
+
+    #[test]
+    fn type_mismatch_defeats_negation() {
+        // NOT propositions still require the object type to match.
+        let p = Pattern::parse("[NOT domain-name:value = 'x']").unwrap();
+        assert!(!p.matches(&[obs("ipv4-addr", "1.1.1.1", 0)]));
+    }
+
+    #[test]
+    fn within_uses_densest_window() {
+        let p = Pattern::parse("[ipv4-addr:value = '1.1.1.1'] REPEATS 3 TIMES WITHIN 10 SECONDS")
+            .unwrap();
+        // Three matches, but only two fall inside any 10-second window.
+        let sparse = [
+            obs("ipv4-addr", "1.1.1.1", 0),
+            obs("ipv4-addr", "1.1.1.1", 8),
+            obs("ipv4-addr", "1.1.1.1", 60),
+        ];
+        assert!(!p.matches(&sparse));
+        let dense = [
+            obs("ipv4-addr", "1.1.1.1", 0),
+            obs("ipv4-addr", "1.1.1.1", 4),
+            obs("ipv4-addr", "1.1.1.1", 8),
+        ];
+        assert!(p.matches(&dense));
+    }
+
+    #[test]
+    fn observed_data_conversion() {
+        let od = ObservedData::builder(Timestamp::EPOCH, Timestamp::EPOCH, 1)
+            .object("0", CyberObservable::new("domain-name", "evil.example"))
+            .build();
+        let observation = Observation::from(&od);
+        assert_eq!(observation.objects().len(), 1);
+        let p = Pattern::parse("[domain-name:value = 'evil.example']").unwrap();
+        assert!(p.matches(&[observation]));
+    }
+
+    #[test]
+    fn lexicographic_string_ordering() {
+        let p = Pattern::parse("[file:name > 'm']").unwrap();
+        let hit = Observation::at(Timestamp::EPOCH)
+            .with_object(CyberObservable::new("file", "x").with_property("name", "zeta.bin"));
+        let miss = Observation::at(Timestamp::EPOCH)
+            .with_object(CyberObservable::new("file", "x").with_property("name", "alpha.bin"));
+        assert!(p.matches(&[hit]));
+        assert!(!p.matches(&[miss]));
+    }
+}

@@ -1,0 +1,302 @@
+//! Tokenizer for the STIX patterning language.
+
+use crate::error::StixError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds of the patterning grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    /// An object path such as `ipv4-addr:value` or `file:hashes.MD5`.
+    ObjectPath {
+        object_type: String,
+        path: String,
+    },
+    /// A bare keyword or identifier (AND, OR, NOT, IN, LIKE, …).
+    Word(String),
+    /// A single-quoted string literal, unescaped.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// Comparison operators.
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn err(offset: usize, message: impl Into<String>) -> StixError {
+    StixError::Pattern {
+        offset,
+        message: message.into(),
+    }
+}
+
+/// Tokenizes pattern source text.
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, StixError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected `!=`"));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Single-quoted string; backslash escapes the next byte,
+                // and `''` is an escaped quote.
+                let mut value = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err(start, "unterminated string literal")),
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                None => return Err(err(start, "unterminated string literal")),
+                                Some(&c) => value.push(char::from(c)),
+                            }
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                value.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            value.push(char::from(c));
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(value), offset: start });
+            }
+            b'0'..=b'9' | b'-' | b'+' => {
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'0'..=b'9' => j += 1,
+                        b'.' if !is_float => {
+                            is_float = true;
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &source[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| err(start, format!("invalid number {text:?}")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| err(start, format!("invalid number {text:?}")))?,
+                    )
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                // Identifier, keyword, or object path (contains `:`).
+                let mut j = i;
+                // Quotes are NOT identifier characters: `t'2018…'` must
+                // lex as the word `t` followed by a string literal.
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || matches!(bytes[j], b'_' | b'-' | b'.'))
+                {
+                    j += 1;
+                }
+                // An object path is  <type> ':' <path>.
+                if j < bytes.len() && bytes[j] == b':' {
+                    let object_type = source[i..j].to_owned();
+                    let mut k = j + 1;
+                    while k < bytes.len()
+                        && (bytes[k].is_ascii_alphanumeric()
+                            || matches!(bytes[k], b'_' | b'-' | b'.' | b'[' | b']' | b'\'' | b'"'))
+                    {
+                        // A `]` only belongs to the path when it closes a
+                        // `[`-index opened inside the path.
+                        if bytes[k] == b']' && !source[j + 1..k].contains('[') {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    let path = source[j + 1..k].to_owned();
+                    if path.is_empty() {
+                        return Err(err(start, "object path missing property after `:`"));
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::ObjectPath { object_type, path },
+                        offset: start,
+                    });
+                    i = k;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Word(source[i..j].to_owned()),
+                        offset: start,
+                    });
+                    i = j;
+                }
+            }
+            _ => return Err(err(start, format!("unexpected character {:?}", char::from(b)))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_simple_comparison() {
+        let toks = lex("[ipv4-addr:value = '1.1.1.1']").unwrap();
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[0].kind, TokenKind::LBracket);
+        assert!(matches!(
+            &toks[1].kind,
+            TokenKind::ObjectPath { object_type, path }
+                if object_type == "ipv4-addr" && path == "value"
+        ));
+        assert_eq!(toks[2].kind, TokenKind::Eq);
+        assert_eq!(toks[3].kind, TokenKind::Str("1.1.1.1".into()));
+        assert_eq!(toks[4].kind, TokenKind::RBracket);
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = lex("= != < <= > >=").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &TokenKind::Eq,
+                &TokenKind::Ne,
+                &TokenKind::Lt,
+                &TokenKind::Le,
+                &TokenKind::Gt,
+                &TokenKind::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        let toks = lex(r"['it\'s'] ['a''b']").unwrap();
+        assert_eq!(toks[1].kind, TokenKind::Str("it's".into()));
+        assert_eq!(toks[4].kind, TokenKind::Str("a'b".into()));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let toks = lex("42 -7 3.25").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Int(42));
+        assert_eq!(toks[1].kind, TokenKind::Int(-7));
+        assert_eq!(toks[2].kind, TokenKind::Float(3.25));
+    }
+
+    #[test]
+    fn lex_hash_path() {
+        let toks = lex("file:hashes.MD5").unwrap();
+        assert!(matches!(
+            &toks[0].kind,
+            TokenKind::ObjectPath { object_type, path }
+                if object_type == "file" && path == "hashes.MD5"
+        ));
+    }
+
+    #[test]
+    fn path_does_not_swallow_closing_bracket() {
+        let toks = lex("[a:b = 1]").unwrap();
+        assert_eq!(toks.last().unwrap().kind, TokenKind::RBracket);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a:").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = lex("[a:b = #]").unwrap_err();
+        match e {
+            StixError::Pattern { offset, .. } => assert_eq!(offset, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

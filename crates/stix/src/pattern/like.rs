@@ -1,0 +1,299 @@
+//! String matching for the `LIKE` and `MATCHES` operators.
+//!
+//! `LIKE` uses SQL wildcards: `%` matches any run of characters
+//! (including none) and `_` matches exactly one character. `MATCHES` uses
+//! a small regular-expression dialect implemented here with
+//! backtracking: literals, `.`, character classes `[a-z]` / `[^…]`,
+//! anchors `^` `$`, grouping-free postfix `*`, `+`, `?`, and `\`
+//! escapes. This covers the patterns that appear in indicator feeds
+//! without pulling in a regex dependency.
+
+/// Returns `true` when `text` matches the SQL-style `LIKE` pattern.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::pattern::like_match;
+///
+/// assert!(like_match("%.evil.example", "c2.evil.example"));
+/// assert!(like_match("mal_are", "malware"));
+/// assert!(!like_match("%.evil.example", "evil.example"));
+/// ```
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    like_rec(&p, &t)
+}
+
+fn like_rec(p: &[char], t: &[char]) -> bool {
+    match p.first() {
+        None => t.is_empty(),
+        Some('%') => {
+            // `%` matches zero or more characters.
+            (0..=t.len()).any(|skip| like_rec(&p[1..], &t[skip..]))
+        }
+        Some('_') => !t.is_empty() && like_rec(&p[1..], &t[1..]),
+        Some('\\') if p.len() >= 2 => {
+            !t.is_empty() && t[0] == p[1] && like_rec(&p[2..], &t[1..])
+        }
+        Some(&c) => !t.is_empty() && t[0] == c && like_rec(&p[1..], &t[1..]),
+    }
+}
+
+/// A compiled element of the mini-regex.
+#[derive(Debug, Clone, PartialEq)]
+enum RegexAtom {
+    Literal(char),
+    AnyChar,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Repeat {
+    One,
+    ZeroOrMore,
+    OneOrMore,
+    ZeroOrOne,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct RegexElem {
+    atom: RegexAtom,
+    repeat: Repeat,
+}
+
+fn atom_matches(atom: &RegexAtom, c: char) -> bool {
+    match atom {
+        RegexAtom::Literal(l) => c == *l,
+        RegexAtom::AnyChar => true,
+        RegexAtom::Class { negated, ranges } => {
+            let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+            inside != *negated
+        }
+    }
+}
+
+fn compile(pattern: &str) -> Option<(bool, bool, Vec<RegexElem>)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let anchored_start = chars.first() == Some(&'^');
+    if anchored_start {
+        i += 1;
+    }
+    let anchored_end = chars.last() == Some(&'$') && chars.len() > i;
+    let end = if anchored_end { chars.len() - 1 } else { chars.len() };
+    let mut elems = Vec::new();
+    while i < end {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                RegexAtom::AnyChar
+            }
+            '\\' => {
+                if i + 1 >= end {
+                    return None;
+                }
+                let c = chars[i + 1];
+                i += 2;
+                match c {
+                    'd' => RegexAtom::Class { negated: false, ranges: vec![('0', '9')] },
+                    'w' => RegexAtom::Class {
+                        negated: false,
+                        ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                    },
+                    's' => RegexAtom::Class {
+                        negated: false,
+                        ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                    },
+                    other => RegexAtom::Literal(other),
+                }
+            }
+            '[' => {
+                let mut j = i + 1;
+                let negated = chars.get(j) == Some(&'^');
+                if negated {
+                    j += 1;
+                }
+                let mut ranges = Vec::new();
+                while j < end && chars[j] != ']' {
+                    let lo = chars[j];
+                    if chars.get(j + 1) == Some(&'-') && j + 2 < end && chars[j + 2] != ']' {
+                        ranges.push((lo, chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        j += 1;
+                    }
+                }
+                if j >= end || ranges.is_empty() {
+                    return None; // unterminated or empty class
+                }
+                i = j + 1;
+                RegexAtom::Class { negated, ranges }
+            }
+            '*' | '+' | '?' => return None, // repeat without atom
+            c => {
+                i += 1;
+                RegexAtom::Literal(c)
+            }
+        };
+        let repeat = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                Repeat::ZeroOrMore
+            }
+            Some('+') => {
+                i += 1;
+                Repeat::OneOrMore
+            }
+            Some('?') => {
+                i += 1;
+                Repeat::ZeroOrOne
+            }
+            _ => Repeat::One,
+        };
+        elems.push(RegexElem { atom, repeat });
+    }
+    Some((anchored_start, anchored_end, elems))
+}
+
+fn regex_rec(elems: &[RegexElem], t: &[char], anchored_end: bool) -> bool {
+    match elems.first() {
+        None => !anchored_end || t.is_empty(),
+        Some(elem) => match elem.repeat {
+            Repeat::One => {
+                !t.is_empty()
+                    && atom_matches(&elem.atom, t[0])
+                    && regex_rec(&elems[1..], &t[1..], anchored_end)
+            }
+            Repeat::ZeroOrOne => {
+                regex_rec(&elems[1..], t, anchored_end)
+                    || (!t.is_empty()
+                        && atom_matches(&elem.atom, t[0])
+                        && regex_rec(&elems[1..], &t[1..], anchored_end))
+            }
+            Repeat::ZeroOrMore => {
+                let mut k = 0;
+                loop {
+                    if regex_rec(&elems[1..], &t[k..], anchored_end) {
+                        return true;
+                    }
+                    if k < t.len() && atom_matches(&elem.atom, t[k]) {
+                        k += 1;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+            Repeat::OneOrMore => {
+                let mut k = 0;
+                while k < t.len() && atom_matches(&elem.atom, t[k]) {
+                    k += 1;
+                    if regex_rec(&elems[1..], &t[k..], anchored_end) {
+                        return true;
+                    }
+                }
+                false
+            }
+        },
+    }
+}
+
+/// Returns `true` when `text` matches the mini-regex `pattern`
+/// (unanchored unless `^`/`$` are present). Returns `false` for patterns
+/// outside the supported dialect.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::pattern::regex_match;
+///
+/// assert!(regex_match("^c[0-9]+\\.evil", "c2.evil.example"));
+/// assert!(regex_match("evil", "c2.evil.example")); // unanchored
+/// assert!(!regex_match("^evil", "c2.evil.example"));
+/// ```
+pub fn regex_match(pattern: &str, text: &str) -> bool {
+    let Some((anchored_start, anchored_end, elems)) = compile(pattern) else {
+        return false;
+    };
+    let t: Vec<char> = text.chars().collect();
+    if anchored_start {
+        regex_rec(&elems, &t, anchored_end)
+    } else {
+        (0..=t.len()).any(|start| regex_rec(&elems, &t[start..], anchored_end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("a%c", "abbbbc"));
+        assert!(like_match("a%c", "ac"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "ac"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+        assert!(!like_match("", "x"));
+    }
+
+    #[test]
+    fn like_escapes() {
+        assert!(like_match(r"100\%", "100%"));
+        assert!(!like_match(r"100\%", "100x"));
+    }
+
+    #[test]
+    fn regex_literals_and_dot() {
+        assert!(regex_match("^a.c$", "abc"));
+        assert!(!regex_match("^a.c$", "abcd"));
+        assert!(regex_match("b", "abc"));
+    }
+
+    #[test]
+    fn regex_classes() {
+        assert!(regex_match("^[0-9]+$", "12345"));
+        assert!(!regex_match("^[0-9]+$", "12a45"));
+        assert!(regex_match("^[^0-9]+$", "abc"));
+        assert!(regex_match("^[a-f0-9]+$", "deadbeef"));
+    }
+
+    #[test]
+    fn regex_repeats() {
+        assert!(regex_match("^ab*c$", "ac"));
+        assert!(regex_match("^ab*c$", "abbbc"));
+        assert!(regex_match("^ab+c$", "abc"));
+        assert!(!regex_match("^ab+c$", "ac"));
+        assert!(regex_match("^ab?c$", "ac"));
+        assert!(regex_match("^ab?c$", "abc"));
+        assert!(!regex_match("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn regex_escape_sequences() {
+        assert!(regex_match(r"^\d+\.\d+$", "192.168"));
+        assert!(regex_match(r"^\w+$", "file_name1"));
+        assert!(!regex_match(r"^\w+$", "two words"));
+        assert!(regex_match(r"^\s$", " "));
+    }
+
+    #[test]
+    fn regex_invalid_patterns_do_not_match() {
+        assert!(!regex_match("*abc", "abc"));
+        assert!(!regex_match("[abc", "abc"));
+        assert!(!regex_match("a\\", "a"));
+    }
+
+    #[test]
+    fn regex_c2_domain_pattern() {
+        let p = r"^c\d+\.evil\.example$";
+        assert!(regex_match(p, "c2.evil.example"));
+        assert!(regex_match(p, "c17.evil.example"));
+        assert!(!regex_match(p, "cx.evil.example"));
+        assert!(!regex_match(p, "c2.evil.exampleX"));
+    }
+}

@@ -1,0 +1,341 @@
+//! The STIX patterning language.
+//!
+//! Indicators carry detection logic as *patterns*, e.g.:
+//!
+//! ```text
+//! [ipv4-addr:value = '203.0.113.9'] AND [domain-name:value LIKE '%.evil.example']
+//! ```
+//!
+//! This module implements a lexer, recursive-descent parser and evaluator
+//! for the STIX 2.0 patterning grammar: comparison expressions (`=`,
+//! `!=`, `<`, `<=`, `>`, `>=`, `IN`, `LIKE`, `MATCHES`, with `AND`/`OR`
+//! and `NOT`), observation expressions combined with `AND`, `OR` and
+//! `FOLLOWEDBY`, and the `WITHIN … SECONDS` and `REPEATS … TIMES`
+//! qualifiers.
+//!
+//! Evaluation runs over a sequence of timestamped [`Observation`]s (for
+//! example, one per sensor event) and reports whether — and where — the
+//! pattern matched.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_stix::pattern::{Observation, Pattern};
+//! use cais_stix::sdo::CyberObservable;
+//! use cais_common::Timestamp;
+//!
+//! let pattern = Pattern::parse("[ipv4-addr:value = '203.0.113.9']")?;
+//! let obs = Observation::at(Timestamp::EPOCH)
+//!     .with_object(CyberObservable::new("ipv4-addr", "203.0.113.9"));
+//! assert!(pattern.matches(&[obs]));
+//! # Ok::<(), cais_stix::StixError>(())
+//! ```
+
+mod ast;
+mod eval;
+mod lexer;
+mod like;
+mod parser;
+
+pub use ast::{ComparisonExpr, ComparisonOp, ObservationExpr, PatternLiteral, Qualifier};
+pub use eval::{MatchOutcome, Observation};
+pub use like::{like_match, regex_match};
+
+use crate::error::StixError;
+
+/// A parsed, executable STIX pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    source: String,
+    root: ObservationExpr,
+}
+
+impl Pattern {
+    /// Parses STIX patterning source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StixError::Pattern`] with the byte offset of the first
+    /// syntax error.
+    pub fn parse(source: &str) -> Result<Self, StixError> {
+        let tokens = lexer::lex(source)?;
+        let root = parser::parse(&tokens, source)?;
+        Ok(Pattern {
+            source: source.to_owned(),
+            root,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed observation-expression tree.
+    pub fn root(&self) -> &ObservationExpr {
+        &self.root
+    }
+
+    /// Evaluates the pattern against a sequence of observations,
+    /// returning the full outcome (matched observation indices and span).
+    pub fn evaluate(&self, observations: &[Observation]) -> MatchOutcome {
+        eval::evaluate(&self.root, observations)
+    }
+
+    /// Convenience: whether the pattern matches the observations.
+    pub fn matches(&self, observations: &[Observation]) -> bool {
+        self.evaluate(observations).is_match()
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdo::CyberObservable;
+    use cais_common::Timestamp;
+
+    fn obs(ty: &str, value: &str, secs: i64) -> Observation {
+        Observation::at(Timestamp::from_unix_secs(secs))
+            .with_object(CyberObservable::new(ty, value))
+    }
+
+    #[test]
+    fn single_comparison() {
+        let p = Pattern::parse("[domain-name:value = 'evil.example']").unwrap();
+        assert!(p.matches(&[obs("domain-name", "evil.example", 0)]));
+        assert!(!p.matches(&[obs("domain-name", "good.example", 0)]));
+        assert!(!p.matches(&[obs("ipv4-addr", "evil.example", 0)]));
+    }
+
+    #[test]
+    fn comparison_and_or() {
+        let p = Pattern::parse(
+            "[ipv4-addr:value = '1.1.1.1' OR ipv4-addr:value = '2.2.2.2']",
+        )
+        .unwrap();
+        assert!(p.matches(&[obs("ipv4-addr", "2.2.2.2", 0)]));
+        assert!(!p.matches(&[obs("ipv4-addr", "3.3.3.3", 0)]));
+    }
+
+    #[test]
+    fn same_object_semantics_for_and() {
+        // Both propositions must hold on the same observable object.
+        let p = Pattern::parse(
+            "[network-traffic:src_port = '80' AND network-traffic:dst_port = '443']",
+        )
+        .unwrap();
+        let both = Observation::at(Timestamp::EPOCH).with_object(
+            CyberObservable::new("network-traffic", "flow")
+                .with_property("src_port", "80")
+                .with_property("dst_port", "443"),
+        );
+        let split = Observation::at(Timestamp::EPOCH)
+            .with_object(
+                CyberObservable::new("network-traffic", "a").with_property("src_port", "80"),
+            )
+            .with_object(
+                CyberObservable::new("network-traffic", "b").with_property("dst_port", "443"),
+            );
+        assert!(p.matches(&[both]));
+        assert!(!p.matches(&[split]));
+    }
+
+    #[test]
+    fn observation_and_needs_both() {
+        let p = Pattern::parse(
+            "[ipv4-addr:value = '1.1.1.1'] AND [domain-name:value = 'evil.example']",
+        )
+        .unwrap();
+        assert!(p.matches(&[
+            obs("ipv4-addr", "1.1.1.1", 0),
+            obs("domain-name", "evil.example", 5),
+        ]));
+        assert!(!p.matches(&[obs("ipv4-addr", "1.1.1.1", 0)]));
+    }
+
+    #[test]
+    fn followedby_enforces_order() {
+        let p = Pattern::parse(
+            "[ipv4-addr:value = '1.1.1.1'] FOLLOWEDBY [domain-name:value = 'evil.example']",
+        )
+        .unwrap();
+        assert!(p.matches(&[
+            obs("ipv4-addr", "1.1.1.1", 0),
+            obs("domain-name", "evil.example", 10),
+        ]));
+        assert!(!p.matches(&[
+            obs("ipv4-addr", "1.1.1.1", 10),
+            obs("domain-name", "evil.example", 0),
+        ]));
+    }
+
+    #[test]
+    fn within_qualifier() {
+        let p = Pattern::parse(
+            "([ipv4-addr:value = '1.1.1.1'] AND [domain-name:value = 'evil.example']) WITHIN 60 SECONDS",
+        )
+        .unwrap();
+        assert!(p.matches(&[
+            obs("ipv4-addr", "1.1.1.1", 0),
+            obs("domain-name", "evil.example", 30),
+        ]));
+        assert!(!p.matches(&[
+            obs("ipv4-addr", "1.1.1.1", 0),
+            obs("domain-name", "evil.example", 300),
+        ]));
+    }
+
+    #[test]
+    fn repeats_qualifier() {
+        let p = Pattern::parse("[ipv4-addr:value = '1.1.1.1'] REPEATS 3 TIMES").unwrap();
+        let hits: Vec<Observation> = (0..3).map(|i| obs("ipv4-addr", "1.1.1.1", i)).collect();
+        assert!(p.matches(&hits));
+        assert!(!p.matches(&hits[..2]));
+    }
+
+    #[test]
+    fn in_and_like_and_not() {
+        let p = Pattern::parse("[ipv4-addr:value IN ('1.1.1.1', '2.2.2.2')]").unwrap();
+        assert!(p.matches(&[obs("ipv4-addr", "2.2.2.2", 0)]));
+
+        let p = Pattern::parse("[domain-name:value LIKE '%.evil.example']").unwrap();
+        assert!(p.matches(&[obs("domain-name", "c2.evil.example", 0)]));
+        assert!(!p.matches(&[obs("domain-name", "evil.example", 0)]));
+
+        let p = Pattern::parse("[NOT domain-name:value = 'good.example']").unwrap();
+        assert!(p.matches(&[obs("domain-name", "evil.example", 0)]));
+        assert!(!p.matches(&[obs("domain-name", "good.example", 0)]));
+    }
+
+    #[test]
+    fn matches_operator_uses_regex() {
+        let p = Pattern::parse("[domain-name:value MATCHES '^c[0-9]+\\\\.evil\\\\.example$']")
+            .unwrap();
+        assert!(p.matches(&[obs("domain-name", "c2.evil.example", 0)]));
+        assert!(!p.matches(&[obs("domain-name", "cx.evil.example", 0)]));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let p = Pattern::parse("[network-traffic:dst_port > 1024]").unwrap();
+        let hit = Observation::at(Timestamp::EPOCH).with_object(
+            CyberObservable::new("network-traffic", "t").with_property("dst_port", "4444"),
+        );
+        let miss = Observation::at(Timestamp::EPOCH).with_object(
+            CyberObservable::new("network-traffic", "t").with_property("dst_port", "80"),
+        );
+        assert!(p.matches(&[hit]));
+        assert!(!p.matches(&[miss]));
+    }
+
+    #[test]
+    fn file_hash_paths() {
+        let p = Pattern::parse(
+            "[file:hashes.MD5 = 'd41d8cd98f00b204e9800998ecf8427e']",
+        )
+        .unwrap();
+        let hit = Observation::at(Timestamp::EPOCH).with_object(
+            CyberObservable::new("file", "x")
+                .with_property("hashes.MD5", "d41d8cd98f00b204e9800998ecf8427e"),
+        );
+        assert!(p.matches(&[hit]));
+    }
+
+    #[test]
+    fn syntax_errors_report_offset() {
+        for bad in [
+            "",
+            "[",
+            "[]",
+            "[ipv4-addr:value]",
+            "[ipv4-addr:value = ]",
+            "[ipv4-addr:value = '1.1.1.1'",
+            "[ipv4-addr:value = '1.1.1.1'] AND",
+            "[x:y = 'v'] WITHIN SECONDS",
+            "[x:y = 'v'] REPEATS 0 TIMES",
+            "[x:y ~ 'v']",
+        ] {
+            let err = Pattern::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, StixError::Pattern { .. }),
+                "expected pattern error for {bad:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_preserves_source() {
+        let src = "[ipv4-addr:value = '203.0.113.9']";
+        assert_eq!(Pattern::parse(src).unwrap().to_string(), src);
+    }
+}
+
+#[cfg(test)]
+mod start_stop_tests {
+    use super::*;
+    use crate::sdo::CyberObservable;
+    use cais_common::Timestamp;
+
+    fn obs(value: &str, iso: &str) -> Observation {
+        Observation::at(Timestamp::parse_rfc3339(iso).unwrap())
+            .with_object(CyberObservable::new("ipv4-addr", value))
+    }
+
+    #[test]
+    fn start_stop_limits_the_window() {
+        let p = Pattern::parse(
+            "[ipv4-addr:value = '203.0.113.9'] \
+             START t'2018-01-01T00:00:00Z' STOP t'2018-02-01T00:00:00Z'",
+        )
+        .unwrap();
+        assert!(p.matches(&[obs("203.0.113.9", "2018-01-15T00:00:00Z")]));
+        assert!(!p.matches(&[obs("203.0.113.9", "2018-03-01T00:00:00Z")]));
+        assert!(!p.matches(&[obs("203.0.113.9", "2017-12-31T23:59:59Z")]));
+        // Stop is exclusive.
+        assert!(!p.matches(&[obs("203.0.113.9", "2018-02-01T00:00:00Z")]));
+    }
+
+    #[test]
+    fn start_stop_accepts_bare_strings() {
+        let p = Pattern::parse(
+            "[ipv4-addr:value = '1.1.1.1'] START '2018-01-01' STOP '2018-01-02'",
+        )
+        .unwrap();
+        assert!(p.matches(&[obs("1.1.1.1", "2018-01-01T12:00:00Z")]));
+    }
+
+    #[test]
+    fn start_stop_rejects_inverted_window() {
+        assert!(Pattern::parse(
+            "[a:b = 1] START t'2018-02-01T00:00:00Z' STOP t'2018-01-01T00:00:00Z'",
+        )
+        .is_err());
+        assert!(Pattern::parse("[a:b = 1] START 'not a date' STOP 'also not'").is_err());
+        assert!(Pattern::parse("[a:b = 1] START t'2018-01-01T00:00:00Z'").is_err());
+    }
+
+    #[test]
+    fn start_stop_composes_with_repeats() {
+        let p = Pattern::parse(
+            "[ipv4-addr:value = '1.1.1.1'] REPEATS 2 TIMES \
+             START t'2018-01-01T00:00:00Z' STOP t'2018-01-02T00:00:00Z'",
+        )
+        .unwrap();
+        // Two hits inside the window: match.
+        assert!(p.matches(&[
+            obs("1.1.1.1", "2018-01-01T01:00:00Z"),
+            obs("1.1.1.1", "2018-01-01T02:00:00Z"),
+        ]));
+        // One inside, one outside: no match.
+        assert!(!p.matches(&[
+            obs("1.1.1.1", "2018-01-01T01:00:00Z"),
+            obs("1.1.1.1", "2018-01-03T02:00:00Z"),
+        ]));
+    }
+}

@@ -1,0 +1,430 @@
+//! Recursive-descent parser for the STIX patterning grammar.
+//!
+//! ```text
+//! pattern         := obs_or EOF
+//! obs_or          := obs_and ( 'OR' obs_and )*
+//! obs_and         := obs_followed ( 'AND' obs_followed )*
+//! obs_followed    := obs_unit ( 'FOLLOWEDBY' obs_unit )*
+//! obs_unit        := ( '[' comp_or ']' | '(' obs_or ')' ) qualifier*
+//! qualifier       := 'WITHIN' int 'SECONDS' | 'REPEATS' int 'TIMES'
+//!                  | 'START' t_string 'STOP' t_string
+//! comp_or         := comp_and ( 'OR' comp_and )*
+//! comp_and        := proposition ( 'AND' proposition )*
+//! proposition     := 'NOT'? ( '(' comp_or ')' | object_path comp_rhs )
+//! comp_rhs        := op literal | 'NOT'? 'IN' '(' literal (',' literal)* ')'
+//!                  | 'NOT'? 'LIKE' string | 'NOT'? 'MATCHES' string
+//! ```
+
+use super::ast::{ComparisonExpr, ComparisonOp, ObservationExpr, PatternLiteral, Qualifier};
+use super::lexer::{Token, TokenKind};
+use crate::error::StixError;
+
+pub(crate) fn parse(tokens: &[Token], source: &str) -> Result<ObservationExpr, StixError> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        source_len: source.len(),
+    };
+    let expr = p.obs_or()?;
+    if p.pos != tokens.len() {
+        return Err(p.error_here("unexpected trailing tokens"));
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    source_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.source_len, |t| t.offset)
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> StixError {
+        StixError::Pattern {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if let Some(TokenKind::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(word) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), StixError> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{word}`")))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), StixError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {what}")))
+        }
+    }
+
+    // ---- observation level ----
+
+    fn obs_or(&mut self) -> Result<ObservationExpr, StixError> {
+        let mut left = self.obs_and()?;
+        while self.eat_word("OR") {
+            let right = self.obs_and()?;
+            left = ObservationExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn obs_and(&mut self) -> Result<ObservationExpr, StixError> {
+        let mut left = self.obs_followed()?;
+        while self.eat_word("AND") {
+            let right = self.obs_followed()?;
+            left = ObservationExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn obs_followed(&mut self) -> Result<ObservationExpr, StixError> {
+        let mut left = self.obs_unit()?;
+        while self.eat_word("FOLLOWEDBY") {
+            let right = self.obs_unit()?;
+            left = ObservationExpr::FollowedBy(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn obs_unit(&mut self) -> Result<ObservationExpr, StixError> {
+        let mut expr = if self.eat(&TokenKind::LBracket) {
+            let comp = self.comp_or()?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            ObservationExpr::Observation(comp)
+        } else if self.eat(&TokenKind::LParen) {
+            let inner = self.obs_or()?;
+            self.expect(TokenKind::RParen, "`)`")?;
+            inner
+        } else {
+            return Err(self.error_here("expected `[` or `(`"));
+        };
+        loop {
+            if self.eat_word("WITHIN") {
+                let n = self.expect_positive_int("WITHIN duration")?;
+                self.expect_word("SECONDS")?;
+                expr = ObservationExpr::Qualified(Box::new(expr), Qualifier::WithinSeconds(n));
+            } else if self.eat_word("REPEATS") {
+                let n = self.expect_positive_int("REPEATS count")?;
+                self.expect_word("TIMES")?;
+                expr = ObservationExpr::Qualified(Box::new(expr), Qualifier::RepeatsTimes(n));
+            } else if self.eat_word("START") {
+                let start_millis = self.expect_timestamp("START instant")?;
+                self.expect_word("STOP")?;
+                let stop_millis = self.expect_timestamp("STOP instant")?;
+                if stop_millis <= start_millis {
+                    return Err(self.error_here("STOP must be later than START"));
+                }
+                expr = ObservationExpr::Qualified(
+                    Box::new(expr),
+                    Qualifier::StartStop {
+                        start_millis,
+                        stop_millis,
+                    },
+                );
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    /// Parses a `t'…'` timestamp literal (the `t` prefix is optional
+    /// here; STIX writes `START t'2018-01-01T00:00:00Z'`).
+    fn expect_timestamp(&mut self, what: &str) -> Result<i64, StixError> {
+        // Accept either  Word("t") + Str  — the lexer splits `t'…'`
+        // into an identifier and a string — or a bare string literal.
+        if let Some(TokenKind::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case("t") {
+                self.pos += 1;
+            }
+        }
+        match self.peek() {
+            Some(TokenKind::Str(s)) => {
+                let parsed = cais_common::Timestamp::parse_rfc3339(s)
+                    .map_err(|e| self.error_here(format!("invalid {what}: {e}")))?;
+                self.pos += 1;
+                Ok(parsed.unix_millis())
+            }
+            _ => Err(self.error_here(format!("expected timestamp string for {what}"))),
+        }
+    }
+
+    fn expect_positive_int(&mut self, what: &str) -> Result<u64, StixError> {
+        match self.peek() {
+            Some(&TokenKind::Int(n)) if n > 0 => {
+                self.pos += 1;
+                Ok(n as u64)
+            }
+            _ => Err(self.error_here(format!("expected positive integer for {what}"))),
+        }
+    }
+
+    // ---- comparison level ----
+
+    fn comp_or(&mut self) -> Result<ComparisonExpr, StixError> {
+        let mut parts = vec![self.comp_and()?];
+        while self.eat_word("OR") {
+            parts.push(self.comp_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            ComparisonExpr::Or(parts)
+        })
+    }
+
+    fn comp_and(&mut self) -> Result<ComparisonExpr, StixError> {
+        let mut parts = vec![self.proposition()?];
+        while self.eat_word("AND") {
+            parts.push(self.proposition()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            ComparisonExpr::And(parts)
+        })
+    }
+
+    fn proposition(&mut self) -> Result<ComparisonExpr, StixError> {
+        let negated = self.eat_word("NOT");
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.comp_or()?;
+            self.expect(TokenKind::RParen, "`)`")?;
+            return Ok(if negated { negate(inner) } else { inner });
+        }
+        let (object_type, path) = match self.bump() {
+            Some(TokenKind::ObjectPath { object_type, path }) => {
+                (object_type.clone(), path.clone())
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_here("expected object path like `ipv4-addr:value`"));
+            }
+        };
+        let rhs_negated = self.eat_word("NOT");
+        let op = if self.eat(&TokenKind::Eq) {
+            ComparisonOp::Eq
+        } else if self.eat(&TokenKind::Ne) {
+            ComparisonOp::Ne
+        } else if self.eat(&TokenKind::Lt) {
+            ComparisonOp::Lt
+        } else if self.eat(&TokenKind::Le) {
+            ComparisonOp::Le
+        } else if self.eat(&TokenKind::Gt) {
+            ComparisonOp::Gt
+        } else if self.eat(&TokenKind::Ge) {
+            ComparisonOp::Ge
+        } else if self.eat_word("IN") {
+            ComparisonOp::In
+        } else if self.eat_word("LIKE") {
+            ComparisonOp::Like
+        } else if self.eat_word("MATCHES") {
+            ComparisonOp::Matches
+        } else {
+            return Err(self.error_here("expected comparison operator"));
+        };
+        if rhs_negated && !matches!(op, ComparisonOp::In | ComparisonOp::Like | ComparisonOp::Matches)
+        {
+            return Err(self.error_here("`NOT` is only allowed before IN/LIKE/MATCHES here"));
+        }
+        let values = match op {
+            ComparisonOp::In => {
+                self.expect(TokenKind::LParen, "`(` after IN")?;
+                let mut values = vec![self.literal()?];
+                while self.eat(&TokenKind::Comma) {
+                    values.push(self.literal()?);
+                }
+                self.expect(TokenKind::RParen, "`)` closing IN set")?;
+                values
+            }
+            ComparisonOp::Like | ComparisonOp::Matches => {
+                let lit = self.literal()?;
+                if lit.as_str().is_none() {
+                    return Err(self.error_here("LIKE/MATCHES require a string literal"));
+                }
+                vec![lit]
+            }
+            _ => vec![self.literal()?],
+        };
+        Ok(ComparisonExpr::Proposition {
+            object_type,
+            path,
+            op,
+            values,
+            negated: negated || rhs_negated,
+        })
+    }
+
+    fn literal(&mut self) -> Result<PatternLiteral, StixError> {
+        let lit = match self.peek() {
+            Some(TokenKind::Str(s)) => PatternLiteral::Str(s.clone()),
+            Some(&TokenKind::Int(n)) => PatternLiteral::Int(n),
+            Some(&TokenKind::Float(f)) => PatternLiteral::Float(f),
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("true") => {
+                PatternLiteral::Bool(true)
+            }
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("false") => {
+                PatternLiteral::Bool(false)
+            }
+            _ => return Err(self.error_here("expected literal value")),
+        };
+        self.pos += 1;
+        Ok(lit)
+    }
+}
+
+/// Applies De Morgan-free negation by flipping the `negated` flag on
+/// every proposition and swapping And/Or.
+fn negate(expr: ComparisonExpr) -> ComparisonExpr {
+    match expr {
+        ComparisonExpr::Proposition {
+            object_type,
+            path,
+            op,
+            values,
+            negated,
+        } => ComparisonExpr::Proposition {
+            object_type,
+            path,
+            op,
+            values,
+            negated: !negated,
+        },
+        ComparisonExpr::And(parts) => {
+            ComparisonExpr::Or(parts.into_iter().map(negate).collect())
+        }
+        ComparisonExpr::Or(parts) => {
+            ComparisonExpr::And(parts.into_iter().map(negate).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn parse_src(src: &str) -> Result<ObservationExpr, StixError> {
+        parse(&lex(src).unwrap(), src)
+    }
+
+    #[test]
+    fn parses_nested_observation_logic() {
+        let expr = parse_src(
+            "([a:x = 1] OR [b:y = 2]) AND [c:z = 3] FOLLOWEDBY [d:w = 4]",
+        )
+        .unwrap();
+        // AND binds looser than FOLLOWEDBY, tighter than OR.
+        match expr {
+            ObservationExpr::And(left, right) => {
+                assert!(matches!(*left, ObservationExpr::Or(..)));
+                assert!(matches!(*right, ObservationExpr::FollowedBy(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stacked_qualifiers() {
+        let expr = parse_src("[a:x = 1] REPEATS 2 TIMES WITHIN 60 SECONDS").unwrap();
+        match expr {
+            ObservationExpr::Qualified(inner, Qualifier::WithinSeconds(60)) => {
+                assert!(matches!(
+                    *inner,
+                    ObservationExpr::Qualified(_, Qualifier::RepeatsTimes(2))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_group_applies_de_morgan() {
+        let expr = parse_src("[NOT (a:x = 1 AND a:y = 2)]").unwrap();
+        let ObservationExpr::Observation(comp) = expr else {
+            panic!("expected observation");
+        };
+        match comp {
+            ComparisonExpr::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                for p in parts {
+                    assert!(matches!(
+                        p,
+                        ComparisonExpr::Proposition { negated: true, .. }
+                    ));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in_parses() {
+        let expr = parse_src("[a:x NOT IN ('1', '2')]").unwrap();
+        let ObservationExpr::Observation(ComparisonExpr::Proposition { op, negated, values, .. }) =
+            expr
+        else {
+            panic!("expected proposition");
+        };
+        assert_eq!(op, ComparisonOp::In);
+        assert!(negated);
+        assert_eq!(values.len(), 2);
+    }
+
+    #[test]
+    fn rejects_not_before_equality() {
+        assert!(parse_src("[a:x NOT = 1]").is_err());
+    }
+
+    #[test]
+    fn rejects_non_string_like() {
+        assert!(parse_src("[a:x LIKE 5]").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_repeats() {
+        assert!(parse_src("[a:x = 1] REPEATS 0 TIMES").is_err());
+    }
+}

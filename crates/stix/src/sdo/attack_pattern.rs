@@ -1,0 +1,154 @@
+//! The `attack-pattern` SDO: tactics, techniques and procedures used to
+//! compromise targets.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{CommonProperties, KillChainPhase};
+use crate::id::StixId;
+
+/// A type of tactic, technique or procedure describing how threat actors
+/// attempt to compromise targets.
+///
+/// The paper's attack-pattern heuristic additionally scores an
+/// `attack_type` and the `detection_tool` that observed it; both are
+/// carried as `x_cais_*` custom properties.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let ap = AttackPattern::builder("spearphishing attachment")
+///     .attack_type("initial-access")
+///     .detection_tool("suricata")
+///     .kill_chain_phase(KillChainPhase::lockheed_martin("delivery"))
+///     .build();
+/// assert_eq!(ap.name, "spearphishing attachment");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackPattern {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the attack pattern.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Kill-chain phases this pattern belongs to.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub kill_chain_phases: Vec<KillChainPhase>,
+    /// Category of attack (paper feature `attack_type`).
+    #[serde(rename = "x_cais_attack_type", skip_serializing_if = "Option::is_none")]
+    pub attack_type: Option<String>,
+    /// Tool that detected the activity (paper feature `detection_tool`).
+    #[serde(rename = "x_cais_detection_tool", skip_serializing_if = "Option::is_none")]
+    pub detection_tool: Option<String>,
+}
+
+impl AttackPattern {
+    /// Starts building an attack pattern with the given name.
+    pub fn builder(name: impl Into<String>) -> AttackPatternBuilder {
+        AttackPatternBuilder {
+            common: CommonProperties::new("attack-pattern", Timestamp::now()),
+            name: name.into(),
+            description: None,
+            kill_chain_phases: Vec::new(),
+            attack_type: None,
+            detection_tool: None,
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`AttackPattern`].
+#[derive(Debug, Clone)]
+pub struct AttackPatternBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+    kill_chain_phases: Vec<KillChainPhase>,
+    attack_type: Option<String>,
+    detection_tool: Option<String>,
+}
+
+super::impl_common_builder!(AttackPatternBuilder);
+
+impl AttackPatternBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Adds a kill-chain phase.
+    pub fn kill_chain_phase(&mut self, phase: KillChainPhase) -> &mut Self {
+        self.kill_chain_phases.push(phase);
+        self
+    }
+
+    /// Sets the attack type (paper feature `attack_type`).
+    pub fn attack_type(&mut self, attack_type: impl Into<String>) -> &mut Self {
+        self.attack_type = Some(attack_type.into());
+        self
+    }
+
+    /// Sets the detecting tool (paper feature `detection_tool`).
+    pub fn detection_tool(&mut self, tool: impl Into<String>) -> &mut Self {
+        self.detection_tool = Some(tool.into());
+        self
+    }
+
+    /// Builds the attack pattern.
+    pub fn build(&self) -> AttackPattern {
+        AttackPattern {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            kill_chain_phases: self.kill_chain_phases.clone(),
+            attack_type: self.attack_type.clone(),
+            detection_tool: self.detection_tool.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custom_properties_have_x_prefix() {
+        let ap = AttackPattern::builder("sql injection")
+            .attack_type("web")
+            .detection_tool("snort")
+            .build();
+        let json = serde_json::to_value(&ap).unwrap();
+        assert_eq!(json["x_cais_attack_type"], "web");
+        assert_eq!(json["x_cais_detection_tool"], "snort");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ap = AttackPattern::builder("drive-by compromise")
+            .description("watering hole")
+            .kill_chain_phase(KillChainPhase::lockheed_martin("exploitation"))
+            .build();
+        let json = serde_json::to_string(&ap).unwrap();
+        let back: AttackPattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ap);
+    }
+}

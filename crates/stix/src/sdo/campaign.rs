@@ -1,0 +1,152 @@
+//! The `campaign` SDO: a grouping of adversarial behavior over time.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// A grouping of adversarial behaviors describing a set of malicious
+/// activities that occur over a period of time against a specific set of
+/// targets.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let c = Campaign::builder("operation struts-storm")
+///     .objective("credential theft")
+///     .alias("struts-storm")
+///     .build();
+/// assert_eq!(c.aliases, vec!["struts-storm"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the campaign.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Alternative names.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub aliases: Vec<String>,
+    /// When activity was first seen.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub first_seen: Option<Timestamp>,
+    /// When activity was last seen.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub last_seen: Option<Timestamp>,
+    /// The campaign's primary goal.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub objective: Option<String>,
+}
+
+impl Campaign {
+    /// Starts building a campaign with the given name.
+    pub fn builder(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder {
+            common: CommonProperties::new("campaign", Timestamp::now()),
+            name: name.into(),
+            description: None,
+            aliases: Vec::new(),
+            first_seen: None,
+            last_seen: None,
+            objective: None,
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`Campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+    aliases: Vec<String>,
+    first_seen: Option<Timestamp>,
+    last_seen: Option<Timestamp>,
+    objective: Option<String>,
+}
+
+super::impl_common_builder!(CampaignBuilder);
+
+impl CampaignBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Adds an alias.
+    pub fn alias(&mut self, alias: impl Into<String>) -> &mut Self {
+        self.aliases.push(alias.into());
+        self
+    }
+
+    /// Sets when activity was first seen.
+    pub fn first_seen(&mut self, first_seen: Timestamp) -> &mut Self {
+        self.first_seen = Some(first_seen);
+        self
+    }
+
+    /// Sets when activity was last seen.
+    pub fn last_seen(&mut self, last_seen: Timestamp) -> &mut Self {
+        self.last_seen = Some(last_seen);
+        self
+    }
+
+    /// Sets the campaign objective.
+    pub fn objective(&mut self, objective: impl Into<String>) -> &mut Self {
+        self.objective = Some(objective.into());
+        self
+    }
+
+    /// Builds the campaign.
+    pub fn build(&self) -> Campaign {
+        Campaign {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            aliases: self.aliases.clone(),
+            first_seen: self.first_seen,
+            last_seen: self.last_seen,
+            objective: self.objective.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let ts = Timestamp::from_ymd_hms(2019, 1, 1, 0, 0, 0);
+        let c = Campaign::builder("op-x")
+            .first_seen(ts)
+            .last_seen(ts.add_days(30))
+            .objective("espionage")
+            .build();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Campaign = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

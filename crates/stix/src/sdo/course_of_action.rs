@@ -1,0 +1,100 @@
+//! The `course-of-action` SDO: an action taken to prevent or respond to
+//! an attack.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// A recommendation or action to take in response to an attack, such as
+/// applying a patch or reconfiguring a firewall.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let coa = CourseOfAction::builder("upgrade struts")
+///     .description("Upgrade Apache Struts to 2.5.13")
+///     .build();
+/// assert_eq!(coa.name, "upgrade struts");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CourseOfAction {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the course of action.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+}
+
+impl CourseOfAction {
+    /// Starts building a course of action with the given name.
+    pub fn builder(name: impl Into<String>) -> CourseOfActionBuilder {
+        CourseOfActionBuilder {
+            common: CommonProperties::new("course-of-action", Timestamp::now()),
+            name: name.into(),
+            description: None,
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`CourseOfAction`].
+#[derive(Debug, Clone)]
+pub struct CourseOfActionBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+}
+
+super::impl_common_builder!(CourseOfActionBuilder);
+
+impl CourseOfActionBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Builds the course of action.
+    pub fn build(&self) -> CourseOfAction {
+        CourseOfAction {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let coa = CourseOfAction::builder("block c2")
+            .description("null-route 203.0.113.9")
+            .build();
+        let json = serde_json::to_string(&coa).unwrap();
+        let back: CourseOfAction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, coa);
+    }
+}

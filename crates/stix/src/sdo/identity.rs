@@ -1,0 +1,168 @@
+//! The `identity` SDO: individuals, organizations or groups.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// An individual, organization or group (or a class of them) involved in
+/// a security event.
+///
+/// The paper's identity heuristic also scores a `location` feature,
+/// carried as an `x_cais_location` custom property.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let org = Identity::builder("ACME Corp")
+///     .identity_class("organization")
+///     .sector("financial-services")
+///     .location("ES")
+///     .build();
+/// assert_eq!(org.identity_class.as_deref(), Some("organization"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Identity {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the identity.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// The kind of entity (see [`crate::vocab::identity_class`]).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub identity_class: Option<String>,
+    /// Industry sectors the identity belongs to.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub sectors: Vec<String>,
+    /// Contact information.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub contact_information: Option<String>,
+    /// Geographic location (paper feature `location`).
+    #[serde(rename = "x_cais_location", skip_serializing_if = "Option::is_none")]
+    pub location: Option<String>,
+}
+
+impl Identity {
+    /// Starts building an identity with the given name.
+    pub fn builder(name: impl Into<String>) -> IdentityBuilder {
+        IdentityBuilder {
+            common: CommonProperties::new("identity", Timestamp::now()),
+            name: name.into(),
+            description: None,
+            identity_class: None,
+            sectors: Vec::new(),
+            contact_information: None,
+            location: None,
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`Identity`].
+#[derive(Debug, Clone)]
+pub struct IdentityBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+    identity_class: Option<String>,
+    sectors: Vec<String>,
+    contact_information: Option<String>,
+    location: Option<String>,
+}
+
+super::impl_common_builder!(IdentityBuilder);
+
+impl IdentityBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Sets the identity class.
+    pub fn identity_class(&mut self, class: impl Into<String>) -> &mut Self {
+        self.identity_class = Some(class.into());
+        self
+    }
+
+    /// Adds an industry sector.
+    pub fn sector(&mut self, sector: impl Into<String>) -> &mut Self {
+        self.sectors.push(sector.into());
+        self
+    }
+
+    /// Sets contact information.
+    pub fn contact_information(&mut self, info: impl Into<String>) -> &mut Self {
+        self.contact_information = Some(info.into());
+        self
+    }
+
+    /// Sets the geographic location (paper feature `location`).
+    pub fn location(&mut self, location: impl Into<String>) -> &mut Self {
+        self.location = Some(location.into());
+        self
+    }
+
+    /// Builds the identity.
+    pub fn build(&self) -> Identity {
+        Identity {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            identity_class: self.identity_class.clone(),
+            sectors: self.sectors.clone(),
+            contact_information: self.contact_information.clone(),
+            location: self.location.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn vocabulary_alignment() {
+        let id = Identity::builder("LASIGE")
+            .identity_class("organization")
+            .sector("education")
+            .build();
+        assert!(vocab::identity_class::contains(
+            id.identity_class.as_deref().unwrap()
+        ));
+        assert!(vocab::industry_sector::contains(&id.sectors[0]));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let id = Identity::builder("Atos Research")
+            .identity_class("organization")
+            .location("ES")
+            .contact_information("security@atos.example")
+            .build();
+        let json = serde_json::to_string(&id).unwrap();
+        let back: Identity = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+        assert!(json.contains("x_cais_location"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The `indicator` SDO: a detection pattern for suspicious or malicious
+//! activity.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{CommonProperties, KillChainPhase};
+use crate::id::StixId;
+use crate::pattern::Pattern;
+
+/// A pattern used to detect suspicious or malicious cyber activity.
+///
+/// `pattern` and `valid_from` are required by STIX 2.0; the pattern is
+/// stored as source text and can be compiled on demand with
+/// [`Indicator::compiled_pattern`].
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+/// use cais_common::Timestamp;
+///
+/// let ind = Indicator::builder(
+///     "[ipv4-addr:value = '203.0.113.9']",
+///     Timestamp::EPOCH,
+/// )
+/// .name("struts-c2")
+/// .label("malicious-activity")
+/// .build();
+/// assert!(ind.compiled_pattern().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Indicator {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Optional display name.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub name: Option<String>,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// The STIX patterning expression, as source text.
+    pub pattern: String,
+    /// When the indicator becomes valid.
+    pub valid_from: Timestamp,
+    /// When the indicator stops being valid, if bounded.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub valid_until: Option<Timestamp>,
+    /// Kill-chain phases this indicator detects.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub kill_chain_phases: Vec<KillChainPhase>,
+}
+
+impl Indicator {
+    /// Starts building an indicator from its two required properties.
+    pub fn builder(pattern: impl Into<String>, valid_from: Timestamp) -> IndicatorBuilder {
+        IndicatorBuilder {
+            common: CommonProperties::new("indicator", Timestamp::now()),
+            name: None,
+            description: None,
+            pattern: pattern.into(),
+            valid_from,
+            valid_until: None,
+            kill_chain_phases: Vec::new(),
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+
+    /// Parses the pattern text into an executable [`Pattern`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StixError::Pattern`] when the pattern text is not
+    /// valid STIX patterning syntax.
+    pub fn compiled_pattern(&self) -> Result<Pattern, crate::StixError> {
+        Pattern::parse(&self.pattern)
+    }
+
+    /// Whether the indicator is valid at the given instant.
+    pub fn is_valid_at(&self, at: Timestamp) -> bool {
+        at >= self.valid_from && self.valid_until.is_none_or(|until| at < until)
+    }
+}
+
+/// Builder for [`Indicator`].
+#[derive(Debug, Clone)]
+pub struct IndicatorBuilder {
+    common: CommonProperties,
+    name: Option<String>,
+    description: Option<String>,
+    pattern: String,
+    valid_from: Timestamp,
+    valid_until: Option<Timestamp>,
+    kill_chain_phases: Vec<KillChainPhase>,
+}
+
+super::impl_common_builder!(IndicatorBuilder);
+
+impl IndicatorBuilder {
+    /// Sets the display name.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Sets the end of the validity window.
+    pub fn valid_until(&mut self, until: Timestamp) -> &mut Self {
+        self.valid_until = Some(until);
+        self
+    }
+
+    /// Adds a kill-chain phase.
+    pub fn kill_chain_phase(&mut self, phase: KillChainPhase) -> &mut Self {
+        self.kill_chain_phases.push(phase);
+        self
+    }
+
+    /// Builds the indicator.
+    pub fn build(&self) -> Indicator {
+        Indicator {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            pattern: self.pattern.clone(),
+            valid_from: self.valid_from,
+            valid_until: self.valid_until,
+            kill_chain_phases: self.kill_chain_phases.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_window() {
+        let from = Timestamp::from_ymd_hms(2017, 9, 13, 0, 0, 0);
+        let until = from.add_days(30);
+        let ind = Indicator::builder("[domain-name:value = 'evil.example']", from)
+            .valid_until(until)
+            .build();
+        assert!(!ind.is_valid_at(from.add_days(-1)));
+        assert!(ind.is_valid_at(from));
+        assert!(ind.is_valid_at(from.add_days(29)));
+        assert!(!ind.is_valid_at(until));
+    }
+
+    #[test]
+    fn unbounded_validity() {
+        let from = Timestamp::EPOCH;
+        let ind = Indicator::builder("[url:value = 'http://x.example/a']", from).build();
+        assert!(ind.is_valid_at(from.add_days(10_000)));
+    }
+
+    #[test]
+    fn compiled_pattern_catches_syntax_errors() {
+        let ind = Indicator::builder("[[broken", Timestamp::EPOCH).build();
+        assert!(ind.compiled_pattern().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_with_kill_chain() {
+        let ind = Indicator::builder("[ipv4-addr:value = '203.0.113.9']", Timestamp::EPOCH)
+            .name("c2-beacon")
+            .kill_chain_phase(KillChainPhase::lockheed_martin("command-and-control"))
+            .build();
+        let json = serde_json::to_string(&ind).unwrap();
+        let back: Indicator = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ind);
+    }
+}

@@ -1,0 +1,190 @@
+//! The `intrusion-set` SDO: a grouped set of adversarial behaviors and
+//! resources with common properties.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// A grouped set of adversarial behaviors and resources believed to be
+/// orchestrated by a single organization.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let is = IntrusionSet::builder("APT-00")
+///     .goal("exfiltrate intellectual property")
+///     .resource_level("organization")
+///     .primary_motivation("organizational-gain")
+///     .build();
+/// assert_eq!(is.goals.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntrusionSet {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the intrusion set.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Alternative names.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub aliases: Vec<String>,
+    /// When activity was first seen.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub first_seen: Option<Timestamp>,
+    /// When activity was last seen.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub last_seen: Option<Timestamp>,
+    /// High-level goals.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub goals: Vec<String>,
+    /// Organizational level of resources (`individual`, `club`, `team`,
+    /// `organization`, `government`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub resource_level: Option<String>,
+    /// Primary motivation (see [`crate::vocab::attack_motivation`]).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub primary_motivation: Option<String>,
+    /// Secondary motivations.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub secondary_motivations: Vec<String>,
+}
+
+impl IntrusionSet {
+    /// Starts building an intrusion set with the given name.
+    pub fn builder(name: impl Into<String>) -> IntrusionSetBuilder {
+        IntrusionSetBuilder {
+            common: CommonProperties::new("intrusion-set", Timestamp::now()),
+            name: name.into(),
+            description: None,
+            aliases: Vec::new(),
+            first_seen: None,
+            last_seen: None,
+            goals: Vec::new(),
+            resource_level: None,
+            primary_motivation: None,
+            secondary_motivations: Vec::new(),
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`IntrusionSet`].
+#[derive(Debug, Clone)]
+pub struct IntrusionSetBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+    aliases: Vec<String>,
+    first_seen: Option<Timestamp>,
+    last_seen: Option<Timestamp>,
+    goals: Vec<String>,
+    resource_level: Option<String>,
+    primary_motivation: Option<String>,
+    secondary_motivations: Vec<String>,
+}
+
+super::impl_common_builder!(IntrusionSetBuilder);
+
+impl IntrusionSetBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Adds an alias.
+    pub fn alias(&mut self, alias: impl Into<String>) -> &mut Self {
+        self.aliases.push(alias.into());
+        self
+    }
+
+    /// Sets when activity was first seen.
+    pub fn first_seen(&mut self, first_seen: Timestamp) -> &mut Self {
+        self.first_seen = Some(first_seen);
+        self
+    }
+
+    /// Sets when activity was last seen.
+    pub fn last_seen(&mut self, last_seen: Timestamp) -> &mut Self {
+        self.last_seen = Some(last_seen);
+        self
+    }
+
+    /// Adds a goal.
+    pub fn goal(&mut self, goal: impl Into<String>) -> &mut Self {
+        self.goals.push(goal.into());
+        self
+    }
+
+    /// Sets the resource level.
+    pub fn resource_level(&mut self, level: impl Into<String>) -> &mut Self {
+        self.resource_level = Some(level.into());
+        self
+    }
+
+    /// Sets the primary motivation.
+    pub fn primary_motivation(&mut self, motivation: impl Into<String>) -> &mut Self {
+        self.primary_motivation = Some(motivation.into());
+        self
+    }
+
+    /// Adds a secondary motivation.
+    pub fn secondary_motivation(&mut self, motivation: impl Into<String>) -> &mut Self {
+        self.secondary_motivations.push(motivation.into());
+        self
+    }
+
+    /// Builds the intrusion set.
+    pub fn build(&self) -> IntrusionSet {
+        IntrusionSet {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            aliases: self.aliases.clone(),
+            first_seen: self.first_seen,
+            last_seen: self.last_seen,
+            goals: self.goals.clone(),
+            resource_level: self.resource_level.clone(),
+            primary_motivation: self.primary_motivation.clone(),
+            secondary_motivations: self.secondary_motivations.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let is = IntrusionSet::builder("APT-00")
+            .alias("zero-squad")
+            .goal("espionage")
+            .primary_motivation("organizational-gain")
+            .secondary_motivation("dominance")
+            .build();
+        let json = serde_json::to_string(&is).unwrap();
+        let back: IntrusionSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, is);
+    }
+}

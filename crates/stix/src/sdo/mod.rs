@@ -1,0 +1,170 @@
+//! The twelve STIX 2.0 Domain Objects.
+//!
+//! Each SDO is a plain data struct whose JSON form matches the STIX 2.0
+//! specification (`type`, `id`, `created`, `modified`, plus type-specific
+//! properties), constructed through a non-consuming builder.
+//!
+//! The paper's heuristic features that have no STIX 2.0 native property
+//! (for example a vulnerability's affected operating systems, or the
+//! OSINT source of any object) are carried as `x_cais_*` custom
+//! properties, exactly as Section III-C of the paper describes MISP's
+//! extensible export doing.
+
+mod attack_pattern;
+mod campaign;
+mod course_of_action;
+mod identity;
+mod indicator;
+mod intrusion_set;
+mod malware;
+mod observed_data;
+mod report;
+mod threat_actor;
+mod tool;
+mod vulnerability;
+
+pub use attack_pattern::{AttackPattern, AttackPatternBuilder};
+pub use campaign::{Campaign, CampaignBuilder};
+pub use course_of_action::{CourseOfAction, CourseOfActionBuilder};
+pub use identity::{Identity, IdentityBuilder};
+pub use indicator::{Indicator, IndicatorBuilder};
+pub use intrusion_set::{IntrusionSet, IntrusionSetBuilder};
+pub use malware::{Malware, MalwareBuilder};
+pub use observed_data::{CyberObservable, ObservedData, ObservedDataBuilder};
+pub use report::{Report, ReportBuilder};
+pub use threat_actor::{ThreatActor, ThreatActorBuilder};
+pub use tool::{Tool, ToolBuilder};
+pub use vulnerability::{Vulnerability, VulnerabilityBuilder};
+
+/// Implements the builder methods for properties common to every SDO.
+///
+/// Every SDO builder holds a `common: crate::common::CommonProperties`
+/// field; this macro adds the shared fluent setters to the builder.
+macro_rules! impl_common_builder {
+    ($builder:ident) => {
+        impl $builder {
+            /// Sets the object identifier (replacing the generated one).
+            pub fn id(&mut self, id: crate::id::StixId) -> &mut Self {
+                self.common.id = id;
+                self
+            }
+
+            /// Sets the `created` timestamp.
+            pub fn created(&mut self, created: cais_common::Timestamp) -> &mut Self {
+                self.common.created = created;
+                self
+            }
+
+            /// Sets the `modified` timestamp.
+            pub fn modified(&mut self, modified: cais_common::Timestamp) -> &mut Self {
+                self.common.modified = modified;
+                self
+            }
+
+            /// Sets the creator identity reference.
+            pub fn created_by(&mut self, created_by: crate::id::StixId) -> &mut Self {
+                self.common.created_by_ref = Some(created_by);
+                self
+            }
+
+            /// Appends an open-vocabulary label.
+            pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+                self.common.labels.push(label.into());
+                self
+            }
+
+            /// Appends an external reference.
+            pub fn external_reference(
+                &mut self,
+                reference: crate::common::ExternalReference,
+            ) -> &mut Self {
+                self.common.external_references.push(reference);
+                self
+            }
+
+            /// Sets the confidence (0–100).
+            pub fn confidence(&mut self, confidence: u8) -> &mut Self {
+                self.common.confidence = Some(confidence.min(100));
+                self
+            }
+
+            /// Records the OSINT feed this object came from
+            /// (`x_cais_osint_source`).
+            pub fn osint_source(&mut self, source: impl Into<String>) -> &mut Self {
+                self.common.osint_source = Some(source.into());
+                self
+            }
+
+            /// Records the source kind (`x_cais_source_type`), for example
+            /// `osint` or `infrastructure`.
+            pub fn source_type(&mut self, source_type: impl Into<String>) -> &mut Self {
+                self.common.source_type = Some(source_type.into());
+                self
+            }
+        }
+    };
+}
+
+pub(crate) use impl_common_builder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExternalReference;
+    use cais_common::Timestamp;
+
+    #[test]
+    fn builders_share_common_setters() {
+        let ts = Timestamp::from_ymd_hms(2017, 9, 13, 0, 0, 0);
+        let v = Vulnerability::builder("CVE-2017-9805")
+            .created(ts)
+            .modified(ts)
+            .confidence(250) // clamped to 100
+            .osint_source("nvd-feed")
+            .source_type("osint")
+            .external_reference(ExternalReference::cve("CVE-2017-9805"))
+            .build();
+        assert_eq!(v.common().created, ts);
+        assert_eq!(v.common().confidence, Some(100));
+        assert_eq!(v.common().osint_source.as_deref(), Some("nvd-feed"));
+        assert_eq!(v.common().known_reference_count(), 1);
+    }
+
+    #[test]
+    fn every_sdo_has_correct_type_prefix() {
+        let ts = Timestamp::EPOCH;
+        assert_eq!(
+            AttackPattern::builder("spearphishing").created(ts).build().id().object_type(),
+            "attack-pattern"
+        );
+        assert_eq!(Campaign::builder("op-x").build().id().object_type(), "campaign");
+        assert_eq!(
+            CourseOfAction::builder("patch").build().id().object_type(),
+            "course-of-action"
+        );
+        assert_eq!(Identity::builder("ACME").build().id().object_type(), "identity");
+        assert_eq!(
+            Indicator::builder("[ipv4-addr:value = '1.2.3.4']", ts).build().id().object_type(),
+            "indicator"
+        );
+        assert_eq!(
+            IntrusionSet::builder("APT-00").build().id().object_type(),
+            "intrusion-set"
+        );
+        assert_eq!(Malware::builder("wannacry").build().id().object_type(), "malware");
+        assert_eq!(
+            ObservedData::builder(ts, ts, 1).build().id().object_type(),
+            "observed-data"
+        );
+        assert_eq!(Report::builder("weekly", ts).build().id().object_type(), "report");
+        assert_eq!(
+            ThreatActor::builder("evil-corp").build().id().object_type(),
+            "threat-actor"
+        );
+        assert_eq!(Tool::builder("nmap").build().id().object_type(), "tool");
+        assert_eq!(
+            Vulnerability::builder("CVE-2017-9805").build().id().object_type(),
+            "vulnerability"
+        );
+    }
+}

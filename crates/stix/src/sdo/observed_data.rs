@@ -1,0 +1,223 @@
+//! The `observed-data` SDO: raw observations of cyber entities.
+
+use std::collections::BTreeMap;
+
+use cais_common::{Observable, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// A single cyber-observable object within an observation: an object type
+/// (for example `ipv4-addr`) plus its properties.
+///
+/// STIX 2.0 cyber observables are a large specification of their own;
+/// this implementation models the subset the patterning evaluator and the
+/// platform need — a type, a primary `value`, and arbitrary extra
+/// string properties (used for `file:hashes.*` style paths).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CyberObservable {
+    /// The observable object type, such as `ipv4-addr` or `domain-name`.
+    #[serde(rename = "type")]
+    pub object_type: String,
+    /// The primary value, when the type has one.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub value: Option<String>,
+    /// Additional properties (property path → value).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty", flatten)]
+    pub properties: BTreeMap<String, String>,
+}
+
+impl CyberObservable {
+    /// Creates an observable with a primary value.
+    pub fn new(object_type: impl Into<String>, value: impl Into<String>) -> Self {
+        CyberObservable {
+            object_type: object_type.into(),
+            value: Some(value.into()),
+            properties: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an extra property, builder-style.
+    pub fn with_property(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.properties.insert(key.into(), value.into());
+        self
+    }
+
+    /// Looks up a property by STIX object-path segment (`value` resolves
+    /// to the primary value; anything else resolves to
+    /// [`CyberObservable::properties`]).
+    pub fn property(&self, path: &str) -> Option<&str> {
+        if path == "value" {
+            self.value.as_deref()
+        } else {
+            self.properties.get(path).map(String::as_str)
+        }
+    }
+}
+
+impl From<&Observable> for CyberObservable {
+    fn from(obs: &Observable) -> Self {
+        use cais_common::ObservableKind;
+        match obs.kind() {
+            ObservableKind::Md5 => CyberObservable {
+                object_type: "file".into(),
+                value: None,
+                properties: BTreeMap::from([("hashes.MD5".to_owned(), obs.value().to_owned())]),
+            },
+            ObservableKind::Sha1 => CyberObservable {
+                object_type: "file".into(),
+                value: None,
+                properties: BTreeMap::from([("hashes.SHA-1".to_owned(), obs.value().to_owned())]),
+            },
+            ObservableKind::Sha256 => CyberObservable {
+                object_type: "file".into(),
+                value: None,
+                properties: BTreeMap::from([("hashes.SHA-256".to_owned(), obs.value().to_owned())]),
+            },
+            kind => CyberObservable::new(kind.stix_object_type(), obs.value()),
+        }
+    }
+}
+
+/// Raw information observed on systems and networks (connections, files,
+/// addresses) over a window of time.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+/// use cais_stix::sdo::CyberObservable;
+/// use cais_common::Timestamp;
+///
+/// let t = Timestamp::EPOCH;
+/// let od = ObservedData::builder(t, t.add_millis(60_000), 3)
+///     .object("0", CyberObservable::new("ipv4-addr", "203.0.113.9"))
+///     .build();
+/// assert_eq!(od.number_observed, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedData {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Start of the observation window.
+    pub first_observed: Timestamp,
+    /// End of the observation window.
+    pub last_observed: Timestamp,
+    /// How many times the observation occurred (at least 1).
+    pub number_observed: u32,
+    /// The observed cyber objects, keyed by local identifier.
+    pub objects: BTreeMap<String, CyberObservable>,
+}
+
+impl ObservedData {
+    /// Starts building observed data for a window seen `number_observed`
+    /// times.
+    pub fn builder(
+        first_observed: Timestamp,
+        last_observed: Timestamp,
+        number_observed: u32,
+    ) -> ObservedDataBuilder {
+        ObservedDataBuilder {
+            common: CommonProperties::new("observed-data", Timestamp::now()),
+            first_observed,
+            last_observed,
+            number_observed: number_observed.max(1),
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`ObservedData`].
+#[derive(Debug, Clone)]
+pub struct ObservedDataBuilder {
+    common: CommonProperties,
+    first_observed: Timestamp,
+    last_observed: Timestamp,
+    number_observed: u32,
+    objects: BTreeMap<String, CyberObservable>,
+}
+
+super::impl_common_builder!(ObservedDataBuilder);
+
+impl ObservedDataBuilder {
+    /// Adds an observed object under a local key (conventionally `"0"`,
+    /// `"1"`, …).
+    pub fn object(&mut self, key: impl Into<String>, object: CyberObservable) -> &mut Self {
+        self.objects.insert(key.into(), object);
+        self
+    }
+
+    /// Builds the observed-data object.
+    pub fn build(&self) -> ObservedData {
+        ObservedData {
+            common: self.common.clone(),
+            first_observed: self.first_observed,
+            last_observed: self.last_observed,
+            number_observed: self.number_observed,
+            objects: self.objects.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_common::ObservableKind;
+
+    #[test]
+    fn number_observed_is_at_least_one() {
+        let od = ObservedData::builder(Timestamp::EPOCH, Timestamp::EPOCH, 0).build();
+        assert_eq!(od.number_observed, 1);
+    }
+
+    #[test]
+    fn observable_conversion_maps_hashes_to_file() {
+        let obs = Observable::new(ObservableKind::Md5, "d41d8cd98f00b204e9800998ecf8427e");
+        let co = CyberObservable::from(&obs);
+        assert_eq!(co.object_type, "file");
+        assert_eq!(
+            co.property("hashes.MD5"),
+            Some("d41d8cd98f00b204e9800998ecf8427e")
+        );
+    }
+
+    #[test]
+    fn observable_conversion_maps_network_types() {
+        let obs = Observable::new(ObservableKind::Ipv4, "203.0.113.9");
+        let co = CyberObservable::from(&obs);
+        assert_eq!(co.object_type, "ipv4-addr");
+        assert_eq!(co.property("value"), Some("203.0.113.9"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Timestamp::EPOCH;
+        let od = ObservedData::builder(t, t.add_millis(1), 2)
+            .object("0", CyberObservable::new("domain-name", "evil.example"))
+            .object(
+                "1",
+                CyberObservable::new("ipv4-addr", "203.0.113.9")
+                    .with_property("resolves_to", "evil.example"),
+            )
+            .build();
+        let json = serde_json::to_string(&od).unwrap();
+        let back: ObservedData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, od);
+    }
+}

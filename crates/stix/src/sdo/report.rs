@@ -1,0 +1,122 @@
+//! The `report` SDO: a collection of threat intelligence focused on one
+//! or more topics.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// A collection of threat intelligence focused on one or more topics,
+/// referencing the STIX objects it covers.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+/// use cais_common::Timestamp;
+///
+/// let vuln = Vulnerability::builder("CVE-2017-9805").build();
+/// let report = Report::builder("struts advisory", Timestamp::EPOCH)
+///     .label("vulnerability")
+///     .object_ref(vuln.id().clone())
+///     .build();
+/// assert_eq!(report.object_refs.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the report.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// When the report was published.
+    pub published: Timestamp,
+    /// The STIX objects this report covers.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub object_refs: Vec<StixId>,
+}
+
+impl Report {
+    /// Starts building a report published at the given instant.
+    pub fn builder(name: impl Into<String>, published: Timestamp) -> ReportBuilder {
+        ReportBuilder {
+            common: CommonProperties::new("report", Timestamp::now()),
+            name: name.into(),
+            description: None,
+            published,
+            object_refs: Vec::new(),
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`Report`].
+#[derive(Debug, Clone)]
+pub struct ReportBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+    published: Timestamp,
+    object_refs: Vec<StixId>,
+}
+
+super::impl_common_builder!(ReportBuilder);
+
+impl ReportBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Adds a covered object reference.
+    pub fn object_ref(&mut self, id: StixId) -> &mut Self {
+        self.object_refs.push(id);
+        self
+    }
+
+    /// Builds the report.
+    pub fn build(&self) -> Report {
+        Report {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            published: self.published,
+            object_refs: self.object_refs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let r = Report::builder("weekly digest", Timestamp::EPOCH)
+            .label("threat-report")
+            .object_ref(StixId::generate("malware"))
+            .object_ref(StixId::generate("indicator"))
+            .build();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,178 @@
+//! The `threat-actor` SDO: individuals or groups operating with malicious
+//! intent.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// An individual or group believed to be operating with malicious intent.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let actor = ThreatActor::builder("evil-corp")
+///     .label("crime-syndicate")
+///     .sophistication("advanced")
+///     .primary_motivation("personal-gain")
+///     .build();
+/// assert_eq!(actor.name, "evil-corp");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreatActor {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the threat actor.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Alternative names.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub aliases: Vec<String>,
+    /// Roles the actor plays (`agent`, `director`, `sponsor`, …).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub roles: Vec<String>,
+    /// High-level goals.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub goals: Vec<String>,
+    /// Skill level (`none` … `strategic`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub sophistication: Option<String>,
+    /// Organizational level of resources.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub resource_level: Option<String>,
+    /// Primary motivation (see [`crate::vocab::attack_motivation`]).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub primary_motivation: Option<String>,
+}
+
+impl ThreatActor {
+    /// Starts building a threat actor with the given name.
+    pub fn builder(name: impl Into<String>) -> ThreatActorBuilder {
+        ThreatActorBuilder {
+            common: CommonProperties::new("threat-actor", Timestamp::now()),
+            name: name.into(),
+            description: None,
+            aliases: Vec::new(),
+            roles: Vec::new(),
+            goals: Vec::new(),
+            sophistication: None,
+            resource_level: None,
+            primary_motivation: None,
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// Builder for [`ThreatActor`].
+#[derive(Debug, Clone)]
+pub struct ThreatActorBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+    aliases: Vec<String>,
+    roles: Vec<String>,
+    goals: Vec<String>,
+    sophistication: Option<String>,
+    resource_level: Option<String>,
+    primary_motivation: Option<String>,
+}
+
+super::impl_common_builder!(ThreatActorBuilder);
+
+impl ThreatActorBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Adds an alias.
+    pub fn alias(&mut self, alias: impl Into<String>) -> &mut Self {
+        self.aliases.push(alias.into());
+        self
+    }
+
+    /// Adds a role.
+    pub fn role(&mut self, role: impl Into<String>) -> &mut Self {
+        self.roles.push(role.into());
+        self
+    }
+
+    /// Adds a goal.
+    pub fn goal(&mut self, goal: impl Into<String>) -> &mut Self {
+        self.goals.push(goal.into());
+        self
+    }
+
+    /// Sets the sophistication level.
+    pub fn sophistication(&mut self, level: impl Into<String>) -> &mut Self {
+        self.sophistication = Some(level.into());
+        self
+    }
+
+    /// Sets the resource level.
+    pub fn resource_level(&mut self, level: impl Into<String>) -> &mut Self {
+        self.resource_level = Some(level.into());
+        self
+    }
+
+    /// Sets the primary motivation.
+    pub fn primary_motivation(&mut self, motivation: impl Into<String>) -> &mut Self {
+        self.primary_motivation = Some(motivation.into());
+        self
+    }
+
+    /// Builds the threat actor.
+    pub fn build(&self) -> ThreatActor {
+        ThreatActor {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            aliases: self.aliases.clone(),
+            roles: self.roles.clone(),
+            goals: self.goals.clone(),
+            sophistication: self.sophistication.clone(),
+            resource_level: self.resource_level.clone(),
+            primary_motivation: self.primary_motivation.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let actor = ThreatActor::builder("evil-corp")
+            .label("criminal")
+            .alias("ec")
+            .role("director")
+            .goal("financial gain")
+            .sophistication("advanced")
+            .primary_motivation("personal-gain")
+            .build();
+        let json = serde_json::to_string(&actor).unwrap();
+        let back: ThreatActor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, actor);
+    }
+}

@@ -1,0 +1,141 @@
+//! The `tool` SDO: legitimate software usable by threat actors.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{CommonProperties, KillChainPhase};
+use crate::id::StixId;
+
+/// Legitimate software that can be used by threat actors to perform
+/// attacks (for example a port scanner or a remote-administration tool).
+///
+/// The tool type lives in `labels`, per STIX 2.0 convention (paper
+/// feature `tool_type`).
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let tool = Tool::builder("nmap")
+///     .label("vulnerability-scanning")
+///     .tool_version("7.95")
+///     .build();
+/// assert_eq!(tool.tool_type(), Some("vulnerability-scanning"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tool {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// Name of the tool.
+    pub name: String,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Kill-chain phases the tool is used in.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub kill_chain_phases: Vec<KillChainPhase>,
+    /// Version of the tool.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub tool_version: Option<String>,
+}
+
+impl Tool {
+    /// Starts building a tool with the given name.
+    pub fn builder(name: impl Into<String>) -> ToolBuilder {
+        ToolBuilder {
+            common: CommonProperties::new("tool", Timestamp::now()),
+            name: name.into(),
+            description: None,
+            kill_chain_phases: Vec::new(),
+            tool_version: None,
+        }
+    }
+
+    /// The shared SDO properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared SDO properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+
+    /// The tool type: the first label (paper feature `tool_type`).
+    pub fn tool_type(&self) -> Option<&str> {
+        self.common.labels.first().map(String::as_str)
+    }
+}
+
+/// Builder for [`Tool`].
+#[derive(Debug, Clone)]
+pub struct ToolBuilder {
+    common: CommonProperties,
+    name: String,
+    description: Option<String>,
+    kill_chain_phases: Vec<KillChainPhase>,
+    tool_version: Option<String>,
+}
+
+super::impl_common_builder!(ToolBuilder);
+
+impl ToolBuilder {
+    /// Sets the description.
+    pub fn description(&mut self, description: impl Into<String>) -> &mut Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Adds a kill-chain phase.
+    pub fn kill_chain_phase(&mut self, phase: KillChainPhase) -> &mut Self {
+        self.kill_chain_phases.push(phase);
+        self
+    }
+
+    /// Sets the tool version.
+    pub fn tool_version(&mut self, version: impl Into<String>) -> &mut Self {
+        self.tool_version = Some(version.into());
+        self
+    }
+
+    /// Builds the tool.
+    pub fn build(&self) -> Tool {
+        Tool {
+            common: self.common.clone(),
+            name: self.name.clone(),
+            description: self.description.clone(),
+            kill_chain_phases: self.kill_chain_phases.clone(),
+            tool_version: self.tool_version.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tool_type_from_labels() {
+        let t = Tool::builder("mimikatz").label("credential-exploitation").build();
+        assert_eq!(t.tool_type(), Some("credential-exploitation"));
+        assert_eq!(Tool::builder("unknown").build().tool_type(), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Tool::builder("nmap")
+            .label("vulnerability-scanning")
+            .tool_version("7.95")
+            .description("network mapper")
+            .build();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tool = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,249 @@
+//! STIX Relationship Objects: `relationship` and `sighting`.
+
+use cais_common::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::common::CommonProperties;
+use crate::id::StixId;
+
+/// The standard relationship types defined by STIX 2.0, plus an escape
+/// hatch for custom types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum RelationshipType {
+    /// Source targets the destination (e.g. malware targets identity).
+    Targets,
+    /// Source uses the destination (e.g. campaign uses tool).
+    Uses,
+    /// Source indicates the destination (e.g. indicator indicates malware).
+    Indicates,
+    /// Source mitigates the destination (course-of-action mitigates
+    /// vulnerability).
+    Mitigates,
+    /// Source is attributed to the destination.
+    AttributedTo,
+    /// Source is a variant of the destination.
+    VariantOf,
+    /// Source impersonates the destination.
+    Impersonates,
+    /// Source is derived from the destination.
+    DerivedFrom,
+    /// Source duplicates the destination.
+    DuplicateOf,
+    /// Source is related to the destination (generic).
+    RelatedTo,
+    /// A non-standard relationship type.
+    #[serde(untagged)]
+    Custom(String),
+}
+
+impl RelationshipType {
+    /// The wire name of this relationship type.
+    pub fn as_str(&self) -> &str {
+        match self {
+            RelationshipType::Targets => "targets",
+            RelationshipType::Uses => "uses",
+            RelationshipType::Indicates => "indicates",
+            RelationshipType::Mitigates => "mitigates",
+            RelationshipType::AttributedTo => "attributed-to",
+            RelationshipType::VariantOf => "variant-of",
+            RelationshipType::Impersonates => "impersonates",
+            RelationshipType::DerivedFrom => "derived-from",
+            RelationshipType::DuplicateOf => "duplicate-of",
+            RelationshipType::RelatedTo => "related-to",
+            RelationshipType::Custom(s) => s,
+        }
+    }
+}
+
+/// A typed link between two STIX objects.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+///
+/// let ind = Indicator::builder("[ipv4-addr:value = '203.0.113.9']", cais_common::Timestamp::EPOCH).build();
+/// let mw = Malware::builder("emotet").label("trojan").build();
+/// let rel = Relationship::new(
+///     RelationshipType::Indicates,
+///     ind.id().clone(),
+///     mw.id().clone(),
+/// );
+/// assert_eq!(rel.relationship_type.as_str(), "indicates");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relationship {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// The kind of link.
+    pub relationship_type: RelationshipType,
+    /// Source object.
+    pub source_ref: StixId,
+    /// Target object.
+    pub target_ref: StixId,
+    /// Free-text description.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+}
+
+impl Relationship {
+    /// Creates a relationship between two objects.
+    pub fn new(relationship_type: RelationshipType, source_ref: StixId, target_ref: StixId) -> Self {
+        Relationship {
+            common: CommonProperties::new("relationship", Timestamp::now()),
+            relationship_type,
+            source_ref,
+            target_ref,
+            description: None,
+        }
+    }
+
+    /// Sets the description, builder-style.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// The shared properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+/// A sighting: the assertion that an SDO was seen, optionally where and
+/// how many times.
+///
+/// Sightings are how the monitored infrastructure reports that an
+/// OSINT-described threat was actually observed locally — the signal the
+/// paper's Accuracy and Timeliness criteria reward.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sighting {
+    #[serde(flatten)]
+    common: CommonProperties,
+    /// The object that was sighted.
+    pub sighting_of_ref: StixId,
+    /// Where the sighting occurred (identity references).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub where_sighted_refs: Vec<StixId>,
+    /// When the object was first seen.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub first_seen: Option<Timestamp>,
+    /// When the object was last seen.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub last_seen: Option<Timestamp>,
+    /// How many times it was seen (at least 1).
+    #[serde(default = "default_count")]
+    pub count: u32,
+}
+
+fn default_count() -> u32 {
+    1
+}
+
+impl Sighting {
+    /// Creates a sighting of the given object, seen once.
+    pub fn new(sighting_of_ref: StixId) -> Self {
+        Sighting {
+            common: CommonProperties::new("sighting", Timestamp::now()),
+            sighting_of_ref,
+            where_sighted_refs: Vec::new(),
+            first_seen: None,
+            last_seen: None,
+            count: 1,
+        }
+    }
+
+    /// Sets the observation count, builder-style.
+    pub fn with_count(mut self, count: u32) -> Self {
+        self.count = count.max(1);
+        self
+    }
+
+    /// Sets the observation window, builder-style.
+    pub fn with_window(mut self, first_seen: Timestamp, last_seen: Timestamp) -> Self {
+        self.first_seen = Some(first_seen);
+        self.last_seen = Some(last_seen);
+        self
+    }
+
+    /// Adds a location where the sighting occurred, builder-style.
+    pub fn with_where_sighted(mut self, identity: StixId) -> Self {
+        self.where_sighted_refs.push(identity);
+        self
+    }
+
+    /// The shared properties.
+    pub fn common(&self) -> &CommonProperties {
+        &self.common
+    }
+
+    /// Mutable access to the shared properties.
+    pub fn common_mut(&mut self) -> &mut CommonProperties {
+        &mut self.common
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> &StixId {
+        &self.common.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relationship_roundtrip() {
+        let rel = Relationship::new(
+            RelationshipType::Mitigates,
+            StixId::generate("course-of-action"),
+            StixId::generate("vulnerability"),
+        )
+        .with_description("patch fixes CVE");
+        let json = serde_json::to_string(&rel).unwrap();
+        assert!(json.contains("\"relationship_type\":\"mitigates\""));
+        let back: Relationship = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn custom_relationship_type() {
+        let rel = Relationship::new(
+            RelationshipType::Custom("exfiltrates-to".into()),
+            StixId::generate("malware"),
+            StixId::generate("identity"),
+        );
+        let json = serde_json::to_string(&rel).unwrap();
+        assert!(json.contains("exfiltrates-to"));
+        let back: Relationship = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.relationship_type.as_str(), "exfiltrates-to");
+    }
+
+    #[test]
+    fn sighting_count_floor() {
+        let s = Sighting::new(StixId::generate("indicator")).with_count(0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn sighting_roundtrip() {
+        let s = Sighting::new(StixId::generate("indicator"))
+            .with_count(7)
+            .with_window(Timestamp::EPOCH, Timestamp::EPOCH.add_days(1))
+            .with_where_sighted(StixId::generate("identity"));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sighting = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,330 @@
+//! Semantic validation of STIX objects and bundles.
+//!
+//! Validation distinguishes **errors** (specification violations that
+//! make an object unusable) from **warnings** (departures from suggested
+//! vocabularies or hygiene rules). The platform rejects objects with
+//! errors at ingestion and logs warnings.
+
+use crate::bundle::Bundle;
+use crate::object::StixObject;
+use crate::vocab;
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Departure from a suggested vocabulary or hygiene rule.
+    Warning,
+    /// Specification violation.
+    Error,
+}
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Identifier of the object the finding concerns.
+    pub object_id: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    fn error(object_id: &impl std::fmt::Display, message: impl Into<String>) -> Self {
+        Finding {
+            severity: Severity::Error,
+            object_id: object_id.to_string(),
+            message: message.into(),
+        }
+    }
+
+    fn warning(object_id: &impl std::fmt::Display, message: impl Into<String>) -> Self {
+        Finding {
+            severity: Severity::Warning,
+            object_id: object_id.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Validates a single object, returning all findings.
+///
+/// # Examples
+///
+/// ```
+/// use cais_stix::prelude::*;
+/// use cais_stix::validate::{validate_object, Severity};
+///
+/// let mw = Malware::builder("emotet").build(); // missing required label
+/// let findings = validate_object(&mw.into());
+/// assert!(findings.iter().any(|f| f.severity == Severity::Error));
+/// ```
+pub fn validate_object(object: &StixObject) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let id = object.id();
+    let common = object.common();
+
+    // Universal rules.
+    if common.modified < common.created {
+        findings.push(Finding::error(
+            id,
+            "`modified` precedes `created`",
+        ));
+    }
+    if id.object_type() != object.object_type().as_str() {
+        findings.push(Finding::error(
+            id,
+            format!(
+                "id prefix {} does not match object type {}",
+                id.object_type(),
+                object.object_type()
+            ),
+        ));
+    }
+    if let Some(confidence) = common.confidence {
+        if confidence > 100 {
+            findings.push(Finding::error(id, "confidence exceeds 100"));
+        }
+    }
+
+    // Per-type rules.
+    match object {
+        StixObject::Indicator(ind) => {
+            if ind.pattern.trim().is_empty() {
+                findings.push(Finding::error(id, "indicator pattern is required"));
+            } else if let Err(err) = ind.compiled_pattern() {
+                findings.push(Finding::error(id, format!("invalid pattern: {err}")));
+            }
+            if common.labels.is_empty() {
+                findings.push(Finding::error(id, "indicator requires at least one label"));
+            }
+            for label in &common.labels {
+                if !vocab::indicator_label::contains(label) {
+                    findings.push(Finding::warning(
+                        id,
+                        format!("label {label:?} not in indicator-label-ov"),
+                    ));
+                }
+            }
+            if let Some(until) = ind.valid_until {
+                if until <= ind.valid_from {
+                    findings.push(Finding::error(
+                        id,
+                        "`valid_until` must be later than `valid_from`",
+                    ));
+                }
+            }
+        }
+        StixObject::Malware(_) => {
+            if common.labels.is_empty() {
+                findings.push(Finding::error(id, "malware requires at least one label"));
+            }
+            for label in &common.labels {
+                if !vocab::malware_label::contains(label) {
+                    findings.push(Finding::warning(
+                        id,
+                        format!("label {label:?} not in malware-label-ov"),
+                    ));
+                }
+            }
+        }
+        StixObject::Tool(_) => {
+            if common.labels.is_empty() {
+                findings.push(Finding::error(id, "tool requires at least one label"));
+            }
+            for label in &common.labels {
+                if !vocab::tool_label::contains(label) {
+                    findings.push(Finding::warning(
+                        id,
+                        format!("label {label:?} not in tool-label-ov"),
+                    ));
+                }
+            }
+        }
+        StixObject::ThreatActor(_)
+            if common.labels.is_empty() => {
+                findings.push(Finding::error(
+                    id,
+                    "threat-actor requires at least one label",
+                ));
+            }
+        StixObject::Report(report) => {
+            if common.labels.is_empty() {
+                findings.push(Finding::error(id, "report requires at least one label"));
+            }
+            if report.object_refs.is_empty() {
+                findings.push(Finding::warning(id, "report references no objects"));
+            }
+        }
+        StixObject::Identity(identity) => {
+            if let Some(class) = &identity.identity_class {
+                if !vocab::identity_class::contains(class) {
+                    findings.push(Finding::warning(
+                        id,
+                        format!("identity_class {class:?} not in identity-class-ov"),
+                    ));
+                }
+            }
+        }
+        StixObject::ObservedData(od) => {
+            if od.last_observed < od.first_observed {
+                findings.push(Finding::error(
+                    id,
+                    "`last_observed` precedes `first_observed`",
+                ));
+            }
+            if od.objects.is_empty() {
+                findings.push(Finding::error(id, "observed-data requires objects"));
+            }
+        }
+        StixObject::Sighting(s) => {
+            if let (Some(first), Some(last)) = (s.first_seen, s.last_seen) {
+                if last < first {
+                    findings.push(Finding::error(id, "`last_seen` precedes `first_seen`"));
+                }
+            }
+        }
+        StixObject::Relationship(rel)
+            if rel.source_ref == rel.target_ref => {
+                findings.push(Finding::warning(id, "relationship is self-referential"));
+            }
+        StixObject::Vulnerability(v)
+            if v.name.trim().is_empty() => {
+                findings.push(Finding::error(id, "vulnerability name is required"));
+            }
+        _ => {}
+    }
+
+    findings
+}
+
+/// Validates every object in a bundle plus cross-object referential
+/// integrity (relationship endpoints and report refs must resolve, unless
+/// they point outside the bundle, which yields a warning).
+pub fn validate_bundle(bundle: &Bundle) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = bundle.objects().iter().flat_map(validate_object).collect();
+
+    // Duplicate ids are an error.
+    let mut seen = std::collections::HashSet::new();
+    for object in bundle.objects() {
+        if !seen.insert(object.id().clone()) {
+            findings.push(Finding::error(object.id(), "duplicate object id in bundle"));
+        }
+    }
+
+    // Dangling references are warnings (bundles may be partial).
+    for object in bundle.objects() {
+        let refs: Vec<&crate::id::StixId> = match object {
+            StixObject::Relationship(rel) => vec![&rel.source_ref, &rel.target_ref],
+            StixObject::Sighting(s) => vec![&s.sighting_of_ref],
+            StixObject::Report(r) => r.object_refs.iter().collect(),
+            _ => Vec::new(),
+        };
+        for r in refs {
+            if bundle.find(r).is_none() {
+                findings.push(Finding::warning(
+                    object.id(),
+                    format!("reference {r} not present in bundle"),
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Whether the findings contain no errors (warnings are allowed).
+pub fn is_acceptable(findings: &[Finding]) -> bool {
+    findings.iter().all(|f| f.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use cais_common::Timestamp;
+
+    #[test]
+    fn valid_vulnerability_passes() {
+        let v: StixObject = Vulnerability::builder("CVE-2017-9805").build().into();
+        assert!(is_acceptable(&validate_object(&v)));
+    }
+
+    #[test]
+    fn modified_before_created_is_error() {
+        let ts = Timestamp::from_ymd_hms(2019, 1, 1, 0, 0, 0);
+        let v: StixObject = Vulnerability::builder("CVE-2017-9805")
+            .created(ts)
+            .modified(ts.add_days(-1))
+            .build()
+            .into();
+        assert!(!is_acceptable(&validate_object(&v)));
+    }
+
+    #[test]
+    fn indicator_requires_label_and_valid_pattern() {
+        let bad_pattern: StixObject = Indicator::builder("[[", Timestamp::EPOCH)
+            .label("malicious-activity")
+            .build()
+            .into();
+        assert!(!is_acceptable(&validate_object(&bad_pattern)));
+
+        let no_label: StixObject =
+            Indicator::builder("[ipv4-addr:value = '1.1.1.1']", Timestamp::EPOCH)
+                .build()
+                .into();
+        assert!(!is_acceptable(&validate_object(&no_label)));
+
+        let ok: StixObject =
+            Indicator::builder("[ipv4-addr:value = '1.1.1.1']", Timestamp::EPOCH)
+                .label("malicious-activity")
+                .build()
+                .into();
+        assert!(is_acceptable(&validate_object(&ok)));
+    }
+
+    #[test]
+    fn nonstandard_label_is_warning_only() {
+        let mw: StixObject = Malware::builder("x").label("bespoke-category").build().into();
+        let findings = validate_object(&mw);
+        assert!(is_acceptable(&findings));
+        assert!(findings.iter().any(|f| f.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn bundle_duplicate_ids_error() {
+        let v = Vulnerability::builder("CVE-2017-9805").build();
+        let bundle = Bundle::new(vec![v.clone().into(), v.into()]);
+        let findings = validate_bundle(&bundle);
+        assert!(findings
+            .iter()
+            .any(|f| f.severity == Severity::Error && f.message.contains("duplicate")));
+    }
+
+    #[test]
+    fn dangling_reference_is_warning() {
+        let rel = Relationship::new(
+            RelationshipType::Indicates,
+            StixId::generate("indicator"),
+            StixId::generate("malware"),
+        );
+        let bundle = Bundle::new(vec![rel.into()]);
+        let findings = validate_bundle(&bundle);
+        assert!(is_acceptable(&findings));
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.message.contains("not present"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn observed_data_needs_objects() {
+        let od: StixObject = ObservedData::builder(Timestamp::EPOCH, Timestamp::EPOCH, 1)
+            .build()
+            .into();
+        assert!(!is_acceptable(&validate_object(&od)));
+    }
+}

@@ -1,0 +1,217 @@
+//! STIX 2.0 open vocabularies.
+//!
+//! Open vocabularies are *suggested* value sets: producers should use
+//! these values when applicable but may extend them. Each vocabulary here
+//! exposes the suggested values as constants plus a containment check, so
+//! validation can warn (not fail) on non-standard values.
+
+/// The `identity-class-ov` vocabulary.
+pub mod identity_class {
+    /// Suggested values for an identity's class.
+    pub const ALL: [&str; 5] = ["individual", "group", "organization", "class", "unknown"];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+/// The `indicator-label-ov` vocabulary.
+pub mod indicator_label {
+    /// Suggested indicator labels.
+    pub const ALL: [&str; 6] = [
+        "anomalous-activity",
+        "anonymization",
+        "benign",
+        "compromised",
+        "malicious-activity",
+        "attribution",
+    ];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+/// The `malware-label-ov` vocabulary.
+pub mod malware_label {
+    /// Suggested malware labels.
+    pub const ALL: [&str; 16] = [
+        "adware",
+        "backdoor",
+        "bot",
+        "ddos",
+        "dropper",
+        "exploit-kit",
+        "keylogger",
+        "ransomware",
+        "remote-access-trojan",
+        "resource-exploitation",
+        "rogue-security-software",
+        "rootkit",
+        "screen-capture",
+        "spyware",
+        "trojan",
+        "virus",
+    ];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+/// The `tool-label-ov` vocabulary.
+pub mod tool_label {
+    /// Suggested tool labels.
+    pub const ALL: [&str; 7] = [
+        "denial-of-service",
+        "exploitation",
+        "information-gathering",
+        "network-capture",
+        "credential-exploitation",
+        "remote-access",
+        "vulnerability-scanning",
+    ];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+/// The `report-label-ov` vocabulary.
+pub mod report_label {
+    /// Suggested report labels.
+    pub const ALL: [&str; 9] = [
+        "threat-report",
+        "attack-pattern",
+        "campaign",
+        "identity",
+        "indicator",
+        "malware",
+        "observed-data",
+        "threat-actor",
+        "vulnerability",
+    ];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+/// The `threat-actor-label-ov` vocabulary.
+pub mod threat_actor_label {
+    /// Suggested threat-actor labels.
+    pub const ALL: [&str; 10] = [
+        "activist",
+        "competitor",
+        "crime-syndicate",
+        "criminal",
+        "hacker",
+        "insider-accidental",
+        "insider-disgruntled",
+        "nation-state",
+        "sensationalist",
+        "terrorist",
+    ];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+/// The `industry-sector-ov` vocabulary (subset used by identities).
+pub mod industry_sector {
+    /// Suggested industry sectors.
+    pub const ALL: [&str; 14] = [
+        "aerospace",
+        "automotive",
+        "communications",
+        "construction",
+        "defence",
+        "education",
+        "energy",
+        "financial-services",
+        "government-national",
+        "healthcare",
+        "infrastructure",
+        "insurance",
+        "technology",
+        "telecommunications",
+    ];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+/// The `attack-motivation-ov` vocabulary.
+pub mod attack_motivation {
+    /// Suggested attack motivations.
+    pub const ALL: [&str; 9] = [
+        "accidental",
+        "coercion",
+        "dominance",
+        "ideology",
+        "notoriety",
+        "organizational-gain",
+        "personal-gain",
+        "personal-satisfaction",
+        "revenge",
+    ];
+
+    /// Returns `true` when `value` is a suggested vocabulary value.
+    pub fn contains(value: &str) -> bool {
+        ALL.contains(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_checks() {
+        assert!(identity_class::contains("organization"));
+        assert!(!identity_class::contains("corp"));
+        assert!(indicator_label::contains("malicious-activity"));
+        assert!(malware_label::contains("ransomware"));
+        assert!(tool_label::contains("exploitation"));
+        assert!(report_label::contains("threat-report"));
+        assert!(threat_actor_label::contains("nation-state"));
+        assert!(industry_sector::contains("financial-services"));
+        assert!(attack_motivation::contains("organizational-gain"));
+    }
+
+    #[test]
+    fn vocabularies_have_no_duplicates() {
+        fn unique(values: &[&str]) -> bool {
+            let mut sorted: Vec<&str> = values.to_vec();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        }
+        assert!(unique(&identity_class::ALL));
+        assert!(unique(&indicator_label::ALL));
+        assert!(unique(&malware_label::ALL));
+        assert!(unique(&tool_label::ALL));
+        assert!(unique(&report_label::ALL));
+        assert!(unique(&threat_actor_label::ALL));
+        assert!(unique(&industry_sector::ALL));
+        assert!(unique(&attack_motivation::ALL));
+    }
+
+    #[test]
+    fn vocabulary_values_are_kebab_case() {
+        for v in malware_label::ALL.iter().chain(tool_label::ALL.iter()) {
+            assert!(
+                v.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'),
+                "{v}"
+            );
+        }
+    }
+}

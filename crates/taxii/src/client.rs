@@ -1,0 +1,244 @@
+//! The TAXII client.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+use cais_bus::tcp::{read_frame, write_frame};
+use cais_common::{Timestamp, Uuid};
+use parking_lot::Mutex;
+
+use crate::collection::{Collection, Envelope};
+use crate::protocol::{Request, Response};
+
+/// A synchronous client for [`crate::TaxiiServer`].
+pub struct TaxiiClient {
+    stream: Mutex<TcpStream>,
+}
+
+impl TaxiiClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(TaxiiClient {
+            stream: Mutex::new(stream),
+        })
+    }
+
+    fn roundtrip(&self, request: &Request) -> io::Result<Response> {
+        let mut stream = self.stream.lock();
+        let bytes =
+            serde_json::to_vec(request).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        write_frame(&mut *stream, &bytes)?;
+        let frame = read_frame(&mut *stream)?;
+        serde_json::from_slice(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn expect_ok(response: Response) -> io::Result<Response> {
+        if let Response::Error { message } = response {
+            Err(io::Error::other(message))
+        } else {
+            Ok(response)
+        }
+    }
+
+    /// Fetches server discovery metadata, returning the title.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and server errors.
+    pub fn discovery(&self) -> io::Result<String> {
+        match Self::expect_ok(self.roundtrip(&Request::Discovery)?)? {
+            Response::Discovery { title, .. } => Ok(title),
+            other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Lists the server's collections.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and server errors.
+    pub fn collections(&self) -> io::Result<Vec<Collection>> {
+        match Self::expect_ok(self.roundtrip(&Request::Collections)?)? {
+            Response::Collections { collections } => Ok(collections),
+            other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches one page (up to 100 objects) from a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and server errors.
+    pub fn objects(&self, collection: &Uuid, added_after: Option<Timestamp>) -> io::Result<Envelope> {
+        let request = Request::GetObjects {
+            collection: *collection,
+            added_after,
+            object_type: None,
+            limit: 100,
+        };
+        match Self::expect_ok(self.roundtrip(&request)?)? {
+            Response::Objects { envelope } => Ok(envelope),
+            other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches one page of objects of a single STIX type.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and server errors.
+    pub fn objects_of_type(
+        &self,
+        collection: &Uuid,
+        object_type: &str,
+        added_after: Option<Timestamp>,
+    ) -> io::Result<Envelope> {
+        let request = Request::GetObjects {
+            collection: *collection,
+            added_after,
+            object_type: Some(object_type.to_owned()),
+            limit: 100,
+        };
+        match Self::expect_ok(self.roundtrip(&request)?)? {
+            Response::Objects { envelope } => Ok(envelope),
+            other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches *all* objects, following pagination.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and server errors.
+    pub fn all_objects(&self, collection: &Uuid) -> io::Result<Vec<serde_json::Value>> {
+        let mut out = Vec::new();
+        let mut watermark = None;
+        loop {
+            let envelope = self.objects(collection, watermark)?;
+            out.extend(envelope.objects);
+            if !envelope.more {
+                return Ok(out);
+            }
+            watermark = envelope.next;
+        }
+    }
+
+    /// Pushes objects to a collection, returning how many were stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and server errors (including write-protection).
+    pub fn add_objects(
+        &self,
+        collection: &Uuid,
+        objects: Vec<serde_json::Value>,
+    ) -> io::Result<usize> {
+        let request = Request::AddObjects {
+            collection: *collection,
+            objects,
+        };
+        match Self::expect_ok(self.roundtrip(&request)?)? {
+            Response::Accepted { stored } => Ok(stored),
+            other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for TaxiiClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaxiiClient")
+            .field("peer", &self.stream.lock().peer_addr().ok())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::server::TaxiiServer;
+
+    fn live_server() -> (TaxiiServer, SocketAddr, Uuid) {
+        let mut server = TaxiiServer::new("live");
+        let id = server.add_collection(Collection::new("iocs", "d"));
+        let addr = server.serve("127.0.0.1:0").unwrap();
+        (server, addr, id)
+    }
+
+    #[test]
+    fn full_client_server_exchange() {
+        let (_server, addr, id) = live_server();
+        let client = TaxiiClient::connect(addr).unwrap();
+        assert_eq!(client.discovery().unwrap(), "live");
+        let collections = client.collections().unwrap();
+        assert_eq!(collections.len(), 1);
+        assert_eq!(collections[0].id, id);
+
+        let stored = client
+            .add_objects(&id, vec![serde_json::json!({"type": "indicator", "n": 1})])
+            .unwrap();
+        assert_eq!(stored, 1);
+        let envelope = client.objects(&id, None).unwrap();
+        assert_eq!(envelope.objects.len(), 1);
+    }
+
+    #[test]
+    fn pagination_via_all_objects() {
+        let (_server, addr, id) = live_server();
+        let client = TaxiiClient::connect(addr).unwrap();
+        // 250 objects forces three pages at the client's limit of 100.
+        for batch in 0..5 {
+            let objects: Vec<serde_json::Value> =
+                (0..50).map(|i| serde_json::json!({"b": batch, "i": i})).collect();
+            client.add_objects(&id, objects).unwrap();
+            // Distinct timestamps per batch keep pagination watermarks sane.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let all = client.all_objects(&id).unwrap();
+        assert_eq!(all.len(), 250);
+    }
+
+    #[test]
+    fn server_error_surfaces_as_io_error() {
+        let (_server, addr, _) = live_server();
+        let client = TaxiiClient::connect(addr).unwrap();
+        let missing = Uuid::new_v4();
+        assert!(client.objects(&missing, None).is_err());
+    }
+}
+
+#[cfg(test)]
+mod type_filter_tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::server::TaxiiServer;
+
+    #[test]
+    fn type_filter_narrows_results() {
+        let mut server = TaxiiServer::new("filter");
+        let id = server.add_collection(Collection::new("stix", "d"));
+        let addr = server.serve("127.0.0.1:0").unwrap();
+        let client = TaxiiClient::connect(addr).unwrap();
+        client
+            .add_objects(
+                &id,
+                vec![
+                    serde_json::json!({"type": "indicator", "n": 1}),
+                    serde_json::json!({"type": "malware", "n": 2}),
+                    serde_json::json!({"type": "indicator", "n": 3}),
+                ],
+            )
+            .unwrap();
+        let indicators = client.objects_of_type(&id, "indicator", None).unwrap();
+        assert_eq!(indicators.objects.len(), 2);
+        let tools = client.objects_of_type(&id, "tool", None).unwrap();
+        assert!(tools.objects.is_empty());
+        // Unfiltered still returns everything.
+        assert_eq!(client.objects(&id, None).unwrap().objects.len(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! # cais-taxii
+//!
+//! A TAXII-like sharing service: discovery, collections, paged
+//! envelopes of STIX objects, and a client/server pair over a framed
+//! TCP transport.
+//!
+//! TAXII (Trusted Automated eXchange of Indicator Information) is the
+//! paper's named channel "for sharing [threat intelligence] in an
+//! automated and secure way" with external entities that do not speak
+//! MISP (Section II-A). Real TAXII 2.x rides on HTTPS; this
+//! implementation keeps the resource model (discovery → collections →
+//! objects, time-filtered, paged) and swaps the transport for the same
+//! length-prefixed JSON frames the rest of the platform uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_taxii::{TaxiiServer, TaxiiClient, Collection};
+//! use cais_stix::prelude::*;
+//!
+//! let mut server = TaxiiServer::new("CAIS sharing point");
+//! server.add_collection(Collection::new("indicators", "High-confidence IoCs"));
+//! let addr = server.serve("127.0.0.1:0")?;
+//!
+//! let client = TaxiiClient::connect(addr)?;
+//! let collections = client.collections()?;
+//! let vuln = Vulnerability::builder("CVE-2017-9805").build();
+//! client.add_objects(&collections[0].id, vec![serde_json::to_value(StixObject::from(vuln)).unwrap()])?;
+//! let envelope = client.objects(&collections[0].id, None)?;
+//! assert_eq!(envelope.objects.len(), 1);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod collection;
+mod protocol;
+mod server;
+
+pub use client::TaxiiClient;
+pub use collection::{Collection, Envelope};
+pub use protocol::{Request, Response};
+pub use server::TaxiiServer;

@@ -1,0 +1,242 @@
+//! The TAXII server: collection storage plus the TCP accept loop.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use cais_bus::tcp::{read_frame, write_frame};
+use cais_common::{Timestamp, Uuid};
+use parking_lot::RwLock;
+
+use crate::collection::{Collection, Envelope};
+use crate::protocol::{Request, Response};
+
+/// Maximum page size the server will return.
+const MAX_PAGE: usize = 1_000;
+
+#[derive(Debug, Default)]
+struct State {
+    collections: Vec<Collection>,
+}
+
+/// A TAXII-like server over framed TCP.
+#[derive(Debug, Clone)]
+pub struct TaxiiServer {
+    title: String,
+    state: Arc<RwLock<State>>,
+}
+
+impl TaxiiServer {
+    /// Creates a server with no collections.
+    pub fn new(title: impl Into<String>) -> Self {
+        TaxiiServer {
+            title: title.into(),
+            state: Arc::new(RwLock::new(State::default())),
+        }
+    }
+
+    /// Registers a collection, returning its id.
+    pub fn add_collection(&mut self, collection: Collection) -> Uuid {
+        let id = collection.id;
+        self.state.write().collections.push(collection);
+        id
+    }
+
+    /// Handles one request against the in-memory state. This is the
+    /// whole service logic; the TCP loop just frames it.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Discovery => Response::Discovery {
+                title: self.title.clone(),
+                api_version: "cais-taxii/1".into(),
+            },
+            Request::Collections => {
+                let collections = self
+                    .state
+                    .read()
+                    .collections
+                    .iter()
+                    .map(|c| Collection {
+                        objects: Vec::new(),
+                        ..c.clone()
+                    })
+                    .collect();
+                Response::Collections { collections }
+            }
+            Request::GetObjects {
+                collection,
+                added_after,
+                object_type,
+                limit,
+            } => {
+                let state = self.state.read();
+                let Some(found) = state.collections.iter().find(|c| c.id == collection) else {
+                    return Response::Error {
+                        message: format!("no such collection {collection}"),
+                    };
+                };
+                if !found.can_read {
+                    return Response::Error {
+                        message: "collection is not readable".into(),
+                    };
+                }
+                let envelope: Envelope = found.page_filtered(
+                    added_after,
+                    limit.clamp(1, MAX_PAGE),
+                    object_type.as_deref(),
+                );
+                Response::Objects { envelope }
+            }
+            Request::AddObjects {
+                collection,
+                objects,
+            } => {
+                let mut state = self.state.write();
+                let Some(found) = state.collections.iter_mut().find(|c| c.id == collection)
+                else {
+                    return Response::Error {
+                        message: format!("no such collection {collection}"),
+                    };
+                };
+                if !found.can_write {
+                    return Response::Error {
+                        message: "collection is not writable".into(),
+                    };
+                }
+                let stored = objects.len();
+                found.add_objects(objects, Timestamp::now());
+                Response::Accepted { stored }
+            }
+        }
+    }
+
+    /// Binds a listener and serves requests on a background thread for
+    /// the life of the process, returning the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn serve(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let server = self.clone();
+        thread::Builder::new()
+            .name("cais-taxii-server".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let server = server.clone();
+                    let _ = thread::Builder::new()
+                        .name("cais-taxii-conn".into())
+                        .spawn(move || {
+                            let _ = server.serve_connection(stream);
+                        });
+                }
+            })
+            .expect("spawn taxii server thread");
+        Ok(local_addr)
+    }
+
+    fn serve_connection(&self, mut stream: TcpStream) -> io::Result<()> {
+        loop {
+            let frame = read_frame(&mut stream)?;
+            let response = match serde_json::from_slice::<Request>(&frame) {
+                Ok(request) => self.handle(request),
+                Err(err) => Response::Error {
+                    message: format!("malformed request: {err}"),
+                },
+            };
+            let bytes = serde_json::to_vec(&response)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            write_frame(&mut stream, &bytes)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_with_collection() -> (TaxiiServer, Uuid) {
+        let mut server = TaxiiServer::new("test server");
+        let id = server.add_collection(Collection::new("iocs", "indicators"));
+        (server, id)
+    }
+
+    #[test]
+    fn discovery_and_collections() {
+        let (server, _) = server_with_collection();
+        match server.handle(Request::Discovery) {
+            Response::Discovery { title, .. } => assert_eq!(title, "test server"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match server.handle(Request::Collections) {
+            Response::Collections { collections } => {
+                assert_eq!(collections.len(), 1);
+                assert!(collections[0].objects.is_empty()); // omitted
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_then_get() {
+        let (server, id) = server_with_collection();
+        let response = server.handle(Request::AddObjects {
+            collection: id,
+            objects: vec![serde_json::json!({"type": "vulnerability"})],
+        });
+        assert_eq!(response, Response::Accepted { stored: 1 });
+        match server.handle(Request::GetObjects {
+            collection: id,
+            added_after: None,
+            object_type: None,
+            limit: 10,
+        }) {
+            Response::Objects { envelope } => assert_eq!(envelope.objects.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let (server, _) = server_with_collection();
+        let response = server.handle(Request::GetObjects {
+            collection: Uuid::new_v4(),
+            added_after: None,
+            object_type: None,
+            limit: 10,
+        });
+        assert!(matches!(response, Response::Error { .. }));
+    }
+
+    #[test]
+    fn write_protection() {
+        let mut server = TaxiiServer::new("s");
+        let id = server.add_collection(Collection::new("ro", "read only").read_only());
+        let response = server.handle(Request::AddObjects {
+            collection: id,
+            objects: vec![serde_json::json!({})],
+        });
+        assert!(matches!(response, Response::Error { .. }));
+    }
+
+    #[test]
+    fn limit_is_clamped() {
+        let (server, id) = server_with_collection();
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: (0..5).map(|i| serde_json::json!({ "i": i })).collect(),
+        });
+        match server.handle(Request::GetObjects {
+            collection: id,
+            added_after: None,
+            object_type: None,
+            limit: 0, // clamped up to 1
+        }) {
+            Response::Objects { envelope } => assert_eq!(envelope.objects.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

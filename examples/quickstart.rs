@@ -1,0 +1,56 @@
+//! Quickstart: one advisory through the whole platform.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cais::common::{Observable, ObservableKind};
+use cais::core::{CoreError, Platform, ReducedIoc};
+use cais::feeds::{FeedRecord, ThreatCategory};
+
+fn main() -> Result<(), CoreError> {
+    // The platform configured exactly like the paper's Section IV use
+    // case: Table III inventory, local CVE knowledge, empty dynamic
+    // state.
+    let mut platform = Platform::paper_use_case();
+
+    // The dashboard would subscribe to this topic over the socket; we
+    // subscribe directly.
+    let dashboard_feed = platform.broker().subscribe("cais.rioc.published");
+
+    // An advisory arrives from an OSINT feed (twice — feeds repeat
+    // themselves; the deduplicator handles it).
+    let now = platform.context().now;
+    let advisory = FeedRecord::new(
+        Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+        ThreatCategory::VulnerabilityExploitation,
+        "nvd-feed",
+        now.add_days(-100),
+    )
+    .with_cve("CVE-2017-9805")
+    .with_description("remote code execution in apache struts");
+
+    let report = platform.ingest_feed_records(vec![advisory.clone(), advisory])?;
+    println!("ingestion report: {report:?}");
+
+    // The reduced IoC reached the dashboard topic with its score.
+    while let Some(message) = dashboard_feed.try_recv() {
+        let rioc: ReducedIoc = message.decode().expect("rIoC payload");
+        println!(
+            "rIoC: cve={} score={:.4} priority={} nodes={:?}",
+            rioc.cve.as_deref().unwrap_or("-"),
+            rioc.threat_score,
+            rioc.priority_label(),
+            rioc.nodes,
+        );
+    }
+
+    // The enriched IoC is stored in the MISP instance, exportable in
+    // every registered format.
+    let eioc = &platform.eiocs()[0];
+    let event_id = eioc.misp_event_id.expect("persisted");
+    let stix = platform
+        .misp()
+        .export_event(event_id, "stix2")?
+        .expect("stix2 module installed");
+    println!("\nSTIX 2.0 export ({} bytes):\n{}", stix.len(), &stix[..stix.len().min(400)]);
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Information sharing with external entities (Section III-C2): MISP
+//! instance-to-instance sync with distribution-level downgrades, plus
+//! STIX 2.0 sharing over the TAXII-like channel for partners that do
+//! not speak MISP.
+//!
+//! Run with `cargo run --example sharing_federation`.
+
+use cais::common::{Observable, ObservableKind};
+use cais::core::Platform;
+use cais::feeds::{FeedRecord, ThreatCategory};
+use cais::misp::{sync, MispApi};
+use cais::taxii::{Collection, TaxiiClient, TaxiiServer};
+
+fn main() -> std::io::Result<()> {
+    // --- the producing organization runs the platform ---
+    let mut platform = Platform::paper_use_case();
+    let now = platform.context().now;
+    for (cve, description) in [
+        ("CVE-2017-9805", "remote code execution in apache struts"),
+        ("CVE-2017-5638", "struts jakarta multipart parser RCE"),
+        ("CVE-2014-0160", "openssl heartbeat information disclosure"),
+    ] {
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Cve, cve),
+            ThreatCategory::VulnerabilityExploitation,
+            "nvd-feed",
+            now.add_days(-50),
+        )
+        .with_cve(cve)
+        .with_description(description);
+        platform
+            .ingest_feed_records(vec![record])
+            .expect("ingestion succeeds");
+    }
+    println!(
+        "producer: {} events stored, {} enriched",
+        platform.misp().store().len(),
+        platform.eiocs().len()
+    );
+
+    // --- MISP-to-MISP: push to a trusted partner ---
+    let partner = MispApi::new("partner-org");
+    let report = sync::push(platform.misp(), &partner);
+    println!(
+        "misp sync: considered={} transferred={} withheld={} (already={})",
+        report.considered, report.transferred, report.withheld, report.already_present
+    );
+    // Idempotent on re-push.
+    let again = sync::push(platform.misp(), &partner);
+    println!("misp re-sync: already_present={}", again.already_present);
+
+    // --- TAXII: STIX 2.0 for non-MISP consumers ---
+    let mut server = TaxiiServer::new("CAIS sharing point");
+    let collection_id = server.add_collection(Collection::new(
+        "enriched-iocs",
+        "eIoCs with threat scores, STIX 2.0",
+    ));
+    let addr = server.serve("127.0.0.1:0")?;
+    let client = TaxiiClient::connect(addr)?;
+    println!("\ntaxii: connected to {:?}", client.discovery()?);
+
+    // Export every stored event as a STIX bundle and publish the
+    // objects into the collection.
+    let mut shared_objects = 0;
+    for event in platform.misp().store().all() {
+        let bundle = cais::misp::export::stix2::to_bundle(&event);
+        let objects: Vec<serde_json::Value> = bundle
+            .objects()
+            .iter()
+            .map(|o| serde_json::to_value(o).expect("stix serializes"))
+            .collect();
+        shared_objects += client.add_objects(&collection_id, objects)?;
+    }
+    println!("taxii: {shared_objects} STIX objects shared");
+
+    // A consumer pulls everything, paged.
+    let pulled = client.all_objects(&collection_id)?;
+    println!("taxii: consumer pulled {} objects", pulled.len());
+    let vulnerabilities = pulled
+        .iter()
+        .filter(|o| o["type"] == "vulnerability")
+        .count();
+    println!("taxii: of which {vulnerabilities} vulnerability SDOs");
+    Ok(())
+}

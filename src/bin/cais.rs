@@ -1,0 +1,208 @@
+//! The `cais` command-line interface.
+//!
+//! ```text
+//! cais score <CVE-ID> [--os <os>] [--app <application>]   score an IoC against the demo context
+//! cais inventory                                          print the Table III inventory
+//! cais classify <text…>                                   NLP threat triage of a text
+//! cais check <value>                                      observable detection + warninglist check
+//! cais demo                                               run the Section IV use case end to end
+//! ```
+//!
+//! The CLI operates over the paper's demo context (Table III inventory
+//! plus the synthetic CVE database); it exists to poke the library from
+//! a shell, not to administer a deployment.
+
+use std::process::ExitCode;
+
+use cais::common::{Observable, ObservableKind, Timestamp};
+use cais::core::heuristics::vulnerability;
+use cais::core::{EvaluationContext, Platform};
+use cais::feeds::{FeedRecord, ThreatCategory};
+use cais::infra::inventory::Inventory;
+use cais::nlp::ThreatClassifier;
+use cais::stix::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parts = args.iter().map(String::as_str);
+    match parts.next() {
+        Some("score") => cmd_score(&args[1..]),
+        Some("inventory") => cmd_inventory(),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some("help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "cais — Context-Aware Intelligence Sharing platform\n\n\
+         USAGE:\n  \
+         cais score <CVE-ID> [--os <os>] [--app <application>]\n  \
+         cais inventory\n  \
+         cais classify <text…>\n  \
+         cais check <value>\n  \
+         cais demo\n"
+    );
+}
+
+fn cmd_score(args: &[String]) -> ExitCode {
+    let Some(cve) = args.first() else {
+        eprintln!("usage: cais score <CVE-ID> [--os <os>] [--app <application>]");
+        return ExitCode::from(2);
+    };
+    let mut os: Option<&str> = None;
+    let mut app: Option<&str> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--os" if i + 1 < args.len() => {
+                os = Some(&args[i + 1]);
+                i += 2;
+            }
+            "--app" if i + 1 < args.len() => {
+                app = Some(&args[i + 1]);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let ctx = EvaluationContext::paper_use_case().at(Timestamp::now());
+    let mut builder = Vulnerability::builder(cve.as_str());
+    let stamp = ctx.now.add_days(-30);
+    builder
+        .created(stamp)
+        .modified(stamp)
+        .valid_from(stamp)
+        .external_reference(ExternalReference::cve(cve.as_str()))
+        .source_type("osint")
+        .osint_source("cli");
+    if let Some(os) = os {
+        builder.operating_system(os);
+    }
+    if let Some(app) = app {
+        builder.affected_application(app);
+    }
+    let score = vulnerability::evaluate(&builder.build(), &ctx);
+
+    println!("threat score for {cve}:");
+    println!("  {:<22} {:>5} {:>8}", "feature", "Xi", "Pi");
+    for line in &score.breakdown().lines {
+        let xi = match line.value {
+            cais::core::FeatureValue::Empty => "-".to_owned(),
+            cais::core::FeatureValue::Scored(v) => v.to_string(),
+        };
+        println!("  {:<22} {:>5} {:>8.4}", line.feature, xi, line.weight);
+    }
+    println!(
+        "\n  TS = {:.4}  [{}]  (completeness {:.2}, potential if complete {:.4})",
+        score.total(),
+        score.priority_label(),
+        score.completeness(),
+        score.potential_if_complete(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_inventory() -> ExitCode {
+    let inventory = Inventory::paper_table3();
+    println!("{:<8} {:<10} {:<8} applications", "node", "name", "os");
+    for node in inventory.nodes() {
+        println!(
+            "{:<8} {:<10} {:<8} {}",
+            node.id.to_string(),
+            node.name,
+            node.operating_system,
+            node.applications.join(", ")
+        );
+    }
+    println!("common keywords: {}", inventory.common_keywords().join(", "));
+    ExitCode::SUCCESS
+}
+
+fn cmd_classify(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("usage: cais classify <text…>");
+        return ExitCode::from(2);
+    }
+    let text = args.join(" ");
+    let verdict = ThreatClassifier::new().classify(&text);
+    println!(
+        "relevant: {}  confidence: {:.2}",
+        verdict.is_relevant(),
+        verdict.confidence()
+    );
+    for (threat, score) in verdict.scores() {
+        println!("  {threat}: {score:.2}");
+    }
+    if !verdict.matched_keywords().is_empty() {
+        println!("  keywords: {}", verdict.matched_keywords().join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(value) = args.first() else {
+        eprintln!("usage: cais check <value>");
+        return ExitCode::from(2);
+    };
+    match ObservableKind::detect(value) {
+        Some(kind) => {
+            println!("kind: {kind}");
+            match cais::misp::warninglist::check(value) {
+                Some(warning) => println!("warninglist: {warning} (known-benign)"),
+                None => println!("warninglist: clean"),
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("not a recognizable observable");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_demo() -> ExitCode {
+    let mut platform = Platform::paper_use_case();
+    let now = platform.context().now;
+    let advisory = FeedRecord::new(
+        Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+        ThreatCategory::VulnerabilityExploitation,
+        "nvd-feed",
+        now.add_days(-100),
+    )
+    .with_cve("CVE-2017-9805")
+    .with_description("remote code execution in apache struts");
+    match platform.ingest_feed_records(vec![advisory]) {
+        Ok(report) => {
+            println!("{report:?}");
+            for rioc in platform.riocs() {
+                println!(
+                    "rIoC: {} TS={:.4} [{}] nodes={:?}",
+                    rioc.cve.as_deref().unwrap_or("-"),
+                    rioc.threat_score,
+                    rioc.priority_label(),
+                    rioc.nodes
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("demo failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # CAIS — Context-Aware Intelligence Sharing platform
+//!
+//! A Rust implementation of the Context-Aware OSINT Platform of
+//! *"Enhancing Information Sharing and Visualization Capabilities in
+//! Security Data Analytic Platforms"* (DSN 2019): OSINT collection,
+//! deduplication and aggregation into composed IoCs, heuristic threat
+//! scoring against the monitored infrastructure (`TS = Cp × Σ Xi·Pi`),
+//! enrichment, reduction, dashboard visualization and MISP/STIX/TAXII
+//! sharing.
+//!
+//! This facade crate re-exports every workspace crate under one root:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`common`] | `cais-common` | timestamps, UUIDs, observables |
+//! | [`stix`] | `cais-stix` | STIX 2.0 objects + patterning |
+//! | [`cvss`] | `cais-cvss` | CVSS scoring, CVE database |
+//! | [`bus`] | `cais-bus` | pub/sub messaging (zeroMQ stand-in) |
+//! | [`feeds`] | `cais-feeds` | OSINT feed formats + synthesis |
+//! | [`nlp`] | `cais-nlp` | threat-keyword classification |
+//! | [`infra`] | `cais-infra` | inventory, sensors, alarms |
+//! | [`misp`] | `cais-misp` | MISP-like TI platform |
+//! | [`taxii`] | `cais-taxii` | TAXII-like sharing |
+//! | [`core`] | `cais-core` | ★ the paper's platform core |
+//! | [`dashboard`] | `cais-dashboard` | the output module |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cais::core::{Platform, ReducedIoc};
+//! use cais::common::{Observable, ObservableKind};
+//! use cais::feeds::{FeedRecord, ThreatCategory};
+//!
+//! // The platform of the paper's Section IV use case.
+//! let mut platform = Platform::paper_use_case();
+//! let dashboard_feed = platform.broker().subscribe("cais.rioc.published");
+//!
+//! // A vulnerability advisory arrives from an OSINT feed…
+//! let now = platform.context().now;
+//! let advisory = FeedRecord::new(
+//!     Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+//!     ThreatCategory::VulnerabilityExploitation,
+//!     "nvd-feed",
+//!     now.add_days(-100),
+//! )
+//! .with_cve("CVE-2017-9805")
+//! .with_description("remote code execution in apache struts");
+//!
+//! // …is deduplicated, aggregated, scored and reduced…
+//! let report = platform.ingest_feed_records(vec![advisory])?;
+//! assert_eq!(report.riocs, 1);
+//!
+//! // …and the rIoC reaches the dashboard topic.
+//! let rioc: ReducedIoc = dashboard_feed.try_recv().unwrap().decode().unwrap();
+//! assert_eq!(rioc.cve.as_deref(), Some("CVE-2017-9805"));
+//! # Ok::<(), cais::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cais_bus as bus;
+pub use cais_common as common;
+pub use cais_core as core;
+pub use cais_cvss as cvss;
+pub use cais_dashboard as dashboard;
+pub use cais_feeds as feeds;
+pub use cais_infra as infra;
+pub use cais_misp as misp;
+pub use cais_nlp as nlp;
+pub use cais_stix as stix;
+pub use cais_taxii as taxii;

@@ -1,0 +1,192 @@
+//! Federation scenarios: multiple CAIS platforms exchanging
+//! intelligence over every channel the paper names — MISP sync with
+//! distribution downgrades, the MISP feed loop, STIX bundles over
+//! TAXII — and re-scoring received intelligence against their own
+//! context.
+
+use cais::common::{Observable, ObservableKind};
+use cais::core::Platform;
+use cais::feeds::{parse, FeedRecord, ThreatCategory};
+use cais::misp::event::Distribution;
+use cais::misp::{sync, MispApi};
+use cais::stix::prelude::*;
+use cais::taxii::{Collection, TaxiiClient, TaxiiServer};
+
+fn struts_advisory(platform: &Platform) -> FeedRecord {
+    FeedRecord::new(
+        Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+        ThreatCategory::VulnerabilityExploitation,
+        "nvd-feed",
+        platform.context().now.add_days(-100),
+    )
+    .with_cve("CVE-2017-9805")
+    .with_description("remote code execution in apache struts")
+}
+
+/// Producer platform → MISP sync → partner → second hop: the
+/// distribution level decays per hop until the intelligence pins.
+#[test]
+fn three_hop_distribution_decay() {
+    let mut producer = Platform::paper_use_case();
+    producer
+        .ingest_feed_records(vec![struts_advisory(&producer)])
+        .unwrap();
+    // Mark the event for two-hop propagation.
+    let event_id = producer.eiocs()[0].misp_event_id.unwrap();
+    producer
+        .misp()
+        .store()
+        .update(event_id, |event| {
+            event.distribution = Distribution::ConnectedCommunities;
+        })
+        .unwrap();
+
+    let hop1 = MispApi::new("hop-1");
+    assert_eq!(sync::push(producer.misp(), &hop1).transferred, 1);
+    let on_hop1 = &hop1.store().all()[0];
+    assert_eq!(on_hop1.distribution, Distribution::CommunityOnly);
+
+    hop1.publish_event(on_hop1.id).unwrap();
+    let hop2 = MispApi::new("hop-2");
+    assert_eq!(sync::push(&hop1, &hop2).transferred, 1);
+    let on_hop2 = &hop2.store().all()[0];
+    assert_eq!(on_hop2.distribution, Distribution::OrganizationOnly);
+
+    // The intelligence itself survived both hops.
+    assert!(on_hop2.threat_score().is_some());
+    hop2.publish_event(on_hop2.id).unwrap();
+    let hop3 = MispApi::new("hop-3");
+    let report = sync::push(&hop2, &hop3);
+    assert_eq!(report.withheld, 1);
+    assert_eq!(hop3.store().len(), 0);
+}
+
+/// Producer exports a MISP feed; a downstream platform ingests it with
+/// its ordinary OSINT collector and re-scores against its *own*
+/// context.
+#[test]
+fn feed_export_closes_the_loop() {
+    let mut producer = Platform::paper_use_case();
+    producer
+        .ingest_feed_records(vec![struts_advisory(&producer)])
+        .unwrap();
+    let event_id = producer.eiocs()[0].misp_event_id.unwrap();
+    let feed_doc = producer
+        .misp()
+        .export_event(event_id, "misp-feed")
+        .unwrap()
+        .expect("misp-feed module installed");
+
+    // Downstream parses the feed like any OSINT source…
+    let records = parse::misp_feed::parse(
+        &feed_doc,
+        "upstream-cais",
+        ThreatCategory::VulnerabilityExploitation,
+    )
+    .unwrap();
+    assert!(!records.is_empty());
+
+    // …and scores it against its own (identical, here) inventory.
+    let mut downstream = Platform::paper_use_case();
+    let report = downstream.ingest_feed_records(records).unwrap();
+    assert!(report.eiocs > 0);
+    assert!(report.riocs > 0, "downstream also runs apache");
+}
+
+/// STIX bundles travel over the TAXII channel and are scored on
+/// arrival by the receiver's heuristics.
+#[test]
+fn taxii_delivery_feeds_the_heuristics() {
+    // A sharing point with one collection.
+    let mut server = TaxiiServer::new("community sharing point");
+    let collection = server.add_collection(Collection::new("stix", "raw STIX objects"));
+    let addr = server.serve("127.0.0.1:0").unwrap();
+
+    // The producer pushes a STIX bundle.
+    let producer = TaxiiClient::connect(addr).unwrap();
+    let stamp = cais::common::Timestamp::from_ymd_hms(2018, 5, 30, 0, 0, 0);
+    let mut malware = Malware::builder("emotet");
+    malware
+        .label("trojan")
+        .status("active")
+        .operating_system("windows")
+        .created(stamp)
+        .modified(stamp);
+    let mut indicator = Indicator::builder("[ipv4-addr:value = '203.0.113.50']", stamp);
+    indicator
+        .name("emotet-c2")
+        .label("malicious-activity")
+        .created(stamp)
+        .modified(stamp);
+    let bundle = Bundle::new(vec![malware.build().into(), indicator.build().into()]);
+    let objects: Vec<serde_json::Value> = bundle
+        .objects()
+        .iter()
+        .map(|o| serde_json::to_value(o).unwrap())
+        .collect();
+    producer.add_objects(&collection, objects).unwrap();
+
+    // The consumer pulls, reassembles the bundle, and ingests it.
+    let consumer = TaxiiClient::connect(addr).unwrap();
+    let pulled = consumer.all_objects(&collection).unwrap();
+    let mut reassembled = Bundle::empty();
+    for value in pulled {
+        let object: StixObject = serde_json::from_value(value).unwrap();
+        reassembled.push(object);
+    }
+    assert_eq!(reassembled.len(), 2);
+
+    let mut receiver = Platform::paper_use_case();
+    let scored = receiver.ingest_stix_bundle(&reassembled).unwrap();
+    assert_eq!(scored, 2);
+    assert_eq!(receiver.armed_indicators(), 1);
+    // The received indicator now defends the receiver's network.
+    let packet = cais::infra::sensors::nids::Packet {
+        at: receiver.context().now,
+        src_ip: "203.0.113.50".into(),
+        dst_ip: "192.168.1.11".into(),
+        dst_port: 443,
+        payload: "beacon".into(),
+    };
+    receiver.ingest_packets(&[packet]);
+    assert_eq!(receiver.detections().len(), 1);
+}
+
+/// The same intelligence scores differently on platforms with different
+/// inventories — the essence of context-awareness.
+#[test]
+fn context_changes_the_verdict() {
+    use cais::core::EvaluationContext;
+    use cais::cvss::CveDatabase;
+    use cais::infra::inventory::{Inventory, NodeType};
+    use cais::infra::SightingStore;
+    use std::sync::Arc;
+
+    // Platform A: the paper's inventory (runs apache).
+    let mut apache_shop = Platform::paper_use_case();
+    let report = apache_shop
+        .ingest_feed_records(vec![struts_advisory(&apache_shop)])
+        .unwrap();
+    assert_eq!(report.riocs, 1, "apache shop must alert");
+
+    // Platform B: a windows-only shop.
+    let mut builder = Inventory::builder();
+    builder
+        .node("AD-Controller", NodeType::Server, "windows")
+        .applications(&["windows", "active directory", "exchange"])
+        .ip("10.1.1.10")
+        .network("LAN");
+    let inventory = builder.build();
+    let ctx = EvaluationContext::new(
+        Arc::new(inventory),
+        Arc::new(CveDatabase::synthetic(0, 200)),
+        Arc::new(SightingStore::new()),
+        cais::common::Timestamp::from_ymd_hms(2018, 6, 1, 0, 0, 0),
+    );
+    let mut windows_shop = Platform::new(cais::core::PlatformConfig::default(), ctx);
+    let report = windows_shop
+        .ingest_feed_records(vec![struts_advisory(&windows_shop)])
+        .unwrap();
+    assert_eq!(report.eiocs, 1, "still stored and scored");
+    assert_eq!(report.riocs, 0, "but no dashboard noise: no apache here");
+}

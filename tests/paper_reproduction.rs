@@ -1,0 +1,179 @@
+//! Integration tests pinning every number the paper prints.
+
+use cais::core::heuristics::{score, vulnerability, FeatureValue, HeuristicKind, WeightScheme};
+use cais::core::EvaluationContext;
+use cais::infra::inventory::Inventory;
+use cais::infra::NodeId;
+
+/// Table I: three heuristics over five features with static weights
+/// P = (0.10, 0.25, 0.40, 0.15, 0.10).
+#[test]
+fn table1_threat_scores() {
+    let weights = WeightScheme::fixed(vec![0.10, 0.25, 0.40, 0.15, 0.10]);
+    let cases = [
+        ([3, 4, 3, 1, 5], 3.15),
+        ([5, 2, 2, 4, 0], 1.92),
+        ([1, 1, 2, 3, 3], 1.90),
+    ];
+    for (values, expected) in cases {
+        let ts = score::threat_score(&values.map(FeatureValue::scored), &weights);
+        assert!(
+            (ts.total() - expected).abs() < 1e-9,
+            "X = {values:?}: got {}, paper says {expected}",
+            ts.total()
+        );
+    }
+}
+
+/// Table II: the six selected heuristics and their feature sets.
+#[test]
+fn table2_heuristics_and_features() {
+    assert_eq!(HeuristicKind::ALL.len(), 6);
+    let vuln_features = cais::core::heuristics::feature_names(HeuristicKind::Vulnerability);
+    for expected in [
+        "operating_system",
+        "source_diversity",
+        "application",
+        "vuln_app_in_alarm",
+        "valid_from",
+        "valid_until",
+        "external_references",
+        "cve",
+    ] {
+        assert!(vuln_features.contains(&expected), "{expected} missing");
+    }
+}
+
+/// Table III: the four-node inventory plus the `linux` common keyword.
+#[test]
+fn table3_inventory() {
+    let inventory = Inventory::paper_table3();
+    assert_eq!(inventory.len(), 4);
+    // The exact application sets of the table.
+    let node1 = inventory.node(NodeId(1)).unwrap();
+    assert_eq!(node1.name, "OwnCloud");
+    assert_eq!(
+        node1.applications,
+        vec!["ubuntu", "owncloud", "ossec", "snort", "suricata", "nids", "hids"]
+    );
+    let node4 = inventory.node(NodeId(4)).unwrap();
+    assert_eq!(
+        node4.applications,
+        vec!["debian", "apache", "apache storm", "apache zookeeper", "server"]
+    );
+    assert_eq!(inventory.common_keywords(), ["linux"]);
+}
+
+/// Table IV/V + Section IV-B: the CVE-2017-9805 RCE IoC evaluates to
+/// the printed feature vector and TS = 2.7406.
+#[test]
+fn table5_rce_threat_score() {
+    let ctx = EvaluationContext::paper_use_case();
+    let ioc = vulnerability::paper_rce_ioc();
+    let ts = vulnerability::evaluate(&ioc, &ctx);
+
+    // The printed Xi values.
+    let xi: Vec<FeatureValue> = ts.breakdown().lines.iter().map(|l| l.value).collect();
+    assert_eq!(
+        xi,
+        vec![
+            FeatureValue::Scored(3),
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(2),
+            FeatureValue::Scored(1),
+            FeatureValue::Scored(2),
+            FeatureValue::Scored(1),
+            FeatureValue::Empty,
+            FeatureValue::Scored(5),
+            FeatureValue::Scored(4),
+        ]
+    );
+    // The printed Pi values (paper rounds to 4 decimals).
+    let pi: Vec<f64> = ts.breakdown().lines.iter().map(|l| l.weight).collect();
+    let printed = [0.0952, 0.0952, 0.1429, 0.0952, 0.0476, 0.0476, 0.0, 0.2738, 0.2024];
+    for (got, want) in pi.iter().zip(printed) {
+        assert!((got - want).abs() < 5e-5, "{got} vs printed {want}");
+    }
+    // Cp = 8/9 and the final score.
+    assert!((ts.completeness() - 8.0 / 9.0).abs() < 1e-12);
+    assert!((ts.total() - 2.7406).abs() < 1e-3, "TS = {}", ts.total());
+    // "places the relevance of this IoC in the average position"
+    assert_eq!(ts.priority_label(), "medium");
+}
+
+/// Section IV: the eIoC→rIoC reduction associates the RCE with node 4
+/// (the only node running apache), and a Linux-keyword IoC with all
+/// nodes.
+#[test]
+fn use_case_reduction_rules() {
+    use cais::common::{Observable, ObservableKind};
+    use cais::core::{ComposedIoc, Enricher, Reducer};
+    use cais::feeds::{FeedRecord, ThreatCategory};
+    use std::sync::Arc;
+
+    let ctx = EvaluationContext::paper_use_case();
+    let enricher = Enricher::new(ctx.clone());
+    let reducer = Reducer::new(Arc::clone(&ctx.inventory));
+
+    let make = |description: &str| {
+        let record = FeedRecord::new(
+            Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+            ThreatCategory::VulnerabilityExploitation,
+            "nvd-feed",
+            ctx.now.add_days(-100),
+        )
+        .with_cve("CVE-2017-9805")
+        .with_description(description);
+        enricher.enrich(ComposedIoc::new(
+            ThreatCategory::VulnerabilityExploitation,
+            vec![record],
+            ctx.now,
+        ))
+    };
+
+    // Specific match → node 4 only.
+    let rioc = reducer
+        .reduce(&make("remote code execution in apache struts"))
+        .expect("apache matches node 4");
+    assert_eq!(rioc.nodes, vec![NodeId(4)]);
+    assert!(!rioc.via_common_keyword);
+
+    // Common keyword → all nodes.
+    let rioc = reducer
+        .reduce(&make("use-after-free in the linux kernel"))
+        .expect("linux matches everything");
+    assert_eq!(rioc.nodes.len(), 4);
+    assert!(rioc.via_common_keyword);
+
+    // No match → no rIoC ("the rIoC is not generated").
+    assert!(reducer
+        .reduce(&make("flaw in an appliance we do not own"))
+        .is_none());
+}
+
+/// Score bounds of Section IV-C: 0 ≤ TS ≤ 5 over arbitrary evaluations.
+#[test]
+fn score_range_invariant() {
+    let ctx = EvaluationContext::paper_use_case();
+    // Sweep the fixture CVE database: every scored record stays in range.
+    for record in ctx.cve_db.iter().take(300) {
+        let mut builder = cais::stix::sdo::Vulnerability::builder(record.id.to_string());
+        builder
+            .created(record.published)
+            .modified(record.published)
+            .valid_from(record.published);
+        for os in &record.affected_os {
+            builder.operating_system(os);
+        }
+        for app in &record.affected_products {
+            builder.affected_application(app);
+        }
+        let ts = vulnerability::evaluate(&builder.build(), &ctx);
+        assert!(
+            (0.0..=5.0).contains(&ts.total()),
+            "{}: TS {} out of range",
+            record.id,
+            ts.total()
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end integration across the whole workspace: synthetic feeds
+//! through collection, MISP storage, scoring, reduction, the dashboard
+//! stream and federation.
+
+use cais::common::{Observable, ObservableKind};
+use cais::core::Platform;
+use cais::dashboard::{DashboardState, DashboardStream};
+use cais::feeds::synth::{SyntheticConfig, SyntheticFeedSet};
+use cais::feeds::{parse, FeedRecord, ThreatCategory};
+use cais::infra::inventory::Inventory;
+use cais::infra::sensors::nids;
+use cais::misp::MispApi;
+
+fn struts_advisory(platform: &Platform) -> FeedRecord {
+    let now = platform.context().now;
+    FeedRecord::new(
+        Observable::new(ObservableKind::Cve, "CVE-2017-9805"),
+        ThreatCategory::VulnerabilityExploitation,
+        "nvd-feed",
+        now.add_days(-100),
+    )
+    .with_cve("CVE-2017-9805")
+    .with_description("remote code execution in apache struts")
+}
+
+#[test]
+fn synthetic_feeds_deduplicate_to_ground_truth() {
+    let mut platform = Platform::paper_use_case();
+    let set = SyntheticFeedSet::generate(&SyntheticConfig {
+        seed: 99,
+        feeds: 5,
+        records_per_feed: 200,
+        duplicate_rate: 0.3,
+        overlap_rate: 0.3,
+        base_time: platform.context().now.add_days(-5),
+        ..SyntheticConfig::default()
+    });
+    let mut records = Vec::new();
+    for feed in &set.feeds {
+        records.extend(
+            parse::parse_payload(feed.format, &feed.payload, &feed.name, feed.category).unwrap(),
+        );
+    }
+    let total = records.len();
+    let report = platform.ingest_feed_records(records).unwrap();
+    assert_eq!(report.records_in, total);
+    // The collector must recover exactly the generator's ground truth
+    // (dedup keys survive all three wire formats).
+    assert_eq!(
+        report.records_in - report.duplicates_dropped,
+        set.unique_record_count(),
+        "dedup output disagrees with ground truth"
+    );
+    assert!(report.ciocs > 0);
+    assert_eq!(report.eiocs, report.ciocs);
+    // Every cIoC became a stored MISP event with a threat score.
+    assert_eq!(platform.misp().store().len(), report.ciocs);
+    for event in platform.misp().store().all() {
+        assert!(event.threat_score().is_some(), "event {} unscored", event.id);
+        assert!(event.published);
+    }
+}
+
+#[test]
+fn dashboard_stream_tracks_the_platform() {
+    let mut platform = Platform::paper_use_case();
+    let mut stream = DashboardStream::attach(
+        DashboardState::new(Inventory::paper_table3()),
+        platform.broker(),
+    );
+
+    // Alarms from attack traffic…
+    let inventory = Inventory::paper_table3();
+    let packets = nids::generate_traffic(5, 500, 0.1, &inventory, platform.context().now);
+    platform.ingest_packets(&packets);
+    // …and a relevant advisory.
+    platform
+        .ingest_feed_records(vec![struts_advisory(&platform)])
+        .unwrap();
+
+    let applied = stream.pump();
+    assert!(applied >= 2, "expected alarms + rIoC, applied {applied}");
+    assert_eq!(stream.state().riocs().len(), 1);
+    assert!(!stream.state().alarms().is_empty());
+    assert_eq!(stream.decode_failures(), 0);
+
+    // The rendered dashboard shows the score.
+    let text = cais::dashboard::render::ascii(stream.state());
+    assert!(text.contains("CVE-2017-9805"));
+    let doc = cais::dashboard::render::json(stream.state());
+    assert_eq!(doc["rioc_total"], 1);
+}
+
+#[test]
+fn alarm_context_raises_the_use_case_score() {
+    // Without alarms the use case scores 2.7407; Struts exploitation
+    // traffic observed by the NIDS must raise it.
+    let mut quiet = Platform::paper_use_case();
+    quiet
+        .ingest_feed_records(vec![struts_advisory(&quiet)])
+        .unwrap();
+    let quiet_score = quiet.eiocs()[0].score();
+
+    let mut noisy = Platform::paper_use_case();
+    let packet = nids::Packet {
+        at: noisy.context().now,
+        src_ip: "203.0.113.9".into(),
+        dst_ip: "192.168.1.14".into(),
+        dst_port: 8080,
+        payload: "XStreamHandler xstream RCE attempt".into(),
+    };
+    noisy.ingest_packets(&[packet]);
+    noisy
+        .ingest_feed_records(vec![struts_advisory(&noisy)])
+        .unwrap();
+    let noisy_score = noisy.eiocs()[0].score();
+
+    assert!(
+        noisy_score > quiet_score,
+        "alarm context must raise the score: {noisy_score} !> {quiet_score}"
+    );
+}
+
+#[test]
+fn federation_shares_enriched_events() {
+    let mut platform = Platform::paper_use_case();
+    platform
+        .ingest_feed_records(vec![struts_advisory(&platform)])
+        .unwrap();
+    let partner = MispApi::new("partner");
+    assert_eq!(platform.share_with(&partner), 1);
+    // The partner received the event with its threat-score attribute
+    // and criterion tags intact.
+    let event = &partner.store().all()[0];
+    assert!(event.threat_score().is_some());
+    assert!(event
+        .tags
+        .iter()
+        .any(|t| t.namespace() == Some("cais") && t.predicate() == Some("relevance")));
+    // Re-sharing is idempotent.
+    assert_eq!(platform.share_with(&partner), 0);
+}
+
+#[test]
+fn misp_export_formats_agree_on_content() {
+    let mut platform = Platform::paper_use_case();
+    platform
+        .ingest_feed_records(vec![struts_advisory(&platform)])
+        .unwrap();
+    let event_id = platform.eiocs()[0].misp_event_id.unwrap();
+
+    let misp_json = platform
+        .misp()
+        .export_event(event_id, "misp-json")
+        .unwrap()
+        .unwrap();
+    let stix = platform
+        .misp()
+        .export_event(event_id, "stix2")
+        .unwrap()
+        .unwrap();
+    let csv = platform
+        .misp()
+        .export_event(event_id, "csv")
+        .unwrap()
+        .unwrap();
+    for (name, payload) in [("misp-json", &misp_json), ("stix2", &stix), ("csv", &csv)] {
+        assert!(
+            payload.contains("CVE-2017-9805"),
+            "{name} export lost the CVE"
+        );
+    }
+    // The MISP JSON round-trips through the importer.
+    let event = cais::misp::export::misp_json::from_document(&misp_json).unwrap();
+    assert!(event.threat_score().is_some());
+    // The STIX export parses as a bundle whose indicator patterns
+    // compile.
+    let bundle = cais::stix::Bundle::from_json(&stix).unwrap();
+    assert!(bundle.len() >= 2);
+    let findings = cais::stix::validate::validate_bundle(&bundle);
+    assert!(
+        cais::stix::validate::is_acceptable(&findings),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn reports_and_state_survive_many_rounds() {
+    let mut platform = Platform::paper_use_case();
+    let now = platform.context().now;
+    let mut total_riocs = 0;
+    for round in 0..10 {
+        let record = FeedRecord::new(
+            Observable::new(
+                ObservableKind::Domain,
+                format!("c2-{round}.evil.example"),
+            ),
+            ThreatCategory::CommandAndControl,
+            "feed",
+            now.add_days(-(round as i64) - 1),
+        );
+        let report = platform
+            .ingest_feed_records(vec![record, struts_advisory(&platform)])
+            .unwrap();
+        total_riocs += report.riocs;
+    }
+    // The struts advisory deduplicates after round 0; each c2 domain is
+    // fresh.
+    assert_eq!(platform.eiocs().len(), 11);
+    assert_eq!(total_riocs, 1);
+    assert_eq!(platform.misp().store().len(), 11);
+}
+
+#[test]
+fn feed_scoreboard_ranks_sources() {
+    let mut platform = Platform::paper_use_case();
+    let now = platform.context().now;
+    // fast-feed delivers fresh, original records; slow-feed parrots them
+    // three days late.
+    let originals: Vec<FeedRecord> = (0..20)
+        .map(|i| {
+            FeedRecord::new(
+                Observable::new(ObservableKind::Domain, format!("c2-{i}.threat.ru")),
+                ThreatCategory::CommandAndControl,
+                "fast-feed",
+                now.add_days(-1),
+            )
+        })
+        .collect();
+    let parroted: Vec<FeedRecord> = originals
+        .iter()
+        .map(|r| {
+            let mut copy = r.clone();
+            copy.source = "slow-feed".into();
+            copy.seen_at = now.add_days(-4);
+            copy
+        })
+        .collect();
+    platform.ingest_feed_records(originals).unwrap();
+    platform.ingest_feed_records(parroted).unwrap();
+    let board = platform.feed_scoreboard();
+    assert_eq!(board.len(), 2);
+    assert_eq!(board[0].0, "fast-feed");
+    assert!(board[0].1 > board[1].1, "{board:?}");
+}
+
+#[test]
+fn scheduler_drives_the_platform() {
+    use cais::feeds::{FeedFormat, FeedScheduler, MemorySource};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    // The scheduler polls a source and hands records over a channel;
+    // the platform drains the channel — the paper's Fig. 1 input loop.
+    let (tx, rx) = mpsc::channel::<Vec<FeedRecord>>();
+    let mut scheduler = FeedScheduler::new(move |records| {
+        let _ = tx.send(records);
+    });
+    scheduler.add_source(
+        Box::new(MemorySource::new(
+            "polled-feed",
+            FeedFormat::PlainText,
+            ThreatCategory::MalwareDomain,
+            "c2.threat-domain.ru\ndrop.threat-domain.ru\n",
+        )),
+        Duration::from_millis(10),
+    );
+    let handle = scheduler.start(Duration::from_millis(2));
+
+    let mut platform = Platform::paper_use_case();
+    let mut rounds = 0;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while rounds < 3 && std::time::Instant::now() < deadline {
+        if let Ok(records) = rx.recv_timeout(Duration::from_millis(200)) {
+            platform.ingest_feed_records(records).unwrap();
+            rounds += 1;
+        }
+    }
+    handle.stop();
+    assert!(rounds >= 3, "scheduler delivered only {rounds} rounds");
+    // The same payload re-fetched repeatedly: exactly one cIoC ever
+    // forms (both domains share an apex and correlate), repeats dedup.
+    assert_eq!(platform.eiocs().len(), 1);
+    assert!(platform.misp().store().len() == 1);
+}

@@ -1,0 +1,296 @@
+//! Property-based tests over the core invariants.
+
+use cais::common::{Timestamp, Uuid};
+use cais::core::heuristics::{score, CriteriaPoints, FeatureValue, WeightScheme};
+use proptest::prelude::*;
+
+fn feature_values(max_len: usize) -> impl Strategy<Value = Vec<FeatureValue>> {
+    prop::collection::vec(0u8..=5, 1..=max_len)
+        .prop_map(|raw| raw.into_iter().map(FeatureValue::scored).collect())
+}
+
+proptest! {
+    /// Eq. 1 with normalized weights always lands in 0 ≤ TS ≤ 5.
+    #[test]
+    fn threat_score_stays_in_range(values in feature_values(12)) {
+        let n = values.len();
+        let weights = WeightScheme::fixed(vec![1.0 / n as f64; n]);
+        let ts = score::threat_score(&values, &weights);
+        prop_assert!(ts.total() >= 0.0);
+        prop_assert!(ts.total() <= 5.0 + 1e-9);
+        prop_assert!(ts.completeness() >= 0.0 && ts.completeness() <= 1.0);
+    }
+
+    /// Criteria-derived weights always resolve to a distribution over
+    /// the evaluated features (sum 1, or all-zero when nothing is
+    /// evaluated).
+    #[test]
+    fn criteria_weights_form_distribution(
+        raw in prop::collection::vec((0u8..=5, 1u32..20, 1u32..20, 1u32..20, 1u32..20), 1..10)
+    ) {
+        let values: Vec<FeatureValue> =
+            raw.iter().map(|(x, ..)| FeatureValue::scored(*x)).collect();
+        let points: Vec<CriteriaPoints> = raw
+            .iter()
+            .map(|(_, r, a, t, v)| CriteriaPoints::new(*r, *a, *t, *v))
+            .collect();
+        let scheme = WeightScheme::from_criteria(points);
+        let weights = scheme.resolve(&values);
+        let sum: f64 = weights.iter().sum();
+        let any_evaluated = values.iter().any(|v| v.is_evaluated());
+        if any_evaluated {
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        } else {
+            prop_assert_eq!(sum, 0.0);
+        }
+        // Empty features never carry weight.
+        for (w, v) in weights.iter().zip(&values) {
+            if !v.is_evaluated() {
+                prop_assert_eq!(*w, 0.0);
+            }
+        }
+    }
+
+    /// Raising any single feature value never lowers the score
+    /// (monotonicity of Eq. 1 under fixed weights).
+    #[test]
+    fn threat_score_is_monotone(
+        values in feature_values(8),
+        index in 0usize..8,
+    ) {
+        let n = values.len();
+        let index = index % n;
+        let weights = WeightScheme::fixed(vec![1.0 / n as f64; n]);
+        let base = score::threat_score(&values, &weights).total();
+        let mut raised = values.clone();
+        raised[index] = FeatureValue::Scored(5);
+        let after = score::threat_score(&raised, &weights).total();
+        prop_assert!(after + 1e-9 >= base, "raising x{index} lowered TS: {base} -> {after}");
+    }
+
+    /// Timestamps round-trip through RFC 3339 for four decades around
+    /// the epoch of interest.
+    #[test]
+    fn timestamp_rfc3339_roundtrip(millis in -500_000_000_000i64..2_500_000_000_000i64) {
+        let ts = Timestamp::from_unix_millis(millis);
+        let text = ts.to_rfc3339();
+        let back = Timestamp::parse_rfc3339(&text).unwrap();
+        prop_assert_eq!(back, ts, "{}", text);
+    }
+
+    /// UUID parse/format round-trips for arbitrary random bytes.
+    #[test]
+    fn uuid_roundtrip(bytes in prop::array::uniform16(any::<u8>())) {
+        let id = Uuid::from_random_bytes(bytes);
+        let back: Uuid = id.to_string().parse().unwrap();
+        prop_assert_eq!(back, id);
+        prop_assert_eq!(id.version(), 4);
+    }
+
+    /// The deduplicator is idempotent: a second pass over the same data
+    /// drops everything, and kept + dropped = seen.
+    #[test]
+    fn dedup_accounting(values in prop::collection::vec("[a-z]{3,8}", 1..50)) {
+        use cais::core::collector::Deduplicator;
+        use cais::common::{Observable, ObservableKind};
+        use cais::feeds::{FeedRecord, ThreatCategory};
+
+        let records: Vec<FeedRecord> = values
+            .iter()
+            .map(|v| {
+                FeedRecord::new(
+                    Observable::new(ObservableKind::Domain, format!("{v}.example")),
+                    ThreatCategory::MalwareDomain,
+                    "feed",
+                    Timestamp::EPOCH,
+                )
+            })
+            .collect();
+        let mut dedup = Deduplicator::new();
+        let kept = dedup.filter_batch(records.clone());
+        let again = dedup.filter_batch(records.clone());
+        prop_assert!(again.is_empty());
+        let stats = dedup.stats();
+        prop_assert_eq!(stats.kept + stats.dropped, stats.seen);
+        prop_assert_eq!(stats.kept, kept.len());
+        prop_assert_eq!(kept.len(), dedup.distinct());
+    }
+
+    /// Aggregation conserves records: every input record lands in
+    /// exactly one cIoC of its own category.
+    #[test]
+    fn aggregation_conserves_records(
+        domains in prop::collection::vec("[a-z]{3,8}", 1..40),
+    ) {
+        use cais::core::collector::aggregate_into_ciocs;
+        use cais::common::{Observable, ObservableKind};
+        use cais::feeds::{FeedRecord, ThreatCategory};
+
+        let mut records: Vec<FeedRecord> = domains
+            .iter()
+            .map(|v| {
+                FeedRecord::new(
+                    Observable::new(ObservableKind::Domain, format!("{v}.example")),
+                    ThreatCategory::MalwareDomain,
+                    "feed",
+                    Timestamp::EPOCH,
+                )
+            })
+            .collect();
+        records.dedup_by_key(|r| r.dedup_key());
+        let total: usize = records.len();
+        let ciocs = aggregate_into_ciocs(records, Timestamp::EPOCH);
+        let clustered: usize = ciocs.iter().map(|c| c.records.len()).sum();
+        prop_assert_eq!(clustered, total);
+        for cioc in &ciocs {
+            prop_assert!(cioc.records.iter().all(|r| r.category == cioc.category));
+        }
+    }
+
+    /// CVSS v3 base scores stay within [0, 10] and severity bands agree
+    /// with the score.
+    #[test]
+    fn cvss_score_and_severity_agree(
+        av in 0usize..4, ac in 0usize..2, pr in 0usize..3,
+        ui in 0usize..2, s in 0usize..2, c in 0usize..3,
+        i in 0usize..3, a in 0usize..3,
+    ) {
+        use cais::cvss::v3::*;
+        let vector = CvssV3 {
+            attack_vector: [AttackVector::Network, AttackVector::Adjacent, AttackVector::Local, AttackVector::Physical][av],
+            attack_complexity: [AttackComplexity::Low, AttackComplexity::High][ac],
+            privileges_required: [PrivilegesRequired::None, PrivilegesRequired::Low, PrivilegesRequired::High][pr],
+            user_interaction: [UserInteraction::None, UserInteraction::Required][ui],
+            scope: [Scope::Unchanged, Scope::Changed][s],
+            confidentiality: [Impact::None, Impact::Low, Impact::High][c],
+            integrity: [Impact::None, Impact::Low, Impact::High][i],
+            availability: [Impact::None, Impact::Low, Impact::High][a],
+            exploit_maturity: ExploitMaturity::NotDefined,
+            remediation_level: RemediationLevel::NotDefined,
+            report_confidence: ReportConfidence::NotDefined,
+        };
+        let score = vector.base_score();
+        prop_assert!((0.0..=10.0).contains(&score));
+        prop_assert_eq!(vector.severity(), Severity::from_score(score));
+        // Display → parse round-trip.
+        let reparsed: CvssV3 = vector.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, vector);
+    }
+
+    /// Topic pattern `#` matches everything; a topic always matches its
+    /// own literal pattern.
+    #[test]
+    fn topic_matching_laws(segments in prop::collection::vec("[a-z]{1,6}", 1..5)) {
+        use cais::bus::{Topic, TopicPattern};
+        let name = segments.join(".");
+        let topic = Topic::new(&name);
+        prop_assert!(TopicPattern::new("#").matches(&topic));
+        prop_assert!(TopicPattern::new(&name).matches(&topic));
+        let wild = segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i == 0 { "*" } else { s.as_str() })
+            .collect::<Vec<_>>()
+            .join(".");
+        prop_assert!(TopicPattern::new(&wild).matches(&topic));
+    }
+}
+
+proptest! {
+    /// The STIX pattern parser never panics, whatever bytes arrive —
+    /// it either parses or returns a structured error.
+    #[test]
+    fn pattern_parser_never_panics(input in "\\PC{0,80}") {
+        let _ = cais::stix::pattern::Pattern::parse(&input);
+    }
+
+    /// Structured random patterns parse and evaluate without panicking.
+    #[test]
+    fn generated_patterns_parse_and_evaluate(
+        ty in "[a-z]{2,8}",
+        path in "[a-z_]{2,8}",
+        value in "[a-zA-Z0-9.]{1,12}",
+        op in prop::sample::select(vec!["=", "!=", "<", ">", "<=", ">=", "LIKE"]),
+    ) {
+        use cais::stix::pattern::{Observation, Pattern};
+        use cais::stix::sdo::CyberObservable;
+        use cais::common::Timestamp;
+
+        let source = format!("[{ty}-x:{path} {op} '{value}']");
+        let pattern = Pattern::parse(&source).expect("generated pattern is valid");
+        let hit = Observation::at(Timestamp::EPOCH).with_object(
+            CyberObservable::new(format!("{ty}-x"), "v").with_property(&path, &value),
+        );
+        let miss = Observation::at(Timestamp::EPOCH)
+            .with_object(CyberObservable::new("other-type", "v"));
+        // Evaluation must be total; outcomes depend on the operator.
+        let _ = pattern.matches(&[hit]);
+        prop_assert!(!pattern.matches(&[miss]) || op == "!=");
+    }
+
+    /// The MISP JSON export/import round-trip preserves events, for
+    /// arbitrary attribute content.
+    #[test]
+    fn misp_json_roundtrip(values in prop::collection::vec("[a-z0-9.]{4,20}", 1..8)) {
+        use cais::misp::{export::misp_json, AttributeCategory, MispAttribute, MispEvent};
+        let mut event = MispEvent::new("property event");
+        for v in &values {
+            event.add_attribute(MispAttribute::new(
+                "text",
+                AttributeCategory::Other,
+                v.clone(),
+            ));
+        }
+        let doc = misp_json::to_document(&event).unwrap();
+        let back = misp_json::from_document(&doc).unwrap();
+        prop_assert_eq!(back, event);
+    }
+
+    /// The feed plaintext parser never panics and only produces
+    /// normalized observables.
+    #[test]
+    fn plaintext_parser_is_total(payload in "\\PC{0,200}") {
+        use cais::feeds::{parse::plaintext, ThreatCategory};
+        if let Ok(records) = plaintext::parse(&payload, "fuzz", ThreatCategory::Spam) {
+            for record in records {
+                prop_assert!(!record.observable.value().is_empty());
+            }
+        }
+    }
+
+    /// CSV record splitting is total and consistent with quoting.
+    #[test]
+    fn csv_parser_is_total(payload in "\\PC{0,200}") {
+        use cais::feeds::{parse::csv, ThreatCategory};
+        let _ = csv::parse(&payload, "fuzz", ThreatCategory::Spam);
+    }
+
+    /// Tuning profiles keep scores within bounds whatever the expert
+    /// points are.
+    #[test]
+    fn tuning_preserves_score_bounds(
+        points in prop::collection::vec((1u32..50, 1u32..50, 1u32..50, 1u32..50), 9),
+        raw in prop::collection::vec(0u8..=5, 9),
+    ) {
+        use cais::core::heuristics::{
+            feature_names, score::threat_score_named, tuning::TuningProfile, CriteriaPoints,
+            FeatureValue, HeuristicKind,
+        };
+        let mut profile = TuningProfile::builtin();
+        let names = feature_names(HeuristicKind::Vulnerability);
+        for (name, (r, a, t, v)) in names.iter().zip(&points) {
+            profile = profile.with_points(
+                HeuristicKind::Vulnerability,
+                name,
+                CriteriaPoints::new(*r, *a, *t, *v),
+            );
+        }
+        let values: Vec<FeatureValue> = raw.into_iter().map(FeatureValue::scored).collect();
+        let ts = threat_score_named(
+            &names,
+            &values,
+            &profile.weight_scheme(HeuristicKind::Vulnerability),
+        );
+        prop_assert!(ts.total() >= 0.0 && ts.total() <= 5.0 + 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Scale tests: the platform under volumes well past the paper's
+//! worked example. These are correctness-under-load tests, not
+//! benchmarks — they assert totals and bounded behaviour, with a loose
+//! wall-clock ceiling so a pathological regression fails loudly.
+
+use std::time::{Duration, Instant};
+
+use cais::core::Platform;
+use cais::dashboard::{render, DashboardState, DashboardStream};
+use cais::feeds::synth::{SyntheticConfig, SyntheticFeedSet};
+use cais::infra::inventory::Inventory;
+
+#[test]
+fn twenty_thousand_records_flow_through() {
+    let mut platform = Platform::paper_use_case();
+    let started = Instant::now();
+    let mut total_in = 0;
+    let mut total_dropped = 0;
+    let mut total_eiocs = 0;
+    // Four rounds of five feeds × 1000 records; seeds overlap so later
+    // rounds are largely duplicates, as real re-fetches are.
+    for round in 0..4u64 {
+        let set = SyntheticFeedSet::generate(&SyntheticConfig {
+            seed: round / 2, // rounds 0/1 and 2/3 share seeds
+            feeds: 5,
+            records_per_feed: 1_000,
+            duplicate_rate: 0.3,
+            overlap_rate: 0.3,
+            base_time: platform.context().now.add_days(-20),
+            ..SyntheticConfig::default()
+        });
+        let records = set.all_records();
+        total_in += records.len();
+        let report = platform.ingest_feed_records(records).expect("ingestion");
+        total_dropped += report.duplicates_dropped;
+        total_eiocs += report.eiocs;
+    }
+    assert_eq!(total_in, 20_000);
+    // Re-fetched rounds must be recognized as duplicates.
+    assert!(
+        total_dropped > total_in / 3,
+        "only {total_dropped} of {total_in} deduplicated"
+    );
+    assert_eq!(platform.eiocs().len(), total_eiocs);
+    assert_eq!(platform.misp().store().len(), total_eiocs);
+    // Every stored event is scored within bounds.
+    for eioc in platform.eiocs() {
+        let score = eioc.score();
+        assert!((0.0..=5.0).contains(&score));
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "pipeline took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn dashboard_renders_thousands_of_updates() {
+    let mut platform = Platform::paper_use_case();
+    let mut stream = DashboardStream::attach(
+        DashboardState::new(Inventory::paper_table3()),
+        platform.broker(),
+    );
+    // A burst of advisories that all reduce onto the inventory.
+    let now = platform.context().now;
+    let records: Vec<cais::feeds::FeedRecord> = (0..2_000)
+        .map(|i| {
+            cais::feeds::FeedRecord::new(
+                cais::common::Observable::new(
+                    cais::common::ObservableKind::Domain,
+                    format!("c2.evil{i}.example"),
+                ),
+                cais::feeds::ThreatCategory::CommandAndControl,
+                "feed",
+                now.add_days(-1),
+            )
+            // Each description names an inventory app so reduction
+            // fires; the leading word is unique per record so the
+            // family-correlation handle does not collapse the burst
+            // into one cluster.
+            .with_description(format!("campaign{i} beacon targeting gitlab instance"))
+        })
+        .collect();
+    let report = platform.ingest_feed_records(records).expect("ingestion");
+    assert!(report.riocs > 0);
+    let applied = stream.pump();
+    assert_eq!(applied, report.riocs);
+
+    let started = Instant::now();
+    let ascii = render::ascii(stream.state());
+    let html = render::html(stream.state());
+    let json = render::json(stream.state());
+    assert!(ascii.len() > 1_000);
+    assert!(html.len() > 1_000);
+    assert!(json["rioc_total"].as_u64().unwrap() as usize == report.riocs);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "rendering took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn bus_sustains_wide_fanout() {
+    let broker = cais::bus::Broker::new();
+    let subscriptions: Vec<_> = (0..64).map(|_| broker.subscribe("load.#")).collect();
+    for i in 0..1_000 {
+        broker.publish(
+            cais::bus::Topic::new(format!("load.item.{}", i % 10)),
+            serde_json::json!({ "i": i }),
+        );
+    }
+    for subscription in &subscriptions {
+        assert_eq!(subscription.queued(), 1_000);
+    }
+    // Drain one fully; the others are unaffected.
+    assert_eq!(subscriptions[0].drain().len(), 1_000);
+    assert_eq!(subscriptions[1].queued(), 1_000);
+}
+
+#[test]
+fn misp_store_handles_bulk_search() {
+    use cais::misp::{AttributeCategory, MispApi, MispAttribute, MispEvent};
+    let api = MispApi::new("scale");
+    for i in 0..3_000 {
+        let mut event = MispEvent::new(format!("event {i}"));
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            format!("host-{i}.example"),
+        ));
+        if i % 10 == 0 {
+            event.add_attribute(MispAttribute::new(
+                "domain",
+                AttributeCategory::NetworkActivity,
+                "shared-c2.example",
+            ));
+        }
+        api.add_event(event).expect("insert");
+    }
+    assert_eq!(api.store().len(), 3_000);
+    // Value-index lookups stay exact at volume.
+    assert_eq!(api.search_value("shared-c2.example").len(), 300);
+    // Correlation across 300 events sharing one value.
+    let any_shared = api.search_value("shared-c2.example")[0].0;
+    assert_eq!(api.correlations(any_shared).len(), 299);
+}
