@@ -53,13 +53,7 @@ fn bench_detection_evaluation(c: &mut Criterion) {
             BenchmarkId::new("context_aware", size),
             &population,
             |b, population| {
-                b.iter(|| {
-                    black_box(evaluate_detection(
-                        Approach::ContextAware,
-                        population,
-                        &ctx,
-                    ))
-                })
+                b.iter(|| black_box(evaluate_detection(Approach::ContextAware, population, &ctx)))
             },
         );
         group.bench_with_input(

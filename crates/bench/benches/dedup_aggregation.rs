@@ -53,16 +53,20 @@ fn bench_collector_feed_count(c: &mut Criterion) {
     for feeds in [1usize, 4, 16] {
         let records = workloads::record_stream(8, feeds, 200, 0.3, 0.3, Timestamp::EPOCH);
         group.throughput(Throughput::Elements(records.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(feeds), &records, |b, records| {
-            b.iter_batched(
-                || records.clone(),
-                |records| {
-                    let mut collector = OsintCollector::new();
-                    black_box(collector.ingest(records, Timestamp::EPOCH).len())
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(feeds),
+            &records,
+            |b, records| {
+                b.iter_batched(
+                    || records.clone(),
+                    |records| {
+                        let mut collector = OsintCollector::new();
+                        black_box(collector.ingest(records, Timestamp::EPOCH).len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

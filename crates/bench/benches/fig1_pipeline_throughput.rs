@@ -12,30 +12,20 @@ fn bench_pipeline(c: &mut Criterion) {
     for records in [200usize, 800, 3_200] {
         let per_feed = records / 4;
         group.throughput(Throughput::Elements(records as u64));
-        group.bench_with_input(
-            BenchmarkId::new("ingest", records),
-            &records,
-            |b, _| {
-                b.iter_batched(
-                    || {
-                        let platform = workloads::platform();
-                        let stream = workloads::record_stream(
-                            9,
-                            4,
-                            per_feed,
-                            0.3,
-                            0.2,
-                            platform.context().now,
-                        );
-                        (platform, stream)
-                    },
-                    |(mut platform, stream)| {
-                        black_box(platform.ingest_feed_records(stream).expect("ingestion"))
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ingest", records), &records, |b, _| {
+            b.iter_batched(
+                || {
+                    let platform = workloads::platform();
+                    let stream =
+                        workloads::record_stream(9, 4, per_feed, 0.3, 0.2, platform.context().now);
+                    (platform, stream)
+                },
+                |(mut platform, stream)| {
+                    black_box(platform.ingest_feed_records(stream).expect("ingestion"))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
 }
@@ -48,28 +38,19 @@ fn bench_sensor_path(c: &mut Criterion) {
     group.sample_size(10);
     let inventory = Inventory::paper_table3();
     for packets in [1_000usize, 5_000] {
-        let traffic = nids::generate_traffic(
-            4,
-            packets,
-            0.1,
-            &inventory,
-            cais_common::Timestamp::EPOCH,
-        );
+        let traffic =
+            nids::generate_traffic(4, packets, 0.1, &inventory, cais_common::Timestamp::EPOCH);
         group.throughput(Throughput::Elements(packets as u64));
-        group.bench_with_input(
-            BenchmarkId::new("packets", packets),
-            &packets,
-            |b, _| {
-                b.iter_batched(
-                    workloads::platform,
-                    |mut platform| {
-                        platform.ingest_packets(black_box(&traffic));
-                        black_box(platform.context().alarms.read().len())
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("packets", packets), &packets, |b, _| {
+            b.iter_batched(
+                workloads::platform,
+                |mut platform| {
+                    platform.ingest_packets(black_box(&traffic));
+                    black_box(platform.context().alarms.read().len())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
 }

@@ -25,8 +25,9 @@ fn bench_table1(c: &mut Criterion) {
 fn bench_feature_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("threat_score_scaling");
     for n in [5usize, 20, 80, 320] {
-        let values: Vec<FeatureValue> =
-            (0..n).map(|i| FeatureValue::scored((i % 6) as u8)).collect();
+        let values: Vec<FeatureValue> = (0..n)
+            .map(|i| FeatureValue::scored((i % 6) as u8))
+            .collect();
         let static_scheme = WeightScheme::fixed(vec![1.0 / n as f64; n]);
         let criteria_scheme = WeightScheme::from_criteria(
             (0..n)

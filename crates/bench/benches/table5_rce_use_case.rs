@@ -34,7 +34,10 @@ fn bench_context_size(c: &mut Criterion) {
                 ctx.now,
             ));
             ctx.sightings.record(
-                &Observable::new(ObservableKind::Ipv4, format!("10.0.{}.{}", i / 250, i % 250)),
+                &Observable::new(
+                    ObservableKind::Ipv4,
+                    format!("10.0.{}.{}", i / 250, i % 250),
+                ),
                 ctx.now,
                 None,
                 "suricata",

@@ -33,7 +33,11 @@ pub fn table1() -> String {
             out,
             "| {name} | {values:?} | {paper:.2} | {:.2} | {} |",
             ts.total(),
-            if (ts.total() - paper).abs() < 1e-9 { "✓" } else { "✗" },
+            if (ts.total() - paper).abs() < 1e-9 {
+                "✓"
+            } else {
+                "✗"
+            },
         );
     }
     out
@@ -90,7 +94,11 @@ pub fn table4() -> String {
     };
     let _ = writeln!(out, "| feature | attribute | score |");
     let _ = writeln!(out, "|---|---|---|");
-    for (os, label) in [("windows", "windows"), ("debian", "linux family"), ("solaris", "other")] {
+    for (os, label) in [
+        ("windows", "windows"),
+        ("debian", "linux family"),
+        ("solaris", "other"),
+    ] {
         let values = probe(&|b| {
             b.operating_system(os);
         });
@@ -102,15 +110,29 @@ pub fn table4() -> String {
     });
     let _ = writeln!(out, "| modified_created | last_24h | {} |", fmt(fresh[4]));
     let year_old = probe(&|b| {
-        b.created(ctx.now.add_days(-200)).modified(ctx.now.add_days(-200));
+        b.created(ctx.now.add_days(-200))
+            .modified(ctx.now.add_days(-200));
     });
-    let _ = writeln!(out, "| modified_created | last_year | {} |", fmt(year_old[4]));
+    let _ = writeln!(
+        out,
+        "| modified_created | last_year | {} |",
+        fmt(year_old[4])
+    );
     let refs = probe(&|b| {
         b.external_reference(cais_stix::common::ExternalReference::cve("CVE-2017-9805"))
             .external_reference(cais_stix::common::ExternalReference::capec("CAPEC-586"));
     });
-    let _ = writeln!(out, "| external_references | multi_known_ref | {} |", fmt(refs[7]));
-    for (cvss, label) in [(9.8, "critical"), (8.1, "high"), (5.0, "medium"), (2.0, "low")] {
+    let _ = writeln!(
+        out,
+        "| external_references | multi_known_ref | {} |",
+        fmt(refs[7])
+    );
+    for (cvss, label) in [
+        (9.8, "critical"),
+        (8.1, "high"),
+        (5.0, "medium"),
+        (2.0, "low"),
+    ] {
         let values = probe(&|b| {
             b.external_reference(cais_stix::common::ExternalReference::cve("CVE-2099-9999"))
                 .cvss_score(cvss);
@@ -126,7 +148,9 @@ pub fn table5() -> String {
     let ts = vulnerability::evaluate(&vulnerability::paper_rce_ioc(), &ctx);
     let mut out = String::from("## Table V — RCE use-case threat score\n\n");
     let paper_xi = ["3", "1", "2", "1", "2", "1", "—", "5", "4"];
-    let paper_pi = [0.0952, 0.0952, 0.1429, 0.0952, 0.0476, 0.0476, 0.0, 0.2738, 0.2024];
+    let paper_pi = [
+        0.0952, 0.0952, 0.1429, 0.0952, 0.0476, 0.0476, 0.0, 0.2738, 0.2024,
+    ];
     let _ = writeln!(out, "| feature | paper Xi | Xi | paper Pi | Pi |");
     let _ = writeln!(out, "|---|---|---|---|---|");
     for (i, line) in ts.breakdown().lines.iter().enumerate() {
@@ -242,7 +266,12 @@ pub fn fig3() -> String {
     let _ = writeln!(out, "* operating system: {}", view.operating_system);
     let _ = writeln!(out, "* known IPs: {:?}", view.known_ips);
     let _ = writeln!(out, "* networks: {:?}", view.networks);
-    let _ = writeln!(out, "* badge: alarms={} rIoCs={}", view.badge.alarm_count(), view.badge.riocs);
+    let _ = writeln!(
+        out,
+        "* badge: alarms={} rIoCs={}",
+        view.badge.alarm_count(),
+        view.badge.riocs
+    );
     for line in &view.rioc_summaries {
         let _ = writeln!(out, "* rIoC: {line}");
     }
@@ -266,7 +295,11 @@ pub fn fig4() -> String {
         issue.affected_application.as_deref().unwrap_or("-"),
         issue.affected_nodes.join(", ")
     );
-    let _ = writeln!(out, "* threat score: {:.4} [{}]", issue.threat_score, issue.priority);
+    let _ = writeln!(
+        out,
+        "* threat score: {:.4} [{}]",
+        issue.threat_score, issue.priority
+    );
     let _ = writeln!(out, "* stored eIoC: MISP event {:?}", issue.misp_event_id);
     out
 }
@@ -275,7 +308,10 @@ pub fn fig4() -> String {
 /// duplication-rate sweep.
 pub fn dedup_sweep() -> String {
     let mut out = String::from("## Dedup/aggregation — analyst-load reduction\n\n");
-    let _ = writeln!(out, "| dup rate | overlap | in | out (unique) | reduction |");
+    let _ = writeln!(
+        out,
+        "| dup rate | overlap | in | out (unique) | reduction |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
     for (dup, overlap) in [(0.0, 0.0), (0.2, 0.2), (0.4, 0.3), (0.6, 0.4), (0.8, 0.5)] {
         let mut platform = workloads::platform();
@@ -325,9 +361,15 @@ pub fn baseline_comparison() -> String {
     let aware = evaluate_detection(Approach::ContextAware, &population, &ctx);
     let fixed = evaluate_detection(Approach::Static { threshold: 3.5 }, &population, &ctx);
     let mut out = String::from("## Context-aware vs static detection\n\n");
-    let _ = writeln!(out, "| approach | detection | FP rate | precision | TP/FP/FN/TN |");
+    let _ = writeln!(
+        out,
+        "| approach | detection | FP rate | precision | TP/FP/FN/TN |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
-    for (name, m) in [("context-aware (rIoC)", aware), ("static (CVSS ≥ 3.5)", fixed)] {
+    for (name, m) in [
+        ("context-aware (rIoC)", aware),
+        ("static (CVSS ≥ 3.5)", fixed),
+    ] {
         let _ = writeln!(
             out,
             "| {name} | {:.1}% | {:.1}% | {:.1}% | {}/{}/{}/{} |",
@@ -421,7 +463,8 @@ pub fn detection_replay() -> String {
         .expect("ingest");
     let corroborated = platform.eiocs().last().expect("eioc").score();
     let mut cold = workloads::platform();
-    cold.ingest_feed_records(vec![advisory(&cold)]).expect("ingest");
+    cold.ingest_feed_records(vec![advisory(&cold)])
+        .expect("ingest");
     let cold_score = cold.eiocs().last().expect("eioc").score();
     let _ = writeln!(
         out,

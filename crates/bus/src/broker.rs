@@ -89,7 +89,10 @@ impl Broker {
     /// Subscribes to every topic matching the pattern.
     pub fn subscribe(&self, pattern: impl Into<TopicPattern>) -> Subscription {
         let (sender, receiver) = channel::unbounded();
-        let id = self.inner.next_subscriber_id.fetch_add(1, Ordering::Relaxed);
+        let id = self
+            .inner
+            .next_subscriber_id
+            .fetch_add(1, Ordering::Relaxed);
         let pattern = pattern.into();
         self.inner.subscribers.write().push(Subscriber {
             id,
@@ -113,13 +116,6 @@ impl Broker {
             published_at: Timestamp::now(),
             payload,
         };
-        if self.inner.replay_cap > 0 {
-            let mut replay = self.inner.replay.write();
-            if replay.len() == self.inner.replay_cap {
-                replay.pop_front();
-            }
-            replay.push_back(message.clone());
-        }
         let mut delivered = 0;
         let mut dead: Vec<u64> = Vec::new();
         {
@@ -134,6 +130,15 @@ impl Broker {
                 }
             }
         }
+        // Fan-out first, then retain: the retained copy is the original,
+        // so a publish never deep-clones the payload for the buffer.
+        if self.inner.replay_cap > 0 {
+            let mut replay = self.inner.replay.write();
+            if replay.len() == self.inner.replay_cap {
+                replay.pop_front();
+            }
+            replay.push_back(message);
+        }
         if !dead.is_empty() {
             self.inner
                 .subscribers
@@ -141,6 +146,90 @@ impl Broker {
                 .retain(|s| !dead.contains(&s.id));
         }
         delivered
+    }
+
+    /// Publishes a batch of JSON payloads under one topic, taking the
+    /// subscriber lock once for the whole batch instead of once per
+    /// message — the fast path for the parallel ingestion pipeline,
+    /// which accumulates a round's messages and flushes them together.
+    ///
+    /// Messages keep their relative order and receive consecutive
+    /// sequence numbers. Returns the total number of deliveries.
+    pub fn publish_batch(
+        &self,
+        topic: Topic,
+        payloads: impl IntoIterator<Item = serde_json::Value>,
+    ) -> usize {
+        let published_at = Timestamp::now();
+        let messages: Vec<Message> = payloads
+            .into_iter()
+            .map(|payload| Message {
+                seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
+                topic: topic.clone(),
+                published_at,
+                payload,
+            })
+            .collect();
+        if messages.is_empty() {
+            return 0;
+        }
+        let mut delivered = 0;
+        let mut dead: Vec<u64> = Vec::new();
+        {
+            let subscribers = self.inner.subscribers.read();
+            for sub in subscribers.iter() {
+                if !sub.pattern.matches(&topic) {
+                    continue;
+                }
+                for message in &messages {
+                    if sub.sender.send(message.clone()).is_ok() {
+                        delivered += 1;
+                    } else {
+                        dead.push(sub.id);
+                        break;
+                    }
+                }
+            }
+        }
+        // As in [`Broker::publish`], the replay buffer takes the batch by
+        // move after fan-out. Only the last `replay_cap` messages can
+        // survive, so the earlier ones skip the buffer entirely.
+        if self.inner.replay_cap > 0 {
+            let skip = messages.len().saturating_sub(self.inner.replay_cap);
+            let mut replay = self.inner.replay.write();
+            for message in messages.into_iter().skip(skip) {
+                if replay.len() == self.inner.replay_cap {
+                    replay.pop_front();
+                }
+                replay.push_back(message);
+            }
+        }
+        if !dead.is_empty() {
+            self.inner
+                .subscribers
+                .write()
+                .retain(|s| !dead.contains(&s.id));
+        }
+        delivered
+    }
+
+    /// Publishes a batch of serializable values via
+    /// [`Broker::publish_batch`], encoding each to JSON first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first encoding error; nothing is published unless
+    /// every value encodes.
+    pub fn publish_values<T: serde::Serialize>(
+        &self,
+        topic: impl Into<Topic>,
+        values: &[T],
+    ) -> Result<usize, serde_json::Error> {
+        let payloads: Vec<serde_json::Value> = values
+            .iter()
+            .map(serde_json::to_value)
+            .collect::<Result<_, _>>()?;
+        Ok(self.publish_batch(topic.into(), payloads))
     }
 
     /// Publishes a serializable value, encoding it to JSON first.
@@ -304,6 +393,56 @@ mod tests {
         handle.join().unwrap();
         let got = sub.drain();
         assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn batch_publish_keeps_order_and_sequences() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("bulk");
+        let other = broker.subscribe("elsewhere");
+        let delivered =
+            broker.publish_batch(Topic::new("bulk"), (0..5).map(|i| serde_json::json!(i)));
+        assert_eq!(delivered, 5);
+        assert_eq!(other.queued(), 0);
+        let got = sub.drain();
+        let payloads: Vec<i64> = got.iter().map(|m| m.payload.as_i64().unwrap()).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+        let seqs: Vec<u64> = got.iter().map(|m| m.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_publish_lands_in_replay() {
+        let broker = Broker::with_replay_capacity(3);
+        broker.publish_batch(Topic::new("t"), (0..5).map(|i| serde_json::json!(i)));
+        let late = broker.subscribe_with_replay("#");
+        let caught_up = late.drain();
+        assert_eq!(caught_up.len(), 3);
+        assert_eq!(caught_up[0].payload, serde_json::json!(2));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("#");
+        assert_eq!(broker.publish_batch(Topic::new("t"), Vec::new()), 0);
+        assert_eq!(sub.queued(), 0);
+    }
+
+    #[test]
+    fn publish_values_encodes_each() {
+        #[derive(serde::Serialize)]
+        struct Payload {
+            x: u32,
+        }
+        let broker = Broker::new();
+        let sub = broker.subscribe("typed");
+        let delivered = broker
+            .publish_values("typed", &[Payload { x: 1 }, Payload { x: 2 }])
+            .unwrap();
+        assert_eq!(delivered, 2);
+        let got = sub.drain();
+        assert_eq!(got[1].payload["x"], 2);
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub use topic::{Topic, TopicPattern};
 pub mod topics {
     /// A MISP event was created or updated.
     pub const MISP_EVENT: &str = "misp.event.created";
+    /// A stored MISP event changed (attributes or tags applied).
+    pub const MISP_EVENT_UPDATED: &str = "misp.event.updated";
+    /// A stored MISP event was published for onward sharing.
+    pub const MISP_EVENT_PUBLISHED: &str = "misp.event.published";
     /// A composed IoC entered the operational module.
     pub const CIOC_RECEIVED: &str = "cais.cioc.received";
     /// An enriched IoC is available.

@@ -230,9 +230,15 @@ mod tests {
         let client = BusClient::connect(server.local_addr(), "misp.#").unwrap();
         // Give the server a moment to register the subscription.
         std::thread::sleep(Duration::from_millis(100));
-        broker.publish(Topic::new("misp.event.created"), serde_json::json!({"id": 1}));
+        broker.publish(
+            Topic::new("misp.event.created"),
+            serde_json::json!({"id": 1}),
+        );
         broker.publish(Topic::new("other.topic"), serde_json::json!({"id": 2}));
-        broker.publish(Topic::new("misp.event.updated"), serde_json::json!({"id": 3}));
+        broker.publish(
+            Topic::new("misp.event.updated"),
+            serde_json::json!({"id": 3}),
+        );
 
         let first = client.recv_timeout(Duration::from_secs(5)).expect("first");
         assert_eq!(first.payload["id"], 1);

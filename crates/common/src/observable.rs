@@ -220,10 +220,21 @@ impl fmt::Display for Observable {
 /// ```
 pub fn extract(text: &str) -> Vec<Observable> {
     let mut out = Vec::new();
-    for raw in text.split(|c: char| c.is_whitespace() || matches!(c, ',' | ';' | '(' | ')' | '[' | ']' | '<' | '>' | '"' | '\'')) {
-        let token = raw.trim_matches(|c: char| matches!(c, '.' | '!' | '?' | ':') && !raw.starts_with("http"));
+    for raw in text.split(|c: char| {
+        c.is_whitespace()
+            || matches!(
+                c,
+                ',' | ';' | '(' | ')' | '[' | ']' | '<' | '>' | '"' | '\''
+            )
+    }) {
+        let token = raw
+            .trim_matches(|c: char| matches!(c, '.' | '!' | '?' | ':') && !raw.starts_with("http"));
         // Don't strip ':' from URLs.
-        let token = if is_url(raw) { raw.trim_end_matches(['.', '!', '?']) } else { token };
+        let token = if is_url(raw) {
+            raw.trim_end_matches(['.', '!', '?'])
+        } else {
+            token
+        };
         if token.is_empty() {
             continue;
         }
@@ -381,7 +392,10 @@ mod tests {
 
     #[test]
     fn detect_ipv4() {
-        assert_eq!(ObservableKind::detect("0.0.0.0"), Some(ObservableKind::Ipv4));
+        assert_eq!(
+            ObservableKind::detect("0.0.0.0"),
+            Some(ObservableKind::Ipv4)
+        );
         assert_eq!(
             ObservableKind::detect("255.255.255.255"),
             Some(ObservableKind::Ipv4)
@@ -394,7 +408,14 @@ mod tests {
 
     #[test]
     fn reject_bad_ipv4() {
-        for s in ["256.1.1.1", "1.2.3", "1.2.3.4.5", "01.2.3.4", "a.b.c.d", "1..2.3"] {
+        for s in [
+            "256.1.1.1",
+            "1.2.3",
+            "1.2.3.4.5",
+            "01.2.3.4",
+            "a.b.c.d",
+            "1..2.3",
+        ] {
             assert_ne!(
                 ObservableKind::detect(s),
                 Some(ObservableKind::Ipv4),
@@ -424,7 +445,12 @@ mod tests {
 
     #[test]
     fn detect_domain() {
-        for s in ["example.com", "evil.example.co.uk", "xn--bcher-kva.example", "a-b.example.org"] {
+        for s in [
+            "example.com",
+            "evil.example.co.uk",
+            "xn--bcher-kva.example",
+            "a-b.example.org",
+        ] {
             assert_eq!(
                 ObservableKind::detect(s),
                 Some(ObservableKind::Domain),
@@ -504,7 +530,12 @@ mod tests {
             ObservableKind::detect("cve-2021-44228"),
             Some(ObservableKind::Cve)
         );
-        for s in ["CVE-17-9805", "CVE-2017-1", "CVE-2017-98051234", "CVE20179805"] {
+        for s in [
+            "CVE-17-9805",
+            "CVE-2017-1",
+            "CVE-2017-98051234",
+            "CVE20179805",
+        ] {
             assert_ne!(ObservableKind::detect(s), Some(ObservableKind::Cve), "{s}");
         }
     }

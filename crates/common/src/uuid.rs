@@ -270,7 +270,10 @@ mod tests {
     fn nil_is_nil() {
         assert!(Uuid::NIL.is_nil());
         assert!(!Uuid::new_v4().is_nil());
-        assert_eq!(Uuid::NIL.to_string(), "00000000-0000-0000-0000-000000000000");
+        assert_eq!(
+            Uuid::NIL.to_string(),
+            "00000000-0000-0000-0000-000000000000"
+        );
     }
 
     #[test]

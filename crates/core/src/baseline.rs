@@ -149,11 +149,15 @@ pub fn labeled_population(
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let relevant = rng.gen_bool(relevant_fraction);
-        let pool = if relevant { &relevant_cves } else { &irrelevant_cves };
+        let pool = if relevant {
+            &relevant_cves
+        } else {
+            &irrelevant_cves
+        };
         let Some(record) = pool.choose(&mut rng) else {
             continue;
         };
-        let seen_at = ctx.now.add_days(-rng.gen_range(1..300));
+        let seen_at = ctx.now.add_days(-rng.gen_range(1i64..300));
         let feed_record = FeedRecord::new(
             Observable::new(ObservableKind::Cve, record.id.to_string()),
             ThreatCategory::VulnerabilityExploitation,
@@ -258,11 +262,7 @@ mod tests {
         let ctx = context();
         let population = labeled_population(11, 400, 0.3, &ctx);
         let aware = evaluate_detection(Approach::ContextAware, &population, &ctx);
-        let static_ = evaluate_detection(
-            Approach::Static { threshold: 3.5 },
-            &population,
-            &ctx,
-        );
+        let static_ = evaluate_detection(Approach::Static { threshold: 3.5 }, &population, &ctx);
         // The static approach alarms on every severe CVE regardless of
         // whether the infrastructure runs the product — the paper's
         // core complaint.

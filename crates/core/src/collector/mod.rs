@@ -4,6 +4,6 @@ mod dedup;
 mod infra;
 mod osint;
 
-pub use dedup::{DedupStats, Deduplicator};
+pub use dedup::{DedupStats, Deduplicator, ShardedDeduplicator};
 pub use infra::InfrastructureCollector;
-pub use osint::{aggregate_into_ciocs, OsintCollector};
+pub use osint::{aggregate_into_ciocs, OsintCollector, DEFAULT_DEDUP_SHARDS};

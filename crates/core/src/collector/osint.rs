@@ -14,8 +14,13 @@ use std::collections::HashMap;
 use cais_common::{ObservableKind, Timestamp};
 use cais_feeds::{FeedRecord, ThreatCategory};
 
-use super::dedup::{DedupStats, Deduplicator};
+use super::dedup::{DedupStats, ShardedDeduplicator};
 use crate::ioc::ComposedIoc;
+
+/// Default shard count of the collector's deduplicator: enough
+/// partitions to keep 4–8 ingest workers busy without cross-shard
+/// contention.
+pub const DEFAULT_DEDUP_SHARDS: usize = 8;
 
 /// A minimal union-find over record indices.
 struct UnionFind {
@@ -133,30 +138,63 @@ pub fn aggregate_into_ciocs(records: Vec<FeedRecord>, now: Timestamp) -> Vec<Com
     ciocs
 }
 
-/// The stateful OSINT collector: a persistent deduplicator in front of
-/// the aggregator.
-#[derive(Debug, Default)]
+/// The stateful OSINT collector: a persistent sharded deduplicator in
+/// front of the aggregator. Serial and parallel ingestion share the
+/// same dedup state, so mixing the two never re-admits a duplicate.
+#[derive(Debug)]
 pub struct OsintCollector {
-    dedup: Deduplicator,
+    dedup: ShardedDeduplicator,
+}
+
+impl Default for OsintCollector {
+    fn default() -> Self {
+        OsintCollector::new()
+    }
 }
 
 impl OsintCollector {
-    /// Creates a collector with empty dedup state.
+    /// Creates a collector with empty dedup state over
+    /// [`DEFAULT_DEDUP_SHARDS`] shards.
     pub fn new() -> Self {
-        OsintCollector::default()
+        OsintCollector::with_shards(DEFAULT_DEDUP_SHARDS)
+    }
+
+    /// Creates a collector whose deduplicator has `shards` partitions.
+    pub fn with_shards(shards: usize) -> Self {
+        OsintCollector {
+            dedup: ShardedDeduplicator::new(shards),
+        }
     }
 
     /// Ingests a batch of normalized feed records, returning the
     /// composed IoCs of the *new* (non-duplicate) ones.
     pub fn ingest(&mut self, records: Vec<FeedRecord>, now: Timestamp) -> Vec<ComposedIoc> {
-        let fresh = self.dedup.filter_batch(records);
+        let fresh = self.dedup_batch(records);
         if fresh.is_empty() {
             return Vec::new();
         }
         aggregate_into_ciocs(fresh, now)
     }
 
-    /// Deduplication counters since construction.
+    /// Runs only the deduplication stage, serially, keeping first
+    /// occurrences in input order.
+    pub fn dedup_batch(&mut self, records: Vec<FeedRecord>) -> Vec<FeedRecord> {
+        self.dedup.filter_batch(records)
+    }
+
+    /// Runs only the deduplication stage with up to `workers` scoped
+    /// threads over the shards; output is identical to
+    /// [`OsintCollector::dedup_batch`].
+    pub fn dedup_batch_parallel(
+        &mut self,
+        records: Vec<FeedRecord>,
+        workers: usize,
+    ) -> Vec<FeedRecord> {
+        self.dedup.filter_batch_parallel(records, workers)
+    }
+
+    /// Deduplication counters since construction, aggregated across
+    /// shards.
     pub fn dedup_stats(&self) -> DedupStats {
         self.dedup.stats()
     }
@@ -180,8 +218,16 @@ mod tests {
     fn categories_do_not_mix() {
         let ciocs = aggregate_into_ciocs(
             vec![
-                rec(ObservableKind::Domain, "a.example", ThreatCategory::MalwareDomain),
-                rec(ObservableKind::Domain, "b.example", ThreatCategory::Phishing),
+                rec(
+                    ObservableKind::Domain,
+                    "a.example",
+                    ThreatCategory::MalwareDomain,
+                ),
+                rec(
+                    ObservableKind::Domain,
+                    "b.example",
+                    ThreatCategory::Phishing,
+                ),
             ],
             Timestamp::EPOCH,
         );
@@ -193,9 +239,21 @@ mod tests {
     fn shared_apex_domain_correlates() {
         let ciocs = aggregate_into_ciocs(
             vec![
-                rec(ObservableKind::Domain, "c2.evil.example", ThreatCategory::MalwareDomain),
-                rec(ObservableKind::Domain, "drop.evil.example", ThreatCategory::MalwareDomain),
-                rec(ObservableKind::Domain, "unrelated.test", ThreatCategory::MalwareDomain),
+                rec(
+                    ObservableKind::Domain,
+                    "c2.evil.example",
+                    ThreatCategory::MalwareDomain,
+                ),
+                rec(
+                    ObservableKind::Domain,
+                    "drop.evil.example",
+                    ThreatCategory::MalwareDomain,
+                ),
+                rec(
+                    ObservableKind::Domain,
+                    "unrelated.test",
+                    ThreatCategory::MalwareDomain,
+                ),
             ],
             Timestamp::EPOCH,
         );
@@ -212,8 +270,16 @@ mod tests {
     fn url_and_domain_share_apex() {
         let ciocs = aggregate_into_ciocs(
             vec![
-                rec(ObservableKind::Url, "http://pay.evil.example/login", ThreatCategory::Phishing),
-                rec(ObservableKind::Domain, "evil.example", ThreatCategory::Phishing),
+                rec(
+                    ObservableKind::Url,
+                    "http://pay.evil.example/login",
+                    ThreatCategory::Phishing,
+                ),
+                rec(
+                    ObservableKind::Domain,
+                    "evil.example",
+                    ThreatCategory::Phishing,
+                ),
             ],
             Timestamp::EPOCH,
         );
@@ -242,11 +308,23 @@ mod tests {
 
     #[test]
     fn family_description_correlates_ips() {
-        let mut a = rec(ObservableKind::Ipv4, "203.0.113.9", ThreatCategory::CommandAndControl);
+        let mut a = rec(
+            ObservableKind::Ipv4,
+            "203.0.113.9",
+            ThreatCategory::CommandAndControl,
+        );
         a.description = Some("emotet tier-1 node".into());
-        let mut b = rec(ObservableKind::Ipv4, "198.51.100.7", ThreatCategory::CommandAndControl);
+        let mut b = rec(
+            ObservableKind::Ipv4,
+            "198.51.100.7",
+            ThreatCategory::CommandAndControl,
+        );
         b.description = Some("emotet tier-2 node".into());
-        let c = rec(ObservableKind::Ipv4, "192.0.2.55", ThreatCategory::CommandAndControl);
+        let c = rec(
+            ObservableKind::Ipv4,
+            "192.0.2.55",
+            ThreatCategory::CommandAndControl,
+        );
         let ciocs = aggregate_into_ciocs(vec![a, b, c], Timestamp::EPOCH);
         assert_eq!(ciocs.len(), 2);
     }
@@ -270,9 +348,21 @@ mod tests {
     fn aggregation_is_deterministic() {
         let records = || {
             vec![
-                rec(ObservableKind::Domain, "a.evil.example", ThreatCategory::MalwareDomain),
-                rec(ObservableKind::Domain, "b.evil.example", ThreatCategory::MalwareDomain),
-                rec(ObservableKind::Domain, "solo.test", ThreatCategory::MalwareDomain),
+                rec(
+                    ObservableKind::Domain,
+                    "a.evil.example",
+                    ThreatCategory::MalwareDomain,
+                ),
+                rec(
+                    ObservableKind::Domain,
+                    "b.evil.example",
+                    ThreatCategory::MalwareDomain,
+                ),
+                rec(
+                    ObservableKind::Domain,
+                    "solo.test",
+                    ThreatCategory::MalwareDomain,
+                ),
             ]
         };
         let a = aggregate_into_ciocs(records(), Timestamp::EPOCH);

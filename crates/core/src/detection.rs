@@ -106,12 +106,10 @@ impl DetectionEngine {
     pub fn observation_from_event(event: &SensorEvent) -> Observation {
         let mut observation = Observation::at(event.at);
         if let Some(src) = &event.source_ip {
-            observation =
-                observation.with_object(CyberObservable::new("ipv4-addr", src.clone()));
+            observation = observation.with_object(CyberObservable::new("ipv4-addr", src.clone()));
         }
         if let Some(dst) = &event.destination_ip {
-            observation =
-                observation.with_object(CyberObservable::new("ipv4-addr", dst.clone()));
+            observation = observation.with_object(CyberObservable::new("ipv4-addr", dst.clone()));
         }
         for observable in &event.observables {
             observation = observation.with_object(CyberObservable::from(observable));
@@ -236,11 +234,7 @@ mod tests {
         let sightings = SightingStore::new();
         let now = Timestamp::from_unix_secs(100);
 
-        let miss = engine.ingest_events(
-            &[event_with_src("198.51.100.1", now)],
-            now,
-            &sightings,
-        );
+        let miss = engine.ingest_events(&[event_with_src("198.51.100.1", now)], now, &sightings);
         assert!(miss.is_empty());
 
         let hit = engine.ingest_events(&[event_with_src("203.0.113.9", now)], now, &sightings);
@@ -265,21 +259,30 @@ mod tests {
         let sightings = SightingStore::new();
 
         let too_early = engine.ingest_events(
-            &[event_with_src("203.0.113.9", Timestamp::from_unix_secs(500))],
+            &[event_with_src(
+                "203.0.113.9",
+                Timestamp::from_unix_secs(500),
+            )],
             Timestamp::from_unix_secs(500),
             &sightings,
         );
         assert!(too_early.is_empty());
 
         let in_window = engine.ingest_events(
-            &[event_with_src("203.0.113.9", Timestamp::from_unix_secs(1_500))],
+            &[event_with_src(
+                "203.0.113.9",
+                Timestamp::from_unix_secs(1_500),
+            )],
             Timestamp::from_unix_secs(1_500),
             &sightings,
         );
         assert_eq!(in_window.len(), 1);
 
         let expired = engine.ingest_events(
-            &[event_with_src("203.0.113.9", Timestamp::from_unix_secs(2_500))],
+            &[event_with_src(
+                "203.0.113.9",
+                Timestamp::from_unix_secs(2_500),
+            )],
             Timestamp::from_unix_secs(2_500),
             &sightings,
         );

@@ -67,11 +67,7 @@ impl Enricher {
     /// Enriches a STIX vulnerability directly (the Section IV flow, in
     /// which the Heuristic Component receives the IoC "in STIX 2.0
     /// format").
-    pub fn enrich_vulnerability(
-        &self,
-        vuln: &Vulnerability,
-        cioc: ComposedIoc,
-    ) -> EnrichedIoc {
+    pub fn enrich_vulnerability(&self, vuln: &Vulnerability, cioc: ComposedIoc) -> EnrichedIoc {
         let threat_score = heuristics::vulnerability::evaluate(vuln, &self.ctx);
         EnrichedIoc {
             id: cioc.id,
@@ -97,7 +93,13 @@ impl Enricher {
         builder
             .created(created)
             .modified(created)
-            .valid_from(cioc.records.iter().map(|r| r.seen_at).min().unwrap_or(created))
+            .valid_from(
+                cioc.records
+                    .iter()
+                    .map(|r| r.seen_at)
+                    .min()
+                    .unwrap_or(created),
+            )
             .external_reference(cais_stix::common::ExternalReference::cve(&cve))
             .source_type("osint");
         if let Some(source) = cioc.records.first().map(|r| r.source.clone()) {
@@ -162,7 +164,11 @@ impl Enricher {
         };
 
         // external_references: distinct CVEs carried by members.
-        let mut cves: Vec<&str> = cioc.records.iter().filter_map(|r| r.cve.as_deref()).collect();
+        let mut cves: Vec<&str> = cioc
+            .records
+            .iter()
+            .filter_map(|r| r.cve.as_deref())
+            .collect();
         cves.sort_unstable();
         cves.dedup();
         let external_references = match cves.len() {
@@ -218,9 +224,61 @@ impl Enricher {
     }
 }
 
+/// Builds the `threat-score` attribute carrying a Threat Score on a
+/// MISP event. Pure — the parallel pipeline builds it in worker
+/// threads.
+pub fn score_attribute(heuristic: HeuristicKind, threat_score: &ThreatScore) -> MispAttribute {
+    MispAttribute::new(
+        "threat-score",
+        AttributeCategory::InternalReference,
+        format!("{:.4}", threat_score.total()),
+    )
+    .with_comment(format!(
+        "heuristic={}; completeness={:.4}; priority={}",
+        heuristic,
+        threat_score.completeness(),
+        threat_score.priority_label(),
+    ))
+}
+
+/// Builds the `cais:*` machine tags carrying the per-criterion detail
+/// the paper's future work calls for. Pure, like
+/// [`score_attribute`].
+pub fn score_tags(heuristic: HeuristicKind, threat_score: &ThreatScore) -> Vec<Tag> {
+    let mut tags = vec![
+        Tag::machine(
+            "cais",
+            "threat-score",
+            &format!("{:.4}", threat_score.total()),
+        ),
+        Tag::machine("cais", "priority", threat_score.priority_label()),
+        Tag::machine("cais", "heuristic", &heuristic.to_string()),
+    ];
+    if let Some(totals) = threat_score.breakdown().criteria_totals {
+        tags.push(Tag::machine(
+            "cais",
+            "relevance",
+            &totals.relevance.to_string(),
+        ));
+        tags.push(Tag::machine(
+            "cais",
+            "accuracy",
+            &totals.accuracy.to_string(),
+        ));
+        tags.push(Tag::machine(
+            "cais",
+            "timeliness",
+            &totals.timeliness.to_string(),
+        ));
+        tags.push(Tag::machine("cais", "variety", &totals.variety.to_string()));
+    }
+    tags
+}
+
 /// Attaches a computed Threat Score to a stored MISP event: a
 /// `threat-score` attribute plus `cais:*` machine tags carrying the
-/// per-criterion detail the paper's future work calls for.
+/// per-criterion detail the paper's future work calls for. Applied as
+/// one store update with one `misp.event.updated` announcement.
 ///
 /// # Errors
 ///
@@ -231,34 +289,15 @@ pub fn attach_score(
     heuristic: HeuristicKind,
     threat_score: &ThreatScore,
 ) -> Result<(), CoreError> {
-    api.add_attribute(
-        event_id,
-        MispAttribute::new(
-            "threat-score",
-            AttributeCategory::InternalReference,
-            format!("{:.4}", threat_score.total()),
-        )
-        .with_comment(format!(
-            "heuristic={}; completeness={:.4}; priority={}",
-            heuristic,
-            threat_score.completeness(),
-            threat_score.priority_label(),
-        )),
-    )?;
-    let mut tags = vec![
-        Tag::machine("cais", "threat-score", &format!("{:.4}", threat_score.total())),
-        Tag::machine("cais", "priority", threat_score.priority_label()),
-        Tag::machine("cais", "heuristic", &heuristic.to_string()),
-    ];
-    if let Some(totals) = threat_score.breakdown().criteria_totals {
-        tags.push(Tag::machine("cais", "relevance", &totals.relevance.to_string()));
-        tags.push(Tag::machine("cais", "accuracy", &totals.accuracy.to_string()));
-        tags.push(Tag::machine("cais", "timeliness", &totals.timeliness.to_string()));
-        tags.push(Tag::machine("cais", "variety", &totals.variety.to_string()));
-    }
-    for tag in tags {
-        api.store().update(event_id, |event| event.add_tag(tag))?;
-    }
+    let attribute = score_attribute(heuristic, threat_score);
+    attribute.validate()?;
+    let tags = score_tags(heuristic, threat_score);
+    api.update_event(event_id, |event| {
+        event.add_attribute(attribute);
+        for tag in tags {
+            event.add_tag(tag);
+        }
+    })?;
     Ok(())
 }
 
@@ -273,8 +312,10 @@ pub fn persist_enriched(api: &MispApi, eioc: &mut EnrichedIoc) -> Result<u64, Co
     let event_id = match eioc.misp_event_id {
         Some(id) => id,
         None => {
-            let event =
-                cais_misp::import::event_from_records(eioc.composed.summary(), &eioc.composed.records);
+            let event = cais_misp::import::event_from_records(
+                eioc.composed.summary(),
+                &eioc.composed.records,
+            );
             api.add_event(event)?
         }
     };

@@ -55,7 +55,7 @@ impl FeatureValue {
 
 /// The static definition of one feature within a heuristic: its name
 /// and its expert criteria points.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct FeatureDefinition {
     /// The feature name as the paper's Table II spells it.
     pub name: &'static str,

@@ -28,10 +28,7 @@ fn age_band(stamp: cais_common::Timestamp, ctx: &EvaluationContext) -> FeatureVa
 }
 
 /// Scores a validity start: `last_week (3) … other (empty)`.
-fn valid_from_band(
-    stamp: Option<cais_common::Timestamp>,
-    ctx: &EvaluationContext,
-) -> FeatureValue {
+fn valid_from_band(stamp: Option<cais_common::Timestamp>, ctx: &EvaluationContext) -> FeatureValue {
     match stamp.map(|s| s.age_at(ctx.now)) {
         None => FeatureValue::Empty,
         Some(Age::Last24Hours | Age::LastWeek) => FeatureValue::Scored(3),
@@ -263,9 +260,10 @@ pub fn evaluate_object(
     ctx: &EvaluationContext,
 ) -> Option<(HeuristicKind, ThreatScore)> {
     match object {
-        StixObject::AttackPattern(ap) => {
-            Some((HeuristicKind::AttackPattern, evaluate_attack_pattern(ap, ctx)))
-        }
+        StixObject::AttackPattern(ap) => Some((
+            HeuristicKind::AttackPattern,
+            evaluate_attack_pattern(ap, ctx),
+        )),
         StixObject::Identity(identity) => {
             Some((HeuristicKind::Identity, evaluate_identity(identity, ctx)))
         }
@@ -352,8 +350,8 @@ mod tests {
                 .into(),
         ];
         for object in &objects {
-            let (kind, score) =
-                evaluate_object(object, &ctx).unwrap_or_else(|| panic!("{:?}", object.object_type()));
+            let (kind, score) = evaluate_object(object, &ctx)
+                .unwrap_or_else(|| panic!("{:?}", object.object_type()));
             assert!(
                 score.total() > 0.0 && score.total() <= 5.0,
                 "{kind}: {}",
@@ -459,7 +457,10 @@ mod tests {
             .osint_source("feed")
             .source_type("osint")
             .build();
-        let bare = Identity::builder("acme").created(stamp).modified(stamp).build();
+        let bare = Identity::builder("acme")
+            .created(stamp)
+            .modified(stamp)
+            .build();
         let rich_score = evaluate_identity(&rich, &ctx);
         let bare_score = evaluate_identity(&bare, &ctx);
         assert!(rich_score.completeness() > bare_score.completeness());

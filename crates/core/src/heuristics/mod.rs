@@ -21,8 +21,8 @@ pub mod generic;
 mod registry;
 pub mod score;
 pub mod tuning;
-mod weights;
 pub mod vulnerability;
+mod weights;
 
 pub use criteria::{CriteriaPoints, CriteriaTotals};
 pub use feature::{FeatureDefinition, FeatureValue};

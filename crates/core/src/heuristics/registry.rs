@@ -74,7 +74,9 @@ impl HeuristicKind {
 
     /// Resolves a heuristic from a STIX object-type name.
     pub fn from_stix_type(name: &str) -> Option<HeuristicKind> {
-        HeuristicKind::ALL.into_iter().find(|h| h.stix_type() == name)
+        HeuristicKind::ALL
+            .into_iter()
+            .find(|h| h.stix_type() == name)
     }
 }
 
@@ -157,15 +159,15 @@ static TOOL_FEATURES: &[FeatureDefinition] = &[
 /// printed weights require: {8, 8, 12, 8, 4, 4, 4, 23, 17}; the
 /// evaluated eight sum to 84.
 static VULNERABILITY_FEATURES: &[FeatureDefinition] = &[
-    f("operating_system", 5, 1, 1, 1),    //  8
-    f("source_diversity", 5, 1, 1, 1),    //  8
-    f("application", 5, 5, 1, 1),         // 12
-    f("vuln_app_in_alarm", 5, 1, 1, 1),   //  8
-    f("modified_created", 1, 1, 1, 1),    //  4
-    f("valid_from", 1, 1, 1, 1),          //  4
-    f("valid_until", 1, 1, 1, 1),         //  4
+    f("operating_system", 5, 1, 1, 1),     //  8
+    f("source_diversity", 5, 1, 1, 1),     //  8
+    f("application", 5, 5, 1, 1),          // 12
+    f("vuln_app_in_alarm", 5, 1, 1, 1),    //  8
+    f("modified_created", 1, 1, 1, 1),     //  4
+    f("valid_from", 1, 1, 1, 1),           //  4
+    f("valid_until", 1, 1, 1, 1),          //  4
     f("external_references", 7, 10, 1, 5), // 23
-    f("cve", 10, 5, 1, 1),                // 17
+    f("cve", 10, 5, 1, 1),                 // 17
 ];
 
 #[cfg(test)]

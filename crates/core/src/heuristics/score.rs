@@ -239,10 +239,7 @@ mod tests {
             CriteriaPoints::new(5, 1, 1, 1),
             CriteriaPoints::new(1, 1, 1, 1),
         ]);
-        let ts = threat_score(
-            &[FeatureValue::Scored(3), FeatureValue::Empty],
-            &scheme,
-        );
+        let ts = threat_score(&[FeatureValue::Scored(3), FeatureValue::Empty], &scheme);
         let totals = ts.breakdown().criteria_totals.expect("criteria mode");
         // Only the evaluated feature contributes.
         assert_eq!(totals.relevance, 5);
@@ -278,7 +275,10 @@ mod tests {
                 ts.priority_label()
             })
             .collect();
-        assert_eq!(labels, vec!["very-low", "low", "medium", "high", "critical"]);
+        assert_eq!(
+            labels,
+            vec!["very-low", "low", "medium", "high", "critical"]
+        );
     }
 }
 

@@ -118,17 +118,13 @@ impl TuningProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::heuristics::{score::threat_score_named, feature_names, FeatureValue};
+    use crate::heuristics::{feature_names, score::threat_score_named, FeatureValue};
 
     #[test]
     fn builtin_profile_matches_registry() {
         let profile = TuningProfile::builtin();
         for kind in HeuristicKind::ALL {
-            assert_eq!(
-                profile.weight_scheme(kind),
-                kind.weight_scheme(),
-                "{kind}"
-            );
+            assert_eq!(profile.weight_scheme(kind), kind.weight_scheme(), "{kind}");
         }
     }
 

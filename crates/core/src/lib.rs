@@ -42,6 +42,7 @@ pub mod enrich;
 pub mod error;
 pub mod heuristics;
 pub mod ioc;
+pub mod metrics;
 pub mod pipeline;
 pub mod reduce;
 
@@ -51,5 +52,6 @@ pub use enrich::Enricher;
 pub use error::CoreError;
 pub use heuristics::{FeatureValue, HeuristicKind, WeightScheme};
 pub use ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
+pub use metrics::{StageMetrics, StageRecord};
 pub use pipeline::{Platform, PlatformConfig, PlatformReport};
 pub use reduce::Reducer;

@@ -9,6 +9,7 @@
 //! out to the dashboard topic (socket.io in the paper).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cais_bus::{topics, Broker, Topic};
 
@@ -17,12 +18,17 @@ use cais_infra::sensors::{hids, nids};
 use cais_misp::MispApi;
 use serde::{Deserialize, Serialize};
 
-use crate::collector::{InfrastructureCollector, OsintCollector};
+use crate::collector::{aggregate_into_ciocs, InfrastructureCollector, OsintCollector};
 use crate::context::EvaluationContext;
 use crate::enrich::{persist_enriched, Enricher};
 use crate::error::CoreError;
-use crate::ioc::{EnrichedIoc, ReducedIoc};
+use crate::ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
+use crate::metrics::{StageMetrics, StageRecord};
 use crate::reduce::Reducer;
+
+fn nanos_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +79,52 @@ pub struct PlatformReport {
     pub eiocs: usize,
     /// Reduced IoCs that matched the infrastructure.
     pub riocs: usize,
+    /// Per-stage record counters and wall times for this round.
+    #[serde(default)]
+    pub stages: StageMetrics,
+}
+
+impl PlatformReport {
+    /// Whether two rounds produced identical record counters at every
+    /// level — top-line and per-stage — ignoring wall times. This is
+    /// the determinism contract between [`Platform::ingest_feed_records`]
+    /// and [`Platform::ingest_feed_records_parallel`].
+    pub fn same_counters(&self, other: &PlatformReport) -> bool {
+        self.records_in == other.records_in
+            && self.nlp_filtered == other.nlp_filtered
+            && self.benign_filtered == other.benign_filtered
+            && self.duplicates_dropped == other.duplicates_dropped
+            && self.ciocs == other.ciocs
+            && self.eiocs == other.eiocs
+            && self.riocs == other.riocs
+            && self.stages.same_counts(&other.stages)
+    }
+}
+
+/// Why the per-record filter stage rejected a record.
+enum FilterDrop {
+    /// The NLP classifier judged the description irrelevant.
+    Irrelevant,
+    /// A warninglist flagged the value as known-benign.
+    Benign,
+}
+
+/// Everything a parallel worker precomputes for one cIoC: the scored
+/// eIoC, the MISP event in its final stored form (score attribute,
+/// `cais:*` tags, published flag), the reduction outcome, and every
+/// serialized bus payload the sequential tail flushes in batches.
+/// Payloads are `None` only when serialization fails, mirroring the
+/// sequential path's ignore-on-error publishes.
+struct PreparedIoc {
+    eioc: EnrichedIoc,
+    event: cais_misp::MispEvent,
+    cioc_payload: Option<serde_json::Value>,
+    created_payload: Option<serde_json::Value>,
+    updated_payload: Option<serde_json::Value>,
+    published_payload: Option<serde_json::Value>,
+    eioc_payload: Option<serde_json::Value>,
+    rioc: Option<ReducedIoc>,
+    rioc_payload: Option<serde_json::Value>,
 }
 
 /// The assembled Context-Aware OSINT Platform.
@@ -124,7 +176,10 @@ impl Platform {
 
     /// A platform over the paper's Table III context.
     pub fn paper_use_case() -> Self {
-        Platform::new(PlatformConfig::default(), EvaluationContext::paper_use_case())
+        Platform::new(
+            PlatformConfig::default(),
+            EvaluationContext::paper_use_case(),
+        )
     }
 
     /// The message bus (subscribe to [`topics::RIOC_PUBLISHED`] for the
@@ -168,63 +223,450 @@ impl Platform {
             records_in: records.len(),
             ..PlatformReport::default()
         };
-        let records = if self.config.nlp_relevance_filter {
-            let before = records.len();
-            let kept: Vec<FeedRecord> = records
-                .into_iter()
-                .filter(|record| match &record.description {
-                    Some(description) => self.classifier.classify(description).is_relevant(),
-                    None => true,
-                })
-                .collect();
-            report.nlp_filtered = before - kept.len();
-            kept
-        } else {
-            records
-        };
-        let records = if self.config.warninglist_filter {
-            let before = records.len();
-            let kept: Vec<FeedRecord> = records
-                .into_iter()
-                .filter(|record| {
-                    cais_misp::warninglist::check_observable(&record.observable).is_none()
-                })
-                .collect();
-            report.benign_filtered = before - kept.len();
-            kept
-        } else {
-            records
-        };
+        let mut stages = StageMetrics::default();
+
+        // Filter stage: NLP relevance, then warninglists.
+        let started = Instant::now();
+        let before = records.len();
+        let mut records = records;
+        records.retain(|record| match self.filter_verdict(record) {
+            None => true,
+            Some(FilterDrop::Irrelevant) => {
+                report.nlp_filtered += 1;
+                false
+            }
+            Some(FilterDrop::Benign) => {
+                report.benign_filtered += 1;
+                false
+            }
+        });
+        stages.filter = StageRecord::timed(before, records.len(), nanos_since(started));
+
         self.quality.record_batch(&records, self.ctx.now);
+
+        // Dedup stage.
+        let started = Instant::now();
+        let before = records.len();
         let dropped_before = self.osint.dedup_stats().dropped;
-        let ciocs = self.osint.ingest(records, self.ctx.now);
+        let fresh = self.osint.dedup_batch(records);
         report.duplicates_dropped = self.osint.dedup_stats().dropped - dropped_before;
+        stages.dedup = StageRecord::timed(before, fresh.len(), nanos_since(started));
+
+        // Compose stage: aggregation + correlation into cIoCs.
+        let started = Instant::now();
+        let before = fresh.len();
+        let ciocs = if fresh.is_empty() {
+            Vec::new()
+        } else {
+            aggregate_into_ciocs(fresh, self.ctx.now)
+        };
         report.ciocs = ciocs.len();
+        stages.compose = StageRecord::timed(before, ciocs.len(), nanos_since(started));
 
         for cioc in ciocs {
+            let started = Instant::now();
             let _ = self
                 .broker
                 .publish_value(Topic::new(topics::CIOC_RECEIVED), &cioc);
-            let mut eioc = self.enricher.enrich(cioc);
-            let event_id = persist_enriched(&self.misp, &mut eioc)?;
-            if self.config.publish_enriched {
-                self.misp.publish_event(event_id)?;
-            }
-            let _ = self
-                .broker
-                .publish_value(Topic::new(topics::EIOC_READY), &eioc);
-            report.eiocs += 1;
+            stages.publish.records_in += 1;
+            stages.publish.records_out += 1;
+            stages.publish.wall_nanos += nanos_since(started);
 
-            if let Some(rioc) = self.reducer.reduce(&eioc) {
-                let _ = self
-                    .broker
-                    .publish_value(Topic::new(topics::RIOC_PUBLISHED), &rioc);
-                self.riocs.push(rioc);
-                report.riocs += 1;
+            let started = Instant::now();
+            let eioc = self.enricher.enrich(cioc);
+            stages.enrich.records_in += 1;
+            stages.enrich.records_out += 1;
+            stages.enrich.wall_nanos += nanos_since(started);
+
+            self.finalize_eioc(eioc, &mut report, &mut stages)?;
+        }
+        report.stages = stages;
+        Ok(report)
+    }
+
+    /// The parallel ingestion path: the same stages, same outcome, but
+    /// the per-record work fanned out over up to `workers` scoped
+    /// threads.
+    ///
+    /// * **filter** — records split into contiguous chunks, each chunk
+    ///   classified by one worker, results merged in chunk order;
+    /// * **dedup** — records hash-partitioned on
+    ///   [`FeedRecord::dedup_key`] across the collector's shards, one
+    ///   worker per shard group (no cross-shard locking), kept records
+    ///   merged back into input order;
+    /// * **compose** — inherently global (correlation crosses records),
+    ///   so it stays sequential;
+    /// * **enrich + prepare** — cIoCs split into contiguous chunks;
+    ///   each worker scores its chunk, builds the MISP event under an
+    ///   id pre-assigned from the store's counter, reduces against the
+    ///   inventory, and serializes every bus payload (all of this is
+    ///   pure or read-only over shared context);
+    /// * **persist + publish** — sequential: events are inserted in
+    ///   composed order (so the store assigns exactly the pre-assigned
+    ///   ids), then each topic's announcements flush as one
+    ///   [`Broker::publish_batch`].
+    ///
+    /// Because every parallel stage merges deterministically (shard
+    /// partitioning preserves first-occurrence semantics; chunked
+    /// stages reassemble in input order), the produced eIoCs, rIoCs,
+    /// MISP event ids/contents and [`PlatformReport`] counters are
+    /// identical to [`Platform::ingest_feed_records`] over the same
+    /// input and state. Bus traffic carries the same messages in the
+    /// same per-topic order, but grouped by stage rather than
+    /// interleaved per eIoC, and store-modification timestamps may
+    /// differ by the batching delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns MISP persistence errors. Unlike the serial path, the
+    /// round's cIoC announcements precede all persistence, so on a
+    /// mid-batch error more cIoC announcements may already be out.
+    pub fn ingest_feed_records_parallel(
+        &mut self,
+        records: Vec<FeedRecord>,
+        workers: usize,
+    ) -> Result<PlatformReport, CoreError> {
+        let workers = workers.max(1);
+        if workers == 1 || records.len() < 2 {
+            return self.ingest_feed_records(records);
+        }
+        let mut report = PlatformReport {
+            records_in: records.len(),
+            ..PlatformReport::default()
+        };
+        let mut stages = StageMetrics::default();
+
+        // Filter stage, chunked across workers.
+        let started = Instant::now();
+        let before = records.len();
+        let (records, nlp_dropped, benign_dropped) = self.filter_records_parallel(records, workers);
+        report.nlp_filtered = nlp_dropped;
+        report.benign_filtered = benign_dropped;
+        stages.filter = StageRecord::timed(before, records.len(), nanos_since(started));
+
+        self.quality.record_batch(&records, self.ctx.now);
+
+        // Dedup stage, one worker per shard group.
+        let started = Instant::now();
+        let before = records.len();
+        let dropped_before = self.osint.dedup_stats().dropped;
+        let fresh = self.osint.dedup_batch_parallel(records, workers);
+        report.duplicates_dropped = self.osint.dedup_stats().dropped - dropped_before;
+        stages.dedup = StageRecord::timed(before, fresh.len(), nanos_since(started));
+
+        // Compose stage, sequential: correlation links arbitrary record
+        // pairs, so it cannot be partitioned without changing clusters.
+        let started = Instant::now();
+        let before = fresh.len();
+        let ciocs = if fresh.is_empty() {
+            Vec::new()
+        } else {
+            aggregate_into_ciocs(fresh, self.ctx.now)
+        };
+        report.ciocs = ciocs.len();
+        stages.compose = StageRecord::timed(before, ciocs.len(), nanos_since(started));
+
+        // Enrich + prepare stage, chunked across workers, merged in
+        // chunk order: each worker scores its cIoCs, builds the MISP
+        // event under its pre-assigned id, reduces against the
+        // inventory, and serializes every announcement payload — all
+        // pure work lifted off the sequential tail.
+        let started = Instant::now();
+        let before = ciocs.len();
+        let prepared = self.prepare_parallel(ciocs, workers);
+        let eioc_count = prepared.len();
+        stages.enrich = StageRecord::timed(before, eioc_count, nanos_since(started));
+
+        let mut cioc_payloads = Vec::with_capacity(eioc_count);
+        let mut created_payloads = Vec::with_capacity(eioc_count);
+        let mut updated_payloads = Vec::with_capacity(eioc_count);
+        let mut published_payloads = Vec::with_capacity(eioc_count);
+        let mut eioc_payloads = Vec::with_capacity(eioc_count);
+        let mut events = Vec::with_capacity(eioc_count);
+        let mut outcomes = Vec::with_capacity(eioc_count);
+        for p in prepared {
+            cioc_payloads.extend(p.cioc_payload);
+            created_payloads.extend(p.created_payload);
+            updated_payloads.extend(p.updated_payload);
+            published_payloads.extend(p.published_payload);
+            eioc_payloads.extend(p.eioc_payload);
+            events.push(p.event);
+            outcomes.push((p.eioc, p.rioc, p.rioc_payload));
+        }
+
+        // One batched announcement of the round's cIoCs.
+        let started = Instant::now();
+        self.broker
+            .publish_batch(Topic::new(topics::CIOC_RECEIVED), cioc_payloads);
+        stages.publish.records_in += eioc_count;
+        stages.publish.records_out += eioc_count;
+        stages.publish.wall_nanos += nanos_since(started);
+
+        // Persist: inserts stay sequential so the store assigns exactly
+        // the ids the workers serialized; the created/updated/published
+        // announcements then flush as per-topic batches.
+        let started = Instant::now();
+        for event in events {
+            let expected = event.id;
+            let id = self.misp.store().insert(event)?;
+            debug_assert_eq!(id, expected, "pre-assigned event id diverged");
+        }
+        self.broker
+            .publish_batch(Topic::new(topics::MISP_EVENT), created_payloads);
+        self.broker
+            .publish_batch(Topic::new(topics::MISP_EVENT_UPDATED), updated_payloads);
+        if self.config.publish_enriched {
+            self.broker
+                .publish_batch(Topic::new(topics::MISP_EVENT_PUBLISHED), published_payloads);
+        }
+        self.broker
+            .publish_batch(Topic::new(topics::EIOC_READY), eioc_payloads);
+        stages.publish.records_in += eioc_count;
+        stages.publish.records_out += eioc_count;
+        stages.publish.wall_nanos += nanos_since(started);
+        report.eiocs = eioc_count;
+
+        // Reduce bookkeeping: the reductions themselves ran in the
+        // workers; this just tallies them and keeps eIoC/rIoC order.
+        let started = Instant::now();
+        let mut rioc_payloads = Vec::new();
+        for (eioc, rioc, rioc_payload) in outcomes {
+            stages.reduce.records_in += 1;
+            match rioc {
+                Some(rioc) => {
+                    stages.reduce.records_out += 1;
+                    rioc_payloads.extend(rioc_payload);
+                    self.riocs.push(rioc);
+                    report.riocs += 1;
+                }
+                None => stages.reduce.dropped += 1,
             }
             self.eiocs.push(eioc);
         }
+        stages.reduce.wall_nanos += nanos_since(started);
+
+        let started = Instant::now();
+        self.broker
+            .publish_batch(Topic::new(topics::RIOC_PUBLISHED), rioc_payloads);
+        stages.publish.records_in += report.riocs;
+        stages.publish.records_out += report.riocs;
+        stages.publish.wall_nanos += nanos_since(started);
+
+        report.stages = stages;
         Ok(report)
+    }
+
+    /// Per-record filter decision shared by the serial and parallel
+    /// paths: NLP relevance first, warninglists second.
+    fn filter_verdict(&self, record: &FeedRecord) -> Option<FilterDrop> {
+        if self.config.nlp_relevance_filter {
+            if let Some(description) = &record.description {
+                if !self.classifier.classify(description).is_relevant() {
+                    return Some(FilterDrop::Irrelevant);
+                }
+            }
+        }
+        if self.config.warninglist_filter
+            && cais_misp::warninglist::check_observable(&record.observable).is_some()
+        {
+            return Some(FilterDrop::Benign);
+        }
+        None
+    }
+
+    /// Runs the filter stage over contiguous chunks with scoped
+    /// threads, merging kept records in chunk order (= input order).
+    fn filter_records_parallel(
+        &self,
+        records: Vec<FeedRecord>,
+        workers: usize,
+    ) -> (Vec<FeedRecord>, usize, usize) {
+        if !self.config.nlp_relevance_filter && !self.config.warninglist_filter {
+            return (records, 0, 0);
+        }
+        let chunk_size = records.len().div_ceil(workers).max(1);
+        let mut chunks: Vec<Vec<FeedRecord>> = Vec::new();
+        let mut records = records.into_iter();
+        loop {
+            let chunk: Vec<FeedRecord> = records.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let this = &*self;
+        let results: Vec<(Vec<FeedRecord>, usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|mut chunk| {
+                    scope.spawn(move || {
+                        let mut nlp_dropped = 0;
+                        let mut benign_dropped = 0;
+                        chunk.retain(|record| match this.filter_verdict(record) {
+                            None => true,
+                            Some(FilterDrop::Irrelevant) => {
+                                nlp_dropped += 1;
+                                false
+                            }
+                            Some(FilterDrop::Benign) => {
+                                benign_dropped += 1;
+                                false
+                            }
+                        });
+                        (chunk, nlp_dropped, benign_dropped)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("filter worker panicked"))
+                .collect()
+        });
+        let mut kept = Vec::new();
+        let mut nlp_dropped = 0;
+        let mut benign_dropped = 0;
+        for (chunk, nlp, benign) in results {
+            kept.extend(chunk);
+            nlp_dropped += nlp;
+            benign_dropped += benign;
+        }
+        (kept, nlp_dropped, benign_dropped)
+    }
+
+    /// The per-cIoC work that needs no store access, fused so worker
+    /// threads can run it end to end: enrich, build the MISP event
+    /// under its pre-assigned id, reduce against the inventory, and
+    /// serialize every bus payload the sequential tail will flush.
+    fn prepare_one(&self, cioc: ComposedIoc, event_id: u64) -> PreparedIoc {
+        let mut eioc = self.enricher.enrich(cioc);
+        let cioc_payload = serde_json::to_value(&eioc.composed).ok();
+        let mut event =
+            cais_misp::import::event_from_records(eioc.composed.summary(), &eioc.composed.records);
+        event.org = self.misp.org().to_owned();
+        event.id = event_id;
+        let created_payload = serde_json::to_value(&event).ok();
+        event.add_attribute(crate::enrich::score_attribute(
+            eioc.heuristic,
+            &eioc.threat_score,
+        ));
+        for tag in crate::enrich::score_tags(eioc.heuristic, &eioc.threat_score) {
+            event.add_tag(tag);
+        }
+        let updated_payload = serde_json::to_value(&event).ok();
+        let published_payload = if self.config.publish_enriched {
+            event.published = true;
+            serde_json::to_value(&event).ok()
+        } else {
+            None
+        };
+        eioc.misp_event_id = Some(event_id);
+        let eioc_payload = serde_json::to_value(&eioc).ok();
+        let rioc = self.reducer.reduce(&eioc);
+        let rioc_payload = rioc.as_ref().and_then(|r| serde_json::to_value(r).ok());
+        PreparedIoc {
+            eioc,
+            event,
+            cioc_payload,
+            created_payload,
+            updated_payload,
+            published_payload,
+            eioc_payload,
+            rioc,
+            rioc_payload,
+        }
+    }
+
+    /// Runs [`Platform::prepare_one`] over cIoC chunks concurrently,
+    /// merging results in chunk order (= composed order). Event ids are
+    /// pre-assigned from [`cais_misp::MispStore::peek_next_id`], which
+    /// is exact because this pipeline is the only inserter and performs
+    /// the inserts sequentially afterwards.
+    fn prepare_parallel(&self, ciocs: Vec<ComposedIoc>, workers: usize) -> Vec<PreparedIoc> {
+        let base_id = self.misp.store().peek_next_id();
+        if ciocs.len() < 2 {
+            return ciocs
+                .into_iter()
+                .enumerate()
+                .map(|(k, cioc)| self.prepare_one(cioc, base_id + k as u64))
+                .collect();
+        }
+        let chunk_size = ciocs.len().div_ceil(workers).max(1);
+        let mut chunks: Vec<(usize, Vec<ComposedIoc>)> = Vec::new();
+        let mut offset = 0;
+        let mut ciocs = ciocs.into_iter();
+        loop {
+            let chunk: Vec<ComposedIoc> = ciocs.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let len = chunk.len();
+            chunks.push((offset, chunk));
+            offset += len;
+        }
+        let this = &*self;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(offset, chunk)| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .enumerate()
+                            .map(|(k, cioc)| this.prepare_one(cioc, base_id + (offset + k) as u64))
+                            .collect::<Vec<PreparedIoc>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("prepare worker panicked"))
+                .collect()
+        })
+    }
+
+    /// The sequential tail every eIoC goes through regardless of path:
+    /// MISP persistence and publication, the EIOC_READY announcement,
+    /// reduction, and the RIOC_PUBLISHED announcement on a match.
+    fn finalize_eioc(
+        &mut self,
+        mut eioc: EnrichedIoc,
+        report: &mut PlatformReport,
+        stages: &mut StageMetrics,
+    ) -> Result<(), CoreError> {
+        let started = Instant::now();
+        let event_id = persist_enriched(&self.misp, &mut eioc)?;
+        if self.config.publish_enriched {
+            self.misp.publish_event(event_id)?;
+        }
+        let _ = self
+            .broker
+            .publish_value(Topic::new(topics::EIOC_READY), &eioc);
+        stages.publish.records_in += 1;
+        stages.publish.records_out += 1;
+        stages.publish.wall_nanos += nanos_since(started);
+        report.eiocs += 1;
+
+        let started = Instant::now();
+        let rioc = self.reducer.reduce(&eioc);
+        stages.reduce.records_in += 1;
+        stages.reduce.wall_nanos += nanos_since(started);
+        match rioc {
+            Some(rioc) => {
+                stages.reduce.records_out += 1;
+                let started = Instant::now();
+                let _ = self
+                    .broker
+                    .publish_value(Topic::new(topics::RIOC_PUBLISHED), &rioc);
+                stages.publish.records_in += 1;
+                stages.publish.records_out += 1;
+                stages.publish.wall_nanos += nanos_since(started);
+                self.riocs.push(rioc);
+                report.riocs += 1;
+            }
+            None => stages.reduce.dropped += 1,
+        }
+        self.eiocs.push(eioc);
+        Ok(())
     }
 
     /// Ingests a STIX 2.0 bundle from a sharing partner: every object a
@@ -235,10 +677,7 @@ impl Platform {
     /// # Errors
     ///
     /// Returns MISP persistence errors.
-    pub fn ingest_stix_bundle(
-        &mut self,
-        bundle: &cais_stix::Bundle,
-    ) -> Result<usize, CoreError> {
+    pub fn ingest_stix_bundle(&mut self, bundle: &cais_stix::Bundle) -> Result<usize, CoreError> {
         use crate::heuristics::generic;
         // Arm every carried indicator for live detection replay.
         self.detection.arm_bundle(bundle);
@@ -442,10 +881,8 @@ mod tests {
         assert_eq!(platform.context().alarms.read().len(), 1);
 
         // …so the use-case IoC now scores above its alarm-free 2.7407.
-        let score_with_alarm = crate::heuristics::vulnerability::evaluate(
-            &paper_rce_ioc(),
-            platform.context(),
-        );
+        let score_with_alarm =
+            crate::heuristics::vulnerability::evaluate(&paper_rce_ioc(), platform.context());
         assert!(score_with_alarm.total() > 2.7407);
     }
 
@@ -530,7 +967,11 @@ mod tests {
                 .build()
                 .into(),
             // Unsupported: contributes nothing.
-            Campaign::builder("op-x").created(stamp).modified(stamp).build().into(),
+            Campaign::builder("op-x")
+                .created(stamp)
+                .modified(stamp)
+                .build()
+                .into(),
         ]);
         let scored = platform.ingest_stix_bundle(&bundle).unwrap();
         assert_eq!(scored, 2);
@@ -549,8 +990,7 @@ mod tests {
         let stamp = platform.context().now.add_days(-1);
 
         // A partner shares an indicator for a known C2 address.
-        let mut builder =
-            Indicator::builder("[ipv4-addr:value = '203.0.113.77']", stamp);
+        let mut builder = Indicator::builder("[ipv4-addr:value = '203.0.113.77']", stamp);
         builder
             .name("partner-c2")
             .label("malicious-activity")
@@ -582,6 +1022,199 @@ mod tests {
 }
 
 #[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use cais_common::{Observable, ObservableKind};
+    use cais_feeds::ThreatCategory;
+
+    fn mixed_workload(platform: &Platform, count: usize) -> Vec<FeedRecord> {
+        let now = platform.context().now;
+        (0..count)
+            .map(|i| {
+                let mut record = match i % 4 {
+                    0 => FeedRecord::new(
+                        Observable::new(
+                            ObservableKind::Cve,
+                            format!("CVE-2017-{:04}", 9000 + i % 40),
+                        ),
+                        ThreatCategory::VulnerabilityExploitation,
+                        format!("feed-{}", i % 3),
+                        now.add_days(-((i % 300) as i64)),
+                    ),
+                    1 => FeedRecord::new(
+                        Observable::new(
+                            ObservableKind::Domain,
+                            format!("c2-{}.evil.example", i % 25),
+                        ),
+                        ThreatCategory::CommandAndControl,
+                        format!("feed-{}", i % 3),
+                        now.add_days(-((i % 30) as i64)),
+                    ),
+                    2 => FeedRecord::new(
+                        Observable::new(
+                            ObservableKind::Ipv4,
+                            format!("203.0.{}.{}", i % 6, i % 200),
+                        ),
+                        ThreatCategory::Scanner,
+                        format!("feed-{}", i % 3),
+                        now.add_days(-((i % 10) as i64)),
+                    ),
+                    _ => FeedRecord::new(
+                        Observable::new(
+                            ObservableKind::Domain,
+                            format!("phish-{}.example", i % 15),
+                        ),
+                        ThreatCategory::Phishing,
+                        format!("feed-{}", i % 3),
+                        now,
+                    ),
+                };
+                if i % 4 == 0 {
+                    record = record
+                        .with_cve(format!("CVE-2017-{:04}", 9000 + i % 40))
+                        .with_description("remote code execution advisory");
+                }
+                record
+            })
+            .collect()
+    }
+
+    fn config_with_filters() -> PlatformConfig {
+        PlatformConfig {
+            nlp_relevance_filter: true,
+            warninglist_filter: true,
+            ..PlatformConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        for workers in [2, 4, 8] {
+            let mut sequential =
+                Platform::new(config_with_filters(), EvaluationContext::paper_use_case());
+            let mut parallel =
+                Platform::new(config_with_filters(), EvaluationContext::paper_use_case());
+            let records = mixed_workload(&sequential, 600);
+            let seq_report = sequential.ingest_feed_records(records.clone()).unwrap();
+            let par_report = parallel
+                .ingest_feed_records_parallel(records, workers)
+                .unwrap();
+            assert!(
+                seq_report.same_counters(&par_report),
+                "{workers} workers:\n{seq_report:?}\nvs\n{par_report:?}"
+            );
+            assert_eq!(sequential.eiocs(), parallel.eiocs(), "{workers} workers");
+            assert_eq!(sequential.riocs(), parallel.riocs(), "{workers} workers");
+            assert_eq!(
+                sequential.misp().store().len(),
+                parallel.misp().store().len()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_duplicate_rates() {
+        for unique in [5usize, 50, 200] {
+            let mut sequential = Platform::paper_use_case();
+            let mut parallel = Platform::paper_use_case();
+            let now = sequential.context().now;
+            let records: Vec<FeedRecord> = (0..400)
+                .map(|i| {
+                    FeedRecord::new(
+                        Observable::new(
+                            ObservableKind::Domain,
+                            format!("dup-{}.example", i % unique),
+                        ),
+                        ThreatCategory::MalwareDomain,
+                        format!("feed-{}", i % 4),
+                        now.add_days(-((i % 20) as i64)),
+                    )
+                })
+                .collect();
+            let seq_report = sequential.ingest_feed_records(records.clone()).unwrap();
+            let par_report = parallel.ingest_feed_records_parallel(records, 4).unwrap();
+            assert!(
+                seq_report.same_counters(&par_report),
+                "unique={unique}:\n{seq_report:?}\nvs\n{par_report:?}"
+            );
+            assert_eq!(par_report.duplicates_dropped, 400 - unique);
+            assert_eq!(sequential.riocs(), parallel.riocs());
+        }
+    }
+
+    #[test]
+    fn parallel_shares_dedup_state_with_sequential() {
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        let record = || {
+            FeedRecord::new(
+                Observable::new(ObservableKind::Domain, "seen-once.example"),
+                ThreatCategory::MalwareDomain,
+                "feed",
+                now,
+            )
+        };
+        platform.ingest_feed_records(vec![record()]).unwrap();
+        // The same record through the parallel path is a duplicate.
+        let report = platform
+            .ingest_feed_records_parallel(vec![record(), record()], 4)
+            .unwrap();
+        assert_eq!(report.duplicates_dropped, 2);
+        assert_eq!(report.ciocs, 0);
+    }
+
+    #[test]
+    fn stage_metrics_account_for_every_record() {
+        let mut platform =
+            Platform::new(config_with_filters(), EvaluationContext::paper_use_case());
+        let records = mixed_workload(&platform, 200);
+        let report = platform.ingest_feed_records(records).unwrap();
+        let stages = report.stages;
+        assert_eq!(stages.filter.records_in, report.records_in);
+        assert_eq!(
+            stages.filter.dropped,
+            report.nlp_filtered + report.benign_filtered
+        );
+        assert_eq!(stages.dedup.records_in, stages.filter.records_out);
+        assert_eq!(stages.dedup.dropped, report.duplicates_dropped);
+        assert_eq!(stages.compose.records_in, stages.dedup.records_out);
+        assert_eq!(stages.compose.records_out, report.ciocs);
+        assert_eq!(stages.enrich.records_in, report.ciocs);
+        assert_eq!(stages.enrich.records_out, report.eiocs);
+        assert_eq!(stages.reduce.records_in, report.eiocs);
+        assert_eq!(stages.reduce.records_out, report.riocs);
+        // One bus message per cIoC, eIoC and rIoC.
+        assert_eq!(
+            stages.publish.records_in,
+            report.ciocs + report.eiocs + report.riocs
+        );
+        assert!(stages.total_nanos() > 0);
+    }
+
+    #[test]
+    fn parallel_publishes_the_same_bus_traffic() {
+        let mut platform = Platform::paper_use_case();
+        let ciocs = platform.broker().subscribe(topics::CIOC_RECEIVED);
+        let eiocs = platform.broker().subscribe(topics::EIOC_READY);
+        let riocs = platform.broker().subscribe(topics::RIOC_PUBLISHED);
+        let records = mixed_workload(&platform, 120);
+        let report = platform.ingest_feed_records_parallel(records, 4).unwrap();
+        assert_eq!(ciocs.drain().len(), report.ciocs);
+        assert_eq!(eiocs.drain().len(), report.eiocs);
+        assert_eq!(riocs.drain().len(), report.riocs);
+    }
+
+    #[test]
+    fn single_worker_falls_back_to_sequential() {
+        let mut platform = Platform::paper_use_case();
+        let records = mixed_workload(&platform, 40);
+        let report = platform.ingest_feed_records_parallel(records, 1).unwrap();
+        assert_eq!(report.records_in, 40);
+        assert!(report.ciocs > 0);
+    }
+}
+
+#[cfg(test)]
 mod warninglist_tests {
     use super::*;
     use cais_common::{Observable, ObservableKind};
@@ -607,11 +1240,11 @@ mod warninglist_tests {
         };
         let report = platform
             .ingest_feed_records(vec![
-                make(ObservableKind::Ipv4, "10.0.0.7"),          // private
-                make(ObservableKind::Ipv4, "8.8.8.8"),           // resolver
-                make(ObservableKind::Domain, "foo.test"),        // reserved TLD
-                make(ObservableKind::Ipv4, "45.33.12.7"),        // genuine
-                make(ObservableKind::Domain, "real-threat.ru"),  // genuine
+                make(ObservableKind::Ipv4, "10.0.0.7"),         // private
+                make(ObservableKind::Ipv4, "8.8.8.8"),          // resolver
+                make(ObservableKind::Domain, "foo.test"),       // reserved TLD
+                make(ObservableKind::Ipv4, "45.33.12.7"),       // genuine
+                make(ObservableKind::Domain, "real-threat.ru"), // genuine
             ])
             .unwrap();
         assert_eq!(report.records_in, 5);

@@ -70,7 +70,9 @@ impl FromStr for CveId {
         let rest = upper
             .strip_prefix("CVE-")
             .ok_or_else(|| err("missing CVE- prefix"))?;
-        let (year, seq) = rest.split_once('-').ok_or_else(|| err("missing sequence"))?;
+        let (year, seq) = rest
+            .split_once('-')
+            .ok_or_else(|| err("missing sequence"))?;
         if year.len() != 4 {
             return Err(err("year must be four digits"));
         }
@@ -156,7 +158,10 @@ impl CveDatabase {
     /// Inserts a record, replacing any previous record with the same id.
     pub fn insert(&mut self, record: CveRecord) {
         for product in &record.affected_products {
-            let ids = self.by_product.entry(product.to_ascii_lowercase()).or_default();
+            let ids = self
+                .by_product
+                .entry(product.to_ascii_lowercase())
+                .or_default();
             if !ids.contains(&record.id) {
                 ids.push(record.id.clone());
             }
@@ -272,8 +277,8 @@ impl CveDatabase {
 
         let mut sequence = 10_000u32;
         for _ in 0..count {
-            sequence += rng.gen_range(1..20);
-            let year = rng.gen_range(2014..=2019);
+            sequence += rng.gen_range(1u32..20);
+            let year = rng.gen_range(2014u16..=2019);
             // Severity mix: 14% critical, 38% high, 38% medium, 10% low.
             let roll: f64 = rng.gen();
             let class = if roll < 0.14 {
@@ -297,8 +302,14 @@ impl CveDatabase {
             let product = PRODUCTS.choose(&mut rng).expect("non-empty");
             let os = OSES.choose(&mut rng).expect("non-empty");
             let kind = KINDS.choose(&mut rng).expect("non-empty");
-            let published =
-                Timestamp::from_ymd_hms(year as i32, rng.gen_range(1..=12), rng.gen_range(1..=28), 0, 0, 0);
+            let published = Timestamp::from_ymd_hms(
+                year as i32,
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+                0,
+                0,
+                0,
+            );
             db.insert(CveRecord {
                 id: CveId::new(year, sequence),
                 description: format!("{kind} in {product} on {os}"),
@@ -347,7 +358,13 @@ mod tests {
 
     #[test]
     fn cve_id_rejects_malformed() {
-        for bad in ["", "CVE-17-9805", "CVE-2017-1", "2017-9805", "CVE-2017-123456789"] {
+        for bad in [
+            "",
+            "CVE-17-9805",
+            "CVE-2017-1",
+            "2017-9805",
+            "CVE-2017-123456789",
+        ] {
             assert!(bad.parse::<CveId>().is_err(), "{bad:?}");
         }
     }

@@ -79,18 +79,16 @@ impl CvssV2 {
                 - (1.0 - impact_weight(self.confidentiality))
                     * (1.0 - impact_weight(self.integrity))
                     * (1.0 - impact_weight(self.availability)));
-        let exploitability = 20.0
-            * match self.access_vector {
+        let exploitability =
+            20.0 * match self.access_vector {
                 AccessVector::Local => 0.395,
                 AccessVector::AdjacentNetwork => 0.646,
                 AccessVector::Network => 1.0,
-            }
-            * match self.access_complexity {
+            } * match self.access_complexity {
                 AccessComplexity::High => 0.35,
                 AccessComplexity::Medium => 0.61,
                 AccessComplexity::Low => 0.71,
-            }
-            * match self.authentication {
+            } * match self.authentication {
                 Authentication::Multiple => 0.45,
                 Authentication::Single => 0.56,
                 Authentication::None => 0.704,

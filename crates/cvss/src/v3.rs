@@ -608,7 +608,9 @@ mod tests {
 
     #[test]
     fn severity_bands() {
-        let v: CvssV3 = "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let v: CvssV3 = "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap();
         assert_eq!(v.severity(), Severity::High);
         assert_eq!(Severity::from_score(3.9), Severity::Low);
         assert_eq!(Severity::from_score(4.0), Severity::Medium);
@@ -625,7 +627,9 @@ mod tests {
             .unwrap();
         assert!(v.temporal_score() < v.base_score());
         // All Not Defined → temporal == base.
-        let plain: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let plain: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap();
         assert_eq!(plain.temporal_score(), plain.base_score());
     }
 
@@ -645,7 +649,9 @@ mod tests {
 
     #[test]
     fn accepts_v31_prefix() {
-        assert!("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<CvssV3>().is_ok());
+        assert!("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse::<CvssV3>()
+            .is_ok());
     }
 
     #[test]
@@ -653,10 +659,10 @@ mod tests {
         for bad in [
             "",
             "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
-            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H",      // missing A
-            "CVSS:3.0/AV:Z/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",  // bad AV
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H", // missing A
+            "CVSS:3.0/AV:Z/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", // bad AV
             "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/QQ:Z", // unknown metric
-            "CVSS:3.0/AVN",                                    // missing colon
+            "CVSS:3.0/AVN",                             // missing colon
         ] {
             assert!(bad.parse::<CvssV3>().is_err(), "{bad:?}");
         }
@@ -715,7 +721,9 @@ mod environmental_tests {
     use super::*;
 
     fn rce() -> CvssV3 {
-        "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap()
+        "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap()
     }
 
     #[test]
@@ -778,7 +786,9 @@ mod environmental_tests {
 
     #[test]
     fn zero_impact_stays_zero() {
-        let v: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N".parse().unwrap();
+        let v: CvssV3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"
+            .parse()
+            .unwrap();
         let high = SecurityRequirements {
             confidentiality: Requirement::High,
             integrity: Requirement::High,

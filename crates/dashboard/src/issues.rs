@@ -4,12 +4,12 @@
 
 use cais_core::ReducedIoc;
 use cais_infra::{Inventory, NodeId};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// The detailed view of one reduced IoC, as Fig. 4 lays it out:
 /// vulnerability identification, description, the affected
 /// infrastructure and the threat score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SecurityIssue {
     /// The CVE, when known.
     pub cve: Option<String>,
@@ -110,7 +110,10 @@ impl IssueBoard {
 
     /// Issues concerning one node.
     pub fn for_node(&self, inventory: &Inventory, node: NodeId) -> Vec<&SecurityIssue> {
-        let Some(name) = inventory.node(node).map(|n| format!("{} ({})", n.name, n.id)) else {
+        let Some(name) = inventory
+            .node(node)
+            .map(|n| format!("{} ({})", n.name, n.id))
+        else {
             return Vec::new();
         };
         self.issues
@@ -154,7 +157,11 @@ mod tests {
     fn board_ranks_by_score() {
         let inventory = Inventory::paper_table3();
         let mut board = IssueBoard::new();
-        for (score, cve) in [(2.0, "CVE-A-0001"), (4.0, "CVE-B-0001"), (3.0, "CVE-C-0001")] {
+        for (score, cve) in [
+            (2.0, "CVE-A-0001"),
+            (4.0, "CVE-B-0001"),
+            (3.0, "CVE-C-0001"),
+        ] {
             board.push(SecurityIssue::from_rioc(&rioc(score, cve), &inventory));
         }
         let scores: Vec<f64> = board.issues().iter().map(|i| i.threat_score).collect();
@@ -166,7 +173,10 @@ mod tests {
         let inventory = Inventory::paper_table3();
         let mut board = IssueBoard::with_cap(2);
         for score in [1.0, 5.0, 3.0, 4.0] {
-            board.push(SecurityIssue::from_rioc(&rioc(score, "CVE-X-0001"), &inventory));
+            board.push(SecurityIssue::from_rioc(
+                &rioc(score, "CVE-X-0001"),
+                &inventory,
+            ));
         }
         let scores: Vec<f64> = board.issues().iter().map(|i| i.threat_score).collect();
         assert_eq!(scores, vec![5.0, 4.0]);
@@ -176,7 +186,10 @@ mod tests {
     fn per_node_filter() {
         let inventory = Inventory::paper_table3();
         let mut board = IssueBoard::new();
-        board.push(SecurityIssue::from_rioc(&rioc(2.0, "CVE-X-0001"), &inventory));
+        board.push(SecurityIssue::from_rioc(
+            &rioc(2.0, "CVE-X-0001"),
+            &inventory,
+        ));
         assert_eq!(board.for_node(&inventory, NodeId(4)).len(), 1);
         assert!(board.for_node(&inventory, NodeId(1)).is_empty());
         assert!(board.for_node(&inventory, NodeId(99)).is_empty());
@@ -236,7 +249,10 @@ mod criteria_tests {
         .with_description("remote code execution in apache struts");
         platform.ingest_feed_records(vec![record]).unwrap();
         let rioc = &platform.riocs()[0];
-        assert!(rioc.criteria.is_some(), "vulnerability heuristic is criteria-weighted");
+        assert!(
+            rioc.criteria.is_some(),
+            "vulnerability heuristic is criteria-weighted"
+        );
         let issue = SecurityIssue::from_rioc(rioc, &Inventory::paper_table3());
         assert!(issue.criteria_summary.as_deref().unwrap().starts_with("R="));
     }

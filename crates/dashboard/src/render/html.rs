@@ -37,9 +37,11 @@ pub fn html(state: &DashboardState) -> String {
             riocs = badge.riocs,
         ));
     }
-    out.push_str("</div>\n<h2>Security issues</h2>\n<table><tr>\
+    out.push_str(
+        "</div>\n<h2>Security issues</h2>\n<table><tr>\
                   <th>CVE</th><th>Description</th><th>Application</th>\
-                  <th>Nodes</th><th>Threat score</th><th>Priority</th></tr>\n");
+                  <th>Nodes</th><th>Threat score</th><th>Priority</th></tr>\n",
+    );
     let mut riocs: Vec<_> = state.riocs().iter().collect();
     riocs.sort_by(|a, b| b.threat_score.total_cmp(&a.threat_score));
     for rioc in riocs {

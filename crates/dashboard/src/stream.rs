@@ -120,7 +120,9 @@ mod tests {
         let broker = Broker::new();
         let mut stream =
             DashboardStream::attach(DashboardState::new(Inventory::paper_table3()), &broker);
-        broker.publish_value(topics::RIOC_PUBLISHED, &rioc()).unwrap();
+        broker
+            .publish_value(topics::RIOC_PUBLISHED, &rioc())
+            .unwrap();
         broker
             .publish_value(
                 topics::ALARM_RAISED,
@@ -149,7 +151,10 @@ mod tests {
         let broker = Broker::new();
         let mut stream =
             DashboardStream::attach(DashboardState::new(Inventory::paper_table3()), &broker);
-        broker.publish(Topic::new(topics::RIOC_PUBLISHED), serde_json::json!("garbage"));
+        broker.publish(
+            Topic::new(topics::RIOC_PUBLISHED),
+            serde_json::json!("garbage"),
+        );
         assert_eq!(stream.pump(), 0);
         assert_eq!(stream.decode_failures(), 1);
     }

@@ -82,7 +82,11 @@ impl Timeline {
 
     /// The busiest bucket's total (0 for an empty timeline).
     pub fn peak(&self) -> usize {
-        self.buckets.iter().map(TimelineBucket::total).max().unwrap_or(0)
+        self.buckets
+            .iter()
+            .map(TimelineBucket::total)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders the timeline as three ASCII sparklines (high/medium/low).
@@ -165,7 +169,12 @@ mod tests {
         assert!(text.contains("low    |"));
         // Each sparkline row carries exactly 10 bucket glyphs.
         for row in text.lines().skip(1) {
-            let inside: String = row.chars().skip_while(|c| *c != '|').skip(1).take_while(|c| *c != '|').collect();
+            let inside: String = row
+                .chars()
+                .skip_while(|c| *c != '|')
+                .skip(1)
+                .take_while(|c| *c != '|')
+                .collect();
             assert_eq!(inside.chars().count(), 10, "{row}");
         }
     }

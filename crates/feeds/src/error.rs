@@ -33,11 +33,7 @@ impl FeedError {
         }
     }
 
-    pub(crate) fn parse(
-        source_name: &str,
-        line: Option<usize>,
-        reason: impl Into<String>,
-    ) -> Self {
+    pub(crate) fn parse(source_name: &str, line: Option<usize>, reason: impl Into<String>) -> Self {
         FeedError::Parse {
             source_name: source_name.to_owned(),
             line,
@@ -57,7 +53,10 @@ impl fmt::Display for FeedError {
                 source_name,
                 line: Some(line),
                 reason,
-            } => write!(f, "failed to parse feed {source_name:?} line {line}: {reason}"),
+            } => write!(
+                f,
+                "failed to parse feed {source_name:?} line {line}: {reason}"
+            ),
             FeedError::Parse {
                 source_name,
                 line: None,

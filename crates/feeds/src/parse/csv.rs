@@ -62,9 +62,7 @@ fn header_role(name: &str) -> Role {
     match name.trim().to_ascii_lowercase().as_str() {
         "value" | "indicator" | "ioc" | "domain" | "ip" | "url" | "host" | "md5" | "sha1"
         | "sha256" | "hash" | "address" | "dst_ip" => Role::Value,
-        "timestamp" | "date" | "firstseen" | "first_seen" | "dateadded" | "seen" => {
-            Role::Timestamp
-        }
+        "timestamp" | "date" | "firstseen" | "first_seen" | "dateadded" | "seen" => Role::Timestamp,
         "description" | "comment" | "malware" | "threat" | "notes" => Role::Description,
         "cve" | "cve_id" => Role::Cve,
         "tag" | "tags" | "type" | "status" => Role::Tag,
@@ -164,7 +162,10 @@ mod tests {
             split_record(r#"a,"b,c","d""e",f"#).unwrap(),
             vec!["a", "b,c", "d\"e", "f"]
         );
-        assert_eq!(split_record("plain,fields").unwrap(), vec!["plain", "fields"]);
+        assert_eq!(
+            split_record("plain,fields").unwrap(),
+            vec!["plain", "fields"]
+        );
         assert_eq!(split_record("").unwrap(), vec![""]);
         assert!(split_record(r#"a,"unbalanced"#).is_none());
     }

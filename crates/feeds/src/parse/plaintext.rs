@@ -75,10 +75,10 @@ mod tests {
 
     #[test]
     fn parses_mixed_indicator_kinds() {
-        let payload = "evil.example\n203.0.113.9\nd41d8cd98f00b204e9800998ecf8427e\nCVE-2017-9805\n";
+        let payload =
+            "evil.example\n203.0.113.9\nd41d8cd98f00b204e9800998ecf8427e\nCVE-2017-9805\n";
         let records = parse(payload, "mixed", ThreatCategory::MalwareDomain).unwrap();
-        let kinds: Vec<ObservableKind> =
-            records.iter().map(|r| r.observable.kind()).collect();
+        let kinds: Vec<ObservableKind> = records.iter().map(|r| r.observable.kind()).collect();
         assert_eq!(
             kinds,
             vec![

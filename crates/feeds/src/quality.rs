@@ -88,8 +88,7 @@ impl QualityTracker {
         for record in records {
             let stats = self.stats.entry(record.source.clone()).or_default();
             stats.records += 1;
-            let age_days =
-                (now.millis_since(record.seen_at)).max(0) as f64 / (24.0 * 3_600_000.0);
+            let age_days = (now.millis_since(record.seen_at)).max(0) as f64 / (24.0 * 3_600_000.0);
             stats.age_days_total += age_days;
             if self.seen_values.insert(record.dedup_key()) {
                 stats.first_seen += 1;
@@ -173,7 +172,10 @@ mod tests {
         let fresh = tracker.stats("fresh").unwrap().grade();
         let stale = tracker.stats("stale").unwrap().grade();
         assert!(fresh > stale, "{fresh} !> {stale}");
-        assert_eq!(tracker.stats("stale").unwrap().mean_age_days().round(), 60.0);
+        assert_eq!(
+            tracker.stats("stale").unwrap().mean_age_days().round(),
+            60.0
+        );
     }
 
     #[test]

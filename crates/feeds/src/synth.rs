@@ -188,7 +188,14 @@ fn fresh_value(
     ];
     const TLDS: &[&str] = &["example", "test", "invalid"];
     const MALWARE: &[&str] = &[
-        "emotet", "trickbot", "qakbot", "dridex", "ursnif", "agenttesla", "lokibot", "remcos",
+        "emotet",
+        "trickbot",
+        "qakbot",
+        "dridex",
+        "ursnif",
+        "agenttesla",
+        "lokibot",
+        "remcos",
     ];
     let tag = format!("{feed_idx}x{record_idx}");
     match category {
@@ -264,7 +271,10 @@ fn fresh_value(
             (
                 Observable::new(ObservableKind::Md5, hash),
                 None,
-                Some(format!("{} sample", MALWARE.choose(rng).expect("non-empty"))),
+                Some(format!(
+                    "{} sample",
+                    MALWARE.choose(rng).expect("non-empty")
+                )),
             )
         }
     }

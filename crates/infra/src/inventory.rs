@@ -131,12 +131,16 @@ impl Inventory {
         let mut builder = Inventory::builder();
         builder
             .node("OwnCloud", NodeType::Server, "ubuntu")
-            .applications(&["ubuntu", "owncloud", "ossec", "snort", "suricata", "nids", "hids"])
+            .applications(&[
+                "ubuntu", "owncloud", "ossec", "snort", "suricata", "nids", "hids",
+            ])
             .ip("192.168.1.11")
             .network("LAN");
         builder
             .node("GitLab", NodeType::Server, "ubuntu")
-            .applications(&["ubuntu", "gitlab", "ossec", "snort", "suricata", "nids", "hids"])
+            .applications(&[
+                "ubuntu", "gitlab", "ossec", "snort", "suricata", "nids", "hids",
+            ])
             .ip("192.168.1.12")
             .network("LAN");
         builder
@@ -146,7 +150,13 @@ impl Inventory {
             .network("LAN");
         builder
             .node("XL-SIEM", NodeType::Server, "debian")
-            .applications(&["debian", "apache", "apache storm", "apache zookeeper", "server"])
+            .applications(&[
+                "debian",
+                "apache",
+                "apache storm",
+                "apache zookeeper",
+                "server",
+            ])
             .ip("192.168.1.14")
             .network("LAN")
             .network("WAN");

@@ -213,7 +213,11 @@ pub fn generate_logs(
                 at,
                 node,
                 facility: "app".into(),
-                text: format!("worker {}: request completed in {}ms", i, rng.gen_range(2..90)),
+                text: format!(
+                    "worker {}: request completed in {}ms",
+                    i,
+                    rng.gen_range(2..90)
+                ),
             }
         };
         lines.push(line);

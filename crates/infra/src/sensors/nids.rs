@@ -210,10 +210,7 @@ pub fn generate_traffic(
             .choose(&mut rng)
             .cloned()
             .unwrap_or_else(|| "192.0.2.1".to_owned());
-        let src_ip = format!(
-            "203.0.113.{}",
-            rng.gen_range(1..=254u8)
-        );
+        let src_ip = format!("203.0.113.{}", rng.gen_range(1..=254u8));
         let packet = if rng.gen_bool(attack_fraction) {
             match rng.gen_range(0..5) {
                 0 => Packet {
@@ -221,7 +218,9 @@ pub fn generate_traffic(
                     src_ip,
                     dst_ip,
                     dst_port: 8080,
-                    payload: "POST /struts2-rest-showcase <map><entry/></map> XStreamHandler xstream".into(),
+                    payload:
+                        "POST /struts2-rest-showcase <map><entry/></map> XStreamHandler xstream"
+                            .into(),
                 },
                 1 => Packet {
                     at,

@@ -215,8 +215,8 @@ mod tests {
 
     #[test]
     fn end_to_end_with_generators() {
-        use crate::sensors::{hids, nids};
         use crate::inventory::Inventory;
+        use crate::sensors::{hids, nids};
 
         let inv = Inventory::paper_table3();
         let sightings = SightingStore::new();

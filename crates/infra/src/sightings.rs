@@ -108,7 +108,12 @@ mod tests {
         let store = SightingStore::new();
         let c2 = ip("203.0.113.9");
         assert!(!store.has_seen(&c2));
-        store.record(&c2, Timestamp::from_unix_secs(100), Some(NodeId(4)), "suricata");
+        store.record(
+            &c2,
+            Timestamp::from_unix_secs(100),
+            Some(NodeId(4)),
+            "suricata",
+        );
         store.record(&c2, Timestamp::from_unix_secs(50), None, "snort");
         assert!(store.has_seen(&c2));
         assert_eq!(store.last_seen(&c2), Some(Timestamp::from_unix_secs(100)));

@@ -86,9 +86,27 @@ impl MispApi {
     /// Returns [`MispError::EventNotFound`] or validation errors.
     pub fn add_attribute(&self, event_id: u64, attribute: MispAttribute) -> Result<(), MispError> {
         attribute.validate()?;
-        self.store.update(event_id, |event| {
+        self.update_event(event_id, |event| {
             event.add_attribute(attribute);
-        })?;
+        })
+    }
+
+    /// Applies an arbitrary in-place edit to an event and announces it
+    /// once on `misp.event.updated` — the batched alternative to a
+    /// sequence of [`MispApi::add_attribute`] calls, paying for one
+    /// store update and one announcement however many attributes and
+    /// tags the closure applies. The closure is NOT re-validated;
+    /// callers adding attributes should validate them first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] for unknown ids.
+    pub fn update_event<F: FnOnce(&mut MispEvent)>(
+        &self,
+        event_id: u64,
+        f: F,
+    ) -> Result<(), MispError> {
+        self.store.update(event_id, f)?;
         self.announce("misp.event.updated", event_id);
         Ok(())
     }
@@ -99,7 +117,7 @@ impl MispApi {
     ///
     /// Returns [`MispError::EventNotFound`] for unknown ids.
     pub fn publish_event(&self, id: u64) -> Result<(), MispError> {
-        self.store.publish(id)?;
+        self.store.update(id, |event| event.published = true)?;
         self.announce("misp.event.published", id);
         Ok(())
     }
@@ -142,8 +160,13 @@ impl MispApi {
 
     fn announce(&self, topic: &str, event_id: u64) {
         if let Some(broker) = &self.broker {
-            if let Some(event) = self.store.get(event_id) {
-                let _ = broker.publish_value(Topic::new(topic), &event);
+            // Serialize the payload under the store's read lock instead
+            // of cloning the whole event out first.
+            if let Some(Ok(payload)) = self
+                .store
+                .with_event(event_id, |event| serde_json::to_value(event))
+            {
+                broker.publish(Topic::new(topic), payload);
             }
         }
     }

@@ -183,9 +183,7 @@ mod tests {
     #[test]
     fn detection_types_default_to_ids() {
         assert!(MispAttribute::new("ip-dst", AttributeCategory::NetworkActivity, "1.1.1.1").to_ids);
-        assert!(
-            !MispAttribute::new("comment", AttributeCategory::Other, "note").to_ids
-        );
+        assert!(!MispAttribute::new("comment", AttributeCategory::Other, "note").to_ids);
     }
 
     #[test]
@@ -214,7 +212,10 @@ mod tests {
         ] {
             let attr = MispAttribute::new(ty, AttributeCategory::Other, value);
             assert!(
-                matches!(attr.validate(), Err(MispError::InvalidAttributeValue { .. })),
+                matches!(
+                    attr.validate(),
+                    Err(MispError::InvalidAttributeValue { .. })
+                ),
                 "{ty} {value}"
             );
         }
@@ -231,7 +232,11 @@ mod tests {
 
     #[test]
     fn correlation_key_normalizes() {
-        let a = MispAttribute::new("domain", AttributeCategory::NetworkActivity, " Evil.Example ");
+        let a = MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            " Evil.Example ",
+        );
         let b = MispAttribute::new("domain", AttributeCategory::NetworkActivity, "evil.example");
         assert_eq!(a.correlation_key(), b.correlation_key());
     }

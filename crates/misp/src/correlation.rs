@@ -85,7 +85,9 @@ mod tests {
     #[test]
     fn shared_value_correlates() {
         let store = MispStore::new();
-        let a = store.insert(event("a", &["shared.example", "only-a.example"])).unwrap();
+        let a = store
+            .insert(event("a", &["shared.example", "only-a.example"]))
+            .unwrap();
         let b = store.insert(event("b", &["shared.example"])).unwrap();
         let c = store.insert(event("c", &["only-c.example"])).unwrap();
 
@@ -108,7 +110,9 @@ mod tests {
     #[test]
     fn graph_reports_only_shared_values() {
         let store = MispStore::new();
-        store.insert(event("a", &["shared.example", "solo.example"])).unwrap();
+        store
+            .insert(event("a", &["shared.example", "solo.example"]))
+            .unwrap();
         store.insert(event("b", &["shared.example"])).unwrap();
         let graph = correlation_graph(&store);
         assert_eq!(graph.len(), 1);

@@ -124,7 +124,10 @@ mod tests {
         }
         let mut registry = ExportRegistry::with_builtins();
         registry.install(Box::new(Custom));
-        let out = registry.export("csv", &MispEvent::new("x")).unwrap().unwrap();
+        let out = registry
+            .export("csv", &MispEvent::new("x"))
+            .unwrap()
+            .unwrap();
         assert_eq!(out, "custom!");
     }
 }

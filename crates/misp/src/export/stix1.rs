@@ -188,8 +188,7 @@ mod tests {
             let closes = xml.matches(&format!("</{tag}>")).count();
             assert_eq!(opens, closes + opens - closes); // sanity
             assert_eq!(
-                xml.matches(&format!("<{tag} ")).count()
-                    + xml.matches(&format!("<{tag}>")).count(),
+                xml.matches(&format!("<{tag} ")).count() + xml.matches(&format!("<{tag}>")).count(),
                 closes,
                 "unbalanced {tag}"
             );
@@ -206,6 +205,9 @@ mod tests {
 
     #[test]
     fn escape_table() {
-        assert_eq!(escape(r#"<a href="x">&'</a>"#), "&lt;a href=&quot;x&quot;&gt;&amp;&apos;&lt;/a&gt;");
+        assert_eq!(
+            escape(r#"<a href="x">&'</a>"#),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&apos;&lt;/a&gt;"
+        );
     }
 }

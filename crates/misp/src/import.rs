@@ -34,7 +34,11 @@ use crate::tag::Tag;
 pub fn event_from_records(info: impl Into<String>, records: &[FeedRecord]) -> MispEvent {
     let mut event = MispEvent::new(info);
     if let Some(first) = records.first() {
-        event.date = records.iter().map(|r| r.seen_at).min().unwrap_or(first.seen_at);
+        event.date = records
+            .iter()
+            .map(|r| r.seen_at)
+            .min()
+            .unwrap_or(first.seen_at);
         event.add_tag(Tag::new(format!("cais:category=\"{}\"", first.category)));
         event.threat_level = match first.category {
             ThreatCategory::Ransomware | ThreatCategory::VulnerabilityExploitation => {

@@ -55,10 +55,7 @@ pub const TEMPLATES: &[ObjectTemplate] = &[
     },
     ObjectTemplate {
         name: "domain-ip",
-        relations: &[
-            rel("domain", "domain", true),
-            rel("ip", "ip-dst", true),
-        ],
+        relations: &[rel("domain", "domain", true), rel("ip", "ip-dst", true)],
     },
     ObjectTemplate {
         name: "vulnerability",
@@ -70,10 +67,7 @@ pub const TEMPLATES: &[ObjectTemplate] = &[
     },
     ObjectTemplate {
         name: "url",
-        relations: &[
-            rel("url", "url", true),
-            rel("domain", "domain", false),
-        ],
+        relations: &[rel("url", "url", true), rel("domain", "domain", false)],
     },
 ];
 
@@ -232,7 +226,9 @@ mod tests {
     #[test]
     fn required_relations_enforced() {
         let mut object = MispObject::new("domain-ip").unwrap();
-        object.set("domain", attr("domain", "c2.threat.ru")).unwrap();
+        object
+            .set("domain", attr("domain", "c2.threat.ru"))
+            .unwrap();
         assert!(object.validate().is_err(), "ip is required");
         object.set("ip", attr("ip-dst", "45.33.12.7")).unwrap();
         assert!(object.validate().is_ok());

@@ -95,6 +95,22 @@ impl MispStore {
         self.events.read().get(&id).cloned()
     }
 
+    /// The id the next inserted event will receive. With inserts
+    /// serialized by the caller, ids are predictable as
+    /// `peek_next_id() + k` for the k-th insert — the parallel
+    /// ingestion pipeline uses this to pre-assign event ids (and
+    /// pre-serialize their announcements) in worker threads.
+    pub fn peek_next_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Applies a read-only closure to an event in place, without
+    /// cloning it out of the store (used to serialize bus
+    /// announcements cheaply).
+    pub fn with_event<R>(&self, id: u64, f: impl FnOnce(&MispEvent) -> R) -> Option<R> {
+        self.events.read().get(&id).map(f)
+    }
+
     /// Fetches an event by UUID.
     pub fn get_by_uuid(&self, uuid: &Uuid) -> Option<MispEvent> {
         let id = *self.by_uuid.read().get(uuid)?;
@@ -223,22 +239,22 @@ impl MispStore {
             let event = events
                 .get(&event_id)
                 .ok_or(MispError::EventNotFound { event_id })?;
-            if !event
-                .attributes
-                .iter()
-                .any(|a| a.correlation_key() == key)
-            {
+            if !event.attributes.iter().any(|a| a.correlation_key() == key) {
                 return Err(MispError::InvalidAttributeValue {
                     attr_type: "sighting".to_owned(),
                     value: value.to_owned(),
                 });
             }
         }
-        self.sightings.write().entry(key).or_default().push(EventSighting {
-            event_id,
-            source: source.into(),
-            seen_at,
-        });
+        self.sightings
+            .write()
+            .entry(key)
+            .or_default()
+            .push(EventSighting {
+                event_id,
+                source: source.into(),
+                seen_at,
+            });
         Ok(())
     }
 
@@ -434,10 +450,20 @@ mod sighting_tests {
         let store = MispStore::new();
         let id = store.insert(event_with("c2.threat.ru")).unwrap();
         store
-            .add_sighting(id, "C2.THREAT.RU", "suricata", Timestamp::from_unix_secs(200))
+            .add_sighting(
+                id,
+                "C2.THREAT.RU",
+                "suricata",
+                Timestamp::from_unix_secs(200),
+            )
             .unwrap();
         store
-            .add_sighting(id, "c2.threat.ru", "analyst", Timestamp::from_unix_secs(100))
+            .add_sighting(
+                id,
+                "c2.threat.ru",
+                "analyst",
+                Timestamp::from_unix_secs(100),
+            )
             .unwrap();
         assert_eq!(store.sighting_count("c2.threat.ru"), 2);
         let all = store.sightings_of("c2.threat.ru");

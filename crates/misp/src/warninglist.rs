@@ -43,7 +43,13 @@ impl std::fmt::Display for WarningKind {
 
 /// Well-known public resolvers whose addresses appear in every DNS log.
 const PUBLIC_RESOLVERS: &[&str] = &[
-    "8.8.8.8", "8.8.4.4", "1.1.1.1", "1.0.0.1", "9.9.9.9", "149.112.112.112", "208.67.222.222",
+    "8.8.8.8",
+    "8.8.4.4",
+    "1.1.1.1",
+    "1.0.0.1",
+    "9.9.9.9",
+    "149.112.112.112",
+    "208.67.222.222",
     "208.67.220.220",
 ];
 
@@ -135,7 +141,13 @@ fn check_ipv6(value: &str) -> Option<WarningKind> {
 
 fn check_domain(value: &str) -> Option<WarningKind> {
     let reserved_suffixes = [
-        ".example", ".test", ".invalid", ".localhost", ".local", ".onion", ".internal",
+        ".example",
+        ".test",
+        ".invalid",
+        ".localhost",
+        ".local",
+        ".onion",
+        ".internal",
     ];
     if value == "example.com"
         || value == "example.org"
@@ -172,7 +184,14 @@ mod tests {
 
     #[test]
     fn private_ranges() {
-        for ip in ["10.0.0.1", "172.16.0.1", "172.31.255.255", "192.168.1.14", "127.0.0.1", "169.254.0.1"] {
+        for ip in [
+            "10.0.0.1",
+            "172.16.0.1",
+            "172.31.255.255",
+            "192.168.1.14",
+            "127.0.0.1",
+            "169.254.0.1",
+        ] {
             assert_eq!(check(ip), Some(WarningKind::PrivateAddress), "{ip}");
         }
         // 172.15 / 172.32 are public.
@@ -182,7 +201,13 @@ mod tests {
 
     #[test]
     fn documentation_ranges() {
-        for ip in ["192.0.2.1", "198.51.100.7", "203.0.113.9", "198.18.0.1", "224.0.0.1"] {
+        for ip in [
+            "192.0.2.1",
+            "198.51.100.7",
+            "203.0.113.9",
+            "198.18.0.1",
+            "224.0.0.1",
+        ] {
             assert_eq!(check(ip), Some(WarningKind::ReservedAddress), "{ip}");
         }
     }

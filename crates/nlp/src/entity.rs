@@ -32,17 +32,66 @@ pub struct Entity {
 
 /// Countries and major cities recognized as locations.
 const GAZETTEER: &[&str] = &[
-    "spain", "portugal", "france", "germany", "italy", "netherlands", "belgium", "poland",
-    "ukraine", "russia", "china", "india", "japan", "brazil", "mexico", "canada", "australia",
-    "madrid", "barcelona", "lisbon", "porto", "paris", "berlin", "london", "amsterdam", "kyiv",
-    "moscow", "beijing", "tokyo", "mumbai", "united states", "united kingdom", "south korea",
+    "spain",
+    "portugal",
+    "france",
+    "germany",
+    "italy",
+    "netherlands",
+    "belgium",
+    "poland",
+    "ukraine",
+    "russia",
+    "china",
+    "india",
+    "japan",
+    "brazil",
+    "mexico",
+    "canada",
+    "australia",
+    "madrid",
+    "barcelona",
+    "lisbon",
+    "porto",
+    "paris",
+    "berlin",
+    "london",
+    "amsterdam",
+    "kyiv",
+    "moscow",
+    "beijing",
+    "tokyo",
+    "mumbai",
+    "united states",
+    "united kingdom",
+    "south korea",
 ];
 
 /// Known security/software vendors and institutions.
 const KNOWN_ORGS: &[&str] = &[
-    "microsoft", "apache", "oracle", "cisco", "google", "amazon", "ibm", "siemens", "sap",
-    "mozilla", "adobe", "vmware", "citrix", "fortinet", "kaspersky", "symantec", "gitlab",
-    "owncloud", "atos", "interpol", "europol", "nist", "mitre",
+    "microsoft",
+    "apache",
+    "oracle",
+    "cisco",
+    "google",
+    "amazon",
+    "ibm",
+    "siemens",
+    "sap",
+    "mozilla",
+    "adobe",
+    "vmware",
+    "citrix",
+    "fortinet",
+    "kaspersky",
+    "symantec",
+    "gitlab",
+    "owncloud",
+    "atos",
+    "interpol",
+    "europol",
+    "nist",
+    "mitre",
 ];
 
 /// Organization suffixes (token must follow a capitalized-ish name; the
@@ -52,11 +101,34 @@ const ORG_SUFFIXES: &[&str] = &["inc", "corp", "ltd", "gmbh", "s.a", "llc", "plc
 
 /// Software products whose mention matters for inventory matching.
 const PRODUCTS: &[&str] = &[
-    "struts", "apache struts", "tomcat", "windows", "linux", "debian", "ubuntu", "centos",
-    "gitlab", "owncloud",
-    "wordpress", "drupal", "openssl", "nginx", "exchange", "sharepoint", "jenkins", "docker",
-    "kubernetes", "mysql", "postgresql", "php", "log4j", "zookeeper", "storm", "snort",
-    "suricata", "ossec",
+    "struts",
+    "apache struts",
+    "tomcat",
+    "windows",
+    "linux",
+    "debian",
+    "ubuntu",
+    "centos",
+    "gitlab",
+    "owncloud",
+    "wordpress",
+    "drupal",
+    "openssl",
+    "nginx",
+    "exchange",
+    "sharepoint",
+    "jenkins",
+    "docker",
+    "kubernetes",
+    "mysql",
+    "postgresql",
+    "php",
+    "log4j",
+    "zookeeper",
+    "storm",
+    "snort",
+    "suricata",
+    "ossec",
 ];
 
 /// Extracts every recognizable entity from free text.
@@ -135,11 +207,7 @@ mod tests {
              payload at hxxp://drop.example/x, affects Debian and Apache Struts, \
              see CVE-2017-9805.",
         );
-        let has = |kind, value: &str| {
-            entities
-                .iter()
-                .any(|e| e.kind == kind && e.value == value)
-        };
+        let has = |kind, value: &str| entities.iter().any(|e| e.kind == kind && e.value == value);
         assert!(has(EntityKind::Location, "lisbon"));
         assert!(has(EntityKind::Organization, "kaspersky"));
         assert!(has(EntityKind::Organization, "shadow ltd"));

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn threat_naming_our_software_is_relevant() {
-        let tag = tag("zero-day exploit in apache struts under active exploitation", &products());
+        let tag = tag(
+            "zero-day exploit in apache struts under active exploitation",
+            &products(),
+        );
         assert!(tag.relevant);
         assert!(tag.confidence > 0.5);
         assert!(tag.matched_products.contains(&"struts".to_owned()));
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn non_threat_text_is_never_relevant() {
-        let result = tag("apache struts 2.5.13 released with performance fixes", &products());
+        let result = tag(
+            "apache struts 2.5.13 released with performance fixes",
+            &products(),
+        );
         assert!(!result.relevant);
         assert_eq!(result.confidence, 0.0);
     }

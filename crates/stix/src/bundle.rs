@@ -149,8 +149,7 @@ mod tests {
 
     fn sample() -> Bundle {
         let vuln = Vulnerability::builder("CVE-2017-9805").build();
-        let ind =
-            Indicator::builder("[ipv4-addr:value = '203.0.113.9']", Timestamp::EPOCH).build();
+        let ind = Indicator::builder("[ipv4-addr:value = '203.0.113.9']", Timestamp::EPOCH).build();
         let rel = Relationship::new(
             RelationshipType::Indicates,
             ind.id().clone(),

@@ -47,7 +47,9 @@ impl ExternalReference {
     pub fn cve(cve_id: impl Into<String>) -> Self {
         let cve_id = cve_id.into();
         ExternalReference {
-            url: Some(format!("https://cve.mitre.org/cgi-bin/cvename.cgi?name={cve_id}")),
+            url: Some(format!(
+                "https://cve.mitre.org/cgi-bin/cvename.cgi?name={cve_id}"
+            )),
             source_name: "cve".into(),
             description: None,
             external_id: Some(cve_id),
@@ -146,7 +148,10 @@ pub struct CommonProperties {
     ///
     /// Table II of the paper lists `osint_source` as a scored feature of
     /// every heuristic; it is carried as a STIX custom property.
-    #[serde(rename = "x_cais_osint_source", skip_serializing_if = "Option::is_none")]
+    #[serde(
+        rename = "x_cais_osint_source",
+        skip_serializing_if = "Option::is_none"
+    )]
     pub osint_source: Option<String>,
     /// Custom property: the kind of source (`osint`, `infrastructure`,
     /// `partner`, …), the paper's `source_type` feature.

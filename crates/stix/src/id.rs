@@ -155,7 +155,15 @@ mod tests {
 
     #[test]
     fn rejects_invalid_type_names() {
-        for ty in ["", "ab", "Upper-Case", "has_underscore", "-lead", "trail-", "dou--ble"] {
+        for ty in [
+            "",
+            "ab",
+            "Upper-Case",
+            "has_underscore",
+            "-lead",
+            "trail-",
+            "dou--ble",
+        ] {
             assert!(StixId::new(ty, Uuid::new_v4()).is_err(), "{ty:?}");
         }
     }

@@ -181,10 +181,8 @@ pub(crate) fn evaluate(expr: &ObservationExpr, observations: &[Observation]) -> 
                             t >= *start_millis && t < *stop_millis
                         })
                         .collect();
-                    let subset: Vec<Observation> = in_window
-                        .iter()
-                        .map(|&i| observations[i].clone())
-                        .collect();
+                    let subset: Vec<Observation> =
+                        in_window.iter().map(|&i| observations[i].clone()).collect();
                     let sub = evaluate(inner, &subset);
                     if sub.is_match() {
                         MatchOutcome::of(
@@ -214,10 +212,8 @@ pub(crate) fn evaluate(expr: &ObservationExpr, observations: &[Observation]) -> 
                                 t >= t0 && t.millis_since(t0) <= span_millis
                             })
                             .collect();
-                        let subset: Vec<Observation> = in_window
-                            .iter()
-                            .map(|&i| observations[i].clone())
-                            .collect();
+                        let subset: Vec<Observation> =
+                            in_window.iter().map(|&i| observations[i].clone()).collect();
                         let sub = evaluate(inner, &subset);
                         if sub.is_match() {
                             return MatchOutcome::of(

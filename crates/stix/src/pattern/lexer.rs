@@ -59,32 +59,53 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Token>, StixError> {
                 i += 1;
             }
             b'[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             b']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(err(start, "expected `!=`"));
@@ -92,19 +113,31 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Token>, StixError> {
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -138,7 +171,10 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Token>, StixError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(value), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(value),
+                    offset: start,
+                });
             }
             b'0'..=b'9' | b'-' | b'+' => {
                 let mut j = i + 1;
@@ -165,7 +201,10 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Token>, StixError> {
                             .map_err(|_| err(start, format!("invalid number {text:?}")))?,
                     )
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             _ if b.is_ascii_alphabetic() || b == b'_' => {
@@ -210,7 +249,12 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Token>, StixError> {
                     i = j;
                 }
             }
-            _ => return Err(err(start, format!("unexpected character {:?}", char::from(b)))),
+            _ => {
+                return Err(err(
+                    start,
+                    format!("unexpected character {:?}", char::from(b)),
+                ))
+            }
         }
     }
     Ok(tokens)

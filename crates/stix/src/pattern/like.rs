@@ -33,9 +33,7 @@ fn like_rec(p: &[char], t: &[char]) -> bool {
             (0..=t.len()).any(|skip| like_rec(&p[1..], &t[skip..]))
         }
         Some('_') => !t.is_empty() && like_rec(&p[1..], &t[1..]),
-        Some('\\') if p.len() >= 2 => {
-            !t.is_empty() && t[0] == p[1] && like_rec(&p[2..], &t[1..])
-        }
+        Some('\\') if p.len() >= 2 => !t.is_empty() && t[0] == p[1] && like_rec(&p[2..], &t[1..]),
         Some(&c) => !t.is_empty() && t[0] == c && like_rec(&p[1..], &t[1..]),
     }
 }
@@ -45,7 +43,10 @@ fn like_rec(p: &[char], t: &[char]) -> bool {
 enum RegexAtom {
     Literal(char),
     AnyChar,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,7 +82,11 @@ fn compile(pattern: &str) -> Option<(bool, bool, Vec<RegexElem>)> {
         i += 1;
     }
     let anchored_end = chars.last() == Some(&'$') && chars.len() > i;
-    let end = if anchored_end { chars.len() - 1 } else { chars.len() };
+    let end = if anchored_end {
+        chars.len() - 1
+    } else {
+        chars.len()
+    };
     let mut elems = Vec::new();
     while i < end {
         let atom = match chars[i] {
@@ -96,7 +101,10 @@ fn compile(pattern: &str) -> Option<(bool, bool, Vec<RegexElem>)> {
                 let c = chars[i + 1];
                 i += 2;
                 match c {
-                    'd' => RegexAtom::Class { negated: false, ranges: vec![('0', '9')] },
+                    'd' => RegexAtom::Class {
+                        negated: false,
+                        ranges: vec![('0', '9')],
+                    },
                     'w' => RegexAtom::Class {
                         negated: false,
                         ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],

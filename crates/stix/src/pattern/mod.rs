@@ -115,10 +115,8 @@ mod tests {
 
     #[test]
     fn comparison_and_or() {
-        let p = Pattern::parse(
-            "[ipv4-addr:value = '1.1.1.1' OR ipv4-addr:value = '2.2.2.2']",
-        )
-        .unwrap();
+        let p =
+            Pattern::parse("[ipv4-addr:value = '1.1.1.1' OR ipv4-addr:value = '2.2.2.2']").unwrap();
         assert!(p.matches(&[obs("ipv4-addr", "2.2.2.2", 0)]));
         assert!(!p.matches(&[obs("ipv4-addr", "3.3.3.3", 0)]));
     }
@@ -215,8 +213,8 @@ mod tests {
 
     #[test]
     fn matches_operator_uses_regex() {
-        let p = Pattern::parse("[domain-name:value MATCHES '^c[0-9]+\\\\.evil\\\\.example$']")
-            .unwrap();
+        let p =
+            Pattern::parse("[domain-name:value MATCHES '^c[0-9]+\\\\.evil\\\\.example$']").unwrap();
         assert!(p.matches(&[obs("domain-name", "c2.evil.example", 0)]));
         assert!(!p.matches(&[obs("domain-name", "cx.evil.example", 0)]));
     }
@@ -236,10 +234,7 @@ mod tests {
 
     #[test]
     fn file_hash_paths() {
-        let p = Pattern::parse(
-            "[file:hashes.MD5 = 'd41d8cd98f00b204e9800998ecf8427e']",
-        )
-        .unwrap();
+        let p = Pattern::parse("[file:hashes.MD5 = 'd41d8cd98f00b204e9800998ecf8427e']").unwrap();
         let hit = Observation::at(Timestamp::EPOCH).with_object(
             CyberObservable::new("file", "x")
                 .with_property("hashes.MD5", "d41d8cd98f00b204e9800998ecf8427e"),
@@ -303,10 +298,9 @@ mod start_stop_tests {
 
     #[test]
     fn start_stop_accepts_bare_strings() {
-        let p = Pattern::parse(
-            "[ipv4-addr:value = '1.1.1.1'] START '2018-01-01' STOP '2018-01-02'",
-        )
-        .unwrap();
+        let p =
+            Pattern::parse("[ipv4-addr:value = '1.1.1.1'] START '2018-01-01' STOP '2018-01-02'")
+                .unwrap();
         assert!(p.matches(&[obs("1.1.1.1", "2018-01-01T12:00:00Z")]));
     }
 

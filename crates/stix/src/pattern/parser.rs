@@ -265,7 +265,11 @@ impl Parser<'_> {
         } else {
             return Err(self.error_here("expected comparison operator"));
         };
-        if rhs_negated && !matches!(op, ComparisonOp::In | ComparisonOp::Like | ComparisonOp::Matches)
+        if rhs_negated
+            && !matches!(
+                op,
+                ComparisonOp::In | ComparisonOp::Like | ComparisonOp::Matches
+            )
         {
             return Err(self.error_here("`NOT` is only allowed before IN/LIKE/MATCHES here"));
         }
@@ -332,12 +336,8 @@ fn negate(expr: ComparisonExpr) -> ComparisonExpr {
             values,
             negated: !negated,
         },
-        ComparisonExpr::And(parts) => {
-            ComparisonExpr::Or(parts.into_iter().map(negate).collect())
-        }
-        ComparisonExpr::Or(parts) => {
-            ComparisonExpr::And(parts.into_iter().map(negate).collect())
-        }
+        ComparisonExpr::And(parts) => ComparisonExpr::Or(parts.into_iter().map(negate).collect()),
+        ComparisonExpr::Or(parts) => ComparisonExpr::And(parts.into_iter().map(negate).collect()),
     }
 }
 
@@ -352,10 +352,8 @@ mod tests {
 
     #[test]
     fn parses_nested_observation_logic() {
-        let expr = parse_src(
-            "([a:x = 1] OR [b:y = 2]) AND [c:z = 3] FOLLOWEDBY [d:w = 4]",
-        )
-        .unwrap();
+        let expr =
+            parse_src("([a:x = 1] OR [b:y = 2]) AND [c:z = 3] FOLLOWEDBY [d:w = 4]").unwrap();
         // AND binds looser than FOLLOWEDBY, tighter than OR.
         match expr {
             ObservationExpr::And(left, right) => {
@@ -403,8 +401,12 @@ mod tests {
     #[test]
     fn not_in_parses() {
         let expr = parse_src("[a:x NOT IN ('1', '2')]").unwrap();
-        let ObservationExpr::Observation(ComparisonExpr::Proposition { op, negated, values, .. }) =
-            expr
+        let ObservationExpr::Observation(ComparisonExpr::Proposition {
+            op,
+            negated,
+            values,
+            ..
+        }) = expr
         else {
             panic!("expected proposition");
         };

@@ -42,7 +42,10 @@ pub struct AttackPattern {
     #[serde(rename = "x_cais_attack_type", skip_serializing_if = "Option::is_none")]
     pub attack_type: Option<String>,
     /// Tool that detected the activity (paper feature `detection_tool`).
-    #[serde(rename = "x_cais_detection_tool", skip_serializing_if = "Option::is_none")]
+    #[serde(
+        rename = "x_cais_detection_tool",
+        skip_serializing_if = "Option::is_none"
+    )]
     pub detection_tool: Option<String>,
 }
 

@@ -134,36 +134,58 @@ mod tests {
     fn every_sdo_has_correct_type_prefix() {
         let ts = Timestamp::EPOCH;
         assert_eq!(
-            AttackPattern::builder("spearphishing").created(ts).build().id().object_type(),
+            AttackPattern::builder("spearphishing")
+                .created(ts)
+                .build()
+                .id()
+                .object_type(),
             "attack-pattern"
         );
-        assert_eq!(Campaign::builder("op-x").build().id().object_type(), "campaign");
+        assert_eq!(
+            Campaign::builder("op-x").build().id().object_type(),
+            "campaign"
+        );
         assert_eq!(
             CourseOfAction::builder("patch").build().id().object_type(),
             "course-of-action"
         );
-        assert_eq!(Identity::builder("ACME").build().id().object_type(), "identity");
         assert_eq!(
-            Indicator::builder("[ipv4-addr:value = '1.2.3.4']", ts).build().id().object_type(),
+            Identity::builder("ACME").build().id().object_type(),
+            "identity"
+        );
+        assert_eq!(
+            Indicator::builder("[ipv4-addr:value = '1.2.3.4']", ts)
+                .build()
+                .id()
+                .object_type(),
             "indicator"
         );
         assert_eq!(
             IntrusionSet::builder("APT-00").build().id().object_type(),
             "intrusion-set"
         );
-        assert_eq!(Malware::builder("wannacry").build().id().object_type(), "malware");
+        assert_eq!(
+            Malware::builder("wannacry").build().id().object_type(),
+            "malware"
+        );
         assert_eq!(
             ObservedData::builder(ts, ts, 1).build().id().object_type(),
             "observed-data"
         );
-        assert_eq!(Report::builder("weekly", ts).build().id().object_type(), "report");
+        assert_eq!(
+            Report::builder("weekly", ts).build().id().object_type(),
+            "report"
+        );
         assert_eq!(
             ThreatActor::builder("evil-corp").build().id().object_type(),
             "threat-actor"
         );
         assert_eq!(Tool::builder("nmap").build().id().object_type(), "tool");
         assert_eq!(
-            Vulnerability::builder("CVE-2017-9805").build().id().object_type(),
+            Vulnerability::builder("CVE-2017-9805")
+                .build()
+                .id()
+                .object_type(),
             "vulnerability"
         );
     }

@@ -122,7 +122,9 @@ mod tests {
 
     #[test]
     fn tool_type_from_labels() {
-        let t = Tool::builder("mimikatz").label("credential-exploitation").build();
+        let t = Tool::builder("mimikatz")
+            .label("credential-exploitation")
+            .build();
         assert_eq!(t.tool_type(), Some("credential-exploitation"));
         assert_eq!(Tool::builder("unknown").build().tool_type(), None);
     }

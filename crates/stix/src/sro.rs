@@ -89,7 +89,11 @@ pub struct Relationship {
 
 impl Relationship {
     /// Creates a relationship between two objects.
-    pub fn new(relationship_type: RelationshipType, source_ref: StixId, target_ref: StixId) -> Self {
+    pub fn new(
+        relationship_type: RelationshipType,
+        source_ref: StixId,
+        target_ref: StixId,
+    ) -> Self {
         Relationship {
             common: CommonProperties::new("relationship", Timestamp::now()),
             relationship_type,

@@ -66,10 +66,7 @@ pub fn validate_object(object: &StixObject) -> Vec<Finding> {
 
     // Universal rules.
     if common.modified < common.created {
-        findings.push(Finding::error(
-            id,
-            "`modified` precedes `created`",
-        ));
+        findings.push(Finding::error(id, "`modified` precedes `created`"));
     }
     if id.object_type() != object.object_type().as_str() {
         findings.push(Finding::error(
@@ -141,13 +138,12 @@ pub fn validate_object(object: &StixObject) -> Vec<Finding> {
                 }
             }
         }
-        StixObject::ThreatActor(_)
-            if common.labels.is_empty() => {
-                findings.push(Finding::error(
-                    id,
-                    "threat-actor requires at least one label",
-                ));
-            }
+        StixObject::ThreatActor(_) if common.labels.is_empty() => {
+            findings.push(Finding::error(
+                id,
+                "threat-actor requires at least one label",
+            ));
+        }
         StixObject::Report(report) => {
             if common.labels.is_empty() {
                 findings.push(Finding::error(id, "report requires at least one label"));
@@ -184,14 +180,12 @@ pub fn validate_object(object: &StixObject) -> Vec<Finding> {
                 }
             }
         }
-        StixObject::Relationship(rel)
-            if rel.source_ref == rel.target_ref => {
-                findings.push(Finding::warning(id, "relationship is self-referential"));
-            }
-        StixObject::Vulnerability(v)
-            if v.name.trim().is_empty() => {
-                findings.push(Finding::error(id, "vulnerability name is required"));
-            }
+        StixObject::Relationship(rel) if rel.source_ref == rel.target_ref => {
+            findings.push(Finding::warning(id, "relationship is self-referential"));
+        }
+        StixObject::Vulnerability(v) if v.name.trim().is_empty() => {
+            findings.push(Finding::error(id, "vulnerability name is required"));
+        }
         _ => {}
     }
 
@@ -275,17 +269,19 @@ mod tests {
                 .into();
         assert!(!is_acceptable(&validate_object(&no_label)));
 
-        let ok: StixObject =
-            Indicator::builder("[ipv4-addr:value = '1.1.1.1']", Timestamp::EPOCH)
-                .label("malicious-activity")
-                .build()
-                .into();
+        let ok: StixObject = Indicator::builder("[ipv4-addr:value = '1.1.1.1']", Timestamp::EPOCH)
+            .label("malicious-activity")
+            .build()
+            .into();
         assert!(is_acceptable(&validate_object(&ok)));
     }
 
     #[test]
     fn nonstandard_label_is_warning_only() {
-        let mw: StixObject = Malware::builder("x").label("bespoke-category").build().into();
+        let mw: StixObject = Malware::builder("x")
+            .label("bespoke-category")
+            .build()
+            .into();
         let findings = validate_object(&mw);
         assert!(is_acceptable(&findings));
         assert!(findings.iter().any(|f| f.severity == Severity::Warning));

@@ -30,8 +30,8 @@ impl TaxiiClient {
 
     fn roundtrip(&self, request: &Request) -> io::Result<Response> {
         let mut stream = self.stream.lock();
-        let bytes =
-            serde_json::to_vec(request).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let bytes = serde_json::to_vec(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         write_frame(&mut *stream, &bytes)?;
         let frame = read_frame(&mut *stream)?;
         serde_json::from_slice(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
@@ -74,7 +74,11 @@ impl TaxiiClient {
     /// # Errors
     ///
     /// Returns I/O and server errors.
-    pub fn objects(&self, collection: &Uuid, added_after: Option<Timestamp>) -> io::Result<Envelope> {
+    pub fn objects(
+        &self,
+        collection: &Uuid,
+        added_after: Option<Timestamp>,
+    ) -> io::Result<Envelope> {
         let request = Request::GetObjects {
             collection: *collection,
             added_after,
@@ -193,8 +197,9 @@ mod tests {
         let client = TaxiiClient::connect(addr).unwrap();
         // 250 objects forces three pages at the client's limit of 100.
         for batch in 0..5 {
-            let objects: Vec<serde_json::Value> =
-                (0..50).map(|i| serde_json::json!({"b": batch, "i": i})).collect();
+            let objects: Vec<serde_json::Value> = (0..50)
+                .map(|i| serde_json::json!({"b": batch, "i": i}))
+                .collect();
             client.add_objects(&id, objects).unwrap();
             // Distinct timestamps per batch keep pagination watermarks sane.
             std::thread::sleep(std::time::Duration::from_millis(5));

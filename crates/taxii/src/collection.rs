@@ -78,7 +78,8 @@ impl Collection {
             .iter()
             .filter(|o| added_after.is_none_or(|after| o.added_at > after))
             .filter(|o| {
-                object_type.is_none_or(|ty| o.object.get("type").and_then(|v| v.as_str()) == Some(ty))
+                object_type
+                    .is_none_or(|ty| o.object.get("type").and_then(|v| v.as_str()) == Some(ty))
             })
             .collect();
         let more = matching.len() > limit;

@@ -93,8 +93,7 @@ impl TaxiiServer {
                 objects,
             } => {
                 let mut state = self.state.write();
-                let Some(found) = state.collections.iter_mut().find(|c| c.id == collection)
-                else {
+                let Some(found) = state.collections.iter_mut().find(|c| c.id == collection) else {
                     return Response::Error {
                         message: format!("no such collection {collection}"),
                     };
@@ -127,11 +126,12 @@ impl TaxiiServer {
                 for stream in listener.incoming() {
                     let Ok(stream) = stream else { continue };
                     let server = server.clone();
-                    let _ = thread::Builder::new()
-                        .name("cais-taxii-conn".into())
-                        .spawn(move || {
-                            let _ = server.serve_connection(stream);
-                        });
+                    let _ =
+                        thread::Builder::new()
+                            .name("cais-taxii-conn".into())
+                            .spawn(move || {
+                                let _ = server.serve_connection(stream);
+                            });
                 }
             })
             .expect("spawn taxii server thread");

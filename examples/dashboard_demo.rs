@@ -26,10 +26,26 @@ fn main() -> std::io::Result<()> {
 
     // …and OSINT advisories become rIoCs.
     for (cve, description, days) in [
-        ("CVE-2017-9805", "remote code execution in apache struts", 100),
-        ("CVE-2018-1000[0]1", "gitlab unauthorized repository access", 20),
-        ("CVE-2016-10033", "phpmailer RCE affecting php applications", 200),
-        ("CVE-2019-0001", "kernel flaw affecting all linux systems", 5),
+        (
+            "CVE-2017-9805",
+            "remote code execution in apache struts",
+            100,
+        ),
+        (
+            "CVE-2018-1000[0]1",
+            "gitlab unauthorized repository access",
+            20,
+        ),
+        (
+            "CVE-2016-10033",
+            "phpmailer RCE affecting php applications",
+            200,
+        ),
+        (
+            "CVE-2019-0001",
+            "kernel flaw affecting all linux systems",
+            5,
+        ),
     ] {
         let cve = cve.replace("[0]", "0"); // keep CVE shapes valid
         let record = FeedRecord::new(
@@ -74,12 +90,7 @@ fn main() -> std::io::Result<()> {
 
     // The temporal view: alarm activity bucketed into 12 windows of
     // two hours each, ending now.
-    let timeline = cais::dashboard::Timeline::build(
-        stream.state(),
-        now,
-        2 * 3_600_000,
-        12,
-    );
+    let timeline = cais::dashboard::Timeline::build(stream.state(), now, 2 * 3_600_000, 12);
     println!("\n{}", timeline.to_ascii());
 
     // Fig. 2 as HTML, for a browser.

@@ -5,8 +5,8 @@
 //! Run with `cargo run --example osint_pipeline`.
 
 use cais::core::{CoreError, Platform};
-use cais::feeds::synth::{SyntheticConfig, SyntheticFeedSet};
 use cais::feeds::parse;
+use cais::feeds::synth::{SyntheticConfig, SyntheticFeedSet};
 use cais::infra::sensors::{hids, nids};
 use cais::nlp::ThreatClassifier;
 
@@ -46,7 +46,12 @@ fn main() -> Result<(), CoreError> {
     let mut all_records = Vec::new();
     for feed in &feed_set.feeds {
         let records = parse::parse_payload(feed.format, &feed.payload, &feed.name, feed.category)?;
-        println!("  {:<18} {:>4} records ({:?})", feed.name, records.len(), feed.format);
+        println!(
+            "  {:<18} {:>4} records ({:?})",
+            feed.name,
+            records.len(),
+            feed.format
+        );
         all_records.extend(records);
     }
 
@@ -54,7 +59,10 @@ fn main() -> Result<(), CoreError> {
     // these are the needles the context-aware scoring must surface.
     for (cve, description) in [
         ("CVE-2017-9805", "remote code execution in apache struts"),
-        ("CVE-2018-8000", "arbitrary file read in gitlab repositories"),
+        (
+            "CVE-2018-8000",
+            "arbitrary file read in gitlab repositories",
+        ),
         ("CVE-2016-10033", "phpmailer RCE hitting php stacks"),
     ] {
         all_records.push(

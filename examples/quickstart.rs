@@ -51,6 +51,10 @@ fn main() -> Result<(), CoreError> {
         .misp()
         .export_event(event_id, "stix2")?
         .expect("stix2 module installed");
-    println!("\nSTIX 2.0 export ({} bytes):\n{}", stix.len(), &stix[..stix.len().min(400)]);
+    println!(
+        "\nSTIX 2.0 export ({} bytes):\n{}",
+        stix.len(),
+        &stix[..stix.len().min(400)]
+    );
     Ok(())
 }

@@ -39,7 +39,10 @@ fn main() {
     println!("\n== Table V: heuristic analysis ==");
     let ctx = EvaluationContext::paper_use_case();
     let score = vulnerability::evaluate(&ioc, &ctx);
-    println!("  {:<22} {:>5} {:>8} {:>14}", "feature", "Xi", "Pi", "contribution");
+    println!(
+        "  {:<22} {:>5} {:>8} {:>14}",
+        "feature", "Xi", "Pi", "contribution"
+    );
     for line in &score.breakdown().lines {
         println!(
             "  {:<22} {:>5} {:>8.4} {:>14.4}",
@@ -90,7 +93,11 @@ fn main() {
         "  node: {} ({:?}) os={} ips={:?} networks={:?}",
         view.name, view.node_type, view.operating_system, view.known_ips, view.networks
     );
-    println!("  badge: alarms={} riocs={}", view.badge.alarm_count(), view.badge.riocs);
+    println!(
+        "  badge: alarms={} riocs={}",
+        view.badge.alarm_count(),
+        view.badge.riocs
+    );
     let issue = SecurityIssue::from_rioc(&rioc, &state.inventory().clone());
     println!(
         "  issue: {} TS={:.4} [{}] affects {}",

@@ -129,7 +129,10 @@ fn cmd_inventory() -> ExitCode {
             node.applications.join(", ")
         );
     }
-    println!("common keywords: {}", inventory.common_keywords().join(", "));
+    println!(
+        "common keywords: {}",
+        inventory.common_keywords().join(", ")
+    );
     ExitCode::SUCCESS
 }
 

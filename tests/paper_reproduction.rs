@@ -59,7 +59,13 @@ fn table3_inventory() {
     let node4 = inventory.node(NodeId(4)).unwrap();
     assert_eq!(
         node4.applications,
-        vec!["debian", "apache", "apache storm", "apache zookeeper", "server"]
+        vec![
+            "debian",
+            "apache",
+            "apache storm",
+            "apache zookeeper",
+            "server"
+        ]
     );
     assert_eq!(inventory.common_keywords(), ["linux"]);
 }
@@ -90,7 +96,9 @@ fn table5_rce_threat_score() {
     );
     // The printed Pi values (paper rounds to 4 decimals).
     let pi: Vec<f64> = ts.breakdown().lines.iter().map(|l| l.weight).collect();
-    let printed = [0.0952, 0.0952, 0.1429, 0.0952, 0.0476, 0.0476, 0.0, 0.2738, 0.2024];
+    let printed = [
+        0.0952, 0.0952, 0.1429, 0.0952, 0.0476, 0.0476, 0.0, 0.2738, 0.2024,
+    ];
     for (got, want) in pi.iter().zip(printed) {
         assert!((got - want).abs() < 5e-5, "{got} vs printed {want}");
     }

@@ -56,7 +56,11 @@ fn synthetic_feeds_deduplicate_to_ground_truth() {
     // Every cIoC became a stored MISP event with a threat score.
     assert_eq!(platform.misp().store().len(), report.ciocs);
     for event in platform.misp().store().all() {
-        assert!(event.threat_score().is_some(), "event {} unscored", event.id);
+        assert!(
+            event.threat_score().is_some(),
+            "event {} unscored",
+            event.id
+        );
         assert!(event.published);
     }
 }
@@ -191,10 +195,7 @@ fn reports_and_state_survive_many_rounds() {
     let mut total_riocs = 0;
     for round in 0..10 {
         let record = FeedRecord::new(
-            Observable::new(
-                ObservableKind::Domain,
-                format!("c2-{round}.evil.example"),
-            ),
+            Observable::new(ObservableKind::Domain, format!("c2-{round}.evil.example")),
             ThreatCategory::CommandAndControl,
             "feed",
             now.add_days(-(round as i64) - 1),

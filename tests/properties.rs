@@ -116,6 +116,43 @@ proptest! {
         prop_assert_eq!(kept.len(), dedup.distinct());
     }
 
+    /// The sharded deduplicator is observationally equal to the
+    /// sequential one at any shard count, serially and in parallel:
+    /// identical kept records (same order) and identical aggregated
+    /// stats. Short random alphabets force heavy key collisions.
+    #[test]
+    fn sharded_dedup_matches_sequential(values in prop::collection::vec("[a-c]{1,3}", 1..60)) {
+        use cais::core::collector::{Deduplicator, ShardedDeduplicator};
+        use cais::common::{Observable, ObservableKind};
+        use cais::feeds::{FeedRecord, ThreatCategory};
+
+        let records: Vec<FeedRecord> = values
+            .iter()
+            .map(|v| {
+                FeedRecord::new(
+                    Observable::new(ObservableKind::Domain, format!("{v}.example")),
+                    ThreatCategory::MalwareDomain,
+                    "feed",
+                    Timestamp::EPOCH,
+                )
+            })
+            .collect();
+        let mut sequential = Deduplicator::new();
+        let expected = sequential.filter_batch(records.clone());
+        for shards in [1usize, 2, 8] {
+            let mut serial = ShardedDeduplicator::new(shards);
+            let kept = serial.filter_batch(records.clone());
+            prop_assert_eq!(&kept, &expected, "serial, {} shards", shards);
+            prop_assert_eq!(serial.stats(), sequential.stats());
+            prop_assert_eq!(serial.distinct(), sequential.distinct());
+
+            let mut parallel = ShardedDeduplicator::new(shards);
+            let kept = parallel.filter_batch_parallel(records.clone(), 4);
+            prop_assert_eq!(&kept, &expected, "parallel, {} shards", shards);
+            prop_assert_eq!(parallel.stats(), sequential.stats());
+        }
+    }
+
     /// Aggregation conserves records: every input record lands in
     /// exactly one cIoC of its own category.
     #[test]

@@ -56,6 +56,59 @@ fn twenty_thousand_records_flow_through() {
 }
 
 #[test]
+fn parallel_ingestion_matches_sequential_at_fifty_thousand_records() {
+    let workload = || {
+        let set = SyntheticFeedSet::generate(&SyntheticConfig {
+            seed: 99,
+            feeds: 10,
+            records_per_feed: 5_000,
+            duplicate_rate: 0.4,
+            overlap_rate: 0.3,
+            base_time: Platform::paper_use_case().context().now.add_days(-20),
+            ..SyntheticConfig::default()
+        });
+        set.all_records()
+    };
+
+    let mut sequential = Platform::paper_use_case();
+    let records = workload();
+    assert_eq!(records.len(), 50_000);
+    let started = Instant::now();
+    let seq_report = sequential.ingest_feed_records(records).expect("sequential");
+    let seq_elapsed = started.elapsed();
+
+    let mut parallel = Platform::paper_use_case();
+    let started = Instant::now();
+    let par_report = parallel
+        .ingest_feed_records_parallel(workload(), 4)
+        .expect("parallel");
+    let par_elapsed = started.elapsed();
+
+    // The determinism contract: identical counters at every stage and
+    // identical eIoC/rIoC sets, in order.
+    assert!(
+        seq_report.same_counters(&par_report),
+        "counter mismatch:\n{seq_report:?}\nvs\n{par_report:?}"
+    );
+    assert_eq!(sequential.eiocs(), parallel.eiocs());
+    assert_eq!(sequential.riocs(), parallel.riocs());
+    assert_eq!(
+        sequential.misp().store().len(),
+        parallel.misp().store().len()
+    );
+    // The per-stage ledger accounts for the whole batch.
+    let stages = par_report.stages;
+    assert_eq!(stages.dedup.records_in, 50_000);
+    assert_eq!(stages.dedup.dropped, par_report.duplicates_dropped);
+    assert_eq!(stages.enrich.records_out, par_report.eiocs);
+
+    let speedup = seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "50k-record ingest: sequential {seq_elapsed:?}, parallel(4) {par_elapsed:?}, speedup {speedup:.2}x"
+    );
+}
+
+#[test]
 fn dashboard_renders_thousands_of_updates() {
     let mut platform = Platform::paper_use_case();
     let mut stream = DashboardStream::attach(

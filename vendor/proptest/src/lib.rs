@@ -1,0 +1,512 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, integer range and
+//! regex-literal strategies, `collection::vec`, `array::uniform16`,
+//! `sample::select`, `any::<T>()`, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: each `#[test]` runs a fixed number of deterministic cases
+//! (the RNG is seeded per test run, not from entropy), so failures
+//! reproduce across runs and CI.
+
+pub mod test_runner {
+    /// Cases generated per property.
+    pub const CASES: u32 = 128;
+
+    /// Deterministic xorshift RNG for strategy sampling.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a fixed seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bounded sampling; bias is negligible for
+            // test-input purposes.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// Per-test driver owning the RNG.
+    pub struct TestRunner {
+        /// The sampling RNG.
+        pub rng: TestRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> TestRunner {
+            TestRunner {
+                rng: TestRng::new(0x5EED_CA15_0D0_7E57),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through a function.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $ty
+                    }
+                }
+
+                impl Strategy for std::ops::RangeInclusive<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi - lo + 1) as u64;
+                        (lo + rng.below(span) as i128) as $ty
+                    }
+                }
+            )*
+        };
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// String-literal strategies: a small regex subset — character
+    /// classes `[...]`, the `\PC` (non-control) class, literal
+    /// characters, each optionally followed by `{n}` or `{m,n}`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_regex(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    enum Atom {
+        Class(Vec<char>),
+        NotControl,
+        Literal(char),
+    }
+
+    /// Characters sampled for `\PC`: printable ASCII plus a few
+    /// multibyte code points to exercise UTF-8 handling.
+    const NOT_CONTROL_EXTRA: [char; 8] = ['é', 'ß', 'Ω', '中', '文', '→', '😀', '\u{00A0}'];
+
+    fn generate_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars.next().expect("unterminated character class");
+                        if c == ']' {
+                            break;
+                        }
+                        if c == '-' {
+                            if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                                if hi != ']' {
+                                    chars.next();
+                                    set.pop();
+                                    for v in lo as u32..=hi as u32 {
+                                        set.push(char::from_u32(v).expect("class range"));
+                                    }
+                                    prev = None;
+                                    continue;
+                                }
+                            }
+                        }
+                        set.push(c);
+                        prev = Some(c);
+                    }
+                    Atom::Class(set)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                        Atom::NotControl
+                    }
+                    Some(esc) => Atom::Literal(esc),
+                    None => panic!("dangling escape in pattern"),
+                },
+                c => Atom::Literal(c),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse::<u64>().expect("repetition bound"),
+                        hi.parse::<u64>().expect("repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.parse::<u64>().expect("repetition bound");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                match &atom {
+                    Atom::Class(set) => {
+                        let idx = rng.below(set.len() as u64) as usize;
+                        out.push(set[idx]);
+                    }
+                    Atom::NotControl => {
+                        // ~1 in 8 draws lands on a multibyte character.
+                        if rng.below(8) == 0 {
+                            let idx = rng.below(NOT_CONTROL_EXTRA.len() as u64) as usize;
+                            out.push(NOT_CONTROL_EXTRA[idx]);
+                        } else {
+                            out.push((0x20 + rng.below(0x5F) as u32 as u8) as char);
+                        }
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {
+            $(impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            })*
+        };
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The full-domain strategy for `T` (see [`any`]).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy covering all of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification for [`vec`].
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of another strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating fixed 16-element arrays.
+    pub struct Uniform16<S>(S);
+
+    /// Generates `[T; 16]` from an element strategy.
+    pub fn uniform16<S: Strategy>(element: S) -> Uniform16<S> {
+        Uniform16(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform16<S> {
+        type Value = [S::Value; 16];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 16] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed list.
+    pub struct Select<T>(Vec<T>);
+
+    /// Picks one of the given options per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].clone()
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs [`test_runner::CASES`] times with freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner = $crate::test_runner::TestRunner::default();
+                for __case in 0..$crate::test_runner::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __runner.rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property-test condition (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-test equality (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` etc. resolve.
+    pub mod prop {
+        pub use crate::{array, collection, sample, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn regex_subset_respects_shape() {
+        let mut runner = TestRunner::default();
+        for _ in 0..200 {
+            let s = "[a-z]{3,8}".generate(&mut runner.rng);
+            assert!((3..=8).contains(&s.chars().count()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+
+            let s = "[a-zA-Z0-9.]{1,12}".generate(&mut runner.rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '.'),
+                "{s}"
+            );
+
+            let s = "\\PC{0,80}".generate(&mut runner.rng);
+            assert!(s.chars().count() <= 80);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections_stay_in_bounds() {
+        let mut runner = TestRunner::default();
+        for _ in 0..200 {
+            let v = (-5i64..7).generate(&mut runner.rng);
+            assert!((-5..7).contains(&v));
+            let v = (0u8..=5).generate(&mut runner.rng);
+            assert!(v <= 5);
+            let xs = prop::collection::vec(0u32..10, 2..5).generate(&mut runner.rng);
+            assert!((2..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 10));
+            let arr = prop::array::uniform16(any::<u8>()).generate(&mut runner.rng);
+            assert_eq!(arr.len(), 16);
+            let pick = prop::sample::select(vec!["a", "b"]).generate(&mut runner.rng);
+            assert!(pick == "a" || pick == "b");
+        }
+    }
+
+    proptest! {
+        /// The macro itself compiles and drives tuples + prop_map.
+        #[test]
+        fn macro_smoke((a, b) in (0u8..10, 1u32..4), s in "[a-z]{2,4}") {
+            prop_assert!(a < 10);
+            prop_assert!((1..4).contains(&b));
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+        }
+    }
+}

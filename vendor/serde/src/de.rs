@@ -1,0 +1,363 @@
+//! Deserialization: [`Deserialize`] types rebuild themselves from a
+//! [`Value`] obtained through a [`Deserializer`].
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Error raised by a [`Deserializer`].
+pub trait Error: Sized + fmt::Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// A source of one deserialized value.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the complete value to rebuild from.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value that can rebuild itself from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds from the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Error of the built-in [`ValueDeserializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub(crate) String);
+
+impl DeError {
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// The canonical deserializer: wraps an owned [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn into_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Rebuilds a `T` from an owned value.
+///
+/// # Errors
+///
+/// Returns a message naming the first mismatch encountered.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Rebuilds a `T` from a borrowed value (clones the subtree).
+///
+/// # Errors
+///
+/// Returns a message naming the first mismatch encountered.
+pub fn from_value_ref<T: DeserializeOwned>(value: &Value) -> Result<T, DeError> {
+    from_value(value.clone())
+}
+
+fn type_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+// ---- Deserialize impls for std types ----------------------------------
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format_args!(
+                "expected boolean, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(D::Error::custom(format_args!(
+                "expected string, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($ty:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                value
+                    .as_u64()
+                    .and_then(|v| <$ty>::try_from(v).ok())
+                    .ok_or_else(|| D::Error::custom(format_args!(
+                        concat!("expected ", stringify!($ty), ", found {}"),
+                        type_name(&value)
+                    )))
+            }
+        })*
+    };
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                value
+                    .as_i64()
+                    .and_then(|v| <$ty>::try_from(v).ok())
+                    .ok_or_else(|| D::Error::custom(format_args!(
+                        concat!("expected ", stringify!($ty), ", found {}"),
+                        type_name(&value)
+                    )))
+            }
+        })*
+    };
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                value.as_f64().map(|v| v as $ty).ok_or_else(|| {
+                    D::Error::custom(format_args!(
+                        concat!("expected ", stringify!($ty), ", found {}"),
+                        type_name(&value)
+                    ))
+                })
+            }
+        })*
+    };
+}
+impl_deserialize_float!(f32, f64);
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            value => from_value(value).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        from_value(value).map(Box::new).map_err(D::Error::custom)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format_args!(
+                "expected array, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+/// Rebuilds a map key from its rendered string: tried as a string
+/// first, then as an integer (mirroring serde_json's integer keys).
+fn key_from_string<K: DeserializeOwned>(key: String) -> Result<K, DeError> {
+    match from_value(Value::String(key.clone())) {
+        Ok(parsed) => Ok(parsed),
+        Err(err) => {
+            if let Ok(n) = key.parse::<u64>() {
+                if let Ok(parsed) = from_value(Value::from(n)) {
+                    return Ok(parsed);
+                }
+            }
+            if let Ok(n) = key.parse::<i64>() {
+                if let Ok(parsed) = from_value(Value::from(n)) {
+                    return Ok(parsed);
+                }
+            }
+            Err(err)
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Object(map) => map
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        key_from_string(k).map_err(D::Error::custom)?,
+                        from_value(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format_args!(
+                "expected object, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: DeserializeOwned + std::hash::Hash + Eq,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Object(map) => map
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        key_from_string(k).map_err(D::Error::custom)?,
+                        from_value(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format_args!(
+                "expected object, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal: $($name:ident . $idx:tt),+))*) => {
+        $(impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut items = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(items.next().expect("length checked"))
+                                .map_err(D::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(D::Error::custom(format_args!(
+                        concat!("expected array of ", $len, ", found {}"),
+                        type_name(&other)
+                    ))),
+                }
+            }
+        })*
+    };
+}
+impl_deserialize_tuple! {
+    (1: T0.0)
+    (2: T0.0, T1.1)
+    (3: T0.0, T1.1, T2.2)
+    (4: T0.0, T1.1, T2.2, T3.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Map;
+
+    #[test]
+    fn primitives_from_value() {
+        assert_eq!(from_value::<bool>(Value::Bool(true)).unwrap(), true);
+        assert_eq!(from_value::<u8>(Value::from(200)).unwrap(), 200);
+        assert!(from_value::<u8>(Value::from(300)).is_err());
+        assert_eq!(from_value::<i64>(Value::from(-5)).unwrap(), -5);
+        assert_eq!(from_value::<f64>(Value::from(3)).unwrap(), 3.0);
+        assert_eq!(
+            from_value::<String>(Value::from("x")).unwrap(),
+            "x".to_owned()
+        );
+    }
+
+    #[test]
+    fn options_and_collections() {
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u8>>(Value::from(4)).unwrap(), Some(4));
+        let arr = Value::Array(vec![Value::from(1), Value::from(2)]);
+        assert_eq!(from_value::<Vec<u8>>(arr).unwrap(), vec![1, 2]);
+        let mut obj = Map::new();
+        obj.insert("a", Value::from(1));
+        let map: std::collections::BTreeMap<String, u8> = from_value(Value::Object(obj)).unwrap();
+        assert_eq!(map["a"], 1);
+    }
+
+    #[test]
+    fn mismatch_reports_found_type() {
+        let err = from_value::<String>(Value::from(1)).unwrap_err();
+        assert!(err.to_string().contains("found number"), "{err}");
+    }
+}

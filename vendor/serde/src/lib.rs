@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of serde the workspace uses, over a concrete
+//! JSON-like data model ([`value::Value`]) instead of serde's visitor
+//! architecture:
+//!
+//! - [`Serialize`] produces a [`value::Value`] through a [`Serializer`];
+//! - [`Deserialize`] consumes a [`value::Value`] through a
+//!   [`Deserializer`];
+//! - the `derive` feature re-exports `serde_derive`'s hand-rolled
+//!   `#[derive(Serialize, Deserialize)]`, which understands the
+//!   container/field/variant attributes used in this repository
+//!   (`rename`, `rename_all`, `default`, `skip_serializing_if`,
+//!   `flatten`, `transparent`, `tag`, `untagged`, `try_from`/`into`).
+//!
+//! The shape of the public traits matches real serde closely enough
+//! that the workspace's manual `impl Serialize`/`impl Deserialize`
+//! blocks (which only use `serialize_str`, `String::deserialize` and
+//! `de::Error::custom`) compile unchanged.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

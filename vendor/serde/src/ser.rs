@@ -1,0 +1,304 @@
+//! Serialization: [`Serialize`] types render themselves into a
+//! [`Value`] through a [`Serializer`].
+
+use std::fmt;
+
+use crate::value::{Map, Number, Value};
+
+/// Error raised by a [`Serializer`].
+pub trait Error: Sized + fmt::Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A sink for one serialized value.
+///
+/// Unlike real serde's 29-method visitor surface, everything funnels
+/// through [`Serializer::serialize_value`]; the typed helpers exist so
+/// manual impls written against the real API keep compiling.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a fully-built value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::from(v)))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::from(v)))
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::from(v)))
+    }
+
+    /// Serializes a unit/null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A value that can serialize itself.
+pub trait Serialize {
+    /// Feeds this value into the serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Error of the built-in [`ValueSerializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(pub(crate) String);
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// The canonical serializer: produces the [`Value`] itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SerError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any value to a [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates custom errors raised by manual `Serialize` impls; the
+/// built-in impls never fail.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SerError> {
+    value.serialize(ValueSerializer)
+}
+
+// ---- Serialize impls for std types ------------------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+macro_rules! impl_serialize_num {
+    ($($ty:ty),*) => {
+        $(impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Number(Number::from(*self)))
+            }
+        })*
+    };
+}
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(inner) => inner.serialize(serializer),
+            None => serializer.serialize_unit(),
+        }
+    }
+}
+
+fn collect_seq<'a, S, T, I>(serializer: S, items: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(item).map_err(S::Error::custom)?);
+    }
+    serializer.serialize_value(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+/// Renders a map key: strings pass through, numbers stringify (the
+/// same widening serde_json applies to integer-keyed maps).
+fn key_string<K: Serialize>(key: &K) -> Result<String, SerError> {
+    match to_value(key)? {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        _ => Err(SerError(
+            "map keys must serialize to strings or numbers".to_owned(),
+        )),
+    }
+}
+
+fn collect_map<'a, S, K, V, I>(serializer: S, entries: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: IntoIterator<Item = (&'a K, &'a V)>,
+{
+    let mut out = Map::new();
+    for (key, value) in entries {
+        out.insert(
+            key_string(key).map_err(S::Error::custom)?,
+            to_value(value).map_err(S::Error::custom)?,
+        );
+    }
+    serializer.serialize_value(Value::Object(out))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_map(serializer, self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort rendered keys for deterministic output, unlike the
+        // hash order.
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(self.len());
+        for (key, value) in self {
+            entries.push((
+                key_string(key).map_err(S::Error::custom)?,
+                to_value(value).map_err(S::Error::custom)?,
+            ));
+        }
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut out = Map::new();
+        for (key, value) in entries {
+            out.insert(key, value);
+        }
+        serializer.serialize_value(Value::Object(out))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(S::Error::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Array(items))
+            }
+        })*
+    };
+}
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_to_value() {
+        assert_eq!(to_value(&true).unwrap(), Value::Bool(true));
+        assert_eq!(to_value(&7u32).unwrap(), Value::from(7));
+        assert_eq!(to_value(&-2i64).unwrap(), Value::from(-2i64));
+        assert_eq!(to_value("hi").unwrap(), Value::from("hi"));
+        assert_eq!(to_value(&Some(1u8)).unwrap(), Value::from(1));
+        assert_eq!(to_value(&None::<u8>).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn collections_to_value() {
+        let v = to_value(&vec![1u8, 2]).unwrap();
+        assert_eq!(v, Value::Array(vec![Value::from(1), Value::from(2)]));
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("k".to_owned(), 5u8);
+        assert_eq!(to_value(&map).unwrap()["k"], 5);
+    }
+}

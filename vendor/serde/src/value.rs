@@ -1,0 +1,703 @@
+//! The concrete data model: a JSON-like [`Value`] tree with an
+//! insertion-ordered object [`Map`] and an integer-preserving
+//! [`Number`].
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (integer-preserving).
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (insertion-ordered).
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// The string content, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, when a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, when an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, for any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The elements, when an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable elements, when an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entries, when an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable entries, when an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Indexes into an object by key or an array by position.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// Replaces this value with `Null`, returning the original.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => n.write_json(out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_newline_indent(out, indent, level + 1);
+                    item.write_json(out, indent, level + 1);
+                }
+                push_newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_newline_indent(out, indent, level + 1);
+                    write_escaped(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write_json(out, indent, level + 1);
+                }
+                push_newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders compact JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Renders two-space-indented JSON.
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+}
+
+fn push_newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+/// Key- or position-based indexing into a [`Value`].
+pub trait ValueIndex {
+    /// The value at this index, when present.
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for &str {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_object().and_then(|m| m.get(self))
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(value)
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    /// Missing keys and out-of-range positions yield `Null`, as in
+    /// `serde_json`.
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($ty:ty => $as:ident),*) => {
+        $(
+            impl PartialEq<$ty> for Value {
+                fn eq(&self, other: &$ty) -> bool {
+                    matches!(self, Value::Number(n) if n.$as() == Some(*other as _))
+                }
+            }
+            impl PartialEq<Value> for $ty {
+                fn eq(&self, other: &Value) -> bool {
+                    other == self
+                }
+            }
+        )*
+    };
+}
+impl_value_eq_num!(u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64,
+    usize => as_u64, i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64,
+    isize => as_i64);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for f64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+macro_rules! impl_value_from_num {
+    ($($ty:ty),*) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::Number(Number::from(v))
+            }
+        })*
+    };
+}
+impl_value_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A JSON number, distinguishing integers from floats so `u64` ids
+/// survive round-trips exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Number {
+    repr: N,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum N {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    /// Builds from a float.
+    pub fn from_f64(v: f64) -> Number {
+        Number { repr: N::Float(v) }
+    }
+
+    /// As `i64`, when an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.repr {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    /// As `u64`, when a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.repr {
+            N::PosInt(v) => Some(v),
+            N::NegInt(_) | N::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (always possible, possibly lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match self.repr {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(v) => v,
+        }
+    }
+
+    /// Whether this is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.repr, N::Float(_))
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self.repr {
+            N::PosInt(v) => out.push_str(&v.to_string()),
+            N::NegInt(v) => out.push_str(&v.to_string()),
+            N::Float(v) if v.is_finite() => {
+                // Debug gives the shortest round-trip form and always
+                // marks the value as a float ("1.0", not "1").
+                out.push_str(&format!("{v:?}"));
+            }
+            // JSON has no NaN/Infinity; serde_json emits null too.
+            N::Float(_) => out.push_str("null"),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.repr, other.repr) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            (N::Float(a), N::Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        f.write_str(&out)
+    }
+}
+
+macro_rules! impl_number_from_unsigned {
+    ($($ty:ty),*) => {
+        $(impl From<$ty> for Number {
+            fn from(v: $ty) -> Number {
+                Number { repr: N::PosInt(v as u64) }
+            }
+        })*
+    };
+}
+impl_number_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_number_from_signed {
+    ($($ty:ty),*) => {
+        $(impl From<$ty> for Number {
+            fn from(v: $ty) -> Number {
+                let v = v as i64;
+                if v >= 0 {
+                    Number { repr: N::PosInt(v as u64) }
+                } else {
+                    Number { repr: N::NegInt(v) }
+                }
+            }
+        })*
+    };
+}
+impl_number_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Number {
+        Number { repr: N::Float(v) }
+    }
+}
+
+impl From<f32> for Number {
+    fn from(v: f32) -> Number {
+        Number {
+            repr: N::Float(v as f64),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map, the object representation.
+///
+/// Backed by a vector of entries: lookups are linear, which is fine at
+/// the object sizes JSON documents here carry, and iteration order is
+/// the order keys were first inserted — matching `serde_json`'s
+/// `preserve_order` behaviour so rendered documents keep field order.
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Creates an empty map with capacity for `n` entries.
+    pub fn with_capacity(n: usize) -> Map {
+        Map {
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key, replacing in place (and returning) any previous
+    /// value under it.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// The value under a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable value under a key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, preserving the order of the rest.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates entries mutably in insertion order.
+    pub fn iter_mut(&mut self) -> impl ExactSizeIterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl ExactSizeIterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl ExactSizeIterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for Map {
+    /// Order-insensitive, like `serde_json`'s object equality.
+    fn eq(&self, other: &Map) -> bool {
+        self.len() == other.len() && self.entries.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl Extend<(String, Value)> for Map {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut map = Map::new();
+        map.insert("z", Value::from(1));
+        map.insert("a", Value::from(2));
+        map.insert("z", Value::from(3)); // replace keeps position
+        let keys: Vec<&String> = map.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(map.get("z"), Some(&Value::from(3)));
+    }
+
+    #[test]
+    fn object_equality_ignores_order() {
+        let a: Map = [
+            ("x".to_owned(), Value::from(1)),
+            ("y".to_owned(), Value::from(2)),
+        ]
+        .into_iter()
+        .collect();
+        let b: Map = [
+            ("y".to_owned(), Value::from(2)),
+            ("x".to_owned(), Value::from(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn numbers_keep_integerness() {
+        assert_eq!(Value::from(1).to_json_string(), "1");
+        assert_eq!(Value::from(1.0).to_json_string(), "1.0");
+        assert_eq!(Value::from(-3).to_json_string(), "-3");
+        assert_eq!(Value::from(u64::MAX).to_json_string(), u64::MAX.to_string());
+        assert_ne!(Value::from(1), Value::from(1.0));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::String("a\"b\\c\nd\u{1}".to_owned());
+        assert_eq!(v.to_json_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let plain = Value::String("plain".to_owned());
+        assert_eq!(plain.to_json_string(), "\"plain\"");
+    }
+
+    #[test]
+    fn index_missing_yields_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["absent"].is_null());
+        assert_eq!(v["absent"], Value::Null);
+    }
+}

@@ -1,0 +1,860 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the input item is parsed directly from the
+//! `proc_macro::TokenStream` and the impls are generated as strings
+//! targeting the value-based `serde` stub in `vendor/serde`.
+//!
+//! Supported attribute matrix (exactly what this workspace uses):
+//!
+//! - container: `rename_all = "kebab-case" | "snake_case"`,
+//!   `tag = "..."` (internally tagged enums), `transparent`,
+//!   `try_from = "Type"` + `into = "Type"`
+//! - variant: `rename = "..."`, `untagged` (fallback newtype variant)
+//! - field: `rename = "..."`, `default`, `default = "path"`,
+//!   `skip_serializing_if = "path"`, `flatten`
+//!
+//! `Option<T>` fields are implicitly defaulted to `None` when missing,
+//! unknown keys are ignored, and generics are not supported (the
+//! workspace derives none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- parsed model ------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    /// `Some(None)` = bare `default`, `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+    flatten: bool,
+}
+
+#[derive(Default)]
+struct VariantAttrs {
+    rename: Option<String>,
+    untagged: bool,
+}
+
+struct Field {
+    /// `None` for tuple-struct fields.
+    name: Option<String>,
+    /// First token of the type, for `Option` detection.
+    ty_head: String,
+    attrs: FieldAttrs,
+}
+
+enum Payload {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    attrs: VariantAttrs,
+    payload: Payload,
+}
+
+enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    attrs: ContainerAttrs,
+    name: String,
+    body: Body,
+}
+
+// ---- token cursor ------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+}
+
+// ---- parsing -----------------------------------------------------------
+
+/// Strips the surrounding quotes of a string-literal token.
+fn literal_str(tok: &TokenTree) -> String {
+    let raw = tok.to_string();
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive: expected string literal, found {raw}"));
+    inner.to_owned()
+}
+
+/// Consumes leading attributes, returning all `#[serde(...)]` key/value
+/// pairs (other attributes, including doc comments, are skipped).
+fn parse_attr_kvs(cur: &mut Cursor) -> Vec<(String, Option<String>)> {
+    let mut kvs = Vec::new();
+    while matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        cur.bump();
+        let group = match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_ident("serde") {
+            continue;
+        }
+        let args = match inner.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde_derive: malformed #[serde] attribute, found {other:?}"),
+        };
+        let mut args = Cursor::new(args.stream());
+        while args.peek().is_some() {
+            let key = args.expect_ident();
+            let value = if args.eat_punct('=') {
+                let tok = args
+                    .bump()
+                    .unwrap_or_else(|| panic!("serde_derive: missing value for `{key}`"));
+                Some(literal_str(&tok))
+            } else {
+                None
+            };
+            kvs.push((key, value));
+            args.eat_punct(',');
+        }
+    }
+    kvs
+}
+
+fn container_attrs(kvs: Vec<(String, Option<String>)>) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    for (key, value) in kvs {
+        match key.as_str() {
+            "rename_all" => attrs.rename_all = value,
+            "tag" => attrs.tag = value,
+            "transparent" => attrs.transparent = true,
+            "try_from" => attrs.try_from = value,
+            "into" => attrs.into = value,
+            other => panic!("serde_derive: unsupported container attribute `{other}`"),
+        }
+    }
+    attrs
+}
+
+fn field_attrs(kvs: Vec<(String, Option<String>)>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for (key, value) in kvs {
+        match key.as_str() {
+            "rename" => attrs.rename = value,
+            "default" => attrs.default = Some(value),
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            "flatten" => attrs.flatten = true,
+            other => panic!("serde_derive: unsupported field attribute `{other}`"),
+        }
+    }
+    attrs
+}
+
+fn variant_attrs(kvs: Vec<(String, Option<String>)>) -> VariantAttrs {
+    let mut attrs = VariantAttrs::default();
+    for (key, value) in kvs {
+        match key.as_str() {
+            "rename" => attrs.rename = value,
+            "untagged" => attrs.untagged = true,
+            other => panic!("serde_derive: unsupported variant attribute `{other}`"),
+        }
+    }
+    attrs
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, ...
+fn skip_visibility(cur: &mut Cursor) {
+    if cur.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Consumes one field type, returning its first token. Tracks angle
+/// brackets so `BTreeMap<String, String>` is not split at the comma.
+fn skip_type(cur: &mut Cursor) -> String {
+    let mut head = String::new();
+    let mut depth = 0i32;
+    while let Some(tok) = cur.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        let tok = cur.bump().expect("peeked");
+        if head.is_empty() {
+            head = tok.to_string();
+        }
+    }
+    head
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = field_attrs(parse_attr_kvs(&mut cur));
+        skip_visibility(&mut cur);
+        let name = cur.expect_ident();
+        assert!(
+            cur.eat_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        let ty_head = skip_type(&mut cur);
+        cur.eat_punct(',');
+        fields.push(Field {
+            name: Some(name),
+            ty_head,
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while cur.peek().is_some() {
+        let _ = field_attrs(parse_attr_kvs(&mut cur));
+        skip_visibility(&mut cur);
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = variant_attrs(parse_attr_kvs(&mut cur));
+        let name = cur.expect_ident();
+        let payload = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = parse_tuple_fields(g.stream());
+                assert!(
+                    count == 1,
+                    "serde_derive: only newtype tuple variants are supported ({name})"
+                );
+                cur.bump();
+                Payload::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.bump();
+                Payload::Struct(fields)
+            }
+            _ => Payload::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if cur.eat_punct('=') {
+            while let Some(tok) = cur.peek() {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.bump();
+            }
+        }
+        cur.eat_punct(',');
+        variants.push(Variant {
+            name,
+            attrs,
+            payload,
+        });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut cur = Cursor::new(input);
+    let attrs = container_attrs(parse_attr_kvs(&mut cur));
+    skip_visibility(&mut cur);
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`");
+    };
+    let name = cur.expect_ident();
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported ({name})");
+    }
+    let body = if is_enum {
+        match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body, found {other:?}"),
+        }
+    } else {
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        }
+    };
+    Container { attrs, name, body }
+}
+
+// ---- name conversion ---------------------------------------------------
+
+/// Applies a `rename_all` style: camel boundaries and underscores both
+/// become the style's separator.
+fn apply_rename_all(style: &str, name: &str) -> String {
+    let sep = match style {
+        "kebab-case" => '-',
+        "snake_case" => '_',
+        other => panic!("serde_derive: unsupported rename_all style `{other}`"),
+    };
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else if ch == '_' {
+            out.push(sep);
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn field_wire_name(field: &Field, container: &ContainerAttrs) -> String {
+    let raw = field.name.as_deref().expect("named field");
+    match (&field.attrs.rename, &container.rename_all) {
+        (Some(rename), _) => rename.clone(),
+        (None, Some(style)) => apply_rename_all(style, raw),
+        (None, None) => raw.to_owned(),
+    }
+}
+
+fn variant_wire_name(variant: &Variant, container: &ContainerAttrs) -> String {
+    match (&variant.attrs.rename, &container.rename_all) {
+        (Some(rename), _) => rename.clone(),
+        (None, Some(style)) => apply_rename_all(style, &variant.name),
+        (None, None) => variant.name.clone(),
+    }
+}
+
+// ---- codegen helpers ---------------------------------------------------
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+fn lit(s: &str) -> String {
+    format!("{s:?}")
+}
+
+/// Statements inserting one struct's fields into a `Map` named `__map`.
+/// `access(field)` yields an expression of type `&FieldTy`.
+fn gen_insert_stmts(
+    fields: &[Field],
+    container: &ContainerAttrs,
+    access: impl Fn(usize, &Field) -> String,
+) -> String {
+    let mut out = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        let expr = access(i, field);
+        let body = if field.attrs.flatten {
+            format!(
+                "match ::serde::ser::to_value({expr}).map_err({SER_ERR})? {{\n\
+                     ::serde::value::Value::Object(__inner) => {{\n\
+                         for (__k, __v) in __inner {{ __map.insert(__k, __v); }}\n\
+                     }}\n\
+                     ::serde::value::Value::Null => {{}}\n\
+                     _ => return ::core::result::Result::Err({SER_ERR}(\
+                          \"`flatten` field must serialize to an object\")),\n\
+                 }}\n"
+            )
+        } else {
+            let wire = lit(&field_wire_name(field, container));
+            format!("__map.insert({wire}, ::serde::ser::to_value({expr}).map_err({SER_ERR})?);\n")
+        };
+        if let Some(skip) = &field.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{skip}({expr}) {{\n{body}}}\n"));
+        } else {
+            out.push_str(&body);
+        }
+    }
+    out
+}
+
+/// Statements extracting one struct's fields out of a `Map` named
+/// `__map` into bindings `__f0..__fN`, plus the struct-literal body.
+fn gen_extract_stmts(fields: &[Field], container: &ContainerAttrs) -> (String, String) {
+    let mut stmts = String::new();
+    let mut literal = String::new();
+    // Plain fields claim their keys first; flattened fields then share
+    // whatever remains.
+    for (i, field) in fields.iter().enumerate() {
+        if field.attrs.flatten {
+            continue;
+        }
+        let wire = lit(&field_wire_name(field, container));
+        let missing = match &field.attrs.default {
+            Some(None) => "::core::default::Default::default()".to_owned(),
+            Some(Some(path)) => format!("{path}()"),
+            None if field.ty_head == "Option" => "::core::option::Option::None".to_owned(),
+            None => format!(
+                "return ::core::result::Result::Err({DE_ERR}(\
+                 ::std::format!(\"missing field `{{}}`\", {wire})))"
+            ),
+        };
+        stmts.push_str(&format!(
+            "let __f{i} = match __map.remove({wire}) {{\n\
+                 ::core::option::Option::Some(__v) => \
+                     ::serde::de::from_value(__v).map_err({DE_ERR})?,\n\
+                 ::core::option::Option::None => {missing},\n\
+             }};\n"
+        ));
+    }
+    for (i, field) in fields.iter().enumerate() {
+        if !field.attrs.flatten {
+            continue;
+        }
+        stmts.push_str(&format!(
+            "let __f{i} = ::serde::de::from_value(\
+                 ::serde::value::Value::Object(__map.clone()))\
+                 .map_err({DE_ERR})?;\n"
+        ));
+    }
+    for (i, field) in fields.iter().enumerate() {
+        let name = field.name.as_deref().expect("named field");
+        literal.push_str(&format!("{name}: __f{i}, "));
+    }
+    (stmts, literal)
+}
+
+fn impl_header_ser(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, unreachable_code, clippy::all)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn impl_header_de(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, unreachable_code, clippy::all)]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---- Serialize ---------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(into_ty) = &c.attrs.into {
+        let body = format!(
+            "let __conv: {into_ty} = \
+                 ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::ser::Serialize::serialize(&__conv, __serializer)"
+        );
+        return impl_header_ser(name, &body);
+    }
+    let body = match &c.body {
+        Body::UnitStruct => "__serializer.serialize_unit()".to_owned(),
+        Body::TupleStruct(1) => {
+            "::serde::ser::Serialize::serialize(&self.0, __serializer)".to_owned()
+        }
+        Body::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                items.push_str(&format!(
+                    "::serde::ser::to_value(&self.{i}).map_err({SER_ERR})?, "
+                ));
+            }
+            format!(
+                "__serializer.serialize_value(\
+                     ::serde::value::Value::Array(::std::vec![{items}]))"
+            )
+        }
+        Body::NamedStruct(fields) if c.attrs.transparent => {
+            let field = fields
+                .first()
+                .unwrap_or_else(|| panic!("transparent struct {name} needs a field"));
+            let fname = field.name.as_deref().expect("named field");
+            format!("::serde::ser::Serialize::serialize(&self.{fname}, __serializer)")
+        }
+        Body::NamedStruct(fields) => {
+            let inserts = gen_insert_stmts(fields, &c.attrs, |_, f| {
+                format!("&self.{}", f.name.as_deref().expect("named field"))
+            });
+            format!(
+                "let mut __map = ::serde::value::Map::new();\n{inserts}\
+                 __serializer.serialize_value(::serde::value::Value::Object(__map))"
+            )
+        }
+        Body::Enum(variants) => gen_serialize_enum(c, variants),
+    };
+    impl_header_ser(name, &body)
+}
+
+fn gen_serialize_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let wire = lit(&variant_wire_name(variant, &c.attrs));
+        let arm = match (&variant.payload, &c.attrs.tag, variant.attrs.untagged) {
+            (Payload::Newtype, _, true) => format!(
+                "{name}::{vname}(__inner) => \
+                     ::serde::ser::Serialize::serialize(__inner, __serializer),\n"
+            ),
+            (Payload::Unit, None, _) => format!(
+                "{name}::{vname} => __serializer.serialize_value(\
+                     ::serde::value::Value::String({wire}.to_owned())),\n"
+            ),
+            (Payload::Unit, Some(tag), _) => format!(
+                "{name}::{vname} => {{\n\
+                     let mut __map = ::serde::value::Map::new();\n\
+                     __map.insert({tag:?}, ::serde::value::Value::String({wire}.to_owned()));\n\
+                     __serializer.serialize_value(::serde::value::Value::Object(__map))\n\
+                 }}\n"
+            ),
+            (Payload::Newtype, None, _) => format!(
+                "{name}::{vname}(__inner) => {{\n\
+                     let mut __map = ::serde::value::Map::new();\n\
+                     __map.insert({wire}, \
+                         ::serde::ser::to_value(__inner).map_err({SER_ERR})?);\n\
+                     __serializer.serialize_value(::serde::value::Value::Object(__map))\n\
+                 }}\n"
+            ),
+            (Payload::Newtype, Some(tag), _) => format!(
+                "{name}::{vname}(__inner) => {{\n\
+                     let mut __map = ::serde::value::Map::new();\n\
+                     __map.insert({tag:?}, ::serde::value::Value::String({wire}.to_owned()));\n\
+                     match ::serde::ser::to_value(__inner).map_err({SER_ERR})? {{\n\
+                         ::serde::value::Value::Object(__inner) => {{\n\
+                             for (__k, __v) in __inner {{ __map.insert(__k, __v); }}\n\
+                         }}\n\
+                         ::serde::value::Value::Null => {{}}\n\
+                         _ => return ::core::result::Result::Err({SER_ERR}(\
+                              \"internally tagged newtype must serialize to an object\")),\n\
+                     }}\n\
+                     __serializer.serialize_value(::serde::value::Value::Object(__map))\n\
+                 }}\n"
+            ),
+            (Payload::Struct(fields), tag, _) => {
+                let mut bindings = String::new();
+                for (i, field) in fields.iter().enumerate() {
+                    let fname = field.name.as_deref().expect("named field");
+                    bindings.push_str(&format!("{fname}: __b{i}, "));
+                }
+                let inserts = gen_insert_stmts(fields, &c.attrs, |i, _| format!("__b{i}"));
+                match tag {
+                    None => format!(
+                        "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut __map = ::serde::value::Map::new();\n\
+                             {inserts}\
+                             let mut __outer = ::serde::value::Map::new();\n\
+                             __outer.insert({wire}, ::serde::value::Value::Object(__map));\n\
+                             __serializer.serialize_value(\
+                                 ::serde::value::Value::Object(__outer))\n\
+                         }}\n"
+                    ),
+                    Some(tag) => format!(
+                        "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut __map = ::serde::value::Map::new();\n\
+                             __map.insert({tag:?}, \
+                                 ::serde::value::Value::String({wire}.to_owned()));\n\
+                             {inserts}\
+                             __serializer.serialize_value(\
+                                 ::serde::value::Value::Object(__map))\n\
+                         }}\n"
+                    ),
+                }
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---- Deserialize -------------------------------------------------------
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(from_ty) = &c.attrs.try_from {
+        let body = format!(
+            "let __raw: {from_ty} = ::serde::de::Deserialize::deserialize(__deserializer)?;\n\
+             <Self as ::core::convert::TryFrom<{from_ty}>>::try_from(__raw)\
+                 .map_err({DE_ERR})"
+        );
+        return impl_header_de(name, &body);
+    }
+    let body = match &c.body {
+        Body::UnitStruct => format!(
+            "let _ = ::serde::de::Deserializer::into_value(__deserializer)?;\n\
+             ::core::result::Result::Ok({name})"
+        ),
+        Body::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(\
+                 ::serde::de::Deserialize::deserialize(__deserializer)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let mut items = String::new();
+            for _ in 0..*n {
+                items.push_str(&format!(
+                    "::serde::de::from_value(__items.next().expect(\"length checked\"))\
+                         .map_err({DE_ERR})?, "
+                ));
+            }
+            format!(
+                "match ::serde::de::Deserializer::into_value(__deserializer)? {{\n\
+                     ::serde::value::Value::Array(__items) if __items.len() == {n} => {{\n\
+                         let mut __items = __items.into_iter();\n\
+                         ::core::result::Result::Ok({name}({items}))\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err({DE_ERR}(\
+                          \"expected array of {n} for {name}\")),\n\
+                 }}"
+            )
+        }
+        Body::NamedStruct(fields) if c.attrs.transparent => {
+            let field = fields
+                .first()
+                .unwrap_or_else(|| panic!("transparent struct {name} needs a field"));
+            let fname = field.name.as_deref().expect("named field");
+            format!(
+                "::core::result::Result::Ok({name} {{ {fname}: \
+                     ::serde::de::Deserialize::deserialize(__deserializer)? }})"
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let (stmts, literal) = gen_extract_stmts(fields, &c.attrs);
+            format!(
+                "let mut __map = match \
+                     ::serde::de::Deserializer::into_value(__deserializer)? {{\n\
+                     ::serde::value::Value::Object(__m) => __m,\n\
+                     _ => return ::core::result::Result::Err({DE_ERR}(\
+                          \"expected object for {name}\")),\n\
+                 }};\n\
+                 {stmts}\
+                 ::core::result::Result::Ok({name} {{ {literal} }})"
+            )
+        }
+        Body::Enum(variants) => match &c.attrs.tag {
+            Some(tag) => gen_deserialize_tagged_enum(c, variants, tag),
+            None => gen_deserialize_plain_enum(c, variants),
+        },
+    };
+    impl_header_de(name, &body)
+}
+
+fn gen_deserialize_tagged_enum(c: &Container, variants: &[Variant], tag: &str) -> String {
+    let name = &c.name;
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let wire = lit(&variant_wire_name(variant, &c.attrs));
+        let arm = match &variant.payload {
+            Payload::Unit => format!("{wire} => ::core::result::Result::Ok({name}::{vname}),\n"),
+            Payload::Newtype => format!(
+                "{wire} => ::serde::de::from_value(\
+                     ::serde::value::Value::Object(__map))\
+                     .map({name}::{vname}).map_err({DE_ERR}),\n"
+            ),
+            Payload::Struct(fields) => {
+                let (stmts, literal) = gen_extract_stmts(fields, &c.attrs);
+                format!(
+                    "{wire} => {{\n{stmts}\
+                         ::core::result::Result::Ok({name}::{vname} {{ {literal} }})\n\
+                     }}\n"
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!(
+        "let mut __map = match ::serde::de::Deserializer::into_value(__deserializer)? {{\n\
+             ::serde::value::Value::Object(__m) => __m,\n\
+             _ => return ::core::result::Result::Err({DE_ERR}(\
+                  \"expected object for {name}\")),\n\
+         }};\n\
+         let __tag = match __map.remove({tag:?}) {{\n\
+             ::core::option::Option::Some(::serde::value::Value::String(__s)) => __s,\n\
+             _ => return ::core::result::Result::Err({DE_ERR}(\
+                  \"missing or non-string tag `{tag}` for {name}\")),\n\
+         }};\n\
+         match __tag.as_str() {{\n\
+             {arms}\
+             __other => ::core::result::Result::Err({DE_ERR}(\
+                 ::std::format!(\"unknown {name} tag `{{}}`\", __other))),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_plain_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    let mut untagged_attempts = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let wire = lit(&variant_wire_name(variant, &c.attrs));
+        match (&variant.payload, variant.attrs.untagged) {
+            (Payload::Newtype, true) => untagged_attempts.push_str(&format!(
+                "if let ::core::result::Result::Ok(__inner) = \
+                     ::serde::de::from_value(__value.clone()) {{\n\
+                     return ::core::result::Result::Ok({name}::{vname}(__inner));\n\
+                 }}\n"
+            )),
+            (Payload::Unit, _) => unit_arms.push_str(&format!(
+                "{wire} => return ::core::result::Result::Ok({name}::{vname}),\n"
+            )),
+            (Payload::Newtype, _) => data_arms.push_str(&format!(
+                "{wire} => return ::serde::de::from_value(__v)\
+                     .map({name}::{vname}).map_err({DE_ERR}),\n"
+            )),
+            (Payload::Struct(fields), _) => {
+                let (stmts, literal) = gen_extract_stmts(fields, &c.attrs);
+                data_arms.push_str(&format!(
+                    "{wire} => {{\n\
+                         let mut __map = match __v {{\n\
+                             ::serde::value::Value::Object(__m) => __m,\n\
+                             _ => return ::core::result::Result::Err({DE_ERR}(\
+                                  \"variant `\".to_owned() + {wire} + \
+                                  \"` of {name} expects an object\")),\n\
+                         }};\n\
+                         {stmts}\
+                         return ::core::result::Result::Ok(\
+                             {name}::{vname} {{ {literal} }});\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    let mut body =
+        String::from("let __value = ::serde::de::Deserializer::into_value(__deserializer)?;\n");
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "if let ::serde::value::Value::String(ref __s) = __value {{\n\
+                 match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+             }}\n"
+        ));
+    }
+    if !data_arms.is_empty() {
+        body.push_str(&format!(
+            "if let ::serde::value::Value::Object(ref __obj) = __value {{\n\
+                 if __obj.len() == 1 {{\n\
+                     let (__k, __v) = {{\n\
+                         let (__k, __v) = __obj.iter().next().expect(\"length checked\");\n\
+                         (__k.clone(), __v.clone())\n\
+                     }};\n\
+                     match __k.as_str() {{\n{data_arms}_ => {{}}\n}}\n\
+                 }}\n\
+             }}\n"
+        ));
+    }
+    body.push_str(&untagged_attempts);
+    body.push_str(&format!(
+        "::core::result::Result::Err({DE_ERR}(\"no variant of {name} matched the value\"))"
+    ));
+    body
+}
+
+// ---- entry points ------------------------------------------------------
+
+/// Derives `serde::ser::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::de::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Re-exports the vendored `serde` value model and adds the JSON text
+//! layer: a recursive-descent parser ([`from_str`]/[`from_slice`]),
+//! renderers ([`to_string`]/[`to_string_pretty`]/[`to_vec`]), value
+//! conversions ([`to_value`]/[`from_value`]) and the [`json!`] macro.
+
+use std::fmt;
+
+pub use serde::value::{Map, Number, Value};
+
+/// Error produced by any serde_json operation.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Wraps an I/O error (mirrors `serde_json::Error::io`).
+    pub fn io(err: std::io::Error) -> Error {
+        Error {
+            message: err.to_string(),
+        }
+    }
+
+    fn msg(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates custom errors raised by manual `Serialize` impls.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    serde::ser::to_value(&value).map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a message naming the first mismatch encountered.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    serde::de::from_value(value).map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Renders a value as compact JSON text.
+///
+/// # Errors
+///
+/// Propagates custom errors raised by manual `Serialize` impls.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value)?.to_json_string())
+}
+
+/// Renders a value as two-space-indented JSON text.
+///
+/// # Errors
+///
+/// Propagates custom errors raised by manual `Serialize` impls.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value)?.to_json_string_pretty())
+}
+
+/// Renders a value as compact JSON bytes.
+///
+/// # Errors
+///
+/// Propagates custom errors raised by manual `Serialize` impls.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns a positioned message on malformed JSON, or a mismatch
+/// message if the shape does not fit `T`.
+pub fn from_str<T: serde::de::DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = parse(input)?;
+    from_value(value)
+}
+
+/// Parses JSON bytes (UTF-8) into a typed value.
+///
+/// # Errors
+///
+/// Returns an error on invalid UTF-8 or malformed JSON.
+pub fn from_slice<T: serde::de::DeserializeOwned>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(text)
+}
+
+// ---- JSON text parser --------------------------------------------------
+
+fn parse(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::msg(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low half must follow.
+                                if !(self.eat_literal("\\u")) {
+                                    return Err(Error::msg("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::msg("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::msg("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| Error::msg("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                            // parse_hex4 advanced past the digits already.
+                            continue;
+                        }
+                        _ => return Err(Error::msg("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte aware).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|e| Error::msg(e.to_string()))?;
+                    let ch = text.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|e| Error::msg(e.to_string()))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| Error::msg("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::msg(e.to_string()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from(v)));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))?;
+        Ok(Value::Number(Number::from(v)))
+    }
+}
+
+// ---- json! macro -------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-like literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::json_object_internal!(__map ($($tt)*));
+        $crate::Value::Object(__map)
+    }};
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_internal!(__vec ($($tt)*));
+        $crate::Value::Array(__vec)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value must be serializable")
+    };
+}
+
+/// Implementation detail of [`json!`]: object entry muncher.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_internal {
+    ($map:ident ()) => {};
+    ($map:ident ($key:literal : null $(, $($rest:tt)*)?)) => {
+        $map.insert($key, $crate::Value::Null);
+        $crate::json_object_internal!($map ($($($rest)*)?));
+    };
+    ($map:ident ($key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $map.insert($key, $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($map ($($($rest)*)?));
+    };
+    ($map:ident ($key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $map.insert($key, $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($map ($($($rest)*)?));
+    };
+    ($map:ident ($key:literal : $value:expr , $($rest:tt)*)) => {
+        $map.insert($key, $crate::json!($value));
+        $crate::json_object_internal!($map ($($rest)*));
+    };
+    ($map:ident ($key:literal : $value:expr)) => {
+        $map.insert($key, $crate::json!($value));
+    };
+}
+
+/// Implementation detail of [`json!`]: array element muncher.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_internal {
+    ($vec:ident ()) => {};
+    ($vec:ident (null $(, $($rest:tt)*)?)) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_array_internal!($vec ($($($rest)*)?));
+    };
+    ($vec:ident ({ $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $crate::json_array_internal!($vec ($($($rest)*)?));
+    };
+    ($vec:ident ([ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_internal!($vec ($($($rest)*)?));
+    };
+    ($vec:ident ($value:expr , $($rest:tt)*)) => {
+        $vec.push($crate::json!($value));
+        $crate::json_array_internal!($vec ($($rest)*));
+    };
+    ($vec:ident ($value:expr)) => {
+        $vec.push($crate::json!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"a":[1,-2,3.5],"b":{"c":"d\n\"e\""},"t":true,"n":null}"#;
+        let value: Value = from_str(text).unwrap();
+        assert_eq!(value["a"][0], 1);
+        assert_eq!(value["a"][1], -2);
+        assert_eq!(value["a"][2], 3.5);
+        assert_eq!(value["b"]["c"], "d\n\"e\"");
+        assert_eq!(value["t"], true);
+        assert!(value["n"].is_null());
+        let rendered = to_string(&value).unwrap();
+        let back: Value = from_str(&rendered).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let value: Value = from_str(r#""aé😀b""#).unwrap();
+        assert_eq!(value, "aé😀b");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("07a").is_err());
+        assert!(from_str::<Value>("{\"a\":1} x").is_err());
+    }
+
+    #[test]
+    fn integers_preserved() {
+        let value: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(value.as_u64(), Some(u64::MAX));
+        let value: Value = from_str("-9223372036854775808").unwrap();
+        assert_eq!(value.as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"node": "gitlab", "severity": 3});
+        assert_eq!(v["node"], "gitlab");
+        assert_eq!(v["severity"], 3);
+        let v = json!({ "outer": { "inner": [1, 2, {"x": null}] }, "n": 1 + 1 });
+        assert_eq!(v["outer"]["inner"][2]["x"], Value::Null);
+        assert_eq!(v["n"], 2);
+        assert_eq!(json!(7), 7);
+        assert_eq!(json!("just a string"), "just a string");
+        assert_eq!(json!({}), Value::Object(Map::new()));
+    }
+
+    #[test]
+    fn pretty_renders_indented() {
+        let v = json!({"a": 1});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"), "{pretty}");
+    }
+}
