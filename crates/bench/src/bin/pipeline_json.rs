@@ -1,0 +1,85 @@
+//! Machine-readable pipeline benchmark: runs one parallel ingestion
+//! round over a seeded synthetic workload and writes
+//! `BENCH_pipeline.json` (per-stage throughput plus the platform's
+//! telemetry snapshot) for CI trend tracking.
+//!
+//! ```text
+//! cargo run -p cais-bench --bin pipeline_json            # writes BENCH_pipeline.json
+//! cargo run -p cais-bench --bin pipeline_json -- -       # print to stdout instead
+//! ```
+
+use cais_bench::workloads;
+use serde_json::json;
+
+fn main() {
+    let mut platform = workloads::platform();
+    let seed = 42;
+    let feeds = 8;
+    let records_per_feed = 250;
+    let workers = 4;
+    let records = workloads::record_stream(
+        seed,
+        feeds,
+        records_per_feed,
+        0.25,
+        0.2,
+        platform.context().now,
+    );
+    let total_records = records.len();
+    let report = platform
+        .ingest_feed_records_parallel(records, workers)
+        .expect("synthetic ingestion cannot fail");
+    let snapshot = platform.telemetry().snapshot();
+
+    let stages: Vec<_> = report
+        .stages
+        .stages()
+        .into_iter()
+        .map(|(name, stage)| {
+            json!({
+                "stage": name,
+                "records_in": stage.records_in,
+                "records_out": stage.records_out,
+                "dropped": stage.dropped,
+                "wall_nanos": stage.wall_nanos,
+                "input_throughput_rps": stage.throughput(),
+                "output_throughput_rps": stage.output_throughput(),
+            })
+        })
+        .collect();
+
+    let doc = json!({
+        "benchmark": "pipeline_json",
+        "workload": {
+            "seed": seed,
+            "feeds": feeds,
+            "records_per_feed": records_per_feed,
+            "records": total_records,
+            "workers": workers,
+        },
+        "totals": {
+            "records_in": report.records_in,
+            "nlp_filtered": report.nlp_filtered,
+            "benign_filtered": report.benign_filtered,
+            "duplicates_dropped": report.duplicates_dropped,
+            "ciocs": report.ciocs,
+            "eiocs": report.eiocs,
+            "riocs": report.riocs,
+            "total_nanos": report.stages.total_nanos(),
+        },
+        "stages": stages,
+        "telemetry": serde_json::to_value(&snapshot).expect("snapshot serializes"),
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("report serializes");
+
+    if std::env::args().nth(1).as_deref() == Some("-") {
+        println!("{text}");
+        return;
+    }
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, format!("{text}\n")).expect("write BENCH_pipeline.json");
+    eprintln!(
+        "wrote {path}: {total_records} records -> {} cIoCs, {} eIoCs, {} rIoCs",
+        report.ciocs, report.eiocs, report.riocs
+    );
+}

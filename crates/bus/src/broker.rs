@@ -1,10 +1,12 @@
 //! The in-process publish/subscribe broker.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use cais_common::Timestamp;
+use cais_telemetry::{labeled, Counter, Gauge, Registry};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::RwLock;
 
@@ -17,12 +19,66 @@ struct Subscriber {
     sender: Sender<Message>,
 }
 
+/// Cached telemetry handles for an instrumented broker.
+///
+/// Counters count *messages*, not publish calls, so the serial path
+/// (one `publish` per message) and the parallel path (one
+/// `publish_batch` per round) produce identical totals for the same
+/// traffic.
+struct BrokerMetrics {
+    registry: Registry,
+    published_total: Counter,
+    delivered_total: Counter,
+    evicted_total: Counter,
+    subscribers: Gauge,
+    per_topic: RwLock<HashMap<String, Counter>>,
+}
+
+impl BrokerMetrics {
+    fn new(registry: &Registry) -> Self {
+        BrokerMetrics {
+            registry: registry.clone(),
+            published_total: registry.counter("bus_published_total"),
+            delivered_total: registry.counter("bus_delivered_total"),
+            evicted_total: registry.counter("bus_subscribers_evicted_total"),
+            subscribers: registry.gauge("bus_subscribers"),
+            per_topic: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The per-topic published counter, cached so the hot path skips
+    /// the label-string formatting after first use.
+    fn topic_counter(&self, topic: &str) -> Counter {
+        if let Some(c) = self.per_topic.read().get(topic) {
+            return c.clone();
+        }
+        let counter = self
+            .registry
+            .counter(&labeled("bus_published_total", &[("topic", topic)]));
+        self.per_topic
+            .write()
+            .entry(topic.to_owned())
+            .or_insert(counter)
+            .clone()
+    }
+
+    fn on_publish(&self, topic: &str, messages: u64, delivered: u64, evicted: u64) {
+        self.published_total.add(messages);
+        self.topic_counter(topic).add(messages);
+        self.delivered_total.add(delivered);
+        if evicted > 0 {
+            self.evicted_total.add(evicted);
+        }
+    }
+}
+
 struct Inner {
     subscribers: RwLock<Vec<Subscriber>>,
     replay: RwLock<std::collections::VecDeque<Message>>,
     replay_cap: usize,
     next_seq: AtomicU64,
     next_subscriber_id: AtomicU64,
+    metrics: RwLock<Option<Arc<BrokerMetrics>>>,
 }
 
 /// A cheaply clonable handle to an in-process message bus.
@@ -63,7 +119,49 @@ impl Broker {
                 replay_cap,
                 next_seq: AtomicU64::new(0),
                 next_subscriber_id: AtomicU64::new(0),
+                metrics: RwLock::new(None),
             }),
+        }
+    }
+
+    /// Attaches telemetry: subsequent publishes record
+    /// `bus_published_total` (plus a per-topic labeled series),
+    /// `bus_delivered_total` and `bus_subscribers_evicted_total` into
+    /// the registry. Counters count messages, not publish calls, so
+    /// batched and per-message publishing report identically.
+    pub fn instrument(&self, registry: &Registry) {
+        *self.inner.metrics.write() = Some(Arc::new(BrokerMetrics::new(registry)));
+    }
+
+    fn metrics(&self) -> Option<Arc<BrokerMetrics>> {
+        self.inner.metrics.read().clone()
+    }
+
+    /// Samples the current per-pattern queue depths and live
+    /// subscription count into the attached registry
+    /// (`bus_queue_depth{pattern=...}` and `bus_subscribers` gauges).
+    /// Call it at natural checkpoints — e.g. once per ingestion round;
+    /// a no-op until [`Broker::instrument`] is called.
+    pub fn sample_queue_depths(&self) {
+        let Some(metrics) = self.metrics() else {
+            return;
+        };
+        let mut depths: HashMap<String, i64> = HashMap::new();
+        let mut live = 0i64;
+        {
+            let subscribers = self.inner.subscribers.read();
+            for sub in subscribers.iter() {
+                live += 1;
+                *depths.entry(sub.pattern.as_str().to_owned()).or_insert(0) +=
+                    sub.sender.len() as i64;
+            }
+        }
+        metrics.subscribers.set(live);
+        for (pattern, depth) in depths {
+            metrics
+                .registry
+                .gauge(&labeled("bus_queue_depth", &[("pattern", &pattern)]))
+                .set(depth);
         }
     }
 
@@ -110,6 +208,7 @@ impl Broker {
     /// Publishes a JSON payload under a topic, returning the number of
     /// subscriptions it was delivered to.
     pub fn publish(&self, topic: Topic, payload: serde_json::Value) -> usize {
+        let topic_name = topic.clone();
         let message = Message {
             seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
             topic,
@@ -144,6 +243,9 @@ impl Broker {
                 .subscribers
                 .write()
                 .retain(|s| !dead.contains(&s.id));
+        }
+        if let Some(metrics) = self.metrics() {
+            metrics.on_publish(topic_name.as_str(), 1, delivered as u64, dead.len() as u64);
         }
         delivered
     }
@@ -194,6 +296,7 @@ impl Broker {
         // As in [`Broker::publish`], the replay buffer takes the batch by
         // move after fan-out. Only the last `replay_cap` messages can
         // survive, so the earlier ones skip the buffer entirely.
+        let batch_len = messages.len() as u64;
         if self.inner.replay_cap > 0 {
             let skip = messages.len().saturating_sub(self.inner.replay_cap);
             let mut replay = self.inner.replay.write();
@@ -209,6 +312,14 @@ impl Broker {
                 .subscribers
                 .write()
                 .retain(|s| !dead.contains(&s.id));
+        }
+        if let Some(metrics) = self.metrics() {
+            metrics.on_publish(
+                topic.as_str(),
+                batch_len,
+                delivered as u64,
+                dead.len() as u64,
+            );
         }
         delivered
     }
@@ -443,6 +554,61 @@ mod tests {
         assert_eq!(delivered, 2);
         let got = sub.drain();
         assert_eq!(got[1].payload["x"], 2);
+    }
+
+    #[test]
+    fn instrumented_broker_counts_messages_not_calls() {
+        let registry = Registry::new();
+        let broker = Broker::new();
+        broker.instrument(&registry);
+        let sub = broker.subscribe("bulk");
+        // One batched publish of 3 and three singles: 6 messages total.
+        broker.publish_batch(Topic::new("bulk"), (0..3).map(|i| serde_json::json!(i)));
+        for i in 0..3 {
+            broker.publish(Topic::new("bulk"), serde_json::json!(i));
+        }
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["bus_published_total"], 6);
+        assert_eq!(
+            snapshot.counters[&labeled("bus_published_total", &[("topic", "bulk")])],
+            6
+        );
+        assert_eq!(snapshot.counters["bus_delivered_total"], 6);
+        broker.sample_queue_depths();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauges["bus_subscribers"], 1);
+        assert_eq!(
+            snapshot.gauges[&labeled("bus_queue_depth", &[("pattern", "bulk")])],
+            6
+        );
+        sub.drain();
+        broker.sample_queue_depths();
+        assert_eq!(
+            registry.snapshot().gauges[&labeled("bus_queue_depth", &[("pattern", "bulk")])],
+            0
+        );
+    }
+
+    #[test]
+    fn instrumented_broker_counts_evictions() {
+        let registry = Registry::new();
+        let broker = Broker::new();
+        broker.instrument(&registry);
+        let mut sub = broker.subscribe("t");
+        // Kill the receiving half without unsubscribing: swap in a dummy
+        // receiver, drop the real one, then leak the Subscription so its
+        // eager Drop-prune never runs. The next publish finds the dead
+        // sender and evicts it.
+        let (_dummy_tx, dummy_rx) = channel::unbounded::<Message>();
+        let real_rx = std::mem::replace(&mut sub.receiver, dummy_rx);
+        drop(real_rx);
+        std::mem::forget(sub);
+        assert_eq!(broker.subscriber_count(), 1);
+        broker.publish(Topic::new("t"), serde_json::json!(1));
+        assert_eq!(broker.subscriber_count(), 0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["bus_subscribers_evicted_total"], 1);
+        assert_eq!(snapshot.counters["bus_delivered_total"], 0);
     }
 
     #[test]

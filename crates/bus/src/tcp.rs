@@ -7,48 +7,18 @@
 //! matching message the broker publishes — the same shape as MISP's
 //! zmq PUB socket.
 
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread;
 use std::time::Duration;
 
-use bytes::{Buf, BufMut, BytesMut};
+// The framing lives in cais-common so other TCP surfaces (the
+// telemetry scrape endpoint) share one wire format; re-exported here
+// for compatibility.
+pub use cais_common::frame::{read_frame, write_frame, MAX_FRAME};
 
 use crate::broker::Broker;
 use crate::message::Message;
-
-/// Maximum accepted frame size (16 MiB), protecting against corrupt
-/// length prefixes.
-const MAX_FRAME: u32 = 16 * 1024 * 1024;
-
-/// Writes one length-prefixed frame.
-pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
-    let mut buf = BytesMut::with_capacity(4 + payload.len());
-    buf.put_u32(payload.len() as u32);
-    buf.put_slice(payload);
-    writer.write_all(&buf)
-}
-
-/// Reads one length-prefixed frame.
-///
-/// # Errors
-///
-/// Returns an error on I/O failure, EOF mid-frame, or a frame larger
-/// than the 16 MiB cap.
-pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
-    let mut len_buf = [0u8; 4];
-    reader.read_exact(&mut len_buf)?;
-    let len = (&len_buf[..]).get_u32();
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload)?;
-    Ok(payload)
-}
 
 /// A TCP bridge publishing a broker's traffic to remote subscribers.
 ///

@@ -1,0 +1,84 @@
+//! Length-prefixed framing shared by every TCP surface in the
+//! workspace.
+//!
+//! The wire format is a 4-byte big-endian length followed by that many
+//! payload bytes. `cais-bus` uses it for its PUB bridge and
+//! `cais-telemetry` for its scrape endpoint, so a single client
+//! implementation can talk to both.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (16 MiB), protecting against corrupt
+/// length prefixes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    writer.write_all(&buf)
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, EOF mid-frame, or a frame larger
+/// than the 16 MiB cap.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(buf.len(), 9);
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[]).unwrap();
+        assert_eq!(buf.len(), 4);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_oversize() {
+        let mut cursor = io::Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn eof_mid_payload_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // cut payload short
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

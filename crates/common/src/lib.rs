@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod observable;
 pub mod time;
 pub mod uuid;
 
+pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use observable::{Observable, ObservableKind};
 pub use time::{Age, Timestamp, TimestampParseError};
 pub use uuid::{Uuid, UuidParseError};

@@ -45,6 +45,7 @@ pub mod ioc;
 pub mod metrics;
 pub mod pipeline;
 pub mod reduce;
+pub mod telemetry;
 
 pub use context::EvaluationContext;
 pub use detection::{Detection, DetectionEngine};
@@ -55,3 +56,4 @@ pub use ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
 pub use metrics::{StageMetrics, StageRecord};
 pub use pipeline::{Platform, PlatformConfig, PlatformReport};
 pub use reduce::Reducer;
+pub use telemetry::PipelineInstruments;

@@ -39,12 +39,28 @@ impl StageRecord {
         (self.records_in, self.records_out, self.dropped)
     }
 
-    /// Stage throughput in items per second (0 for an untimed stage).
+    /// *Input* throughput: items **offered** to the stage per second
+    /// (0 for an untimed stage). For filtering stages this counts
+    /// dropped records too — it answers "how fast does this stage
+    /// consume work", not "how fast does it produce output"; use
+    /// [`StageRecord::output_throughput`] for the latter.
     pub fn throughput(&self) -> f64 {
         if self.wall_nanos == 0 {
             0.0
         } else {
             self.records_in as f64 / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+
+    /// *Output* throughput: items the stage **passed on** per second
+    /// (0 for an untimed stage). Unlike [`StageRecord::throughput`],
+    /// dropped records don't inflate this rate, so it's the honest
+    /// number for stages like publish whose input was pre-filtered.
+    pub fn output_throughput(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.records_out as f64 / (self.wall_nanos as f64 / 1e9)
         }
     }
 }
@@ -120,6 +136,14 @@ mod tests {
         let stage = StageRecord::timed(500, 500, 1_000_000_000);
         assert!((stage.throughput() - 500.0).abs() < 1e-9);
         assert_eq!(StageRecord::default().throughput(), 0.0);
+    }
+
+    #[test]
+    fn output_throughput_excludes_dropped() {
+        let stage = StageRecord::timed(500, 200, 1_000_000_000);
+        assert!((stage.throughput() - 500.0).abs() < 1e-9);
+        assert!((stage.output_throughput() - 200.0).abs() < 1e-9);
+        assert_eq!(StageRecord::default().output_throughput(), 0.0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use cais_bus::{topics, Broker, Topic};
 use cais_feeds::FeedRecord;
 use cais_infra::sensors::{hids, nids};
 use cais_misp::MispApi;
+use cais_telemetry::{Registry, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::collector::{aggregate_into_ciocs, InfrastructureCollector, OsintCollector};
@@ -25,6 +26,7 @@ use crate::error::CoreError;
 use crate::ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
 use crate::metrics::{StageMetrics, StageRecord};
 use crate::reduce::Reducer;
+use crate::telemetry::PipelineInstruments;
 
 fn nanos_since(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
@@ -144,13 +146,36 @@ pub struct Platform {
     alarms_forwarded: usize,
     riocs: Vec<ReducedIoc>,
     eiocs: Vec<EnrichedIoc>,
+    telemetry: Registry,
+    tracer: Tracer,
+    instruments: PipelineInstruments,
 }
 
 impl Platform {
-    /// Assembles the platform around an evaluation context.
+    /// Assembles the platform around an evaluation context, with a
+    /// private telemetry registry.
     pub fn new(config: PlatformConfig, ctx: EvaluationContext) -> Self {
+        Platform::with_telemetry(config, ctx, Registry::new())
+    }
+
+    /// Assembles the platform recording into a caller-supplied
+    /// telemetry registry: the broker and the MISP store are
+    /// instrumented against it, and every ingestion round feeds its
+    /// [`StageMetrics`] into per-stage counters and histograms. Share
+    /// the registry with a
+    /// [`TelemetryServer`](cais_telemetry::TelemetryServer) to make the
+    /// platform scrapeable.
+    pub fn with_telemetry(
+        config: PlatformConfig,
+        ctx: EvaluationContext,
+        telemetry: Registry,
+    ) -> Self {
         let broker = Broker::new();
+        broker.instrument(&telemetry);
         let misp = MispApi::new(config.org.clone()).with_broker(broker.clone());
+        misp.store().instrument(&telemetry);
+        let instruments = PipelineInstruments::new(&telemetry);
+        let tracer = Tracer::new();
         let enricher = Enricher::new(ctx.clone());
         let reducer = Reducer::new(Arc::clone(&ctx.inventory));
         let infra =
@@ -171,6 +196,9 @@ impl Platform {
             detections: Vec::new(),
             riocs: Vec::new(),
             eiocs: Vec::new(),
+            telemetry,
+            tracer,
+            instruments,
         }
     }
 
@@ -198,6 +226,17 @@ impl Platform {
         &self.ctx
     }
 
+    /// The telemetry registry every component records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// The span tracer; each ingestion round records an `ingest_round`
+    /// span with `path`/`records_in`/`riocs` fields.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Every rIoC produced so far.
     pub fn riocs(&self) -> &[ReducedIoc] {
         &self.riocs
@@ -219,6 +258,9 @@ impl Platform {
         &mut self,
         records: Vec<FeedRecord>,
     ) -> Result<PlatformReport, CoreError> {
+        let mut span = self.tracer.span("ingest_round");
+        span.field("path", "serial");
+        span.field("records_in", records.len());
         let mut report = PlatformReport {
             records_in: records.len(),
             ..PlatformReport::default()
@@ -281,6 +323,9 @@ impl Platform {
             self.finalize_eioc(eioc, &mut report, &mut stages)?;
         }
         report.stages = stages;
+        span.field("riocs", report.riocs);
+        self.instruments.record_round(&report);
+        self.broker.sample_queue_depths();
         Ok(report)
     }
 
@@ -330,6 +375,10 @@ impl Platform {
         if workers == 1 || records.len() < 2 {
             return self.ingest_feed_records(records);
         }
+        let mut span = self.tracer.span("ingest_round");
+        span.field("path", "parallel");
+        span.field("workers", workers);
+        span.field("records_in", records.len());
         let mut report = PlatformReport {
             records_in: records.len(),
             ..PlatformReport::default()
@@ -453,6 +502,9 @@ impl Platform {
         stages.publish.wall_nanos += nanos_since(started);
 
         report.stages = stages;
+        span.field("riocs", report.riocs);
+        self.instruments.record_round(&report);
+        self.broker.sample_queue_depths();
         Ok(report)
     }
 
@@ -1202,6 +1254,43 @@ mod parallel_tests {
         assert_eq!(ciocs.drain().len(), report.ciocs);
         assert_eq!(eiocs.drain().len(), report.eiocs);
         assert_eq!(riocs.drain().len(), report.riocs);
+    }
+
+    #[test]
+    fn serial_and_parallel_yield_identical_telemetry_counters() {
+        let mut sequential =
+            Platform::new(config_with_filters(), EvaluationContext::paper_use_case());
+        let mut parallel =
+            Platform::new(config_with_filters(), EvaluationContext::paper_use_case());
+        let records = mixed_workload(&sequential, 400);
+        sequential.ingest_feed_records(records.clone()).unwrap();
+        parallel.ingest_feed_records_parallel(records, 4).unwrap();
+        // Counters (pipeline stages, bus messages, MISP mutations) are
+        // deterministic outcomes and must match exactly; gauges and
+        // histograms carry wall times and sampling moments, which
+        // legitimately differ.
+        let serial = sequential.telemetry().snapshot();
+        let par = parallel.telemetry().snapshot();
+        assert_eq!(serial.counters, par.counters);
+        assert_ne!(serial.counters["pipeline_ciocs_total"], 0);
+        assert_ne!(serial.counters["pipeline_eiocs_total"], 0);
+        assert_ne!(serial.counters["bus_published_total"], 0);
+        assert_ne!(serial.counters["misp_events_inserted_total"], 0);
+    }
+
+    #[test]
+    fn round_records_an_ingest_span() {
+        let mut platform = Platform::paper_use_case();
+        let records = mixed_workload(&platform, 40);
+        platform.ingest_feed_records_parallel(records, 4).unwrap();
+        let spans = platform.tracer().events();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "ingest_round");
+        assert!(spans[0].duration_nanos.is_some());
+        assert!(spans[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "path" && v == "parallel"));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! The Output Module's dashboard: the topology view with per-node alarm
 //! circles and rIoC stars (Fig. 2), the node-details view (Fig. 3), the
-//! security-issue detail (Fig. 4), renderers (ASCII, HTML, JSON) and a
+//! security-issue detail (Fig. 4), renderers (ASCII, HTML, JSON), a
 //! live stream applying bus messages to the state — the role socket.io
-//! plays in the paper.
+//! plays in the paper — and a platform-health panel rendered from a
+//! telemetry snapshot ([`render::HealthPanel`]).
 //!
 //! # Examples
 //!

@@ -1,0 +1,317 @@
+//! The "platform health" panel: a telemetry snapshot rendered next to
+//! the threat dashboard.
+//!
+//! Where the other renderers draw *what the platform found* (rIoCs,
+//! alarms, node badges), this one draws *how the platform is running*:
+//! per-stage throughput from the pipeline histograms, bus traffic,
+//! MISP mutations, feed errors and dashboard decode failures — all
+//! read from a [`cais_telemetry::Snapshot`], the same data the scrape
+//! endpoint serves.
+
+use std::collections::BTreeMap;
+
+use cais_telemetry::{label_value, split_labels, Snapshot};
+use serde::Serialize;
+
+/// One pipeline stage's health row, reassembled from the labelled
+/// `pipeline_stage_*` series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StageHealth {
+    /// Stage name (the `stage` label).
+    pub stage: String,
+    /// Records entering the stage across all rounds.
+    pub records_in: u64,
+    /// Records surviving the stage across all rounds.
+    pub records_out: u64,
+    /// Records dropped by the stage across all rounds.
+    pub dropped: u64,
+    /// Rounds observed (the latency histogram's sample count).
+    pub rounds: u64,
+    /// Total wall time spent in the stage, nanoseconds.
+    pub total_nanos: u64,
+    /// Input throughput in records per second, 0 when untimed.
+    pub records_per_sec: f64,
+}
+
+/// A structured view over a telemetry snapshot, grouped the way an
+/// operator reads it. Build with [`HealthPanel::from_snapshot`], render
+/// with [`health_ascii`], [`health_html`] or [`health_json`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct HealthPanel {
+    /// Per-stage pipeline rows, in snapshot (alphabetical) order.
+    pub stages: Vec<StageHealth>,
+    /// Unlabelled `pipeline_*` counters (rounds, records, cIoC/eIoC/rIoC totals).
+    pub pipeline: BTreeMap<String, u64>,
+    /// `bus_*` counters (published/delivered/evicted, per-topic series).
+    pub bus: BTreeMap<String, u64>,
+    /// `misp_*` counters (store mutations).
+    pub misp: BTreeMap<String, u64>,
+    /// `feeds_*` counters (rounds, records, fetch/parse errors).
+    pub feeds: BTreeMap<String, u64>,
+    /// `dashboard_*` counters (applied updates, decode failures).
+    pub dashboard: BTreeMap<String, u64>,
+    /// Every gauge in the snapshot (queue depths, subscriber counts).
+    pub gauges: BTreeMap<String, i64>,
+}
+
+impl HealthPanel {
+    /// Groups a snapshot into the panel's sections.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut panel = HealthPanel {
+            gauges: snapshot.gauges.clone(),
+            ..HealthPanel::default()
+        };
+        let mut stages: BTreeMap<String, StageHealth> = BTreeMap::new();
+        fn stage_row<'a>(
+            stages: &'a mut BTreeMap<String, StageHealth>,
+            stage: &str,
+        ) -> &'a mut StageHealth {
+            stages
+                .entry(stage.to_owned())
+                .or_insert_with(|| StageHealth {
+                    stage: stage.to_owned(),
+                    ..StageHealth::default()
+                })
+        }
+        for (name, &value) in &snapshot.counters {
+            let (base, _) = split_labels(name);
+            if let Some(stage) = label_value(name, "stage") {
+                let row = stage_row(&mut stages, stage);
+                match base {
+                    "pipeline_stage_records_in_total" => row.records_in = value,
+                    "pipeline_stage_records_out_total" => row.records_out = value,
+                    "pipeline_stage_dropped_total" => row.dropped = value,
+                    _ => {}
+                }
+                continue;
+            }
+            let section = match base.split_once('_').map(|(head, _)| head) {
+                Some("pipeline") => &mut panel.pipeline,
+                Some("bus") => &mut panel.bus,
+                Some("misp") => &mut panel.misp,
+                Some("feeds") => &mut panel.feeds,
+                Some("dashboard") => &mut panel.dashboard,
+                _ => continue,
+            };
+            section.insert(name.clone(), value);
+        }
+        for (name, histogram) in &snapshot.histograms {
+            let (base, _) = split_labels(name);
+            if base == "pipeline_stage_nanos" {
+                if let Some(stage) = label_value(name, "stage") {
+                    let row = stage_row(&mut stages, stage);
+                    row.rounds = histogram.count;
+                    row.total_nanos = histogram.sum;
+                    if histogram.sum > 0 {
+                        row.records_per_sec = row.records_in as f64 / (histogram.sum as f64 / 1e9);
+                    }
+                }
+            }
+        }
+        panel.stages = stages.into_values().collect();
+        panel
+    }
+}
+
+/// Renders the health panel as terminal text, in the dashboard's box
+/// style.
+pub fn health_ascii(panel: &HealthPanel) -> String {
+    let mut out = String::new();
+    out.push_str("== CAIS platform health ==\n\n");
+    out.push_str("pipeline stages:\n");
+    out.push_str(&format!(
+        "  {:<14} {:>10} {:>10} {:>8} {:>7} {:>12}\n",
+        "stage", "in", "out", "dropped", "rounds", "rec/s"
+    ));
+    for row in &panel.stages {
+        out.push_str(&format!(
+            "  {:<14} {:>10} {:>10} {:>8} {:>7} {:>12.0}\n",
+            row.stage,
+            row.records_in,
+            row.records_out,
+            row.dropped,
+            row.rounds,
+            row.records_per_sec,
+        ));
+    }
+    let mut section = |title: &str, counters: &BTreeMap<String, u64>| {
+        if counters.is_empty() {
+            return;
+        }
+        out.push_str(&format!("\n{title}:\n"));
+        for (name, value) in counters {
+            out.push_str(&format!("  {name:<44} {value:>10}\n"));
+        }
+    };
+    section("pipeline totals", &panel.pipeline);
+    section("bus", &panel.bus);
+    section("misp", &panel.misp);
+    section("feeds", &panel.feeds);
+    section("dashboard", &panel.dashboard);
+    if !panel.gauges.is_empty() {
+        out.push_str("\ngauges:\n");
+        for (name, value) in &panel.gauges {
+            out.push_str(&format!("  {name:<44} {value:>10}\n"));
+        }
+    }
+    out
+}
+
+/// Renders the health panel as a standalone HTML fragment.
+pub fn health_html(panel: &HealthPanel) -> String {
+    let mut out = String::new();
+    out.push_str("<section class=\"cais-health\">\n<h2>Platform health</h2>\n");
+    out.push_str(
+        "<table class=\"stages\">\n<tr><th>stage</th><th>in</th><th>out</th>\
+                  <th>dropped</th><th>rounds</th><th>rec/s</th></tr>\n",
+    );
+    for row in &panel.stages {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.0}</td></tr>\n",
+            escape(&row.stage),
+            row.records_in,
+            row.records_out,
+            row.dropped,
+            row.rounds,
+            row.records_per_sec,
+        ));
+    }
+    out.push_str("</table>\n");
+    let mut section = |title: &str, counters: &BTreeMap<String, u64>| {
+        if counters.is_empty() {
+            return;
+        }
+        out.push_str(&format!("<h3>{}</h3>\n<ul>\n", escape(title)));
+        for (name, value) in counters {
+            out.push_str(&format!(
+                "<li><code>{}</code> = {}</li>\n",
+                escape(name),
+                value
+            ));
+        }
+        out.push_str("</ul>\n");
+    };
+    section("pipeline totals", &panel.pipeline);
+    section("bus", &panel.bus);
+    section("misp", &panel.misp);
+    section("feeds", &panel.feeds);
+    section("dashboard", &panel.dashboard);
+    if !panel.gauges.is_empty() {
+        out.push_str("<h3>gauges</h3>\n<ul>\n");
+        for (name, value) in &panel.gauges {
+            out.push_str(&format!(
+                "<li><code>{}</code> = {}</li>\n",
+                escape(name),
+                value
+            ));
+        }
+        out.push_str("</ul>\n");
+    }
+    out.push_str("</section>\n");
+    out
+}
+
+/// Renders the health panel as pretty-printed JSON.
+pub fn health_json(panel: &HealthPanel) -> String {
+    serde_json::to_string_pretty(panel).unwrap_or_else(|_| "{}".to_owned())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_telemetry::{labeled, Registry};
+
+    fn populated_registry() -> Registry {
+        let registry = Registry::new();
+        registry
+            .counter(&labeled(
+                "pipeline_stage_records_in_total",
+                &[("stage", "dedup")],
+            ))
+            .add(100);
+        registry
+            .counter(&labeled(
+                "pipeline_stage_records_out_total",
+                &[("stage", "dedup")],
+            ))
+            .add(60);
+        registry
+            .counter(&labeled(
+                "pipeline_stage_dropped_total",
+                &[("stage", "dedup")],
+            ))
+            .add(40);
+        let nanos = registry.histogram(&labeled("pipeline_stage_nanos", &[("stage", "dedup")]));
+        nanos.record(2_000_000_000);
+        registry.counter("pipeline_rounds_total").inc();
+        registry.counter("bus_published_total").add(7);
+        registry.counter("misp_events_inserted_total").add(3);
+        registry.counter("feeds_parse_errors_total").add(1);
+        registry.counter("dashboard_decode_failures_total").add(2);
+        registry
+            .gauge(&labeled(
+                "bus_queue_depth",
+                &[("pattern", "rioc.published")],
+            ))
+            .set(5);
+        registry
+    }
+
+    #[test]
+    fn panel_groups_snapshot_by_subsystem() {
+        let panel = HealthPanel::from_snapshot(&populated_registry().snapshot());
+        assert_eq!(panel.stages.len(), 1);
+        let dedup = &panel.stages[0];
+        assert_eq!(dedup.stage, "dedup");
+        assert_eq!(dedup.records_in, 100);
+        assert_eq!(dedup.records_out, 60);
+        assert_eq!(dedup.dropped, 40);
+        assert_eq!(dedup.rounds, 1);
+        // 100 records over 2 seconds.
+        assert!((dedup.records_per_sec - 50.0).abs() < 1e-9);
+        assert_eq!(panel.pipeline["pipeline_rounds_total"], 1);
+        assert_eq!(panel.bus["bus_published_total"], 7);
+        assert_eq!(panel.misp["misp_events_inserted_total"], 3);
+        assert_eq!(panel.feeds["feeds_parse_errors_total"], 1);
+        assert_eq!(panel.dashboard["dashboard_decode_failures_total"], 2);
+        assert_eq!(panel.gauges.len(), 1);
+    }
+
+    #[test]
+    fn renderers_cover_every_section() {
+        let panel = HealthPanel::from_snapshot(&populated_registry().snapshot());
+        let text = health_ascii(&panel);
+        assert!(text.contains("CAIS platform health"));
+        assert!(text.contains("dedup"));
+        assert!(text.contains("bus_published_total"));
+        assert!(text.contains("dashboard_decode_failures_total"));
+        assert!(text.contains("bus_queue_depth"));
+
+        let html = health_html(&panel);
+        assert!(html.contains("<h2>Platform health</h2>"));
+        assert!(html.contains("<td>dedup</td>"));
+        assert!(html.contains("misp_events_inserted_total"));
+
+        let json: serde_json::Value = serde_json::from_str(&health_json(&panel)).unwrap();
+        assert_eq!(json["stages"][0]["records_in"], 100);
+        assert_eq!(json["feeds"]["feeds_parse_errors_total"], 1);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let panel = HealthPanel::from_snapshot(&Registry::new().snapshot());
+        assert!(panel.stages.is_empty());
+        assert!(health_ascii(&panel).contains("pipeline stages"));
+        assert!(health_html(&panel).contains("cais-health"));
+        assert_eq!(
+            serde_json::from_str::<serde_json::Value>(&health_json(&panel)).unwrap()["stages"],
+            serde_json::json!([])
+        );
+    }
+}

@@ -1,9 +1,11 @@
 //! Renderers of the dashboard state.
 
 mod ascii;
+mod health;
 mod html;
 mod json;
 
 pub use ascii::ascii;
+pub use health::{health_ascii, health_html, health_json, HealthPanel, StageHealth};
 pub use html::html;
 pub use json::json;

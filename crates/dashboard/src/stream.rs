@@ -9,8 +9,27 @@
 use cais_bus::{topics, Broker, Subscription};
 use cais_core::ReducedIoc;
 use cais_infra::Alarm;
+use cais_telemetry::{Counter, Registry};
 
 use crate::state::DashboardState;
+
+/// Cached telemetry handles for an instrumented stream.
+#[derive(Debug)]
+struct StreamMetrics {
+    riocs_applied: Counter,
+    alarms_applied: Counter,
+    decode_failures: Counter,
+}
+
+impl StreamMetrics {
+    fn new(registry: &Registry) -> Self {
+        StreamMetrics {
+            riocs_applied: registry.counter("dashboard_riocs_applied_total"),
+            alarms_applied: registry.counter("dashboard_alarms_applied_total"),
+            decode_failures: registry.counter("dashboard_decode_failures_total"),
+        }
+    }
+}
 
 /// A dashboard wired to a live message bus.
 pub struct DashboardStream {
@@ -20,6 +39,7 @@ pub struct DashboardStream {
     applied_riocs: usize,
     applied_alarms: usize,
     decode_failures: usize,
+    metrics: Option<StreamMetrics>,
 }
 
 impl DashboardStream {
@@ -32,7 +52,18 @@ impl DashboardStream {
             applied_riocs: 0,
             applied_alarms: 0,
             decode_failures: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches telemetry: pumping also records
+    /// `dashboard_riocs_applied_total` / `dashboard_alarms_applied_total`
+    /// / `dashboard_decode_failures_total` into the registry —
+    /// typically the platform's, so decode failures surface on the
+    /// scrape endpoint and the health panel instead of only in this
+    /// struct's accessors.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.metrics = Some(StreamMetrics::new(registry));
     }
 
     /// Drains every queued message into the state, returning how many
@@ -45,8 +76,16 @@ impl DashboardStream {
                     self.state.apply_rioc(rioc);
                     self.applied_riocs += 1;
                     applied += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.riocs_applied.inc();
+                    }
                 }
-                Err(_) => self.decode_failures += 1,
+                Err(_) => {
+                    self.decode_failures += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.decode_failures.inc();
+                    }
+                }
             }
         }
         for message in self.alarms.drain() {
@@ -55,8 +94,16 @@ impl DashboardStream {
                     self.state.apply_alarm(alarm);
                     self.applied_alarms += 1;
                     applied += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.alarms_applied.inc();
+                    }
                 }
-                Err(_) => self.decode_failures += 1,
+                Err(_) => {
+                    self.decode_failures += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.decode_failures.inc();
+                    }
+                }
             }
         }
         applied
@@ -157,6 +204,34 @@ mod tests {
         );
         assert_eq!(stream.pump(), 0);
         assert_eq!(stream.decode_failures(), 1);
+    }
+
+    #[test]
+    fn corrupt_alarm_payload_increments_decode_failures() {
+        let broker = Broker::new();
+        let registry = Registry::new();
+        let mut stream =
+            DashboardStream::attach(DashboardState::new(Inventory::paper_table3()), &broker);
+        stream.instrument(&registry);
+        broker.publish(
+            Topic::new(topics::ALARM_RAISED),
+            serde_json::json!({"not": "an alarm"}),
+        );
+        broker
+            .publish_value(topics::RIOC_PUBLISHED, &rioc())
+            .unwrap();
+        assert_eq!(stream.pump(), 1);
+        assert_eq!(stream.decode_failures(), 1);
+        assert_eq!(stream.applied_riocs(), 1);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["dashboard_decode_failures_total"], 1);
+        assert_eq!(snapshot.counters["dashboard_riocs_applied_total"], 1);
+        assert!(
+            !snapshot
+                .counters
+                .contains_key("dashboard_alarms_applied_total")
+                || snapshot.counters["dashboard_alarms_applied_total"] == 0
+        );
     }
 
     #[test]

@@ -34,9 +34,11 @@ pub mod quality;
 mod scheduler;
 mod source;
 pub mod synth;
+pub mod telemetry;
 
 pub use error::FeedError;
 pub use model::{FeedFormat, FeedRecord, ThreatCategory};
 pub use quality::QualityTracker;
 pub use scheduler::{FeedScheduler, SchedulerHandle};
 pub use source::{FeedSource, FileSource, FlakySource, MemorySource};
+pub use telemetry::FeedIngestMetrics;

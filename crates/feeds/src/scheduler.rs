@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::telemetry::FeedIngestMetrics;
 use crate::{FeedRecord, FeedSource};
 
 struct Entry {
@@ -59,6 +60,7 @@ pub struct FeedScheduler<F> {
     sink: F,
     entries: Vec<Entry>,
     stats: Arc<SchedulerStats>,
+    metrics: Option<FeedIngestMetrics>,
 }
 
 impl<F> FeedScheduler<F>
@@ -71,7 +73,16 @@ where
             sink,
             entries: Vec::new(),
             stats: Arc::new(SchedulerStats::default()),
+            metrics: None,
         }
+    }
+
+    /// Attaches telemetry: every round also records
+    /// `feeds_rounds_ok_total` / `feeds_records_total` /
+    /// `feeds_fetch_errors_total` / `feeds_parse_errors_total`
+    /// into the registry, alongside the [`SchedulerStats`] atomics.
+    pub fn instrument(&mut self, registry: &cais_telemetry::Registry) {
+        self.metrics = Some(FeedIngestMetrics::new(registry));
     }
 
     /// Registers a source polled every `interval`. The first poll happens
@@ -105,7 +116,11 @@ where
                             continue;
                         }
                         entry.next_due = now + entry.interval;
-                        match entry.source.collect() {
+                        let result = entry.source.collect();
+                        if let Some(metrics) = &self.metrics {
+                            metrics.observe_result(&result);
+                        }
+                        match result {
                             Ok(records) => {
                                 stats.rounds_ok.fetch_add(1, Ordering::Relaxed);
                                 stats

@@ -4,11 +4,40 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cais_common::{Timestamp, Uuid};
+use cais_telemetry::{Counter, Registry};
 use parking_lot::RwLock;
 
 use crate::attribute::MispAttribute;
 use crate::error::MispError;
 use crate::event::MispEvent;
+
+/// Cached telemetry handles for an instrumented store.
+///
+/// Counters are *outcome-level*: they track what ended up in the store
+/// (events inserted, attributes/tags written, publish transitions),
+/// not how many API calls produced it — so a path that pre-builds an
+/// event and inserts it once reports exactly what a path that inserts
+/// then updates does.
+#[derive(Debug)]
+struct StoreMetrics {
+    events_inserted: Counter,
+    attributes_written: Counter,
+    tags_written: Counter,
+    events_published: Counter,
+    sightings: Counter,
+}
+
+impl StoreMetrics {
+    fn new(registry: &Registry) -> Self {
+        StoreMetrics {
+            events_inserted: registry.counter("misp_events_inserted_total"),
+            attributes_written: registry.counter("misp_attributes_written_total"),
+            tags_written: registry.counter("misp_tags_written_total"),
+            events_published: registry.counter("misp_events_published_total"),
+            sightings: registry.counter("misp_sightings_total"),
+        }
+    }
+}
 
 /// One sighting of an attribute value: somebody (a sensor, an analyst,
 /// a partner) confirmed seeing the value in the wild. MISP exposes the
@@ -52,6 +81,7 @@ pub struct MispStore {
     by_value: RwLock<HashMap<String, Vec<u64>>>,
     sightings: RwLock<HashMap<String, Vec<EventSighting>>>,
     next_id: AtomicU64,
+    metrics: RwLock<Option<StoreMetrics>>,
 }
 
 impl MispStore {
@@ -61,6 +91,16 @@ impl MispStore {
             next_id: AtomicU64::new(1),
             ..MispStore::default()
         }
+    }
+
+    /// Attaches telemetry: mutations record outcome-level counters
+    /// (`misp_events_inserted_total`, `misp_attributes_written_total`,
+    /// `misp_tags_written_total`, `misp_events_published_total`,
+    /// `misp_sightings_total`) into the registry. Deltas, not call
+    /// counts — an insert of a fully-built event and an insert-then-
+    /// update sequence ending in the same event report identically.
+    pub fn instrument(&self, registry: &Registry) {
+        *self.metrics.write() = Some(StoreMetrics::new(registry));
     }
 
     /// Inserts an event, assigning its store id. Attributes are
@@ -84,6 +124,16 @@ impl MispStore {
                     .entry(attribute.correlation_key())
                     .or_default()
                     .push(id);
+            }
+        }
+        if let Some(metrics) = self.metrics.read().as_ref() {
+            metrics.events_inserted.inc();
+            metrics
+                .attributes_written
+                .add(event.attributes.len() as u64);
+            metrics.tags_written.add(event.tags.len() as u64);
+            if event.published {
+                metrics.events_published.inc();
             }
         }
         self.events.write().insert(id, event);
@@ -132,8 +182,21 @@ impl MispStore {
             .iter()
             .map(MispAttribute::correlation_key)
             .collect();
+        let tags_before = event.tags.len();
+        let was_published = event.published;
         f(event);
         event.timestamp = Timestamp::now().max(event.timestamp);
+        if let Some(metrics) = self.metrics.read().as_ref() {
+            metrics
+                .attributes_written
+                .add(event.attributes.len().saturating_sub(before.len()) as u64);
+            metrics
+                .tags_written
+                .add(event.tags.len().saturating_sub(tags_before) as u64);
+            if event.published && !was_published {
+                metrics.events_published.inc();
+            }
+        }
         // Refresh the value index for any attributes the closure added.
         let mut by_value = self.by_value.write();
         for attribute in &event.attributes {
@@ -255,6 +318,9 @@ impl MispStore {
                 source: source.into(),
                 seen_at,
             });
+        if let Some(metrics) = self.metrics.read().as_ref() {
+            metrics.sightings.inc();
+        }
         Ok(())
     }
 
@@ -404,6 +470,54 @@ mod tests {
             ..SearchQuery::default()
         });
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn instrumented_store_counts_outcomes_not_calls() {
+        use crate::tag::Tag;
+        use cais_telemetry::Registry;
+
+        // Path A: insert a bare event, then add the score attribute,
+        // a tag and the published flag via updates.
+        let registry_a = Registry::new();
+        let store_a = MispStore::new();
+        store_a.instrument(&registry_a);
+        let id = store_a.insert(event_with("a.example")).unwrap();
+        store_a
+            .update(id, |event| {
+                event.add_attribute(MispAttribute::new(
+                    "ip-dst",
+                    AttributeCategory::NetworkActivity,
+                    "203.0.113.9",
+                ));
+                event.add_tag(Tag::tlp_red());
+            })
+            .unwrap();
+        store_a.publish(id).unwrap();
+
+        // Path B: insert the fully-built event once.
+        let registry_b = Registry::new();
+        let store_b = MispStore::new();
+        store_b.instrument(&registry_b);
+        let mut event = event_with("a.example");
+        event.add_attribute(MispAttribute::new(
+            "ip-dst",
+            AttributeCategory::NetworkActivity,
+            "203.0.113.9",
+        ));
+        event.add_tag(Tag::tlp_red());
+        event.published = true;
+        store_b.insert(event).unwrap();
+
+        assert_eq!(
+            registry_a.snapshot().counters,
+            registry_b.snapshot().counters
+        );
+        let counters = registry_a.snapshot().counters;
+        assert_eq!(counters["misp_events_inserted_total"], 1);
+        assert_eq!(counters["misp_attributes_written_total"], 2);
+        assert_eq!(counters["misp_tags_written_total"], 1);
+        assert_eq!(counters["misp_events_published_total"], 1);
     }
 
     #[test]

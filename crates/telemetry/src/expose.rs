@@ -1,0 +1,166 @@
+//! Exposition: rendering a [`Snapshot`] as Prometheus-style text or
+//! JSON.
+//!
+//! The text format follows the Prometheus exposition conventions —
+//! `# TYPE` headers, one `name{labels} value` line per sample,
+//! histograms exploded into cumulative `_bucket{le=...}` lines plus
+//! `_sum` and `_count` — close enough that standard tooling parses it.
+//! The JSON format is just the serialized [`Snapshot`], which
+//! round-trips through `serde_json` for programmatic consumers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{split_labels, Histogram, Snapshot};
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// # Examples
+///
+/// ```
+/// use cais_telemetry::{Registry, expose};
+///
+/// let registry = Registry::new();
+/// registry.counter("requests_total").add(3);
+/// let text = expose::prometheus_text(&registry.snapshot());
+/// assert!(text.contains("requests_total 3"));
+/// ```
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeMap<&str, &str> = BTreeMap::new();
+    for name in snapshot.counters.keys() {
+        typed.insert(split_labels(name).0, "counter");
+    }
+    for name in snapshot.gauges.keys() {
+        typed.insert(split_labels(name).0, "gauge");
+    }
+    for name in snapshot.histograms.keys() {
+        typed.insert(split_labels(name).0, "histogram");
+    }
+    let mut last_base = String::new();
+    let mut emit_type = |out: &mut String, name: &str| {
+        let base = split_labels(name).0;
+        if base != last_base {
+            let kind = typed.get(base).copied().unwrap_or("untyped");
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            last_base = base.to_owned();
+        }
+    };
+    for (name, value) in &snapshot.counters {
+        emit_type(&mut out, name);
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        emit_type(&mut out, name);
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, histogram) in &snapshot.histograms {
+        emit_type(&mut out, name);
+        let (base, labels) = split_labels(name);
+        let mut cumulative = 0u64;
+        for (i, bucket) in histogram.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if *bucket == 0 && i + 1 != histogram.buckets.len() {
+                continue; // keep the output compact: skip interior empties
+            }
+            let bound = Histogram::bucket_bound(i);
+            let _ = match labels {
+                Some(l) => writeln!(out, "{base}_bucket{{{l},le=\"{bound}\"}} {cumulative}"),
+                None => writeln!(out, "{base}_bucket{{le=\"{bound}\"}} {cumulative}"),
+            };
+        }
+        let _ = match labels {
+            Some(l) => writeln!(out, "{base}_bucket{{{l},le=\"+Inf\"}} {}", histogram.count),
+            None => writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", histogram.count),
+        };
+        let _ = match labels {
+            Some(l) => writeln!(out, "{base}_sum{{{l}}} {}", histogram.sum),
+            None => writeln!(out, "{base}_sum {}", histogram.sum),
+        };
+        let _ = match labels {
+            Some(l) => writeln!(out, "{base}_count{{{l}}} {}", histogram.count),
+            None => writeln!(out, "{base}_count {}", histogram.count),
+        };
+    }
+    out
+}
+
+/// Renders a snapshot as pretty-printed JSON.
+///
+/// Infallible in practice: a [`Snapshot`] contains only maps of
+/// integers.
+pub fn json_text(snapshot: &Snapshot) -> String {
+    serde_json::to_string_pretty(snapshot).unwrap_or_else(|_| "{}".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{labeled, Registry};
+
+    #[test]
+    fn counters_and_gauges_render_with_type_headers() {
+        let registry = Registry::new();
+        registry.counter("requests_total").add(3);
+        registry.gauge("queue_depth").set(-2);
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 3"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth -2"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_header() {
+        let registry = Registry::new();
+        registry
+            .counter(&labeled("stage_total", &[("stage", "dedup")]))
+            .add(1);
+        registry
+            .counter(&labeled("stage_total", &[("stage", "filter")]))
+            .add(2);
+        let text = prometheus_text(&registry.snapshot());
+        assert_eq!(text.matches("# TYPE stage_total counter").count(), 1);
+        assert!(text.contains("stage_total{stage=\"dedup\"} 1"));
+        assert!(text.contains("stage_total{stage=\"filter\"} 2"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_nanos");
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("# TYPE lat_nanos histogram"));
+        assert!(text.contains("lat_nanos_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_nanos_bucket{le=\"3\"} 3"));
+        assert!(text.contains("lat_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_nanos_sum 7"));
+        assert!(text.contains("lat_nanos_count 3"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_le_into_label_set() {
+        let registry = Registry::new();
+        registry
+            .histogram(&labeled("stage_nanos", &[("stage", "enrich")]))
+            .record(5);
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("stage_nanos_bucket{stage=\"enrich\",le=\"7\"} 1"));
+        assert!(text.contains("stage_nanos_sum{stage=\"enrich\"} 5"));
+        assert!(text.contains("stage_nanos_count{stage=\"enrich\"} 1"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let registry = Registry::new();
+        registry.counter("a_total").inc();
+        registry.histogram("h").record(9);
+        let snapshot = registry.snapshot();
+        let text = json_text(&snapshot);
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snapshot);
+    }
+}

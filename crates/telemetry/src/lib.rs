@@ -1,0 +1,64 @@
+//! # cais-telemetry
+//!
+//! Workspace-wide observability for the CAIS platform: a lock-sharded
+//! metrics [`Registry`] (counters, gauges, log₂-bucketed latency
+//! histograms), a bounded ring-buffer span [`Tracer`], and two
+//! exposition formats — Prometheus-style text and a `serde_json`
+//! [`Snapshot`] — served over the workspace's length-prefixed TCP
+//! framing by [`TelemetryServer`].
+//!
+//! The paper's operational module exists to give analysts visibility
+//! into the intelligence pipeline; this crate gives the *platform
+//! itself* that visibility. Every other crate in the workspace records
+//! into a shared [`Registry`]: the ingestion pipeline its per-stage
+//! counts and latencies, the broker its publish/delivery traffic and
+//! queue depths, the MISP store its mutation counts, the feed
+//! scheduler its parse errors, and the dashboard its applied/decode
+//! counters.
+//!
+//! Two design rules keep the numbers trustworthy:
+//!
+//! - **Merge-exactness.** Counters and histograms merge by addition
+//!   ([`HistogramSnapshot::merge`] is associative and commutative), so
+//!   parallel-shard recorders fold into exactly the totals the serial
+//!   path produces. The pipeline's serial and parallel ingestion paths
+//!   are required (and property-tested) to yield identical counter
+//!   values.
+//! - **Single timing source.** Instrumented components feed existing
+//!   report structs (e.g. the pipeline's `StageMetrics`) from the same
+//!   recorders rather than timing twice, so the dashboard and the
+//!   scrape endpoint can never disagree.
+//!
+//! # Examples
+//!
+//! ```
+//! use cais_telemetry::{Registry, TelemetryServer, scrape, labeled};
+//!
+//! let registry = Registry::new();
+//! registry.counter("pipeline_rounds_total").inc();
+//! registry
+//!     .histogram(&labeled("stage_nanos", &[("stage", "dedup")]))
+//!     .record(12_345);
+//!
+//! let server = TelemetryServer::bind(registry, None, "127.0.0.1:0")?;
+//! let text = scrape(server.local_addr(), "prometheus")?;
+//! assert!(text.contains("pipeline_rounds_total 1"));
+//! assert!(text.contains("stage_nanos_count{stage=\"dedup\"} 1"));
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expose;
+pub mod registry;
+pub mod server;
+pub mod trace;
+
+pub use expose::{json_text, prometheus_text};
+pub use registry::{
+    label_value, labeled, split_labels, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    Snapshot,
+};
+pub use server::{scrape, TelemetryServer};
+pub use trace::{SpanGuard, TraceEvent, Tracer};

@@ -1,0 +1,592 @@
+//! The lock-sharded metrics registry.
+//!
+//! A [`Registry`] is a cheaply clonable handle to a set of named
+//! [`Counter`]s, [`Gauge`]s and log₂-bucketed latency [`Histogram`]s.
+//! Metric names are plain strings; a Prometheus-style label set is
+//! encoded into the name with [`labeled`] (`bus_published_total` +
+//! `topic=misp.event.created` → `bus_published_total{topic="misp.event.created"}`).
+//!
+//! Handle lookups shard the name space over independent locks so hot
+//! paths on different metrics never contend, and every handle is an
+//! `Arc` around atomics — callers cache handles once and record
+//! lock-free afterwards.
+//!
+//! Everything is **mergeable**: a [`HistogramSnapshot`] is a plain
+//! bucket vector that parallel-shard recorders can fold together (merge
+//! is associative and commutative, element-wise addition), so a
+//! sharded recording pass produces the exact totals the serial pass
+//! would.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Number of lock shards in a registry. A power of two so the hash
+/// masks cleanly.
+const SHARD_COUNT: usize = 16;
+
+/// Number of histogram buckets: bucket 0 holds zero, bucket *i* ≥ 1
+/// holds values whose bit length is *i* (`2^(i-1) ≤ v < 2^i`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying atomic; cache the handle and call
+/// [`Counter::inc`] / [`Counter::add`] lock-free.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A value that can go up and down (queue depths, live subscriber
+/// counts).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, batch sizes, payload bytes).
+///
+/// Recording is lock-free; the bucket of a sample is its bit length,
+/// so bucket boundaries are powers of two and a merge of two
+/// histograms is element-wise addition.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// The bucket index of a sample: 0 for 0, otherwise the bit length.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of a bucket (`2^i − 1`; bucket 0 is 0).
+    pub fn bucket_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.0.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Folds a snapshot recorded elsewhere (e.g. by a parallel worker's
+    /// local [`HistogramSnapshot`]) into this histogram. Because merge
+    /// is plain addition, any partitioning of the samples over workers
+    /// produces the exact totals the serial path would.
+    pub fn merge(&self, snapshot: &HistogramSnapshot) {
+        for (i, n) in snapshot.buckets.iter().enumerate() {
+            if *n > 0 {
+                self.0.buckets[i].fetch_add(*n, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(snapshot.count, Ordering::Relaxed);
+        self.0.sum.fetch_add(snapshot.sum, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// A plain (non-atomic) copy of a histogram, usable as a local recorder
+/// in a worker thread and foldable into other snapshots or a live
+/// [`Histogram`].
+///
+/// Trailing empty buckets are trimmed, so two snapshots of different
+/// lengths still merge correctly.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (bucket *i* as in [`Histogram::bucket_bound`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Records one sample into this local snapshot. The sum wraps on
+    /// overflow, matching [`Histogram::record`]'s atomic `fetch_add`,
+    /// so snapshot folds stay bit-identical to live recording.
+    pub fn record(&mut self, value: u64) {
+        let index = Histogram::bucket_index(value);
+        if self.buckets.len() <= index {
+            self.buckets.resize(index + 1, 0);
+        }
+        self.buckets[index] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Element-wise addition — associative and commutative, so any
+    /// fold order over worker-local snapshots yields the serial totals.
+    /// Sums wrap on overflow, like [`record`](Self::record).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: RwLock<HashMap<String, Counter>>,
+    gauges: RwLock<HashMap<String, Gauge>>,
+    histograms: RwLock<HashMap<String, Histogram>>,
+}
+
+/// A lock-sharded registry of named metrics.
+///
+/// Cloning shares the underlying storage — every component of a
+/// platform records into the same registry, and one
+/// [`Registry::snapshot`] sees them all.
+///
+/// # Examples
+///
+/// ```
+/// use cais_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let requests = registry.counter("requests_total");
+/// requests.inc();
+/// requests.add(2);
+/// assert_eq!(registry.snapshot().counters["requests_total"], 3);
+/// ```
+#[derive(Clone)]
+pub struct Registry {
+    shards: Arc<[Shard; SHARD_COUNT]>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            shards: Arc::new(std::array::from_fn(|_| Shard::default())),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let shard = self.shard(name);
+        if let Some(c) = shard.counters.read().get(name) {
+            return c.clone();
+        }
+        shard
+            .counters
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let shard = self.shard(name);
+        if let Some(g) = shard.gauges.read().get(name) {
+            return g.clone();
+        }
+        shard
+            .gauges
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let shard = self.shard(name);
+        if let Some(h) = shard.histograms.read().get(name) {
+            return h.clone();
+        }
+        shard
+            .histograms
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snapshot = Snapshot::default();
+        for shard in self.shards.iter() {
+            for (name, c) in shard.counters.read().iter() {
+                snapshot.counters.insert(name.clone(), c.get());
+            }
+            for (name, g) in shard.gauges.read().iter() {
+                snapshot.gauges.insert(name.clone(), g.get());
+            }
+            for (name, h) in shard.histograms.read().iter() {
+                snapshot.histograms.insert(name.clone(), h.snapshot());
+            }
+        }
+        snapshot
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
+        f.debug_struct("Registry")
+            .field("counters", &snapshot.counters.len())
+            .field("gauges", &snapshot.gauges.len())
+            .field("histograms", &snapshot.histograms.len())
+            .finish()
+    }
+}
+
+/// A serializable point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram contents by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds another snapshot into this one: counters and histograms
+    /// add (exact under any partitioning of the underlying events);
+    /// gauges are last-writer-wins, taking `other`'s value.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+}
+
+/// Encodes a label set into a metric name, Prometheus-style:
+/// `labeled("x_total", &[("stage", "dedup")])` → `x_total{stage="dedup"}`.
+///
+/// Labels must be passed in a fixed order — the returned string is the
+/// registry key, and `{a="1",b="2"}` and `{b="2",a="1"}` would be
+/// distinct metrics.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a metric name produced by [`labeled`] back into its base name
+/// and the raw label body (without braces); `None` when unlabeled.
+pub fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}')),
+        None => (name, None),
+    }
+}
+
+/// Extracts one label's value from a metric name produced by
+/// [`labeled`].
+pub fn label_value<'a>(name: &'a str, key: &str) -> Option<&'a str> {
+    let (_, labels) = split_labels(name);
+    for pair in labels?.split(',') {
+        let (k, v) = pair.split_once('=')?;
+        if k == key {
+            return Some(v.trim_matches('"'));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let registry = Registry::new();
+        let c = registry.counter("c_total");
+        c.inc();
+        registry.counter("c_total").add(4);
+        assert_eq!(c.get(), 5);
+        let g = registry.gauge("g");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(registry.gauge("g").get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(2), 3);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound covers it.
+        for v in [0u64, 1, 2, 3, 100, 1 << 40, u64::MAX] {
+            assert!(v <= Histogram::bucket_bound(Histogram::bucket_index(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let registry = Registry::new();
+        let h = registry.histogram("latency_nanos");
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(1_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1_010);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[3], 2); // 5 has bit length 3
+        assert_eq!(snap.buckets[10], 1); // 1000 has bit length 10
+        assert!((snap.mean() - 252.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_snapshot_folds_into_exact_totals() {
+        let serial = Histogram::default();
+        let sharded = Histogram::default();
+        let samples: Vec<u64> = (0..1_000).map(|i| i * 37 % 4_096).collect();
+        for &s in &samples {
+            serial.record(s);
+        }
+        // Two worker-local recorders over a partition of the samples.
+        let mut a = HistogramSnapshot::default();
+        let mut b = HistogramSnapshot::default();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+        }
+        sharded.merge(&a);
+        sharded.merge(&b);
+        assert_eq!(sharded.snapshot(), serial.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let a = Registry::new();
+        a.counter("x_total").add(2);
+        a.histogram("h").record(9);
+        let b = Registry::new();
+        b.counter("x_total").add(3);
+        b.counter("y_total").inc();
+        b.histogram("h").record(1);
+        b.gauge("depth").set(5);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["x_total"], 5);
+        assert_eq!(merged.counters["y_total"], 1);
+        assert_eq!(merged.gauges["depth"], 5);
+        assert_eq!(merged.histograms["h"].count, 2);
+        assert_eq!(merged.histograms["h"].sum, 10);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let name = labeled("bus_published_total", &[("topic", "misp.event.created")]);
+        assert_eq!(name, "bus_published_total{topic=\"misp.event.created\"}");
+        let (base, labels) = split_labels(&name);
+        assert_eq!(base, "bus_published_total");
+        assert_eq!(labels, Some("topic=\"misp.event.created\""));
+        assert_eq!(label_value(&name, "topic"), Some("misp.event.created"));
+        assert_eq!(label_value(&name, "other"), None);
+        assert_eq!(split_labels("plain"), ("plain", None));
+    }
+
+    #[test]
+    fn handles_are_shared_across_clones() {
+        let registry = Registry::new();
+        let clone = registry.clone();
+        registry.counter("shared_total").inc();
+        clone.counter("shared_total").inc();
+        assert_eq!(registry.snapshot().counters["shared_total"], 2);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let registry = Registry::new();
+        registry.counter("a_total").add(7);
+        registry.gauge("b").set(-2);
+        registry.histogram("c").record(100);
+        let snapshot = registry.snapshot();
+        let value = serde_json::to_value(&snapshot).unwrap();
+        let back: Snapshot = serde_json::from_value(value).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let registry = Registry::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let registry = registry.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = registry.counter("hits_total");
+                let h = registry.histogram("lat");
+                for i in 0..1_000 {
+                    c.inc();
+                    h.record(i);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(registry.counter("hits_total").get(), 4_000);
+        assert_eq!(registry.histogram("lat").count(), 4_000);
+    }
+}

@@ -1,0 +1,190 @@
+//! The TCP scrape endpoint.
+//!
+//! A [`TelemetryServer`] serves a [`Registry`] (and optionally a
+//! [`Tracer`]) over the workspace's length-prefixed framing
+//! ([`cais_common::frame`]) — the same wire format the bus bridge
+//! speaks, so one client implementation covers both. The protocol is
+//! strict request/response: the client sends one frame containing a
+//! JSON string command and receives one response frame.
+//!
+//! | command      | response frame                                  |
+//! |--------------|-------------------------------------------------|
+//! | `prometheus` | Prometheus text exposition (UTF-8)              |
+//! | `json`       | the JSON [`Snapshot`](crate::Snapshot)          |
+//! | `trace`      | the buffered `TraceEvent`s as a JSON array      |
+//!
+//! Unknown commands get a one-frame JSON error object and the
+//! connection stays open, so a curious `nc` probe can't wedge the
+//! endpoint.
+
+use std::io::{self};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use cais_common::frame::{read_frame, write_frame};
+
+use crate::expose;
+use crate::registry::Registry;
+use crate::trace::Tracer;
+
+/// A scrapeable telemetry endpoint over framed TCP.
+///
+/// # Examples
+///
+/// ```
+/// use cais_telemetry::{Registry, TelemetryServer, scrape};
+///
+/// let registry = Registry::new();
+/// registry.counter("up").inc();
+/// let server = TelemetryServer::bind(registry, None, "127.0.0.1:0")?;
+/// let text = scrape(server.local_addr(), "prometheus")?;
+/// assert!(text.contains("up 1"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct TelemetryServer {
+    local_addr: SocketAddr,
+}
+
+impl TelemetryServer {
+    /// Binds a listener and answers scrape requests for the lifetime
+    /// of the process. The accept loop runs on a background thread,
+    /// one thread per connection — scrapes are rare and short-lived.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind(registry: Registry, tracer: Option<Tracer>, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        thread::Builder::new()
+            .name("cais-telemetry-server".into())
+            .spawn(move || accept_loop(listener, registry, tracer))
+            .expect("spawn telemetry server thread");
+        Ok(TelemetryServer { local_addr })
+    }
+
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, tracer: Option<Tracer>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let registry = registry.clone();
+        let tracer = tracer.clone();
+        let _ = thread::Builder::new()
+            .name("cais-telemetry-conn".into())
+            .spawn(move || {
+                let _ = serve_client(stream, &registry, tracer.as_ref());
+            });
+    }
+}
+
+fn serve_client(
+    mut stream: TcpStream,
+    registry: &Registry,
+    tracer: Option<&Tracer>,
+) -> io::Result<()> {
+    loop {
+        let frame = read_frame(&mut stream)?;
+        let command: String = serde_json::from_slice(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let response = match command.as_str() {
+            "prometheus" => expose::prometheus_text(&registry.snapshot()).into_bytes(),
+            "json" => expose::json_text(&registry.snapshot()).into_bytes(),
+            "trace" => {
+                let events = tracer.map(|t| t.events()).unwrap_or_default();
+                serde_json::to_vec(&events)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            }
+            other => serde_json::to_vec(&serde_json::json!({
+                "error": format!("unknown command {other:?}"),
+                "commands": ["prometheus", "json", "trace"],
+            }))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+        };
+        write_frame(&mut stream, &response)?;
+    }
+}
+
+/// One-shot scrape: connects, sends `command`, returns the response
+/// frame as UTF-8 text.
+///
+/// # Errors
+///
+/// Returns connection or framing I/O errors, or `InvalidData` when the
+/// response is not UTF-8.
+pub fn scrape(addr: SocketAddr, command: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let frame =
+        serde_json::to_vec(command).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    write_frame(&mut stream, &frame)?;
+    let response = read_frame(&mut stream)?;
+    String::from_utf8(response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Snapshot;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn scrape_prometheus_and_json() {
+        let registry = Registry::new();
+        registry.counter("hits_total").add(5);
+        registry.histogram("lat").record(100);
+        let server = TelemetryServer::bind(registry.clone(), None, "127.0.0.1:0").unwrap();
+
+        let text = scrape(server.local_addr(), "prometheus").unwrap();
+        assert!(text.contains("hits_total 5"));
+        assert!(text.contains("lat_count 1"));
+
+        let json = scrape(server.local_addr(), "json").unwrap();
+        let snapshot: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, registry.snapshot());
+    }
+
+    #[test]
+    fn scrape_trace_buffer() {
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        tracer.event("boot", &[("phase", "test")]);
+        let server = TelemetryServer::bind(registry, Some(tracer.clone()), "127.0.0.1:0").unwrap();
+        let json = scrape(server.local_addr(), "trace").unwrap();
+        let events: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "boot");
+    }
+
+    #[test]
+    fn unknown_command_reports_error_and_connection_survives() {
+        let registry = Registry::new();
+        registry.counter("up").inc();
+        let server = TelemetryServer::bind(registry, None, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write_frame(&mut stream, &serde_json::to_vec("bogus").unwrap()).unwrap();
+        let response = read_frame(&mut stream).unwrap();
+        let value: serde_json::Value = serde_json::from_slice(&response).unwrap();
+        assert!(value["error"].as_str().unwrap().contains("bogus"));
+        // Same connection still answers real commands.
+        write_frame(&mut stream, &serde_json::to_vec("prometheus").unwrap()).unwrap();
+        let response = read_frame(&mut stream).unwrap();
+        assert!(String::from_utf8(response).unwrap().contains("up 1"));
+    }
+}

@@ -1,0 +1,244 @@
+//! A lightweight span/event tracer with a bounded ring-buffer
+//! recorder.
+//!
+//! A [`Tracer`] records two kinds of [`TraceEvent`]: instantaneous
+//! *events* ([`Tracer::event`]) and timed *spans* ([`Tracer::span`],
+//! whose guard records the elapsed nanoseconds when dropped). Both
+//! carry structured `key=value` fields. The recorder is a fixed-size
+//! ring buffer: the platform can trace every ingestion round forever
+//! and memory stays bounded, with the newest events winning.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cais_common::Timestamp;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default ring-buffer capacity.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// One recorded span or event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Span or event name, e.g. `ingest_round`.
+    pub name: String,
+    /// Wall-clock time the span ended / the event fired.
+    pub at: Timestamp,
+    /// Elapsed nanoseconds for spans; `None` for instantaneous events.
+    pub duration_nanos: Option<u64>,
+    /// Structured `key=value` fields.
+    pub fields: Vec<(String, String)>,
+}
+
+struct TracerInner {
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+/// A cheaply clonable tracer sharing one bounded recorder.
+///
+/// # Examples
+///
+/// ```
+/// use cais_telemetry::Tracer;
+///
+/// let tracer = Tracer::new();
+/// {
+///     let mut span = tracer.span("ingest_round");
+///     span.field("records", 128);
+///     // ... work ...
+/// } // duration recorded on drop
+/// let events = tracer.drain();
+/// assert_eq!(events[0].name, "ingest_round");
+/// assert!(events[0].duration_nanos.is_some());
+/// ```
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer with the default (1024-event) capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A tracer keeping at most `capacity` events; older events are
+    /// evicted first.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                events: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Starts a timed span; the elapsed time is recorded when the
+    /// returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.to_owned(),
+            started: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            at: Timestamp::now(),
+            duration_nanos: None,
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut events = self.inner.events.lock();
+        while events.len() >= self.inner.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the buffered events, oldest first, without clearing.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().iter().cloned().collect()
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().drain(..).collect()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("buffered", &self.len())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+/// A live span; records its duration into the tracer on drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    started: Instant,
+    fields: Vec<(String, String)>,
+}
+
+impl SpanGuard {
+    /// Attaches a `key=value` field to the span.
+    pub fn field(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.fields.push((key.to_owned(), value.to_string()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            at: Timestamp::now(),
+            duration_nanos: Some(self.started.elapsed().as_nanos() as u64),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_duration_and_fields() {
+        let tracer = Tracer::new();
+        {
+            let mut span = tracer.span("work");
+            span.field("records", 42);
+            span.field("path", "parallel");
+        }
+        let events = tracer.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        assert!(events[0].duration_nanos.is_some());
+        assert_eq!(
+            events[0].fields,
+            vec![
+                ("records".to_owned(), "42".to_owned()),
+                ("path".to_owned(), "parallel".to_owned())
+            ]
+        );
+        assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn event_has_no_duration() {
+        let tracer = Tracer::new();
+        tracer.event("decode_failure", &[("topic", "cais.rioc.published")]);
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].duration_nanos, None);
+        // events() does not clear.
+        assert_eq!(tracer.len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let tracer = Tracer::with_capacity(3);
+        for i in 0..5 {
+            tracer.event(&format!("e{i}"), &[]);
+        }
+        let names: Vec<_> = tracer.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let tracer = Tracer::new();
+        tracer.clone().event("shared", &[]);
+        assert_eq!(tracer.len(), 1);
+    }
+
+    #[test]
+    fn trace_event_serde_roundtrip() {
+        let tracer = Tracer::new();
+        tracer.event("e", &[("k", "v")]);
+        let events = tracer.events();
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`taxii`] | `cais-taxii` | TAXII-like sharing |
 //! | [`core`] | `cais-core` | ★ the paper's platform core |
 //! | [`dashboard`] | `cais-dashboard` | the output module |
+//! | [`telemetry`] | `cais-telemetry` | metrics registry, tracing, scrape endpoint |
 //!
 //! # Quickstart
 //!
@@ -70,3 +71,4 @@ pub use cais_misp as misp;
 pub use cais_nlp as nlp;
 pub use cais_stix as stix;
 pub use cais_taxii as taxii;
+pub use cais_telemetry as telemetry;

@@ -330,4 +330,94 @@ proptest! {
         );
         prop_assert!(ts.total() >= 0.0 && ts.total() <= 5.0 + 1e-9);
     }
+
+    /// Telemetry histogram merge is associative and commutative, and a
+    /// merged snapshot equals recording the concatenated samples — the
+    /// property that lets parallel shard recorders fold into exact
+    /// serial totals.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..20),
+        b in prop::collection::vec(any::<u64>(), 0..20),
+        c in prop::collection::vec(any::<u64>(), 0..20),
+    ) {
+        use cais::telemetry::HistogramSnapshot;
+
+        let fold = |samples: &[u64]| {
+            let mut h = HistogramSnapshot::default();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let (ha, hb, hc) = (fold(&a), fold(&b), fold(&c));
+
+        // Commutative: a ⊕ b == b ⊕ a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Merging equals recording the concatenation.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&ab_c, &fold(&all));
+        prop_assert_eq!(ab_c.count as usize, all.len());
+        prop_assert_eq!(ab_c.sum, all.iter().fold(0u64, |acc, &s| acc.wrapping_add(s)));
+    }
+}
+
+proptest! {
+    /// Serial and parallel ingestion of the same workload produce
+    /// identical telemetry counters — the observational-equivalence
+    /// guarantee of the sharded pipeline (see
+    /// `sharded_dedup_matches_sequential`), extended to the metrics
+    /// registry. Wall times and queue-depth gauges are sampled, so only
+    /// counters are compared.
+    #[test]
+    fn serial_and_parallel_ingestion_share_telemetry_counters(
+        values in prop::collection::vec("[a-d]{1,3}", 1..30),
+        workers in 1usize..5,
+    ) {
+        use cais::common::{Observable, ObservableKind};
+        use cais::core::Platform;
+        use cais::feeds::{FeedRecord, ThreatCategory};
+
+        let records = |now: Timestamp| -> Vec<FeedRecord> {
+            values
+                .iter()
+                .map(|v| {
+                    FeedRecord::new(
+                        Observable::new(ObservableKind::Domain, format!("{v}.example")),
+                        ThreatCategory::MalwareDomain,
+                        "feed",
+                        now.add_days(-1),
+                    )
+                })
+                .collect()
+        };
+
+        let mut serial = Platform::paper_use_case();
+        let serial_report = serial
+            .ingest_feed_records(records(serial.context().now))
+            .unwrap();
+        let mut parallel = Platform::paper_use_case();
+        let parallel_report = parallel
+            .ingest_feed_records_parallel(records(parallel.context().now), workers)
+            .unwrap();
+
+        prop_assert_eq!(serial_report.ciocs, parallel_report.ciocs);
+        let serial_counters = serial.telemetry().snapshot().counters;
+        let parallel_counters = parallel.telemetry().snapshot().counters;
+        prop_assert_eq!(serial_counters, parallel_counters, "workers={}", workers);
+    }
 }
