@@ -1,0 +1,67 @@
+//! Indexed reduction vs the retained linear-scan baseline on a
+//! synthetic 1k-node fleet.
+//!
+//! The indexed reducer runs the full 50k-eIoC population; the linear
+//! baseline runs a 5k prefix slice with its own element count, because
+//! at baseline speed the full population takes minutes per iteration
+//! under the harness. Both report `elem/s`, so the ≥5× acceptance
+//! criterion reads directly off the two throughput lines. Equivalence
+//! of the outputs is asserted once up front (and exhaustively by the
+//! `index_equivalence` proptest in `cais-infra`).
+
+use std::sync::Arc;
+
+use cais_bench::workloads;
+use cais_core::{EvaluationContext, Reducer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const NODES: usize = 1_000;
+const EIOCS: usize = 50_000;
+const LINEAR_SAMPLE: usize = 5_000;
+
+fn bench_reduce_scale(c: &mut Criterion) {
+    let ctx = EvaluationContext::paper_use_case();
+    let inventory = Arc::new(workloads::synthetic_inventory(42, NODES));
+    let population = workloads::reduce_eiocs(42, EIOCS, &ctx);
+
+    let indexed = Reducer::new(inventory.clone());
+    let linear = Reducer::linear_baseline(inventory);
+    for eioc in &population[..LINEAR_SAMPLE] {
+        assert_eq!(
+            indexed.reduce(eioc),
+            linear.reduce(eioc),
+            "indexed and linear reducers disagree"
+        );
+    }
+
+    let mut group = c.benchmark_group("reduce_scale");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(LINEAR_SAMPLE as u64));
+    group.bench_function(BenchmarkId::new("linear", LINEAR_SAMPLE), |b| {
+        b.iter(|| {
+            let mut riocs = 0usize;
+            for eioc in &population[..LINEAR_SAMPLE] {
+                riocs += usize::from(linear.reduce(black_box(eioc)).is_some());
+            }
+            black_box(riocs)
+        })
+    });
+
+    group.throughput(Throughput::Elements(EIOCS as u64));
+    group.bench_function(BenchmarkId::new("indexed", EIOCS), |b| {
+        b.iter(|| {
+            let mut riocs = 0usize;
+            for eioc in &population {
+                riocs += usize::from(indexed.reduce(black_box(eioc)).is_some());
+            }
+            black_box(riocs)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce_scale);
+criterion_main!(benches);

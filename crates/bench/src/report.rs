@@ -475,6 +475,80 @@ pub fn detection_replay() -> String {
     out
 }
 
+/// Measured inputs for [`reduce_bench_doc`], produced by the
+/// `reduce_json` binary (and reproducible via the `reduce_scale`
+/// criterion bench).
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceBenchMeasurement {
+    /// Fleet size of the synthetic inventory.
+    pub nodes: usize,
+    /// eIoCs pushed through the indexed reducer.
+    pub eiocs: usize,
+    /// eIoCs pushed through the linear baseline (a prefix slice; the
+    /// full population would take minutes at baseline speed).
+    pub linear_sample: usize,
+    /// Wall time of the indexed pass over all `eiocs`.
+    pub indexed_nanos: u64,
+    /// Wall time of the linear pass over `linear_sample` eIoCs.
+    pub linear_nanos: u64,
+    /// rIoCs the indexed pass produced.
+    pub riocs: usize,
+    /// Reducer cache stats after the indexed pass.
+    pub stats: cais_core::ReduceCacheStats,
+}
+
+impl ReduceBenchMeasurement {
+    /// Per-eIoC wall time of the indexed reducer.
+    pub fn indexed_nanos_per_eioc(&self) -> f64 {
+        self.indexed_nanos as f64 / self.eiocs.max(1) as f64
+    }
+
+    /// Per-eIoC wall time of the linear baseline.
+    pub fn linear_nanos_per_eioc(&self) -> f64 {
+        self.linear_nanos as f64 / self.linear_sample.max(1) as f64
+    }
+
+    /// Per-eIoC speedup of the index over the linear scan.
+    pub fn speedup(&self) -> f64 {
+        self.linear_nanos_per_eioc() / self.indexed_nanos_per_eioc().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The committed `BENCH_reduce.json` schema: workload shape, both
+/// passes' absolute and per-element timings, the derived speedup and
+/// the reducer's cache counters. CI uploads this as an artifact for
+/// trend tracking next to `BENCH_pipeline.json`.
+pub fn reduce_bench_doc(m: &ReduceBenchMeasurement) -> serde_json::Value {
+    serde_json::json!({
+        "benchmark": "reduce_json",
+        "workload": {
+            "nodes": m.nodes,
+            "eiocs": m.eiocs,
+            "linear_sample": m.linear_sample,
+        },
+        "indexed": {
+            "wall_nanos": m.indexed_nanos,
+            "nanos_per_eioc": m.indexed_nanos_per_eioc(),
+            "eiocs_per_sec": 1e9 / m.indexed_nanos_per_eioc().max(f64::MIN_POSITIVE),
+            "riocs": m.riocs,
+        },
+        "linear_baseline": {
+            "wall_nanos": m.linear_nanos,
+            "nanos_per_eioc": m.linear_nanos_per_eioc(),
+            "eiocs_per_sec": 1e9 / m.linear_nanos_per_eioc().max(f64::MIN_POSITIVE),
+        },
+        "speedup": m.speedup(),
+        "caches": {
+            "index_rebuilds": m.stats.index_rebuilds,
+            "cve_memo_hits": m.stats.cve_memo_hits,
+            "cve_memo_misses": m.stats.cve_memo_misses,
+            "match_memo_hits": m.stats.match_memo_hits,
+            "match_memo_misses": m.stats.match_memo_misses,
+            "match_memo_evictions": m.stats.match_memo_evictions,
+        },
+    })
+}
+
 /// Every section in order.
 pub fn full_report() -> String {
     [
@@ -529,5 +603,34 @@ mod tests {
         let t = table1();
         assert_eq!(t.matches('✓').count(), 3);
         assert_eq!(t.matches('✗').count(), 0);
+    }
+
+    #[test]
+    fn reduce_bench_doc_schema() {
+        let m = ReduceBenchMeasurement {
+            nodes: 1000,
+            eiocs: 50_000,
+            linear_sample: 5_000,
+            indexed_nanos: 50_000_000,
+            linear_nanos: 50_000_000,
+            riocs: 40_000,
+            stats: cais_core::ReduceCacheStats::default(),
+        };
+        let doc = reduce_bench_doc(&m);
+        assert_eq!(doc["benchmark"], "reduce_json");
+        assert_eq!(doc["workload"]["nodes"], 1000);
+        assert_eq!(doc["indexed"]["riocs"], 40_000);
+        // 1 µs/eIoC indexed vs 10 µs/eIoC linear → 10×.
+        assert!((doc["speedup"].as_f64().unwrap() - 10.0).abs() < 1e-9);
+        for key in [
+            "index_rebuilds",
+            "cve_memo_hits",
+            "cve_memo_misses",
+            "match_memo_hits",
+            "match_memo_misses",
+            "match_memo_evictions",
+        ] {
+            assert!(doc["caches"].get(key).is_some(), "missing caches.{key}");
+        }
     }
 }

@@ -1,9 +1,14 @@
 //! Reusable benchmark workloads.
 
 use cais_common::{Observable, ObservableKind, Timestamp};
+use cais_core::enrich::Enricher;
+use cais_core::ioc::{ComposedIoc, EnrichedIoc};
 use cais_core::{EvaluationContext, Platform};
 use cais_feeds::synth::{SyntheticConfig, SyntheticFeedSet};
 use cais_feeds::{FeedRecord, ThreatCategory};
+use cais_infra::inventory::{Inventory, NodeType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A fresh platform over the paper's use-case context.
 pub fn platform() -> Platform {
@@ -58,6 +63,126 @@ pub fn advisory_stream(
         .collect()
 }
 
+/// Software names installed across the synthetic fleet — the same
+/// pool the reduce workload's descriptions mention, so matches really
+/// happen. Mixed single- and multi-word names exercise both subset
+/// directions of the word matcher.
+const PRODUCT_POOL: &[&str] = &[
+    "apache struts",
+    "apache",
+    "apache storm",
+    "apache zookeeper",
+    "apache kafka",
+    "gitlab",
+    "gitlab runner",
+    "owncloud",
+    "nextcloud",
+    "snort",
+    "suricata",
+    "ossec",
+    "wazuh agent",
+    "nginx",
+    "haproxy",
+    "postgresql",
+    "mysql server",
+    "redis",
+    "memcached",
+    "rabbitmq",
+    "elasticsearch",
+    "kibana",
+    "logstash",
+    "grafana",
+    "prometheus node exporter",
+    "docker engine",
+    "kubernetes kubelet",
+    "openssh server",
+    "openssl",
+    "php",
+    "python runtime",
+    "nodejs",
+    "tomcat",
+    "jenkins",
+    "wordpress",
+    "drupal core",
+    "samba",
+    "bind dns",
+    "postfix",
+    "squid proxy",
+];
+
+const OS_POOL: &[&str] = &["ubuntu", "debian", "centos", "alpine", "freebsd"];
+
+/// A synthetic fleet of `nodes` machines with 4–9 applications each,
+/// drawn from [`PRODUCT_POOL`], plus the paper's `linux` common
+/// keyword. Seeded and deterministic.
+pub fn synthetic_inventory(seed: u64, nodes: usize) -> Inventory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = Inventory::builder();
+    for i in 0..nodes {
+        let os = OS_POOL[rng.gen_range(0..OS_POOL.len())];
+        let node_type = if i % 4 == 0 {
+            NodeType::Workstation
+        } else {
+            NodeType::Server
+        };
+        let mut node = builder.node(format!("fleet-{i}"), node_type, os);
+        node.ip(format!("10.{}.{}.{}", i / 65536, (i / 256) % 256, i % 256));
+        node.network("LAN");
+        let app_count = rng.gen_range(4..10);
+        for _ in 0..app_count {
+            node.application(PRODUCT_POOL[rng.gen_range(0..PRODUCT_POOL.len())]);
+        }
+    }
+    builder.common_keyword("linux");
+    builder.build()
+}
+
+/// `count` enriched vulnerability IoCs whose descriptions mention pool
+/// products (with realistic repetition — feeds re-report the same
+/// products constantly), a slice of common-keyword advisories and a
+/// slice that matches nothing. CVE ids cycle the context's database so
+/// an attached-database reducer exercises its record memo.
+pub fn reduce_eiocs(seed: u64, count: usize, ctx: &EvaluationContext) -> Vec<EnrichedIoc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cve_ids: Vec<String> = ctx.cve_db.iter().map(|r| r.id.to_string()).collect();
+    let enricher = Enricher::new(ctx.clone());
+    let templates = [
+        "remote code execution in {}",
+        "critical deserialization flaw reported in {}",
+        "active exploitation of {} instances observed",
+        "{} authentication bypass under attack",
+    ];
+    (0..count)
+        .map(|i| {
+            let roll = rng.gen_range(0u32..100);
+            let description = if roll < 80 {
+                let product = PRODUCT_POOL[rng.gen_range(0..PRODUCT_POOL.len())];
+                let template = templates[rng.gen_range(0..templates.len())];
+                template.replace("{}", product)
+            } else if roll < 85 {
+                "kernel privilege escalation affecting linux distributions".to_owned()
+            } else {
+                format!("advisory {i} for an appliance nobody in the fleet runs")
+            };
+            let cve = &cve_ids[rng.gen_range(0..cve_ids.len())];
+            let record = FeedRecord::new(
+                Observable::new(ObservableKind::Cve, cve),
+                ThreatCategory::VulnerabilityExploitation,
+                "nvd-feed",
+                ctx.now.add_days(-rng.gen_range(1i64..120)),
+            )
+            .with_cve(cve)
+            .with_description(description);
+            let cioc = ComposedIoc::new(
+                ThreatCategory::VulnerabilityExploitation,
+                vec![record],
+                ctx.now,
+            );
+            enricher.enrich(cioc)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +196,31 @@ mod tests {
         assert_eq!(a, b);
         let advisories = advisory_stream(1, 50, 0.5, p.context());
         assert!(!advisories.is_empty());
+    }
+
+    #[test]
+    fn synthetic_inventory_is_seeded_and_normalized() {
+        let a = synthetic_inventory(7, 100);
+        let b = synthetic_inventory(7, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.nodes().all(|n| n
+            .applications
+            .iter()
+            .all(|app| *app == app.to_ascii_lowercase())));
+        assert!(a.match_application("linux").is_common_keyword());
+    }
+
+    #[test]
+    fn reduce_eiocs_mix_matching_and_nonmatching() {
+        let ctx = EvaluationContext::paper_use_case();
+        let eiocs = reduce_eiocs(7, 200, &ctx);
+        assert_eq!(eiocs.len(), 200);
+        let inventory = std::sync::Arc::new(synthetic_inventory(7, 50));
+        let reducer = cais_core::Reducer::new(inventory);
+        let matched = eiocs.iter().filter(|e| reducer.reduce(e).is_some()).count();
+        // Most descriptions mention fleet software; some match nothing.
+        assert!(matched > 100, "only {matched}/200 matched");
+        assert!(matched < 200, "all {matched}/200 matched");
     }
 }

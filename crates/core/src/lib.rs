@@ -55,5 +55,5 @@ pub use heuristics::{FeatureValue, HeuristicKind, WeightScheme};
 pub use ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
 pub use metrics::{StageMetrics, StageRecord};
 pub use pipeline::{Platform, PlatformConfig, PlatformReport};
-pub use reduce::Reducer;
+pub use reduce::{ReduceCacheStats, Reducer};
 pub use telemetry::PipelineInstruments;

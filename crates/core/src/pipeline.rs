@@ -247,6 +247,12 @@ impl Platform {
         &self.eiocs
     }
 
+    /// The reducer's cache-effectiveness snapshot (also published as
+    /// `reduce_*` gauges after every ingest round).
+    pub fn reduce_cache_stats(&self) -> crate::reduce::ReduceCacheStats {
+        self.reducer.stats()
+    }
+
     /// Runs one OSINT ingestion round: dedup → aggregate/correlate →
     /// store in MISP → heuristic analysis → eIoC write-back →
     /// reduction → dashboard publication.
@@ -325,6 +331,7 @@ impl Platform {
         report.stages = stages;
         span.field("riocs", report.riocs);
         self.instruments.record_round(&report);
+        self.instruments.record_reduce_caches(&self.reducer.stats());
         self.broker.sample_queue_depths();
         Ok(report)
     }
@@ -504,6 +511,7 @@ impl Platform {
         report.stages = stages;
         span.field("riocs", report.riocs);
         self.instruments.record_round(&report);
+        self.instruments.record_reduce_caches(&self.reducer.stats());
         self.broker.sample_queue_depths();
         Ok(report)
     }

@@ -15,10 +15,11 @@
 //! registry counters for the same input, a property the workspace
 //! tests enforce.
 
-use cais_telemetry::{labeled, Counter, Histogram, Registry};
+use cais_telemetry::{labeled, Counter, Gauge, Histogram, Registry};
 
 use crate::metrics::{StageMetrics, StageRecord};
 use crate::pipeline::PlatformReport;
+use crate::reduce::ReduceCacheStats;
 
 /// Cached handles for one stage's counters and latency histogram.
 struct StageInstruments {
@@ -61,6 +62,46 @@ pub struct PipelineInstruments {
     riocs: Counter,
     round_nanos: Histogram,
     stages: Vec<(&'static str, StageInstruments)>,
+    reduce_caches: ReduceCacheInstruments,
+}
+
+/// Gauges mirroring the reducer's cache-effectiveness snapshot.
+///
+/// Gauges, not counters, on purpose: memo hit/miss splits depend on
+/// thread interleaving in the parallel ingest path (two workers can
+/// race to the same uncached candidate list), so they sit outside the
+/// serial==parallel counter-determinism contract the workspace tests
+/// enforce. Each round overwrites them with the latest snapshot.
+struct ReduceCacheInstruments {
+    index_rebuilds: Gauge,
+    cve_memo_hits: Gauge,
+    cve_memo_misses: Gauge,
+    match_memo_hits: Gauge,
+    match_memo_misses: Gauge,
+    match_memo_evictions: Gauge,
+}
+
+impl ReduceCacheInstruments {
+    fn new(registry: &Registry) -> Self {
+        ReduceCacheInstruments {
+            index_rebuilds: registry.gauge("reduce_index_rebuilds"),
+            cve_memo_hits: registry.gauge("reduce_cve_memo_hits"),
+            cve_memo_misses: registry.gauge("reduce_cve_memo_misses"),
+            match_memo_hits: registry.gauge("reduce_match_memo_hits"),
+            match_memo_misses: registry.gauge("reduce_match_memo_misses"),
+            match_memo_evictions: registry.gauge("reduce_match_memo_evictions"),
+        }
+    }
+
+    fn record(&self, stats: &ReduceCacheStats) {
+        self.index_rebuilds.set(stats.index_rebuilds as i64);
+        self.cve_memo_hits.set(stats.cve_memo_hits as i64);
+        self.cve_memo_misses.set(stats.cve_memo_misses as i64);
+        self.match_memo_hits.set(stats.match_memo_hits as i64);
+        self.match_memo_misses.set(stats.match_memo_misses as i64);
+        self.match_memo_evictions
+            .set(stats.match_memo_evictions as i64);
+    }
 }
 
 impl PipelineInstruments {
@@ -83,7 +124,14 @@ impl PipelineInstruments {
             riocs: registry.counter("pipeline_riocs_total"),
             round_nanos: registry.histogram("pipeline_round_nanos"),
             stages,
+            reduce_caches: ReduceCacheInstruments::new(registry),
         }
+    }
+
+    /// Publishes the reducer's cache snapshot as gauges; called by both
+    /// ingest paths after [`PipelineInstruments::record_round`].
+    pub fn record_reduce_caches(&self, stats: &ReduceCacheStats) {
+        self.reduce_caches.record(stats);
     }
 
     /// Folds one finished round into the registry. Counter values
@@ -150,5 +198,27 @@ mod tests {
         let dedup_nanos = labeled("pipeline_stage_nanos", &[("stage", "dedup")]);
         assert_eq!(snapshot.histograms[&dedup_nanos].count, 2);
         assert_eq!(snapshot.histograms[&dedup_nanos].sum, 3_000);
+    }
+
+    #[test]
+    fn reduce_cache_stats_land_as_gauges() {
+        let registry = Registry::new();
+        let instruments = PipelineInstruments::new(&registry);
+        let stats = ReduceCacheStats {
+            cve_memo_hits: 5,
+            cve_memo_misses: 2,
+            match_memo_hits: 40,
+            match_memo_misses: 8,
+            match_memo_evictions: 1,
+            index_rebuilds: 3,
+        };
+        instruments.record_reduce_caches(&stats);
+        // Gauges overwrite, not accumulate: a second snapshot wins.
+        instruments.record_reduce_caches(&stats);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauges["reduce_match_memo_hits"], 40);
+        assert_eq!(snapshot.gauges["reduce_index_rebuilds"], 3);
+        assert_eq!(snapshot.gauges["reduce_cve_memo_misses"], 2);
+        assert_eq!(snapshot.gauges["reduce_match_memo_evictions"], 1);
     }
 }

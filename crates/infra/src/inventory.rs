@@ -6,11 +6,24 @@
 //! (Section III-C1), and the use case pins the exact inventory in Table
 //! III, including the rule that "if the match is with a common keyword
 //! (e.g., Linux), the new rIoC is associated with all nodes".
+//!
+//! Matching runs over a lazily built, generation-versioned
+//! [`MatchIndex`] (see [`crate::index`]): installed names are tokenized
+//! once, and each lookup is a few hash probes plus bitset unions
+//! instead of a nodes × applications scan. The pre-index linear scan is
+//! retained as [`Inventory::match_application_linear`] /
+//! [`Inventory::match_any_linear`] — the reference implementation that
+//! the `index_equivalence` proptest and the `reduce_scale` benchmark
+//! compare against.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
+
+use crate::index::MatchIndex;
 
 /// A stable node identifier within an inventory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -68,6 +81,15 @@ impl Node {
     }
 }
 
+/// The canonical form every inventory name is stored in: trimmed and
+/// ASCII-lowercased. All construction paths — the builder, mutation
+/// methods and deserialization — normalize through here, so the `Node`
+/// docs' "lowercase" promise holds no matter how the inventory was
+/// built, and matchers never re-normalize the installed side.
+pub(crate) fn normalize_name(name: &str) -> String {
+    name.trim().to_ascii_lowercase()
+}
+
 /// Whether one name's words are a subset of the other's.
 fn words_overlap(a: &str, b: &str) -> bool {
     if a == b {
@@ -89,6 +111,14 @@ pub struct ApplicationMatch {
 }
 
 impl ApplicationMatch {
+    /// Assembles a match result (node ids must be ascending).
+    pub(crate) fn from_parts(node_ids: Vec<NodeId>, common_keyword: bool) -> Self {
+        ApplicationMatch {
+            node_ids,
+            common_keyword,
+        }
+    }
+
     /// Nodes the application matched (all nodes for a common keyword).
     pub fn node_ids(&self) -> &[NodeId] {
         &self.node_ids
@@ -105,15 +135,90 @@ impl ApplicationMatch {
     }
 }
 
+/// Lazily built index state: rebuilt on first use after every
+/// mutation, with a monotone rebuild counter surviving invalidations
+/// (surfaced as the `reduce_index_rebuilds` telemetry gauge).
+#[derive(Debug, Default)]
+struct IndexCell {
+    built: OnceLock<MatchIndex>,
+    rebuilds: AtomicU64,
+}
+
+/// Serialized form of [`Inventory`]: the data, without the index cache
+/// or generation counter. Deserialization re-normalizes every name, so
+/// mixed-case inventories loaded from JSON match correctly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct InventoryWire {
+    nodes: BTreeMap<NodeId, Node>,
+    common_keywords: Vec<String>,
+}
+
 /// The inventory of the monitored infrastructure.
 ///
 /// Construct with [`Inventory::builder`] or use the paper's Table III
-/// fixture via [`Inventory::paper_table3`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+/// fixture via [`Inventory::paper_table3`]. Mutating methods
+/// ([`Inventory::add_node`], [`Inventory::install_application`],
+/// [`Inventory::add_common_keyword`]) bump a generation counter and
+/// drop the cached [`MatchIndex`], which rebuilds lazily on the next
+/// match.
+#[derive(Debug, Default, Serialize, Deserialize)]
+#[serde(try_from = "InventoryWire", into = "InventoryWire")]
 pub struct Inventory {
     nodes: BTreeMap<NodeId, Node>,
     /// Keywords that match *all* nodes (Table III's "All Nodes: linux").
     common_keywords: Vec<String>,
+    /// Bumped by every mutation; lets long-lived consumers (for
+    /// example the reducer's match memo) detect staleness cheaply.
+    generation: u64,
+    cache: IndexCell,
+}
+
+impl Clone for Inventory {
+    fn clone(&self) -> Self {
+        Inventory {
+            nodes: self.nodes.clone(),
+            common_keywords: self.common_keywords.clone(),
+            generation: self.generation,
+            cache: IndexCell::default(),
+        }
+    }
+}
+
+impl PartialEq for Inventory {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.common_keywords == other.common_keywords
+    }
+}
+
+impl From<Inventory> for InventoryWire {
+    fn from(inventory: Inventory) -> Self {
+        InventoryWire {
+            nodes: inventory.nodes,
+            common_keywords: inventory.common_keywords,
+        }
+    }
+}
+
+// A `From` impl (normalization cannot fail); serde's `try_from` path
+// uses the blanket `TryFrom` with `Infallible` as the error.
+impl From<InventoryWire> for Inventory {
+    fn from(mut wire: InventoryWire) -> Self {
+        for node in wire.nodes.values_mut() {
+            for app in &mut node.applications {
+                *app = normalize_name(app);
+            }
+            node.operating_system = normalize_name(&node.operating_system);
+        }
+        for keyword in &mut wire.common_keywords {
+            *keyword = normalize_name(keyword);
+        }
+        Inventory {
+            nodes: wire.nodes,
+            common_keywords: wire.common_keywords,
+            generation: 0,
+            cache: IndexCell::default(),
+        }
+    }
 }
 
 impl Inventory {
@@ -196,10 +301,106 @@ impl Inventory {
         &self.common_keywords
     }
 
+    /// The mutation generation: starts at 0 and increments on every
+    /// [`Inventory::add_node`], [`Inventory::install_application`] or
+    /// [`Inventory::add_common_keyword`]. Consumers caching derived
+    /// state compare generations instead of deep-comparing contents.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How many times the match index has been (re)built over this
+    /// inventory's lifetime.
+    pub fn index_rebuilds(&self) -> u64 {
+        self.cache.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// The tokenized inverted match index for the current generation,
+    /// built on first use and after every mutation.
+    pub fn index(&self) -> &MatchIndex {
+        self.cache.built.get_or_init(|| {
+            self.cache.rebuilds.fetch_add(1, Ordering::Relaxed);
+            MatchIndex::build(self)
+        })
+    }
+
+    /// Adds a node after construction, returning its id. Bumps the
+    /// generation and invalidates the match index.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        node_type: NodeType,
+        operating_system: impl Into<String>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.keys().next_back().map_or(0, |n| n.0) + 1);
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                name: name.into(),
+                node_type,
+                applications: Vec::new(),
+                operating_system: normalize_name(&operating_system.into()),
+                ip_addresses: Vec::new(),
+                networks: Vec::new(),
+            },
+        );
+        self.invalidate();
+        id
+    }
+
+    /// Installs an application on an existing node, returning whether
+    /// the node exists. Bumps the generation and invalidates the match
+    /// index.
+    pub fn install_application(&mut self, id: NodeId, application: impl Into<String>) -> bool {
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return false;
+        };
+        node.applications.push(normalize_name(&application.into()));
+        self.invalidate();
+        true
+    }
+
+    /// Registers a keyword that matches every node. Bumps the
+    /// generation and invalidates the match index.
+    pub fn add_common_keyword(&mut self, keyword: impl Into<String>) {
+        self.common_keywords.push(normalize_name(&keyword.into()));
+        self.invalidate();
+    }
+
+    /// Drops the cached index and bumps the generation; the rebuild
+    /// counter carries over so telemetry sees every build.
+    fn invalidate(&mut self) {
+        self.generation += 1;
+        let rebuilds = self.cache.rebuilds.load(Ordering::Relaxed);
+        self.cache = IndexCell {
+            built: OnceLock::new(),
+            rebuilds: AtomicU64::new(rebuilds),
+        };
+    }
+
     /// Matches an application or keyword against the inventory,
     /// implementing the paper's three-way rule: no match → empty;
     /// common keyword → all nodes; otherwise → the owning nodes.
+    ///
+    /// Served by the [`MatchIndex`]; equivalent to
+    /// [`Inventory::match_application_linear`] on every input.
     pub fn match_application(&self, application: &str) -> ApplicationMatch {
+        self.index().match_application(application)
+    }
+
+    /// Matches several candidate names at once, unioning the results
+    /// (used when an IoC lists multiple affected applications/OSes).
+    pub fn match_any<S: AsRef<str>>(&self, candidates: &[S]) -> ApplicationMatch {
+        self.index().match_any(candidates)
+    }
+
+    /// The pre-index reference matcher: a linear scan over nodes ×
+    /// installed names with per-call word splitting. Kept as the
+    /// behavioural baseline for the `index_equivalence` proptest and
+    /// the `reduce_scale` benchmark; production paths use
+    /// [`Inventory::match_application`].
+    pub fn match_application_linear(&self, application: &str) -> ApplicationMatch {
         let needle = application.trim().to_ascii_lowercase();
         if self.common_keywords.contains(&needle) {
             return ApplicationMatch {
@@ -219,13 +420,13 @@ impl Inventory {
         }
     }
 
-    /// Matches several candidate names at once, unioning the results
-    /// (used when an IoC lists multiple affected applications/OSes).
-    pub fn match_any(&self, candidates: &[String]) -> ApplicationMatch {
+    /// Linear-scan union matcher; the reference implementation of
+    /// [`Inventory::match_any`].
+    pub fn match_any_linear<S: AsRef<str>>(&self, candidates: &[S]) -> ApplicationMatch {
         let mut node_ids: Vec<NodeId> = Vec::new();
         let mut common = false;
         for candidate in candidates {
-            let m = self.match_application(candidate);
+            let m = self.match_application_linear(candidate.as_ref());
             common |= m.is_common_keyword();
             for id in m.node_ids() {
                 if !node_ids.contains(id) {
@@ -240,16 +441,16 @@ impl Inventory {
         }
     }
 
-    /// Every distinct application name installed anywhere.
+    /// Every distinct application name installed anywhere, sorted
+    /// (operating systems excluded). Served by the index, so repeated
+    /// calls — the reducer scans this list per description — do not
+    /// re-collect or re-sort.
     pub fn all_applications(&self) -> Vec<&str> {
-        let mut apps: Vec<&str> = self
-            .nodes
-            .values()
-            .flat_map(|n| n.applications.iter().map(String::as_str))
-            .collect();
-        apps.sort_unstable();
-        apps.dedup();
-        apps
+        self.index()
+            .application_names()
+            .iter()
+            .map(String::as_str)
+            .collect()
     }
 }
 
@@ -277,7 +478,7 @@ impl InventoryBuilder {
                 name: name.into(),
                 node_type,
                 applications: Vec::new(),
-                operating_system: operating_system.into().to_ascii_lowercase(),
+                operating_system: normalize_name(&operating_system.into()),
                 ip_addresses: Vec::new(),
                 networks: Vec::new(),
             },
@@ -291,7 +492,7 @@ impl InventoryBuilder {
     pub fn common_keyword(&mut self, keyword: impl Into<String>) -> &mut Self {
         self.inventory
             .common_keywords
-            .push(keyword.into().to_ascii_lowercase());
+            .push(normalize_name(&keyword.into()));
         self
     }
 
@@ -312,7 +513,7 @@ impl NodeBuilder<'_> {
     pub fn application(&mut self, application: impl Into<String>) -> &mut Self {
         self.node
             .applications
-            .push(application.into().to_ascii_lowercase());
+            .push(normalize_name(&application.into()));
         self
     }
 
@@ -392,6 +593,13 @@ mod tests {
     }
 
     #[test]
+    fn match_any_accepts_borrowed_candidates() {
+        let inv = Inventory::paper_table3();
+        let m = inv.match_any(&["apache", "gitlab"]);
+        assert_eq!(m.node_ids(), &[NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
     fn node_by_ip() {
         let inv = Inventory::paper_table3();
         assert_eq!(inv.node_by_ip("192.168.1.12").unwrap().name, "GitLab");
@@ -419,5 +627,91 @@ mod tests {
         let apps = inv.all_applications();
         // "snort" appears on 3 nodes but once in the list.
         assert_eq!(apps.iter().filter(|a| **a == "snort").count(), 1);
+    }
+
+    #[test]
+    fn builder_normalizes_case_and_whitespace() {
+        // Regression: the Node docs promise lowercase fields, so
+        // mixed-case inventory entries must still match.
+        let mut builder = Inventory::builder();
+        builder
+            .node("dev", NodeType::Server, "  Debian  ")
+            .application("Apache Struts");
+        let mut builder2 = builder;
+        builder2.common_keyword(" LINUX ");
+        let inv = builder2.build();
+        let node = inv.nodes().next().unwrap();
+        assert_eq!(node.applications, vec!["apache struts".to_owned()]);
+        assert_eq!(node.operating_system, "debian");
+        assert_eq!(inv.common_keywords(), &["linux".to_owned()]);
+        assert!(inv.match_application("apache struts").is_match());
+        assert!(inv.match_application_linear("apache struts").is_match());
+        assert!(inv.match_application("Linux").is_common_keyword());
+    }
+
+    #[test]
+    fn deserialized_mixed_case_inventory_matches() {
+        // Regression: an inventory loaded from JSON with mixed-case
+        // entries is normalized on deserialization, so "Apache Struts"
+        // installed matches the candidate "apache struts" in both the
+        // indexed and linear matchers.
+        let json = serde_json::json!({
+            "nodes": {
+                "7": {
+                    "id": 7,
+                    "name": "legacy",
+                    "node_type": "server",
+                    "applications": ["Apache Struts", "  GitLab "],
+                    "operating_system": "Ubuntu",
+                    "ip_addresses": [],
+                    "networks": [],
+                }
+            },
+            "common_keywords": ["Linux"],
+        });
+        let inv: Inventory = serde_json::from_value(json).unwrap();
+        assert_eq!(
+            inv.match_application("apache struts").node_ids(),
+            &[NodeId(7)]
+        );
+        assert_eq!(
+            inv.match_application_linear("apache struts").node_ids(),
+            &[NodeId(7)]
+        );
+        assert!(inv.match_application("ubuntu").is_match());
+        assert!(inv.match_application("linux").is_common_keyword());
+    }
+
+    #[test]
+    fn mutation_bumps_generation_and_rebuilds_index() {
+        let mut inv = Inventory::paper_table3();
+        assert_eq!(inv.generation(), 0);
+        assert_eq!(inv.index_rebuilds(), 0);
+        assert!(!inv.match_application("redis").is_match());
+        assert_eq!(inv.index_rebuilds(), 1);
+
+        assert!(inv.install_application(NodeId(1), "Redis"));
+        assert_eq!(inv.generation(), 1);
+        // The index rebuilds lazily and now sees the new application.
+        assert_eq!(inv.match_application("redis").node_ids(), &[NodeId(1)]);
+        assert_eq!(inv.index_rebuilds(), 2);
+
+        let id = inv.add_node("edge", NodeType::Workstation, "Alpine");
+        assert!(inv.install_application(id, "nginx"));
+        inv.add_common_keyword("Posix");
+        assert_eq!(inv.generation(), 4);
+        assert_eq!(inv.match_application("nginx").node_ids(), &[id]);
+        assert!(inv.match_application("POSIX").is_common_keyword());
+        assert!(!inv.install_application(NodeId(99), "ghost"));
+    }
+
+    #[test]
+    fn clone_rebuilds_its_own_index() {
+        let inv = Inventory::paper_table3();
+        let _ = inv.match_application("apache");
+        let cloned = inv.clone();
+        assert_eq!(cloned.index_rebuilds(), 0);
+        assert_eq!(cloned.match_application("apache").node_ids(), &[NodeId(4)]);
+        assert_eq!(cloned, inv);
     }
 }

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod alarm;
+pub mod index;
 pub mod inventory;
 pub mod sensors;
 pub mod sightings;
 pub mod topology;
 
 pub use alarm::{Alarm, AlarmSeverity};
+pub use index::MatchIndex;
 pub use inventory::{ApplicationMatch, Inventory, Node, NodeId, NodeType};
 pub use sightings::SightingStore;
 pub use topology::{LinkKind, Topology};

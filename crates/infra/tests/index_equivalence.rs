@@ -1,0 +1,117 @@
+//! Property test: the tokenized inverted index ([`MatchIndex`]) is
+//! observationally equivalent to the retained linear-scan matcher on
+//! arbitrary inventories and candidates — same node sets, same
+//! common-keyword flag — including the awkward edges: mixed case,
+//! whitespace-only names, multi-word subsets in both directions,
+//! unknown tokens and common keywords.
+
+use cais_infra::inventory::{Inventory, NodeType};
+use proptest::prelude::*;
+
+/// A small shared vocabulary so installed names and candidates
+/// actually collide: single words, multi-word names that are word
+/// supersets/subsets of each other, mixed case, and degenerate
+/// whitespace entries.
+const NAMES: &[&str] = &[
+    "apache",
+    "apache struts",
+    "Apache Struts rce",
+    "struts",
+    "gitlab",
+    "GitLab runner",
+    "ubuntu",
+    "Debian",
+    "linux",
+    "snort suricata",
+    "suricata",
+    "owncloud",
+    "",
+    "   ",
+    "zookeeper apache",
+];
+
+fn name() -> impl Strategy<Value = String> {
+    prop::sample::select(NAMES.to_vec()).prop_map(str::to_owned)
+}
+
+/// An inventory of 0..6 nodes with 0..4 applications each, plus 0..2
+/// common keywords drawn from the same vocabulary.
+fn inventory() -> impl Strategy<Value = Inventory> {
+    let node = (
+        prop::sample::select(NAMES.to_vec()).prop_map(str::to_owned),
+        prop::collection::vec(name(), 0..4),
+    );
+    (
+        prop::collection::vec(node, 0..6),
+        prop::collection::vec(name(), 0..2),
+    )
+        .prop_map(|(nodes, keywords)| {
+            let mut builder = Inventory::builder();
+            for (os, apps) in nodes {
+                let mut nb = builder.node("n", NodeType::Server, os);
+                for app in apps {
+                    nb.application(app);
+                }
+            }
+            for kw in keywords {
+                builder.common_keyword(kw);
+            }
+            builder.build()
+        })
+}
+
+/// Candidates: the vocabulary plus unknown tokens and mixed
+/// known/unknown multi-words.
+const EXTRA_CANDIDATES: &[&str] = &["nonexistent", "apache nonexistent", "APACHE   STRUTS"];
+
+fn candidates() -> impl Strategy<Value = Vec<String>> {
+    let pool: Vec<String> = NAMES
+        .iter()
+        .chain(EXTRA_CANDIDATES)
+        .map(|s| (*s).to_owned())
+        .collect();
+    prop::collection::vec(prop::sample::select(pool), 0..5)
+}
+
+proptest! {
+    /// `match_application` agrees with the linear scan on every
+    /// candidate drawn from the vocabulary.
+    #[test]
+    fn match_application_equals_linear(inv in inventory(), cand in candidates()) {
+        for c in &cand {
+            let indexed = inv.match_application(c);
+            let linear = inv.match_application_linear(c);
+            prop_assert_eq!(
+                indexed, linear,
+                "candidate {:?} over inventory of {} nodes", c, inv.len()
+            );
+        }
+    }
+
+    /// `match_any` (the reducer's entry point) agrees with the linear
+    /// union matcher on whole candidate lists.
+    #[test]
+    fn match_any_equals_linear(inv in inventory(), cand in candidates()) {
+        let indexed = inv.match_any(&cand);
+        let linear = inv.match_any_linear(&cand);
+        prop_assert_eq!(indexed, linear);
+    }
+
+    /// Mutating the inventory mid-stream keeps the two matchers in
+    /// agreement (the generation counter invalidates the index).
+    #[test]
+    fn equivalence_survives_mutation(
+        mut inv in inventory(),
+        cand in candidates(),
+        extra in name(),
+    ) {
+        // Force an index build, then mutate.
+        let _ = inv.match_application("apache");
+        let id = inv.add_node("late", NodeType::Workstation, "linux mint");
+        inv.install_application(id, extra);
+        for c in &cand {
+            prop_assert_eq!(inv.match_application(c), inv.match_application_linear(c));
+        }
+        prop_assert_eq!(inv.match_any(&cand), inv.match_any_linear(&cand));
+    }
+}

@@ -109,6 +109,107 @@ fn parallel_ingestion_matches_sequential_at_fifty_thousand_records() {
 }
 
 #[test]
+fn indexed_reduction_keeps_serial_and_parallel_identical() {
+    use cais::core::{EvaluationContext, PlatformConfig};
+    use cais::cvss::CveDatabase;
+    use cais::infra::inventory::NodeType;
+    use cais::infra::SightingStore;
+    use std::sync::Arc;
+
+    // A fleet big enough that the match index does real work, sharing
+    // a product pool with the record descriptions below.
+    const POOL: &[&str] = &[
+        "apache struts",
+        "gitlab",
+        "owncloud",
+        "nginx",
+        "redis",
+        "postgresql",
+        "jenkins",
+        "tomcat",
+        "elasticsearch",
+        "suricata",
+        "openssl",
+        "docker engine",
+    ];
+    let mut builder = Inventory::builder();
+    for i in 0..300usize {
+        let mut node = builder.node(format!("fleet-{i}"), NodeType::Server, "ubuntu");
+        for k in 0..5 {
+            node.application(POOL[(i * 5 + k * 7) % POOL.len()]);
+        }
+    }
+    builder.common_keyword("linux");
+    let inventory = Arc::new(builder.build());
+
+    let now = cais::common::Timestamp::from_ymd_hms(2018, 6, 1, 0, 0, 0);
+    let ctx = EvaluationContext::new(
+        inventory,
+        Arc::new(CveDatabase::synthetic(0, 50)),
+        Arc::new(SightingStore::new()),
+        now,
+    );
+    let platform = || Platform::new(PlatformConfig::default(), ctx.clone());
+
+    // Every record names a pool product (so reduction fires against
+    // the index), with a unique leading token to avoid family
+    // clustering; a slice mentions only the common keyword.
+    let records: Vec<cais::feeds::FeedRecord> = (0..4_000usize)
+        .map(|i| {
+            let description = if i % 17 == 0 {
+                format!("advisory{i} privilege escalation in linux hosts")
+            } else {
+                format!(
+                    "advisory{i} exploitation of {} observed",
+                    POOL[i % POOL.len()]
+                )
+            };
+            cais::feeds::FeedRecord::new(
+                cais::common::Observable::new(
+                    cais::common::ObservableKind::Url,
+                    // Unique apex per record: a shared apex (or family
+                    // word) would correlate the whole burst into one
+                    // cluster.
+                    format!("https://osint{i}.example/adv"),
+                ),
+                cais::feeds::ThreatCategory::VulnerabilityExploitation,
+                "scale-feed",
+                now.add_days(-3),
+            )
+            .with_description(description)
+        })
+        .collect();
+
+    let mut serial = platform();
+    let serial_report = serial.ingest_feed_records(records.clone()).expect("serial");
+    let mut parallel = platform();
+    let parallel_report = parallel
+        .ingest_feed_records_parallel(records, 4)
+        .expect("parallel");
+
+    assert!(
+        serial_report.same_counters(&parallel_report),
+        "counter mismatch:\n{serial_report:?}\nvs\n{parallel_report:?}"
+    );
+    assert!(serial_report.riocs > 0, "workload never reduced");
+    // rIoC output — node sets, common-keyword flags, ordering — is
+    // identical with the match index and memos active on both paths.
+    assert_eq!(serial.riocs(), parallel.riocs());
+    assert!(serial.riocs().iter().any(|r| r.via_common_keyword));
+    assert!(serial.riocs().iter().any(|r| !r.via_common_keyword));
+
+    // Both paths built the index exactly once and leaned on the memo.
+    for p in [&serial, &parallel] {
+        let stats = p.reduce_cache_stats();
+        assert_eq!(stats.index_rebuilds, 1);
+        assert!(
+            stats.match_memo_hits > stats.match_memo_misses,
+            "memo ineffective: {stats:?}"
+        );
+    }
+}
+
+#[test]
 fn dashboard_renders_thousands_of_updates() {
     let mut platform = Platform::paper_use_case();
     let mut stream = DashboardStream::attach(
