@@ -31,11 +31,13 @@
 
 mod broker;
 mod message;
+pub mod resilient;
 pub mod tcp;
 mod topic;
 
 pub use broker::{Broker, Subscription};
 pub use message::Message;
+pub use resilient::ReconnectingBusClient;
 pub use topic::{Topic, TopicPattern};
 
 /// Well-known topics used across the platform, mirroring MISP's zmq

@@ -1,0 +1,250 @@
+//! Resilient TCP bus clients: connect retries and automatic reconnect
+//! with backoff.
+//!
+//! [`BusClient::connect_with_retry`] rides a seeded
+//! [`RetryPolicy`] ladder while a peer comes up;
+//! [`ReconnectingBusClient`] additionally re-subscribes whenever the
+//! connection drops mid-stream, counting every reconnect. Messages
+//! published while disconnected are not replayed — the bus is a live
+//! feed, and consumers that need gapless history resynchronise through
+//! the TAXII/MISP pull paths instead.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use cais_common::resilience::{site_hash, RetryPolicy, Sleeper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::tcp::{BusClient, RecvStep};
+use crate::Message;
+
+impl BusClient {
+    /// [`BusClient::connect`] under a retry ladder: each failed
+    /// connect/handshake backs off on `sleeper` with jitter from a
+    /// stream seeded by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the budget is spent, or
+    /// [`io::ErrorKind::Interrupted`] when `sleeper` was woken by a
+    /// stop signal mid-backoff.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        pattern: &str,
+        policy: &RetryPolicy,
+        seed: u64,
+        sleeper: &impl Sleeper,
+    ) -> io::Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed ^ site_hash("bus.connect"));
+        let outcome = policy.run(&mut rng, sleeper, |_| BusClient::connect(addr, pattern));
+        if outcome.interrupted {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "stop signalled during connect backoff",
+            ));
+        }
+        outcome.result
+    }
+}
+
+/// A bus subscriber that transparently reconnects (and re-subscribes)
+/// when its TCP connection drops.
+pub struct ReconnectingBusClient {
+    addr: SocketAddr,
+    pattern: String,
+    policy: RetryPolicy,
+    rng: StdRng,
+    client: Option<BusClient>,
+    was_connected: bool,
+    reconnects: u64,
+    connect_retries: u64,
+}
+
+impl ReconnectingBusClient {
+    /// Creates a client for `pattern` at `addr`; nothing connects until
+    /// the first receive. Backoff jitter draws from a stream seeded by
+    /// `seed` and the address.
+    pub fn new(
+        addr: SocketAddr,
+        pattern: impl Into<String>,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(seed ^ site_hash(&format!("bus.reconnect:{addr}")));
+        ReconnectingBusClient {
+            addr,
+            pattern: pattern.into(),
+            policy,
+            rng,
+            client: None,
+            was_connected: false,
+            reconnects: 0,
+            connect_retries: 0,
+        }
+    }
+
+    /// Times the connection was re-established after a drop (the
+    /// initial connect does not count).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Retries spent inside connect ladders so far.
+    pub fn connect_retries(&self) -> u64 {
+        self.connect_retries
+    }
+
+    /// Whether a connection is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    fn ensure_connected(&mut self, sleeper: &impl Sleeper) -> io::Result<()> {
+        if self.client.is_none() {
+            let addr = self.addr;
+            let pattern = self.pattern.as_str();
+            let outcome = self.policy.run(&mut self.rng, sleeper, |_| {
+                BusClient::connect(addr, pattern)
+            });
+            self.connect_retries += u64::from(outcome.retries);
+            if outcome.interrupted {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "stop signalled during reconnect backoff",
+                ));
+            }
+            self.client = Some(outcome.result?);
+            // The first successful connect is not a *re*connect; every
+            // later one is.
+            if self.was_connected {
+                self.reconnects += 1;
+            }
+            self.was_connected = true;
+        }
+        Ok(())
+    }
+
+    /// Receives the next message, waiting up to `timeout`; dropped
+    /// connections are re-established (with backoff on `sleeper`)
+    /// within the same wait.
+    ///
+    /// Returns `None` when the wait elapses or the peer stays
+    /// unreachable past the retry budget.
+    pub fn recv_timeout(&mut self, timeout: Duration, sleeper: &impl Sleeper) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.ensure_connected(sleeper).ok()?;
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            match self
+                .client
+                .as_ref()
+                .expect("connected")
+                .recv_step(remaining)
+            {
+                RecvStep::Message(message) => return Some(message),
+                RecvStep::Timeout => return None,
+                RecvStep::Closed => self.client = None,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReconnectingBusClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReconnectingBusClient")
+            .field("addr", &self.addr)
+            .field("pattern", &self.pattern)
+            .field("connected", &self.client.is_some())
+            .field("reconnects", &self.reconnects)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{read_frame, write_frame};
+    use crate::Topic;
+    use cais_common::resilience::ThreadSleeper;
+    use cais_common::Timestamp;
+    use std::net::TcpListener;
+
+    fn message(seq: u64) -> Message {
+        Message {
+            seq,
+            topic: Topic::new("chaos.test"),
+            published_at: Timestamp::EPOCH,
+            payload: serde_json::json!({ "seq": seq }),
+        }
+    }
+
+    /// A server that completes the handshake, sends one message, and
+    /// hangs up — every connection. `refuse_first` connections are
+    /// dropped before the handshake.
+    fn one_shot_server(refuse_first: usize) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().enumerate() {
+                let Ok(mut stream) = stream else { continue };
+                if i < refuse_first {
+                    continue; // drop without handshaking
+                }
+                let Ok(_pattern) = read_frame(&mut stream) else {
+                    continue;
+                };
+                let _ = write_frame(&mut stream, &[]); // handshake ack
+                let bytes = serde_json::to_vec(&message(i as u64)).unwrap();
+                let _ = write_frame(&mut stream, &bytes);
+                // connection drops here
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn connect_with_retry_rides_out_refused_handshakes() {
+        let addr = one_shot_server(2);
+        let client =
+            BusClient::connect_with_retry(addr, "#", &RetryPolicy::fast(5), 42, &ThreadSleeper)
+                .expect("connects within the budget");
+        assert!(client.recv_timeout(Duration::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn reconnecting_client_resumes_after_drops() {
+        let addr = one_shot_server(0);
+        let mut client = ReconnectingBusClient::new(addr, "#", RetryPolicy::fast(5), 42);
+        let sleeper = ThreadSleeper;
+        // Each connection serves exactly one message, so three receives
+        // force two reconnects.
+        for _ in 0..3 {
+            assert!(client
+                .recv_timeout(Duration::from_secs(5), &sleeper)
+                .is_some());
+        }
+        assert!(
+            client.reconnects() >= 2,
+            "reconnects: {}",
+            client.reconnects()
+        );
+        assert!(client.is_connected());
+    }
+
+    #[test]
+    fn unreachable_peer_exhausts_the_budget() {
+        // A bound-then-dropped listener leaves the port closed.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let mut client = ReconnectingBusClient::new(addr, "#", RetryPolicy::fast(2), 42);
+        assert!(client
+            .recv_timeout(Duration::from_millis(500), &ThreadSleeper)
+            .is_none());
+        assert!(!client.is_connected());
+        assert_eq!(client.connect_retries(), 1);
+    }
+}

@@ -9,8 +9,12 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+use cais_telemetry::Counter;
 
 // The framing lives in cais-common so other TCP surfaces (the
 // telemetry scrape endpoint) share one wire format; re-exported here
@@ -38,6 +42,20 @@ use crate::message::Message;
 /// ```
 pub struct BusServer {
     local_addr: SocketAddr,
+    dropped: Arc<AtomicU64>,
+}
+
+/// Tuning for a [`BusServer`].
+#[derive(Debug, Clone, Default)]
+pub struct BusServerOptions {
+    /// Bound on each client's send queue: when a slow client's queue
+    /// exceeds this, the oldest messages are dropped (and accounted)
+    /// rather than letting the queue grow without limit. `None` means
+    /// unbounded, the legacy behaviour.
+    pub max_queued: Option<usize>,
+    /// When set, dropped messages are also counted in the registry
+    /// under `bus_tcp_dropped_total`.
+    pub registry: Option<cais_telemetry::Registry>,
 }
 
 impl BusServer {
@@ -49,18 +67,39 @@ impl BusServer {
     ///
     /// Returns the bind error when the address is unavailable.
     pub fn bind(broker: Broker, addr: &str) -> io::Result<Self> {
+        BusServer::bind_with(broker, addr, BusServerOptions::default())
+    }
+
+    /// [`BusServer::bind`] with an explicit send-queue bound and
+    /// optional drop telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind_with(broker: Broker, addr: &str, options: BusServerOptions) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let dropped = Arc::new(AtomicU64::new(0));
+        let accounting = Arc::clone(&dropped);
         thread::Builder::new()
             .name("cais-bus-server".into())
-            .spawn(move || accept_loop(listener, broker))
+            .spawn(move || accept_loop(listener, broker, options, accounting))
             .expect("spawn bus server thread");
-        Ok(BusServer { local_addr })
+        Ok(BusServer {
+            local_addr,
+            dropped,
+        })
     }
 
     /// The address the server is listening on (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Messages dropped across all clients because a bounded send
+    /// queue overflowed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -72,19 +111,37 @@ impl std::fmt::Debug for BusServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, broker: Broker) {
+fn accept_loop(
+    listener: TcpListener,
+    broker: Broker,
+    options: BusServerOptions,
+    dropped: Arc<AtomicU64>,
+) {
+    let counter = options
+        .registry
+        .as_ref()
+        .map(|r| r.counter("bus_tcp_dropped_total"));
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
         let broker = broker.clone();
+        let dropped = Arc::clone(&dropped);
+        let counter = counter.clone();
+        let max_queued = options.max_queued;
         let _ = thread::Builder::new()
             .name("cais-bus-conn".into())
             .spawn(move || {
-                let _ = serve_client(stream, &broker);
+                let _ = serve_client(stream, &broker, max_queued, &dropped, counter.as_ref());
             });
     }
 }
 
-fn serve_client(mut stream: TcpStream, broker: &Broker) -> io::Result<()> {
+fn serve_client(
+    mut stream: TcpStream,
+    broker: &Broker,
+    max_queued: Option<usize>,
+    dropped: &AtomicU64,
+    counter: Option<&Counter>,
+) -> io::Result<()> {
     // First frame: the subscription pattern as a JSON string.
     let frame = read_frame(&mut stream)?;
     let pattern: String = serde_json::from_slice(&frame)
@@ -94,6 +151,19 @@ fn serve_client(mut stream: TcpStream, broker: &Broker) -> io::Result<()> {
     // subscription is live before it lets its caller publish.
     write_frame(&mut stream, &[])?;
     loop {
+        // Enforce the send-queue bound before blocking: shed the oldest
+        // messages a slow client will never catch up on, and account
+        // for every one shed.
+        if let Some(bound) = max_queued {
+            let mut excess = subscription.queued().saturating_sub(bound);
+            while excess > 0 && subscription.try_recv().is_some() {
+                dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(counter) = counter {
+                    counter.inc();
+                }
+                excess -= 1;
+            }
+        }
         // Block in short slices so a closed socket is noticed eventually.
         if let Some(message) = subscription.recv_timeout(Duration::from_millis(200)) {
             let bytes = serde_json::to_vec(&message)
@@ -138,20 +208,55 @@ impl BusClient {
 
     /// Receives the next message, waiting up to `timeout`.
     ///
-    /// Returns `None` on timeout or when the connection closed.
+    /// Returns `None` on timeout or when the connection closed. Use
+    /// [`BusClient::recv_step`] to tell the two apart (a reconnecting
+    /// wrapper must).
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        match self.recv_step(timeout) {
+            RecvStep::Message(message) => Some(message),
+            RecvStep::Timeout | RecvStep::Closed => None,
+        }
+    }
+
+    /// Receives the next message, distinguishing an idle timeout from a
+    /// lost connection.
+    pub fn recv_step(&self, timeout: Duration) -> RecvStep {
         let deadline = std::time::Instant::now() + timeout;
         let mut stream = &self.stream;
         loop {
-            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
-            self.stream.set_read_timeout(Some(remaining)).ok()?;
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return RecvStep::Timeout;
+            };
+            if self.stream.set_read_timeout(Some(remaining)).is_err() {
+                return RecvStep::Closed;
+            }
             match read_frame(&mut stream) {
                 Ok(frame) if frame.is_empty() => continue, // keepalive
-                Ok(frame) => return serde_json::from_slice(&frame).ok(),
-                Err(_) => return None,
+                Ok(frame) => match serde_json::from_slice(&frame) {
+                    Ok(message) => return RecvStep::Message(message),
+                    Err(_) => return RecvStep::Closed,
+                },
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return RecvStep::Timeout
+                }
+                Err(_) => return RecvStep::Closed,
             }
         }
     }
+}
+
+/// One step of [`BusClient::recv_step`].
+#[derive(Debug)]
+pub enum RecvStep {
+    /// A message arrived.
+    Message(Message),
+    /// The wait elapsed with the connection still healthy.
+    Timeout,
+    /// The connection is gone (closed, reset, or corrupt frame).
+    Closed,
 }
 
 impl std::fmt::Debug for BusClient {
@@ -214,6 +319,38 @@ mod tests {
         assert_eq!(first.payload["id"], 1);
         let second = client.recv_timeout(Duration::from_secs(5)).expect("second");
         assert_eq!(second.payload["id"], 3);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_oldest_and_accounts_drops() {
+        let broker = Broker::new();
+        let registry = cais_telemetry::Registry::new();
+        let server = BusServer::bind_with(
+            broker.clone(),
+            "127.0.0.1:0",
+            BusServerOptions {
+                max_queued: Some(5),
+                registry: Some(registry.clone()),
+            },
+        )
+        .unwrap();
+        let client = BusClient::connect(server.local_addr(), "#").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // A burst far past the bound, faster than one-frame-per-loop
+        // delivery can drain it.
+        for i in 0..200 {
+            broker.publish(Topic::new("burst.topic"), serde_json::json!({ "i": i }));
+        }
+        let mut received = 0;
+        while client.recv_timeout(Duration::from_millis(300)).is_some() {
+            received += 1;
+        }
+        assert!(received < 200, "nothing was shed");
+        assert!(server.dropped() > 0);
+        assert_eq!(
+            registry.snapshot().counters["bus_tcp_dropped_total"],
+            server.dropped()
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod frame;
 pub mod observable;
+pub mod resilience;
 pub mod time;
 pub mod uuid;
 

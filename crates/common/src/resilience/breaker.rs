@@ -1,0 +1,260 @@
+//! A per-source / per-peer circuit breaker.
+//!
+//! Classic closed → open → half-open, but with a *probe-count*
+//! cooldown instead of a wall clock: while open, each denied call
+//! counts down the cooldown, and when it reaches zero the breaker
+//! half-opens and admits one trial call. This keeps the whole state
+//! machine deterministic per call sequence — the property the
+//! serial == parallel ingestion contract and the seeded chaos suite
+//! both lean on.
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub trip_after: u32,
+    /// Denied probes an open breaker absorbs before half-opening.
+    pub cooldown_probes: u32,
+    /// Successful half-open trials required to close again.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            cooldown_probes: 2,
+            half_open_successes: 1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A breaker that never trips (pass-through).
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            trip_after: u32::MAX,
+            ..BreakerConfig::default()
+        }
+    }
+}
+
+/// Where the breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are denied while the cooldown counts down.
+    Open,
+    /// A trial call is admitted; success closes, failure re-opens.
+    HalfOpen,
+}
+
+/// Counts of state transitions, for telemetry and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerTransitions {
+    /// Times the breaker tripped open (including re-opens).
+    pub opened: u64,
+    /// Times the cooldown expired into half-open.
+    pub half_opened: u64,
+    /// Times a half-open trial closed the breaker.
+    pub closed: u64,
+}
+
+/// A deterministic closed → open → half-open circuit breaker.
+///
+/// # Examples
+///
+/// ```
+/// use cais_common::resilience::{BreakerConfig, BreakerState, CircuitBreaker};
+///
+/// let mut breaker = CircuitBreaker::new(BreakerConfig {
+///     trip_after: 2,
+///     cooldown_probes: 1,
+///     half_open_successes: 1,
+/// });
+/// assert!(breaker.allow());
+/// breaker.on_failure();
+/// breaker.on_failure(); // trips
+/// assert_eq!(breaker.state(), BreakerState::Open);
+/// assert!(!breaker.allow()); // cooldown probe, denied
+/// assert!(breaker.allow()); // half-open trial
+/// breaker.on_success();
+/// assert_eq!(breaker.state(), BreakerState::Closed);
+/// assert_eq!(breaker.transitions().opened, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    trial_successes: u32,
+    transitions: BreakerTransitions,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trial_successes: 0,
+            transitions: BreakerTransitions::default(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the source is currently isolated (open or probing).
+    pub fn is_quarantined(&self) -> bool {
+        self.state != BreakerState::Closed
+    }
+
+    /// Transition counters so far.
+    pub fn transitions(&self) -> BreakerTransitions {
+        self.transitions
+    }
+
+    /// Whether the next call may proceed. Denied probes count down an
+    /// open breaker's cooldown; once it expires the breaker half-opens
+    /// and the following call is admitted as the trial.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    self.trial_successes = 0;
+                    self.transitions.half_opened += 1;
+                }
+                false
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.trial_successes += 1;
+                if self.trial_successes >= self.config.half_open_successes.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.transitions.closed += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed call (after its retry budget, if any).
+    pub fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                if self.consecutive_failures >= self.config.trip_after {
+                    self.trip();
+                }
+            }
+            // A failed trial re-opens for a fresh cooldown.
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.config.cooldown_probes.max(1);
+        self.transitions.opened += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(trip_after: u32, cooldown: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after,
+            cooldown_probes: cooldown,
+            half_open_successes: 1,
+        })
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker(3, 2);
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn cooldown_denies_exactly_n_probes() {
+        let mut b = breaker(1, 3);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(!b.allow()); // third probe exhausts the cooldown
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow()); // the trial
+    }
+
+    #[test]
+    fn failed_trial_reopens_with_fresh_cooldown() {
+        let mut b = breaker(1, 1);
+        b.on_failure();
+        assert!(!b.allow());
+        assert!(b.allow()); // trial
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions().opened, 2);
+        assert!(!b.allow());
+        assert!(b.allow());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        let t = b.transitions();
+        assert_eq!((t.opened, t.half_opened, t.closed), (2, 2, 1));
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut b = CircuitBreaker::new(BreakerConfig::disabled());
+        for _ in 0..10_000 {
+            b.on_failure();
+            assert!(b.allow());
+        }
+        assert_eq!(b.transitions(), BreakerTransitions::default());
+    }
+
+    #[test]
+    fn multi_success_half_open_requires_the_full_streak() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 1,
+            cooldown_probes: 1,
+            half_open_successes: 2,
+        });
+        b.on_failure();
+        assert!(!b.allow());
+        assert!(b.allow());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen); // one more needed
+        assert!(b.allow());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,367 @@
+//! Bounded retries with exponential backoff, seeded jitter and an
+//! injectable clock.
+//!
+//! A [`RetryPolicy`] is pure arithmetic: given an attempt number and a
+//! caller-owned RNG it computes the next backoff delay. *Waiting* is
+//! delegated to a [`Sleeper`], so tests run the whole retry ladder in
+//! virtual time ([`RecordingSleeper`]) and production threads wait on
+//! an interruptible [`StopToken`] that a shutdown wakes immediately.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Bounded exponential backoff with seeded jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Multiplier applied per further retry (typically 2).
+    pub multiplier: u32,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Fraction of the delay added as jitter drawn from the caller's
+    /// seeded RNG (0.0 disables jitter; 0.1 adds up to +10%).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            multiplier: 2,
+            max_delay: Duration::from_secs(2),
+            jitter: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A fast policy for tests: immediate-ish retries, no jitter.
+    pub fn fast(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2,
+            max_delay: Duration::from_millis(8),
+            jitter: 0.0,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based: the delay
+    /// between attempt `retry` and attempt `retry + 1`), with jitter
+    /// drawn from `rng` — deterministic given the RNG state.
+    pub fn delay(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let factor = u64::from(self.multiplier.max(1)).saturating_pow(retry.saturating_sub(1));
+        let raw = self
+            .base_delay
+            .saturating_mul(u32::try_from(factor.min(u64::from(u32::MAX))).unwrap_or(u32::MAX));
+        let capped = raw.min(self.max_delay);
+        if self.jitter <= 0.0 {
+            return capped;
+        }
+        let extra = capped.as_secs_f64() * self.jitter * rng.gen::<f64>();
+        capped + Duration::from_secs_f64(extra)
+    }
+
+    /// Runs `op` under the policy: up to [`RetryPolicy::max_attempts`]
+    /// calls, sleeping the backoff between attempts on `sleeper`.
+    /// Returns the first success, the last error once the budget is
+    /// spent, or `Err(None)`-style interruption when the sleeper was
+    /// woken by a stop signal (reported through [`RetryOutcome`]).
+    pub fn run<T, E>(
+        &self,
+        rng: &mut StdRng,
+        sleeper: &impl Sleeper,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        let mut retries = 0;
+        for attempt in 1..=self.max_attempts.max(1) {
+            match op(attempt) {
+                Ok(value) => {
+                    return RetryOutcome {
+                        result: Ok(value),
+                        retries,
+                        interrupted: false,
+                    }
+                }
+                Err(error) => {
+                    if attempt == self.max_attempts.max(1) {
+                        return RetryOutcome {
+                            result: Err(error),
+                            retries,
+                            interrupted: false,
+                        };
+                    }
+                    retries += 1;
+                    if !sleeper.sleep(self.delay(attempt, rng)) {
+                        return RetryOutcome {
+                            result: Err(error),
+                            retries,
+                            interrupted: true,
+                        };
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+}
+
+/// The outcome of one retried operation.
+#[derive(Debug)]
+pub struct RetryOutcome<T, E> {
+    /// The first success or the last error.
+    pub result: Result<T, E>,
+    /// How many retries were spent (0 = first attempt succeeded).
+    pub retries: u32,
+    /// Whether a stop signal interrupted the backoff wait (the result
+    /// is then the error observed before the wait).
+    pub interrupted: bool,
+}
+
+/// Where backoff waits go — the injectable clock of the retry ladder.
+pub trait Sleeper {
+    /// Waits for `duration`. Returns `false` when interrupted by a
+    /// stop signal: callers must abandon the retry loop.
+    fn sleep(&self, duration: Duration) -> bool;
+}
+
+/// Really sleeps on the current thread (production default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&self, duration: Duration) -> bool {
+        std::thread::sleep(duration);
+        true
+    }
+}
+
+/// Sleeps in virtual time: returns instantly, accumulating the total
+/// wait it was asked for. The deterministic test clock.
+#[derive(Debug, Default)]
+pub struct RecordingSleeper {
+    slept: Mutex<Vec<Duration>>,
+}
+
+impl RecordingSleeper {
+    /// A fresh virtual clock.
+    pub fn new() -> Self {
+        RecordingSleeper::default()
+    }
+
+    /// Every wait requested so far, in order.
+    pub fn naps(&self) -> Vec<Duration> {
+        self.slept.lock().expect("sleeper poisoned").clone()
+    }
+
+    /// Total virtual time requested.
+    pub fn total(&self) -> Duration {
+        self.naps().iter().sum()
+    }
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep(&self, duration: Duration) -> bool {
+        self.slept.lock().expect("sleeper poisoned").push(duration);
+        true
+    }
+}
+
+#[derive(Debug, Default)]
+struct StopInner {
+    stopped: AtomicBool,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+/// A shareable stop signal whose waits are interruptible: a thread
+/// sleeping out a backoff on the token wakes the moment
+/// [`StopToken::trigger`] fires, so shutdown latency never scales with
+/// the backoff schedule.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use cais_common::resilience::{Sleeper, StopToken};
+///
+/// let token = StopToken::new();
+/// let waiter = token.clone();
+/// let handle = std::thread::spawn(move || waiter.sleep(Duration::from_secs(60)));
+/// let started = Instant::now();
+/// token.trigger();
+/// assert!(!handle.join().unwrap()); // interrupted, not timed out
+/// assert!(started.elapsed() < Duration::from_secs(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StopToken {
+    inner: Arc<StopInner>,
+}
+
+impl StopToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        StopToken::default()
+    }
+
+    /// Signals stop and wakes every waiter.
+    pub fn trigger(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        let _guard = self.inner.mutex.lock().expect("stop token poisoned");
+        self.inner.condvar.notify_all();
+    }
+
+    /// Whether stop has been signalled.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.stopped.load(Ordering::SeqCst)
+    }
+}
+
+impl Sleeper for StopToken {
+    /// Waits up to `duration`; returns `false` immediately when the
+    /// token is (or becomes) triggered.
+    fn sleep(&self, duration: Duration) -> bool {
+        if self.is_stopped() {
+            return false;
+        }
+        let deadline = std::time::Instant::now() + duration;
+        let mut guard = self.inner.mutex.lock().expect("stop token poisoned");
+        loop {
+            if self.is_stopped() {
+                return false;
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return true;
+            };
+            let (next, timeout) = self
+                .inner
+                .condvar
+                .wait_timeout(guard, remaining)
+                .expect("stop token poisoned");
+            guard = next;
+            if timeout.timed_out() {
+                return !self.is_stopped();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delays_grow_exponentially_and_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2,
+            max_delay: Duration::from_millis(55),
+            jitter: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let delays: Vec<u64> = (1..=4)
+            .map(|r| policy.delay(r, &mut rng).as_millis() as u64)
+            .collect();
+        assert_eq!(delays, [10, 20, 40, 55]);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_deterministic() {
+        let policy = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let sample = |seed: u64| -> Vec<Duration> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..=3).map(|r| policy.delay(r, &mut rng)).collect()
+        };
+        assert_eq!(sample(7), sample(7));
+        let mut rng = StdRng::seed_from_u64(7);
+        for retry in 1..=3 {
+            let jittered = policy.delay(retry, &mut rng);
+            let mut no_jitter_rng = StdRng::seed_from_u64(0);
+            let base = RetryPolicy {
+                jitter: 0.0,
+                ..policy.clone()
+            }
+            .delay(retry, &mut no_jitter_rng);
+            assert!(jittered >= base);
+            assert!(jittered.as_secs_f64() <= base.as_secs_f64() * 1.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn run_retries_until_success() {
+        let policy = RetryPolicy::fast(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sleeper = RecordingSleeper::new();
+        let mut calls = 0;
+        let outcome = policy.run(&mut rng, &sleeper, |attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(outcome.result.unwrap(), 3);
+        assert_eq!(outcome.retries, 2);
+        assert!(!outcome.interrupted);
+        assert_eq!(calls, 3);
+        assert_eq!(sleeper.naps().len(), 2);
+    }
+
+    #[test]
+    fn run_surfaces_last_error_when_budget_spent() {
+        let policy = RetryPolicy::fast(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = policy.run::<(), _>(&mut rng, &RecordingSleeper::new(), |attempt| {
+            Err(format!("fail {attempt}"))
+        });
+        assert_eq!(outcome.result.unwrap_err(), "fail 3");
+        assert_eq!(outcome.retries, 2);
+    }
+
+    #[test]
+    fn triggered_token_interrupts_the_ladder() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_secs(30),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let token = StopToken::new();
+        token.trigger();
+        let mut rng = StdRng::seed_from_u64(0);
+        let started = std::time::Instant::now();
+        let outcome = policy.run::<(), _>(&mut rng, &token, |_| Err("down"));
+        assert!(outcome.interrupted);
+        assert_eq!(outcome.retries, 1);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn token_sleep_times_out_normally_when_untriggered() {
+        let token = StopToken::new();
+        assert!(token.sleep(Duration::from_millis(5)));
+        assert!(!token.is_stopped());
+    }
+}

@@ -54,6 +54,6 @@ pub use error::CoreError;
 pub use heuristics::{FeatureValue, HeuristicKind, WeightScheme};
 pub use ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
 pub use metrics::{StageMetrics, StageRecord};
-pub use pipeline::{Platform, PlatformConfig, PlatformReport};
+pub use pipeline::{Platform, PlatformConfig, PlatformReport, SourceIngestReport};
 pub use reduce::{ReduceCacheStats, Reducer};
 pub use telemetry::PipelineInstruments;

@@ -554,7 +554,7 @@ impl Platform {
             }
             chunks.push(chunk);
         }
-        let this = &*self;
+        let this = self;
         let results: Vec<(Vec<FeedRecord>, usize, usize)> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
@@ -663,7 +663,7 @@ impl Platform {
             chunks.push((offset, chunk));
             offset += len;
         }
-        let this = &*self;
+        let this = self;
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
@@ -845,6 +845,74 @@ impl Platform {
     pub fn share_with(&self, partner: &MispApi) -> usize {
         cais_misp::sync::push(&self.misp, partner).transferred
     }
+
+    /// Polls every resilient source once (in slice order, retry backoff
+    /// on virtual time) and ingests whatever the healthy subset
+    /// delivered — the graceful-degradation entry point.
+    ///
+    /// Collection is strictly ordered and ingestion happens in a single
+    /// round, so with the same sources in the same states the produced
+    /// rIoCs are identical whether `workers` selects the serial or the
+    /// parallel pipeline, and identical to a fault-free run of the
+    /// surviving sources: a faulted source degrades the round's *inputs*
+    /// (its batch is absent) but never the determinism of the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns MISP persistence errors from the ingestion round; source
+    /// failures are *not* errors — they are counted in the report and
+    /// the round proceeds with the records that did arrive.
+    pub fn ingest_from_sources(
+        &mut self,
+        sources: &mut [cais_feeds::ResilientSource],
+        workers: usize,
+    ) -> Result<SourceIngestReport, CoreError> {
+        // Backoffs run on virtual time: determinism does not depend on
+        // the wall clock and a faulted source cannot stall the round.
+        let sleeper = cais_common::resilience::RecordingSleeper::default();
+        let mut records = Vec::new();
+        let mut outcome = SourceIngestReport {
+            sources_polled: sources.len(),
+            ..SourceIngestReport::default()
+        };
+        for source in sources.iter_mut() {
+            let retries_before = source.total_retries();
+            match source.poll(&sleeper) {
+                cais_feeds::RoundOutcome::Delivered(batch) => {
+                    outcome.delivered += 1;
+                    records.extend(batch);
+                }
+                cais_feeds::RoundOutcome::Quarantined => outcome.quarantined += 1,
+                cais_feeds::RoundOutcome::Failed(_) | cais_feeds::RoundOutcome::Interrupted => {
+                    outcome.failed += 1;
+                }
+            }
+            outcome.retries += source.total_retries() - retries_before;
+        }
+        outcome.report = if workers <= 1 {
+            self.ingest_feed_records(records)?
+        } else {
+            self.ingest_feed_records_parallel(records, workers)?
+        };
+        Ok(outcome)
+    }
+}
+
+/// The outcome of one [`Platform::ingest_from_sources`] round.
+#[derive(Debug, Clone, Default)]
+pub struct SourceIngestReport {
+    /// The ingestion round over the delivered records.
+    pub report: PlatformReport,
+    /// Sources polled this round.
+    pub sources_polled: usize,
+    /// Sources that delivered a batch (possibly after retries).
+    pub delivered: usize,
+    /// Sources that exhausted their retry budget this round.
+    pub failed: usize,
+    /// Sources denied by an open circuit breaker.
+    pub quarantined: usize,
+    /// Retries spent across all sources this round.
+    pub retries: u64,
 }
 
 impl std::fmt::Debug for Platform {
@@ -1308,6 +1376,115 @@ mod parallel_tests {
         let report = platform.ingest_feed_records_parallel(records, 1).unwrap();
         assert_eq!(report.records_in, 40);
         assert!(report.ciocs > 0);
+    }
+}
+
+#[cfg(test)]
+mod source_ingest_tests {
+    use super::*;
+    use cais_common::resilience::{FaultKind, FaultPlan};
+    use cais_feeds::{
+        FeedFormat, FeedSource, FlakySource, MemorySource, ResilienceConfig, ResilientSource,
+        ThreatCategory,
+    };
+
+    /// CSV with an explicit timestamp column: records carry no
+    /// fetch-time stamp, so two independent fetches parse into
+    /// byte-identical batches.
+    fn memory(name: &str, values: &[&str]) -> MemorySource {
+        let mut payload = String::from("value,date\n");
+        for value in values {
+            payload.push_str(value);
+            payload.push_str(",2018-06-01T00:00:00Z\n");
+        }
+        MemorySource::new(
+            name,
+            FeedFormat::Csv,
+            ThreatCategory::CommandAndControl,
+            payload,
+        )
+    }
+
+    fn resilient(source: impl FeedSource + 'static) -> ResilientSource {
+        ResilientSource::new(Box::new(source), &ResilienceConfig::default(), 42)
+    }
+
+    #[test]
+    fn faulted_sources_degrade_gracefully_and_deterministically() {
+        let payload_a: &[&str] = &["alpha.evil.example", "beta.evil.example"];
+        let payload_b: &[&str] = &["gamma.evil.example"];
+        let payload_dead: &[&str] = &["never-seen.evil.example"];
+
+        let build_sources = || {
+            let plan = FaultPlan::new(9)
+                .fail_first("feeds.transient", 2, FaultKind::Error)
+                .always("feeds.dead", FaultKind::Error);
+            vec![
+                resilient(memory("healthy", payload_a)),
+                resilient(FlakySource::scripted(
+                    memory("transient", payload_b),
+                    plan.clone(),
+                    "feeds.transient",
+                )),
+                resilient(FlakySource::scripted(
+                    memory("dead", payload_dead),
+                    plan,
+                    "feeds.dead",
+                )),
+            ]
+        };
+
+        // Fault-free baseline over the sources that survive: the dead
+        // feed's records never existed as far as outputs are concerned.
+        let mut baseline = Platform::paper_use_case();
+        let mut healthy_only = vec![
+            resilient(memory("healthy", payload_a)),
+            resilient(memory("transient", payload_b)),
+        ];
+        let expected = baseline.ingest_from_sources(&mut healthy_only, 1).unwrap();
+        assert_eq!(expected.delivered, 2);
+        assert_eq!(expected.retries, 0);
+
+        for workers in [1, 4] {
+            let mut platform = Platform::paper_use_case();
+            let mut sources = build_sources();
+            let outcome = platform.ingest_from_sources(&mut sources, workers).unwrap();
+            assert_eq!(outcome.delivered, 2, "{workers} workers");
+            assert_eq!(outcome.failed, 1, "{workers} workers");
+            assert!(outcome.retries >= 2, "{workers} workers");
+            assert!(
+                outcome.report.same_counters(&expected.report),
+                "{workers} workers:\n{:?}\nvs\n{:?}",
+                outcome.report,
+                expected.report
+            );
+            assert_eq!(platform.eiocs(), baseline.eiocs(), "{workers} workers");
+            assert_eq!(platform.riocs(), baseline.riocs(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_quarantine_a_dead_source() {
+        let plan = FaultPlan::new(3).always("feeds.dead", FaultKind::Error);
+        let config = ResilienceConfig::default();
+        let mut sources = vec![ResilientSource::new(
+            Box::new(FlakySource::scripted(
+                memory("dead", &["x.example"]),
+                plan,
+                "feeds.dead",
+            )),
+            &config,
+            42,
+        )];
+        let mut platform = Platform::paper_use_case();
+        // Default breaker trips after 3 consecutive failed rounds.
+        for _ in 0..3 {
+            let outcome = platform.ingest_from_sources(&mut sources, 1).unwrap();
+            assert_eq!(outcome.failed, 1);
+        }
+        let outcome = platform.ingest_from_sources(&mut sources, 1).unwrap();
+        assert_eq!(outcome.quarantined, 1);
+        assert!(sources[0].is_quarantined());
     }
 }
 

@@ -31,6 +31,7 @@ mod error;
 mod model;
 pub mod parse;
 pub mod quality;
+pub mod resilient;
 mod scheduler;
 mod source;
 pub mod synth;
@@ -39,6 +40,7 @@ pub mod telemetry;
 pub use error::FeedError;
 pub use model::{FeedFormat, FeedRecord, ThreatCategory};
 pub use quality::QualityTracker;
-pub use scheduler::{FeedScheduler, SchedulerHandle};
+pub use resilient::{ResilienceConfig, ResilientSource, RoundOutcome};
+pub use scheduler::{FeedScheduler, SchedulerHandle, SchedulerStats};
 pub use source::{FeedSource, FileSource, FlakySource, MemorySource};
 pub use telemetry::FeedIngestMetrics;

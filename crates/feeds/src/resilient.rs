@@ -1,0 +1,253 @@
+//! Per-source resilience: retries and circuit breaking around
+//! [`FeedSource::collect`].
+//!
+//! A [`ResilientSource`] wraps any feed source with a bounded
+//! [`RetryPolicy`] and a [`CircuitBreaker`]. Its RNG stream (for
+//! backoff jitter) is seeded from a run seed and the source name, so
+//! two runs over the same seed draw identical jitter regardless of how
+//! other sources interleave — the same per-site independence the
+//! [`FaultPlan`](cais_common::resilience::FaultPlan) guarantees on the
+//! injection side.
+
+use cais_common::resilience::{
+    site_hash, BreakerConfig, BreakerTransitions, CircuitBreaker, RetryPolicy, Sleeper,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{FeedError, FeedRecord, FeedSource};
+
+/// Retry and breaker settings applied per source.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// The retry ladder for each poll.
+    pub retry: RetryPolicy,
+    /// Breaker thresholds isolating a repeatedly failing source.
+    pub breaker: BreakerConfig,
+}
+
+impl ResilienceConfig {
+    /// Pass-through: no retries, breaker never trips. The legacy
+    /// scheduler behaviour.
+    pub fn disabled() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::no_retries(),
+            breaker: BreakerConfig::disabled(),
+        }
+    }
+}
+
+/// The outcome of one resilient poll of a source.
+#[derive(Debug)]
+pub enum RoundOutcome {
+    /// Records collected (possibly after retries).
+    Delivered(Vec<FeedRecord>),
+    /// The breaker is open; the source was not called.
+    Quarantined,
+    /// The retry budget was spent; the last error is attached.
+    Failed(FeedError),
+    /// A stop signal interrupted the backoff wait mid-ladder.
+    Interrupted,
+}
+
+/// A feed source wrapped in retries and a circuit breaker.
+///
+/// # Examples
+///
+/// ```
+/// use cais_common::resilience::{FaultKind, FaultPlan, RecordingSleeper, RetryPolicy};
+/// use cais_feeds::{
+///     FeedFormat, FlakySource, MemorySource, ResilienceConfig, ResilientSource, RoundOutcome,
+///     ThreatCategory,
+/// };
+///
+/// let plan = FaultPlan::new(1).fail_first("feed:a", 2, FaultKind::Error);
+/// let flaky = FlakySource::scripted(
+///     MemorySource::new("a", FeedFormat::PlainText, ThreatCategory::MalwareDomain,
+///                       "evil.example\n"),
+///     plan,
+///     "feed:a",
+/// );
+/// let config = ResilienceConfig { retry: RetryPolicy::fast(4), ..Default::default() };
+/// let mut source = ResilientSource::new(Box::new(flaky), &config, 42);
+/// // Two injected failures are absorbed by the retry ladder.
+/// let outcome = source.poll(&RecordingSleeper::new());
+/// assert!(matches!(outcome, RoundOutcome::Delivered(ref r) if r.len() == 1));
+/// assert_eq!(source.total_retries(), 2);
+/// ```
+pub struct ResilientSource {
+    source: Box<dyn FeedSource>,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    rng: StdRng,
+    total_retries: u64,
+}
+
+impl ResilientSource {
+    /// Wraps `source` under `config`; jitter draws from an RNG stream
+    /// seeded by `seed` and the source name.
+    pub fn new(source: Box<dyn FeedSource>, config: &ResilienceConfig, seed: u64) -> Self {
+        let rng = StdRng::seed_from_u64(seed ^ site_hash(source.name()));
+        ResilientSource {
+            source,
+            retry: config.retry.clone(),
+            breaker: CircuitBreaker::new(config.breaker),
+            rng,
+            total_retries: 0,
+        }
+    }
+
+    /// The wrapped source's name.
+    pub fn name(&self) -> &str {
+        self.source.name()
+    }
+
+    /// The wrapped source.
+    pub fn source(&self) -> &dyn FeedSource {
+        self.source.as_ref()
+    }
+
+    /// Whether the breaker currently isolates this source.
+    pub fn is_quarantined(&self) -> bool {
+        self.breaker.is_quarantined()
+    }
+
+    /// Breaker transition counters so far.
+    pub fn breaker_transitions(&self) -> BreakerTransitions {
+        self.breaker.transitions()
+    }
+
+    /// Cumulative retries spent across every poll.
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
+    }
+
+    /// Polls the source once: breaker check, then collect under the
+    /// retry ladder, sleeping backoffs on `sleeper`.
+    pub fn poll(&mut self, sleeper: &impl Sleeper) -> RoundOutcome {
+        if !self.breaker.allow() {
+            return RoundOutcome::Quarantined;
+        }
+        let source = &self.source;
+        let outcome = self
+            .retry
+            .run(&mut self.rng, sleeper, |_attempt| source.collect());
+        self.total_retries += u64::from(outcome.retries);
+        if outcome.interrupted {
+            return RoundOutcome::Interrupted;
+        }
+        match outcome.result {
+            Ok(records) => {
+                self.breaker.on_success();
+                RoundOutcome::Delivered(records)
+            }
+            Err(error) => {
+                self.breaker.on_failure();
+                RoundOutcome::Failed(error)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ResilientSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientSource")
+            .field("name", &self.source.name())
+            .field("state", &self.breaker.state())
+            .field("total_retries", &self.total_retries)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeedFormat, FlakySource, MemorySource, ThreatCategory};
+    use cais_common::resilience::{FaultKind, FaultPlan, RecordingSleeper};
+
+    fn mem(name: &str) -> MemorySource {
+        MemorySource::new(
+            name,
+            FeedFormat::PlainText,
+            ThreatCategory::MalwareDomain,
+            "evil.example\n",
+        )
+    }
+
+    fn wrap(plan: FaultPlan, site: &str, config: &ResilienceConfig) -> ResilientSource {
+        ResilientSource::new(
+            Box::new(FlakySource::scripted(
+                mem(site),
+                plan,
+                format!("feed:{site}"),
+            )),
+            config,
+            7,
+        )
+    }
+
+    fn config(attempts: u32) -> ResilienceConfig {
+        ResilienceConfig {
+            retry: RetryPolicy::fast(attempts),
+            breaker: BreakerConfig {
+                trip_after: 2,
+                cooldown_probes: 1,
+                half_open_successes: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn transient_outage_is_absorbed_by_retries() {
+        let plan = FaultPlan::new(1).fail_first("feed:a", 2, FaultKind::Error);
+        let mut source = wrap(plan, "a", &config(4));
+        let sleeper = RecordingSleeper::new();
+        match source.poll(&sleeper) {
+            RoundOutcome::Delivered(records) => assert_eq!(records.len(), 1),
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(source.total_retries(), 2);
+        assert_eq!(sleeper.naps().len(), 2);
+        assert!(!source.is_quarantined());
+    }
+
+    #[test]
+    fn dead_source_trips_breaker_and_quarantines() {
+        let plan = FaultPlan::new(1).always("feed:dead", FaultKind::Error);
+        let mut source = wrap(plan, "dead", &config(2));
+        let sleeper = RecordingSleeper::new();
+        // Two exhausted retry ladders trip the breaker (trip_after: 2).
+        assert!(matches!(source.poll(&sleeper), RoundOutcome::Failed(_)));
+        assert!(matches!(source.poll(&sleeper), RoundOutcome::Failed(_)));
+        assert!(source.is_quarantined());
+        assert!(matches!(source.poll(&sleeper), RoundOutcome::Quarantined));
+        assert_eq!(source.breaker_transitions().opened, 1);
+    }
+
+    #[test]
+    fn recovered_source_closes_the_breaker_again() {
+        // Dead long enough to trip (2 ladders × 2 attempts = 4 faults),
+        // then healthy.
+        let plan = FaultPlan::new(1).fail_first("feed:b", 4, FaultKind::Error);
+        let mut source = wrap(plan, "b", &config(2));
+        let sleeper = RecordingSleeper::new();
+        assert!(matches!(source.poll(&sleeper), RoundOutcome::Failed(_)));
+        assert!(matches!(source.poll(&sleeper), RoundOutcome::Failed(_)));
+        // One cooldown probe denied, then the half-open trial succeeds.
+        assert!(matches!(source.poll(&sleeper), RoundOutcome::Quarantined));
+        assert!(matches!(source.poll(&sleeper), RoundOutcome::Delivered(_)));
+        assert!(!source.is_quarantined());
+        let transitions = source.breaker_transitions();
+        assert_eq!((transitions.opened, transitions.closed), (1, 1));
+    }
+
+    #[test]
+    fn parse_garbage_counts_as_failure_too() {
+        let plan = FaultPlan::new(1).always("feed:g", FaultKind::Garbage);
+        let mut source = wrap(plan, "g", &config(2));
+        match source.poll(&RecordingSleeper::new()) {
+            RoundOutcome::Failed(FeedError::Parse { .. }) => {}
+            other => panic!("expected parse failure, got {other:?}"),
+        }
+    }
+}

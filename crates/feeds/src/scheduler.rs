@@ -2,21 +2,29 @@
 //!
 //! The scheduler polls every registered source on its own interval from
 //! a single background thread and hands parsed records to a sink
-//! callback. Fetch failures are counted and retried on the next tick —
-//! one flaky feed must not stall the others.
+//! callback. Each source sits behind a [`ResilientSource`]: failed
+//! fetches are retried with backoff, and sources that keep failing are
+//! quarantined by a per-source circuit breaker until a half-open probe
+//! succeeds. All waits — the tick and every backoff — go through an
+//! interruptible [`StopToken`], so [`SchedulerHandle::stop`] returns
+//! promptly even while a source is mid-retry sleep.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cais_common::resilience::{BreakerTransitions, Sleeper, StopToken};
+
+use crate::resilient::{ResilienceConfig, ResilientSource, RoundOutcome};
 use crate::telemetry::FeedIngestMetrics;
 use crate::{FeedRecord, FeedSource};
 
 struct Entry {
-    source: Box<dyn FeedSource>,
+    source: ResilientSource,
     interval: Duration,
     next_due: Instant,
+    reported: BreakerTransitions,
 }
 
 /// Aggregate counters for a running scheduler.
@@ -24,10 +32,18 @@ struct Entry {
 pub struct SchedulerStats {
     /// Successful fetch+parse rounds.
     pub rounds_ok: AtomicU64,
-    /// Failed rounds (fetch or parse).
+    /// Failed rounds (fetch or parse, after the retry budget).
     pub rounds_failed: AtomicU64,
     /// Total records delivered to the sink.
     pub records_delivered: AtomicU64,
+    /// Retries spent across all sources.
+    pub retries: AtomicU64,
+    /// Polls skipped because a source's breaker was open.
+    pub quarantined_polls: AtomicU64,
+    /// Breaker trips (closed/half-open → open) across all sources.
+    pub breaker_opened: AtomicU64,
+    /// Breaker recoveries (half-open → closed) across all sources.
+    pub breaker_closed: AtomicU64,
 }
 
 /// Builds and starts a feed-polling loop.
@@ -61,26 +77,41 @@ pub struct FeedScheduler<F> {
     entries: Vec<Entry>,
     stats: Arc<SchedulerStats>,
     metrics: Option<FeedIngestMetrics>,
+    resilience: ResilienceConfig,
+    seed: u64,
 }
 
 impl<F> FeedScheduler<F>
 where
     F: FnMut(Vec<FeedRecord>) + Send + 'static,
 {
-    /// Creates a scheduler delivering records to `sink`.
+    /// Creates a scheduler delivering records to `sink`. Resilience
+    /// defaults to pass-through (no retries, breaker never trips);
+    /// call [`FeedScheduler::configure_resilience`] before adding
+    /// sources to enable it.
     pub fn new(sink: F) -> Self {
         FeedScheduler {
             sink,
             entries: Vec::new(),
             stats: Arc::new(SchedulerStats::default()),
             metrics: None,
+            resilience: ResilienceConfig::disabled(),
+            seed: 0,
         }
     }
 
-    /// Attaches telemetry: every round also records
-    /// `feeds_rounds_ok_total` / `feeds_records_total` /
-    /// `feeds_fetch_errors_total` / `feeds_parse_errors_total`
-    /// into the registry, alongside the [`SchedulerStats`] atomics.
+    /// Sets the retry/breaker configuration (and the seed for backoff
+    /// jitter streams) applied to sources added *after* this call.
+    pub fn configure_resilience(&mut self, config: ResilienceConfig, seed: u64) {
+        self.resilience = config;
+        self.seed = seed;
+    }
+
+    /// Attaches telemetry: every round also records the
+    /// `feeds_*` counters (rounds, records, errors, retries, breaker
+    /// transitions, quarantined polls) and the
+    /// `feeds_sources_quarantined` gauge into the registry, alongside
+    /// the [`SchedulerStats`] atomics.
     pub fn instrument(&mut self, registry: &cais_telemetry::Registry) {
         self.metrics = Some(FeedIngestMetrics::new(registry));
     }
@@ -89,9 +120,10 @@ where
     /// immediately after start.
     pub fn add_source(&mut self, source: Box<dyn FeedSource>, interval: Duration) {
         self.entries.push(Entry {
-            source,
+            source: ResilientSource::new(source, &self.resilience, self.seed),
             interval,
             next_due: Instant::now(),
+            reported: BreakerTransitions::default(),
         });
     }
 
@@ -103,37 +135,72 @@ where
     /// Starts the polling loop on a background thread, checking due
     /// sources every `tick`.
     pub fn start(mut self, tick: Duration) -> SchedulerHandle {
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
+        let stop = StopToken::new();
+        let token = stop.clone();
         let stats = Arc::clone(&self.stats);
         let handle = std::thread::Builder::new()
             .name("cais-feed-scheduler".into())
             .spawn(move || {
-                while !stop_flag.load(Ordering::Relaxed) {
+                'outer: while !token.is_stopped() {
                     let now = Instant::now();
                     for entry in &mut self.entries {
                         if now < entry.next_due {
                             continue;
                         }
                         entry.next_due = now + entry.interval;
-                        let result = entry.source.collect();
+                        // Backoff waits ride the stop token, so a stop
+                        // mid-ladder interrupts instead of sleeping out
+                        // the schedule.
+                        let outcome = entry.source.poll(&token);
+                        let transitions = entry.source.breaker_transitions();
+                        let opened = transitions.opened - entry.reported.opened;
+                        let closed = transitions.closed - entry.reported.closed;
+                        entry.reported = transitions;
+                        stats.breaker_opened.fetch_add(opened, Ordering::Relaxed);
+                        stats.breaker_closed.fetch_add(closed, Ordering::Relaxed);
                         if let Some(metrics) = &self.metrics {
-                            metrics.observe_result(&result);
+                            metrics.observe_breaker(opened, closed);
                         }
-                        match result {
-                            Ok(records) => {
+                        match outcome {
+                            RoundOutcome::Delivered(records) => {
                                 stats.rounds_ok.fetch_add(1, Ordering::Relaxed);
                                 stats
                                     .records_delivered
                                     .fetch_add(records.len() as u64, Ordering::Relaxed);
+                                if let Some(metrics) = &self.metrics {
+                                    metrics.observe_round(records.len());
+                                }
                                 (self.sink)(records);
                             }
-                            Err(_) => {
+                            RoundOutcome::Failed(error) => {
                                 stats.rounds_failed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(metrics) = &self.metrics {
+                                    metrics.observe_error(&error);
+                                }
                             }
+                            RoundOutcome::Quarantined => {
+                                stats.quarantined_polls.fetch_add(1, Ordering::Relaxed);
+                                if let Some(metrics) = &self.metrics {
+                                    metrics.observe_quarantined_poll();
+                                }
+                            }
+                            RoundOutcome::Interrupted => break 'outer,
                         }
                     }
-                    std::thread::sleep(tick);
+                    let retries: u64 = self.entries.iter().map(|e| e.source.total_retries()).sum();
+                    let previous = stats.retries.swap(retries, Ordering::Relaxed);
+                    if let Some(metrics) = &self.metrics {
+                        metrics.observe_retries(retries.saturating_sub(previous));
+                        let quarantined = self
+                            .entries
+                            .iter()
+                            .filter(|e| e.source.is_quarantined())
+                            .count();
+                        metrics.set_sources_quarantined(quarantined as u64);
+                    }
+                    if !token.sleep(tick) {
+                        break;
+                    }
                 }
             })
             .expect("spawn feed scheduler thread");
@@ -147,14 +214,16 @@ where
 /// Handle controlling a running scheduler; stopping joins the thread.
 #[derive(Debug)]
 pub struct SchedulerHandle {
-    stop: Arc<AtomicBool>,
+    stop: StopToken,
     thread: Option<JoinHandle<()>>,
 }
 
 impl SchedulerHandle {
-    /// Signals the loop to stop and waits for it to finish.
+    /// Signals the loop to stop and waits for it to finish. The wait is
+    /// prompt even when a source is mid-retry backoff: every sleep in
+    /// the loop is interruptible.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.trigger();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -163,7 +232,7 @@ impl SchedulerHandle {
 
 impl Drop for SchedulerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.trigger();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -174,6 +243,7 @@ impl Drop for SchedulerHandle {
 mod tests {
     use super::*;
     use crate::{FeedFormat, FlakySource, MemorySource, ThreatCategory};
+    use cais_common::resilience::{BreakerConfig, FaultKind, FaultPlan, RetryPolicy};
     use std::sync::Mutex;
 
     fn mem(payload: &str) -> MemorySource {
@@ -212,9 +282,15 @@ mod tests {
         let mut scheduler = FeedScheduler::new(move |records| {
             sink.lock().unwrap().extend(records);
         });
-        // Every second fetch fails.
+        // Every second fetch fails; resilience stays pass-through so
+        // each failure surfaces as a failed round.
+        let plan = FaultPlan::new(0).every_nth("feed:flaky", 2, FaultKind::Error);
         scheduler.add_source(
-            Box::new(FlakySource::new(mem("evil.example\n"), 2)),
+            Box::new(FlakySource::scripted(
+                mem("evil.example\n"),
+                plan,
+                "feed:flaky",
+            )),
             Duration::from_millis(5),
         );
         let stats = scheduler.stats();
@@ -227,11 +303,119 @@ mod tests {
     }
 
     #[test]
+    fn retries_absorb_transient_failures() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&collected);
+        let mut scheduler = FeedScheduler::new(move |records| {
+            sink.lock().unwrap().extend(records);
+        });
+        scheduler.configure_resilience(
+            ResilienceConfig {
+                retry: RetryPolicy::fast(3),
+                breaker: BreakerConfig::default(),
+            },
+            42,
+        );
+        // Two transient failures per ladder of three attempts: every
+        // round recovers within its budget.
+        let plan = FaultPlan::new(0).script(
+            "feed:transient",
+            vec![Some(FaultKind::Error), Some(FaultKind::Error), None],
+        );
+        scheduler.add_source(
+            Box::new(FlakySource::scripted(
+                mem("evil.example\n"),
+                plan,
+                "feed:transient",
+            )),
+            Duration::from_millis(5),
+        );
+        let stats = scheduler.stats();
+        let handle = scheduler.start(Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(80));
+        handle.stop();
+        assert_eq!(stats.rounds_failed.load(Ordering::Relaxed), 0);
+        assert!(stats.rounds_ok.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.retries.load(Ordering::Relaxed), 2);
+        assert!(!collected.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn dead_source_is_quarantined() {
+        let mut scheduler = FeedScheduler::new(|_| {});
+        scheduler.configure_resilience(
+            ResilienceConfig {
+                retry: RetryPolicy::fast(2),
+                breaker: BreakerConfig {
+                    trip_after: 2,
+                    cooldown_probes: 1_000_000, // stays open for the test
+                    half_open_successes: 1,
+                },
+            },
+            42,
+        );
+        let plan = FaultPlan::new(0).always("feed:dead", FaultKind::Error);
+        scheduler.add_source(
+            Box::new(FlakySource::scripted(
+                mem("evil.example\n"),
+                plan,
+                "feed:dead",
+            )),
+            Duration::from_millis(2),
+        );
+        let stats = scheduler.stats();
+        let handle = scheduler.start(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(80));
+        handle.stop();
+        assert_eq!(stats.breaker_opened.load(Ordering::Relaxed), 1);
+        assert!(stats.quarantined_polls.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.rounds_failed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn stop_is_prompt() {
         let scheduler = FeedScheduler::new(|_| {});
         let handle = scheduler.start(Duration::from_millis(1));
         let started = Instant::now();
         handle.stop();
         assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn stop_interrupts_a_retry_backoff() {
+        let mut scheduler = FeedScheduler::new(|_| {});
+        scheduler.configure_resilience(
+            ResilienceConfig {
+                retry: RetryPolicy {
+                    max_attempts: 10,
+                    base_delay: Duration::from_secs(30),
+                    multiplier: 2,
+                    max_delay: Duration::from_secs(60),
+                    jitter: 0.0,
+                },
+                breaker: BreakerConfig::disabled(),
+            },
+            42,
+        );
+        let plan = FaultPlan::new(0).always("feed:slow", FaultKind::Error);
+        scheduler.add_source(
+            Box::new(FlakySource::scripted(
+                mem("evil.example\n"),
+                plan,
+                "feed:slow",
+            )),
+            Duration::from_millis(1),
+        );
+        let handle = scheduler.start(Duration::from_millis(1));
+        // Let the loop enter the 30-second backoff, then stop: the
+        // join must not wait out the ladder.
+        std::thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        handle.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop took {:?}",
+            started.elapsed()
+        );
     }
 }

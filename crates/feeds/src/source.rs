@@ -9,6 +9,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use cais_common::resilience::{mangle_payload, FaultKind, FaultPlan};
 use parking_lot::Mutex;
 
 use crate::{parse, FeedError, FeedFormat, FeedRecord, ThreatCategory};
@@ -147,12 +148,25 @@ impl FeedSource for FileSource {
     }
 }
 
-/// A wrapper injecting deterministic fetch failures: every `period`-th
-/// fetch fails. Exercises the scheduler's retry path.
+/// A wrapper injecting deterministic faults into an inner source.
+///
+/// The modern constructor is [`FlakySource::scripted`]: faults come
+/// from a shared [`FaultPlan`] site, covering every scriptable kind —
+/// fetch errors, parse garbage, truncated payloads and duplicate
+/// replays. The legacy every-`period`-th-fetch-fails constructor
+/// remains for old tests but is deprecated.
 pub struct FlakySource<S> {
     inner: S,
-    period: u64,
+    mode: FlakyMode,
     counter: AtomicU64,
+    last_payload: Mutex<Option<String>>,
+}
+
+enum FlakyMode {
+    /// Legacy: fetches numbered `period`, `2·period`, … fail (1-based).
+    Period(u64),
+    /// Faults scripted by a shared plan under a named site.
+    Plan { plan: FaultPlan, site: String },
 }
 
 impl<S: FeedSource> FlakySource<S> {
@@ -162,12 +176,34 @@ impl<S: FeedSource> FlakySource<S> {
     /// # Panics
     ///
     /// Panics if `period` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use FlakySource::scripted with a FaultPlan (every_nth mode reproduces period semantics)"
+    )]
     pub fn new(inner: S, period: u64) -> Self {
         assert!(period > 0, "period must be positive");
         FlakySource {
             inner,
-            period,
+            mode: FlakyMode::Period(period),
             counter: AtomicU64::new(0),
+            last_payload: Mutex::new(None),
+        }
+    }
+
+    /// Wraps `inner` so every fetch consults `plan` at `site`. Error
+    /// and ack-lost faults fail the fetch; garbage, truncation and
+    /// replay mangle the payload (replay serves the last payload this
+    /// wrapper delivered); delays pass through unchanged — payload
+    /// fetching has no clock to stall.
+    pub fn scripted(inner: S, plan: FaultPlan, site: impl Into<String>) -> Self {
+        FlakySource {
+            inner,
+            mode: FlakyMode::Plan {
+                plan,
+                site: site.into(),
+            },
+            counter: AtomicU64::new(0),
+            last_payload: Mutex::new(None),
         }
     }
 
@@ -192,23 +228,40 @@ impl<S: FeedSource> FeedSource for FlakySource<S> {
 
     fn fetch(&self) -> Result<String, FeedError> {
         let attempt = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
-        if attempt.is_multiple_of(self.period) {
-            Err(FeedError::fetch(
+        let fault = match &self.mode {
+            FlakyMode::Period(period) => {
+                attempt.is_multiple_of(*period).then_some(FaultKind::Error)
+            }
+            FlakyMode::Plan { plan, site } => plan.next(site),
+        };
+        match fault {
+            Some(FaultKind::Error) | Some(FaultKind::AckLost) => Err(FeedError::fetch(
                 self.inner.name(),
                 format!("injected failure on attempt {attempt}"),
-            ))
-        } else {
-            self.inner.fetch()
+            )),
+            Some(kind @ (FaultKind::Garbage | FaultKind::Truncate | FaultKind::Replay)) => {
+                let payload = self.inner.fetch()?;
+                let previous = self.last_payload.lock().clone();
+                Ok(mangle_payload(kind, payload, previous.as_deref()))
+            }
+            Some(FaultKind::Delay(_)) | None => {
+                let payload = self.inner.fetch()?;
+                *self.last_payload.lock() = Some(payload.clone());
+                Ok(payload)
+            }
         }
     }
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for FlakySource<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FlakySource")
-            .field("inner", &self.inner)
-            .field("period", &self.period)
-            .finish()
+        let mut s = f.debug_struct("FlakySource");
+        s.field("inner", &self.inner);
+        match &self.mode {
+            FlakyMode::Period(period) => s.field("period", period),
+            FlakyMode::Plan { site, .. } => s.field("site", site),
+        };
+        s.finish()
     }
 }
 
@@ -264,6 +317,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn flaky_source_fails_periodically() {
         let source = FlakySource::new(mem("evil.example\n"), 3);
         assert!(source.fetch().is_ok()); // 1
@@ -274,16 +328,58 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "period must be positive")]
     fn flaky_zero_period_panics() {
         let _ = FlakySource::new(mem(""), 0);
     }
 
     #[test]
+    fn scripted_source_walks_the_fault_taxonomy() {
+        let plan = FaultPlan::new(7).script(
+            "feed:test",
+            vec![
+                None,                      // healthy, caches the payload
+                Some(FaultKind::Error),    // fetch fails
+                Some(FaultKind::Garbage),  // unparseable payload
+                Some(FaultKind::Truncate), // cut short
+                Some(FaultKind::Replay),   // duplicate of the cached payload
+            ],
+        );
+        let source = FlakySource::scripted(mem("evil.example\ntwo.example\n"), plan, "feed:test");
+
+        assert_eq!(source.collect().unwrap().len(), 2);
+        assert!(matches!(source.fetch(), Err(FeedError::Fetch { .. })));
+        // Garbage fetches fine but cannot parse.
+        assert!(matches!(source.collect(), Err(FeedError::Parse { .. })));
+        let truncated = source.fetch().unwrap();
+        assert!(truncated.len() < "evil.example\ntwo.example\n".len());
+        // Replay serves the last *healthy* payload verbatim.
+        assert_eq!(source.fetch().unwrap(), "evil.example\ntwo.example\n");
+        // Script exhausted: healthy again.
+        assert_eq!(source.collect().unwrap().len(), 2);
+        assert_eq!(source.attempts(), 6);
+    }
+
+    #[test]
+    fn scripted_every_nth_reproduces_period_semantics() {
+        let plan = FaultPlan::new(0).every_nth("feed:p", 2, FaultKind::Error);
+        let source = FlakySource::scripted(mem("evil.example\n"), plan, "feed:p");
+        assert!(source.fetch().is_ok());
+        assert!(source.fetch().is_err());
+        assert!(source.fetch().is_ok());
+        assert!(source.fetch().is_err());
+    }
+
+    #[test]
     fn sources_are_object_safe() {
         let sources: Vec<Box<dyn FeedSource>> = vec![
             Box::new(mem("evil.example\n")),
-            Box::new(FlakySource::new(mem("evil.example\n"), 2)),
+            Box::new(FlakySource::scripted(
+                mem("evil.example\n"),
+                FaultPlan::new(0).every_nth("feed:obj", 2, FaultKind::Error),
+                "feed:obj",
+            )),
         ];
         assert_eq!(sources.len(), 2);
         assert!(sources[0].collect().is_ok());

@@ -1,12 +1,16 @@
 //! Feed-ingestion telemetry: counters over fetch/parse outcomes.
 
-use cais_telemetry::{Counter, Registry};
+use cais_telemetry::{Counter, Gauge, Registry};
 
 use crate::FeedError;
 
 /// Cached counter handles for feed ingestion
 /// (`feeds_rounds_ok_total`, `feeds_records_total`,
-/// `feeds_fetch_errors_total`, `feeds_parse_errors_total`).
+/// `feeds_fetch_errors_total`, `feeds_parse_errors_total`), plus the
+/// resilience surface: `feeds_retries_total`,
+/// `feeds_breaker_opened_total`, `feeds_breaker_closed_total`,
+/// `feeds_quarantined_polls_total` and the
+/// `feeds_sources_quarantined` gauge.
 ///
 /// Used by [`FeedScheduler::instrument`](crate::FeedScheduler::instrument)
 /// and usable directly by anything that polls sources by hand.
@@ -16,6 +20,11 @@ pub struct FeedIngestMetrics {
     records: Counter,
     fetch_errors: Counter,
     parse_errors: Counter,
+    retries: Counter,
+    breaker_opened: Counter,
+    breaker_closed: Counter,
+    quarantined_polls: Counter,
+    sources_quarantined: Gauge,
 }
 
 impl FeedIngestMetrics {
@@ -26,6 +35,11 @@ impl FeedIngestMetrics {
             records: registry.counter("feeds_records_total"),
             fetch_errors: registry.counter("feeds_fetch_errors_total"),
             parse_errors: registry.counter("feeds_parse_errors_total"),
+            retries: registry.counter("feeds_retries_total"),
+            breaker_opened: registry.counter("feeds_breaker_opened_total"),
+            breaker_closed: registry.counter("feeds_breaker_closed_total"),
+            quarantined_polls: registry.counter("feeds_quarantined_polls_total"),
+            sources_quarantined: registry.gauge("feeds_sources_quarantined"),
         }
     }
 
@@ -51,6 +65,33 @@ impl FeedIngestMetrics {
             Ok(records) => self.observe_round(records.len()),
             Err(error) => self.observe_error(error),
         }
+    }
+
+    /// Records retries spent since the last observation.
+    pub fn observe_retries(&self, retries: u64) {
+        if retries > 0 {
+            self.retries.add(retries);
+        }
+    }
+
+    /// Records breaker transitions since the last observation.
+    pub fn observe_breaker(&self, opened: u64, closed: u64) {
+        if opened > 0 {
+            self.breaker_opened.add(opened);
+        }
+        if closed > 0 {
+            self.breaker_closed.add(closed);
+        }
+    }
+
+    /// Records one poll skipped because the source's breaker was open.
+    pub fn observe_quarantined_poll(&self) {
+        self.quarantined_polls.inc();
+    }
+
+    /// Updates the count of currently quarantined sources.
+    pub fn set_sources_quarantined(&self, count: u64) {
+        self.sources_quarantined.set(count as i64);
     }
 }
 

@@ -53,4 +53,5 @@ pub use attribute::{AttributeCategory, MispAttribute};
 pub use error::MispError;
 pub use event::{Analysis, Distribution, MispEvent, ThreatLevel};
 pub use store::MispStore;
+pub use sync::{ResilientSyncReport, SyncReport};
 pub use tag::Tag;

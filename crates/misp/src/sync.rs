@@ -11,6 +11,12 @@
 //! * `ConnectedCommunities` — synced, arrives as `CommunityOnly`,
 //! * `AllCommunities` — synced unchanged.
 
+use std::time::Duration;
+
+use cais_common::resilience::{site_hash, FaultKind, FaultPlan, RetryPolicy, Sleeper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use crate::api::MispApi;
 use crate::event::{Distribution, MispEvent};
 
@@ -93,10 +99,127 @@ pub fn pull(local: &MispApi, remote: &MispApi) -> SyncReport {
     push(remote, local)
 }
 
+/// The outcome of one resilient (fault-injected, retried) push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilientSyncReport {
+    /// The underlying transfer accounting.
+    pub base: SyncReport,
+    /// Delivery retries spent across all events.
+    pub retries: u64,
+    /// Events whose first delivery was applied but un-acked
+    /// ([`FaultKind::AckLost`]): the retry found them already on the
+    /// target and confirmed instead of duplicating.
+    pub redelivered: usize,
+    /// Events abandoned after the retry budget (never confirmed — an
+    /// ack-lost apply may still have landed).
+    pub failed: usize,
+}
+
+/// [`push`] under fault injection with retries — the resumable,
+/// idempotent sync path.
+///
+/// Each event delivery consults `plan` at `site` and rides `policy`'s
+/// retry ladder (backoff on `sleeper`, jitter from a stream seeded by
+/// `seed` and the site). Delivery is idempotent by UUID, so the two
+/// duplicate-shaped faults cannot duplicate events on the target:
+///
+/// - [`FaultKind::AckLost`] — the event lands but the sender sees an
+///   error; the retry finds the UUID present and *confirms* rather
+///   than re-inserting (counted in
+///   [`ResilientSyncReport::redelivered`]).
+/// - [`FaultKind::Replay`] — the event is delivered twice in one
+///   attempt; the second copy is dropped by the UUID check.
+/// - [`FaultKind::Error`] / [`FaultKind::Garbage`] /
+///   [`FaultKind::Truncate`] — the delivery fails outright and is
+///   retried.
+/// - [`FaultKind::Delay`] — the delivery succeeds after a virtual
+///   delay routed to `sleeper`.
+///
+/// A fault-free plan makes this byte-for-byte equivalent to [`push`].
+pub fn push_resilient(
+    source: &MispApi,
+    target: &MispApi,
+    plan: &FaultPlan,
+    site: &str,
+    policy: &RetryPolicy,
+    sleeper: &impl Sleeper,
+    seed: u64,
+) -> ResilientSyncReport {
+    let mut rng = StdRng::seed_from_u64(seed ^ site_hash(site));
+    let mut report = ResilientSyncReport::default();
+    for event in source.store().all() {
+        if !event.published {
+            continue;
+        }
+        report.base.considered += 1;
+        let Some(arrival_distribution) = downgrade(event.distribution) else {
+            report.base.withheld += 1;
+            continue;
+        };
+        if target.store().get_by_uuid(&event.uuid).is_some() {
+            report.base.already_present += 1;
+            continue;
+        }
+        // Applies the event unless its UUID already landed (an earlier
+        // ack-lost or replayed delivery); returns whether it inserted.
+        let deliver = || -> bool {
+            if target.store().get_by_uuid(&event.uuid).is_some() {
+                return false;
+            }
+            let mut transferred: MispEvent = event.clone();
+            transferred.id = 0;
+            transferred.distribution = arrival_distribution;
+            target.add_event(transferred).is_ok()
+        };
+        let mut acklost_applied = false;
+        let outcome = policy.run(&mut rng, sleeper, |_| match plan.next(site) {
+            Some(FaultKind::Error) | Some(FaultKind::Garbage) | Some(FaultKind::Truncate) => {
+                Err("injected delivery failure")
+            }
+            Some(FaultKind::AckLost) => {
+                if deliver() {
+                    acklost_applied = true;
+                }
+                Err("injected ack loss")
+            }
+            Some(FaultKind::Replay) => {
+                // Delivered twice; the UUID check drops the duplicate.
+                deliver();
+                deliver();
+                Ok(())
+            }
+            Some(FaultKind::Delay(ms)) => {
+                sleeper.sleep(Duration::from_millis(u64::from(ms)));
+                deliver();
+                Ok(())
+            }
+            None => {
+                deliver();
+                Ok(())
+            }
+        });
+        report.retries += u64::from(outcome.retries);
+        match outcome.result {
+            Ok(()) => {
+                report.base.transferred += 1;
+                if acklost_applied {
+                    report.redelivered += 1;
+                }
+            }
+            Err(_) => report.failed += 1,
+        }
+        if outcome.interrupted {
+            break;
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::attribute::{AttributeCategory, MispAttribute};
+    use cais_common::resilience::RecordingSleeper;
 
     fn published_event(api: &MispApi, info: &str, distribution: Distribution) -> u64 {
         let mut event = MispEvent::new(info);
@@ -172,6 +295,127 @@ mod tests {
         let report = pull(&local, &remote);
         assert_eq!(report.transferred, 1);
         assert_eq!(local.store().len(), 1);
+    }
+
+    #[test]
+    fn resilient_push_with_healthy_plan_matches_push() {
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        let expected = MispApi::new("b2");
+        for i in 0..4 {
+            published_event(&source, &format!("e{i}"), Distribution::AllCommunities);
+        }
+        let plan = FaultPlan::healthy();
+        let report = push_resilient(
+            &source,
+            &target,
+            &plan,
+            "misp.push",
+            &RetryPolicy::fast(3),
+            &RecordingSleeper::default(),
+            42,
+        );
+        let baseline = push(&source, &expected);
+        assert_eq!(report.base, baseline);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.redelivered, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(target.store().len(), expected.store().len());
+    }
+
+    #[test]
+    fn ack_loss_redelivers_without_duplicating() {
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        for i in 0..3 {
+            published_event(&source, &format!("e{i}"), Distribution::AllCommunities);
+        }
+        // Every delivery's first attempt is applied but un-acked.
+        let plan = FaultPlan::new(7).script(
+            "misp.push",
+            vec![
+                Some(FaultKind::AckLost),
+                None,
+                Some(FaultKind::AckLost),
+                None,
+                Some(FaultKind::AckLost),
+                None,
+            ],
+        );
+        let report = push_resilient(
+            &source,
+            &target,
+            &plan,
+            "misp.push",
+            &RetryPolicy::fast(3),
+            &RecordingSleeper::default(),
+            42,
+        );
+        assert_eq!(report.base.transferred, 3);
+        assert_eq!(report.redelivered, 3);
+        assert_eq!(report.retries, 3);
+        assert_eq!(report.failed, 0);
+        // Zero duplicates: one event per UUID on the target.
+        assert_eq!(target.store().len(), 3);
+        let mut uuids: Vec<_> = target.store().all().iter().map(|e| e.uuid).collect();
+        uuids.sort_unstable();
+        uuids.dedup();
+        assert_eq!(uuids.len(), 3);
+    }
+
+    #[test]
+    fn replay_faults_do_not_duplicate() {
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        published_event(&source, "e", Distribution::AllCommunities);
+        let plan = FaultPlan::new(3).always("misp.push", FaultKind::Replay);
+        let report = push_resilient(
+            &source,
+            &target,
+            &plan,
+            "misp.push",
+            &RetryPolicy::fast(3),
+            &RecordingSleeper::default(),
+            42,
+        );
+        assert_eq!(report.base.transferred, 1);
+        assert_eq!(target.store().len(), 1);
+    }
+
+    #[test]
+    fn dead_peer_exhausts_the_budget() {
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        for i in 0..2 {
+            published_event(&source, &format!("e{i}"), Distribution::AllCommunities);
+        }
+        let plan = FaultPlan::new(5).always("misp.push", FaultKind::Error);
+        let report = push_resilient(
+            &source,
+            &target,
+            &plan,
+            "misp.push",
+            &RetryPolicy::fast(3),
+            &RecordingSleeper::default(),
+            42,
+        );
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.base.transferred, 0);
+        assert_eq!(report.retries, 4); // 2 retries per event
+        assert_eq!(target.store().len(), 0);
+        // A later fault-free pass completes the sync.
+        let healthy = FaultPlan::healthy();
+        let second = push_resilient(
+            &source,
+            &target,
+            &healthy,
+            "misp.push",
+            &RetryPolicy::fast(3),
+            &RecordingSleeper::default(),
+            42,
+        );
+        assert_eq!(second.base.transferred, 2);
+        assert_eq!(target.store().len(), 2);
     }
 
     #[test]

@@ -37,9 +37,11 @@
 mod client;
 mod collection;
 mod protocol;
+mod resilient;
 mod server;
 
 pub use client::TaxiiClient;
 pub use collection::{Collection, Envelope};
 pub use protocol::{Request, Response};
+pub use resilient::ResilientTaxiiClient;
 pub use server::TaxiiServer;

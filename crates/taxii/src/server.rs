@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::thread;
 
 use cais_bus::tcp::{read_frame, write_frame};
+use cais_common::resilience::{FaultKind, FaultPlan};
 use cais_common::{Timestamp, Uuid};
 use parking_lot::RwLock;
 
@@ -150,6 +151,118 @@ impl TaxiiServer {
             let bytes = serde_json::to_vec(&response)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             write_frame(&mut stream, &bytes)?;
+        }
+    }
+
+    /// Like [`TaxiiServer::serve`], but every request frame consults
+    /// `plan` at `site` first — the chaos harness:
+    ///
+    /// - [`FaultKind::Error`] — the connection is dropped without a
+    ///   response (the frame is lost; the request is *not* applied).
+    /// - [`FaultKind::AckLost`] — the request **is** applied, then the
+    ///   connection drops before the response: the client observes an
+    ///   error even though the effect landed. Exercises idempotent
+    ///   re-delivery.
+    /// - [`FaultKind::Garbage`] — an unparseable response frame.
+    /// - [`FaultKind::Truncate`] — the response frame carries only the
+    ///   first half of the serialized response.
+    /// - [`FaultKind::Replay`] — the previous response on this
+    ///   connection is resent instead of the current one.
+    /// - [`FaultKind::Delay`] — virtual; the response is served
+    ///   normally (the server has no injected clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn serve_chaos(
+        &self,
+        addr: &str,
+        plan: FaultPlan,
+        site: impl Into<String>,
+    ) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let server = self.clone();
+        let site = site.into();
+        thread::Builder::new()
+            .name("cais-taxii-chaos".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let server = server.clone();
+                    let plan = plan.clone();
+                    let site = site.clone();
+                    let _ = thread::Builder::new()
+                        .name("cais-taxii-chaos-conn".into())
+                        .spawn(move || {
+                            let _ = server.serve_connection_chaos(stream, &plan, &site);
+                        });
+                }
+            })
+            .expect("spawn chaos taxii server thread");
+        Ok(local_addr)
+    }
+
+    fn serve_connection_chaos(
+        &self,
+        mut stream: TcpStream,
+        plan: &FaultPlan,
+        site: &str,
+    ) -> io::Result<()> {
+        let mut previous: Option<Vec<u8>> = None;
+        loop {
+            let frame = read_frame(&mut stream)?;
+            let fault = plan.next(site);
+            let respond = |response: &Response| -> io::Result<Vec<u8>> {
+                serde_json::to_vec(response)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            };
+            match fault {
+                Some(FaultKind::Error) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected frame drop",
+                    ));
+                }
+                Some(FaultKind::AckLost) => {
+                    if let Ok(request) = serde_json::from_slice::<Request>(&frame) {
+                        let _ = self.handle(request);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected ack loss",
+                    ));
+                }
+                Some(FaultKind::Garbage) => {
+                    write_frame(&mut stream, b"\x01\x02%%% injected garbage %%%\x03")?;
+                }
+                Some(FaultKind::Truncate) => {
+                    let request = serde_json::from_slice::<Request>(&frame);
+                    let response = match request {
+                        Ok(request) => self.handle(request),
+                        Err(err) => Response::Error {
+                            message: format!("malformed request: {err}"),
+                        },
+                    };
+                    let bytes = respond(&response)?;
+                    write_frame(&mut stream, &bytes[..bytes.len() / 2])?;
+                }
+                Some(FaultKind::Replay) if previous.is_some() => {
+                    let bytes = previous.clone().expect("checked above");
+                    write_frame(&mut stream, &bytes)?;
+                }
+                Some(FaultKind::Replay) | Some(FaultKind::Delay(_)) | None => {
+                    let response = match serde_json::from_slice::<Request>(&frame) {
+                        Ok(request) => self.handle(request),
+                        Err(err) => Response::Error {
+                            message: format!("malformed request: {err}"),
+                        },
+                    };
+                    let bytes = respond(&response)?;
+                    write_frame(&mut stream, &bytes)?;
+                    previous = Some(bytes);
+                }
+            }
         }
     }
 }

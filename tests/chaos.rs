@@ -1,0 +1,179 @@
+//! Chaos integration tests: the sharing channels (TAXII, MISP sync)
+//! against servers that drop, corrupt and replay frames on a seeded
+//! schedule.
+//!
+//! Every test derives its fault schedule from `CAIS_CHAOS_SEED`
+//! (default 42) and prints the seed up front, so a CI failure is
+//! reproducible with `CAIS_CHAOS_SEED=<seed> cargo test --test chaos`.
+
+use std::io;
+
+use cais::common::resilience::{
+    BreakerConfig, FaultKind, FaultPlan, RecordingSleeper, RetryPolicy, ThreadSleeper,
+};
+use cais::misp::event::Distribution;
+use cais::misp::sync::push_resilient;
+use cais::misp::{MispApi, MispEvent};
+use cais::taxii::{Collection, Request, ResilientTaxiiClient, TaxiiServer};
+use cais::telemetry::Registry;
+
+fn chaos_seed() -> u64 {
+    let seed = std::env::var("CAIS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("chaos seed: {seed} (set CAIS_CHAOS_SEED to reproduce)");
+    seed
+}
+
+/// The TAXII client converges to the full object set even when the
+/// server kills the connection on every third request frame.
+#[test]
+fn taxii_client_converges_against_a_frame_dropping_server() {
+    let seed = chaos_seed();
+    let mut server = TaxiiServer::new("chaos point");
+    let id = server.add_collection(Collection::new("iocs", "chaos collection"));
+    // 250 objects force three pages at the client's limit of 100, so
+    // the walk spans enough frames for the schedule to fire mid-fetch.
+    // Batched with distinct timestamps to keep pagination watermarks
+    // meaningful.
+    for batch in 0..5 {
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: (0..50)
+                .map(|i| serde_json::json!({ "type": "indicator", "b": batch, "i": i }))
+                .collect(),
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let plan = FaultPlan::new(seed).every_nth("taxii.frame", 3, FaultKind::Error);
+    let addr = server
+        .serve_chaos("127.0.0.1:0", plan.clone(), "taxii.frame")
+        .expect("bind chaos server");
+
+    let registry = Registry::new();
+    let mut client =
+        ResilientTaxiiClient::new(addr, RetryPolicy::fast(6), BreakerConfig::disabled(), seed);
+    client.instrument(&registry);
+
+    assert_eq!(
+        client.discovery(&ThreadSleeper).expect("discovery"),
+        "chaos point",
+        "seed {seed}"
+    );
+    let objects = client
+        .all_objects(&id, &ThreadSleeper)
+        .expect("all_objects");
+    assert_eq!(objects.len(), 250, "seed {seed}");
+    assert!(client.retries() > 0, "seed {seed}: no fault ever fired");
+    let counters = registry.snapshot().counters;
+    assert!(counters["taxii_retries_total"] > 0, "seed {seed}");
+    assert!(plan.total_injected() > 0, "seed {seed}");
+}
+
+/// Resilient MISP push against scheduled ack loss: the transfer
+/// converges, re-deliveries are confirmed rather than re-inserted, and
+/// the target ends with zero duplicate events.
+#[test]
+fn misp_sync_survives_ack_loss_without_duplicates() {
+    let seed = chaos_seed();
+    let source = MispApi::new("chaos-src");
+    for i in 0..30 {
+        let mut event = MispEvent::new(format!("chaos intel {i}"));
+        event.distribution = Distribution::AllCommunities;
+        let id = source.add_event(event).expect("add");
+        source.publish_event(id).expect("publish");
+    }
+    let target = MispApi::new("chaos-dst");
+    // Every second delivery attempt is applied but un-acked.
+    let plan = FaultPlan::new(seed).every_nth("misp.push", 2, FaultKind::AckLost);
+    let policy = RetryPolicy::fast(4);
+    let sleeper = RecordingSleeper::default();
+
+    let mut redelivered = 0;
+    let mut passes = 0;
+    loop {
+        let report = push_resilient(
+            &source,
+            &target,
+            &plan,
+            "misp.push",
+            &policy,
+            &sleeper,
+            seed,
+        );
+        redelivered += report.redelivered;
+        passes += 1;
+        if report.failed == 0 {
+            break;
+        }
+        assert!(
+            passes < 10,
+            "seed {seed}: no convergence after {passes} passes"
+        );
+    }
+    assert_eq!(target.store().len(), 30, "seed {seed}");
+    assert!(redelivered > 0, "seed {seed}: ack loss never exercised");
+    // Zero duplicates: every UUID appears exactly once on the target.
+    let mut uuids: Vec<_> = target.store().all().iter().map(|e| e.uuid).collect();
+    let total = uuids.len();
+    uuids.sort_unstable();
+    uuids.dedup();
+    assert_eq!(
+        uuids.len(),
+        total,
+        "seed {seed}: duplicate events on target"
+    );
+    // A follow-up pass is a no-op: everything is already present.
+    let healthy = FaultPlan::healthy();
+    let again = push_resilient(
+        &source,
+        &target,
+        &healthy,
+        "misp.push",
+        &policy,
+        &sleeper,
+        seed,
+    );
+    assert_eq!(again.base.already_present, 30, "seed {seed}");
+    assert_eq!(again.base.transferred, 0, "seed {seed}");
+}
+
+/// A dead TAXII peer trips the circuit breaker; the transition is
+/// visible in the telemetry registry and further calls are denied
+/// without touching the network.
+#[test]
+fn dead_peer_breaker_transitions_surface_in_telemetry() {
+    let seed = chaos_seed();
+    // Bind-then-drop leaves a port that refuses connections.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let registry = Registry::new();
+    let mut client = ResilientTaxiiClient::new(
+        addr,
+        RetryPolicy::fast(2),
+        BreakerConfig {
+            trip_after: 2,
+            cooldown_probes: 2,
+            half_open_successes: 1,
+        },
+        seed,
+    );
+    client.instrument(&registry);
+
+    assert!(client.discovery(&ThreadSleeper).is_err(), "seed {seed}");
+    assert!(client.discovery(&ThreadSleeper).is_err(), "seed {seed}");
+    assert!(client.is_quarantined(), "seed {seed}");
+    let denied = client.discovery(&ThreadSleeper).unwrap_err();
+    assert_eq!(
+        denied.kind(),
+        io::ErrorKind::ConnectionRefused,
+        "seed {seed}"
+    );
+    let counters = registry.snapshot().counters;
+    assert_eq!(counters["taxii_breaker_opened_total"], 1, "seed {seed}");
+    assert!(counters["taxii_retries_total"] >= 2, "seed {seed}");
+    assert_eq!(client.breaker_transitions().opened, 1, "seed {seed}");
+}

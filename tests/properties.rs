@@ -377,6 +377,89 @@ proptest! {
 }
 
 proptest! {
+    /// Graceful degradation under seeded fault injection: whatever
+    /// subset of feeds is permanently dead and however many transient
+    /// failures the rest throw (within the retry budget), ingestion
+    /// through retries and breakers yields exactly the rIoC/eIoC output
+    /// of a fault-free run over the healthy subset — serial and
+    /// parallel alike.
+    #[test]
+    fn faulted_ingestion_matches_fault_free_healthy_subset(
+        seed in 0u64..1_000,
+        dead in prop::collection::vec(any::<bool>(), 4),
+        transient in prop::collection::vec(0u64..=3, 4),
+        workers in 1usize..5,
+    ) {
+        use cais::common::resilience::{FaultKind, FaultPlan};
+        use cais::core::Platform;
+        use cais::feeds::{
+            FeedFormat, FlakySource, MemorySource, ResilienceConfig, ResilientSource,
+            ThreatCategory,
+        };
+
+        // CSV with explicit timestamps: re-fetches parse into
+        // byte-identical records, so output equality is exact.
+        let csv = |feed: usize| {
+            let mut payload = String::from("value,date\n");
+            for i in 0..8 {
+                payload.push_str(&format!(
+                    "feed{feed}-{i}.evil.example,2018-05-{:02}T00:00:00Z\n",
+                    i + 1
+                ));
+            }
+            payload
+        };
+        let memory = |feed: usize| {
+            MemorySource::new(
+                format!("feed-{feed}"),
+                FeedFormat::Csv,
+                ThreatCategory::CommandAndControl,
+                csv(feed),
+            )
+        };
+        let site = |feed: usize| format!("feeds.feed-{feed}");
+
+        let mut plan = FaultPlan::new(seed);
+        for feed in 0..4 {
+            if dead[feed] {
+                plan = plan.always(&site(feed), FaultKind::Error);
+            } else if transient[feed] > 0 {
+                // Within the default budget of 4 attempts: recovers.
+                plan = plan.fail_first(&site(feed), transient[feed], FaultKind::Error);
+            }
+        }
+        let config = ResilienceConfig::default();
+        let mut faulted: Vec<ResilientSource> = (0..4)
+            .map(|feed| {
+                ResilientSource::new(
+                    Box::new(FlakySource::scripted(memory(feed), plan.clone(), site(feed))),
+                    &config,
+                    seed,
+                )
+            })
+            .collect();
+        let mut healthy: Vec<ResilientSource> = (0..4)
+            .filter(|feed| !dead[*feed])
+            .map(|feed| ResilientSource::new(Box::new(memory(feed)), &config, seed))
+            .collect();
+
+        let mut baseline = Platform::paper_use_case();
+        let expected = baseline.ingest_from_sources(&mut healthy, 1).unwrap();
+        let mut platform = Platform::paper_use_case();
+        let outcome = platform.ingest_from_sources(&mut faulted, workers).unwrap();
+
+        let dead_count = dead.iter().filter(|d| **d).count();
+        prop_assert_eq!(outcome.delivered, 4 - dead_count, "seed={} workers={}", seed, workers);
+        prop_assert_eq!(outcome.failed, dead_count, "seed={} workers={}", seed, workers);
+        prop_assert!(
+            outcome.report.same_counters(&expected.report),
+            "seed={} workers={}:\n{:?}\nvs\n{:?}",
+            seed, workers, outcome.report, expected.report
+        );
+        prop_assert_eq!(platform.eiocs(), baseline.eiocs(), "seed={} workers={}", seed, workers);
+        prop_assert_eq!(platform.riocs(), baseline.riocs(), "seed={} workers={}", seed, workers);
+    }
+
     /// Serial and parallel ingestion of the same workload produce
     /// identical telemetry counters — the observational-equivalence
     /// guarantee of the sharded pipeline (see

@@ -210,6 +210,170 @@ fn indexed_reduction_keeps_serial_and_parallel_identical() {
 }
 
 #[test]
+fn faulted_feeds_recover_and_match_fault_free_ingestion() {
+    use cais::common::resilience::{FaultKind, FaultPlan};
+    use cais::feeds::synth::SyntheticFeed;
+    use cais::feeds::{FeedFormat, FlakySource, MemorySource, ResilienceConfig, ResilientSource};
+
+    // CSV only: timestamps ride the payload, so every fetch parses
+    // into byte-identical records and output equality is exact.
+    let set = SyntheticFeedSet::generate(&SyntheticConfig {
+        seed: 7,
+        feeds: 6,
+        records_per_feed: 400,
+        duplicate_rate: 0.2,
+        overlap_rate: 0.3,
+        formats: vec![FeedFormat::Csv],
+        base_time: Platform::paper_use_case().context().now.add_days(-20),
+        ..SyntheticConfig::default()
+    });
+    let memory = |feed: &SyntheticFeed| {
+        MemorySource::new(&feed.name, feed.format, feed.category, &feed.payload)
+    };
+    let site = |feed: &SyntheticFeed| format!("feeds.{}", feed.name);
+    let config = ResilienceConfig::default();
+
+    // Fault-free baseline: all six feeds healthy.
+    let mut healthy: Vec<ResilientSource> = set
+        .feeds
+        .iter()
+        .map(|feed| ResilientSource::new(Box::new(memory(feed)), &config, 7))
+        .collect();
+    let mut baseline = Platform::paper_use_case();
+    let expected = baseline
+        .ingest_from_sources(&mut healthy, 1)
+        .expect("baseline");
+    assert_eq!(expected.delivered, 6);
+    assert!(baseline.riocs().len() > 0 || baseline.eiocs().len() > 0);
+
+    // Three of six feeds fail transiently (twice each, within the
+    // default budget of 4 attempts): full recovery, identical output,
+    // serial == parallel.
+    for workers in [1usize, 4] {
+        let mut plan = FaultPlan::new(7);
+        for feed in [0, 2, 4] {
+            plan = plan.fail_first(&site(&set.feeds[feed]), 2, FaultKind::Error);
+        }
+        let mut sources: Vec<ResilientSource> = set
+            .feeds
+            .iter()
+            .map(|feed| {
+                ResilientSource::new(
+                    Box::new(FlakySource::scripted(
+                        memory(feed),
+                        plan.clone(),
+                        site(feed),
+                    )),
+                    &config,
+                    7,
+                )
+            })
+            .collect();
+        let mut platform = Platform::paper_use_case();
+        let outcome = platform
+            .ingest_from_sources(&mut sources, workers)
+            .expect("faulted round");
+        assert_eq!(outcome.delivered, 6, "{workers} workers");
+        assert_eq!(outcome.failed, 0, "{workers} workers");
+        assert_eq!(outcome.retries, 6, "{workers} workers"); // 2 × 3 feeds
+        assert!(
+            outcome.report.same_counters(&expected.report),
+            "{workers} workers:\n{:?}\nvs\n{:?}",
+            outcome.report,
+            expected.report
+        );
+        assert_eq!(platform.eiocs(), baseline.eiocs(), "{workers} workers");
+        assert_eq!(platform.riocs(), baseline.riocs(), "{workers} workers");
+    }
+}
+
+#[test]
+fn dead_feed_trips_the_breaker_and_healthy_feeds_still_deliver() {
+    use cais::common::resilience::{FaultKind, FaultPlan};
+    use cais::feeds::synth::SyntheticFeed;
+    use cais::feeds::{FeedFormat, FlakySource, MemorySource, ResilienceConfig, ResilientSource};
+
+    let set = SyntheticFeedSet::generate(&SyntheticConfig {
+        seed: 11,
+        feeds: 6,
+        records_per_feed: 200,
+        formats: vec![FeedFormat::Csv],
+        base_time: Platform::paper_use_case().context().now.add_days(-20),
+        ..SyntheticConfig::default()
+    });
+    let memory = |feed: &SyntheticFeed| {
+        MemorySource::new(&feed.name, feed.format, feed.category, &feed.payload)
+    };
+    let config = ResilienceConfig::default();
+
+    // Baseline: the five surviving feeds, fault-free.
+    let mut healthy: Vec<ResilientSource> = set.feeds[..5]
+        .iter()
+        .map(|feed| ResilientSource::new(Box::new(memory(feed)), &config, 11))
+        .collect();
+    let mut baseline = Platform::paper_use_case();
+    let expected = baseline
+        .ingest_from_sources(&mut healthy, 1)
+        .expect("baseline");
+
+    // Feed 5 is permanently dead.
+    let dead_site = format!("feeds.{}", set.feeds[5].name);
+    let plan = FaultPlan::new(11).always(&dead_site, FaultKind::Error);
+    let mut sources: Vec<ResilientSource> = set
+        .feeds
+        .iter()
+        .enumerate()
+        .map(|(i, feed)| {
+            let source: Box<dyn cais::feeds::FeedSource> = if i == 5 {
+                Box::new(FlakySource::scripted(
+                    memory(feed),
+                    plan.clone(),
+                    &dead_site,
+                ))
+            } else {
+                Box::new(memory(feed))
+            };
+            ResilientSource::new(source, &config, 11)
+        })
+        .collect();
+
+    let mut platform = Platform::paper_use_case();
+    let outcome = platform
+        .ingest_from_sources(&mut sources, 4)
+        .expect("first round");
+    assert_eq!(outcome.delivered, 5);
+    assert_eq!(outcome.failed, 1);
+    // The healthy feeds' output is exactly the fault-free baseline.
+    assert!(
+        outcome.report.same_counters(&expected.report),
+        "{:?}\nvs\n{:?}",
+        outcome.report,
+        expected.report
+    );
+    assert_eq!(platform.riocs(), baseline.riocs());
+    assert_eq!(platform.eiocs(), baseline.eiocs());
+
+    // Two more all-duplicate rounds: the third consecutive failure
+    // trips the breaker…
+    for _ in 0..2 {
+        let outcome = platform
+            .ingest_from_sources(&mut sources, 4)
+            .expect("repeat round");
+        assert_eq!(outcome.failed, 1);
+    }
+    assert!(sources[5].is_quarantined());
+    assert_eq!(sources[5].breaker_transitions().opened, 1);
+    // …and the next round skips the dead feed without spending retries
+    // on it, while output stays exactly the baseline's.
+    let outcome = platform
+        .ingest_from_sources(&mut sources, 4)
+        .expect("quarantined round");
+    assert_eq!(outcome.quarantined, 1);
+    assert_eq!(outcome.delivered, 5);
+    assert_eq!(platform.riocs(), baseline.riocs());
+}
+
+#[test]
 fn dashboard_renders_thousands_of_updates() {
     let mut platform = Platform::paper_use_case();
     let mut stream = DashboardStream::attach(

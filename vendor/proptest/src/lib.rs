@@ -52,7 +52,7 @@ pub mod test_runner {
     impl Default for TestRunner {
         fn default() -> TestRunner {
             TestRunner {
-                rng: TestRng::new(0x5EED_CA15_0D0_7E57),
+                rng: TestRng::new(0x05EE_DCA1_50D0_7E57),
             }
         }
     }
