@@ -1,0 +1,81 @@
+//! The cached share path vs naive re-serialization on a 10k-event
+//! store.
+//!
+//! Three shapes: `naive` re-serializes every event per pull, `warm`
+//! replays the generation memo of an unchanged store, and `churn`
+//! mutates 1% of the events before each pull so only those
+//! re-serialize. The ≥5× warm-pull acceptance criterion reads directly
+//! off the `naive` vs `warm` lines; byte equivalence is asserted once
+//! up front (and exhaustively by the `share_equivalence` proptest in
+//! `cais-misp`).
+
+use cais_bench::workloads;
+use cais_misp::export::ExportRegistry;
+use cais_misp::{MispStore, ShareExporter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const EVENTS: usize = 10_000;
+const FORMAT: &str = "misp-json";
+
+fn naive_pull(store: &MispStore, registry: &ExportRegistry) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, versioned) in store.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(b'\n');
+        }
+        let document = registry
+            .export(FORMAT, &versioned.event)
+            .expect("export succeeds")
+            .expect("format exists");
+        out.extend_from_slice(document.as_bytes());
+    }
+    out
+}
+
+fn bench_share_scale(c: &mut Criterion) {
+    let store = MispStore::new();
+    for event in workloads::synthetic_events(42, EVENTS) {
+        store.insert(event).expect("insert");
+    }
+    let share = ShareExporter::default();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let cached = share
+        .pull(&store, FORMAT, workers)
+        .expect("pull succeeds")
+        .expect("format exists");
+    assert_eq!(
+        *cached,
+        naive_pull(&store, share.registry())[..],
+        "cached pull bytes diverge from the naive export"
+    );
+
+    let mut group = c.benchmark_group("share_scale");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    group.bench_function(BenchmarkId::new("naive", EVENTS), |b| {
+        b.iter(|| black_box(naive_pull(&store, share.registry())))
+    });
+
+    group.bench_function(BenchmarkId::new("warm", EVENTS), |b| {
+        b.iter(|| black_box(share.pull(&store, FORMAT, workers).unwrap().unwrap()))
+    });
+
+    group.bench_function(BenchmarkId::new("churn", EVENTS), |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            workloads::churn_events(&store, 0.01, round);
+            black_box(share.pull(&store, FORMAT, workers).unwrap().unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_share_scale);
+criterion_main!(benches);

@@ -549,6 +549,87 @@ pub fn reduce_bench_doc(m: &ReduceBenchMeasurement) -> serde_json::Value {
     })
 }
 
+/// Measured inputs for [`share_bench_doc`], produced by the
+/// `share_json` binary (and reproducible via the `share_scale`
+/// criterion bench).
+#[derive(Debug, Clone, Copy)]
+pub struct ShareBenchMeasurement {
+    /// Events in the store.
+    pub events: usize,
+    /// Total pulls performed (cold + warm).
+    pub pulls: usize,
+    /// Events mutated between the warm and churn pulls.
+    pub churned: usize,
+    /// Wall time of the naive full re-serialization pull.
+    pub naive_nanos: u64,
+    /// Wall time of the first cached pull (all misses).
+    pub cold_nanos: u64,
+    /// Best wall time among repeat pulls of the unchanged store.
+    pub warm_nanos: u64,
+    /// Wall time of the pull after churning `churned` events.
+    pub churn_nanos: u64,
+    /// Size of one pull's output.
+    pub pull_bytes: usize,
+    /// Whether cached pull bytes matched the naive export exactly.
+    pub equivalent: bool,
+    /// Whether serial and parallel STIX bundle assembly agreed.
+    pub stix_parallel_matches: bool,
+    /// Share-cache counters after the run.
+    pub stats: cais_misp::ShareCacheStats,
+}
+
+impl ShareBenchMeasurement {
+    /// Warm-pull speedup over the naive full re-serialization.
+    pub fn warm_speedup(&self) -> f64 {
+        self.naive_nanos as f64 / (self.warm_nanos as f64).max(1.0)
+    }
+
+    /// Churn-pull speedup over the naive full re-serialization.
+    pub fn churn_speedup(&self) -> f64 {
+        self.naive_nanos as f64 / (self.churn_nanos as f64).max(1.0)
+    }
+}
+
+/// The committed `BENCH_share.json` schema: workload shape, the naive
+/// baseline and the cold/warm/churn cached pulls, derived speedups,
+/// the byte-equivalence verdicts and the share-cache counters. CI
+/// uploads this as an artifact next to `BENCH_pipeline.json` and
+/// `BENCH_reduce.json`.
+pub fn share_bench_doc(m: &ShareBenchMeasurement) -> serde_json::Value {
+    serde_json::json!({
+        "benchmark": "share_json",
+        "workload": {
+            "events": m.events,
+            "pulls": m.pulls,
+            "churned": m.churned,
+        },
+        "naive": { "wall_nanos": m.naive_nanos },
+        "cold": { "wall_nanos": m.cold_nanos },
+        "warm": {
+            "wall_nanos": m.warm_nanos,
+            "speedup_vs_naive": m.warm_speedup(),
+        },
+        "churn": {
+            "wall_nanos": m.churn_nanos,
+            "speedup_vs_naive": m.churn_speedup(),
+        },
+        "pull_bytes": m.pull_bytes,
+        "equivalence": {
+            "cached_matches_naive": m.equivalent,
+            "stix_serial_matches_parallel": m.stix_parallel_matches,
+        },
+        "caches": {
+            "hits": m.stats.hits,
+            "misses": m.stats.misses,
+            "evictions": m.stats.evictions,
+            "entries": m.stats.entries,
+            "bytes": m.stats.bytes,
+            "assembled_hits": m.stats.assembled_hits,
+            "assembled_misses": m.stats.assembled_misses,
+        },
+    })
+}
+
 /// Every section in order.
 pub fn full_report() -> String {
     [
@@ -603,6 +684,41 @@ mod tests {
         let t = table1();
         assert_eq!(t.matches('✓').count(), 3);
         assert_eq!(t.matches('✗').count(), 0);
+    }
+
+    #[test]
+    fn share_bench_doc_schema() {
+        let m = ShareBenchMeasurement {
+            events: 10_000,
+            pulls: 3,
+            churned: 100,
+            naive_nanos: 50_000_000,
+            cold_nanos: 60_000_000,
+            warm_nanos: 5_000_000,
+            churn_nanos: 10_000_000,
+            pull_bytes: 1_000_000,
+            equivalent: true,
+            stix_parallel_matches: true,
+            stats: cais_misp::ShareCacheStats::default(),
+        };
+        let doc = share_bench_doc(&m);
+        assert_eq!(doc["benchmark"], "share_json");
+        assert_eq!(doc["workload"]["events"], 10_000);
+        assert_eq!(doc["equivalence"]["cached_matches_naive"], true);
+        assert_eq!(doc["equivalence"]["stix_serial_matches_parallel"], true);
+        // 50 ms naive vs 5 ms warm → 10×.
+        assert!((doc["warm"]["speedup_vs_naive"].as_f64().unwrap() - 10.0).abs() < 1e-9);
+        for key in [
+            "hits",
+            "misses",
+            "evictions",
+            "entries",
+            "bytes",
+            "assembled_hits",
+            "assembled_misses",
+        ] {
+            assert!(doc["caches"].get(key).is_some(), "missing caches.{key}");
+        }
     }
 
     #[test]

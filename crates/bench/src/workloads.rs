@@ -7,6 +7,7 @@ use cais_core::{EvaluationContext, Platform};
 use cais_feeds::synth::{SyntheticConfig, SyntheticFeedSet};
 use cais_feeds::{FeedRecord, ThreatCategory};
 use cais_infra::inventory::{Inventory, NodeType};
+use cais_misp::{AttributeCategory, MispAttribute, MispEvent, MispStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -183,6 +184,60 @@ pub fn reduce_eiocs(seed: u64, count: usize, ctx: &EvaluationContext) -> Vec<Enr
         .collect()
 }
 
+/// `count` published MISP events for the share-path benchmarks: 3–6
+/// unique network attributes each plus a CVE reference, seeded so the
+/// population *shape* is reproducible (UUIDs are per-run).
+pub fn synthetic_events(seed: u64, count: usize) -> Vec<MispEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let mut event = MispEvent::new(format!("advisory {i}"));
+            let attributes = rng.gen_range(3..7);
+            for a in 0..attributes {
+                event.add_attribute(MispAttribute::new(
+                    "domain",
+                    AttributeCategory::NetworkActivity,
+                    format!("host-{i}-{a}.example"),
+                ));
+            }
+            event.add_attribute(MispAttribute::new(
+                "vulnerability",
+                AttributeCategory::ExternalAnalysis,
+                format!("CVE-2017-{}", 9000 + (i % 1000)),
+            ));
+            event.published = true;
+            event
+        })
+        .collect()
+}
+
+/// Mutates roughly `fraction` of the store's events (every k-th id in
+/// id order) by rewriting their `info`, returning how many changed.
+/// `round` disambiguates repeated churn passes so every pass really
+/// bumps the touched events' versions.
+pub fn churn_events(store: &MispStore, fraction: f64, round: u64) -> usize {
+    if fraction <= 0.0 {
+        return 0;
+    }
+    let step = ((1.0 / fraction).round() as usize).max(1);
+    let mut changed = 0;
+    for (i, versioned) in store.snapshot().iter().enumerate() {
+        if i % step != 0 {
+            continue;
+        }
+        let id = versioned.event.id;
+        if store
+            .update(id, |event| {
+                event.info = format!("advisory {id} (churn {round})");
+            })
+            .is_ok()
+        {
+            changed += 1;
+        }
+    }
+    changed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +264,30 @@ mod tests {
             .iter()
             .all(|app| *app == app.to_ascii_lowercase())));
         assert!(a.match_application("linux").is_common_keyword());
+    }
+
+    #[test]
+    fn synthetic_events_and_churn_are_seeded() {
+        let a = synthetic_events(7, 50);
+        let b = synthetic_events(7, 50);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.info, y.info);
+            assert_eq!(x.attributes.len(), y.attributes.len());
+            assert!(x.published);
+        }
+
+        let store = MispStore::new();
+        for event in a {
+            store.insert(event).unwrap();
+        }
+        let generation = store.generation();
+        let changed = churn_events(&store, 0.1, 1);
+        assert_eq!(changed, 5);
+        assert_eq!(store.generation(), generation + 5);
+        // A second round touches the same events again.
+        assert_eq!(churn_events(&store, 0.1, 2), 5);
+        assert_eq!(churn_events(&store, 0.0, 3), 0);
     }
 
     #[test]

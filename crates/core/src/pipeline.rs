@@ -173,7 +173,7 @@ impl Platform {
         let broker = Broker::new();
         broker.instrument(&telemetry);
         let misp = MispApi::new(config.org.clone()).with_broker(broker.clone());
-        misp.store().instrument(&telemetry);
+        misp.instrument(&telemetry);
         let instruments = PipelineInstruments::new(&telemetry);
         let tracer = Tracer::new();
         let enricher = Enricher::new(ctx.clone());
@@ -1104,10 +1104,10 @@ mod tests {
         let scored = platform.ingest_stix_bundle(&bundle).unwrap();
         assert_eq!(scored, 2);
         assert_eq!(platform.misp().store().len(), 2);
-        for event in platform.misp().store().all() {
+        platform.misp().store().for_each(|event| {
             assert!(event.threat_score().is_some());
             assert!(event.published);
-        }
+        });
     }
 
     #[test]

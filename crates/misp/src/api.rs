@@ -11,19 +11,22 @@
 use std::sync::Arc;
 
 use cais_bus::{Broker, Topic};
+use cais_telemetry::Registry;
 
 use crate::attribute::MispAttribute;
 use crate::correlation::{correlate_event, Correlation};
 use crate::error::MispError;
 use crate::event::MispEvent;
 use crate::export::ExportRegistry;
+use crate::share::ShareExporter;
 use crate::store::{MispStore, SearchQuery};
 
-/// The MISP instance facade: store + export registry + event bus.
+/// The MISP instance facade: store + cached export front-end + event
+/// bus.
 pub struct MispApi {
     org: String,
     store: Arc<MispStore>,
-    exports: ExportRegistry,
+    share: ShareExporter,
     broker: Option<Broker>,
 }
 
@@ -33,7 +36,7 @@ impl MispApi {
         MispApi {
             org: org.into(),
             store: Arc::new(MispStore::new()),
-            exports: ExportRegistry::with_builtins(),
+            share: ShareExporter::default(),
             broker: None,
         }
     }
@@ -56,9 +59,23 @@ impl MispApi {
         &self.store
     }
 
-    /// The export registry, for installing custom modules.
+    /// The export registry, for installing custom modules. Installing
+    /// a module drops cached export bytes (format resolution changes).
     pub fn exports_mut(&mut self) -> &mut ExportRegistry {
-        &mut self.exports
+        self.share.exports_mut()
+    }
+
+    /// The cached share front-end (export byte cache, pull memos,
+    /// combined STIX bundles).
+    pub fn share(&self) -> &ShareExporter {
+        &self.share
+    }
+
+    /// Attaches telemetry to the whole MISP seam: store mutation
+    /// counters plus `share_*` cache metrics.
+    pub fn instrument(&self, registry: &Registry) {
+        self.store.instrument(registry);
+        self.share.instrument(registry);
     }
 
     /// Adds an event, stamping the organization, and announces it on the
@@ -143,6 +160,8 @@ impl MispApi {
     }
 
     /// Exports an event in a named format (`misp-json`, `stix2`, `csv`).
+    /// Served from the share cache: repeated exports of an unchanged
+    /// event replay stored bytes instead of re-serializing.
     ///
     /// # Errors
     ///
@@ -151,11 +170,25 @@ impl MispApi {
     /// `Ok(None)` from the registry and surface here as
     /// [`MispError::Json`]-free `None`.
     pub fn export_event(&self, id: u64, format: &str) -> Result<Option<String>, MispError> {
-        let event = self
-            .store
-            .get(id)
-            .ok_or(MispError::EventNotFound { event_id: id })?;
-        self.exports.export(format, &event).transpose()
+        Ok(self
+            .export_event_bytes(id, format)?
+            .map(|bytes| String::from_utf8_lossy(&bytes).into_owned()))
+    }
+
+    /// Byte-level export through the share cache: the `Arc<[u8]>` is
+    /// shared with the cache, so serving it clones no event and copies
+    /// no bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::EventNotFound`] for unknown ids and
+    /// conversion errors from the module.
+    pub fn export_event_bytes(
+        &self,
+        id: u64,
+        format: &str,
+    ) -> Result<Option<Arc<[u8]>>, MispError> {
+        self.share.export_event_bytes(&self.store, id, format)
     }
 
     fn announce(&self, topic: &str, event_id: u64) {
@@ -246,6 +279,22 @@ mod tests {
         assert!(stix.contains("bundle"));
         assert!(api.export_event(id, "nonexistent").unwrap().is_none());
         assert!(api.export_event(999, "csv").is_err());
+    }
+
+    #[test]
+    fn repeat_exports_replay_cached_bytes() {
+        let api = MispApi::new("ACME");
+        let id = api.add_event(event("a", "evil.example")).unwrap();
+        let first = api.export_event_bytes(id, "misp-json").unwrap().unwrap();
+        let second = api.export_event_bytes(id, "misp-json").unwrap().unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(api.share().stats().hits, 1);
+
+        // Updating the event changes its version: fresh bytes.
+        api.update_event(id, |e| e.info = "renamed".into()).unwrap();
+        let third = api.export_event_bytes(id, "misp-json").unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert!(String::from_utf8_lossy(&third).contains("renamed"));
     }
 
     #[test]

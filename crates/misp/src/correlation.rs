@@ -5,14 +5,14 @@
 //! automated correlation steps, when some cIoCs are received, before
 //! performing the heuristic analysis" (Section III-B1).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
 use crate::store::MispStore;
 
 /// One correlation hit: a shared value linking two events.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Correlation {
     /// The shared (normalized) attribute value.
     pub value: String,
@@ -20,48 +20,41 @@ pub struct Correlation {
     pub other_event_id: u64,
 }
 
-/// Finds every correlation from one event to the rest of the store.
+/// Finds every correlation from one event to the rest of the store,
+/// sorted by `(value, other_event_id)`.
+///
+/// Deduplication goes through a [`BTreeSet`], so a value shared with
+/// `n` other events costs `O(n log n)` — not the `O(n²)` a
+/// contains-scan per hit would (5k events sharing one value used to
+/// take ~25M comparisons; see the regression test).
 pub fn correlate_event(store: &MispStore, event_id: u64) -> Vec<Correlation> {
-    let Some(event) = store.get(event_id) else {
+    let Some(event) = store.get_arc(event_id) else {
         return Vec::new();
     };
-    let mut out = Vec::new();
+    let mut out: BTreeSet<Correlation> = BTreeSet::new();
     for attribute in &event.attributes {
         let key = attribute.correlation_key();
         for other in store.events_with_value(&key) {
             if other != event_id {
-                let hit = Correlation {
+                out.insert(Correlation {
                     value: key.clone(),
                     other_event_id: other,
-                };
-                if !out.contains(&hit) {
-                    out.push(hit);
-                }
+                });
             }
         }
     }
-    out
+    out.into_iter().collect()
 }
 
 /// The store-wide correlation graph: shared value → the (sorted, deduped)
 /// events carrying it. Only values appearing in at least two events are
 /// reported.
+///
+/// Served straight from the store's `by_value` correlation index —
+/// no event walk, no body clones (see
+/// [`MispStore::correlation_groups`]).
 pub fn correlation_graph(store: &MispStore) -> BTreeMap<String, Vec<u64>> {
-    let mut graph: BTreeMap<String, Vec<u64>> = BTreeMap::new();
-    for event in store.all() {
-        for attribute in &event.attributes {
-            graph
-                .entry(attribute.correlation_key())
-                .or_default()
-                .push(event.id);
-        }
-    }
-    graph.retain(|_, ids| {
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len() > 1
-    });
-    graph
+    store.correlation_groups()
 }
 
 #[cfg(test)]
@@ -133,5 +126,59 @@ mod tests {
     fn unknown_event_yields_empty() {
         let store = MispStore::new();
         assert!(correlate_event(&store, 99).is_empty());
+    }
+
+    #[test]
+    fn hits_are_sorted_and_deduped() {
+        let store = MispStore::new();
+        let a = store
+            .insert(event("a", &["z.example", "a.example"]))
+            .unwrap();
+        let b = store
+            .insert(event("b", &["z.example", "a.example", "a.example"]))
+            .unwrap();
+        let c = store.insert(event("c", &["a.example"])).unwrap();
+        let hits = correlate_event(&store, a);
+        assert_eq!(
+            hits,
+            vec![
+                Correlation {
+                    value: "a.example".into(),
+                    other_event_id: b,
+                },
+                Correlation {
+                    value: "a.example".into(),
+                    other_event_id: c,
+                },
+                Correlation {
+                    value: "z.example".into(),
+                    other_event_id: b,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn five_thousand_shared_values_stay_sub_second() {
+        // Regression: the dedup used to be a contains-scan per hit,
+        // O(n²) in the number of correlated events — 5k events sharing
+        // one value meant ~25M comparisons.
+        let store = MispStore::new();
+        let first = store
+            .insert(event("seed", &["hot.example", "warm.example"]))
+            .unwrap();
+        for i in 0..4_999 {
+            store
+                .insert(event(&format!("e{i}"), &["hot.example", "warm.example"]))
+                .unwrap();
+        }
+        let started = std::time::Instant::now();
+        let hits = correlate_event(&store, first);
+        let elapsed = started.elapsed();
+        assert_eq!(hits.len(), 2 * 4_999);
+        assert!(
+            elapsed < std::time::Duration::from_secs(1),
+            "correlate_event took {elapsed:?}"
+        );
     }
 }

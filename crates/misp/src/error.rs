@@ -24,6 +24,8 @@ pub enum MispError {
     },
     /// A JSON encoding/decoding failure during import/export.
     Json(serde_json::Error),
+    /// An I/O failure while streaming an export into a sink.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for MispError {
@@ -37,6 +39,7 @@ impl fmt::Display for MispError {
                 write!(f, "value {value:?} is not valid for type {attr_type:?}")
             }
             MispError::Json(err) => write!(f, "MISP JSON error: {err}"),
+            MispError::Io(err) => write!(f, "MISP export I/O error: {err}"),
         }
     }
 }
@@ -45,6 +48,7 @@ impl std::error::Error for MispError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MispError::Json(err) => Some(err),
+            MispError::Io(err) => Some(err),
             _ => None,
         }
     }
@@ -53,6 +57,12 @@ impl std::error::Error for MispError {
 impl From<serde_json::Error> for MispError {
     fn from(err: serde_json::Error) -> Self {
         MispError::Json(err)
+    }
+}
+
+impl From<std::io::Error> for MispError {
+    fn from(err: std::io::Error) -> Self {
+        MispError::Io(err)
     }
 }
 

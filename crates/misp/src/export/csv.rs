@@ -1,5 +1,7 @@
 //! CSV export, for spreadsheet-grade consumers.
 
+use std::io;
+
 use crate::error::MispError;
 use crate::event::MispEvent;
 
@@ -14,35 +16,42 @@ impl ExportModule for CsvExport {
         "csv"
     }
 
-    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
-        let mut out = String::from("event_id,event_info,type,category,value,to_ids,comment\n");
+    fn write_into(&self, event: &MispEvent, out: &mut dyn io::Write) -> Result<(), MispError> {
+        out.write_all(b"event_id,event_info,type,category,value,to_ids,comment\n")?;
         for attribute in &event.attributes {
             let category = serde_json::to_value(attribute.category)?
                 .as_str()
                 .unwrap_or("Other")
                 .to_owned();
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{}\n",
-                event.id,
-                quote(&event.info),
-                attribute.attr_type,
-                quote(&category),
-                quote(&attribute.value),
-                attribute.to_ids,
-                quote(&attribute.comment),
-            ));
+            write!(out, "{},", event.id)?;
+            write_quoted(out, &event.info)?;
+            write!(out, ",{},", attribute.attr_type)?;
+            write_quoted(out, &category)?;
+            out.write_all(b",")?;
+            write_quoted(out, &attribute.value)?;
+            write!(out, ",{},", attribute.to_ids)?;
+            write_quoted(out, &attribute.comment)?;
+            out.write_all(b"\n")?;
         }
-        Ok(out)
+        Ok(())
     }
 }
 
-/// Quotes a CSV field when it needs quoting (commas, quotes, newlines).
-fn quote(field: &str) -> String {
-    if field.contains([',', '"', '\n']) {
-        format!("\"{}\"", field.replace('"', "\"\""))
-    } else {
-        field.to_owned()
+/// Writes a CSV field, quoting it when it needs quoting (commas,
+/// quotes, newlines) without allocating intermediate strings.
+fn write_quoted(out: &mut dyn io::Write, field: &str) -> io::Result<()> {
+    if !field.contains([',', '"', '\n']) {
+        return out.write_all(field.as_bytes());
     }
+    out.write_all(b"\"")?;
+    let mut rest = field;
+    while let Some(at) = rest.find('"') {
+        out.write_all(rest[..=at].as_bytes())?;
+        out.write_all(b"\"")?;
+        rest = &rest[at + 1..];
+    }
+    out.write_all(rest.as_bytes())?;
+    out.write_all(b"\"")
 }
 
 #[cfg(test)]
@@ -70,5 +79,31 @@ mod tests {
     fn empty_event_exports_header_only() {
         let out = CsvExport.export(&MispEvent::new("empty")).unwrap();
         assert_eq!(out.lines().count(), 1);
+    }
+
+    #[test]
+    fn quoting_matches_reference_implementation() {
+        fn quote_ref(field: &str) -> String {
+            if field.contains([',', '"', '\n']) {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_owned()
+            }
+        }
+        for field in [
+            "plain",
+            "",
+            "has,comma",
+            "has\"quote",
+            "multi\nline",
+            "\"",
+            "\"\"",
+            "ends with \"",
+            "\" starts",
+        ] {
+            let mut streamed = Vec::new();
+            write_quoted(&mut streamed, field).unwrap();
+            assert_eq!(streamed, quote_ref(field).into_bytes(), "field {field:?}");
+        }
     }
 }

@@ -4,6 +4,8 @@
 //! This closes the sharing loop: a CAIS platform can publish its
 //! enriched events as an OSINT feed for downstream platforms.
 
+use std::io;
+
 use crate::error::MispError;
 use crate::event::MispEvent;
 
@@ -18,20 +20,14 @@ impl ExportModule for MispFeedExport {
         "misp-feed"
     }
 
-    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
-        to_feed_document(event)
+    fn write_into(&self, event: &MispEvent, out: &mut dyn io::Write) -> Result<(), MispError> {
+        serde_json::to_writer_pretty(out, &feed_value(event))?;
+        Ok(())
     }
 }
 
-/// Serializes one event as a feed document: the subset of fields feed
-/// consumers rely on (`info`, `date`, `Attribute[{type, value,
-/// category, comment, timestamp}]`), with timestamps in the epoch-second
-/// form real MISP feeds use.
-///
-/// # Errors
-///
-/// Returns [`MispError::Json`] on encoding failure.
-pub fn to_feed_document(event: &MispEvent) -> Result<String, MispError> {
+/// Builds the feed-document value tree for one event.
+fn feed_value(event: &MispEvent) -> serde_json::Value {
     let attributes: Vec<serde_json::Value> = event
         .attributes
         .iter()
@@ -48,7 +44,7 @@ pub fn to_feed_document(event: &MispEvent) -> Result<String, MispError> {
         })
         .collect();
     let (y, m, d, ..) = event.date.to_civil();
-    let doc = serde_json::json!({
+    serde_json::json!({
         "Event": {
             "uuid": event.uuid,
             "info": event.info,
@@ -57,8 +53,19 @@ pub fn to_feed_document(event: &MispEvent) -> Result<String, MispError> {
             "Attribute": attributes,
             "Tag": event.tags,
         }
-    });
-    Ok(serde_json::to_string_pretty(&doc)?)
+    })
+}
+
+/// Serializes one event as a feed document: the subset of fields feed
+/// consumers rely on (`info`, `date`, `Attribute[{type, value,
+/// category, comment, timestamp}]`), with timestamps in the epoch-second
+/// form real MISP feeds use.
+///
+/// # Errors
+///
+/// Returns [`MispError::Json`] on encoding failure.
+pub fn to_feed_document(event: &MispEvent) -> Result<String, MispError> {
+    Ok(serde_json::to_string_pretty(&feed_value(event))?)
 }
 
 #[cfg(test)]

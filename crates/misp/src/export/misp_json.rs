@@ -3,6 +3,8 @@
 //! "The JSON format is always used whenever two or more MISP instances
 //! are exchanging intelligence among them" (Section III-C2).
 
+use std::io;
+
 use crate::error::MispError;
 use crate::event::MispEvent;
 
@@ -17,8 +19,10 @@ impl ExportModule for MispJsonExport {
         "misp-json"
     }
 
-    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
-        to_document(event)
+    fn write_into(&self, event: &MispEvent, out: &mut dyn io::Write) -> Result<(), MispError> {
+        let doc = serde_json::json!({ "Event": event });
+        serde_json::to_writer_pretty(out, &doc)?;
+        Ok(())
     }
 }
 

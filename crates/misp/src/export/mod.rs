@@ -8,7 +8,10 @@
 //!
 //! [`ExportModule`] is that extension point; [`ExportRegistry`] is the
 //! set of installed modules, pre-loaded with MISP JSON, STIX 2.0 and
-//! CSV.
+//! CSV. Modules are *streaming*: the required method writes into an
+//! [`std::io::Write`] sink so hot paths (the share cache, TAXII pages,
+//! sync pushes) can reuse one growable buffer per thread instead of
+//! allocating a `String` per event per format.
 
 pub mod csv;
 pub mod misp_feed;
@@ -16,21 +19,42 @@ pub mod misp_json;
 pub mod stix1;
 pub mod stix2;
 
+use std::io;
+
 use crate::error::MispError;
 use crate::event::MispEvent;
 
 /// A pluggable converter from MISP events to an external format.
+///
+/// Implementors provide [`ExportModule::write_into`]; the owned-string
+/// [`ExportModule::export`] comes for free as a compatibility shim.
+/// Serialization must be deterministic: the same event body must
+/// always produce the same bytes, because the share cache replays
+/// stored bytes in place of fresh serializations.
 pub trait ExportModule: Send + Sync {
     /// The format name used to select the module (`misp-json`,
     /// `stix2`, `csv`, …).
     fn format_name(&self) -> &str;
 
-    /// Serializes one event.
+    /// Streams one event's serialized form into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns conversion errors (typically [`MispError::Json`]) or
+    /// [`MispError::Io`] when the sink rejects a write.
+    fn write_into(&self, event: &MispEvent, out: &mut dyn io::Write) -> Result<(), MispError>;
+
+    /// Serializes one event to an owned string.
     ///
     /// # Errors
     ///
     /// Returns conversion errors (typically [`MispError::Json`]).
-    fn export(&self, event: &MispEvent) -> Result<String, MispError>;
+    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
+        let mut buf = Vec::with_capacity(1024);
+        self.write_into(event, &mut buf)?;
+        String::from_utf8(buf)
+            .map_err(|err| MispError::Io(io::Error::new(io::ErrorKind::InvalidData, err)))
+    }
 }
 
 /// The installed export modules.
@@ -64,11 +88,44 @@ impl ExportRegistry {
     ///
     /// Returns `None` when no module claims the format.
     pub fn export(&self, format: &str, event: &MispEvent) -> Option<Result<String, MispError>> {
-        self.modules
-            .iter()
-            .rev()
-            .find(|m| m.format_name() == format)
-            .map(|m| m.export(event))
+        let index = self.resolve(format)?;
+        Some(self.modules[index].export(event))
+    }
+
+    /// Streams an event in the named format into `out`.
+    ///
+    /// Returns `None` when no module claims the format.
+    pub fn write_into(
+        &self,
+        format: &str,
+        event: &MispEvent,
+        out: &mut dyn io::Write,
+    ) -> Option<Result<(), MispError>> {
+        let index = self.resolve(format)?;
+        Some(self.modules[index].write_into(event, out))
+    }
+
+    /// Resolves a format name to the index of the module that claims it
+    /// (the most recently installed wins). The index is stable until
+    /// the next [`ExportRegistry::install`], so callers can resolve
+    /// once and key caches on the small integer instead of the name.
+    pub fn resolve(&self, format: &str) -> Option<usize> {
+        self.modules.iter().rposition(|m| m.format_name() == format)
+    }
+
+    /// The module at a resolved index.
+    pub fn module(&self, index: usize) -> Option<&dyn ExportModule> {
+        self.modules.get(index).map(|m| m.as_ref())
+    }
+
+    /// Number of installed modules (resolved indexes are `< len()`).
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether no modules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
     }
 
     /// The installed format names, in registration order.
@@ -102,6 +159,8 @@ mod tests {
             registry.formats(),
             vec!["misp-json", "stix2", "stix1", "misp-feed", "csv"]
         );
+        assert_eq!(registry.len(), 5);
+        assert!(!registry.is_empty());
     }
 
     #[test]
@@ -109,6 +168,10 @@ mod tests {
         let registry = ExportRegistry::with_builtins();
         let event = MispEvent::new("x");
         assert!(registry.export("openioc", &event).is_none());
+        assert!(registry.resolve("openioc").is_none());
+        assert!(registry
+            .write_into("openioc", &event, &mut Vec::new())
+            .is_none());
     }
 
     #[test]
@@ -118,8 +181,12 @@ mod tests {
             fn format_name(&self) -> &str {
                 "csv"
             }
-            fn export(&self, _event: &MispEvent) -> Result<String, MispError> {
-                Ok("custom!".into())
+            fn write_into(
+                &self,
+                _event: &MispEvent,
+                out: &mut dyn io::Write,
+            ) -> Result<(), MispError> {
+                out.write_all(b"custom!").map_err(MispError::from)
             }
         }
         let mut registry = ExportRegistry::with_builtins();
@@ -129,5 +196,27 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(out, "custom!");
+        assert_eq!(registry.resolve("csv"), Some(5));
+    }
+
+    #[test]
+    fn write_into_matches_export_for_builtins() {
+        use crate::attribute::{AttributeCategory, MispAttribute};
+        let registry = ExportRegistry::with_builtins();
+        let mut event = MispEvent::new("streamed == owned");
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            "c2.evil.example",
+        ));
+        for format in registry.formats() {
+            let owned = registry.export(format, &event).unwrap().unwrap();
+            let mut streamed = Vec::new();
+            registry
+                .write_into(format, &event, &mut streamed)
+                .unwrap()
+                .unwrap();
+            assert_eq!(streamed, owned.as_bytes(), "format {format}");
+        }
     }
 }

@@ -8,12 +8,20 @@
 //! with proper escaping — the structure is small and fixed, so a
 //! full XML library would be dead weight.
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::io;
 
 use crate::error::MispError;
 use crate::event::MispEvent;
 
 use super::ExportModule;
+
+std::thread_local! {
+    /// Reusable render buffer: the XML is composed as text, then
+    /// written to the sink in one call.
+    static XML_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
 
 /// Exports events as STIX 1.2 XML packages.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,8 +32,13 @@ impl ExportModule for Stix1Export {
         "stix1"
     }
 
-    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
-        Ok(to_xml(event))
+    fn write_into(&self, event: &MispEvent, out: &mut dyn io::Write) -> Result<(), MispError> {
+        XML_SCRATCH.with(|cell| {
+            let mut xml = cell.borrow_mut();
+            xml.clear();
+            write_xml(event, &mut xml);
+            out.write_all(xml.as_bytes()).map_err(MispError::from)
+        })
     }
 }
 
@@ -76,6 +89,12 @@ fn cybox_object(attr_type: &str, value: &str) -> Option<String> {
 /// Serializes one event as a STIX 1.2 package.
 pub fn to_xml(event: &MispEvent) -> String {
     let mut xml = String::new();
+    write_xml(event, &mut xml);
+    xml
+}
+
+/// Renders the STIX 1.2 package into a caller-provided buffer.
+fn write_xml(event: &MispEvent, xml: &mut String) {
     let _ = writeln!(xml, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
     let _ = writeln!(
         xml,
@@ -134,7 +153,6 @@ pub fn to_xml(event: &MispEvent) -> String {
     }
 
     let _ = writeln!(xml, "</stix:STIX_Package>");
-    xml
 }
 
 #[cfg(test)]

@@ -5,6 +5,13 @@
 //! III-C2). Detection-grade attributes become `indicator` objects with
 //! STIX patterns; `vulnerability` attributes become `vulnerability`
 //! SDOs; the event title becomes a `report` tying everything together.
+//!
+//! All STIX ids are *derived* (UUID v5) from the MISP attribute/event
+//! UUIDs rather than generated at random, so serializing the same
+//! event body twice yields byte-identical bundles — the property the
+//! share cache and the parallel bundle assembly both rely on.
+
+use std::io;
 
 use cais_stix::prelude::*;
 
@@ -22,14 +29,9 @@ impl ExportModule for Stix2Export {
         "stix2"
     }
 
-    fn export(&self, event: &MispEvent) -> Result<String, MispError> {
-        let bundle = to_bundle(event);
-        bundle.to_json_pretty().map_err(|e| match e {
-            cais_stix::StixError::Json(err) => MispError::Json(err),
-            other => MispError::Json(serde_json::Error::io(std::io::Error::other(
-                other.to_string(),
-            ))),
-        })
+    fn write_into(&self, event: &MispEvent, out: &mut dyn io::Write) -> Result<(), MispError> {
+        serde_json::to_writer_pretty(out, &to_bundle(event))?;
+        Ok(())
     }
 }
 
@@ -49,13 +51,25 @@ fn pattern_for(attr_type: &str, value: &str) -> Option<String> {
     Some(pattern)
 }
 
-/// Converts a MISP event into a STIX 2.0 bundle.
-pub fn to_bundle(event: &MispEvent) -> Bundle {
+/// The deterministic bundle id for one event's bundle.
+fn bundle_id(event: &MispEvent) -> StixId {
+    StixId::derived("bundle", &format!("misp-event:{}", event.uuid))
+}
+
+/// Converts a MISP event into the SDOs of its STIX 2.0 bundle, in
+/// deterministic order: one object per convertible attribute (event
+/// order), then the report. Ids derive from the MISP UUIDs, so the
+/// same event always maps to the same objects.
+pub fn to_objects(event: &MispEvent) -> Vec<StixObject> {
     let mut objects: Vec<StixObject> = Vec::new();
     for attribute in &event.attributes {
         if let Some(pattern) = pattern_for(&attribute.attr_type, &attribute.value) {
             let mut builder = Indicator::builder(pattern, event.date);
             builder
+                .id(StixId::derived(
+                    "indicator",
+                    &format!("misp-attribute:{}", attribute.uuid),
+                ))
                 .created(attribute.timestamp)
                 .modified(attribute.timestamp)
                 .label("malicious-activity");
@@ -66,6 +80,10 @@ pub fn to_bundle(event: &MispEvent) -> Bundle {
         } else if attribute.attr_type == "vulnerability" {
             let mut builder = Vulnerability::builder(&attribute.value);
             builder
+                .id(StixId::derived(
+                    "vulnerability",
+                    &format!("misp-attribute:{}", attribute.uuid),
+                ))
                 .created(attribute.timestamp)
                 .modified(attribute.timestamp)
                 .external_reference(ExternalReference::cve(&attribute.value));
@@ -77,6 +95,10 @@ pub fn to_bundle(event: &MispEvent) -> Bundle {
     }
     // A report object carries the event title and references everything.
     let mut report = Report::builder(&event.info, event.date);
+    report.id(StixId::derived(
+        "report",
+        &format!("misp-event:{}", event.uuid),
+    ));
     report.created(event.timestamp).modified(event.timestamp);
     report.label("threat-report");
     let refs: Vec<StixId> = objects.iter().map(|o| o.id().clone()).collect();
@@ -84,7 +106,15 @@ pub fn to_bundle(event: &MispEvent) -> Bundle {
         report.object_ref(id);
     }
     objects.push(report.build().into());
-    Bundle::new(objects)
+    objects
+}
+
+/// Converts a MISP event into a STIX 2.0 bundle with a deterministic
+/// id: exporting the same event twice yields byte-identical JSON.
+pub fn to_bundle(event: &MispEvent) -> Bundle {
+    let mut bundle = Bundle::new(to_objects(event));
+    bundle.id = bundle_id(event);
+    bundle
 }
 
 #[cfg(test)]
@@ -160,5 +190,24 @@ mod tests {
         let out = Stix2Export.export(&sample()).unwrap();
         let parsed = Bundle::from_json(&out).unwrap();
         assert_eq!(parsed.len(), 4);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let event = sample();
+        let first = Stix2Export.export(&event).unwrap();
+        let second = Stix2Export.export(&event).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(to_bundle(&event), to_bundle(&event));
+    }
+
+    #[test]
+    fn different_events_get_different_ids() {
+        let a = to_bundle(&sample());
+        let b = to_bundle(&MispEvent::new("other"));
+        assert_ne!(a.id, b.id);
+        // Attribute-derived object ids differ across events too.
+        let other = to_bundle(&sample());
+        assert_ne!(a.objects()[0].id(), other.objects()[0].id());
     }
 }

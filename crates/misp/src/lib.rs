@@ -43,6 +43,7 @@ pub mod event;
 pub mod export;
 pub mod import;
 pub mod object;
+pub mod share;
 pub mod store;
 pub mod sync;
 pub mod tag;
@@ -52,6 +53,7 @@ pub use api::MispApi;
 pub use attribute::{AttributeCategory, MispAttribute};
 pub use error::MispError;
 pub use event::{Analysis, Distribution, MispEvent, ThreatLevel};
-pub use store::MispStore;
+pub use share::{ShareCacheStats, ShareExporter};
+pub use store::{MispStore, StoreSnapshot, VersionedEvent};
 pub use sync::{ResilientSyncReport, SyncReport};
 pub use tag::Tag;

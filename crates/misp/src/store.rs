@@ -1,7 +1,15 @@
 //! The indexed in-memory event store — MISP's "relational database".
+//!
+//! Events live behind [`Arc`] so read paths (export, sync, correlation,
+//! dashboards) can take cheap reference-counted snapshots instead of
+//! deep-cloning event bodies. Every event carries a monotonically
+//! increasing *version* (bumped on each [`MispStore::update`]) and the
+//! store carries a *generation* (bumped on every mutation); together
+//! they key the incremental export cache in [`crate::share`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cais_common::{Timestamp, Uuid};
 use cais_telemetry::{Counter, Registry};
@@ -70,17 +78,87 @@ pub struct SearchQuery {
     pub published_only: bool,
 }
 
+/// An event handle plus the version it carried when read. The version
+/// bumps on every [`MispStore::update`], so `(event.uuid, version)`
+/// uniquely identifies serialized bytes of the event body — the export
+/// cache keys on exactly that pair.
+#[derive(Debug, Clone)]
+pub struct VersionedEvent {
+    /// Shared, immutable view of the event body.
+    pub event: Arc<MispEvent>,
+    /// Mutation counter at read time (0 for a freshly inserted event).
+    pub version: u64,
+}
+
+/// A consistent, id-ordered view of the store taken under one read
+/// lock. Holding a snapshot keeps the event bodies alive via `Arc`
+/// without blocking writers; a writer that mutates after the snapshot
+/// copies-on-write and leaves the snapshot untouched.
+#[derive(Debug, Clone, Default)]
+pub struct StoreSnapshot {
+    generation: u64,
+    events: Vec<VersionedEvent>,
+}
+
+impl StoreSnapshot {
+    /// Store generation at snapshot time. Any later mutation makes the
+    /// live generation diverge, which is how generation-guarded caches
+    /// detect staleness.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Events ordered by store id.
+    pub fn events(&self) -> &[VersionedEvent] {
+        &self.events
+    }
+
+    /// Iterates the snapshot in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, VersionedEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events captured.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the snapshot captured no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a StoreSnapshot {
+    type Item = &'a VersionedEvent;
+    type IntoIter = std::slice::Iter<'a, VersionedEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// An event plus its mutation version, as kept inside the store map.
+#[derive(Debug)]
+struct Stored {
+    event: Arc<MispEvent>,
+    version: u64,
+}
+
 /// A thread-safe, indexed store of MISP events.
 ///
 /// Maintains secondary indexes by event UUID and by normalized attribute
 /// value (the correlation index).
 #[derive(Debug, Default)]
 pub struct MispStore {
-    events: RwLock<HashMap<u64, MispEvent>>,
+    events: RwLock<HashMap<u64, Stored>>,
     by_uuid: RwLock<HashMap<Uuid, u64>>,
     by_value: RwLock<HashMap<String, Vec<u64>>>,
     sightings: RwLock<HashMap<String, Vec<EventSighting>>>,
     next_id: AtomicU64,
+    /// Bumped (inside the events write lock) on every insert/update, so
+    /// a snapshot's generation pins exactly one store content.
+    generation: AtomicU64,
     metrics: RwLock<Option<StoreMetrics>>,
 }
 
@@ -136,13 +214,81 @@ impl MispStore {
                 metrics.events_published.inc();
             }
         }
-        self.events.write().insert(id, event);
+        let mut events = self.events.write();
+        events.insert(
+            id,
+            Stored {
+                event: Arc::new(event),
+                version: 0,
+            },
+        );
+        self.generation.fetch_add(1, Ordering::Release);
         Ok(id)
     }
 
-    /// Fetches an event by id.
+    /// Fetches an event by id, cloning the body. Compatibility shim:
+    /// prefer [`MispStore::get_arc`] / [`MispStore::with_event`] on
+    /// read paths that do not need ownership.
     pub fn get(&self, id: u64) -> Option<MispEvent> {
-        self.events.read().get(&id).cloned()
+        self.events.read().get(&id).map(|s| (*s.event).clone())
+    }
+
+    /// Fetches a shared handle to an event by id without cloning the
+    /// body.
+    pub fn get_arc(&self, id: u64) -> Option<Arc<MispEvent>> {
+        self.events.read().get(&id).map(|s| Arc::clone(&s.event))
+    }
+
+    /// Fetches an event handle plus its current version.
+    pub fn versioned(&self, id: u64) -> Option<VersionedEvent> {
+        self.events.read().get(&id).map(|s| VersionedEvent {
+            event: Arc::clone(&s.event),
+            version: s.version,
+        })
+    }
+
+    /// Current mutation version of an event (0 until first update).
+    pub fn event_version(&self, id: u64) -> Option<u64> {
+        self.events.read().get(&id).map(|s| s.version)
+    }
+
+    /// Store generation: bumps on every insert/update. Caches keyed on
+    /// a snapshot compare this to decide whether assembled output is
+    /// still current.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Takes a consistent, id-ordered snapshot of all events under one
+    /// read lock. Event bodies are shared (`Arc`), not cloned.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let events = self.events.read();
+        let generation = self.generation.load(Ordering::Acquire);
+        let mut out: Vec<VersionedEvent> = events
+            .values()
+            .map(|s| VersionedEvent {
+                event: Arc::clone(&s.event),
+                version: s.version,
+            })
+            .collect();
+        out.sort_by_key(|v| v.event.id);
+        StoreSnapshot {
+            generation,
+            events: out,
+        }
+    }
+
+    /// Visits every event in id order under one read lock, without
+    /// cloning bodies or allocating handle vectors. The lock is held
+    /// for the whole walk — keep `f` cheap and non-reentrant (calling
+    /// back into the store deadlocks).
+    pub fn for_each(&self, mut f: impl FnMut(&MispEvent)) {
+        let events = self.events.read();
+        let mut ids: Vec<u64> = events.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            f(&events[&id].event);
+        }
     }
 
     /// The id the next inserted event will receive. With inserts
@@ -158,7 +304,7 @@ impl MispStore {
     /// cloning it out of the store (used to serialize bus
     /// announcements cheaply).
     pub fn with_event<R>(&self, id: u64, f: impl FnOnce(&MispEvent) -> R) -> Option<R> {
-        self.events.read().get(&id).map(f)
+        self.events.read().get(&id).map(|s| f(&s.event))
     }
 
     /// Fetches an event by UUID.
@@ -167,16 +313,24 @@ impl MispStore {
         self.get(id)
     }
 
+    /// Whether an event with this UUID exists (no body clone).
+    pub fn contains_uuid(&self, uuid: &Uuid) -> bool {
+        self.by_uuid.read().contains_key(uuid)
+    }
+
     /// Applies a closure to an event in place (used for enrichment).
+    /// Copy-on-write: snapshots taken before the update keep the old
+    /// body; the event's version and the store generation both bump.
     ///
     /// # Errors
     ///
     /// Returns [`MispError::EventNotFound`] for unknown ids.
     pub fn update<F: FnOnce(&mut MispEvent)>(&self, id: u64, f: F) -> Result<(), MispError> {
         let mut events = self.events.write();
-        let event = events
+        let stored = events
             .get_mut(&id)
             .ok_or(MispError::EventNotFound { event_id: id })?;
+        let event = Arc::make_mut(&mut stored.event);
         let before: Vec<String> = event
             .attributes
             .iter()
@@ -186,6 +340,8 @@ impl MispStore {
         let was_published = event.published;
         f(event);
         event.timestamp = Timestamp::now().max(event.timestamp);
+        stored.version += 1;
+        self.generation.fetch_add(1, Ordering::Release);
         if let Some(metrics) = self.metrics.read().as_ref() {
             metrics
                 .attributes_written
@@ -198,14 +354,18 @@ impl MispStore {
             }
         }
         // Refresh the value index for any attributes the closure added.
+        let added: Vec<String> = event
+            .attributes
+            .iter()
+            .map(MispAttribute::correlation_key)
+            .filter(|key| !before.contains(key))
+            .collect();
+        drop(events);
         let mut by_value = self.by_value.write();
-        for attribute in &event.attributes {
-            let key = attribute.correlation_key();
-            if !before.contains(&key) {
-                let ids = by_value.entry(key).or_default();
-                if !ids.contains(&id) {
-                    ids.push(id);
-                }
+        for key in added {
+            let ids = by_value.entry(key).or_default();
+            if !ids.contains(&id) {
+                ids.push(id);
             }
         }
         Ok(())
@@ -230,11 +390,35 @@ impl MispStore {
             .unwrap_or_default()
     }
 
+    /// Groups of events sharing a normalized attribute value, straight
+    /// from the `by_value` correlation index — no event walk, no body
+    /// clones. Ids per group are sorted and deduplicated; only groups
+    /// with at least two distinct events are reported. Like
+    /// [`MispStore::events_with_value`], entries reflect every value an
+    /// event's attributes have ever carried.
+    pub fn correlation_groups(&self) -> BTreeMap<String, Vec<u64>> {
+        let by_value = self.by_value.read();
+        let mut out = BTreeMap::new();
+        for (value, ids) in by_value.iter() {
+            if ids.len() < 2 {
+                continue;
+            }
+            let mut ids = ids.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.len() > 1 {
+                out.insert(value.clone(), ids);
+            }
+        }
+        out
+    }
+
     /// Runs a filtered search, returning matching events.
     pub fn search(&self, query: &SearchQuery) -> Vec<MispEvent> {
         let events = self.events.read();
         let mut out: Vec<MispEvent> = events
             .values()
+            .map(|s| &s.event)
             .filter(|event| {
                 if query.published_only && !event.published {
                     return false;
@@ -266,7 +450,7 @@ impl MispStore {
                 }
                 true
             })
-            .cloned()
+            .map(|event| (**event).clone())
             .collect();
         out.sort_by_key(|e| e.id);
         out
@@ -299,10 +483,15 @@ impl MispStore {
         let key = value.trim().to_ascii_lowercase();
         {
             let events = self.events.read();
-            let event = events
+            let stored = events
                 .get(&event_id)
                 .ok_or(MispError::EventNotFound { event_id })?;
-            if !event.attributes.iter().any(|a| a.correlation_key() == key) {
+            if !stored
+                .event
+                .attributes
+                .iter()
+                .any(|a| a.correlation_key() == key)
+            {
                 return Err(MispError::InvalidAttributeValue {
                     attr_type: "sighting".to_owned(),
                     value: value.to_owned(),
@@ -344,9 +533,15 @@ impl MispStore {
             .map_or(0, Vec::len)
     }
 
-    /// Snapshot of all events, ordered by id.
+    /// Deep-cloned copy of all events, ordered by id.
+    #[deprecated(note = "use snapshot()/for_each")]
     pub fn all(&self) -> Vec<MispEvent> {
-        let mut out: Vec<MispEvent> = self.events.read().values().cloned().collect();
+        let mut out: Vec<MispEvent> = self
+            .events
+            .read()
+            .values()
+            .map(|s| (*s.event).clone())
+            .collect();
         out.sort_by_key(|e| e.id);
         out
     }
@@ -397,6 +592,7 @@ mod tests {
         let uuid = event.uuid;
         let id = store.insert(event).unwrap();
         assert_eq!(store.get_by_uuid(&uuid).unwrap().id, id);
+        assert!(store.contains_uuid(&uuid));
         assert!(store.get_by_uuid(&Uuid::new_v4()).is_none());
     }
 
@@ -434,6 +630,87 @@ mod tests {
         assert!(!store.get(id).unwrap().published);
         let published = store.publish(id).unwrap();
         assert!(published.published);
+    }
+
+    #[test]
+    fn versions_and_generation_track_mutations() {
+        let store = MispStore::new();
+        assert_eq!(store.generation(), 0);
+        let a = store.insert(event_with("a.example")).unwrap();
+        let b = store.insert(event_with("b.example")).unwrap();
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.event_version(a), Some(0));
+        assert_eq!(store.event_version(b), Some(0));
+
+        store.publish(a).unwrap();
+        assert_eq!(store.event_version(a), Some(1));
+        assert_eq!(store.event_version(b), Some(0));
+        assert_eq!(store.generation(), 3);
+        assert_eq!(store.event_version(999), None);
+    }
+
+    #[test]
+    fn snapshot_is_stable_under_copy_on_write() {
+        let store = MispStore::new();
+        let id = store.insert(event_with("a.example")).unwrap();
+        let before = store.snapshot();
+        assert_eq!(before.len(), 1);
+        assert!(!before.is_empty());
+        assert_eq!(before.generation(), store.generation());
+
+        store
+            .update(id, |event| event.info = "mutated".into())
+            .unwrap();
+
+        // The snapshot still sees the pre-update body; the live store
+        // sees the new one and a newer generation.
+        assert_eq!(before.events()[0].event.info, "event for a.example");
+        assert_eq!(store.get(id).unwrap().info, "mutated");
+        assert!(store.generation() > before.generation());
+
+        let after = store.snapshot();
+        assert_eq!(after.events()[0].version, before.events()[0].version + 1);
+    }
+
+    #[test]
+    fn snapshot_and_for_each_are_id_ordered() {
+        let store = MispStore::new();
+        for value in ["c.example", "a.example", "b.example"] {
+            store.insert(event_with(value)).unwrap();
+        }
+        let snapshot = store.snapshot();
+        let ids: Vec<u64> = snapshot.iter().map(|v| v.event.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+
+        let mut walked = Vec::new();
+        store.for_each(|event| walked.push(event.id));
+        assert_eq!(walked, ids);
+
+        let via_into_iter: Vec<u64> = (&snapshot).into_iter().map(|v| v.event.id).collect();
+        assert_eq!(via_into_iter, ids);
+    }
+
+    #[test]
+    fn get_arc_shares_the_stored_body() {
+        let store = MispStore::new();
+        let id = store.insert(event_with("a.example")).unwrap();
+        let one = store.get_arc(id).unwrap();
+        let two = store.get_arc(id).unwrap();
+        assert!(Arc::ptr_eq(&one, &two));
+        let versioned = store.versioned(id).unwrap();
+        assert!(Arc::ptr_eq(&one, &versioned.event));
+        assert_eq!(versioned.version, 0);
+    }
+
+    #[test]
+    fn correlation_groups_come_from_the_index() {
+        let store = MispStore::new();
+        let a = store.insert(event_with("shared.example")).unwrap();
+        let b = store.insert(event_with("SHARED.example")).unwrap();
+        store.insert(event_with("lonely.example")).unwrap();
+        let groups = store.correlation_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups["shared.example"], vec![a, b]);
     }
 
     #[test]
@@ -522,7 +799,6 @@ mod tests {
 
     #[test]
     fn concurrent_inserts_get_unique_ids() {
-        use std::sync::Arc;
         let store = Arc::new(MispStore::new());
         let mut handles = Vec::new();
         for t in 0..4 {
@@ -539,8 +815,10 @@ mod tests {
             handle.join().unwrap();
         }
         assert_eq!(store.len(), 200);
-        let ids: std::collections::HashSet<u64> = store.all().iter().map(|e| e.id).collect();
+        let ids: std::collections::HashSet<u64> =
+            store.snapshot().iter().map(|v| v.event.id).collect();
         assert_eq!(ids.len(), 200);
+        assert_eq!(store.generation(), 200);
     }
 }
 

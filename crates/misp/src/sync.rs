@@ -70,7 +70,10 @@ pub fn downgrade(distribution: Distribution) -> Option<Distribution> {
 /// ```
 pub fn push(source: &MispApi, target: &MispApi) -> SyncReport {
     let mut report = SyncReport::default();
-    for event in source.store().all() {
+    // Snapshot read: event bodies are borrowed from the store; only
+    // events that actually transfer are cloned.
+    for versioned in source.store().snapshot().iter() {
+        let event = &versioned.event;
         if !event.published {
             continue;
         }
@@ -79,11 +82,11 @@ pub fn push(source: &MispApi, target: &MispApi) -> SyncReport {
             report.withheld += 1;
             continue;
         };
-        if target.store().get_by_uuid(&event.uuid).is_some() {
+        if target.store().contains_uuid(&event.uuid) {
             report.already_present += 1;
             continue;
         }
-        let mut transferred: MispEvent = event.clone();
+        let mut transferred: MispEvent = (**event).clone();
         transferred.id = 0;
         transferred.distribution = arrival_distribution;
         if target.add_event(transferred).is_ok() {
@@ -147,7 +150,8 @@ pub fn push_resilient(
 ) -> ResilientSyncReport {
     let mut rng = StdRng::seed_from_u64(seed ^ site_hash(site));
     let mut report = ResilientSyncReport::default();
-    for event in source.store().all() {
+    for versioned in source.store().snapshot().iter() {
+        let event = &versioned.event;
         if !event.published {
             continue;
         }
@@ -156,17 +160,17 @@ pub fn push_resilient(
             report.base.withheld += 1;
             continue;
         };
-        if target.store().get_by_uuid(&event.uuid).is_some() {
+        if target.store().contains_uuid(&event.uuid) {
             report.base.already_present += 1;
             continue;
         }
         // Applies the event unless its UUID already landed (an earlier
         // ack-lost or replayed delivery); returns whether it inserted.
         let deliver = || -> bool {
-            if target.store().get_by_uuid(&event.uuid).is_some() {
+            if target.store().contains_uuid(&event.uuid) {
                 return false;
             }
-            let mut transferred: MispEvent = event.clone();
+            let mut transferred: MispEvent = (**event).clone();
             transferred.id = 0;
             transferred.distribution = arrival_distribution;
             target.add_event(transferred).is_ok()
@@ -258,13 +262,13 @@ mod tests {
         published_event(&a, "two-hops", Distribution::ConnectedCommunities);
 
         push(&a, &b);
-        let on_b = &b.store().all()[0];
+        let on_b = b.store().snapshot().events()[0].event.clone();
         assert_eq!(on_b.distribution, Distribution::CommunityOnly);
 
         // Re-publish on b so the second hop considers it.
         b.publish_event(on_b.id).unwrap();
         push(&b, &c);
-        let on_c = &c.store().all()[0];
+        let on_c = c.store().snapshot().events()[0].event.clone();
         assert_eq!(on_c.distribution, Distribution::OrganizationOnly);
 
         // A third hop is impossible.
@@ -357,7 +361,12 @@ mod tests {
         assert_eq!(report.failed, 0);
         // Zero duplicates: one event per UUID on the target.
         assert_eq!(target.store().len(), 3);
-        let mut uuids: Vec<_> = target.store().all().iter().map(|e| e.uuid).collect();
+        let mut uuids: Vec<_> = target
+            .store()
+            .snapshot()
+            .iter()
+            .map(|v| v.event.uuid)
+            .collect();
         uuids.sort_unstable();
         uuids.dedup();
         assert_eq!(uuids.len(), 3);

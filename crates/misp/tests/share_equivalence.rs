@@ -1,0 +1,139 @@
+//! Property test: the zero-clone share path is observationally
+//! equivalent to naive per-event export. For arbitrary stores and
+//! interleaved insert/update mutations, across every registered
+//! format:
+//!
+//! * cached pulls byte-match the join of fresh `export()` strings,
+//! * per-event cached bytes byte-match fresh `export()` output,
+//! * serial and parallel STIX bundle assembly agree,
+//!
+//! after every mutation round — so stale cache entries, version
+//! keying and generation invalidation are all exercised.
+
+use cais_misp::export::ExportRegistry;
+use cais_misp::{AttributeCategory, MispAttribute, MispEvent, MispStore, ShareExporter};
+use proptest::prelude::*;
+
+/// Typed attribute seeds that pass store validation, including the
+/// values CSV quoting and JSON escaping must round-trip.
+const VALUES: &[(&str, &str)] = &[
+    ("domain", "c2.evil.example"),
+    ("ip-dst", "203.0.113.9"),
+    ("vulnerability", "CVE-2017-9805"),
+    ("text", "needs,csv \"quoting\""),
+    ("text", "multi\nline value"),
+    ("text", "plain"),
+];
+
+fn event(info: String, values: Vec<(&'static str, &'static str)>) -> MispEvent {
+    let mut e = MispEvent::new(info);
+    for (attr_type, value) in values {
+        e.add_attribute(MispAttribute::new(
+            attr_type,
+            AttributeCategory::NetworkActivity,
+            value,
+        ));
+    }
+    e
+}
+
+/// What the share cache must reproduce: every event freshly exported
+/// through the registry's owned-string path, joined by `\n`.
+fn naive_pull(store: &MispStore, registry: &ExportRegistry, format: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, versioned) in store.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(b'\n');
+        }
+        let document = registry
+            .export(format, &versioned.event)
+            .expect("builtin format")
+            .expect("export succeeds");
+        out.extend_from_slice(document.as_bytes());
+    }
+    out
+}
+
+fn check(share: &ShareExporter, store: &MispStore, round: usize) {
+    let reference = ExportRegistry::with_builtins();
+    for format in reference.formats() {
+        let cached = share
+            .pull(store, format, 3)
+            .expect("pull succeeds")
+            .expect("builtin format");
+        let naive = naive_pull(store, &reference, format);
+        assert_eq!(
+            &*cached,
+            &naive[..],
+            "pull diverged for format {format} in round {round}"
+        );
+        for versioned in store.snapshot().iter() {
+            let bytes = share
+                .export_event_bytes(store, versioned.event.id, format)
+                .expect("export succeeds")
+                .expect("builtin format");
+            let fresh = reference
+                .export(format, &versioned.event)
+                .expect("builtin format")
+                .expect("export succeeds");
+            assert_eq!(
+                &*bytes,
+                fresh.as_bytes(),
+                "event {} diverged for format {format} in round {round}",
+                versioned.event.id
+            );
+        }
+    }
+    let serial = ShareExporter::default()
+        .stix_bundle(store, 1)
+        .expect("serial bundle");
+    let parallel = share.stix_bundle(store, 4).expect("parallel bundle");
+    assert_eq!(serial, parallel, "stix assembly diverged in round {round}");
+}
+
+proptest! {
+    #[test]
+    fn cached_share_path_matches_naive_export(
+        seeds in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(VALUES.to_vec()), 0..4),
+            1..4,
+        ),
+        rounds in prop::collection::vec(
+            (0usize..4, prop::sample::select(VALUES.to_vec()), "[a-z]{3,10}"),
+            0..4,
+        ),
+    ) {
+        let store = MispStore::new();
+        let share = ShareExporter::default();
+        let mut ids = Vec::new();
+        for (i, values) in seeds.into_iter().enumerate() {
+            let id = store
+                .insert(event(format!("event {i}"), values))
+                .expect("insert");
+            ids.push(id);
+        }
+        check(&share, &store, 0);
+
+        for (round, (pick, (attr_type, value), info)) in rounds.into_iter().enumerate() {
+            let id = ids[pick % ids.len()];
+            store
+                .update(id, |e| {
+                    e.info = info.clone();
+                    e.add_attribute(MispAttribute::new(
+                        attr_type,
+                        AttributeCategory::NetworkActivity,
+                        value,
+                    ));
+                })
+                .expect("update");
+            // Inserts between pulls, too: the store generation moves.
+            if round % 2 == 1 {
+                let id = store
+                    .insert(event(format!("late {round}"), vec![("text", "plain")]))
+                    .expect("insert");
+                ids.push(id);
+            }
+            check(&share, &store, round + 1);
+        }
+    }
+}

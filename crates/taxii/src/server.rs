@@ -1,14 +1,24 @@
 //! The TAXII server: collection storage plus the TCP accept loop.
+//!
+//! Pull-heavy federations re-request the same pages over and over; the
+//! server therefore keeps a bounded byte cache of serialized
+//! `GetObjects` responses, keyed by the collection's write-version, so
+//! repeated pulls of an unchanged collection replay stored bytes
+//! instead of re-filtering and re-serializing the page (see DESIGN.md
+//! §12).
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
 use cais_bus::tcp::{read_frame, write_frame};
 use cais_common::resilience::{FaultKind, FaultPlan};
 use cais_common::{Timestamp, Uuid};
-use parking_lot::RwLock;
+use cais_telemetry::{Counter, Registry};
+use parking_lot::{Mutex, RwLock};
 
 use crate::collection::{Collection, Envelope};
 use crate::protocol::{Request, Response};
@@ -16,16 +26,59 @@ use crate::protocol::{Request, Response};
 /// Maximum page size the server will return.
 const MAX_PAGE: usize = 1_000;
 
+/// Maximum number of cached page responses; the cache is cleared
+/// wholesale when full (entries are version-keyed, so a full cache is
+/// mostly superseded garbage anyway).
+const PAGE_CACHE_CAP: usize = 512;
+
 #[derive(Debug, Default)]
 struct State {
     collections: Vec<Collection>,
+    /// Per-collection write version: bumped on every successful
+    /// `AddObjects`, so cached pages of older versions can never be
+    /// served for newer content.
+    versions: HashMap<Uuid, u64>,
+}
+
+/// The identity of one cacheable page response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PageKey {
+    collection: Uuid,
+    version: u64,
+    added_after: Option<Timestamp>,
+    object_type: Option<String>,
+    limit: usize,
+}
+
+#[derive(Clone)]
+struct PageMetrics {
+    hits: Counter,
+    misses: Counter,
+}
+
+#[derive(Default)]
+struct PageCache {
+    entries: Mutex<HashMap<PageKey, Arc<Vec<u8>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    metrics: RwLock<Option<PageMetrics>>,
 }
 
 /// A TAXII-like server over framed TCP.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TaxiiServer {
     title: String,
     state: Arc<RwLock<State>>,
+    cache: Arc<PageCache>,
+}
+
+impl std::fmt::Debug for TaxiiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaxiiServer")
+            .field("title", &self.title)
+            .field("collections", &self.state.read().collections.len())
+            .finish()
+    }
 }
 
 impl TaxiiServer {
@@ -34,14 +87,39 @@ impl TaxiiServer {
         TaxiiServer {
             title: title.into(),
             state: Arc::new(RwLock::new(State::default())),
+            cache: Arc::new(PageCache::default()),
         }
     }
 
     /// Registers a collection, returning its id.
     pub fn add_collection(&mut self, collection: Collection) -> Uuid {
         let id = collection.id;
-        self.state.write().collections.push(collection);
+        let mut state = self.state.write();
+        state.versions.insert(id, 0);
+        state.collections.push(collection);
         id
+    }
+
+    /// Publishes `taxii_page_cache_{hits,misses}_total` counters on the
+    /// registry, pre-loaded with whatever the cache has already served.
+    pub fn instrument(&self, registry: &Registry) {
+        let metrics = PageMetrics {
+            hits: registry.counter("taxii_page_cache_hits_total"),
+            misses: registry.counter("taxii_page_cache_misses_total"),
+        };
+        metrics.hits.add(self.cache.hits.load(Ordering::Relaxed));
+        metrics
+            .misses
+            .add(self.cache.misses.load(Ordering::Relaxed));
+        *self.cache.metrics.write() = Some(metrics);
+    }
+
+    /// Page-cache accounting so far, as `(hits, misses)`.
+    pub fn page_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Handles one request against the in-memory state. This is the
@@ -94,20 +172,100 @@ impl TaxiiServer {
                 objects,
             } => {
                 let mut state = self.state.write();
-                let Some(found) = state.collections.iter_mut().find(|c| c.id == collection) else {
+                let Some(index) = state.collections.iter().position(|c| c.id == collection) else {
                     return Response::Error {
                         message: format!("no such collection {collection}"),
                     };
                 };
-                if !found.can_write {
+                if !state.collections[index].can_write {
                     return Response::Error {
                         message: "collection is not writable".into(),
                     };
                 }
                 let stored = objects.len();
-                found.add_objects(objects, Timestamp::now());
+                state.collections[index].add_objects(objects, Timestamp::now());
+                *state.versions.entry(collection).or_insert(0) += 1;
                 Response::Accepted { stored }
             }
+        }
+    }
+
+    /// The serialized response for one `GetObjects` request, served
+    /// from the page cache when the collection's version still matches.
+    /// Error responses (unknown collection, unreadable collection) are
+    /// never cached.
+    fn get_objects_bytes(
+        &self,
+        collection: Uuid,
+        added_after: Option<Timestamp>,
+        object_type: Option<String>,
+        limit: usize,
+    ) -> io::Result<Arc<Vec<u8>>> {
+        let limit = limit.clamp(1, MAX_PAGE);
+        // Version lookup, cache probe, and (on a miss) envelope build
+        // all happen under one read guard so a concurrent AddObjects
+        // cannot slip a newer page under an older version key.
+        let response = {
+            let state = self.state.read();
+            let Some(found) = state.collections.iter().find(|c| c.id == collection) else {
+                return encode(&Response::Error {
+                    message: format!("no such collection {collection}"),
+                })
+                .map(Arc::new);
+            };
+            if !found.can_read {
+                return encode(&Response::Error {
+                    message: "collection is not readable".into(),
+                })
+                .map(Arc::new);
+            }
+            let version = state.versions.get(&collection).copied().unwrap_or(0);
+            let key = PageKey {
+                collection,
+                version,
+                added_after,
+                object_type: object_type.clone(),
+                limit,
+            };
+            if let Some(bytes) = self.cache.entries.lock().get(&key) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = self.cache.metrics.read().as_ref() {
+                    metrics.hits.inc();
+                }
+                return Ok(bytes.clone());
+            }
+            let envelope = found.page_filtered(added_after, limit, object_type.as_deref());
+            (key, Response::Objects { envelope })
+        };
+        let (key, response) = response;
+        let bytes = Arc::new(encode(&response)?);
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = self.cache.metrics.read().as_ref() {
+            metrics.misses.inc();
+        }
+        let mut entries = self.cache.entries.lock();
+        if entries.len() >= PAGE_CACHE_CAP {
+            entries.clear();
+        }
+        entries.insert(key, bytes.clone());
+        Ok(bytes)
+    }
+
+    /// Parses one request frame and produces the serialized response,
+    /// routing `GetObjects` through the page cache.
+    fn response_bytes(&self, frame: &[u8]) -> io::Result<Arc<Vec<u8>>> {
+        match serde_json::from_slice::<Request>(frame) {
+            Ok(Request::GetObjects {
+                collection,
+                added_after,
+                object_type,
+                limit,
+            }) => self.get_objects_bytes(collection, added_after, object_type, limit),
+            Ok(request) => encode(&self.handle(request)).map(Arc::new),
+            Err(err) => encode(&Response::Error {
+                message: format!("malformed request: {err}"),
+            })
+            .map(Arc::new),
         }
     }
 
@@ -142,14 +300,7 @@ impl TaxiiServer {
     fn serve_connection(&self, mut stream: TcpStream) -> io::Result<()> {
         loop {
             let frame = read_frame(&mut stream)?;
-            let response = match serde_json::from_slice::<Request>(&frame) {
-                Ok(request) => self.handle(request),
-                Err(err) => Response::Error {
-                    message: format!("malformed request: {err}"),
-                },
-            };
-            let bytes = serde_json::to_vec(&response)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let bytes = self.response_bytes(&frame)?;
             write_frame(&mut stream, &bytes)?;
         }
     }
@@ -209,14 +360,10 @@ impl TaxiiServer {
         plan: &FaultPlan,
         site: &str,
     ) -> io::Result<()> {
-        let mut previous: Option<Vec<u8>> = None;
+        let mut previous: Option<Arc<Vec<u8>>> = None;
         loop {
             let frame = read_frame(&mut stream)?;
             let fault = plan.next(site);
-            let respond = |response: &Response| -> io::Result<Vec<u8>> {
-                serde_json::to_vec(response)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
-            };
             match fault {
                 Some(FaultKind::Error) => {
                     return Err(io::Error::new(
@@ -237,14 +384,7 @@ impl TaxiiServer {
                     write_frame(&mut stream, b"\x01\x02%%% injected garbage %%%\x03")?;
                 }
                 Some(FaultKind::Truncate) => {
-                    let request = serde_json::from_slice::<Request>(&frame);
-                    let response = match request {
-                        Ok(request) => self.handle(request),
-                        Err(err) => Response::Error {
-                            message: format!("malformed request: {err}"),
-                        },
-                    };
-                    let bytes = respond(&response)?;
+                    let bytes = self.response_bytes(&frame)?;
                     write_frame(&mut stream, &bytes[..bytes.len() / 2])?;
                 }
                 Some(FaultKind::Replay) if previous.is_some() => {
@@ -252,19 +392,17 @@ impl TaxiiServer {
                     write_frame(&mut stream, &bytes)?;
                 }
                 Some(FaultKind::Replay) | Some(FaultKind::Delay(_)) | None => {
-                    let response = match serde_json::from_slice::<Request>(&frame) {
-                        Ok(request) => self.handle(request),
-                        Err(err) => Response::Error {
-                            message: format!("malformed request: {err}"),
-                        },
-                    };
-                    let bytes = respond(&response)?;
+                    let bytes = self.response_bytes(&frame)?;
                     write_frame(&mut stream, &bytes)?;
                     previous = Some(bytes);
                 }
             }
         }
     }
+}
+
+fn encode(response: &Response) -> io::Result<Vec<u8>> {
+    serde_json::to_vec(response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -351,5 +489,73 @@ mod tests {
             Response::Objects { envelope } => assert_eq!(envelope.objects.len(), 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn page_cache_replays_bytes_until_the_collection_changes() {
+        let (server, id) = server_with_collection();
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: (0..3).map(|i| serde_json::json!({ "i": i })).collect(),
+        });
+        let first = server.get_objects_bytes(id, None, None, 10).unwrap();
+        let second = server.get_objects_bytes(id, None, None, 10).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(server.page_cache_stats(), (1, 1));
+
+        // A write bumps the collection version: fresh bytes.
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: vec![serde_json::json!({ "i": 99 })],
+        });
+        let third = server.get_objects_bytes(id, None, None, 10).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(server.page_cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn cached_bytes_match_direct_handling() {
+        let (server, id) = server_with_collection();
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: (0..4).map(|i| serde_json::json!({ "i": i })).collect(),
+        });
+        let direct = serde_json::to_vec(&server.handle(Request::GetObjects {
+            collection: id,
+            added_after: None,
+            object_type: None,
+            limit: 2,
+        }))
+        .unwrap();
+        // Miss, then hit: both must equal the uncached serialization.
+        for _ in 0..2 {
+            let cached = server.get_objects_bytes(id, None, None, 2).unwrap();
+            assert_eq!(*cached, direct);
+        }
+    }
+
+    #[test]
+    fn error_responses_are_not_cached() {
+        let (server, _) = server_with_collection();
+        let missing = Uuid::new_v4();
+        server.get_objects_bytes(missing, None, None, 10).unwrap();
+        server.get_objects_bytes(missing, None, None, 10).unwrap();
+        assert_eq!(server.page_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn instrument_surfaces_page_cache_counters() {
+        let (server, id) = server_with_collection();
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: vec![serde_json::json!({ "i": 0 })],
+        });
+        server.get_objects_bytes(id, None, None, 10).unwrap();
+        let registry = Registry::new();
+        server.instrument(&registry); // pre-loads the earlier miss
+        server.get_objects_bytes(id, None, None, 10).unwrap();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["taxii_page_cache_hits_total"], 1);
+        assert_eq!(snapshot.counters["taxii_page_cache_misses_total"], 1);
     }
 }

@@ -62,8 +62,8 @@ fn main() -> std::io::Result<()> {
     // Export every stored event as a STIX bundle and publish the
     // objects into the collection.
     let mut shared_objects = 0;
-    for event in platform.misp().store().all() {
-        let bundle = cais::misp::export::stix2::to_bundle(&event);
+    for versioned in platform.misp().store().snapshot().iter() {
+        let bundle = cais::misp::export::stix2::to_bundle(&versioned.event);
         let objects: Vec<serde_json::Value> = bundle
             .objects()
             .iter()

@@ -115,7 +115,12 @@ fn misp_sync_survives_ack_loss_without_duplicates() {
     assert_eq!(target.store().len(), 30, "seed {seed}");
     assert!(redelivered > 0, "seed {seed}: ack loss never exercised");
     // Zero duplicates: every UUID appears exactly once on the target.
-    let mut uuids: Vec<_> = target.store().all().iter().map(|e| e.uuid).collect();
+    let mut uuids: Vec<_> = target
+        .store()
+        .snapshot()
+        .iter()
+        .map(|v| v.event.uuid)
+        .collect();
     let total = uuids.len();
     uuids.sort_unstable();
     uuids.dedup();

@@ -43,13 +43,13 @@ fn three_hop_distribution_decay() {
 
     let hop1 = MispApi::new("hop-1");
     assert_eq!(sync::push(producer.misp(), &hop1).transferred, 1);
-    let on_hop1 = &hop1.store().all()[0];
+    let on_hop1 = hop1.store().snapshot().events()[0].event.clone();
     assert_eq!(on_hop1.distribution, Distribution::CommunityOnly);
 
     hop1.publish_event(on_hop1.id).unwrap();
     let hop2 = MispApi::new("hop-2");
     assert_eq!(sync::push(&hop1, &hop2).transferred, 1);
-    let on_hop2 = &hop2.store().all()[0];
+    let on_hop2 = hop2.store().snapshot().events()[0].event.clone();
     assert_eq!(on_hop2.distribution, Distribution::OrganizationOnly);
 
     // The intelligence itself survived both hops.

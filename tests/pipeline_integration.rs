@@ -55,14 +55,14 @@ fn synthetic_feeds_deduplicate_to_ground_truth() {
     assert_eq!(report.eiocs, report.ciocs);
     // Every cIoC became a stored MISP event with a threat score.
     assert_eq!(platform.misp().store().len(), report.ciocs);
-    for event in platform.misp().store().all() {
+    platform.misp().store().for_each(|event| {
         assert!(
             event.threat_score().is_some(),
             "event {} unscored",
             event.id
         );
         assert!(event.published);
-    }
+    });
 }
 
 #[test]
@@ -135,7 +135,7 @@ fn federation_shares_enriched_events() {
     assert_eq!(platform.share_with(&partner), 1);
     // The partner received the event with its threat-score attribute
     // and criterion tags intact.
-    let event = &partner.store().all()[0];
+    let event = partner.store().snapshot().events()[0].event.clone();
     assert!(event.threat_score().is_some());
     assert!(event
         .tags

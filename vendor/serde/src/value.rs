@@ -179,6 +179,26 @@ impl Value {
         }
     }
 
+    /// Renders compact JSON into a caller-provided buffer, so hot
+    /// paths can reuse one allocation across many renders.
+    pub fn write_json_string(&self, out: &mut String) {
+        self.write_json(out, None, 0);
+    }
+
+    /// Renders two-space-indented JSON into a caller-provided buffer.
+    pub fn write_json_string_pretty(&self, out: &mut String) {
+        self.write_json(out, Some(2), 0);
+    }
+
+    /// Renders two-space-indented JSON as if the value sat `level`
+    /// nesting levels deep: the first token is written inline and
+    /// every subsequent line is indented by `2 * (level + depth)`
+    /// spaces. This lets callers splice independently rendered
+    /// fragments into a surrounding pretty document byte-identically.
+    pub fn write_json_string_pretty_at(&self, out: &mut String, level: usize) {
+        self.write_json(out, Some(2), level);
+    }
+
     /// Renders compact JSON.
     pub fn to_json_string(&self) -> String {
         let mut out = String::new();

@@ -95,6 +95,52 @@ pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error>
     Ok(to_string(value)?.into_bytes())
 }
 
+std::thread_local! {
+    /// Scratch buffer shared by the writer-based renderers so hot
+    /// export paths do not allocate a fresh `String` per value.
+    static WRITE_SCRATCH: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+}
+
+fn write_rendered<T, F>(value: &T, out: &mut dyn std::io::Write, render: F) -> Result<(), Error>
+where
+    T: serde::Serialize + ?Sized,
+    F: FnOnce(&Value, &mut String),
+{
+    let value = to_value(value)?;
+    WRITE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        render(&value, &mut buf);
+        out.write_all(buf.as_bytes()).map_err(Error::io)
+    })
+}
+
+/// Renders a value as compact JSON into an [`std::io::Write`] sink,
+/// reusing a thread-local scratch buffer between calls.
+///
+/// # Errors
+///
+/// Propagates serialization errors and I/O failures from the sink.
+pub fn to_writer<T: serde::Serialize + ?Sized>(
+    out: &mut dyn std::io::Write,
+    value: &T,
+) -> Result<(), Error> {
+    write_rendered(value, out, |v, buf| v.write_json_string(buf))
+}
+
+/// Renders a value as two-space-indented JSON into an
+/// [`std::io::Write`] sink, reusing a thread-local scratch buffer.
+///
+/// # Errors
+///
+/// Propagates serialization errors and I/O failures from the sink.
+pub fn to_writer_pretty<T: serde::Serialize + ?Sized>(
+    out: &mut dyn std::io::Write,
+    value: &T,
+) -> Result<(), Error> {
+    write_rendered(value, out, |v, buf| v.write_json_string_pretty(buf))
+}
+
 /// Parses JSON text into a typed value.
 ///
 /// # Errors
