@@ -1,0 +1,83 @@
+//! CI benchmark gate: compares this run's `BENCH_*.json` files against
+//! a downloaded baseline set and exits non-zero when any headline
+//! metric regressed past the tolerance in
+//! [`cais_bench::compare::REGRESSION_TOLERANCE`].
+//!
+//! ```text
+//! cargo run --release -p cais-bench --bin bench_compare                    # baseline in ./bench-baseline
+//! cargo run --release -p cais-bench --bin bench_compare -- path/to/base    # explicit baseline dir
+//! cargo run --release -p cais-bench --bin bench_compare -- base current    # explicit both dirs
+//! ```
+//!
+//! A missing or empty baseline directory is not a failure — the first
+//! run on a branch has nothing to compare against; the gate prints a
+//! note and passes.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use cais_bench::compare::{compare, Comparison};
+use serde_json::Value;
+
+fn load_doc(path: &Path) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn bench_files(dir: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_dir = Path::new(args.first().map(String::as_str).unwrap_or("bench-baseline"));
+    let current_dir_owned = args.get(1).cloned().unwrap_or_else(|| ".".to_owned());
+    let current_dir = Path::new(&current_dir_owned);
+
+    let current_files = bench_files(current_dir);
+    if current_files.is_empty() {
+        eprintln!(
+            "bench_compare: no BENCH_*.json in {} — nothing to gate",
+            current_dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if bench_files(baseline_dir).is_empty() {
+        eprintln!(
+            "bench_compare: no baseline BENCH_*.json in {} — first run, gate passes",
+            baseline_dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut regressions = 0;
+    for name in &current_files {
+        let Some(current) = load_doc(&current_dir.join(name)) else {
+            eprintln!("SKIPPED  {name}: current file is not valid JSON");
+            continue;
+        };
+        let baseline = load_doc(&baseline_dir.join(name));
+        let outcome = compare(&current, baseline.as_ref());
+        eprintln!("{}", outcome.describe());
+        if matches!(outcome, Comparison::Regressed { .. }) {
+            regressions += 1;
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("bench_compare: {regressions} benchmark(s) regressed past tolerance");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_compare: all headline metrics within tolerance");
+        ExitCode::SUCCESS
+    }
+}

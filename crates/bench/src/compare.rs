@@ -1,0 +1,205 @@
+//! Benchmark trend gating: compare a run's `BENCH_*.json` files
+//! against a baseline set and fail on regressions.
+//!
+//! Each benchmark document carries a `"benchmark"` field naming its
+//! schema; this module knows where each schema keeps its *headline*
+//! metric (always higher-is-better) and flags any current run whose
+//! headline fell more than [`REGRESSION_TOLERANCE`] below the
+//! baseline's. Missing baselines are informational, not failures — the
+//! first run on a branch, or a freshly added benchmark, has nothing to
+//! compare against.
+
+use serde_json::Value;
+
+/// Fraction of the baseline headline a current run may lose before the
+/// comparison fails: 0.3 = fail when below 70% of baseline.
+pub const REGRESSION_TOLERANCE: f64 = 0.3;
+
+/// The outcome of comparing one benchmark document pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Comparison {
+    /// Headline within tolerance (or improved).
+    Ok {
+        /// Benchmark name (the `"benchmark"` field).
+        benchmark: String,
+        /// Baseline headline value.
+        baseline: f64,
+        /// Current headline value.
+        current: f64,
+    },
+    /// Headline fell below `baseline × (1 − tolerance)`.
+    Regressed {
+        /// Benchmark name.
+        benchmark: String,
+        /// Baseline headline value.
+        baseline: f64,
+        /// Current headline value.
+        current: f64,
+    },
+    /// One side is missing or carries no recognisable headline.
+    Skipped {
+        /// Benchmark name (or file stem when unparsable).
+        benchmark: String,
+        /// Why the pair was not compared.
+        reason: String,
+    },
+}
+
+impl Comparison {
+    /// Whether this outcome should fail the gate.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Comparison::Regressed { .. })
+    }
+
+    /// One human-readable line for the gate's log.
+    pub fn describe(&self) -> String {
+        match self {
+            Comparison::Ok {
+                benchmark,
+                baseline,
+                current,
+            } => format!(
+                "OK       {benchmark}: headline {current:.3} vs baseline {baseline:.3} ({:+.1}%)",
+                delta_percent(*baseline, *current)
+            ),
+            Comparison::Regressed {
+                benchmark,
+                baseline,
+                current,
+            } => format!(
+                "REGRESSED {benchmark}: headline {current:.3} vs baseline {baseline:.3} ({:+.1}%, tolerance -{:.0}%)",
+                delta_percent(*baseline, *current),
+                REGRESSION_TOLERANCE * 100.0
+            ),
+            Comparison::Skipped { benchmark, reason } => {
+                format!("SKIPPED  {benchmark}: {reason}")
+            }
+        }
+    }
+}
+
+fn delta_percent(baseline: f64, current: f64) -> f64 {
+    if baseline.abs() < f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    (current - baseline) / baseline * 100.0
+}
+
+/// The headline (higher-is-better) metric of a benchmark document, by
+/// its `"benchmark"` schema name. Returns `None` for unknown schemas
+/// or absent fields.
+pub fn headline(doc: &Value) -> Option<(String, f64)> {
+    let benchmark = doc.get("benchmark")?.as_str()?.to_owned();
+    let value = match benchmark.as_str() {
+        "pipeline_json" => {
+            let totals = doc.get("totals")?;
+            let records = totals.get("records_in")?.as_f64()?;
+            let nanos = totals.get("total_nanos")?.as_f64()?;
+            if nanos <= 0.0 {
+                return None;
+            }
+            records / (nanos / 1e9)
+        }
+        "reduce_json" | "decay_json" => doc.get("speedup")?.as_f64()?,
+        "share_json" => doc.get("warm")?.get("speedup_vs_naive")?.as_f64()?,
+        _ => return None,
+    };
+    Some((benchmark, value))
+}
+
+/// Compares one current document against its baseline counterpart
+/// (`None` when the baseline artifact lacks the file).
+pub fn compare(current: &Value, baseline: Option<&Value>) -> Comparison {
+    let Some((benchmark, current_headline)) = headline(current) else {
+        return Comparison::Skipped {
+            benchmark: current
+                .get("benchmark")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_owned(),
+            reason: "current run has no recognisable headline metric".to_owned(),
+        };
+    };
+    let Some(baseline_doc) = baseline else {
+        return Comparison::Skipped {
+            benchmark,
+            reason: "no baseline artifact (first run?)".to_owned(),
+        };
+    };
+    let Some((_, baseline_headline)) = headline(baseline_doc) else {
+        return Comparison::Skipped {
+            benchmark,
+            reason: "baseline has no recognisable headline metric".to_owned(),
+        };
+    };
+    if current_headline < baseline_headline * (1.0 - REGRESSION_TOLERANCE) {
+        Comparison::Regressed {
+            benchmark,
+            baseline: baseline_headline,
+            current: current_headline,
+        }
+    } else {
+        Comparison::Ok {
+            benchmark,
+            baseline: baseline_headline,
+            current: current_headline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn reduce_doc(speedup: f64) -> Value {
+        json!({"benchmark": "reduce_json", "speedup": speedup})
+    }
+
+    #[test]
+    fn headlines_are_extracted_per_schema() {
+        assert_eq!(
+            headline(&reduce_doc(12.5)),
+            Some(("reduce_json".to_owned(), 12.5))
+        );
+        assert_eq!(
+            headline(&json!({"benchmark": "decay_json", "speedup": 8.0})),
+            Some(("decay_json".to_owned(), 8.0))
+        );
+        assert_eq!(
+            headline(&json!({"benchmark": "share_json",
+                             "warm": {"speedup_vs_naive": 40.0}})),
+            Some(("share_json".to_owned(), 40.0))
+        );
+        let pipeline = json!({"benchmark": "pipeline_json",
+                              "totals": {"records_in": 1000, "total_nanos": 2_000_000_000u64}});
+        let (name, rps) = headline(&pipeline).unwrap();
+        assert_eq!(name, "pipeline_json");
+        assert!((rps - 500.0).abs() < 1e-9);
+        assert_eq!(headline(&json!({"benchmark": "mystery"})), None);
+        assert_eq!(headline(&json!({"speedup": 3.0})), None);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_beyond_fails() {
+        // 30% tolerance: 7.1 vs baseline 10 passes, 6.9 fails.
+        let ok = compare(&reduce_doc(7.1), Some(&reduce_doc(10.0)));
+        assert!(!ok.is_regression(), "{}", ok.describe());
+        let bad = compare(&reduce_doc(6.9), Some(&reduce_doc(10.0)));
+        assert!(bad.is_regression(), "{}", bad.describe());
+        assert!(bad.describe().contains("REGRESSED"));
+        // Improvements obviously pass.
+        assert!(!compare(&reduce_doc(20.0), Some(&reduce_doc(10.0))).is_regression());
+    }
+
+    #[test]
+    fn missing_or_malformed_baselines_skip_not_fail() {
+        let no_baseline = compare(&reduce_doc(5.0), None);
+        assert!(!no_baseline.is_regression());
+        assert!(no_baseline.describe().contains("SKIPPED"));
+        let junk = compare(&reduce_doc(5.0), Some(&json!({"benchmark": "reduce_json"})));
+        assert!(!junk.is_regression());
+        let unknown = compare(&json!({"benchmark": "mystery"}), Some(&reduce_doc(5.0)));
+        assert!(!unknown.is_regression());
+    }
+}

@@ -7,5 +7,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod report;
 pub mod workloads;

@@ -630,6 +630,70 @@ pub fn share_bench_doc(m: &ShareBenchMeasurement) -> serde_json::Value {
     })
 }
 
+/// Measured inputs for [`decay_bench_doc`], produced by the
+/// `decay_json` binary.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayBenchMeasurement {
+    /// Events in the store.
+    pub events: usize,
+    /// Events mutated between the warm passes (version churn).
+    pub churned: usize,
+    /// Sightings recorded before the passes.
+    pub sightings: usize,
+    /// Wall time of the from-scratch rescore (every base re-derived).
+    pub full_nanos: u64,
+    /// Wall time of the first incremental pass (cold: all bases derived).
+    pub cold_nanos: u64,
+    /// Best wall time among incremental passes after churn.
+    pub incremental_nanos: u64,
+    /// Events whose base was re-derived in the measured incremental pass.
+    pub rebased: usize,
+    /// Events whose cached base was reused in that pass.
+    pub reused: usize,
+    /// Events expired (below threshold) after the final pass.
+    pub expired: usize,
+    /// Whether incremental and from-scratch scores matched exactly.
+    pub equivalent: bool,
+}
+
+impl DecayBenchMeasurement {
+    /// Incremental-pass speedup over the from-scratch rescore.
+    pub fn speedup(&self) -> f64 {
+        self.full_nanos as f64 / (self.incremental_nanos as f64).max(1.0)
+    }
+
+    /// Events scored per second on the incremental path.
+    pub fn incremental_events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.incremental_nanos as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The committed `BENCH_decay.json` schema: workload shape, the
+/// from-scratch baseline, the cold and post-churn incremental passes,
+/// the derived speedup and the equivalence verdict. CI uploads this as
+/// an artifact next to the other `BENCH_*.json` files.
+pub fn decay_bench_doc(m: &DecayBenchMeasurement) -> serde_json::Value {
+    serde_json::json!({
+        "benchmark": "decay_json",
+        "workload": {
+            "events": m.events,
+            "churned": m.churned,
+            "sightings": m.sightings,
+        },
+        "full": { "wall_nanos": m.full_nanos },
+        "cold": { "wall_nanos": m.cold_nanos },
+        "incremental": {
+            "wall_nanos": m.incremental_nanos,
+            "events_per_sec": m.incremental_events_per_sec(),
+            "rebased": m.rebased,
+            "reused": m.reused,
+        },
+        "expired": m.expired,
+        "speedup": m.speedup(),
+        "equivalence": { "incremental_matches_full": m.equivalent },
+    })
+}
+
 /// Every section in order.
 pub fn full_report() -> String {
     [
@@ -719,6 +783,30 @@ mod tests {
         ] {
             assert!(doc["caches"].get(key).is_some(), "missing caches.{key}");
         }
+    }
+
+    #[test]
+    fn decay_bench_doc_schema() {
+        let m = DecayBenchMeasurement {
+            events: 1_000_000,
+            churned: 10_000,
+            sightings: 5_000,
+            full_nanos: 800_000_000,
+            cold_nanos: 850_000_000,
+            incremental_nanos: 80_000_000,
+            rebased: 10_000,
+            reused: 990_000,
+            expired: 123_456,
+            equivalent: true,
+        };
+        let doc = decay_bench_doc(&m);
+        assert_eq!(doc["benchmark"], "decay_json");
+        assert_eq!(doc["workload"]["events"], 1_000_000);
+        assert_eq!(doc["incremental"]["rebased"], 10_000);
+        assert_eq!(doc["equivalence"]["incremental_matches_full"], true);
+        // 800 ms full vs 80 ms incremental → 10×.
+        assert!((doc["speedup"].as_f64().unwrap() - 10.0).abs() < 1e-9);
+        assert!(doc["incremental"]["events_per_sec"].as_f64().unwrap() > 0.0);
     }
 
     #[test]

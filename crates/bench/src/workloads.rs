@@ -211,6 +211,35 @@ pub fn synthetic_events(seed: u64, count: usize) -> Vec<MispEvent> {
         .collect()
 }
 
+/// `count` published events for the decay benchmarks: each carries the
+/// `cais-conf` confidence taxonomy (reliability/freshness/corroboration
+/// machine tags) plus one network attribute, with `date` stamped a
+/// seeded 0–25 days before `now` so the population spans the whole
+/// decay curve. Fully deterministic apart from per-run UUIDs.
+pub fn decay_events(seed: u64, count: usize, now: Timestamp) -> Vec<MispEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let mut event = MispEvent::new(format!("advisory {i}"));
+            event.date = now.add_days(-rng.gen_range(0i64..26));
+            event.add_attribute(MispAttribute::new(
+                "domain",
+                AttributeCategory::NetworkActivity,
+                format!("host-{i}.example"),
+            ));
+            for predicate in ["reliability", "freshness", "corroboration"] {
+                event.add_tag(cais_misp::Tag::machine(
+                    "cais-conf",
+                    predicate,
+                    &rng.gen_range(1u8..6).to_string(),
+                ));
+            }
+            event.published = true;
+            event
+        })
+        .collect()
+}
+
 /// Mutates roughly `fraction` of the store's events (every k-th id in
 /// id order) by rewriting their `info`, returning how many changed.
 /// `round` disambiguates repeated churn passes so every pass really
@@ -288,6 +317,30 @@ mod tests {
         // A second round touches the same events again.
         assert_eq!(churn_events(&store, 0.1, 2), 5);
         assert_eq!(churn_events(&store, 0.0, 3), 0);
+    }
+
+    #[test]
+    fn decay_events_are_tagged_dated_and_seeded() {
+        let now = Timestamp::from_unix_millis(50 * cais_common::time::MILLIS_PER_DAY);
+        let a = decay_events(7, 40, now);
+        let b = decay_events(7, 40, now);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.info, y.info);
+            assert_eq!(x.date, y.date);
+            assert_eq!(x.tags, y.tags);
+            assert!(x.published);
+            assert!(
+                x.date <= now && now.millis_since(x.date) <= 26 * cais_common::time::MILLIS_PER_DAY
+            );
+            assert_eq!(
+                x.tags
+                    .iter()
+                    .filter(|t| t.namespace() == Some("cais-conf"))
+                    .count(),
+                3
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Injectable time sources.
+//!
+//! The retry ladder's [`Sleeper`](super::Sleeper) abstracts *waiting*;
+//! [`Clock`] abstracts *reading the time*. Components that make
+//! time-dependent decisions (indicator decay, expiry sweeps) take a
+//! clock instead of calling [`Timestamp::now`] directly, so tests and
+//! chaos runs drive them through a [`VirtualClock`] in pure virtual
+//! time — deterministic from a seed, no wall clock involved — while
+//! production uses [`SystemClock`].
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::time::Timestamp;
+
+/// A readable time source. Implementations must be cheap and
+/// thread-safe: callers read the clock once per decision, possibly from
+/// several threads.
+pub trait Clock: Send + Sync {
+    /// The current instant according to this clock.
+    fn now(&self) -> Timestamp;
+}
+
+/// The wall clock (production default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::now()
+    }
+}
+
+/// A manually advanced clock for deterministic tests.
+///
+/// Clones share the same underlying instant, so a test can hand one
+/// handle to the component under test and keep another to advance time
+/// with. Time never advances on its own.
+///
+/// # Examples
+///
+/// ```
+/// use cais_common::resilience::{Clock, VirtualClock};
+/// use cais_common::Timestamp;
+///
+/// let clock = VirtualClock::starting_at(Timestamp::from_unix_secs(1_000));
+/// let handle = clock.clone();
+/// clock.advance_days(2);
+/// assert_eq!(handle.now(), Timestamp::from_unix_secs(1_000).add_days(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    millis: Arc<AtomicI64>,
+}
+
+impl VirtualClock {
+    /// A clock frozen at the Unix epoch.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// A clock frozen at `start`.
+    pub fn starting_at(start: Timestamp) -> Self {
+        VirtualClock {
+            millis: Arc::new(AtomicI64::new(start.unix_millis())),
+        }
+    }
+
+    /// Jumps the clock to an absolute instant (backwards is allowed —
+    /// the clock makes no monotonicity promise; tests own it).
+    pub fn set(&self, at: Timestamp) {
+        self.millis.store(at.unix_millis(), Ordering::SeqCst);
+    }
+
+    /// Advances the clock by a duration.
+    pub fn advance(&self, by: Duration) {
+        let millis = i64::try_from(by.as_millis()).unwrap_or(i64::MAX);
+        self.millis.fetch_add(millis, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by whole days.
+    pub fn advance_days(&self, days: i64) {
+        self.millis.fetch_add(
+            days.saturating_mul(crate::time::MILLIS_PER_DAY),
+            Ordering::SeqCst,
+        );
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_unix_millis(self.millis.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_tracks_wall_time() {
+        let before = Timestamp::now();
+        let read = SystemClock.now();
+        let after = Timestamp::now();
+        assert!(before <= read && read <= after);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_told() {
+        let clock = VirtualClock::starting_at(Timestamp::from_unix_secs(100));
+        assert_eq!(clock.now(), Timestamp::from_unix_secs(100));
+        assert_eq!(clock.now(), Timestamp::from_unix_secs(100));
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(clock.now(), Timestamp::from_unix_secs(105));
+        clock.advance_days(1);
+        assert_eq!(clock.now(), Timestamp::from_unix_secs(105).add_days(1));
+        clock.set(Timestamp::EPOCH);
+        assert_eq!(clock.now(), Timestamp::EPOCH);
+    }
+
+    #[test]
+    fn clones_share_the_instant() {
+        let clock = VirtualClock::new();
+        let handle = clock.clone();
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(handle.now(), Timestamp::from_unix_millis(250));
+    }
+}

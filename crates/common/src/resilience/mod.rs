@@ -14,6 +14,10 @@
 //! - [`CircuitBreaker`] — per-source/per-peer closed → open → half-open
 //!   isolation with a probe-count cooldown, deterministic per call
 //!   sequence.
+//! - [`Clock`] — an injectable time *reader* next to the [`Sleeper`]
+//!   time *waiter*: time-dependent logic (indicator decay, expiry
+//!   sweeps) reads a [`SystemClock`] in production and a manually
+//!   advanced [`VirtualClock`] in tests.
 //!
 //! The determinism contract extends here: with any seeded plan, the
 //! set of faults a call site sees — and therefore retry and breaker
@@ -21,9 +25,11 @@
 //! sequence.
 
 mod breaker;
+mod clock;
 mod fault;
 mod retry;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use fault::{mangle_payload, site_hash, FaultKind, FaultPlan};
 pub use retry::{RecordingSleeper, RetryOutcome, RetryPolicy, Sleeper, StopToken, ThreadSleeper};

@@ -148,8 +148,10 @@ mod tests {
 
     #[test]
     fn same_counts_ignores_wall_time() {
-        let mut a = StageMetrics::default();
-        a.filter = StageRecord::timed(4, 4, 10);
+        let a = StageMetrics {
+            filter: StageRecord::timed(4, 4, 10),
+            ..StageMetrics::default()
+        };
         let mut b = a;
         b.filter.wall_nanos = 99_999;
         assert!(a.same_counts(&b));
@@ -169,9 +171,11 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let mut m = StageMetrics::default();
-        m.enrich = StageRecord::timed(3, 3, 42);
-        let value = serde_json::to_value(&m).unwrap();
+        let m = StageMetrics {
+            enrich: StageRecord::timed(3, 3, 42),
+            ..StageMetrics::default()
+        };
+        let value = serde_json::to_value(m).unwrap();
         let back: StageMetrics = serde_json::from_value(value).unwrap();
         assert_eq!(back, m);
     }

@@ -8,6 +8,7 @@
 //! written back to MISP; and when the inventory matches, the rIoC goes
 //! out to the dashboard topic (socket.io in the paper).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -251,6 +252,31 @@ impl Platform {
     /// `reduce_*` gauges after every ingest round).
     pub fn reduce_cache_stats(&self) -> crate::reduce::ReduceCacheStats {
         self.reducer.stats()
+    }
+
+    /// Applies decayed scores (from a `cais-decay` rescore pass) to the
+    /// reduced IoCs already on the dashboard: each rIoC whose MISP
+    /// event appears in `scores` takes the decayed value as its threat
+    /// score. The reducer's memos are invalidated so nothing assembled
+    /// before the rescore is served afterwards. Returns how many rIoCs
+    /// changed.
+    pub fn apply_rescored(&mut self, scores: &HashMap<u64, f64>) -> usize {
+        let mut updated = 0;
+        for rioc in &mut self.riocs {
+            let Some(event_id) = rioc.misp_event_id else {
+                continue;
+            };
+            if let Some(&score) = scores.get(&event_id) {
+                if (rioc.threat_score - score).abs() > f64::EPSILON {
+                    rioc.threat_score = score;
+                    updated += 1;
+                }
+            }
+        }
+        if updated > 0 {
+            self.reducer.invalidate_memos();
+        }
+        updated
     }
 
     /// Runs one OSINT ingestion round: dedup → aggregate/correlate →
@@ -972,6 +998,31 @@ mod tests {
             .unwrap();
         assert!(event.published);
         assert!(event.threat_score().is_some());
+    }
+
+    #[test]
+    fn rescored_events_update_dashboard_riocs_and_drop_memos() {
+        let mut platform = Platform::paper_use_case();
+        let now = platform.context().now;
+        platform
+            .ingest_feed_records(vec![struts_record(now)])
+            .unwrap();
+        let rioc = platform.riocs()[0].clone();
+        let event_id = rioc.misp_event_id.unwrap();
+        let evictions_before = platform.reduce_cache_stats().match_memo_evictions;
+
+        // A decay rescore halved the event's score.
+        let decayed = rioc.threat_score / 2.0;
+        let scores: HashMap<u64, f64> = [(event_id, decayed)].into_iter().collect();
+        assert_eq!(platform.apply_rescored(&scores), 1);
+        assert_eq!(platform.riocs()[0].threat_score, decayed);
+        assert!(
+            platform.reduce_cache_stats().match_memo_evictions > evictions_before,
+            "rescore must invalidate the reducer memos"
+        );
+
+        // Same scores again: nothing changes, memos stay warm.
+        assert_eq!(platform.apply_rescored(&scores), 0);
     }
 
     #[test]

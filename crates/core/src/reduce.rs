@@ -124,6 +124,23 @@ impl Reducer {
         }
     }
 
+    /// Drops the memoized CVE records and candidate-list matches.
+    /// Called when scores are rewritten out-of-band (a decay rescore):
+    /// the memos key on inputs that did not change, but downstream
+    /// consumers must not be handed results assembled before the
+    /// rescore, so the cheap, safe move is to start cold. Counts as
+    /// one match-memo eviction in [`ReduceCacheStats`].
+    pub fn invalidate_memos(&self) {
+        self.cache.cve.lock().clear();
+        let mut memo = self.cache.matches.lock();
+        memo.map.clear();
+        memo.generation = 0;
+        drop(memo);
+        self.cache
+            .match_memo_evictions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of cache-effectiveness counters for telemetry.
     pub fn stats(&self) -> ReduceCacheStats {
         ReduceCacheStats {

@@ -50,6 +50,8 @@ pub struct HealthPanel {
     pub feeds: BTreeMap<String, u64>,
     /// `dashboard_*` counters (applied updates, decode failures).
     pub dashboard: BTreeMap<String, u64>,
+    /// `decay_*` counters (rescores, sweeps, expiry/revival flips).
+    pub decay: BTreeMap<String, u64>,
     /// Every gauge in the snapshot (queue depths, subscriber counts).
     pub gauges: BTreeMap<String, i64>,
 }
@@ -91,6 +93,7 @@ impl HealthPanel {
                 Some("misp") => &mut panel.misp,
                 Some("feeds") => &mut panel.feeds,
                 Some("dashboard") => &mut panel.dashboard,
+                Some("decay") => &mut panel.decay,
                 _ => continue,
             };
             section.insert(name.clone(), value);
@@ -148,6 +151,7 @@ pub fn health_ascii(panel: &HealthPanel) -> String {
     section("misp", &panel.misp);
     section("feeds", &panel.feeds);
     section("dashboard", &panel.dashboard);
+    section("decay", &panel.decay);
     if !panel.gauges.is_empty() {
         out.push_str("\ngauges:\n");
         for (name, value) in &panel.gauges {
@@ -196,6 +200,7 @@ pub fn health_html(panel: &HealthPanel) -> String {
     section("misp", &panel.misp);
     section("feeds", &panel.feeds);
     section("dashboard", &panel.dashboard);
+    section("decay", &panel.decay);
     if !panel.gauges.is_empty() {
         out.push_str("<h3>gauges</h3>\n<ul>\n");
         for (name, value) in &panel.gauges {
@@ -254,6 +259,8 @@ mod tests {
         registry.counter("misp_events_inserted_total").add(3);
         registry.counter("feeds_parse_errors_total").add(1);
         registry.counter("dashboard_decode_failures_total").add(2);
+        registry.counter("decay_sweeps_total").add(4);
+        registry.counter("decay_expired_flips_total").add(9);
         registry
             .gauge(&labeled(
                 "bus_queue_depth",
@@ -280,6 +287,8 @@ mod tests {
         assert_eq!(panel.misp["misp_events_inserted_total"], 3);
         assert_eq!(panel.feeds["feeds_parse_errors_total"], 1);
         assert_eq!(panel.dashboard["dashboard_decode_failures_total"], 2);
+        assert_eq!(panel.decay["decay_sweeps_total"], 4);
+        assert_eq!(panel.decay["decay_expired_flips_total"], 9);
         assert_eq!(panel.gauges.len(), 1);
     }
 
@@ -291,6 +300,7 @@ mod tests {
         assert!(text.contains("dedup"));
         assert!(text.contains("bus_published_total"));
         assert!(text.contains("dashboard_decode_failures_total"));
+        assert!(text.contains("decay_sweeps_total"));
         assert!(text.contains("bus_queue_depth"));
 
         let html = health_html(&panel);

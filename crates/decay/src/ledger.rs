@@ -1,0 +1,105 @@
+//! The sighting ledger: when was each indicator last confirmed alive.
+//!
+//! The decay clock for an event starts at its *last sighting*, not its
+//! creation — a sighting resets `t` in `score(t)` to zero. The ledger
+//! keys on the event **uuid** (stable across stores and shares, unlike
+//! the local numeric id) and keeps both the freshest timestamp, which
+//! drives the curve, and a count, which dashboards surface.
+
+use std::collections::HashMap;
+
+use cais_common::{Timestamp, Uuid};
+use serde::{Deserialize, Serialize};
+
+/// What the ledger knows about one indicator's sightings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SightingRecord {
+    /// Freshest sighting — the decay anchor.
+    pub last_seen: Timestamp,
+    /// How many sightings have been recorded in total.
+    pub count: u64,
+}
+
+/// Sightings per event uuid. Plain data: the engine owns the lock.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SightingLedger {
+    records: HashMap<Uuid, SightingRecord>,
+}
+
+impl SightingLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        SightingLedger::default()
+    }
+
+    /// Records a sighting of `uuid` at `seen_at`. Out-of-order arrivals
+    /// are fine: the anchor only moves forward, but every report counts.
+    pub fn record(&mut self, uuid: Uuid, seen_at: Timestamp) {
+        let entry = self.records.entry(uuid).or_insert(SightingRecord {
+            last_seen: seen_at,
+            count: 0,
+        });
+        entry.last_seen = entry.last_seen.max(seen_at);
+        entry.count += 1;
+    }
+
+    /// The decay anchor for `uuid`, if any sighting was ever recorded.
+    pub fn last_seen(&self, uuid: &Uuid) -> Option<Timestamp> {
+        self.records.get(uuid).map(|r| r.last_seen)
+    }
+
+    /// Total sightings recorded for `uuid`.
+    pub fn count(&self, uuid: &Uuid) -> u64 {
+        self.records.get(uuid).map_or(0, |r| r.count)
+    }
+
+    /// Number of distinct indicators with at least one sighting.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no sighting has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drops records whose uuid fails the predicate — used when events
+    /// leave the store for good.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Uuid) -> bool) {
+        self.records.retain(|uuid, _| keep(uuid));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_keep_the_freshest_timestamp() {
+        let mut ledger = SightingLedger::new();
+        let uuid = Uuid::new_v4();
+        let early = Timestamp::from_unix_millis(1_000);
+        let late = Timestamp::from_unix_millis(9_000);
+
+        assert!(ledger.last_seen(&uuid).is_none());
+        ledger.record(uuid, late);
+        ledger.record(uuid, early); // out of order: anchor must not move back
+        assert_eq!(ledger.last_seen(&uuid), Some(late));
+        assert_eq!(ledger.count(&uuid), 2);
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn retain_drops_departed_indicators() {
+        let mut ledger = SightingLedger::new();
+        let keep = Uuid::new_v4();
+        let drop = Uuid::new_v4();
+        ledger.record(keep, Timestamp::from_unix_millis(5));
+        ledger.record(drop, Timestamp::from_unix_millis(5));
+
+        ledger.retain(|uuid| *uuid == keep);
+        assert_eq!(ledger.len(), 1);
+        assert!(ledger.last_seen(&drop).is_none());
+        assert_eq!(ledger.count(&keep), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! The decay curve: how a base score erodes between sightings.
+//!
+//! The model is the one the CIRCL *Decaying Indicators of Compromise*
+//! work attaches to MISP attributes:
+//!
+//! ```text
+//! score(t) = base · (1 − (t/τ)^(1/δ))
+//! ```
+//!
+//! where `t` is the time since the indicator was last sighted, `τ`
+//! (tau) is the lifetime after which the score reaches zero, and `δ`
+//! (delta) shapes the curve — `δ < 1` holds its value and falls off
+//! late (the exponent `1/δ` keeps `(t/τ)^(1/δ)` tiny early on), `δ = 1`
+//! decays linearly, `δ > 1` drops fast then flattens. A sighting
+//! resets `t` to zero, restoring the full base score.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one decay curve plus the expiry cut-off.
+///
+/// # Examples
+///
+/// ```
+/// use cais_decay::DecayModel;
+///
+/// let model = DecayModel::default();
+/// // A fresh indicator keeps its base score…
+/// assert_eq!(model.score_at(4.0, 0.0), 4.0);
+/// // …and is worthless once τ days have passed without a sighting.
+/// assert_eq!(model.score_at(4.0, model.tau_days), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayModel {
+    /// Lifetime in days: the time-to-zero without sightings.
+    pub tau_days: f64,
+    /// Curve shape; must be positive. Larger values decay faster
+    /// early on; smaller values hold the score and drop near `τ`.
+    pub delta: f64,
+    /// Scores strictly below this are expired (dropped from exports).
+    pub threshold: f64,
+}
+
+impl Default for DecayModel {
+    /// The CIRCL defaults: 30-day lifetime, hold-then-drop shape
+    /// (δ = 0.3), expiry when the score falls below 1.
+    fn default() -> Self {
+        DecayModel {
+            tau_days: 30.0,
+            delta: 0.3,
+            threshold: 1.0,
+        }
+    }
+}
+
+impl DecayModel {
+    /// A model with an explicit lifetime and shape, keeping the default
+    /// expiry threshold.
+    pub fn new(tau_days: f64, delta: f64) -> Self {
+        DecayModel {
+            tau_days,
+            delta,
+            ..DecayModel::default()
+        }
+    }
+
+    /// Sets the expiry threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// The decayed score `elapsed_days` after the last sighting.
+    /// Negative elapsed time (a sighting "in the future" of a virtual
+    /// clock) is treated as zero; scores never go below zero.
+    pub fn score_at(&self, base: f64, elapsed_days: f64) -> f64 {
+        let t = elapsed_days.max(0.0);
+        if self.tau_days <= 0.0 || t >= self.tau_days {
+            return 0.0;
+        }
+        let decay = (t / self.tau_days).powf(1.0 / self.delta.max(f64::MIN_POSITIVE));
+        (base * (1.0 - decay)).max(0.0)
+    }
+
+    /// Whether a score is below the expiry cut-off.
+    pub fn is_expired(&self, score: f64) -> bool {
+        score < self.threshold
+    }
+
+    /// Days after a sighting until `base` decays to the threshold — the
+    /// indicator's useful lifetime: `τ · (1 − threshold/base)^δ`.
+    /// Returns 0 for bases at or below the threshold.
+    pub fn lifetime_days(&self, base: f64) -> f64 {
+        if base <= self.threshold || base <= 0.0 {
+            return 0.0;
+        }
+        self.tau_days * (1.0 - self.threshold / base).powf(self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_score_is_the_base_and_tau_is_zero() {
+        let model = DecayModel::new(30.0, 0.3);
+        assert_eq!(model.score_at(3.5, 0.0), 3.5);
+        assert_eq!(model.score_at(3.5, 30.0), 0.0);
+        assert_eq!(model.score_at(3.5, 99.0), 0.0);
+        assert_eq!(model.score_at(3.5, -4.0), 3.5);
+    }
+
+    #[test]
+    fn closed_form_matches_at_half_life() {
+        // t = τ/2, δ = 1 → linear: half the base remains.
+        let linear = DecayModel::new(20.0, 1.0);
+        assert!((linear.score_at(4.0, 10.0) - 2.0).abs() < 1e-12);
+        // δ = 0.5 → (1/2)^2 = 1/4 decayed, 3/4 remains.
+        let slow = DecayModel::new(20.0, 0.5);
+        assert!((slow.score_at(4.0, 10.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_delta_decays_faster_early() {
+        let fast = DecayModel::new(30.0, 3.0);
+        let slow = DecayModel::new(30.0, 0.3);
+        assert!(fast.score_at(5.0, 3.0) < slow.score_at(5.0, 3.0));
+    }
+
+    #[test]
+    fn score_is_monotone_in_elapsed_time() {
+        let model = DecayModel::default();
+        let mut last = f64::INFINITY;
+        for day in 0..=30 {
+            let score = model.score_at(5.0, f64::from(day));
+            assert!(score <= last, "day {day}: {score} > {last}");
+            assert!(score >= 0.0);
+            last = score;
+        }
+    }
+
+    #[test]
+    fn lifetime_inverts_the_curve() {
+        let model = DecayModel::default().with_threshold(1.0);
+        let base = 4.0;
+        let lifetime = model.lifetime_days(base);
+        assert!(lifetime > 0.0 && lifetime < model.tau_days);
+        let at_lifetime = model.score_at(base, lifetime);
+        assert!((at_lifetime - model.threshold).abs() < 1e-9);
+        assert!(!model.is_expired(at_lifetime));
+        assert!(model.is_expired(model.score_at(base, lifetime + 0.01)));
+        assert_eq!(model.lifetime_days(0.5), 0.0);
+    }
+}

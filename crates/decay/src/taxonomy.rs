@@ -1,0 +1,230 @@
+//! Per-taxonomy base scoring: machine tags in, Equation 1 out.
+//!
+//! The CIRCL *taxonomy driven indicator scoring* idea: an event's
+//! machine tags (`namespace:predicate="value"`) are a feature vector,
+//! and each taxonomy namespace carries its own weight vector. This
+//! module maps a namespace's predicates onto the existing
+//! [`heuristics`](cais_core::heuristics) machinery — tag values become
+//! [`FeatureValue`]s, the namespace's [`WeightScheme`] resolves the
+//! `Pᵢ`, and [`threat_score_named`](score::threat_score_named) computes
+//! `TS = Cp × Σ Xᵢ·Pᵢ` exactly as the ingest heuristics do — so decay
+//! base scores and ingest threat scores share one scoring engine.
+
+use cais_core::heuristics::{score, FeatureValue, ThreatScore, WeightScheme};
+use cais_misp::MispEvent;
+use serde::{Deserialize, Serialize};
+
+/// One taxonomy namespace's scoring profile: an ordered predicate list
+/// and the weight scheme over it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxonomyProfile {
+    /// The machine-tag namespace this profile reads (`cais-conf` in
+    /// `cais-conf:reliability="4"`).
+    pub namespace: String,
+    /// Predicates in feature order; length must match the scheme.
+    pub predicates: Vec<String>,
+    /// How the predicates' weights are derived.
+    pub scheme: WeightScheme,
+}
+
+impl TaxonomyProfile {
+    /// Builds a profile; the scheme must cover exactly the predicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a predicate/scheme length mismatch (a configuration
+    /// error, caught at construction rather than per event).
+    pub fn new(
+        namespace: impl Into<String>,
+        predicates: Vec<String>,
+        scheme: WeightScheme,
+    ) -> Self {
+        assert_eq!(
+            predicates.len(),
+            scheme.len(),
+            "taxonomy profile: {} predicates but scheme covers {}",
+            predicates.len(),
+            scheme.len()
+        );
+        TaxonomyProfile {
+            namespace: namespace.into(),
+            predicates,
+            scheme,
+        }
+    }
+
+    /// The event's feature vector under this profile: for each
+    /// predicate, the first matching machine tag's value parsed as a
+    /// 0–5 score (values above 5 clamp; non-numeric or absent tags are
+    /// [`FeatureValue::Empty`]).
+    pub fn feature_values(&self, event: &MispEvent) -> Vec<FeatureValue> {
+        self.predicates
+            .iter()
+            .map(|predicate| {
+                event
+                    .tags
+                    .iter()
+                    .find(|tag| {
+                        tag.namespace() == Some(self.namespace.as_str())
+                            && tag.predicate() == Some(predicate.as_str())
+                    })
+                    .and_then(|tag| tag.value())
+                    .and_then(|value| value.parse::<f64>().ok())
+                    .map(|raw| FeatureValue::scored(raw.round().clamp(0.0, 5.0) as u8))
+                    .unwrap_or(FeatureValue::Empty)
+            })
+            .collect()
+    }
+
+    /// Scores the event under this profile, or `None` when the event
+    /// carries no tag of the namespace at all (the profile then simply
+    /// does not apply — distinct from an all-empty evaluation).
+    pub fn evaluate(&self, event: &MispEvent) -> Option<ThreatScore> {
+        let values = self.feature_values(event);
+        if values.iter().all(|v| !v.is_evaluated()) {
+            return None;
+        }
+        let names: Vec<&str> = self.predicates.iter().map(String::as_str).collect();
+        Some(score::threat_score_named(&names, &values, &self.scheme))
+    }
+}
+
+/// The base-score function: a set of taxonomy profiles plus a fallback.
+///
+/// An event's base score is the mean of every applicable profile's
+/// threat score. Events no profile applies to fall back to the
+/// `cais:threat-score` machine tag the enrichment pipeline writes, and
+/// finally to [`BaseScorer::DEFAULT_BASE`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseScorer {
+    /// The profiles, tried in order; all applicable ones contribute.
+    pub profiles: Vec<TaxonomyProfile>,
+}
+
+impl BaseScorer {
+    /// Base score for events nothing else covers: the middle of the
+    /// 0–5 scale.
+    pub const DEFAULT_BASE: f64 = 2.5;
+
+    /// A scorer over explicit profiles.
+    pub fn new(profiles: Vec<TaxonomyProfile>) -> Self {
+        BaseScorer { profiles }
+    }
+
+    /// The default CAIS confidence taxonomy: `cais-conf:reliability`,
+    /// `cais-conf:freshness` and `cais-conf:corroboration`, weighted
+    /// 0.5/0.25/0.25 with renormalization over the evaluated predicates
+    /// (a partially tagged event still gets a full-mass distribution,
+    /// Table V's behaviour).
+    pub fn cais_default() -> Self {
+        BaseScorer::new(vec![TaxonomyProfile::new(
+            "cais-conf",
+            vec![
+                "reliability".to_owned(),
+                "freshness".to_owned(),
+                "corroboration".to_owned(),
+            ],
+            WeightScheme::Static {
+                weights: vec![0.5, 0.25, 0.25],
+                policy: cais_core::heuristics::NormalizationPolicy::OverEvaluated,
+            },
+        )])
+    }
+
+    /// The event's base score (see the type docs for the fallbacks).
+    pub fn base_score(&self, event: &MispEvent) -> f64 {
+        let mut sum = 0.0;
+        let mut applied = 0usize;
+        for profile in &self.profiles {
+            if let Some(ts) = profile.evaluate(event) {
+                sum += ts.total();
+                applied += 1;
+            }
+        }
+        if applied > 0 {
+            return sum / applied as f64;
+        }
+        event
+            .threat_score()
+            .map_or(BaseScorer::DEFAULT_BASE, |ts| ts.clamp(0.0, 5.0))
+    }
+}
+
+impl Default for BaseScorer {
+    fn default() -> Self {
+        BaseScorer::cais_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_misp::Tag;
+
+    fn tagged(tags: &[(&str, &str, &str)]) -> MispEvent {
+        let mut event = MispEvent::new("decay taxonomy test");
+        for (ns, predicate, value) in tags {
+            event.add_tag(Tag::machine(ns, predicate, value));
+        }
+        event
+    }
+
+    #[test]
+    fn fully_tagged_event_scores_through_equation_1() {
+        let scorer = BaseScorer::cais_default();
+        let event = tagged(&[
+            ("cais-conf", "reliability", "4"),
+            ("cais-conf", "freshness", "2"),
+            ("cais-conf", "corroboration", "5"),
+        ]);
+        // Cp = 1, weights 0.5/0.25/0.25 → 4·0.5 + 2·0.25 + 5·0.25.
+        assert!((scorer.base_score(&event) - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_tags_renormalize_over_evaluated() {
+        let scorer = BaseScorer::cais_default();
+        let event = tagged(&[("cais-conf", "reliability", "3")]);
+        // Only reliability evaluated: weight renormalizes to 1, but
+        // completeness Cp = 1/3 scales the score down.
+        assert!((scorer.base_score(&event) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untagged_event_falls_back_to_threat_score_then_default() {
+        let scorer = BaseScorer::cais_default();
+        let mut event = tagged(&[]);
+        assert!((scorer.base_score(&event) - BaseScorer::DEFAULT_BASE).abs() < 1e-12);
+        event.add_tag(Tag::machine("cais", "threat-score", "2.7406"));
+        assert!((scorer.base_score(&event) - 2.7406).abs() < 1e-12);
+    }
+
+    #[test]
+    fn garbage_and_out_of_range_values_are_handled() {
+        let scorer = BaseScorer::cais_default();
+        let event = tagged(&[
+            ("cais-conf", "reliability", "nonsense"),
+            ("cais-conf", "freshness", "99"),
+        ]);
+        // reliability unparsable → Empty; freshness clamps to 5.
+        // Cp = 1/3, freshness carries the whole weight → 5/3.
+        assert!((scorer.base_score(&event) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_profiles_average() {
+        let half = WeightScheme::fixed(vec![1.0]);
+        let scorer = BaseScorer::new(vec![
+            TaxonomyProfile::new("a", vec!["x".to_owned()], half.clone()),
+            TaxonomyProfile::new("b", vec!["x".to_owned()], half),
+        ]);
+        let event = tagged(&[("a", "x", "4"), ("b", "x", "2")]);
+        assert!((scorer.base_score(&event) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "taxonomy profile")]
+    fn profile_length_mismatch_panics() {
+        let _ = TaxonomyProfile::new("a", vec![], WeightScheme::fixed(vec![1.0]));
+    }
+}

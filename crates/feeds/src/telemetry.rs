@@ -106,10 +106,7 @@ mod tests {
         metrics.observe_round(7);
         metrics.observe_error(&FeedError::parse("f", Some(3), "bad line"));
         metrics.observe_error(&FeedError::fetch("f", "timeout"));
-        metrics.observe_error(&FeedError::Io(std::io::Error::new(
-            std::io::ErrorKind::Other,
-            "down",
-        )));
+        metrics.observe_error(&FeedError::Io(std::io::Error::other("down")));
         let counters = registry.snapshot().counters;
         assert_eq!(counters["feeds_rounds_ok_total"], 1);
         assert_eq!(counters["feeds_records_total"], 7);

@@ -46,7 +46,7 @@ fn write_quoted(out: &mut dyn io::Write, field: &str) -> io::Result<()> {
     out.write_all(b"\"")?;
     let mut rest = field;
     while let Some(at) = rest.find('"') {
-        out.write_all(rest[..=at].as_bytes())?;
+        out.write_all(&rest.as_bytes()[..=at])?;
         out.write_all(b"\"")?;
         rest = &rest[at + 1..];
     }

@@ -49,6 +49,9 @@ const FORMAT_NONE: u32 = u32::MAX;
 const ASSEMBLED_PULL: u8 = 0;
 /// Assembled-output kind: the combined STIX bundle.
 const ASSEMBLED_STIX: u8 = 1;
+/// Assembled-output kind: published-only event documents joined by
+/// newlines (the export surface indicator decay prunes).
+const ASSEMBLED_PULL_PUBLISHED: u8 = 2;
 
 std::thread_local! {
     /// Per-thread byte buffer reused across document serializations.
@@ -355,6 +358,46 @@ impl ShareExporter {
                 out.push(b'\n');
             }
             out.extend_from_slice(doc);
+        }
+        let bytes: Arc<[u8]> = Arc::from(out);
+        self.assembled_store(memo_key, snapshot.generation(), &bytes);
+        self.count_served(bytes.len());
+        Ok(Some(bytes))
+    }
+
+    /// A published-only pull: like [`ShareExporter::pull`] but covering
+    /// only events whose `published` flag is set — the share surface the
+    /// decay lifecycle prunes. An event that decays below the expiry
+    /// threshold is unpublished by the sweep (one store update), which
+    /// bumps its version *and* the store generation: the per-event byte
+    /// cache stops being asked for the stale version and this memo
+    /// rebuilds, so no pull ever serves a decayed-out event from cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns conversion errors; unknown formats yield `Ok(None)`.
+    pub fn pull_published(
+        &self,
+        store: &MispStore,
+        format: &str,
+    ) -> Result<Option<Arc<[u8]>>, MispError> {
+        let Some(index) = self.registry.resolve(format) else {
+            return Ok(None);
+        };
+        let snapshot = store.snapshot();
+        let memo_key = (index as u32, ASSEMBLED_PULL_PUBLISHED);
+        if let Some(bytes) = self.assembled_lookup(memo_key, snapshot.generation()) {
+            self.count_served(bytes.len());
+            return Ok(Some(bytes));
+        }
+
+        let mut out: Vec<u8> = Vec::new();
+        for versioned in snapshot.iter().filter(|v| v.event.published) {
+            if !out.is_empty() {
+                out.push(b'\n');
+            }
+            let doc = self.document(index, versioned)?;
+            out.extend_from_slice(&doc);
         }
         let bytes: Arc<[u8]> = Arc::from(out);
         self.assembled_store(memo_key, snapshot.generation(), &bytes);
@@ -725,6 +768,31 @@ mod tests {
             std::str::from_utf8(&second).unwrap(),
             naive_pull(&store, "misp-json")
         );
+    }
+
+    #[test]
+    fn pull_published_prunes_and_invalidates_on_unpublish() {
+        let store = seeded_store(4);
+        for id in 1..=3 {
+            store.publish(id).unwrap();
+        }
+        let share = ShareExporter::default();
+        let first = share.pull_published(&store, "misp-json").unwrap().unwrap();
+        let text = std::str::from_utf8(&first).unwrap();
+        assert_eq!(text.matches("\"event ").count(), 3);
+        assert!(!text.contains("event 3"), "unpublished event exported");
+        // Unchanged store: served from the generation memo.
+        let warm = share.pull_published(&store, "misp-json").unwrap().unwrap();
+        assert!(Arc::ptr_eq(&first, &warm));
+
+        // Unpublishing (what a decay sweep does) moves the generation;
+        // the next pull drops the event instead of replaying stale
+        // memoized bytes.
+        store.update(2, |event| event.published = false).unwrap();
+        let pruned = share.pull_published(&store, "misp-json").unwrap().unwrap();
+        let text = std::str::from_utf8(&pruned).unwrap();
+        assert_eq!(text.matches("\"event ").count(), 2);
+        assert!(!text.contains("event 1"), "stale event still exported");
     }
 
     #[test]

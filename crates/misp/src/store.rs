@@ -159,6 +159,12 @@ pub struct MispStore {
     /// Bumped (inside the events write lock) on every insert/update, so
     /// a snapshot's generation pins exactly one store content.
     generation: AtomicU64,
+    /// Append-only mutation log: `(generation, event_id)` per
+    /// insert/update, in generation order. This is what lets an
+    /// incremental consumer (the decay rescorer) ask "what changed
+    /// since generation G" in O(changed) instead of walking the store.
+    /// Sixteen bytes per mutation, never truncated.
+    changes: RwLock<Vec<(u64, u64)>>,
     metrics: RwLock<Option<StoreMetrics>>,
 }
 
@@ -222,7 +228,8 @@ impl MispStore {
                 version: 0,
             },
         );
-        self.generation.fetch_add(1, Ordering::Release);
+        let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
+        self.changes.write().push((generation, id));
         Ok(id)
     }
 
@@ -291,6 +298,45 @@ impl MispStore {
         }
     }
 
+    /// Visits every event in id order along with its current mutation
+    /// version, under one read lock — the zero-allocation walk behind
+    /// incremental rescoring: a consumer that remembers the version it
+    /// last processed per event can skip unchanged bodies without
+    /// taking a [`MispStore::snapshot`] (which clones a handle vector).
+    /// The same caveats as [`MispStore::for_each`] apply: keep `f`
+    /// cheap and never call back into the store.
+    pub fn for_each_versioned(&self, mut f: impl FnMut(&MispEvent, u64)) {
+        let events = self.events.read();
+        let mut ids: Vec<u64> = events.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let stored = &events[&id];
+            f(&stored.event, stored.version);
+        }
+    }
+
+    /// Event ids mutated (inserted or updated) after `generation`, in
+    /// ascending id order with duplicates collapsed — the incremental-
+    /// rescore seam: a consumer that remembers the generation of its
+    /// last pass gets back exactly the events it must re-derive, in
+    /// O(changed), without walking the store. Returns `None` when the
+    /// log cannot answer — the generation is ahead of this store (it
+    /// came from a different store) or the log and generation counter
+    /// disagree mid-write — and the caller should fall back to a full
+    /// walk.
+    pub fn changed_event_ids_since(&self, generation: u64) -> Option<Vec<u64>> {
+        let changes = self.changes.read();
+        let current = self.generation();
+        if generation > current || changes.len() as u64 != current {
+            return None;
+        }
+        let start = changes.partition_point(|&(g, _)| g <= generation);
+        let mut ids: Vec<u64> = changes[start..].iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
+    }
+
     /// The id the next inserted event will receive. With inserts
     /// serialized by the caller, ids are predictable as
     /// `peek_next_id() + k` for the k-th insert — the parallel
@@ -341,7 +387,8 @@ impl MispStore {
         f(event);
         event.timestamp = Timestamp::now().max(event.timestamp);
         stored.version += 1;
-        self.generation.fetch_add(1, Ordering::Release);
+        let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
+        self.changes.write().push((generation, id));
         if let Some(metrics) = self.metrics.read().as_ref() {
             metrics
                 .attributes_written
@@ -688,6 +735,40 @@ mod tests {
 
         let via_into_iter: Vec<u64> = (&snapshot).into_iter().map(|v| v.event.id).collect();
         assert_eq!(via_into_iter, ids);
+    }
+
+    #[test]
+    fn for_each_versioned_reports_current_versions() {
+        let store = MispStore::new();
+        let a = store.insert(event_with("a.example")).unwrap();
+        let b = store.insert(event_with("b.example")).unwrap();
+        store.publish(b).unwrap();
+
+        let mut walked = Vec::new();
+        store.for_each_versioned(|event, version| walked.push((event.id, version)));
+        assert_eq!(walked, vec![(a, 0), (b, 1)]);
+    }
+
+    #[test]
+    fn changelog_reports_exactly_what_moved() {
+        let store = MispStore::new();
+        assert_eq!(store.changed_event_ids_since(0), Some(vec![]));
+
+        let a = store.insert(event_with("a.example")).unwrap();
+        let b = store.insert(event_with("b.example")).unwrap();
+        let checkpoint = store.generation();
+        assert_eq!(store.changed_event_ids_since(0), Some(vec![a, b]));
+        assert_eq!(store.changed_event_ids_since(checkpoint), Some(vec![]));
+
+        // Two updates of the same event collapse to one id.
+        store.publish(b).unwrap();
+        store.update(b, |e| e.info.push('!')).unwrap();
+        let c = store.insert(event_with("c.example")).unwrap();
+        assert_eq!(store.changed_event_ids_since(checkpoint), Some(vec![b, c]));
+
+        // A generation the store never reached (another store's, or
+        // the future) cannot be answered.
+        assert_eq!(store.changed_event_ids_since(store.generation() + 1), None);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`misp`] | `cais-misp` | MISP-like TI platform |
 //! | [`taxii`] | `cais-taxii` | TAXII-like sharing |
 //! | [`core`] | `cais-core` | ★ the paper's platform core |
+//! | [`decay`] | `cais-decay` | indicator lifecycle: decay scoring + expiry |
 //! | [`dashboard`] | `cais-dashboard` | the output module |
 //! | [`telemetry`] | `cais-telemetry` | metrics registry, tracing, scrape endpoint |
 //!
@@ -65,6 +66,7 @@ pub use cais_common as common;
 pub use cais_core as core;
 pub use cais_cvss as cvss;
 pub use cais_dashboard as dashboard;
+pub use cais_decay as decay;
 pub use cais_feeds as feeds;
 pub use cais_infra as infra;
 pub use cais_misp as misp;

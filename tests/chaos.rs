@@ -7,15 +7,22 @@
 //! reproducible with `CAIS_CHAOS_SEED=<seed> cargo test --test chaos`.
 
 use std::io;
+use std::sync::Arc;
 
 use cais::common::resilience::{
-    BreakerConfig, FaultKind, FaultPlan, RecordingSleeper, RetryPolicy, ThreadSleeper,
+    BreakerConfig, Clock, FaultKind, FaultPlan, RecordingSleeper, RetryPolicy, ThreadSleeper,
+    VirtualClock,
 };
+use cais::common::time::MILLIS_PER_DAY;
+use cais::common::Timestamp;
+use cais::decay::{BaseScorer, DecayEngine, DecayModel, RescoredEvent, SweepSummary};
 use cais::misp::event::Distribution;
 use cais::misp::sync::push_resilient;
-use cais::misp::{MispApi, MispEvent};
+use cais::misp::{MispApi, MispEvent, MispStore, Tag};
 use cais::taxii::{Collection, Request, ResilientTaxiiClient, TaxiiServer};
 use cais::telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn chaos_seed() -> u64 {
     let seed = std::env::var("CAIS_CHAOS_SEED")
@@ -142,6 +149,100 @@ fn misp_sync_survives_ack_loss_without_duplicates() {
     );
     assert_eq!(again.base.already_present, 30, "seed {seed}");
     assert_eq!(again.base.transferred, 0, "seed {seed}");
+}
+
+/// Decay sweeps under a seeded random schedule of churn, sightings,
+/// clock advances and sweeps are fully deterministic: two runs with
+/// the same seed produce identical scores, flips and store state, and
+/// at every step the incremental rescore matches the from-scratch
+/// oracle.
+#[test]
+fn decay_sweep_is_deterministic_under_seeded_schedule() {
+    let seed = chaos_seed();
+
+    // Event uuids are random v4s, not part of the deterministic
+    // surface: compare everything else.
+    fn shape(scores: &[RescoredEvent]) -> Vec<(u64, f64, f64, bool)> {
+        scores
+            .iter()
+            .map(|s| (s.event_id, s.base, s.score, s.expired))
+            .collect()
+    }
+
+    /// Final scores, sweep summaries, and per-event store state
+    /// `(id, published, tag count)`.
+    type RunOutcome = (
+        Vec<RescoredEvent>,
+        Vec<SweepSummary>,
+        Vec<(u64, bool, usize)>,
+    );
+
+    fn run(seed: u64) -> RunOutcome {
+        let clock = VirtualClock::starting_at(Timestamp::from_unix_millis(40 * MILLIS_PER_DAY));
+        let engine = DecayEngine::new(
+            DecayModel::new(20.0, 1.0).with_threshold(1.0),
+            BaseScorer::cais_default(),
+            Arc::new(clock.clone()),
+        );
+        let store = MispStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = 12u64;
+        for i in 0..count {
+            let mut event = MispEvent::new(format!("chaos indicator {i}"));
+            event.date = clock.now().add_days(-rng.gen_range(0i64..10));
+            for predicate in ["reliability", "freshness", "corroboration"] {
+                event.add_tag(Tag::machine(
+                    "cais-conf",
+                    predicate,
+                    &rng.gen_range(1u8..6).to_string(),
+                ));
+            }
+            let id = store.insert(event).expect("insert");
+            store.publish(id).expect("publish");
+        }
+
+        let mut sweeps = Vec::new();
+        for _ in 0..30 {
+            let id = rng.gen_range(0..count) + 1;
+            match rng.gen_range(0u8..4) {
+                0 => store
+                    .update(id, |event| event.info.push('!'))
+                    .expect("churn"),
+                1 => {
+                    let uuid = store.get(id).expect("event").uuid;
+                    let backdate = rng.gen_range(0i64..5);
+                    engine.record_sighting(uuid, clock.now().add_days(-backdate));
+                }
+                2 => clock.advance_days(rng.gen_range(1i64..7)),
+                _ => sweeps.push(engine.sweep(&store).expect("sweep")),
+            }
+            let (incremental, _) = engine.rescore(&store);
+            assert_eq!(
+                incremental,
+                engine.score_from_scratch(&store),
+                "seed {seed}: incremental diverged from the oracle"
+            );
+        }
+
+        let (scores, _) = engine.rescore(&store);
+        let state: Vec<(u64, bool, usize)> = store
+            .snapshot()
+            .iter()
+            .map(|v| (v.event.id, v.event.published, v.event.tags.len()))
+            .collect();
+        (scores, sweeps, state)
+    }
+
+    let first = run(seed);
+    let second = run(seed);
+    assert_eq!(
+        shape(&first.0),
+        shape(&second.0),
+        "seed {seed}: scores diverged"
+    );
+    assert_eq!(first.1, second.1, "seed {seed}: sweep summaries diverged");
+    assert_eq!(first.2, second.2, "seed {seed}: store state diverged");
+    assert!(!first.1.is_empty(), "seed {seed}: schedule never swept");
 }
 
 /// A dead TAXII peer trips the circuit breaker; the transition is

@@ -1,0 +1,183 @@
+//! Regression tests for the decay → sharing invalidation contract: a
+//! sweep's write-back (tag + publish flip → version and generation
+//! bump) must drop every downstream byte cache. Covers the share
+//! exporter's per-event and assembled caches and the TAXII server's
+//! version-keyed page cache once the refreshed export is re-pushed.
+
+use std::sync::Arc;
+
+use cais::common::resilience::{Clock, VirtualClock};
+use cais::common::time::MILLIS_PER_DAY;
+use cais::common::Timestamp;
+use cais::decay::{BaseScorer, DecayEngine, DecayModel};
+use cais::misp::{MispEvent, MispStore, ShareExporter, Tag};
+use cais::taxii::{Collection, TaxiiClient, TaxiiServer};
+
+/// Day-40 clock, τ=30 model: advancing 31 days expires anything
+/// unsighted.
+fn engine_and_clock() -> (DecayEngine, VirtualClock) {
+    let clock = VirtualClock::starting_at(Timestamp::from_unix_millis(40 * MILLIS_PER_DAY));
+    let engine = DecayEngine::new(
+        DecayModel::new(30.0, 1.0).with_threshold(1.0),
+        BaseScorer::cais_default(),
+        Arc::new(clock.clone()),
+    );
+    (engine, clock)
+}
+
+fn seeded_store(n: u64, clock: &VirtualClock) -> MispStore {
+    let store = MispStore::new();
+    for i in 0..n {
+        let mut event = MispEvent::new(format!("indicator {i}"));
+        event.date = clock.now();
+        event.add_tag(Tag::machine("cais-conf", "reliability", "4"));
+        event.add_tag(Tag::machine("cais-conf", "freshness", "4"));
+        event.add_tag(Tag::machine("cais-conf", "corroboration", "4"));
+        let id = store.insert(event).expect("insert");
+        store.publish(id).expect("publish");
+    }
+    store
+}
+
+/// The share exporter serves sweep-flipped events fresh: the per-event
+/// byte cache re-serializes them and the assembled `pull_published`
+/// memo drops the expired events instead of replaying stale bytes.
+#[test]
+fn sweep_flips_invalidate_share_byte_caches() {
+    let (engine, clock) = engine_and_clock();
+    let store = seeded_store(3, &clock);
+    let share = ShareExporter::default();
+
+    // Warm both cache layers.
+    let first = share
+        .export_event_bytes(&store, 1, "misp-json")
+        .unwrap()
+        .unwrap();
+    let again = share
+        .export_event_bytes(&store, 1, "misp-json")
+        .unwrap()
+        .unwrap();
+    assert!(Arc::ptr_eq(&first, &again), "warm per-event cache replays");
+    let assembled = share.pull_published(&store, "misp-json").unwrap().unwrap();
+    let warm = share.pull_published(&store, "misp-json").unwrap().unwrap();
+    assert!(
+        Arc::ptr_eq(&assembled, &warm),
+        "warm assembled memo replays"
+    );
+    let baseline = share.stats();
+
+    // Event 2 is re-sighted and survives; 1 and 3 decay out.
+    clock.advance_days(31);
+    engine.record_sighting(store.get(2).unwrap().uuid, clock.now());
+    let summary = engine.sweep(&store).expect("sweep");
+    assert_eq!(summary.flipped_expired, 2);
+
+    // The flipped event re-serializes (version moved): new bytes that
+    // carry the lifecycle tag, counted as a fresh miss.
+    let flipped = share
+        .export_event_bytes(&store, 1, "misp-json")
+        .unwrap()
+        .unwrap();
+    assert!(
+        !Arc::ptr_eq(&first, &flipped),
+        "stale bytes replayed after flip"
+    );
+    let text = std::str::from_utf8(&flipped).unwrap();
+    assert!(
+        text.contains("decay-state"),
+        "lifecycle tag missing: {text}"
+    );
+    assert!(text.contains("expired"));
+    assert!(share.stats().misses > baseline.misses);
+
+    // The assembled export rebuilds (generation moved) and now only
+    // contains the surviving event.
+    let pruned = share.pull_published(&store, "misp-json").unwrap().unwrap();
+    assert!(!Arc::ptr_eq(&assembled, &pruned));
+    let text = std::str::from_utf8(&pruned).unwrap();
+    assert!(text.contains("indicator 1"), "survivor dropped from export");
+    assert!(
+        !text.contains("indicator 0"),
+        "expired event still exported"
+    );
+    assert!(
+        !text.contains("indicator 2"),
+        "expired event still exported"
+    );
+    assert!(share.stats().assembled_misses > baseline.assembled_misses);
+}
+
+/// A MISP→TAXII bridge republished after a sweep must serve a fresh
+/// page: the collection write bumps its version, so the version-keyed
+/// page cache misses instead of replaying the pre-flip bytes.
+#[test]
+fn sweep_flips_invalidate_taxii_page_cache() {
+    let (engine, clock) = engine_and_clock();
+    let store = seeded_store(2, &clock);
+    let share = ShareExporter::default();
+
+    let (server, collection) = {
+        let mut server = TaxiiServer::new("decay bridge");
+        let id = server.add_collection(Collection::new("events", "decayed intel"));
+        (server, id)
+    };
+    let addr = server.serve("127.0.0.1:0").expect("bind");
+    let client = TaxiiClient::connect(addr).expect("connect");
+
+    // Push every published event's export into the collection.
+    let export = |share: &ShareExporter| -> Vec<serde_json::Value> {
+        store
+            .snapshot()
+            .iter()
+            .filter(|v| v.event.published)
+            .map(|v| {
+                let bytes = share
+                    .export_event_bytes(&store, v.event.id, "misp-json")
+                    .unwrap()
+                    .unwrap();
+                serde_json::from_slice(&bytes).unwrap()
+            })
+            .collect()
+    };
+    client
+        .add_objects(&collection, export(&share))
+        .expect("push");
+
+    // Two identical pulls: the second replays cached page bytes.
+    let cold = client.all_objects(&collection).expect("pull");
+    assert_eq!(cold.len(), 2);
+    client.all_objects(&collection).expect("pull");
+    let (hits, misses) = server.page_cache_stats();
+    assert!(hits >= 1, "second pull must hit the page cache");
+
+    // Expire everything, re-export, re-push: the write bumps the
+    // collection version, so the next pull is a miss with fresh bytes.
+    clock.advance_days(31);
+    let summary = engine.sweep(&store).expect("sweep");
+    assert_eq!(summary.flipped_expired, 2);
+    let refreshed: Vec<serde_json::Value> = store
+        .snapshot()
+        .iter()
+        .map(|v| {
+            let bytes = share
+                .export_event_bytes(&store, v.event.id, "misp-json")
+                .unwrap()
+                .unwrap();
+            serde_json::from_slice(&bytes).unwrap()
+        })
+        .collect();
+    client.add_objects(&collection, refreshed).expect("re-push");
+
+    let fresh = client.all_objects(&collection).expect("pull");
+    let (_, misses_after) = server.page_cache_stats();
+    assert!(
+        misses_after > misses,
+        "post-flip pull served stale page bytes"
+    );
+    let page = serde_json::to_string(&fresh).unwrap();
+    assert!(
+        page.contains("decay-state"),
+        "fresh page lacks lifecycle tag"
+    );
+    assert!(page.contains("expired"));
+}

@@ -244,7 +244,7 @@ fn faulted_feeds_recover_and_match_fault_free_ingestion() {
         .ingest_from_sources(&mut healthy, 1)
         .expect("baseline");
     assert_eq!(expected.delivered, 6);
-    assert!(baseline.riocs().len() > 0 || baseline.eiocs().len() > 0);
+    assert!(!baseline.riocs().is_empty() || !baseline.eiocs().is_empty());
 
     // Three of six feeds fail transiently (twice each, within the
     // default budget of 4 attempts): full recovery, identical output,

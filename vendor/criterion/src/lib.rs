@@ -25,6 +25,17 @@ impl Criterion {
             _criterion: self,
         }
     }
+
+    /// Runs one ungrouped benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let mean = run_calibrated(10, &mut f);
+        report(&label, mean, None);
+        self
+    }
 }
 
 /// Throughput annotation used to report rates alongside times.
