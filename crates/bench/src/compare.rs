@@ -102,6 +102,7 @@ pub fn headline(doc: &Value) -> Option<(String, f64)> {
         }
         "reduce_json" | "decay_json" => doc.get("speedup")?.as_f64()?,
         "share_json" => doc.get("warm")?.get("speedup_vs_naive")?.as_f64()?,
+        "trace_json" => doc.get("traced")?.get("records_per_sec")?.as_f64()?,
         _ => return None,
     };
     Some((benchmark, value))
@@ -176,6 +177,11 @@ mod tests {
         let (name, rps) = headline(&pipeline).unwrap();
         assert_eq!(name, "pipeline_json");
         assert!((rps - 500.0).abs() < 1e-9);
+        assert_eq!(
+            headline(&json!({"benchmark": "trace_json",
+                             "traced": {"records_per_sec": 38_000.0}})),
+            Some(("trace_json".to_owned(), 38_000.0))
+        );
         assert_eq!(headline(&json!({"benchmark": "mystery"})), None);
         assert_eq!(headline(&json!({"speedup": 3.0})), None);
     }

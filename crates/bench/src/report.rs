@@ -694,6 +694,92 @@ pub fn decay_bench_doc(m: &DecayBenchMeasurement) -> serde_json::Value {
     })
 }
 
+/// Measured inputs for [`trace_bench_doc`], produced by the
+/// `trace_json` binary: the same seeded ingest workload run with
+/// tracing disabled (baseline), fully traced, and 1-in-N sampled, each
+/// timed as the best of `reps` fresh-platform passes.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceBenchMeasurement {
+    /// Feed records ingested per pass (across all rounds).
+    pub records: usize,
+    /// Ingestion rounds per pass.
+    pub rounds: usize,
+    /// Fresh-platform repetitions per configuration (best kept).
+    pub reps: usize,
+    /// Worker threads of the parallel ingest path.
+    pub workers: usize,
+    /// Best wall time with the tracer disabled.
+    pub baseline_nanos: u64,
+    /// Best wall time with full causal tracing (every root sampled).
+    pub traced_nanos: u64,
+    /// Best wall time with 1-in-`sample_every` root sampling.
+    pub sampled_nanos: u64,
+    /// The sampling stride of the sampled configuration.
+    pub sample_every: u64,
+    /// Spans buffered across all subsystem rings after a traced pass.
+    pub spans_recorded: usize,
+}
+
+impl TraceBenchMeasurement {
+    /// Percent overhead of full tracing over the disabled baseline.
+    pub fn traced_overhead_pct(&self) -> f64 {
+        (self.traced_nanos as f64 / (self.baseline_nanos as f64).max(1.0) - 1.0) * 100.0
+    }
+
+    /// Percent overhead of sampled tracing over the disabled baseline.
+    pub fn sampled_overhead_pct(&self) -> f64 {
+        (self.sampled_nanos as f64 / (self.baseline_nanos as f64).max(1.0) - 1.0) * 100.0
+    }
+
+    /// Records ingested per second with full tracing — the headline
+    /// [`crate::compare`] guards.
+    pub fn traced_records_per_sec(&self) -> f64 {
+        self.records as f64 / (self.traced_nanos as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+
+    /// Records ingested per second with tracing disabled.
+    pub fn baseline_records_per_sec(&self) -> f64 {
+        self.records as f64 / (self.baseline_nanos as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The committed `BENCH_trace.json` schema: workload shape, the three
+/// timed configurations and the derived overhead percentages, plus the
+/// bar the run is held to (<5% full-tracing overhead; sampling no
+/// slower than full tracing). CI uploads this as an artifact next to
+/// the other `BENCH_*.json` files.
+pub fn trace_bench_doc(m: &TraceBenchMeasurement) -> serde_json::Value {
+    serde_json::json!({
+        "benchmark": "trace_json",
+        "workload": {
+            "records": m.records,
+            "rounds": m.rounds,
+            "reps": m.reps,
+            "workers": m.workers,
+        },
+        "baseline": {
+            "wall_nanos": m.baseline_nanos,
+            "records_per_sec": m.baseline_records_per_sec(),
+        },
+        "traced": {
+            "wall_nanos": m.traced_nanos,
+            "records_per_sec": m.traced_records_per_sec(),
+            "overhead_pct": m.traced_overhead_pct(),
+            "spans_recorded": m.spans_recorded,
+        },
+        "sampled": {
+            "wall_nanos": m.sampled_nanos,
+            "overhead_pct": m.sampled_overhead_pct(),
+            "sample_every": m.sample_every,
+        },
+        "bar": {
+            "max_overhead_pct": 5.0,
+            "within": m.traced_overhead_pct() < 5.0,
+            "sampled_not_slower": m.sampled_nanos as f64 <= m.traced_nanos as f64 * 1.10,
+        },
+    })
+}
+
 /// Every section in order.
 pub fn full_report() -> String {
     [

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cais_common::Timestamp;
-use cais_telemetry::{labeled, Counter, Gauge, Registry};
+use cais_telemetry::{labeled, Counter, Gauge, Registry, TraceContext, Tracer};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::RwLock;
 
@@ -79,6 +79,7 @@ struct Inner {
     next_seq: AtomicU64,
     next_subscriber_id: AtomicU64,
     metrics: RwLock<Option<Arc<BrokerMetrics>>>,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 /// A cheaply clonable handle to an in-process message bus.
@@ -120,6 +121,7 @@ impl Broker {
                 next_seq: AtomicU64::new(0),
                 next_subscriber_id: AtomicU64::new(0),
                 metrics: RwLock::new(None),
+                tracer: RwLock::new(None),
             }),
         }
     }
@@ -135,6 +137,18 @@ impl Broker {
 
     fn metrics(&self) -> Option<Arc<BrokerMetrics>> {
         self.inner.metrics.read().clone()
+    }
+
+    /// Attaches causal tracing: subsequent publishes record
+    /// `bus_publish`/`bus_deliver` spans into the `bus` ring and stamp
+    /// the outgoing [`Message::trace`] envelope field, so subscribers
+    /// continue the publisher's trace.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.inner.tracer.write() = Some(tracer.clone());
+    }
+
+    fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.read().clone()
     }
 
     /// Samples the current per-pattern queue depths and live
@@ -208,16 +222,42 @@ impl Broker {
     /// Publishes a JSON payload under a topic, returning the number of
     /// subscriptions it was delivered to.
     pub fn publish(&self, topic: Topic, payload: serde_json::Value) -> usize {
+        self.publish_traced(topic, payload, None)
+    }
+
+    /// [`Broker::publish`] continuing the caller's trace: the publish
+    /// span becomes a child of `parent` (or a fresh root when `None` /
+    /// untraced), and the outgoing message envelope carries the span's
+    /// context to every subscriber.
+    pub fn publish_traced(
+        &self,
+        topic: Topic,
+        payload: serde_json::Value,
+        parent: Option<TraceContext>,
+    ) -> usize {
+        let tracer = self.tracer();
+        let mut publish_span = tracer
+            .as_ref()
+            .map(|t| t.child_of(parent, "bus", "bus_publish"));
+        let trace = publish_span
+            .as_ref()
+            .filter(|s| s.sampled())
+            .map(|s| s.context());
         let topic_name = topic.clone();
         let message = Message {
             seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
             topic,
             published_at: Timestamp::now(),
             payload,
+            trace,
         };
         let mut delivered = 0;
         let mut dead: Vec<u64> = Vec::new();
         {
+            let _deliver_span = match (&tracer, trace) {
+                (Some(t), Some(ctx)) => Some(t.child(ctx, "bus", "bus_deliver")),
+                _ => None,
+            };
             let subscribers = self.inner.subscribers.read();
             for sub in subscribers.iter() {
                 if sub.pattern.matches(&message.topic) {
@@ -247,6 +287,10 @@ impl Broker {
         if let Some(metrics) = self.metrics() {
             metrics.on_publish(topic_name.as_str(), 1, delivered as u64, dead.len() as u64);
         }
+        if let Some(span) = publish_span.as_mut() {
+            span.field("topic", topic_name.as_str());
+            span.field("delivered", delivered);
+        }
         delivered
     }
 
@@ -262,6 +306,27 @@ impl Broker {
         topic: Topic,
         payloads: impl IntoIterator<Item = serde_json::Value>,
     ) -> usize {
+        self.publish_batch_traced(topic, payloads, None)
+    }
+
+    /// [`Broker::publish_batch`] continuing the caller's trace. One
+    /// `bus_publish` span covers the whole batch (spans are ring
+    /// events, not counters, so batching does not distort the
+    /// message-level counter contract).
+    pub fn publish_batch_traced(
+        &self,
+        topic: Topic,
+        payloads: impl IntoIterator<Item = serde_json::Value>,
+        parent: Option<TraceContext>,
+    ) -> usize {
+        let tracer = self.tracer();
+        let mut publish_span = tracer
+            .as_ref()
+            .map(|t| t.child_of(parent, "bus", "bus_publish"));
+        let trace = publish_span
+            .as_ref()
+            .filter(|s| s.sampled())
+            .map(|s| s.context());
         let published_at = Timestamp::now();
         let messages: Vec<Message> = payloads
             .into_iter()
@@ -270,6 +335,7 @@ impl Broker {
                 topic: topic.clone(),
                 published_at,
                 payload,
+                trace,
             })
             .collect();
         if messages.is_empty() {
@@ -278,6 +344,10 @@ impl Broker {
         let mut delivered = 0;
         let mut dead: Vec<u64> = Vec::new();
         {
+            let _deliver_span = match (&tracer, trace) {
+                (Some(t), Some(ctx)) => Some(t.child(ctx, "bus", "bus_deliver")),
+                _ => None,
+            };
             let subscribers = self.inner.subscribers.read();
             for sub in subscribers.iter() {
                 if !sub.pattern.matches(&topic) {
@@ -320,6 +390,11 @@ impl Broker {
                 delivered as u64,
                 dead.len() as u64,
             );
+        }
+        if let Some(span) = publish_span.as_mut() {
+            span.field("topic", topic.as_str());
+            span.field("messages", batch_len);
+            span.field("delivered", delivered);
         }
         delivered
     }
@@ -667,5 +742,59 @@ mod replay_tests {
         broker.publish(Topic::new("t"), serde_json::json!(1));
         let sub = broker.subscribe("#");
         assert_eq!(sub.queued(), 0);
+    }
+
+    #[test]
+    fn traced_publish_stamps_envelope_and_records_spans() {
+        let broker = Broker::new();
+        let tracer = Tracer::new();
+        broker.set_tracer(&tracer);
+        let sub = broker.subscribe("#");
+
+        let parent = tracer.root("ingress", "feed_poll");
+        let parent_ctx = parent.context();
+        broker.publish_traced(Topic::new("t"), serde_json::json!(1), Some(parent_ctx));
+        drop(parent);
+
+        let message = sub.try_recv().expect("delivered");
+        let envelope = message.trace.expect("traced publish stamps the envelope");
+        assert_eq!(envelope.trace_id, parent_ctx.trace_id);
+        assert!(envelope.sampled);
+
+        let spans = tracer.snapshot_subsystem("bus");
+        let publish = spans.iter().find(|s| s.name == "bus_publish").unwrap();
+        let deliver = spans.iter().find(|s| s.name == "bus_deliver").unwrap();
+        assert_eq!(publish.parent_id, parent_ctx.span_id);
+        assert_eq!(publish.trace_id, parent_ctx.trace_id);
+        assert_eq!(deliver.parent_id, publish.span_id);
+        assert_eq!(envelope.span_id, publish.span_id);
+    }
+
+    #[test]
+    fn untraced_publish_carries_no_envelope_context() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("#");
+        broker.publish(Topic::new("t"), serde_json::json!(1));
+        assert_eq!(sub.try_recv().expect("delivered").trace, None);
+        // With a tracer but no parent, the publish roots its own trace.
+        let tracer = Tracer::new();
+        broker.set_tracer(&tracer);
+        broker.publish_batch(
+            Topic::new("t"),
+            vec![serde_json::json!(1), serde_json::json!(2)],
+        );
+        let first = sub.try_recv().expect("first").trace.expect("traced");
+        let second = sub.try_recv().expect("second").trace.expect("traced");
+        assert_eq!(first, second, "one batch = one publish span");
+        let spans = tracer.snapshot_subsystem("bus");
+        assert_eq!(
+            spans
+                .iter()
+                .find(|s| s.name == "bus_publish")
+                .unwrap()
+                .parent_id,
+            0,
+            "no parent means a root span"
+        );
     }
 }

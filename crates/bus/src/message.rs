@@ -1,6 +1,7 @@
 //! The message envelope carried by the bus.
 
 use cais_common::Timestamp;
+use cais_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 
 use crate::topic::Topic;
@@ -19,6 +20,14 @@ pub struct Message {
     pub published_at: Timestamp,
     /// The JSON payload.
     pub payload: serde_json::Value,
+    /// Causal trace context of the publish that produced the message,
+    /// carried so subscribers (in-process or across the TCP bridge)
+    /// record their handling as children of the publisher's span.
+    /// Absent for untraced publishes and messages from pre-trace
+    /// peers — both decode as `None` and the receiver starts a fresh
+    /// root trace.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceContext>,
 }
 
 impl Message {
@@ -50,6 +59,7 @@ mod tests {
             topic: Topic::new("infra.alarm.raised"),
             published_at: Timestamp::EPOCH,
             payload: serde_json::json!({"node": "gitlab", "severity": 3}),
+            trace: None,
         };
         let alarm: Alarm = msg.decode().unwrap();
         assert_eq!(
@@ -68,6 +78,7 @@ mod tests {
             topic: Topic::new("t"),
             published_at: Timestamp::EPOCH,
             payload: serde_json::json!("just a string"),
+            trace: None,
         };
         assert!(msg.decode::<Alarm>().is_err());
     }

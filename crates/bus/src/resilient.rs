@@ -177,6 +177,7 @@ mod tests {
             topic: Topic::new("chaos.test"),
             published_at: Timestamp::EPOCH,
             payload: serde_json::json!({ "seq": seq }),
+            trace: None,
         }
     }
 

@@ -360,4 +360,30 @@ mod tests {
         let client = BusClient::connect(server.local_addr(), "#").unwrap();
         assert!(client.recv_timeout(Duration::from_millis(300)).is_none());
     }
+
+    #[test]
+    fn trace_context_survives_the_tcp_bridge() {
+        let broker = Broker::new();
+        let tracer = cais_telemetry::Tracer::new();
+        broker.set_tracer(&tracer);
+        let server = BusServer::bind(broker.clone(), "127.0.0.1:0").unwrap();
+        let client = BusClient::connect(server.local_addr(), "#").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        let parent = tracer.root("ingress", "feed_poll");
+        let parent_ctx = parent.context();
+        broker.publish_traced(
+            Topic::new("misp.event.created"),
+            serde_json::json!({"id": 1}),
+            Some(parent_ctx),
+        );
+        drop(parent);
+
+        let message = client
+            .recv_timeout(Duration::from_secs(5))
+            .expect("bridged");
+        let trace = message.trace.expect("trace crossed the wire");
+        assert_eq!(trace.trace_id, parent_ctx.trace_id);
+        assert!(trace.sampled);
+    }
 }

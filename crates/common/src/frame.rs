@@ -5,12 +5,64 @@
 //! payload bytes. `cais-bus` uses it for its PUB bridge and
 //! `cais-telemetry` for its scrape endpoint, so a single client
 //! implementation can talk to both.
+//!
+//! ## Trace headers
+//!
+//! A frame may optionally carry a 16-byte [`TraceHeader`] (trace id +
+//! span id) ahead of the payload so causal traces survive the TCP
+//! seam. Presence is signalled by [`TRACE_FLAG`], the high bit of the
+//! length word — real lengths never exceed the 16 MiB [`MAX_FRAME`]
+//! cap, so the bit is always free. [`read_frame_traced`] accepts both
+//! shapes, which keeps new readers compatible with untagged (pre-trace)
+//! peers: an untagged frame simply arrives with no header and the
+//! receiver starts a fresh root trace. [`read_frame`] predates the
+//! header and only understands untagged frames.
 
 use std::io::{self, Read, Write};
 
 /// Maximum accepted frame size (16 MiB), protecting against corrupt
 /// length prefixes.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// High bit of the length word: set when a [`TraceHeader`] precedes the
+/// payload.
+pub const TRACE_FLAG: u32 = 0x8000_0000;
+
+/// Bytes occupied by an encoded [`TraceHeader`].
+pub const TRACE_HEADER_LEN: usize = 16;
+
+/// The causal-trace identity a frame can carry across the wire: which
+/// trace the payload belongs to and which span sent it. Pure wire
+/// type — the span semantics live in `cais-telemetry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceHeader {
+    /// Trace the frame belongs to.
+    pub trace_id: u64,
+    /// Span that emitted the frame (the receiver's parent).
+    pub span_id: u64,
+}
+
+impl TraceHeader {
+    /// Encodes the header as 16 big-endian bytes.
+    pub fn to_bytes(self) -> [u8; TRACE_HEADER_LEN] {
+        let mut buf = [0u8; TRACE_HEADER_LEN];
+        buf[..8].copy_from_slice(&self.trace_id.to_be_bytes());
+        buf[8..].copy_from_slice(&self.span_id.to_be_bytes());
+        buf
+    }
+
+    /// Decodes a header from its 16 big-endian bytes.
+    pub fn from_bytes(buf: &[u8; TRACE_HEADER_LEN]) -> Self {
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&buf[..8]);
+        let mut span = [0u8; 8];
+        span.copy_from_slice(&buf[8..]);
+        TraceHeader {
+            trace_id: u64::from_be_bytes(id),
+            span_id: u64::from_be_bytes(span),
+        }
+    }
+}
 
 /// Writes one length-prefixed frame.
 ///
@@ -43,6 +95,70 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+/// Writes one frame, tagging it with a [`TraceHeader`] when one is
+/// given. With `None` the output is byte-identical to [`write_frame`],
+/// so untagged peers keep interoperating.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the payload
+/// exceeds [`MAX_FRAME`].
+pub fn write_frame_traced<W: Write>(
+    writer: &mut W,
+    header: Option<TraceHeader>,
+    payload: &[u8],
+) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds cap", payload.len()),
+        ));
+    }
+    let Some(header) = header else {
+        return write_frame(writer, payload);
+    };
+    let mut buf = Vec::with_capacity(4 + TRACE_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&((payload.len() as u32) | TRACE_FLAG).to_be_bytes());
+    buf.extend_from_slice(&header.to_bytes());
+    buf.extend_from_slice(payload);
+    writer.write_all(&buf)
+}
+
+/// Reads one frame that may or may not carry a [`TraceHeader`].
+///
+/// Untagged frames (from [`write_frame`] or a pre-trace peer) come back
+/// with `None`; the caller is expected to start a fresh root trace in
+/// that case.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, EOF mid-frame, or a payload larger
+/// than the 16 MiB cap.
+pub fn read_frame_traced<R: Read>(reader: &mut R) -> io::Result<(Option<TraceHeader>, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let word = u32::from_be_bytes(len_buf);
+    let (header, len) = if word & TRACE_FLAG != 0 {
+        let mut header_buf = [0u8; TRACE_HEADER_LEN];
+        reader.read_exact(&mut header_buf)?;
+        (
+            Some(TraceHeader::from_bytes(&header_buf)),
+            word & !TRACE_FLAG,
+        )
+    } else {
+        (None, word)
+    };
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok((header, payload))
 }
 
 #[cfg(test)]
@@ -80,5 +196,77 @@ mod tests {
         buf.truncate(6); // cut payload short
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn trace_header_byte_roundtrip() {
+        let header = TraceHeader {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            span_id: 7,
+        };
+        assert_eq!(TraceHeader::from_bytes(&header.to_bytes()), header);
+    }
+
+    #[test]
+    fn tagged_frame_roundtrip() {
+        let header = TraceHeader {
+            trace_id: 42,
+            span_id: 9,
+        };
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, Some(header), b"payload").unwrap();
+        assert_eq!(buf.len(), 4 + TRACE_HEADER_LEN + 7);
+        let mut cursor = io::Cursor::new(buf);
+        let (read_header, payload) = read_frame_traced(&mut cursor).unwrap();
+        assert_eq!(read_header, Some(header));
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn untagged_write_is_byte_identical_to_legacy() {
+        let mut legacy = Vec::new();
+        write_frame(&mut legacy, b"hello").unwrap();
+        let mut untagged = Vec::new();
+        write_frame_traced(&mut untagged, None, b"hello").unwrap();
+        assert_eq!(legacy, untagged);
+    }
+
+    #[test]
+    fn traced_reader_accepts_untagged_peer_frames() {
+        // A pre-trace peer writes with the legacy encoder; the new
+        // reader must take the frame and report no header.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"old peer").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let (header, payload) = read_frame_traced(&mut cursor).unwrap();
+        assert_eq!(header, None);
+        assert_eq!(payload, b"old peer");
+    }
+
+    #[test]
+    fn legacy_reader_cannot_misread_a_tagged_frame_as_valid() {
+        // The flag bit pushes the apparent length far past MAX_FRAME,
+        // so an old reader fails loudly instead of desyncing silently.
+        let mut buf = Vec::new();
+        write_frame_traced(
+            &mut buf,
+            Some(TraceHeader {
+                trace_id: 1,
+                span_id: 2,
+            }),
+            b"x",
+        )
+        .unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn traced_frame_rejects_oversize() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(TRACE_FLAG | (MAX_FRAME + 1)).to_be_bytes());
+        buf.extend_from_slice(&[0u8; TRACE_HEADER_LEN]);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame_traced(&mut cursor).is_err());
     }
 }

@@ -309,6 +309,21 @@ pub fn attach_score(
 ///
 /// Returns MISP validation errors.
 pub fn persist_enriched(api: &MispApi, eioc: &mut EnrichedIoc) -> Result<u64, CoreError> {
+    persist_enriched_traced(api, eioc, None)
+}
+
+/// [`persist_enriched`] continuing the caller's trace: the store's
+/// `store_insert` span becomes a child of `parent` (typically the
+/// ingestion round's span) instead of rooting a fresh trace.
+///
+/// # Errors
+///
+/// Returns MISP validation errors.
+pub fn persist_enriched_traced(
+    api: &MispApi,
+    eioc: &mut EnrichedIoc,
+    parent: Option<cais_telemetry::TraceContext>,
+) -> Result<u64, CoreError> {
     let event_id = match eioc.misp_event_id {
         Some(id) => id,
         None => {
@@ -316,7 +331,7 @@ pub fn persist_enriched(api: &MispApi, eioc: &mut EnrichedIoc) -> Result<u64, Co
                 eioc.composed.summary(),
                 &eioc.composed.records,
             );
-            api.add_event(event)?
+            api.add_event_with_trace(event, parent)?
         }
     };
     attach_score(api, event_id, eioc.heuristic, &eioc.threat_score)?;

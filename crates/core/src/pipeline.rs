@@ -17,12 +17,12 @@ use cais_bus::{topics, Broker, Topic};
 use cais_feeds::FeedRecord;
 use cais_infra::sensors::{hids, nids};
 use cais_misp::MispApi;
-use cais_telemetry::{Registry, Tracer};
+use cais_telemetry::{FlightRecorder, Registry, TraceContext, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::collector::{aggregate_into_ciocs, InfrastructureCollector, OsintCollector};
 use crate::context::EvaluationContext;
-use crate::enrich::{persist_enriched, Enricher};
+use crate::enrich::{persist_enriched_traced, Enricher};
 use crate::error::CoreError;
 use crate::ioc::{ComposedIoc, EnrichedIoc, ReducedIoc};
 use crate::metrics::{StageMetrics, StageRecord};
@@ -149,6 +149,7 @@ pub struct Platform {
     eiocs: Vec<EnrichedIoc>,
     telemetry: Registry,
     tracer: Tracer,
+    flight: Option<FlightRecorder>,
     instruments: PipelineInstruments,
 }
 
@@ -177,6 +178,11 @@ impl Platform {
         misp.instrument(&telemetry);
         let instruments = PipelineInstruments::new(&telemetry);
         let tracer = Tracer::new();
+        // One tracer spans the whole platform: the broker stamps bus
+        // envelopes with it and the MISP store/share layers chain their
+        // mutation spans onto the ingestion round that caused them.
+        broker.set_tracer(&tracer);
+        misp.set_tracer(&tracer);
         let enricher = Enricher::new(ctx.clone());
         let reducer = Reducer::new(Arc::clone(&ctx.inventory));
         let infra =
@@ -199,6 +205,7 @@ impl Platform {
             eiocs: Vec::new(),
             telemetry,
             tracer,
+            flight: None,
             instruments,
         }
     }
@@ -232,10 +239,20 @@ impl Platform {
         &self.telemetry
     }
 
-    /// The span tracer; each ingestion round records an `ingest_round`
-    /// span with `path`/`records_in`/`riocs` fields.
+    /// The causal span tracer shared by every component: feed polls
+    /// root `ingress` spans, ingestion rounds record `pipeline` spans
+    /// beneath them, and the MISP store, share cache and bus chain
+    /// their own spans onto the same traces.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Arms the flight recorder: when a source's circuit breaker trips
+    /// during [`Platform::ingest_from_sources`], the recorder snapshots
+    /// the tail of every subsystem's span ring to disk (reason
+    /// `breaker_trip`, detail = the feed's name).
+    pub fn set_flight_recorder(&mut self, recorder: &FlightRecorder) {
+        self.flight = Some(recorder.clone());
     }
 
     /// Every rIoC produced so far.
@@ -290,9 +307,27 @@ impl Platform {
         &mut self,
         records: Vec<FeedRecord>,
     ) -> Result<PlatformReport, CoreError> {
-        let mut span = self.tracer.span("ingest_round");
+        self.ingest_feed_records_traced(records, None)
+    }
+
+    /// [`Platform::ingest_feed_records`] continuing the caller's trace:
+    /// the round's `ingest_round` span becomes a child of `parent`
+    /// (typically an `ingress`/`feed_poll` span) instead of rooting a
+    /// fresh trace, and every store insert and bus publish of the round
+    /// chains beneath it.
+    ///
+    /// # Errors
+    ///
+    /// Returns MISP persistence errors; scoring itself cannot fail.
+    pub fn ingest_feed_records_traced(
+        &mut self,
+        records: Vec<FeedRecord>,
+        parent: Option<TraceContext>,
+    ) -> Result<PlatformReport, CoreError> {
+        let mut span = self.tracer.child_of(parent, "pipeline", "ingest_round");
         span.field("path", "serial");
         span.field("records_in", records.len());
+        let round = span.sampled().then(|| span.context());
         let mut report = PlatformReport {
             records_in: records.len(),
             ..PlatformReport::default()
@@ -339,9 +374,11 @@ impl Platform {
 
         for cioc in ciocs {
             let started = Instant::now();
-            let _ = self
-                .broker
-                .publish_value(Topic::new(topics::CIOC_RECEIVED), &cioc);
+            if let Ok(payload) = serde_json::to_value(&cioc) {
+                let _ =
+                    self.broker
+                        .publish_traced(Topic::new(topics::CIOC_RECEIVED), payload, round);
+            }
             stages.publish.records_in += 1;
             stages.publish.records_out += 1;
             stages.publish.wall_nanos += nanos_since(started);
@@ -352,7 +389,7 @@ impl Platform {
             stages.enrich.records_out += 1;
             stages.enrich.wall_nanos += nanos_since(started);
 
-            self.finalize_eioc(eioc, &mut report, &mut stages)?;
+            self.finalize_eioc(eioc, &mut report, &mut stages, round)?;
         }
         report.stages = stages;
         span.field("riocs", report.riocs);
@@ -404,14 +441,30 @@ impl Platform {
         records: Vec<FeedRecord>,
         workers: usize,
     ) -> Result<PlatformReport, CoreError> {
+        self.ingest_feed_records_parallel_traced(records, workers, None)
+    }
+
+    /// [`Platform::ingest_feed_records_parallel`] continuing the
+    /// caller's trace — see [`Platform::ingest_feed_records_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns MISP persistence errors.
+    pub fn ingest_feed_records_parallel_traced(
+        &mut self,
+        records: Vec<FeedRecord>,
+        workers: usize,
+        parent: Option<TraceContext>,
+    ) -> Result<PlatformReport, CoreError> {
         let workers = workers.max(1);
         if workers == 1 || records.len() < 2 {
-            return self.ingest_feed_records(records);
+            return self.ingest_feed_records_traced(records, parent);
         }
-        let mut span = self.tracer.span("ingest_round");
+        let mut span = self.tracer.child_of(parent, "pipeline", "ingest_round");
         span.field("path", "parallel");
         span.field("workers", workers);
         span.field("records_in", records.len());
+        let round = span.sampled().then(|| span.context());
         let mut report = PlatformReport {
             records_in: records.len(),
             ..PlatformReport::default()
@@ -479,7 +532,7 @@ impl Platform {
         // One batched announcement of the round's cIoCs.
         let started = Instant::now();
         self.broker
-            .publish_batch(Topic::new(topics::CIOC_RECEIVED), cioc_payloads);
+            .publish_batch_traced(Topic::new(topics::CIOC_RECEIVED), cioc_payloads, round);
         stages.publish.records_in += eioc_count;
         stages.publish.records_out += eioc_count;
         stages.publish.wall_nanos += nanos_since(started);
@@ -490,19 +543,25 @@ impl Platform {
         let started = Instant::now();
         for event in events {
             let expected = event.id;
-            let id = self.misp.store().insert(event)?;
+            let id = self.misp.store().insert_with_trace(event, round)?;
             debug_assert_eq!(id, expected, "pre-assigned event id diverged");
         }
         self.broker
-            .publish_batch(Topic::new(topics::MISP_EVENT), created_payloads);
-        self.broker
-            .publish_batch(Topic::new(topics::MISP_EVENT_UPDATED), updated_payloads);
+            .publish_batch_traced(Topic::new(topics::MISP_EVENT), created_payloads, round);
+        self.broker.publish_batch_traced(
+            Topic::new(topics::MISP_EVENT_UPDATED),
+            updated_payloads,
+            round,
+        );
         if self.config.publish_enriched {
-            self.broker
-                .publish_batch(Topic::new(topics::MISP_EVENT_PUBLISHED), published_payloads);
+            self.broker.publish_batch_traced(
+                Topic::new(topics::MISP_EVENT_PUBLISHED),
+                published_payloads,
+                round,
+            );
         }
         self.broker
-            .publish_batch(Topic::new(topics::EIOC_READY), eioc_payloads);
+            .publish_batch_traced(Topic::new(topics::EIOC_READY), eioc_payloads, round);
         stages.publish.records_in += eioc_count;
         stages.publish.records_out += eioc_count;
         stages.publish.wall_nanos += nanos_since(started);
@@ -529,7 +588,7 @@ impl Platform {
 
         let started = Instant::now();
         self.broker
-            .publish_batch(Topic::new(topics::RIOC_PUBLISHED), rioc_payloads);
+            .publish_batch_traced(Topic::new(topics::RIOC_PUBLISHED), rioc_payloads, round);
         stages.publish.records_in += report.riocs;
         stages.publish.records_out += report.riocs;
         stages.publish.wall_nanos += nanos_since(started);
@@ -718,15 +777,18 @@ impl Platform {
         mut eioc: EnrichedIoc,
         report: &mut PlatformReport,
         stages: &mut StageMetrics,
+        round: Option<TraceContext>,
     ) -> Result<(), CoreError> {
         let started = Instant::now();
-        let event_id = persist_enriched(&self.misp, &mut eioc)?;
+        let event_id = persist_enriched_traced(&self.misp, &mut eioc, round)?;
         if self.config.publish_enriched {
             self.misp.publish_event(event_id)?;
         }
-        let _ = self
-            .broker
-            .publish_value(Topic::new(topics::EIOC_READY), &eioc);
+        if let Ok(payload) = serde_json::to_value(&eioc) {
+            let _ = self
+                .broker
+                .publish_traced(Topic::new(topics::EIOC_READY), payload, round);
+        }
         stages.publish.records_in += 1;
         stages.publish.records_out += 1;
         stages.publish.wall_nanos += nanos_since(started);
@@ -740,9 +802,13 @@ impl Platform {
             Some(rioc) => {
                 stages.reduce.records_out += 1;
                 let started = Instant::now();
-                let _ = self
-                    .broker
-                    .publish_value(Topic::new(topics::RIOC_PUBLISHED), &rioc);
+                if let Ok(payload) = serde_json::to_value(&rioc) {
+                    let _ = self.broker.publish_traced(
+                        Topic::new(topics::RIOC_PUBLISHED),
+                        payload,
+                        round,
+                    );
+                }
                 stages.publish.records_in += 1;
                 stages.publish.records_out += 1;
                 stages.publish.wall_nanos += nanos_since(started);
@@ -896,6 +962,13 @@ impl Platform {
         // Backoffs run on virtual time: determinism does not depend on
         // the wall clock and a faulted source cannot stall the round.
         let sleeper = cais_common::resilience::RecordingSleeper::default();
+        // The poll is the trace ingress: everything the round does
+        // downstream — pipeline stages, store inserts, bus publishes —
+        // hangs off this root span (or is dropped with it when the
+        // sampling decision says no).
+        let mut span = self.tracer.root("ingress", "feed_poll");
+        span.field("sources", sources.len());
+        let ingress = span.sampled().then(|| span.context());
         let mut records = Vec::new();
         let mut outcome = SourceIngestReport {
             sources_polled: sources.len(),
@@ -903,6 +976,7 @@ impl Platform {
         };
         for source in sources.iter_mut() {
             let retries_before = source.total_retries();
+            let opened_before = source.breaker_transitions().opened;
             match source.poll(&sleeper) {
                 cais_feeds::RoundOutcome::Delivered(batch) => {
                     outcome.delivered += 1;
@@ -914,11 +988,22 @@ impl Platform {
                 }
             }
             outcome.retries += source.total_retries() - retries_before;
+            if source.breaker_transitions().opened > opened_before {
+                // A breaker trip is the anomaly the flight recorder
+                // exists for: capture the span tails before they age
+                // out of the rings.
+                if let Some(flight) = &self.flight {
+                    let _ = flight.trigger("breaker_trip", source.name());
+                }
+            }
         }
+        span.field("delivered", outcome.delivered);
+        span.field("failed", outcome.failed);
+        span.field("quarantined", outcome.quarantined);
         outcome.report = if workers <= 1 {
-            self.ingest_feed_records(records)?
+            self.ingest_feed_records_traced(records, ingress)?
         } else {
-            self.ingest_feed_records_parallel(records, workers)?
+            self.ingest_feed_records_parallel_traced(records, workers, ingress)?
         };
         Ok(outcome)
     }
@@ -1410,14 +1495,52 @@ mod parallel_tests {
         let mut platform = Platform::paper_use_case();
         let records = mixed_workload(&platform, 40);
         platform.ingest_feed_records_parallel(records, 4).unwrap();
-        let spans = platform.tracer().events();
+        let spans = platform.tracer().snapshot_subsystem("pipeline");
         assert_eq!(spans.len(), 1);
-        assert_eq!(spans[0].name, "ingest_round");
-        assert!(spans[0].duration_nanos.is_some());
-        assert!(spans[0]
+        let round = &spans[0];
+        assert_eq!(round.name, "ingest_round");
+        assert!(round.duration_nanos.is_some());
+        assert!(round
             .fields
             .iter()
             .any(|(k, v)| k == "path" && v == "parallel"));
+        // The round's store inserts and bus publishes chain beneath it.
+        let stores = platform.tracer().snapshot_subsystem("store");
+        assert!(!stores.is_empty());
+        assert!(stores
+            .iter()
+            .filter(|s| s.name == "store_insert")
+            .all(|s| s.trace_id == round.trace_id && s.parent_id == round.span_id));
+        let buses = platform.tracer().snapshot_subsystem("bus");
+        assert!(buses
+            .iter()
+            .any(|s| s.name == "bus_publish" && s.trace_id == round.trace_id));
+    }
+
+    #[test]
+    fn source_poll_roots_the_trace_above_the_round() {
+        use cais_feeds::{FeedFormat, MemorySource, ResilienceConfig, ResilientSource};
+        let mut platform = Platform::paper_use_case();
+        let source = MemorySource::new(
+            "osint-a",
+            FeedFormat::Csv,
+            cais_feeds::ThreatCategory::CommandAndControl,
+            "value,date\nalpha.evil.example,2018-06-01T00:00:00Z\n",
+        );
+        let mut sources = vec![ResilientSource::new(
+            Box::new(source),
+            &ResilienceConfig::default(),
+            7,
+        )];
+        platform.ingest_from_sources(&mut sources, 1).unwrap();
+        let ingress = platform.tracer().snapshot_subsystem("ingress");
+        assert_eq!(ingress.len(), 1);
+        assert_eq!(ingress[0].name, "feed_poll");
+        assert_eq!(ingress[0].parent_id, 0, "the poll is the trace root");
+        let rounds = platform.tracer().snapshot_subsystem("pipeline");
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].trace_id, ingress[0].trace_id);
+        assert_eq!(rounds[0].parent_id, ingress[0].span_id);
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The latency SLO panel: per-stage p50/p95/p99 wall times next to the
+//! health panel's throughput view.
+//!
+//! The percentiles come from [`cais_telemetry::percentiles`] over the
+//! same log₂ histograms the scrape endpoint exposes, so the dashboard,
+//! the Prometheus text and the JSON exposition can never disagree
+//! about what "p95 of the dedup stage" means.
+
+use std::collections::BTreeMap;
+
+use cais_telemetry::{label_value, percentiles, split_labels, Snapshot};
+use serde::Serialize;
+
+/// One stage's latency row, from its `pipeline_stage_nanos` histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StageLatency {
+    /// Stage name (the `stage` label).
+    pub stage: String,
+    /// Rounds observed (histogram sample count).
+    pub rounds: u64,
+    /// Mean wall time per round, nanoseconds.
+    pub mean_nanos: u64,
+    /// Estimated median, nanoseconds.
+    pub p50_nanos: u64,
+    /// Estimated 95th percentile, nanoseconds.
+    pub p95_nanos: u64,
+    /// Estimated 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+}
+
+/// A structured latency view over a telemetry snapshot. Build with
+/// [`LatencyPanel::from_snapshot`], render with [`latency_ascii`],
+/// [`latency_html`] or [`latency_json`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencyPanel {
+    /// Per-stage rows from the `pipeline_stage_nanos` series, in
+    /// alphabetical stage order.
+    pub stages: Vec<StageLatency>,
+    /// Every other histogram's percentiles (full series name →
+    /// `{p50, p95, p99}`), e.g. share or decay timings.
+    pub series: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl LatencyPanel {
+    /// Derives the panel from a snapshot's histograms.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let quantiles = percentiles(snapshot);
+        let mut panel = LatencyPanel::default();
+        let mut stages: BTreeMap<String, StageLatency> = BTreeMap::new();
+        for (name, histogram) in &snapshot.histograms {
+            let (base, _) = split_labels(name);
+            let ranks = &quantiles[name];
+            if base == "pipeline_stage_nanos" {
+                if let Some(stage) = label_value(name, "stage") {
+                    stages.insert(
+                        stage.to_owned(),
+                        StageLatency {
+                            stage: stage.to_owned(),
+                            rounds: histogram.count,
+                            mean_nanos: histogram
+                                .sum
+                                .checked_div(histogram.count)
+                                .unwrap_or_default(),
+                            p50_nanos: ranks["p50"],
+                            p95_nanos: ranks["p95"],
+                            p99_nanos: ranks["p99"],
+                        },
+                    );
+                    continue;
+                }
+            }
+            panel.series.insert(name.clone(), ranks.clone());
+        }
+        panel.stages = stages.into_values().collect();
+        panel
+    }
+}
+
+/// Formats nanoseconds for a human column: ns, µs, ms or s.
+fn human_nanos(nanos: u64) -> String {
+    match nanos {
+        n if n < 1_000 => format!("{n}ns"),
+        n if n < 1_000_000 => format!("{:.1}µs", n as f64 / 1e3),
+        n if n < 1_000_000_000 => format!("{:.1}ms", n as f64 / 1e6),
+        n => format!("{:.2}s", n as f64 / 1e9),
+    }
+}
+
+/// Renders the latency panel as terminal text.
+pub fn latency_ascii(panel: &LatencyPanel) -> String {
+    let mut out = String::new();
+    out.push_str("== CAIS pipeline latency ==\n\n");
+    out.push_str(&format!(
+        "  {:<14} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+        "stage", "rounds", "mean", "p50", "p95", "p99"
+    ));
+    for row in &panel.stages {
+        out.push_str(&format!(
+            "  {:<14} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            row.stage,
+            row.rounds,
+            human_nanos(row.mean_nanos),
+            human_nanos(row.p50_nanos),
+            human_nanos(row.p95_nanos),
+            human_nanos(row.p99_nanos),
+        ));
+    }
+    if !panel.series.is_empty() {
+        out.push_str("\nother series:\n");
+        for (name, ranks) in &panel.series {
+            out.push_str(&format!(
+                "  {:<44} {:>10} {:>10} {:>10}\n",
+                name,
+                human_nanos(ranks["p50"]),
+                human_nanos(ranks["p95"]),
+                human_nanos(ranks["p99"]),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the latency panel as a standalone HTML fragment.
+pub fn latency_html(panel: &LatencyPanel) -> String {
+    let mut out = String::new();
+    out.push_str("<section class=\"cais-latency\">\n<h2>Pipeline latency</h2>\n");
+    out.push_str(
+        "<table class=\"latency\">\n<tr><th>stage</th><th>rounds</th><th>mean</th>\
+                  <th>p50</th><th>p95</th><th>p99</th></tr>\n",
+    );
+    for row in &panel.stages {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            escape(&row.stage),
+            row.rounds,
+            human_nanos(row.mean_nanos),
+            human_nanos(row.p50_nanos),
+            human_nanos(row.p95_nanos),
+            human_nanos(row.p99_nanos),
+        ));
+    }
+    out.push_str("</table>\n");
+    if !panel.series.is_empty() {
+        out.push_str("<h3>other series</h3>\n<ul>\n");
+        for (name, ranks) in &panel.series {
+            out.push_str(&format!(
+                "<li><code>{}</code> p50={} p95={} p99={}</li>\n",
+                escape(name),
+                human_nanos(ranks["p50"]),
+                human_nanos(ranks["p95"]),
+                human_nanos(ranks["p99"]),
+            ));
+        }
+        out.push_str("</ul>\n");
+    }
+    out.push_str("</section>\n");
+    out
+}
+
+/// Renders the latency panel as pretty-printed JSON.
+pub fn latency_json(panel: &LatencyPanel) -> String {
+    serde_json::to_string_pretty(panel).unwrap_or_else(|_| "{}".to_owned())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_telemetry::{labeled, Registry};
+
+    fn populated_registry() -> Registry {
+        let registry = Registry::new();
+        for (stage, nanos) in [
+            ("filter", 1_000u64),
+            ("dedup", 2_000),
+            ("compose", 400_000),
+            ("enrich", 3_000_000),
+            ("reduce", 9_000),
+            ("publish", 2_500_000_000),
+        ] {
+            let histogram =
+                registry.histogram(&labeled("pipeline_stage_nanos", &[("stage", stage)]));
+            histogram.record(nanos);
+            histogram.record(nanos * 2);
+        }
+        registry.histogram("share_serialize_nanos").record(5_000);
+        registry
+    }
+
+    #[test]
+    fn panel_derives_percentiles_for_every_stage() {
+        let panel = LatencyPanel::from_snapshot(&populated_registry().snapshot());
+        assert_eq!(panel.stages.len(), 6, "all six pipeline stages present");
+        for row in &panel.stages {
+            assert_eq!(row.rounds, 2, "{}", row.stage);
+            assert!(row.p50_nanos > 0, "{}", row.stage);
+            assert!(row.p95_nanos >= row.p50_nanos, "{}", row.stage);
+            assert!(row.p99_nanos >= row.p95_nanos, "{}", row.stage);
+        }
+        assert!(panel.series.contains_key("share_serialize_nanos"));
+        assert!(!panel
+            .series
+            .keys()
+            .any(|name| name.starts_with("pipeline_stage_nanos{")));
+    }
+
+    #[test]
+    fn renderers_cover_stages_and_series() {
+        let panel = LatencyPanel::from_snapshot(&populated_registry().snapshot());
+        let text = latency_ascii(&panel);
+        assert!(text.contains("CAIS pipeline latency"));
+        assert!(text.contains("dedup"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("share_serialize_nanos"));
+
+        let html = latency_html(&panel);
+        assert!(html.contains("<h2>Pipeline latency</h2>"));
+        assert!(html.contains("<td>enrich</td>"));
+        assert!(html.contains("share_serialize_nanos"));
+
+        let json: serde_json::Value = serde_json::from_str(&latency_json(&panel)).unwrap();
+        assert_eq!(json["stages"].as_array().unwrap().len(), 6);
+        assert!(json["stages"][0]["p95_nanos"].as_u64().unwrap() > 0);
+        assert!(json["series"]["share_serialize_nanos"]["p50"]
+            .as_u64()
+            .is_some());
+    }
+
+    #[test]
+    fn human_units_scale_readably() {
+        assert_eq!(human_nanos(999), "999ns");
+        assert_eq!(human_nanos(1_500), "1.5µs");
+        assert_eq!(human_nanos(2_500_000), "2.5ms");
+        assert_eq!(human_nanos(2_500_000_000), "2.50s");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let panel = LatencyPanel::from_snapshot(&Registry::new().snapshot());
+        assert!(panel.stages.is_empty());
+        assert!(latency_ascii(&panel).contains("pipeline latency"));
+        assert!(latency_html(&panel).contains("cais-latency"));
+    }
+}

@@ -4,8 +4,10 @@ mod ascii;
 mod health;
 mod html;
 mod json;
+mod latency;
 
 pub use ascii::ascii;
 pub use health::{health_ascii, health_html, health_json, HealthPanel, StageHealth};
 pub use html::html;
 pub use json::json;
+pub use latency::{latency_ascii, latency_html, latency_json, LatencyPanel, StageLatency};

@@ -9,7 +9,7 @@
 use cais_bus::{topics, Broker, Subscription};
 use cais_core::ReducedIoc;
 use cais_infra::Alarm;
-use cais_telemetry::{Counter, Registry};
+use cais_telemetry::{Counter, FlightRecorder, Registry};
 
 use crate::state::DashboardState;
 
@@ -40,6 +40,7 @@ pub struct DashboardStream {
     applied_alarms: usize,
     decode_failures: usize,
     metrics: Option<StreamMetrics>,
+    flight: Option<FlightRecorder>,
 }
 
 impl DashboardStream {
@@ -53,6 +54,7 @@ impl DashboardStream {
             applied_alarms: 0,
             decode_failures: 0,
             metrics: None,
+            flight: None,
         }
     }
 
@@ -64,6 +66,23 @@ impl DashboardStream {
     /// struct's accessors.
     pub fn instrument(&mut self, registry: &Registry) {
         self.metrics = Some(StreamMetrics::new(registry));
+    }
+
+    /// Attaches a flight recorder: every decode failure dumps the last
+    /// spans of every subsystem to disk, so a malformed publisher comes
+    /// with a black box of what the platform was doing at the time.
+    pub fn set_flight_recorder(&mut self, recorder: &FlightRecorder) {
+        self.flight = Some(recorder.clone());
+    }
+
+    fn record_decode_failure(&mut self, topic: &str) {
+        self.decode_failures += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.decode_failures.inc();
+        }
+        if let Some(flight) = &self.flight {
+            let _ = flight.trigger("decode_failure", topic);
+        }
     }
 
     /// Drains every queued message into the state, returning how many
@@ -80,12 +99,7 @@ impl DashboardStream {
                         metrics.riocs_applied.inc();
                     }
                 }
-                Err(_) => {
-                    self.decode_failures += 1;
-                    if let Some(metrics) = &self.metrics {
-                        metrics.decode_failures.inc();
-                    }
-                }
+                Err(_) => self.record_decode_failure(topics::RIOC_PUBLISHED),
             }
         }
         for message in self.alarms.drain() {
@@ -98,12 +112,7 @@ impl DashboardStream {
                         metrics.alarms_applied.inc();
                     }
                 }
-                Err(_) => {
-                    self.decode_failures += 1;
-                    if let Some(metrics) = &self.metrics {
-                        metrics.decode_failures.inc();
-                    }
-                }
+                Err(_) => self.record_decode_failure(topics::ALARM_RAISED),
             }
         }
         applied
@@ -232,6 +241,39 @@ mod tests {
                 .contains_key("dashboard_alarms_applied_total")
                 || snapshot.counters["dashboard_alarms_applied_total"] == 0
         );
+    }
+
+    #[test]
+    fn decode_failure_dumps_the_flight_recorder() {
+        use cais_telemetry::Tracer;
+
+        let dir = std::env::temp_dir().join(format!(
+            "cais-dashboard-flight-{}-{}",
+            std::process::id(),
+            "decode"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let broker = Broker::new();
+        let tracer = Tracer::new();
+        drop(tracer.root("pipeline", "ingest_round"));
+        let recorder = FlightRecorder::new(tracer, &dir);
+        let mut stream =
+            DashboardStream::attach(DashboardState::new(Inventory::paper_table3()), &broker);
+        stream.set_flight_recorder(&recorder);
+        broker.publish(
+            Topic::new(topics::RIOC_PUBLISHED),
+            serde_json::json!("garbage"),
+        );
+        assert_eq!(stream.pump(), 0);
+        assert_eq!(stream.decode_failures(), 1);
+        assert_eq!(recorder.dumps(), 1);
+        let dump = dir.join("flight-0000-decode_failure.json");
+        let text = std::fs::read_to_string(&dump).expect("dump written");
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["reason"], "decode_failure");
+        assert_eq!(doc["detail"], topics::RIOC_PUBLISHED);
+        assert!(doc["subsystems"]["pipeline"].as_array().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use cais_common::resilience::{Clock, Sleeper, SystemClock};
 use cais_common::time::MILLIS_PER_DAY;
 use cais_common::{Timestamp, Uuid};
 use cais_misp::{MispError, MispEvent, MispStore, Tag};
-use cais_telemetry::{Counter, Gauge, Registry};
+use cais_telemetry::{Counter, Gauge, Registry, Tracer};
 use parking_lot::Mutex;
 
 use crate::ledger::SightingLedger;
@@ -148,6 +148,7 @@ pub struct DecayEngine {
     clock: Arc<dyn Clock>,
     state: Mutex<EngineState>,
     metrics: Mutex<Option<Metrics>>,
+    tracer: Mutex<Option<Tracer>>,
 }
 
 impl DecayEngine {
@@ -159,7 +160,14 @@ impl DecayEngine {
             clock,
             state: Mutex::new(EngineState::default()),
             metrics: Mutex::new(None),
+            tracer: Mutex::new(None),
         }
+    }
+
+    /// Attaches a causal tracer: every sweep roots a `decay` span
+    /// recording how many events it rescored and flipped.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.tracer.lock() = Some(tracer.clone());
     }
 
     /// The production configuration: wall-clock time.
@@ -366,6 +374,11 @@ impl DecayEngine {
     /// Untouched events are not written at all, so sweep cost tracks
     /// the number of *flips*, not the store size.
     pub fn sweep(&self, store: &MispStore) -> Result<SweepSummary, MispError> {
+        let mut span = self
+            .tracer
+            .lock()
+            .as_ref()
+            .map(|t| t.root("decay", "decay_sweep"));
         let (scores, rescore) = self.rescore(store);
         let mut summary = SweepSummary {
             rescore,
@@ -416,6 +429,11 @@ impl DecayEngine {
             m.sweeps.inc();
             m.expired_flips.add(summary.flipped_expired as u64);
             m.revived_flips.add(summary.flipped_active as u64);
+        }
+        if let Some(span) = span.as_mut() {
+            span.field("rescored", summary.rescore.scored);
+            span.field("flipped_expired", summary.flipped_expired);
+            span.field("flipped_active", summary.flipped_active);
         }
         Ok(summary)
     }

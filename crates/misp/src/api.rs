@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use cais_bus::{Broker, Topic};
-use cais_telemetry::Registry;
+use cais_telemetry::{Registry, TraceContext, Tracer};
 
 use crate::attribute::MispAttribute;
 use crate::correlation::{correlate_event, Correlation};
@@ -28,6 +28,7 @@ pub struct MispApi {
     store: Arc<MispStore>,
     share: ShareExporter,
     broker: Option<Broker>,
+    tracer: parking_lot::RwLock<Option<Tracer>>,
 }
 
 impl MispApi {
@@ -38,6 +39,7 @@ impl MispApi {
             store: Arc::new(MispStore::new()),
             share: ShareExporter::default(),
             broker: None,
+            tracer: parking_lot::RwLock::new(None),
         }
     }
 
@@ -78,15 +80,45 @@ impl MispApi {
         self.share.instrument(registry);
     }
 
+    /// Attaches a causal tracer to the whole MISP seam: store mutations
+    /// record `store` spans, share cache fills record `share` spans,
+    /// and bus announcements chain onto the mutated event's trace.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        self.store.set_tracer(tracer);
+        self.share.set_tracer(tracer);
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.tracer.read().clone()
+    }
+
     /// Adds an event, stamping the organization, and announces it on the
     /// bus.
     ///
     /// # Errors
     ///
     /// Returns validation errors from the store.
-    pub fn add_event(&self, mut event: MispEvent) -> Result<u64, MispError> {
+    pub fn add_event(&self, event: MispEvent) -> Result<u64, MispError> {
+        self.add_event_with_trace(event, None)
+    }
+
+    /// [`MispApi::add_event`] recorded as a child of `parent` when a
+    /// tracer is attached — ingress seams (sync push, feed ingest) pass
+    /// their span here so the store mutation and bus announcement stay
+    /// in the caller's trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors from the store.
+    pub fn add_event_with_trace(
+        &self,
+        mut event: MispEvent,
+        parent: Option<TraceContext>,
+    ) -> Result<u64, MispError> {
         event.org = self.org.clone();
-        let id = self.store.insert(event)?;
+        let id = self.store.insert_with_trace(event, parent)?;
         self.announce("misp.event.created", id);
         Ok(id)
     }
@@ -199,7 +231,13 @@ impl MispApi {
                 .store
                 .with_event(event_id, |event| serde_json::to_value(event))
             {
-                broker.publish(Topic::new(topic), payload);
+                // Chain the publish onto the event's trace (linked at
+                // insert/update) so bus fan-out joins the span tree.
+                let parent = self.tracer.read().as_ref().and_then(|t| {
+                    let uuid = self.store.with_event(event_id, |event| event.uuid)?;
+                    t.linked(&uuid.to_string())
+                });
+                broker.publish_traced(Topic::new(topic), payload, parent);
             }
         }
     }

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use cais_common::Uuid;
 use cais_stix::StixId;
-use cais_telemetry::{Counter, Gauge, Registry};
+use cais_telemetry::{Counter, Gauge, Registry, Tracer};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::MispError;
@@ -180,6 +180,7 @@ pub struct ShareExporter {
     cache: Mutex<Lru>,
     assembled: Mutex<HashMap<(u32, u8), Assembled>>,
     metrics: RwLock<Option<ShareMetrics>>,
+    tracer: RwLock<Option<Tracer>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -223,6 +224,7 @@ impl ShareExporter {
             }),
             assembled: Mutex::new(HashMap::new()),
             metrics: RwLock::new(None),
+            tracer: RwLock::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -238,6 +240,19 @@ impl ShareExporter {
     /// `share_assembled_{hits,misses}_total`.
     pub fn instrument(&self, registry: &Registry) {
         *self.metrics.write() = Some(ShareMetrics::new(registry));
+    }
+
+    /// Attaches a causal tracer: cache *fills* (the serialization work)
+    /// record `share_serialize` spans chained onto the event's linked
+    /// trace, so a pull of a freshly ingested event stays inside the
+    /// ingress span tree. Cache hits stay untraced — they do no work
+    /// worth a span.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
+    fn tracer(&self) -> Option<Tracer> {
+        self.tracer.read().clone()
     }
 
     /// The wrapped registry, read-only.
@@ -492,6 +507,13 @@ impl ShareExporter {
         if let Some(bytes) = self.cache_lookup(&key) {
             return Ok(bytes);
         }
+        let mut span = self.tracer().map(|t| {
+            t.follow(
+                &versioned.event.uuid.to_string(),
+                "share",
+                "share_serialize",
+            )
+        });
         let module = self
             .registry
             .module(index)
@@ -502,6 +524,9 @@ impl ShareExporter {
             module.write_into(&versioned.event, &mut *buf)?;
             Ok::<_, MispError>(Arc::from(buf.as_slice()))
         })?;
+        if let Some(span) = span.as_mut() {
+            span.field("bytes", bytes.len());
+        }
         self.cache_store(key, &bytes);
         Ok(bytes)
     }
@@ -903,6 +928,38 @@ mod tests {
         assert!(snapshot.counters["share_bytes_total"] > 0);
         assert_eq!(snapshot.gauges["share_cache_entries"], 3);
         assert!(snapshot.gauges["share_cache_bytes"] > 0);
+    }
+
+    #[test]
+    fn cache_fill_chains_onto_the_event_trace() {
+        let tracer = Tracer::new();
+        let store = MispStore::new();
+        store.set_tracer(&tracer);
+        let share = ShareExporter::default();
+        share.set_tracer(&tracer);
+
+        let mut event = MispEvent::new("traced");
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            "traced.example",
+        ));
+        let id = store.insert(event).unwrap();
+
+        // Cold read fills the cache (one span); warm read is silent.
+        share.export_event_bytes(&store, id, "misp-json").unwrap();
+        share.export_event_bytes(&store, id, "misp-json").unwrap();
+
+        let insert = tracer
+            .snapshot_subsystem("store")
+            .into_iter()
+            .find(|s| s.name == "store_insert")
+            .unwrap();
+        let share_spans = tracer.snapshot_subsystem("share");
+        assert_eq!(share_spans.len(), 1, "cache hits record no span");
+        assert_eq!(share_spans[0].name, "share_serialize");
+        assert_eq!(share_spans[0].parent_id, insert.span_id);
+        assert_eq!(share_spans[0].trace_id, insert.trace_id);
     }
 
     #[test]

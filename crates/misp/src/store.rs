@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cais_common::{Timestamp, Uuid};
-use cais_telemetry::{Counter, Registry};
+use cais_telemetry::{Counter, Registry, TraceContext, Tracer};
 use parking_lot::RwLock;
 
 use crate::attribute::MispAttribute;
@@ -166,6 +166,7 @@ pub struct MispStore {
     /// Sixteen bytes per mutation, never truncated.
     changes: RwLock<Vec<(u64, u64)>>,
     metrics: RwLock<Option<StoreMetrics>>,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl MispStore {
@@ -187,6 +188,19 @@ impl MispStore {
         *self.metrics.write() = Some(StoreMetrics::new(registry));
     }
 
+    /// Attaches a causal tracer: mutations record `store` spans
+    /// (`store_insert`, `store_update`) and each insert links the
+    /// event's UUID to its span, so downstream consumers (the share
+    /// exporter, the TAXII server) chain their handling onto the same
+    /// trace with [`Tracer::follow`].
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
+    fn tracer(&self) -> Option<Tracer> {
+        self.tracer.read().clone()
+    }
+
     /// Inserts an event, assigning its store id. Attributes are
     /// validated; an invalid attribute rejects the whole event (MISP
     /// behaves the same on API add).
@@ -194,9 +208,33 @@ impl MispStore {
     /// # Errors
     ///
     /// Returns attribute-validation errors.
-    pub fn insert(&self, mut event: MispEvent) -> Result<u64, MispError> {
+    pub fn insert(&self, event: MispEvent) -> Result<u64, MispError> {
+        self.insert_with_trace(event, None)
+    }
+
+    /// [`MispStore::insert`] recorded as a child of `parent` when a
+    /// tracer is attached — the pipeline passes its ingest span here so
+    /// the store mutation lands inside the ingress trace. The event's
+    /// UUID is linked to the insert span for downstream
+    /// [`Tracer::follow`] chaining.
+    ///
+    /// # Errors
+    ///
+    /// Returns attribute-validation errors.
+    pub fn insert_with_trace(
+        &self,
+        mut event: MispEvent,
+        parent: Option<TraceContext>,
+    ) -> Result<u64, MispError> {
+        let tracer = self.tracer();
+        let mut span = tracer
+            .as_ref()
+            .map(|t| t.child_of(parent, "store", "store_insert"));
         for attribute in &event.attributes {
             attribute.validate()?;
+        }
+        if let (Some(t), Some(span)) = (tracer.as_ref(), span.as_ref()) {
+            t.link(&event.uuid.to_string(), span.context());
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         event.id = id;
@@ -230,6 +268,9 @@ impl MispStore {
         );
         let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
         self.changes.write().push((generation, id));
+        if let Some(span) = span.as_mut() {
+            span.field("event_id", id);
+        }
         Ok(id)
     }
 
@@ -376,6 +417,14 @@ impl MispStore {
         let stored = events
             .get_mut(&id)
             .ok_or(MispError::EventNotFound { event_id: id })?;
+        // Chained onto the event's linked trace (set at insert) so
+        // enrichment/publish mutations stay in the same span tree.
+        let mut span = self
+            .tracer()
+            .map(|t| t.follow(&stored.event.uuid.to_string(), "store", "store_update"));
+        if let Some(span) = span.as_mut() {
+            span.field("event_id", id);
+        }
         let event = Arc::make_mut(&mut stored.event);
         let before: Vec<String> = event
             .attributes
@@ -876,6 +925,39 @@ mod tests {
         assert_eq!(counters["misp_attributes_written_total"], 2);
         assert_eq!(counters["misp_tags_written_total"], 1);
         assert_eq!(counters["misp_events_published_total"], 1);
+    }
+
+    #[test]
+    fn traced_mutations_share_one_span_tree() {
+        use cais_telemetry::Tracer;
+
+        let tracer = Tracer::new();
+        let store = MispStore::new();
+        store.set_tracer(&tracer);
+
+        let event = event_with("a.example");
+        let uuid = event.uuid;
+        let parent = tracer.root("pipeline", "ingest_round");
+        let parent_ctx = parent.context();
+        let id = store.insert_with_trace(event, Some(parent_ctx)).unwrap();
+        drop(parent);
+        store.publish(id).unwrap();
+
+        let spans = tracer.snapshot_subsystem("store");
+        let insert = spans.iter().find(|s| s.name == "store_insert").unwrap();
+        let update = spans.iter().find(|s| s.name == "store_update").unwrap();
+        assert_eq!(insert.parent_id, parent_ctx.span_id);
+        assert_eq!(insert.trace_id, parent_ctx.trace_id);
+        assert_eq!(
+            update.parent_id, insert.span_id,
+            "publish chains via the uuid link"
+        );
+        assert_eq!(update.trace_id, parent_ctx.trace_id);
+        // The link now points at the update span for the next consumer.
+        assert_eq!(
+            tracer.linked(&uuid.to_string()).unwrap().span_id,
+            update.span_id
+        );
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub fn downgrade(distribution: Distribution) -> Option<Distribution> {
 /// ```
 pub fn push(source: &MispApi, target: &MispApi) -> SyncReport {
     let mut report = SyncReport::default();
+    // A sync push is an ingress on the target: mint a root trace there
+    // and record each transferred insert as its child.
+    let mut span = target.tracer().map(|t| t.root("sync", "sync_push"));
+    let parent = span.as_ref().filter(|s| s.sampled()).map(|s| s.context());
     // Snapshot read: event bodies are borrowed from the store; only
     // events that actually transfer are cloned.
     for versioned in source.store().snapshot().iter() {
@@ -89,9 +93,13 @@ pub fn push(source: &MispApi, target: &MispApi) -> SyncReport {
         let mut transferred: MispEvent = (**event).clone();
         transferred.id = 0;
         transferred.distribution = arrival_distribution;
-        if target.add_event(transferred).is_ok() {
+        if target.add_event_with_trace(transferred, parent).is_ok() {
             report.transferred += 1;
         }
+    }
+    if let Some(span) = span.as_mut() {
+        span.field("considered", report.considered);
+        span.field("transferred", report.transferred);
     }
     report
 }

@@ -3,9 +3,11 @@
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 
-use cais_bus::tcp::{read_frame, write_frame};
+use cais_bus::tcp::read_frame;
+use cais_common::frame::write_frame_traced;
 use cais_common::{Timestamp, Uuid};
-use parking_lot::Mutex;
+use cais_telemetry::Tracer;
+use parking_lot::{Mutex, RwLock};
 
 use crate::collection::{Collection, Envelope};
 use crate::protocol::{Request, Response};
@@ -13,6 +15,7 @@ use crate::protocol::{Request, Response};
 /// A synchronous client for [`crate::TaxiiServer`].
 pub struct TaxiiClient {
     stream: Mutex<TcpStream>,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl TaxiiClient {
@@ -25,14 +28,32 @@ impl TaxiiClient {
         let stream = TcpStream::connect(addr)?;
         Ok(TaxiiClient {
             stream: Mutex::new(stream),
+            tracer: RwLock::new(None),
         })
     }
 
+    /// Attaches a causal tracer: each request roots a `taxii_client`
+    /// span and tags the request frame with its trace header, so a
+    /// traced server records its handling as a child of this client's
+    /// span. Only enable against servers that understand tagged frames
+    /// — legacy readers reject them.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
     fn roundtrip(&self, request: &Request) -> io::Result<Response> {
+        let tracer = self.tracer.read().clone();
+        let mut span = tracer
+            .as_ref()
+            .map(|t| t.root("taxii_client", "taxii_request"));
+        if let Some(span) = span.as_mut() {
+            span.field("verb", request.verb());
+        }
+        let header = span.as_ref().and_then(|s| s.context().header());
         let mut stream = self.stream.lock();
         let bytes = serde_json::to_vec(request)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        write_frame(&mut *stream, &bytes)?;
+        write_frame_traced(&mut *stream, header, &bytes)?;
         let frame = read_frame(&mut *stream)?;
         serde_json::from_slice(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
@@ -214,6 +235,51 @@ mod tests {
         let client = TaxiiClient::connect(addr).unwrap();
         let missing = Uuid::new_v4();
         assert!(client.objects(&missing, None).is_err());
+    }
+
+    #[test]
+    fn tagged_request_frames_carry_the_client_span() {
+        let (server, addr, id) = live_server();
+        let tracer = cais_telemetry::Tracer::new();
+        server.set_tracer(&tracer);
+        let client = TaxiiClient::connect(addr).unwrap();
+        client.set_tracer(&tracer);
+
+        assert_eq!(client.discovery().unwrap(), "live");
+        client
+            .add_objects(&id, vec![serde_json::json!({"type": "indicator"})])
+            .unwrap();
+
+        let client_spans = tracer.snapshot_subsystem("taxii_client");
+        let server_spans = tracer.snapshot_subsystem("taxii");
+        assert_eq!(client_spans.len(), 2);
+        assert_eq!(server_spans.len(), 2);
+        for server_span in &server_spans {
+            let parent = client_spans
+                .iter()
+                .find(|c| c.span_id == server_span.parent_id)
+                .expect("server span hangs off a client span");
+            assert_eq!(parent.trace_id, server_span.trace_id);
+        }
+    }
+
+    #[test]
+    fn untagged_peer_requests_root_a_fresh_trace() {
+        // Mixed-version federation: the server traces, the client
+        // predates tracing and sends plain frames.
+        let (server, addr, id) = live_server();
+        let tracer = cais_telemetry::Tracer::new();
+        server.set_tracer(&tracer);
+        let client = TaxiiClient::connect(addr).unwrap();
+
+        client
+            .add_objects(&id, vec![serde_json::json!({"type": "indicator"})])
+            .unwrap();
+
+        let server_spans = tracer.snapshot_subsystem("taxii");
+        assert_eq!(server_spans.len(), 1);
+        assert_eq!(server_spans[0].parent_id, 0, "no wire header => fresh root");
+        assert!(tracer.snapshot_subsystem("taxii_client").is_empty());
     }
 }
 

@@ -35,6 +35,18 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The request's verb name, for logging and trace span fields.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Discovery => "discovery",
+            Request::Collections => "collections",
+            Request::GetObjects { .. } => "get-objects",
+            Request::AddObjects { .. } => "add-objects",
+        }
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "status", rename_all = "kebab-case")]

@@ -17,7 +17,7 @@ use cais_common::resilience::{
     site_hash, BreakerConfig, BreakerTransitions, CircuitBreaker, RetryPolicy, Sleeper,
 };
 use cais_common::{Timestamp, Uuid};
-use cais_telemetry::{Counter, Registry};
+use cais_telemetry::{Counter, FlightRecorder, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,6 +55,7 @@ pub struct ResilientTaxiiClient {
     reconnects: u64,
     retries: u64,
     metrics: Option<Metrics>,
+    flight: Option<FlightRecorder>,
     reported: BreakerTransitions,
 }
 
@@ -74,6 +75,7 @@ impl ResilientTaxiiClient {
             reconnects: 0,
             retries: 0,
             metrics: None,
+            flight: None,
             reported: BreakerTransitions::default(),
         }
     }
@@ -82,6 +84,13 @@ impl ResilientTaxiiClient {
     /// transitions.
     pub fn instrument(&mut self, registry: &Registry) {
         self.metrics = Some(Metrics::new(registry));
+    }
+
+    /// Attaches a flight recorder: when repeated faults (dropped or
+    /// garbled frames, dead peers) trip this client's circuit breaker,
+    /// the last spans of every subsystem are dumped to disk.
+    pub fn set_flight_recorder(&mut self, recorder: &FlightRecorder) {
+        self.flight = Some(recorder.clone());
     }
 
     /// Times the connection was re-established after a failure.
@@ -113,6 +122,11 @@ impl ResilientTaxiiClient {
             metrics
                 .breaker_closed
                 .add(transitions.closed - self.reported.closed);
+        }
+        if transitions.opened > self.reported.opened {
+            if let Some(flight) = &self.flight {
+                let _ = flight.trigger("breaker_trip", &format!("taxii:{}", self.addr));
+            }
         }
         self.reported = transitions;
     }
@@ -302,6 +316,10 @@ mod tests {
             42,
         );
         client.instrument(&registry);
+        let dir = std::env::temp_dir().join(format!("cais-taxii-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = FlightRecorder::new(cais_telemetry::Tracer::new(), &dir);
+        client.set_flight_recorder(&recorder);
         assert!(client.discovery(&ThreadSleeper).is_err());
         assert!(client.discovery(&ThreadSleeper).is_err());
         assert!(client.is_quarantined());
@@ -310,5 +328,10 @@ mod tests {
         let counters = registry.snapshot().counters;
         assert_eq!(counters["taxii_breaker_opened_total"], 1);
         assert_eq!(counters["taxii_retries_total"], 2);
+        // The trip produced exactly one black-box dump; the open-breaker
+        // denial above did not add another.
+        assert_eq!(recorder.dumps(), 1);
+        assert!(dir.join("flight-0000-breaker_trip.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,9 +15,10 @@ use std::sync::Arc;
 use std::thread;
 
 use cais_bus::tcp::{read_frame, write_frame};
+use cais_common::frame::read_frame_traced;
 use cais_common::resilience::{FaultKind, FaultPlan};
 use cais_common::{Timestamp, Uuid};
-use cais_telemetry::{Counter, Registry};
+use cais_telemetry::{Counter, Registry, TraceContext, Tracer};
 use parking_lot::{Mutex, RwLock};
 
 use crate::collection::{Collection, Envelope};
@@ -70,6 +71,7 @@ pub struct TaxiiServer {
     title: String,
     state: Arc<RwLock<State>>,
     cache: Arc<PageCache>,
+    tracer: Arc<RwLock<Option<Tracer>>>,
 }
 
 impl std::fmt::Debug for TaxiiServer {
@@ -88,7 +90,22 @@ impl TaxiiServer {
             title: title.into(),
             state: Arc::new(RwLock::new(State::default())),
             cache: Arc::new(PageCache::default()),
+            tracer: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Attaches a causal tracer: every request records a `taxii` span.
+    /// `GetObjects` pages chain onto the trace linked to the first
+    /// served object's event UUID (set by the store/share seam), so a
+    /// pull of a freshly ingested event joins its ingress span tree;
+    /// requests arriving with a frame trace header become children of
+    /// the sender's span instead.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = Some(tracer.clone());
+    }
+
+    fn trace_handle(&self) -> Option<Tracer> {
+        self.tracer.read().clone()
     }
 
     /// Registers a collection, returning its id.
@@ -200,8 +217,10 @@ impl TaxiiServer {
         added_after: Option<Timestamp>,
         object_type: Option<String>,
         limit: usize,
+        wire: Option<TraceContext>,
     ) -> io::Result<Arc<Vec<u8>>> {
         let limit = limit.clamp(1, MAX_PAGE);
+        let tracer = self.trace_handle();
         // Version lookup, cache probe, and (on a miss) envelope build
         // all happen under one read guard so a concurrent AddObjects
         // cannot slip a newer page under an older version key.
@@ -232,13 +251,40 @@ impl TaxiiServer {
                 if let Some(metrics) = self.cache.metrics.read().as_ref() {
                     metrics.hits.inc();
                 }
+                if let Some(t) = tracer.as_ref() {
+                    let mut span = t.child_of(wire, "taxii", "taxii_get_objects");
+                    span.field("cache", "hit");
+                }
                 return Ok(bytes.clone());
             }
             let envelope = found.page_filtered(added_after, limit, object_type.as_deref());
-            (key, Response::Objects { envelope })
+            // Chain onto the ingress trace of the first served event
+            // (linked under its UUID by the store/share seam); fall
+            // back to the request's wire context.
+            let parent = tracer
+                .as_ref()
+                .and_then(|t| {
+                    envelope.objects.iter().find_map(|object| {
+                        object
+                            .get("uuid")
+                            .and_then(|v| v.as_str())
+                            .and_then(|uuid| t.linked(uuid))
+                    })
+                })
+                .or(wire);
+            (key, parent, Response::Objects { envelope })
         };
-        let (key, response) = response;
+        let (key, parent, response) = response;
+        let mut span = tracer
+            .as_ref()
+            .map(|t| t.child_of(parent, "taxii", "taxii_get_objects"));
+        if let Some(span) = span.as_mut() {
+            span.field("cache", "miss");
+        }
         let bytes = Arc::new(encode(&response)?);
+        if let Some(span) = span.as_mut() {
+            span.field("bytes", bytes.len());
+        }
         self.cache.misses.fetch_add(1, Ordering::Relaxed);
         if let Some(metrics) = self.cache.metrics.read().as_ref() {
             metrics.misses.inc();
@@ -252,16 +298,25 @@ impl TaxiiServer {
     }
 
     /// Parses one request frame and produces the serialized response,
-    /// routing `GetObjects` through the page cache.
-    fn response_bytes(&self, frame: &[u8]) -> io::Result<Arc<Vec<u8>>> {
+    /// routing `GetObjects` through the page cache. `wire` is the trace
+    /// context carried in the request's frame header, if any.
+    fn response_bytes(&self, frame: &[u8], wire: Option<TraceContext>) -> io::Result<Arc<Vec<u8>>> {
         match serde_json::from_slice::<Request>(frame) {
             Ok(Request::GetObjects {
                 collection,
                 added_after,
                 object_type,
                 limit,
-            }) => self.get_objects_bytes(collection, added_after, object_type, limit),
-            Ok(request) => encode(&self.handle(request)).map(Arc::new),
+            }) => self.get_objects_bytes(collection, added_after, object_type, limit, wire),
+            Ok(request) => {
+                let mut span = self
+                    .trace_handle()
+                    .map(|t| t.child_of(wire, "taxii", "taxii_request"));
+                if let Some(span) = span.as_mut() {
+                    span.field("verb", request.verb());
+                }
+                encode(&self.handle(request)).map(Arc::new)
+            }
             Err(err) => encode(&Response::Error {
                 message: format!("malformed request: {err}"),
             })
@@ -299,8 +354,12 @@ impl TaxiiServer {
 
     fn serve_connection(&self, mut stream: TcpStream) -> io::Result<()> {
         loop {
-            let frame = read_frame(&mut stream)?;
-            let bytes = self.response_bytes(&frame)?;
+            // Traced clients tag their request frames with a trace
+            // header; untagged frames from pre-trace peers decode with
+            // `None` and the request roots a fresh trace.
+            let (header, frame) = read_frame_traced(&mut stream)?;
+            let wire = header.map(TraceContext::from_header);
+            let bytes = self.response_bytes(&frame, wire)?;
             write_frame(&mut stream, &bytes)?;
         }
     }
@@ -384,7 +443,7 @@ impl TaxiiServer {
                     write_frame(&mut stream, b"\x01\x02%%% injected garbage %%%\x03")?;
                 }
                 Some(FaultKind::Truncate) => {
-                    let bytes = self.response_bytes(&frame)?;
+                    let bytes = self.response_bytes(&frame, None)?;
                     write_frame(&mut stream, &bytes[..bytes.len() / 2])?;
                 }
                 Some(FaultKind::Replay) if previous.is_some() => {
@@ -392,7 +451,7 @@ impl TaxiiServer {
                     write_frame(&mut stream, &bytes)?;
                 }
                 Some(FaultKind::Replay) | Some(FaultKind::Delay(_)) | None => {
-                    let bytes = self.response_bytes(&frame)?;
+                    let bytes = self.response_bytes(&frame, None)?;
                     write_frame(&mut stream, &bytes)?;
                     previous = Some(bytes);
                 }
@@ -498,8 +557,8 @@ mod tests {
             collection: id,
             objects: (0..3).map(|i| serde_json::json!({ "i": i })).collect(),
         });
-        let first = server.get_objects_bytes(id, None, None, 10).unwrap();
-        let second = server.get_objects_bytes(id, None, None, 10).unwrap();
+        let first = server.get_objects_bytes(id, None, None, 10, None).unwrap();
+        let second = server.get_objects_bytes(id, None, None, 10, None).unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(server.page_cache_stats(), (1, 1));
 
@@ -508,7 +567,7 @@ mod tests {
             collection: id,
             objects: vec![serde_json::json!({ "i": 99 })],
         });
-        let third = server.get_objects_bytes(id, None, None, 10).unwrap();
+        let third = server.get_objects_bytes(id, None, None, 10, None).unwrap();
         assert!(!Arc::ptr_eq(&first, &third));
         assert_eq!(server.page_cache_stats(), (1, 2));
     }
@@ -529,7 +588,7 @@ mod tests {
         .unwrap();
         // Miss, then hit: both must equal the uncached serialization.
         for _ in 0..2 {
-            let cached = server.get_objects_bytes(id, None, None, 2).unwrap();
+            let cached = server.get_objects_bytes(id, None, None, 2, None).unwrap();
             assert_eq!(*cached, direct);
         }
     }
@@ -538,8 +597,12 @@ mod tests {
     fn error_responses_are_not_cached() {
         let (server, _) = server_with_collection();
         let missing = Uuid::new_v4();
-        server.get_objects_bytes(missing, None, None, 10).unwrap();
-        server.get_objects_bytes(missing, None, None, 10).unwrap();
+        server
+            .get_objects_bytes(missing, None, None, 10, None)
+            .unwrap();
+        server
+            .get_objects_bytes(missing, None, None, 10, None)
+            .unwrap();
         assert_eq!(server.page_cache_stats(), (0, 0));
     }
 
@@ -550,10 +613,10 @@ mod tests {
             collection: id,
             objects: vec![serde_json::json!({ "i": 0 })],
         });
-        server.get_objects_bytes(id, None, None, 10).unwrap();
+        server.get_objects_bytes(id, None, None, 10, None).unwrap();
         let registry = Registry::new();
         server.instrument(&registry); // pre-loads the earlier miss
-        server.get_objects_bytes(id, None, None, 10).unwrap();
+        server.get_objects_bytes(id, None, None, 10, None).unwrap();
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.counters["taxii_page_cache_hits_total"], 1);
         assert_eq!(snapshot.counters["taxii_page_cache_misses_total"], 1);

@@ -13,6 +13,39 @@ use std::fmt::Write as _;
 
 use crate::registry::{split_labels, Histogram, Snapshot};
 
+/// The latency quantiles exposed as derived gauges for every
+/// histogram: suffix and quantile value.
+pub const PERCENTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
+
+/// Derives the RED-style percentile gauges from every histogram in a
+/// snapshot: full series name → `{p50, p95, p99}` estimated from the
+/// log₂ buckets. This is what the Prometheus text, the JSON
+/// exposition's `percentiles` key, and the dashboard latency panel all
+/// read, so the three can never disagree.
+pub fn percentiles(snapshot: &Snapshot) -> BTreeMap<String, BTreeMap<String, u64>> {
+    snapshot
+        .histograms
+        .iter()
+        .map(|(name, histogram)| {
+            let quantiles = PERCENTILES
+                .iter()
+                .map(|(suffix, q)| ((*suffix).to_owned(), histogram.quantile(*q)))
+                .collect();
+            (name.clone(), quantiles)
+        })
+        .collect()
+}
+
+/// Splices a percentile suffix into a (possibly labelled) series name:
+/// `stage_nanos{stage="dedup"}` + `p95` → `stage_nanos_p95{stage="dedup"}`.
+fn suffixed(name: &str, suffix: &str) -> String {
+    let (base, labels) = split_labels(name);
+    match labels {
+        Some(labels) => format!("{base}_{suffix}{{{labels}}}"),
+        None => format!("{base}_{suffix}"),
+    }
+}
+
 /// Renders a snapshot in the Prometheus text exposition format.
 ///
 /// # Examples
@@ -82,15 +115,42 @@ pub fn prometheus_text(snapshot: &Snapshot) -> String {
             None => writeln!(out, "{base}_count {}", histogram.count),
         };
     }
+    // Derived p50/p95/p99 gauges per histogram series, estimated from
+    // the log₂ buckets (see `percentiles`).
+    let mut derived: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, quantiles) in percentiles(snapshot) {
+        for (suffix, value) in quantiles {
+            derived.insert(suffixed(&name, &suffix), value);
+        }
+    }
+    let mut last_base = String::new();
+    for (name, value) in &derived {
+        let base = split_labels(name).0;
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} gauge");
+            last_base = base.to_owned();
+        }
+        let _ = writeln!(out, "{name} {value}");
+    }
     out
 }
 
-/// Renders a snapshot as pretty-printed JSON.
-///
-/// Infallible in practice: a [`Snapshot`] contains only maps of
-/// integers.
+/// Renders a snapshot as pretty-printed JSON, with one addition over
+/// the raw [`Snapshot`] serialization: a top-level `percentiles` key
+/// carrying the derived p50/p95/p99 per histogram. The snapshot's own
+/// fields are untouched, so `Snapshot` deserialization still
+/// round-trips (unknown keys are ignored).
 pub fn json_text(snapshot: &Snapshot) -> String {
-    serde_json::to_string_pretty(snapshot).unwrap_or_else(|_| "{}".to_owned())
+    let Ok(mut value) = serde_json::to_value(snapshot) else {
+        return "{}".to_owned();
+    };
+    if let (Some(object), Ok(derived)) = (
+        value.as_object_mut(),
+        serde_json::to_value(percentiles(snapshot)),
+    ) {
+        object.insert("percentiles", derived);
+    }
+    serde_json::to_string_pretty(&value).unwrap_or_else(|_| "{}".to_owned())
 }
 
 #[cfg(test)]
@@ -162,5 +222,35 @@ mod tests {
         let text = json_text(&snapshot);
         let back: Snapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn percentile_gauges_render_in_text_and_json() {
+        let registry = Registry::new();
+        let h = registry.histogram(&labeled("stage_nanos", &[("stage", "dedup")]));
+        for _ in 0..99 {
+            h.record(100); // ≤ 127
+        }
+        h.record(1 << 20); // one slow outlier
+        let snapshot = registry.snapshot();
+
+        let text = prometheus_text(&snapshot);
+        assert!(text.contains("# TYPE stage_nanos_p50 gauge"));
+        assert!(text.contains("stage_nanos_p50{stage=\"dedup\"} 127"));
+        assert!(text.contains("stage_nanos_p95{stage=\"dedup\"} 127"));
+        assert!(text.contains("stage_nanos_p99{stage=\"dedup\"} 127"));
+
+        let json: serde_json::Value = serde_json::from_str(&json_text(&snapshot)).unwrap();
+        let series = &json["percentiles"]["stage_nanos{stage=\"dedup\"}"];
+        assert_eq!(series["p50"].as_u64(), Some(127));
+        assert_eq!(series["p99"].as_u64(), Some(127));
+        // The 100th sample pushes p100-ish ranks into the outlier
+        // bucket; 1.0 would, but p99 rank is 99 and stays fast.
+        let unlabeled = Registry::new();
+        let h2 = unlabeled.histogram("lat");
+        h2.record(1);
+        let text = prometheus_text(&unlabeled.snapshot());
+        assert!(text.contains("# TYPE lat_p50 gauge"));
+        assert!(text.contains("lat_p50 1"));
     }
 }

@@ -1,0 +1,202 @@
+//! The flight recorder: a black box that dumps the tracer's recent
+//! history to disk when an anomaly fires.
+//!
+//! Chaos failures are only debuggable if the run leaves evidence
+//! behind. A [`FlightRecorder`] watches nothing itself — anomaly sites
+//! (a circuit breaker tripping, a decode failure, a frame fault) call
+//! [`FlightRecorder::trigger`], and the recorder snapshots the last N
+//! spans of *every* subsystem ring into one JSON document under its
+//! dump directory. Dump filenames are sequence-numbered (not
+//! timestamped), so seeded chaos runs produce deterministic paths.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use crate::trace::{TraceEvent, Tracer};
+
+/// Default span count kept per subsystem in a dump.
+const DEFAULT_LAST_N: usize = 256;
+
+/// One written dump document.
+#[derive(Debug, Clone, Serialize)]
+struct FlightDump {
+    /// Anomaly class, e.g. `breaker_trip` or `decode_failure`.
+    reason: String,
+    /// Free-form anomaly detail (the feed name, the topic, the error).
+    detail: String,
+    /// Dump sequence number within this recorder.
+    sequence: u64,
+    /// Last-N spans per subsystem at trigger time.
+    subsystems: std::collections::BTreeMap<String, Vec<TraceEvent>>,
+}
+
+struct FlightInner {
+    tracer: Tracer,
+    dir: PathBuf,
+    last_n: usize,
+    next_seq: AtomicU64,
+    dumps: AtomicU64,
+}
+
+/// A cheaply clonable handle writing anomaly dumps from one tracer
+/// into one directory.
+///
+/// # Examples
+///
+/// ```
+/// use cais_telemetry::{FlightRecorder, Tracer};
+///
+/// let tracer = Tracer::new();
+/// drop(tracer.root("ingress", "feed_poll"));
+/// let dir = std::env::temp_dir().join("cais-flight-doc-example");
+/// let recorder = FlightRecorder::new(tracer, &dir);
+/// let path = recorder.trigger("breaker_trip", "feed osint-a")?;
+/// assert!(path.exists());
+/// assert_eq!(recorder.dumps(), 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder dumping `tracer`'s rings into `dir` (created on first
+    /// trigger), keeping the default 256 spans per subsystem.
+    pub fn new(tracer: Tracer, dir: impl Into<PathBuf>) -> Self {
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                tracer,
+                dir: dir.into(),
+                last_n: DEFAULT_LAST_N,
+                next_seq: AtomicU64::new(0),
+                dumps: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A recorder keeping the last `n` spans per subsystem instead of
+    /// the default.
+    pub fn with_last_n(tracer: Tracer, dir: impl Into<PathBuf>, n: usize) -> Self {
+        let mut recorder = FlightRecorder::new(tracer, dir);
+        Arc::get_mut(&mut recorder.inner)
+            .expect("freshly built recorder is unshared")
+            .last_n = n.max(1);
+        recorder
+    }
+
+    /// The directory dumps are written into.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Number of dumps successfully written.
+    pub fn dumps(&self) -> u64 {
+        self.inner.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Writes one dump for an anomaly and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the dump directory cannot be created
+    /// or the file cannot be written.
+    pub fn trigger(&self, reason: &str, detail: &str) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.inner.dir)?;
+        let sequence = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let dump = FlightDump {
+            reason: reason.to_owned(),
+            detail: detail.to_owned(),
+            sequence,
+            subsystems: self.inner.tracer.tail(self.inner.last_n),
+        };
+        let text = serde_json::to_string_pretty(&dump)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let path = self
+            .inner
+            .dir
+            .join(format!("flight-{sequence:04}-{}.json", sanitize(reason)));
+        std::fs::write(&path, text)?;
+        self.inner.dumps.fetch_add(1, Ordering::Relaxed);
+        Ok(path)
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("dir", &self.inner.dir)
+            .field("last_n", &self.inner.last_n)
+            .field("dumps", &self.dumps())
+            .finish()
+    }
+}
+
+/// Filename-safe slug of an anomaly reason.
+fn sanitize(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cais-flight-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn trigger_writes_last_n_spans_per_subsystem() {
+        let tracer = Tracer::new();
+        for i in 0..5 {
+            let mut span = tracer.root("ingress", "feed_poll");
+            span.field("round", i);
+        }
+        drop(tracer.root("pipeline", "ingest_round"));
+        let dir = temp_dir("lastn");
+        let recorder = FlightRecorder::with_last_n(tracer, &dir, 2);
+        let path = recorder
+            .trigger("breaker_trip", "feed dead-feed")
+            .expect("dump");
+        let doc: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("read")).expect("json");
+        assert_eq!(doc["reason"], Value::String("breaker_trip".to_owned()));
+        assert_eq!(doc["detail"], Value::String("feed dead-feed".to_owned()));
+        assert_eq!(doc["subsystems"]["ingress"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["subsystems"]["pipeline"].as_array().unwrap().len(), 1);
+        assert_eq!(recorder.dumps(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequential_triggers_get_distinct_deterministic_paths() {
+        let tracer = Tracer::new();
+        let dir = temp_dir("seq");
+        let recorder = FlightRecorder::new(tracer, &dir);
+        let first = recorder.trigger("decode_failure", "topic t").expect("dump");
+        let second = recorder.trigger("frame fault!", "site x").expect("dump");
+        assert_ne!(first, second);
+        assert!(first.ends_with("flight-0000-decode_failure.json"));
+        assert!(second.ends_with("flight-0001-frame-fault-.json"));
+        assert_eq!(recorder.dumps(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,10 +2,14 @@
 //!
 //! Workspace-wide observability for the CAIS platform: a lock-sharded
 //! metrics [`Registry`] (counters, gauges, log₂-bucketed latency
-//! histograms), a bounded ring-buffer span [`Tracer`], and two
-//! exposition formats — Prometheus-style text and a `serde_json`
-//! [`Snapshot`] — served over the workspace's length-prefixed TCP
-//! framing by [`TelemetryServer`].
+//! histograms), a causal span [`Tracer`] with per-subsystem bounded
+//! rings and a [`TraceContext`] that propagates across threads,
+//! message envelopes and the framed-TCP wire, a [`FlightRecorder`]
+//! that dumps recent spans to disk when anomalies fire, and several
+//! exposition formats — Prometheus-style text (with derived p50/p95/p99
+//! gauges), a `serde_json` [`Snapshot`], and Chrome `trace_event` JSON
+//! openable in Perfetto — served over the workspace's length-prefixed
+//! TCP framing by [`TelemetryServer`].
 //!
 //! The paper's operational module exists to give analysts visibility
 //! into the intelligence pipeline; this crate gives the *platform
@@ -51,14 +55,18 @@
 #![warn(missing_docs)]
 
 pub mod expose;
+pub mod flight;
+pub mod perfetto;
 pub mod registry;
 pub mod server;
 pub mod trace;
 
-pub use expose::{json_text, prometheus_text};
+pub use expose::{json_text, percentiles, prometheus_text, PERCENTILES};
+pub use flight::FlightRecorder;
+pub use perfetto::{chrome_trace_json, chrome_trace_jsonl};
 pub use registry::{
     label_value, labeled, split_labels, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot,
 };
 pub use server::{scrape, TelemetryServer};
-pub use trace::{SpanGuard, TraceEvent, Tracer};
+pub use trace::{SpanGuard, TraceContext, TraceEvent, Tracer};

@@ -1,0 +1,191 @@
+//! Chrome `trace_event` export: render recorded spans in the JSON
+//! format Perfetto (and `chrome://tracing`) open directly.
+//!
+//! Spans become `"ph": "X"` *complete* events (start timestamp + wall
+//! duration, both in microseconds); instantaneous events become
+//! `"ph": "i"` instants. Each subsystem ring maps to one "thread" of a
+//! single process, with `"ph": "M"` metadata events naming the tracks,
+//! so a trace opens as one lane per subsystem with causally-related
+//! spans stacked by time. The causal ids (`trace_id`, `span_id`,
+//! `parent_id`) ride along in `args`, which is how the span-tree
+//! integration tests walk parentage on the exported form.
+
+use std::collections::BTreeMap;
+
+use serde_json::{Map, Value};
+
+use crate::trace::TraceEvent;
+
+/// The process id every exported event carries (the platform is one
+/// process; subsystems are its tracks).
+const EXPORT_PID: u64 = 1;
+
+fn event_value(event: &TraceEvent, tid: u64) -> Value {
+    let mut args = Map::new();
+    for (key, value) in &event.fields {
+        args.insert(key.clone(), Value::String(value.clone()));
+    }
+    args.insert("trace_id".to_owned(), Value::from(event.trace_id));
+    args.insert("span_id".to_owned(), Value::from(event.span_id));
+    args.insert("parent_id".to_owned(), Value::from(event.parent_id));
+
+    let mut out = Map::new();
+    out.insert("name".to_owned(), Value::String(event.name.clone()));
+    out.insert("cat".to_owned(), Value::String(event.subsystem.clone()));
+    out.insert("pid".to_owned(), Value::from(EXPORT_PID));
+    out.insert("tid".to_owned(), Value::from(tid));
+    let end_us = event.at.unix_millis().saturating_mul(1_000);
+    match event.duration_nanos {
+        Some(nanos) => {
+            let dur_us = nanos / 1_000;
+            out.insert("ph".to_owned(), Value::String("X".to_owned()));
+            out.insert(
+                "ts".to_owned(),
+                Value::from(end_us.saturating_sub(dur_us as i64)),
+            );
+            out.insert("dur".to_owned(), Value::from(dur_us));
+        }
+        None => {
+            out.insert("ph".to_owned(), Value::String("i".to_owned()));
+            out.insert("ts".to_owned(), Value::from(end_us));
+            out.insert("s".to_owned(), Value::String("g".to_owned()));
+        }
+    }
+    out.insert("args".to_owned(), Value::Object(args));
+    Value::Object(out)
+}
+
+/// Assigns one stable "thread" id per subsystem (in order of first
+/// appearance) and returns the full event list: thread-name metadata
+/// first, then every span/instant.
+fn export_events(events: &[TraceEvent]) -> Vec<Value> {
+    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in events {
+        let next = tids.len() as u64 + 1;
+        tids.entry(event.subsystem.as_str()).or_insert(next);
+    }
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + tids.len());
+    for (subsystem, tid) in &tids {
+        let mut args = Map::new();
+        args.insert("name".to_owned(), Value::String((*subsystem).to_owned()));
+        let mut meta = Map::new();
+        meta.insert("ph".to_owned(), Value::String("M".to_owned()));
+        meta.insert("name".to_owned(), Value::String("thread_name".to_owned()));
+        meta.insert("pid".to_owned(), Value::from(EXPORT_PID));
+        meta.insert("tid".to_owned(), Value::from(*tid));
+        meta.insert("args".to_owned(), Value::Object(args));
+        out.push(Value::Object(meta));
+    }
+    for event in events {
+        let tid = tids[event.subsystem.as_str()];
+        out.push(event_value(event, tid));
+    }
+    out
+}
+
+/// Renders events as one Chrome trace JSON object
+/// (`{"traceEvents": [...]}`), the file format Perfetto opens.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut doc = Map::new();
+    doc.insert(
+        "traceEvents".to_owned(),
+        Value::Array(export_events(events)),
+    );
+    doc.insert("displayTimeUnit".to_owned(), Value::String("ms".to_owned()));
+    serde_json::to_string_pretty(&Value::Object(doc)).unwrap_or_else(|_| "{}".to_owned())
+}
+
+/// Renders events as JSONL — one Chrome trace event object per line,
+/// the streaming-friendly variant of the same format.
+pub fn chrome_trace_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for value in export_events(events) {
+        if let Ok(line) = serde_json::to_string(&value) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let tracer = Tracer::new();
+        {
+            let root = tracer.root("ingress", "feed_poll");
+            let _child = tracer.child(root.context(), "pipeline", "ingest_round");
+        }
+        tracer.event_in("bus", "decode_failure", &[("topic", "t")]);
+        tracer.snapshot()
+    }
+
+    #[test]
+    fn spans_export_as_complete_events_with_causal_args() {
+        let events = sample_events();
+        let json = chrome_trace_json(&events);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let exported = doc["traceEvents"].as_array().unwrap();
+        // 3 subsystems → 3 thread-name metadata events + 3 records.
+        assert_eq!(exported.len(), 6);
+        let complete: Vec<&Value> = exported
+            .iter()
+            .filter(|e| e["ph"] == Value::String("X".to_owned()))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        let child = complete
+            .iter()
+            .find(|e| e["name"] == Value::String("ingest_round".to_owned()))
+            .unwrap();
+        assert_eq!(child["cat"], Value::String("pipeline".to_owned()));
+        assert!(child["args"]["span_id"].as_u64().unwrap() > 0);
+        assert!(child["args"]["parent_id"].as_u64().unwrap() > 0);
+        assert!(child["dur"].as_u64().is_some());
+        assert!(child["ts"].as_i64().is_some());
+    }
+
+    #[test]
+    fn instants_and_thread_names_are_emitted() {
+        let events = sample_events();
+        let json = chrome_trace_json(&events);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let exported = doc["traceEvents"].as_array().unwrap();
+        let instant = exported
+            .iter()
+            .find(|e| e["ph"] == Value::String("i".to_owned()))
+            .unwrap();
+        assert_eq!(instant["name"], Value::String("decode_failure".to_owned()));
+        let metas: Vec<&Value> = exported
+            .iter()
+            .filter(|e| e["ph"] == Value::String("M".to_owned()))
+            .collect();
+        assert_eq!(metas.len(), 3);
+        // Distinct subsystems land on distinct tids.
+        let mut tids: Vec<u64> = metas.iter().map(|m| m["tid"].as_u64().unwrap()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let events = sample_events();
+        let jsonl = chrome_trace_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in lines {
+            let value: Value = serde_json::from_str(line).unwrap();
+            assert!(value["ph"].as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn empty_input_renders_an_empty_trace() {
+        let json = chrome_trace_json(&[]);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc["traceEvents"], Value::Array(Vec::new()));
+    }
+}

@@ -244,6 +244,26 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from the log₂ buckets:
+    /// the upper bound of the first bucket whose cumulative count
+    /// covers the target rank. Conservative (never under-reports) and
+    /// exact to within one power of two, which is what an SLO gauge
+    /// needs. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return Histogram::bucket_bound(index);
+            }
+        }
+        Histogram::bucket_bound(self.buckets.len().saturating_sub(1))
+    }
 }
 
 #[derive(Default)]
@@ -491,6 +511,30 @@ mod tests {
         assert_eq!(snap.buckets[3], 2); // 5 has bit length 3
         assert_eq!(snap.buckets[10], 1); // 1000 has bit length 10
         assert!((snap.mean() - 252.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_estimate_from_cumulative_buckets() {
+        let mut snap = HistogramSnapshot::default();
+        assert_eq!(snap.quantile(0.5), 0, "empty histogram");
+        // 90 fast samples (≤ 7) and 10 slow ones (≤ 1023).
+        for _ in 0..90 {
+            snap.record(5);
+        }
+        for _ in 0..10 {
+            snap.record(1_000);
+        }
+        assert_eq!(snap.quantile(0.5), 7);
+        assert_eq!(snap.quantile(0.9), 7);
+        assert_eq!(snap.quantile(0.95), 1_023);
+        assert_eq!(snap.quantile(0.99), 1_023);
+        assert_eq!(snap.quantile(1.0), 1_023);
+        // Degenerate and clamped inputs stay sane.
+        assert_eq!(snap.quantile(0.0), 7);
+        assert_eq!(snap.quantile(2.0), 1_023);
+        let mut single = HistogramSnapshot::default();
+        single.record(12);
+        assert_eq!(single.quantile(0.5), 15);
     }
 
     #[test]

@@ -7,11 +7,17 @@
 //! strict request/response: the client sends one frame containing a
 //! JSON string command and receives one response frame.
 //!
-//! | command      | response frame                                  |
-//! |--------------|-------------------------------------------------|
-//! | `prometheus` | Prometheus text exposition (UTF-8)              |
-//! | `json`       | the JSON [`Snapshot`](crate::Snapshot)          |
-//! | `trace`      | the buffered `TraceEvent`s as a JSON array      |
+//! | command        | response frame                                     |
+//! |----------------|----------------------------------------------------|
+//! | `prometheus`   | Prometheus text exposition (UTF-8), incl. p50/p95/p99 gauges |
+//! | `json`         | the JSON [`Snapshot`](crate::Snapshot) plus a `percentiles` key |
+//! | `trace`        | the buffered `TraceEvent`s as a JSON array         |
+//! | `trace_chrome` | Chrome `trace_event` JSON (open in Perfetto)       |
+//! | `trace_jsonl`  | Chrome trace events, one JSON object per line      |
+//!
+//! Trace scrapes are **non-destructive** ([`Tracer::snapshot`]): two
+//! concurrent scrapers both see the full ring buffers instead of
+//! stealing spans from each other.
 //!
 //! Unknown commands get a one-frame JSON error object and the
 //! connection stays open, so a curious `nc` probe can't wedge the
@@ -104,13 +110,23 @@ fn serve_client(
             "prometheus" => expose::prometheus_text(&registry.snapshot()).into_bytes(),
             "json" => expose::json_text(&registry.snapshot()).into_bytes(),
             "trace" => {
-                let events = tracer.map(|t| t.events()).unwrap_or_default();
+                // snapshot(), not drain(): scraping must never consume
+                // another scraper's spans.
+                let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
                 serde_json::to_vec(&events)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
             }
+            "trace_chrome" => {
+                let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
+                crate::perfetto::chrome_trace_json(&events).into_bytes()
+            }
+            "trace_jsonl" => {
+                let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
+                crate::perfetto::chrome_trace_jsonl(&events).into_bytes()
+            }
             other => serde_json::to_vec(&serde_json::json!({
                 "error": format!("unknown command {other:?}"),
-                "commands": ["prometheus", "json", "trace"],
+                "commands": ["prometheus", "json", "trace", "trace_chrome", "trace_jsonl"],
             }))
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
         };
@@ -167,6 +183,41 @@ mod tests {
         let events: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "boot");
+    }
+
+    #[test]
+    fn trace_scrapes_are_non_destructive() {
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        drop(tracer.root("pipeline", "round"));
+        let server = TelemetryServer::bind(registry, Some(tracer.clone()), "127.0.0.1:0").unwrap();
+        // Two scrapers in a row both see the span.
+        for _ in 0..2 {
+            let json = scrape(server.local_addr(), "trace").unwrap();
+            let events: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+            assert_eq!(events.len(), 1, "a scrape consumed the buffer");
+        }
+        assert_eq!(tracer.len(), 1);
+    }
+
+    #[test]
+    fn scrape_chrome_trace_formats() {
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        {
+            let root = tracer.root("ingress", "feed_poll");
+            let _child = tracer.child(root.context(), "pipeline", "ingest_round");
+        }
+        let server = TelemetryServer::bind(registry, Some(tracer), "127.0.0.1:0").unwrap();
+        let chrome = scrape(server.local_addr(), "trace_chrome").unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["ph"] == "X"));
+        let jsonl = scrape(server.local_addr(), "trace_jsonl").unwrap();
+        assert!(jsonl.lines().count() >= 2);
+        for line in jsonl.lines() {
+            serde_json::from_str::<serde_json::Value>(line).unwrap();
+        }
     }
 
     #[test]

@@ -1,23 +1,102 @@
-//! A lightweight span/event tracer with a bounded ring-buffer
-//! recorder.
+//! Causal span tracing with per-subsystem bounded ring recorders.
 //!
-//! A [`Tracer`] records two kinds of [`TraceEvent`]: instantaneous
-//! *events* ([`Tracer::event`]) and timed *spans* ([`Tracer::span`],
-//! whose guard records the elapsed nanoseconds when dropped). Both
-//! carry structured `key=value` fields. The recorder is a fixed-size
-//! ring buffer: the platform can trace every ingestion round forever
-//! and memory stays bounded, with the newest events winning.
+//! A [`Tracer`] records [`TraceEvent`]s — instantaneous *events*
+//! ([`Tracer::event`]) and timed *spans* whose guards record elapsed
+//! nanoseconds on drop — into one bounded ring buffer per subsystem
+//! (`ingress`, `pipeline`, `store`, `share`, `taxii`, `bus`, …), so a
+//! chatty subsystem can never evict another subsystem's history.
+//!
+//! Spans are *causal*: every sampled span carries a [`TraceContext`]
+//! (trace id + its own span id), children minted with
+//! [`Tracer::child`] inherit the trace id and point at their parent,
+//! and the resulting parent links reconstruct one tree per request
+//! across every subsystem it touched. Three mechanisms carry a context
+//! across boundaries:
+//!
+//! - **In-process**: pass [`SpanGuard::context`] to [`Tracer::child`].
+//! - **Across async seams** (an event persisted now, exported later):
+//!   [`Tracer::link`] binds a key (an event UUID) to the latest span
+//!   that touched it, and [`Tracer::follow`] continues the chain from
+//!   wherever it left off.
+//! - **Across the wire**: [`TraceContext::header`] converts to the
+//!   16-byte [`cais_common::frame::TraceHeader`] the framed-TCP
+//!   transport carries; [`TraceContext::from_header`] resurrects it on
+//!   the far side. Untagged frames from pre-trace peers simply start a
+//!   fresh root ([`Tracer::child_of`] with `None`).
+//!
+//! Sampling is decided once, at the root ([`Tracer::set_sample_every`]):
+//! an unsampled root hands out an unsampled context, and every
+//! descendant guard becomes a no-op — no allocation, no lock — so
+//! 1-in-N tracing costs close to nothing on the skipped requests.
+//!
+//! Timestamps come from the wall clock by default, or from an injected
+//! [`Clock`](cais_common::resilience::Clock) ([`Tracer::set_clock`]) so
+//! chaos tests can assert exact span trees in virtual time.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use cais_common::frame::TraceHeader;
+use cais_common::resilience::Clock;
 use cais_common::Timestamp;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-/// Default ring-buffer capacity.
+/// Default per-subsystem ring-buffer capacity.
 const DEFAULT_CAPACITY: usize = 1024;
+
+/// Subsystem legacy [`Tracer::span`]/[`Tracer::event`] calls record
+/// into.
+pub const GENERAL_SUBSYSTEM: &str = "general";
+
+/// Bound on the UUID→context link map: the oldest links are forgotten
+/// first, which at worst turns a very old continuation into a fresh
+/// root trace.
+const LINK_CAPACITY: usize = 4096;
+
+/// The causal identity a span hands to its descendants: which trace it
+/// belongs to and which span id children should point at. `Copy`, 17
+/// bytes — cheap to thread through calls and message envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Trace this span belongs to (shared by the whole tree).
+    pub trace_id: u64,
+    /// The span's own id — children record it as their parent.
+    pub span_id: u64,
+    /// Whether the root sampled this trace. Unsampled contexts make
+    /// every descendant guard a no-op.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// The context of an unsampled (or absent) trace.
+    pub const UNSAMPLED: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+        sampled: false,
+    };
+
+    /// The wire header for this context, `None` when unsampled (so
+    /// unsampled traffic stays byte-identical to untagged frames).
+    pub fn header(&self) -> Option<TraceHeader> {
+        self.sampled.then_some(TraceHeader {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+        })
+    }
+
+    /// Resurrects a context from a wire header (always sampled: the
+    /// sender only tags frames for sampled traces).
+    pub fn from_header(header: TraceHeader) -> Self {
+        TraceContext {
+            trace_id: header.trace_id,
+            span_id: header.span_id,
+            sampled: true,
+        }
+    }
+}
 
 /// One recorded span or event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,14 +109,58 @@ pub struct TraceEvent {
     pub duration_nanos: Option<u64>,
     /// Structured `key=value` fields.
     pub fields: Vec<(String, String)>,
+    /// Subsystem ring the event was recorded into (empty in records
+    /// serialized before causal tracing).
+    #[serde(default)]
+    pub subsystem: String,
+    /// Trace the span belongs to; 0 for instantaneous events and
+    /// pre-causal records.
+    #[serde(default)]
+    pub trace_id: u64,
+    /// The span's own id; 0 for instantaneous events.
+    #[serde(default)]
+    pub span_id: u64,
+    /// Parent span id; 0 marks a root.
+    #[serde(default)]
+    pub parent_id: u64,
+    /// Tracer-wide record sequence number (total order across rings).
+    #[serde(default)]
+    pub seq: u64,
 }
 
 struct TracerInner {
-    events: Mutex<VecDeque<TraceEvent>>,
+    rings: Mutex<BTreeMap<String, VecDeque<TraceEvent>>>,
+    links: Mutex<LinkMap>,
+    clock: RwLock<Option<Arc<dyn Clock>>>,
     capacity: usize,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    root_count: AtomicU64,
+    sample_every: AtomicU64,
+    enabled: AtomicBool,
 }
 
-/// A cheaply clonable tracer sharing one bounded recorder.
+#[derive(Default)]
+struct LinkMap {
+    by_key: HashMap<String, TraceContext>,
+    order: VecDeque<String>,
+}
+
+impl LinkMap {
+    fn link(&mut self, key: &str, ctx: TraceContext) {
+        if self.by_key.insert(key.to_owned(), ctx).is_none() {
+            self.order.push_back(key.to_owned());
+            while self.order.len() > LINK_CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.by_key.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// A cheaply clonable causal tracer sharing one set of per-subsystem
+/// bounded recorders.
 ///
 /// # Examples
 ///
@@ -45,14 +168,18 @@ struct TracerInner {
 /// use cais_telemetry::Tracer;
 ///
 /// let tracer = Tracer::new();
-/// {
-///     let mut span = tracer.span("ingest_round");
-///     span.field("records", 128);
-///     // ... work ...
-/// } // duration recorded on drop
-/// let events = tracer.drain();
-/// assert_eq!(events[0].name, "ingest_round");
-/// assert!(events[0].duration_nanos.is_some());
+/// let parent_ctx = {
+///     let mut root = tracer.root("ingress", "feed_poll");
+///     root.field("feed", "osint-a");
+///     let ctx = root.context();
+///     let _child = tracer.child(ctx, "pipeline", "ingest_round");
+///     ctx
+/// }; // durations recorded on drop
+/// let spans = tracer.snapshot();
+/// assert_eq!(spans.len(), 2);
+/// let child = spans.iter().find(|s| s.name == "ingest_round").unwrap();
+/// assert_eq!(child.parent_id, parent_ctx.span_id);
+/// assert_eq!(child.trace_id, parent_ctx.trace_id);
 /// ```
 #[derive(Clone)]
 pub struct Tracer {
@@ -60,72 +187,273 @@ pub struct Tracer {
 }
 
 impl Tracer {
-    /// A tracer with the default (1024-event) capacity.
+    /// A tracer with the default (1024 events per subsystem) capacity.
     pub fn new() -> Self {
         Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// A tracer keeping at most `capacity` events; older events are
-    /// evicted first.
+    /// A tracer keeping at most `capacity` events *per subsystem ring*;
+    /// older events in a ring are evicted first.
     pub fn with_capacity(capacity: usize) -> Self {
         Tracer {
             inner: Arc::new(TracerInner {
-                events: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
+                rings: Mutex::new(BTreeMap::new()),
+                links: Mutex::new(LinkMap::default()),
+                clock: RwLock::new(None),
                 capacity: capacity.max(1),
+                next_id: AtomicU64::new(1),
+                next_seq: AtomicU64::new(1),
+                root_count: AtomicU64::new(0),
+                sample_every: AtomicU64::new(1),
+                enabled: AtomicBool::new(true),
             }),
         }
     }
 
-    /// Starts a timed span; the elapsed time is recorded when the
-    /// returned guard drops.
-    pub fn span(&self, name: &str) -> SpanGuard {
+    /// A tracer that records nothing until [`Tracer::set_enabled`]
+    /// turns it on — for benchmarking the untraced baseline.
+    pub fn disabled() -> Self {
+        let tracer = Tracer::new();
+        tracer.set_enabled(false);
+        tracer
+    }
+
+    /// Turns recording on or off. Disabled tracers hand out unsampled
+    /// guards, so span sites cost a single atomic load.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the tracer is currently recording.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Samples 1 in `n` root spans (children follow their root's
+    /// decision). `0` and `1` both mean "sample everything".
+    pub fn set_sample_every(&self, n: u64) {
+        self.inner.sample_every.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Routes span timestamps through an injected clock (virtual time
+    /// for deterministic chaos assertions). Durations become the
+    /// clock's start→end delta instead of monotonic elapsed time.
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.inner.clock.write() = Some(clock);
+    }
+
+    fn now(&self) -> Timestamp {
+        match self.inner.clock.read().as_ref() {
+            Some(clock) => clock.now(),
+            None => Timestamp::now(),
+        }
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a new root span: mints a fresh trace id, applies the
+    /// sampling decision, and records into `subsystem`'s ring on drop.
+    pub fn root(&self, subsystem: &str, name: &str) -> SpanGuard {
+        if !self.enabled() {
+            return self.noop_guard();
+        }
+        let every = self.inner.sample_every.load(Ordering::Relaxed);
+        let count = self.inner.root_count.fetch_add(1, Ordering::Relaxed);
+        if every > 1 && !count.is_multiple_of(every) {
+            return self.noop_guard();
+        }
+        let ctx = TraceContext {
+            trace_id: self.alloc_id(),
+            span_id: self.alloc_id(),
+            sampled: true,
+        };
+        self.guard(subsystem, name, ctx, 0)
+    }
+
+    /// Starts a child span inside `parent`'s trace. Unsampled parents
+    /// yield a no-op guard.
+    pub fn child(&self, parent: TraceContext, subsystem: &str, name: &str) -> SpanGuard {
+        if !self.enabled() || !parent.sampled {
+            return self.noop_guard();
+        }
+        let ctx = TraceContext {
+            trace_id: parent.trace_id,
+            span_id: self.alloc_id(),
+            sampled: true,
+        };
+        self.guard(subsystem, name, ctx, parent.span_id)
+    }
+
+    /// [`Tracer::child`] when a parent is present, [`Tracer::root`]
+    /// otherwise — the shape every ingress that *may* have an upstream
+    /// context (a tagged frame, a bus envelope) wants.
+    pub fn child_of(&self, parent: Option<TraceContext>, subsystem: &str, name: &str) -> SpanGuard {
+        match parent {
+            Some(parent) => self.child(parent, subsystem, name),
+            None => self.root(subsystem, name),
+        }
+    }
+
+    /// Continues the causal chain bound to `key` (see
+    /// [`Tracer::link`]): the new span becomes a child of the last span
+    /// linked to the key — or a root if none — and takes the key over,
+    /// so the next `follow` continues from *this* span.
+    pub fn follow(&self, key: &str, subsystem: &str, name: &str) -> SpanGuard {
+        let guard = self.child_of(self.linked(key), subsystem, name);
+        if guard.ctx.sampled {
+            self.link(key, guard.ctx);
+        }
+        guard
+    }
+
+    /// Binds `key` (typically an event UUID) to a context so a later
+    /// span in another subsystem can continue the trace. Unsampled
+    /// contexts are ignored. The map is bounded; the oldest keys are
+    /// forgotten first.
+    pub fn link(&self, key: &str, ctx: TraceContext) {
+        if !ctx.sampled {
+            return;
+        }
+        self.inner.links.lock().link(key, ctx);
+    }
+
+    /// The context last linked to `key`, if it is still remembered.
+    pub fn linked(&self, key: &str) -> Option<TraceContext> {
+        self.inner.links.lock().by_key.get(key).copied()
+    }
+
+    fn guard(&self, subsystem: &str, name: &str, ctx: TraceContext, parent_id: u64) -> SpanGuard {
         SpanGuard {
             tracer: self.clone(),
             name: name.to_owned(),
+            subsystem: subsystem.to_owned(),
+            ctx,
+            parent_id,
             started: Instant::now(),
+            started_at: self.now(),
             fields: Vec::new(),
         }
     }
 
-    /// Records an instantaneous event.
+    fn noop_guard(&self) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            name: String::new(),
+            subsystem: String::new(),
+            ctx: TraceContext::UNSAMPLED,
+            parent_id: 0,
+            started: Instant::now(),
+            started_at: Timestamp::EPOCH,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Starts a timed root span in the [`GENERAL_SUBSYSTEM`] ring (the
+    /// pre-causal API, kept for compatibility).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.root(GENERAL_SUBSYSTEM, name)
+    }
+
+    /// Records an instantaneous event in the [`GENERAL_SUBSYSTEM`]
+    /// ring.
     pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        self.event_in(GENERAL_SUBSYSTEM, name, fields);
+    }
+
+    /// Records an instantaneous event in `subsystem`'s ring.
+    pub fn event_in(&self, subsystem: &str, name: &str, fields: &[(&str, &str)]) {
+        if !self.enabled() {
+            return;
+        }
+        let at = self.now();
         self.push(TraceEvent {
             name: name.to_owned(),
-            at: Timestamp::now(),
+            at,
             duration_nanos: None,
             fields: fields
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
                 .collect(),
+            subsystem: subsystem.to_owned(),
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+            seq: 0,
         });
     }
 
-    fn push(&self, event: TraceEvent) {
-        let mut events = self.inner.events.lock();
-        while events.len() >= self.inner.capacity {
-            events.pop_front();
+    fn push(&self, mut event: TraceEvent) {
+        event.seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut rings = self.inner.rings.lock();
+        let ring = rings.entry(event.subsystem.clone()).or_default();
+        while ring.len() >= self.inner.capacity {
+            ring.pop_front();
         }
-        events.push_back(event);
+        ring.push_back(event);
     }
 
-    /// Number of buffered events.
+    /// Number of buffered events across all subsystem rings.
     pub fn len(&self) -> usize {
-        self.inner.events.lock().len()
+        self.inner.rings.lock().values().map(VecDeque::len).sum()
     }
 
-    /// Whether the buffer is empty.
+    /// Whether every ring is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The subsystems that have recorded at least one event.
+    pub fn subsystems(&self) -> Vec<String> {
+        self.inner.rings.lock().keys().cloned().collect()
+    }
+
+    /// Non-destructive copy of every buffered event, in record order
+    /// (by sequence number) across all rings. Two concurrent scrapers
+    /// both see the full buffer.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let rings = self.inner.rings.lock();
+        let mut events: Vec<TraceEvent> = rings.values().flatten().cloned().collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Non-destructive copy of one subsystem's ring, oldest first.
+    pub fn snapshot_subsystem(&self, subsystem: &str) -> Vec<TraceEvent> {
+        self.inner
+            .rings
+            .lock()
+            .get(subsystem)
+            .map(|ring| ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The last `n` events of every subsystem ring — the flight
+    /// recorder's dump shape.
+    pub fn tail(&self, n: usize) -> BTreeMap<String, Vec<TraceEvent>> {
+        let rings = self.inner.rings.lock();
+        rings
+            .iter()
+            .map(|(subsystem, ring)| {
+                let skip = ring.len().saturating_sub(n);
+                (subsystem.clone(), ring.iter().skip(skip).cloned().collect())
+            })
+            .collect()
+    }
+
     /// Copies the buffered events, oldest first, without clearing.
+    /// Alias of [`Tracer::snapshot`], kept for compatibility.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.events.lock().iter().cloned().collect()
+        self.snapshot()
     }
 
     /// Removes and returns the buffered events, oldest first.
     pub fn drain(&self) -> Vec<TraceEvent> {
-        self.inner.events.lock().drain(..).collect()
+        let mut rings = self.inner.rings.lock();
+        let mut events: Vec<TraceEvent> = rings.values_mut().flat_map(|r| r.drain(..)).collect();
+        events.sort_by_key(|e| e.seq);
+        events
     }
 }
 
@@ -140,32 +468,72 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("buffered", &self.len())
             .field("capacity", &self.inner.capacity)
+            .field("enabled", &self.enabled())
             .finish()
     }
 }
 
-/// A live span; records its duration into the tracer on drop.
+/// A live span; records its duration into the tracer on drop. Guards
+/// from unsampled traces skip recording entirely.
 pub struct SpanGuard {
     tracer: Tracer,
     name: String,
+    subsystem: String,
+    ctx: TraceContext,
+    parent_id: u64,
     started: Instant,
+    started_at: Timestamp,
     fields: Vec<(String, String)>,
 }
 
 impl SpanGuard {
-    /// Attaches a `key=value` field to the span.
+    /// The span's causal context, for minting children or tagging
+    /// message envelopes and frames.
+    pub fn context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    /// Whether this guard will record (its trace was sampled).
+    pub fn sampled(&self) -> bool {
+        self.ctx.sampled
+    }
+
+    /// Attaches a `key=value` field to the span (no-op when
+    /// unsampled).
     pub fn field(&mut self, key: &str, value: impl std::fmt::Display) {
-        self.fields.push((key.to_owned(), value.to_string()));
+        if self.ctx.sampled {
+            self.fields.push((key.to_owned(), value.to_string()));
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if !self.ctx.sampled {
+            return;
+        }
+        let at = self.tracer.now();
+        // With an injected clock the monotonic elapsed time is
+        // meaningless; the clock's own delta is the duration.
+        let injected = self.tracer.inner.clock.read().is_some();
+        let duration_nanos = if injected {
+            let delta_millis = at
+                .unix_millis()
+                .saturating_sub(self.started_at.unix_millis());
+            (delta_millis.max(0) as u64).saturating_mul(1_000_000)
+        } else {
+            self.started.elapsed().as_nanos() as u64
+        };
         self.tracer.push(TraceEvent {
             name: std::mem::take(&mut self.name),
-            at: Timestamp::now(),
-            duration_nanos: Some(self.started.elapsed().as_nanos() as u64),
+            at,
+            duration_nanos: Some(duration_nanos),
             fields: std::mem::take(&mut self.fields),
+            subsystem: std::mem::take(&mut self.subsystem),
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_id: self.parent_id,
+            seq: 0,
         });
     }
 }
@@ -174,6 +542,10 @@ impl std::fmt::Debug for SpanGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpanGuard")
             .field("name", &self.name)
+            .field("subsystem", &self.subsystem)
+            .field("trace_id", &self.ctx.trace_id)
+            .field("span_id", &self.ctx.span_id)
+            .field("parent_id", &self.parent_id)
             .finish()
     }
 }
@@ -181,6 +553,8 @@ impl std::fmt::Debug for SpanGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cais_common::resilience::VirtualClock;
+    use std::time::Duration;
 
     #[test]
     fn span_records_duration_and_fields() {
@@ -194,6 +568,7 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "work");
         assert!(events[0].duration_nanos.is_some());
+        assert_eq!(events[0].subsystem, GENERAL_SUBSYSTEM);
         assert_eq!(
             events[0].fields,
             vec![
@@ -216,13 +591,24 @@ mod tests {
     }
 
     #[test]
-    fn ring_buffer_evicts_oldest() {
+    fn ring_buffer_evicts_oldest_per_subsystem() {
         let tracer = Tracer::with_capacity(3);
         for i in 0..5 {
             tracer.event(&format!("e{i}"), &[]);
         }
-        let names: Vec<_> = tracer.events().into_iter().map(|e| e.name).collect();
+        // A second subsystem's ring is unaffected by the first's churn.
+        tracer.event_in("bus", "publish", &[]);
+        let names: Vec<_> = tracer
+            .snapshot_subsystem(GENERAL_SUBSYSTEM)
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["e2", "e3", "e4"]);
+        assert_eq!(tracer.snapshot_subsystem("bus").len(), 1);
+        assert_eq!(
+            tracer.subsystems(),
+            vec!["bus".to_owned(), GENERAL_SUBSYSTEM.to_owned()]
+        );
     }
 
     #[test]
@@ -236,9 +622,158 @@ mod tests {
     fn trace_event_serde_roundtrip() {
         let tracer = Tracer::new();
         tracer.event("e", &[("k", "v")]);
+        let _root = tracer.root("pipeline", "round");
+        drop(_root);
         let events = tracer.events();
         let json = serde_json::to_string(&events).unwrap();
         let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn pre_causal_records_deserialize_with_defaults() {
+        let json = r#"[{"name":"old","at":"2026-01-01T00:00:00.000Z",
+                        "duration_nanos":null,"fields":[]}]"#;
+        let back: Vec<TraceEvent> = serde_json::from_str(json).unwrap();
+        assert_eq!(back[0].trace_id, 0);
+        assert_eq!(back[0].parent_id, 0);
+        assert!(back[0].subsystem.is_empty());
+    }
+
+    #[test]
+    fn children_inherit_trace_and_point_at_parent() {
+        let tracer = Tracer::new();
+        let root_ctx;
+        let child_ctx;
+        {
+            let root = tracer.root("ingress", "feed_poll");
+            root_ctx = root.context();
+            let child = tracer.child(root_ctx, "pipeline", "ingest_round");
+            child_ctx = child.context();
+            let _grandchild = tracer.child(child.context(), "store", "insert");
+        }
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 3);
+        for span in &spans {
+            assert_eq!(span.trace_id, root_ctx.trace_id);
+        }
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("feed_poll").parent_id, 0);
+        assert_eq!(by_name("ingest_round").parent_id, root_ctx.span_id);
+        assert_eq!(by_name("insert").parent_id, child_ctx.span_id);
+        // Distinct traces get distinct ids.
+        let other = tracer.root("ingress", "feed_poll");
+        assert_ne!(other.context().trace_id, root_ctx.trace_id);
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive_and_ordered() {
+        let tracer = Tracer::new();
+        drop(tracer.root("a", "first"));
+        drop(tracer.root("b", "second"));
+        drop(tracer.root("a", "third"));
+        let first = tracer.snapshot();
+        let second = tracer.snapshot();
+        assert_eq!(first, second, "two scrapers must see the same buffer");
+        let names: Vec<_> = first.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.drain().len(), 3);
+        assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n_roots_and_drops_their_children() {
+        let tracer = Tracer::new();
+        tracer.set_sample_every(4);
+        let mut sampled = 0;
+        for _ in 0..16 {
+            let root = tracer.root("ingress", "poll");
+            if root.sampled() {
+                sampled += 1;
+            }
+            let child = tracer.child(root.context(), "pipeline", "round");
+            assert_eq!(child.sampled(), root.sampled());
+        }
+        assert_eq!(sampled, 4);
+        // Only sampled guards recorded anything: 4 roots + 4 children.
+        assert_eq!(tracer.snapshot().len(), 8);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        drop(tracer.root("ingress", "poll"));
+        tracer.event("e", &[]);
+        assert!(tracer.is_empty());
+        tracer.set_enabled(true);
+        drop(tracer.root("ingress", "poll"));
+        assert_eq!(tracer.len(), 1);
+    }
+
+    #[test]
+    fn follow_chains_spans_across_subsystems() {
+        let tracer = Tracer::new();
+        let uuid = "11111111-2222-3333-4444-555555555555";
+        let store_span_id;
+        {
+            let store = tracer.follow(uuid, "store", "insert");
+            store_span_id = store.context().span_id;
+        }
+        let share_span_id;
+        {
+            let share = tracer.follow(uuid, "share", "cache_fill");
+            share_span_id = share.context().span_id;
+        }
+        {
+            let _taxii = tracer.follow(uuid, "taxii", "get_objects");
+        }
+        let spans = tracer.snapshot();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("insert").parent_id, 0);
+        assert_eq!(by_name("cache_fill").parent_id, store_span_id);
+        assert_eq!(by_name("get_objects").parent_id, share_span_id);
+        let trace = by_name("insert").trace_id;
+        assert!(spans.iter().all(|s| s.trace_id == trace));
+    }
+
+    #[test]
+    fn context_roundtrips_through_the_frame_header() {
+        let tracer = Tracer::new();
+        let root = tracer.root("bus", "publish");
+        let header = root.context().header().expect("sampled");
+        let back = TraceContext::from_header(header);
+        assert_eq!(back.trace_id, root.context().trace_id);
+        assert_eq!(back.span_id, root.context().span_id);
+        assert!(back.sampled);
+        // Unsampled contexts produce no header at all.
+        assert_eq!(TraceContext::UNSAMPLED.header(), None);
+    }
+
+    #[test]
+    fn injected_clock_drives_timestamps_and_durations() {
+        let clock = VirtualClock::starting_at(Timestamp::from_unix_secs(1_000));
+        let tracer = Tracer::new();
+        tracer.set_clock(Arc::new(clock.clone()));
+        {
+            let _span = tracer.root("decay", "sweep");
+            clock.advance(Duration::from_millis(250));
+        }
+        let spans = tracer.snapshot();
+        assert_eq!(spans[0].at, Timestamp::from_unix_millis(1_000_250));
+        assert_eq!(spans[0].duration_nanos, Some(250_000_000));
+    }
+
+    #[test]
+    fn tail_returns_last_n_per_subsystem() {
+        let tracer = Tracer::new();
+        for i in 0..5 {
+            tracer.event_in("pipeline", &format!("p{i}"), &[]);
+        }
+        tracer.event_in("bus", "b0", &[]);
+        let tail = tracer.tail(2);
+        let names: Vec<_> = tail["pipeline"].iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["p3", "p4"]);
+        assert_eq!(tail["bus"].len(), 1);
     }
 }

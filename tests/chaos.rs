@@ -283,3 +283,87 @@ fn dead_peer_breaker_transitions_surface_in_telemetry() {
     assert!(counters["taxii_retries_total"] >= 2, "seed {seed}");
     assert_eq!(client.breaker_transitions().opened, 1, "seed {seed}");
 }
+
+/// A dead feed tripping its circuit breaker fires the flight recorder:
+/// exactly one `breaker_trip` dump, naming the failing feed and
+/// carrying the ingress spans of the rounds that led to the trip.
+#[test]
+fn breaker_trip_dumps_the_flight_recorder() {
+    use cais::core::Platform;
+    use cais::feeds::{FeedFormat, FlakySource, MemorySource, ResilienceConfig, ResilientSource};
+    use cais::telemetry::FlightRecorder;
+
+    let seed = chaos_seed();
+    let dir = std::env::temp_dir().join(format!("cais-chaos-flight-{seed}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut platform = Platform::paper_use_case();
+    let recorder = FlightRecorder::new(platform.tracer().clone(), &dir);
+    platform.set_flight_recorder(&recorder);
+
+    // One healthy feed and one that fails every fetch on the seeded
+    // schedule; the default breaker trips after three failed rounds.
+    let plan = FaultPlan::new(seed).always("feeds.dead", FaultKind::Error);
+    let healthy = MemorySource::new(
+        "healthy",
+        FeedFormat::Csv,
+        cais::feeds::ThreatCategory::CommandAndControl,
+        "value,date\nalpha.evil.example,2018-06-01T00:00:00Z\n",
+    );
+    let dead = MemorySource::new(
+        "dead-feed",
+        FeedFormat::Csv,
+        cais::feeds::ThreatCategory::CommandAndControl,
+        "value,date\nnever-seen.evil.example,2018-06-01T00:00:00Z\n",
+    );
+    let config = ResilienceConfig::default();
+    let mut sources = vec![
+        ResilientSource::new(Box::new(healthy), &config, seed),
+        ResilientSource::new(
+            Box::new(FlakySource::scripted(dead, plan, "feeds.dead")),
+            &config,
+            seed,
+        ),
+    ];
+
+    let mut rounds = 0;
+    while recorder.dumps() == 0 {
+        platform.ingest_from_sources(&mut sources, 1).unwrap();
+        rounds += 1;
+        assert!(rounds < 10, "seed {seed}: breaker never tripped");
+    }
+    assert!(sources[1].is_quarantined(), "seed {seed}");
+    assert_eq!(recorder.dumps(), 1, "seed {seed}: one trip, one dump");
+
+    // The dump path is deterministic (sequence-numbered, not
+    // timestamped) and the document names the failing feed.
+    let path = dir.join("flight-0000-breaker_trip.json");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("dump written"))
+            .expect("dump is JSON");
+    assert_eq!(doc["reason"].as_str(), Some("breaker_trip"), "seed {seed}");
+    assert_eq!(doc["detail"].as_str(), Some("dead-feed"), "seed {seed}");
+    let ingress = doc["subsystems"]["ingress"]
+        .as_array()
+        .expect("ingress ring dumped");
+    assert_eq!(
+        ingress.len(),
+        rounds - 1,
+        "seed {seed}: the trip fires mid-poll, before the round's own span records"
+    );
+    for span in ingress {
+        assert_eq!(span["name"].as_str(), Some("feed_poll"), "seed {seed}");
+    }
+    // The healthy feed's pipeline activity is captured alongside.
+    assert!(
+        doc["subsystems"]["pipeline"]
+            .as_array()
+            .is_some_and(|spans| !spans.is_empty()),
+        "seed {seed}"
+    );
+
+    // Further quarantined rounds deny without re-tripping: no new dump.
+    platform.ingest_from_sources(&mut sources, 1).unwrap();
+    assert_eq!(recorder.dumps(), 1, "seed {seed}");
+    std::fs::remove_dir_all(&dir).ok();
+}

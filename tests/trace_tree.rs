@@ -1,0 +1,157 @@
+//! Causal-tracing acceptance: a single TAXII pull of a feed-ingested
+//! event yields **one connected span tree** — ingress → pipeline →
+//! store → share → taxii — verified by walking parent ids over the
+//! Perfetto (Chrome `trace_event`) export.
+
+use cais::core::Platform;
+use cais::feeds::{FeedFormat, MemorySource, ResilienceConfig, ResilientSource, ThreatCategory};
+use cais::taxii::{Collection, TaxiiClient, TaxiiServer};
+use cais::telemetry::chrome_trace_json;
+
+/// One C2 feed with a domain the paper context's sightings know.
+fn feed_source() -> MemorySource {
+    MemorySource::new(
+        "osint-c2",
+        FeedFormat::Csv,
+        ThreatCategory::CommandAndControl,
+        "value,date\nalpha.evil.example,2018-06-01T00:00:00Z\n",
+    )
+}
+
+#[test]
+fn taxii_pull_of_an_ingested_event_is_one_connected_span_tree() {
+    let mut platform = Platform::paper_use_case();
+    let tracer = platform.tracer().clone();
+
+    // Ingress: poll the feed through the resilient-source path, which
+    // roots the trace, and run the full pipeline beneath it.
+    let mut sources = vec![ResilientSource::new(
+        Box::new(feed_source()),
+        &ResilienceConfig::default(),
+        7,
+    )];
+    let outcome = platform.ingest_from_sources(&mut sources, 1).unwrap();
+    assert_eq!(outcome.delivered, 1);
+    assert!(outcome.report.eiocs > 0);
+
+    // Share: serialize the stored event through the export cache; the
+    // share seam chains its span onto the event's trace link.
+    let store = platform.misp().store();
+    let event_id = 1;
+    let bytes = platform
+        .misp()
+        .share()
+        .export_event_bytes(store, event_id, "misp-json")
+        .unwrap()
+        .expect("misp-json is a builtin format");
+    let doc: serde_json::Value = serde_json::from_slice(&bytes).unwrap();
+    let object = doc.get("Event").cloned().unwrap();
+    let uuid = object.get("uuid").and_then(|v| v.as_str()).unwrap();
+    assert!(!uuid.is_empty());
+
+    // TAXII: a sharing point on the same tracer serves the exported
+    // event to a legacy (untraced) client.
+    let mut server = TaxiiServer::new("trace point");
+    let collection = server.add_collection(Collection::new("iocs", "traced intel"));
+    server.set_tracer(&tracer);
+    let addr = server.serve("127.0.0.1:0").unwrap();
+    let client = TaxiiClient::connect(addr).unwrap();
+    client.add_objects(&collection, vec![object]).unwrap();
+    let envelope = client.objects(&collection, None).unwrap();
+    assert_eq!(envelope.objects.len(), 1);
+
+    // Walk the Perfetto export (not the in-memory rings): every event
+    // carries trace_id/span_id/parent_id in its args.
+    let exported = chrome_trace_json(&tracer.snapshot());
+    let trace: serde_json::Value = serde_json::from_str(&exported).unwrap();
+    let events = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("chrome trace wraps traceEvents");
+    let spans: Vec<(&str, &str, u64, u64, u64)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .map(|e| {
+            let args = e.get("args").unwrap();
+            (
+                e.get("name").and_then(|v| v.as_str()).unwrap(),
+                e.get("cat").and_then(|v| v.as_str()).unwrap(),
+                args.get("trace_id").and_then(|v| v.as_u64()).unwrap(),
+                args.get("span_id").and_then(|v| v.as_u64()).unwrap(),
+                args.get("parent_id").and_then(|v| v.as_u64()).unwrap(),
+            )
+        })
+        .collect();
+
+    let (_, _, root_trace, root_span, root_parent) = *spans
+        .iter()
+        .find(|(name, cat, ..)| *name == "feed_poll" && *cat == "ingress")
+        .expect("the feed poll rooted an ingress span");
+    assert_eq!(root_parent, 0, "the ingress span is the trace root");
+
+    // The pull's taxii span belongs to the same trace…
+    let (_, _, taxii_trace, _, taxii_parent) = *spans
+        .iter()
+        .find(|(name, cat, ..)| *name == "taxii_get_objects" && *cat == "taxii")
+        .expect("the pull recorded a taxii span");
+    assert_eq!(taxii_trace, root_trace, "the pull joined the ingress trace");
+
+    // …and walking parent ids from it reaches the ingress root through
+    // the share, store and pipeline layers: one connected tree.
+    let mut visited = Vec::new();
+    let mut cursor = taxii_parent;
+    while cursor != 0 {
+        let (_, cat, trace_id, span_id, parent_id) = *spans
+            .iter()
+            .find(|(.., span_id, _)| *span_id == cursor)
+            .expect("parent id resolves inside the export");
+        assert_eq!(trace_id, root_trace);
+        visited.push(cat);
+        if span_id == root_span {
+            break;
+        }
+        cursor = parent_id;
+    }
+    for layer in ["share", "store", "pipeline", "ingress"] {
+        assert!(
+            visited.contains(&layer),
+            "walk {visited:?} misses the {layer} layer"
+        );
+    }
+    assert_eq!(*visited.last().unwrap(), "ingress", "walk ends at the root");
+}
+
+/// Every span of the ingest trace is reachable from the ingress root —
+/// the tree has no orphans pointing at missing parents.
+#[test]
+fn ingest_trace_has_no_orphan_spans() {
+    let mut platform = Platform::paper_use_case();
+    let mut sources = vec![ResilientSource::new(
+        Box::new(feed_source()),
+        &ResilienceConfig::default(),
+        7,
+    )];
+    platform.ingest_from_sources(&mut sources, 1).unwrap();
+
+    let spans = platform.tracer().snapshot();
+    let root = spans
+        .iter()
+        .find(|s| s.subsystem == "ingress")
+        .expect("ingress root");
+    let in_trace: Vec<_> = spans
+        .iter()
+        .filter(|s| s.trace_id == root.trace_id)
+        .collect();
+    assert!(in_trace.len() >= 3, "expected a multi-layer trace");
+    for span in &in_trace {
+        if span.span_id == root.span_id {
+            continue;
+        }
+        assert!(
+            in_trace.iter().any(|p| p.span_id == span.parent_id),
+            "span {} ({}) has no recorded parent",
+            span.name,
+            span.subsystem
+        );
+    }
+}
