@@ -103,6 +103,7 @@ pub fn headline(doc: &Value) -> Option<(String, f64)> {
         "reduce_json" | "decay_json" => doc.get("speedup")?.as_f64()?,
         "share_json" => doc.get("warm")?.get("speedup_vs_naive")?.as_f64()?,
         "trace_json" => doc.get("traced")?.get("records_per_sec")?.as_f64()?,
+        "serve_json" => doc.get("multiplexed")?.get("polls_per_sec")?.as_f64()?,
         _ => return None,
     };
     Some((benchmark, value))
@@ -181,6 +182,11 @@ mod tests {
             headline(&json!({"benchmark": "trace_json",
                              "traced": {"records_per_sec": 38_000.0}})),
             Some(("trace_json".to_owned(), 38_000.0))
+        );
+        assert_eq!(
+            headline(&json!({"benchmark": "serve_json",
+                             "multiplexed": {"polls_per_sec": 52_000.0}})),
+            Some(("serve_json".to_owned(), 52_000.0))
         );
         assert_eq!(headline(&json!({"benchmark": "mystery"})), None);
         assert_eq!(headline(&json!({"speedup": 3.0})), None);

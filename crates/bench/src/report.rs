@@ -780,6 +780,119 @@ pub fn trace_bench_doc(m: &TraceBenchMeasurement) -> serde_json::Value {
     })
 }
 
+/// Aggregate pull-throughput multiple the multiplexed core must hold
+/// over the thread-per-connection baseline.
+pub const SERVE_BAR_MIN_SPEEDUP: f64 = 5.0;
+
+/// Concurrency the [`SERVE_BAR_MIN_SPEEDUP`] bar is defined at: below
+/// this the baseline is not in its thrash regime and the comparison
+/// measures thread spawn cost, not scheduling collapse.
+pub const SERVE_BAR_MIN_CONNECTIONS: usize = 1_000;
+
+/// Measured inputs for [`serve_bench_doc`], produced by the `loadgen`
+/// binary: a poll-churn pull workload (connect → pull → close, the
+/// HTTP-polling shape real TAXII consumers have) driven at
+/// `connections` concurrent connections against the thread-per-
+/// connection baseline and the multiplexed core, plus a high-scale
+/// mixed ingest/pull/scrape run against the core alone.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchMeasurement {
+    /// Concurrent connections during the baseline-vs-core comparison.
+    pub connections: usize,
+    /// Completed pull polls per side of the comparison.
+    pub polls: usize,
+    /// Wall time for the thread-per-connection baseline to serve all
+    /// polls.
+    pub baseline_nanos: u64,
+    /// Wall time for the multiplexed core to serve the same polls.
+    pub multiplexed_nanos: u64,
+    /// Client-observed p50 request→response latency on the core, from
+    /// the log₂ histograms.
+    pub p50_nanos: u64,
+    /// Client-observed p95 latency on the core.
+    pub p95_nanos: u64,
+    /// Client-observed p99 latency on the core.
+    pub p99_nanos: u64,
+    /// Concurrent connections of the high-scale mixed run.
+    pub high_scale_connections: usize,
+    /// Responses the high-scale run expected (one per connection).
+    pub high_scale_expected: u64,
+    /// Responses the high-scale run actually received.
+    pub high_scale_responses: u64,
+    /// Wall time of the high-scale run.
+    pub high_scale_nanos: u64,
+}
+
+impl ServeBenchMeasurement {
+    /// Polls served per second by the thread-per-connection baseline.
+    pub fn baseline_polls_per_sec(&self) -> f64 {
+        self.polls as f64 / (self.baseline_nanos as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+
+    /// Polls served per second by the multiplexed core — the headline
+    /// [`crate::compare`] guards.
+    pub fn multiplexed_polls_per_sec(&self) -> f64 {
+        self.polls as f64 / (self.multiplexed_nanos as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+
+    /// Aggregate pull-throughput multiple of the core over the
+    /// baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_nanos as f64 / (self.multiplexed_nanos as f64).max(1.0)
+    }
+
+    /// Responses the high-scale run failed to receive.
+    pub fn high_scale_dropped(&self) -> u64 {
+        self.high_scale_expected
+            .saturating_sub(self.high_scale_responses)
+    }
+}
+
+/// The committed `BENCH_serve.json` schema: the comparison workload,
+/// both sides' throughput, the core's client-observed latency
+/// percentiles, the high-scale zero-drop run, and the bars the run is
+/// held to (≥5× pull throughput at ≥1k connections; zero dropped
+/// responses at high scale). CI uploads this as an artifact next to the
+/// other `BENCH_*.json` files.
+pub fn serve_bench_doc(m: &ServeBenchMeasurement) -> serde_json::Value {
+    serde_json::json!({
+        "benchmark": "serve_json",
+        "workload": {
+            "connections": m.connections,
+            "polls": m.polls,
+            "scenario": "poll-churn pull (connect, pull, close)",
+        },
+        "baseline": {
+            "wall_nanos": m.baseline_nanos,
+            "polls_per_sec": m.baseline_polls_per_sec(),
+        },
+        "multiplexed": {
+            "wall_nanos": m.multiplexed_nanos,
+            "polls_per_sec": m.multiplexed_polls_per_sec(),
+            "latency": {
+                "p50_nanos": m.p50_nanos,
+                "p95_nanos": m.p95_nanos,
+                "p99_nanos": m.p99_nanos,
+            },
+        },
+        "speedup": m.speedup(),
+        "high_scale": {
+            "connections": m.high_scale_connections,
+            "expected_responses": m.high_scale_expected,
+            "responses": m.high_scale_responses,
+            "dropped": m.high_scale_dropped(),
+            "wall_nanos": m.high_scale_nanos,
+        },
+        "bar": {
+            "min_speedup": SERVE_BAR_MIN_SPEEDUP,
+            "min_connections": SERVE_BAR_MIN_CONNECTIONS,
+            "at_bar_scale": m.connections >= SERVE_BAR_MIN_CONNECTIONS,
+            "within": m.speedup() >= SERVE_BAR_MIN_SPEEDUP,
+            "zero_dropped": m.high_scale_dropped() == 0,
+        },
+    })
+}
+
 /// Every section in order.
 pub fn full_report() -> String {
     [
@@ -893,6 +1006,42 @@ mod tests {
         // 800 ms full vs 80 ms incremental → 10×.
         assert!((doc["speedup"].as_f64().unwrap() - 10.0).abs() < 1e-9);
         assert!(doc["incremental"]["events_per_sec"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn serve_bench_doc_schema() {
+        let m = ServeBenchMeasurement {
+            connections: 1_000,
+            polls: 5_000,
+            baseline_nanos: 10_000_000_000,
+            multiplexed_nanos: 1_000_000_000,
+            p50_nanos: 200_000,
+            p95_nanos: 900_000,
+            p99_nanos: 2_000_000,
+            high_scale_connections: 10_000,
+            high_scale_expected: 10_000,
+            high_scale_responses: 10_000,
+            high_scale_nanos: 4_000_000_000,
+        };
+        let doc = serve_bench_doc(&m);
+        assert_eq!(doc["benchmark"], "serve_json");
+        assert_eq!(doc["workload"]["connections"], 1_000);
+        // 10 s baseline vs 1 s multiplexed → 10×, clearing the 5× bar.
+        assert!((doc["speedup"].as_f64().unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(doc["bar"]["within"], true);
+        assert_eq!(doc["bar"]["zero_dropped"], true);
+        assert_eq!(doc["high_scale"]["dropped"], 0);
+        assert!(doc["multiplexed"]["polls_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(doc["multiplexed"]["latency"]["p99_nanos"].as_u64().unwrap() > 0);
+
+        // A lossy high-scale run fails the zero-drop bar.
+        let lossy = ServeBenchMeasurement {
+            high_scale_responses: 9_999,
+            ..m
+        };
+        let doc = serve_bench_doc(&lossy);
+        assert_eq!(doc["bar"]["zero_dropped"], false);
+        assert_eq!(doc["high_scale"]["dropped"], 1);
     }
 
     #[test]

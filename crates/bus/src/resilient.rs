@@ -17,7 +17,7 @@ use cais_common::resilience::{site_hash, RetryPolicy, Sleeper};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::tcp::{BusClient, RecvStep};
+use crate::tcp::{BusClient, RecvStep, DEFAULT_IO_TIMEOUT};
 use crate::Message;
 
 impl BusClient {
@@ -57,6 +57,7 @@ pub struct ReconnectingBusClient {
     policy: RetryPolicy,
     rng: StdRng,
     client: Option<BusClient>,
+    io_timeout: Option<Duration>,
     was_connected: bool,
     reconnects: u64,
     connect_retries: u64,
@@ -79,10 +80,22 @@ impl ReconnectingBusClient {
             policy,
             rng,
             client: None,
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
             was_connected: false,
             reconnects: 0,
             connect_retries: 0,
         }
+    }
+
+    /// Overrides the socket write/handshake timeout applied to every
+    /// (re)connect — see [`BusClient::connect_with_timeout`]. Defaults
+    /// to [`DEFAULT_IO_TIMEOUT`]; `None` restores the pre-timeout
+    /// blocking writes. A half-dead peer then burns one timeout per
+    /// retry-ladder rung instead of hanging the sync thread forever.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
     }
 
     /// Times the connection was re-established after a drop (the
@@ -105,8 +118,9 @@ impl ReconnectingBusClient {
         if self.client.is_none() {
             let addr = self.addr;
             let pattern = self.pattern.as_str();
+            let io_timeout = self.io_timeout;
             let outcome = self.policy.run(&mut self.rng, sleeper, |_| {
-                BusClient::connect(addr, pattern)
+                BusClient::connect_with_timeout(addr, pattern, io_timeout)
             });
             self.connect_retries += u64::from(outcome.retries);
             if outcome.interrupted {
@@ -232,6 +246,34 @@ mod tests {
             client.reconnects()
         );
         assert!(client.is_connected());
+    }
+
+    #[test]
+    fn silent_peer_times_out_each_handshake_instead_of_hanging() {
+        // A listener that accepts and never acks: every rung of the
+        // retry ladder must fail on the configured handshake timeout,
+        // so the whole receive returns within the budget rather than
+        // pinning the sync thread on a dead socket.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming() {
+                held.push(stream); // accept, hold open, never reply
+            }
+        });
+        let mut client = ReconnectingBusClient::new(addr, "#", RetryPolicy::fast(2), 42)
+            .with_io_timeout(Some(Duration::from_millis(100)));
+        let started = std::time::Instant::now();
+        assert!(client
+            .recv_timeout(Duration::from_secs(30), &ThreadSleeper)
+            .is_none());
+        assert!(!client.is_connected());
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "handshakes must fail on the 100ms timeout, took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

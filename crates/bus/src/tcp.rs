@@ -12,8 +12,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use cais_common::frame::TraceHeader;
+use cais_common::serve::{
+    self, FrameService, NoServeMetrics, Outbox, ServeConfig, ServeHandle, ServeMetrics,
+};
 use cais_telemetry::Counter;
 
 // The framing lives in cais-common so other TCP surfaces (the
@@ -71,12 +75,74 @@ impl BusServer {
     }
 
     /// [`BusServer::bind`] with an explicit send-queue bound and
-    /// optional drop telemetry.
+    /// optional drop telemetry. Serves on the multiplexed core
+    /// ([`cais_common::serve`]); use [`BusServer::bind_on_core`] for
+    /// explicit core configuration, `serve_*` metrics and graceful
+    /// shutdown.
     ///
     /// # Errors
     ///
     /// Returns the bind error when the address is unavailable.
     pub fn bind_with(broker: Broker, addr: &str, options: BusServerOptions) -> io::Result<Self> {
+        let (server, handle) = BusServer::bind_on_core(
+            broker,
+            addr,
+            options,
+            ServeConfig::default(),
+            NoServeMetrics,
+        )?;
+        // Dropping the handle leaves the core's threads detached, which
+        // preserves this method's historical serve-forever contract.
+        drop(handle);
+        Ok(server)
+    }
+
+    /// [`BusServer::bind_with`] on an explicitly configured serving
+    /// core, returning the [`ServeHandle`] alongside the server for
+    /// counters and graceful shutdown. Pair with
+    /// `cais_telemetry::RegistryServeMetrics::new(&registry, "bus")` to
+    /// surface the bridge's `serve_*` family.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind_on_core<M: ServeMetrics>(
+        broker: Broker,
+        addr: &str,
+        options: BusServerOptions,
+        config: ServeConfig,
+        metrics: M,
+    ) -> io::Result<(Self, ServeHandle)> {
+        let dropped = Arc::new(AtomicU64::new(0));
+        let service = BusService {
+            broker,
+            max_queued: options.max_queued,
+            dropped: Arc::clone(&dropped),
+            counter: options
+                .registry
+                .as_ref()
+                .map(|r| r.counter("bus_tcp_dropped_total")),
+        };
+        let handle = serve::serve(addr, config, service, metrics)?;
+        let server = BusServer {
+            local_addr: handle.local_addr(),
+            dropped,
+        };
+        Ok((server, handle))
+    }
+
+    /// The historical thread-per-connection accept loop, kept as the
+    /// measured baseline for the multiplexed core and for the
+    /// serving-equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind_thread_per_conn(
+        broker: Broker,
+        addr: &str,
+        options: BusServerOptions,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let dropped = Arc::new(AtomicU64::new(0));
@@ -176,26 +242,159 @@ fn serve_client(
     }
 }
 
+/// How often a streaming connection with no traffic probes liveness
+/// with a zero-length keepalive frame — the cadence the
+/// thread-per-connection loop's 200 ms `recv_timeout` always had.
+const KEEPALIVE_EVERY: Duration = Duration::from_millis(200);
+
+/// Messages fanned out to one subscriber per sweep; bounds how long a
+/// busy subscription can monopolize its worker shard.
+const FANOUT_BUDGET: usize = 32;
+
+/// One bridged subscriber's state on the multiplexed core.
+enum BusConn {
+    /// Waiting for the first frame: the subscription pattern.
+    AwaitingPattern,
+    /// Handshake done; the broker's traffic streams out.
+    Streaming {
+        subscription: crate::broker::Subscription,
+        last_send: Instant,
+    },
+}
+
+/// The PUB-style bridge protocol as a [`FrameService`]: a pattern
+/// handshake, then push-only fan-out driven by [`FrameService::poll`]
+/// (which the core skips while the connection's outbound queue is over
+/// the backpressure bound — a slow consumer throttles its own stream).
+struct BusService {
+    broker: Broker,
+    max_queued: Option<usize>,
+    dropped: Arc<AtomicU64>,
+    counter: Option<Counter>,
+}
+
+impl FrameService for BusService {
+    type Conn = BusConn;
+
+    fn on_connect(&self, _peer: SocketAddr) -> Self::Conn {
+        BusConn::AwaitingPattern
+    }
+
+    fn on_frame(
+        &self,
+        conn: &mut Self::Conn,
+        _header: Option<TraceHeader>,
+        payload: Vec<u8>,
+        out: &mut Outbox,
+    ) {
+        match conn {
+            BusConn::AwaitingPattern => {
+                let Ok(pattern) = serde_json::from_slice::<String>(&payload) else {
+                    out.close();
+                    return;
+                };
+                let subscription = self.broker.subscribe(pattern.as_str());
+                // Ack the handshake with an empty frame so the client
+                // knows the subscription is live before it lets its
+                // caller publish.
+                out.push_owned(Vec::new());
+                *conn = BusConn::Streaming {
+                    subscription,
+                    last_send: Instant::now(),
+                };
+            }
+            // The baseline loop never read after the handshake, so
+            // frames a client sends mid-stream are silently ignored.
+            BusConn::Streaming { .. } => {}
+        }
+    }
+
+    fn poll(&self, conn: &mut Self::Conn, now: Instant, out: &mut Outbox) {
+        let BusConn::Streaming {
+            subscription,
+            last_send,
+        } = conn
+        else {
+            return;
+        };
+        // Enforce the send-queue bound first: shed the oldest messages
+        // a slow client will never catch up on, and account for every
+        // one shed.
+        if let Some(bound) = self.max_queued {
+            let mut excess = subscription.queued().saturating_sub(bound);
+            while excess > 0 && subscription.try_recv().is_some() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(counter) = &self.counter {
+                    counter.inc();
+                }
+                excess -= 1;
+            }
+        }
+        let mut sent = 0;
+        while sent < FANOUT_BUDGET {
+            let Some(message) = subscription.try_recv() else {
+                break;
+            };
+            let Ok(bytes) = serde_json::to_vec(&message) else {
+                out.close();
+                return;
+            };
+            out.push_owned(bytes);
+            *last_send = now;
+            sent += 1;
+        }
+        if sent == 0 && now.duration_since(*last_send) >= KEEPALIVE_EVERY {
+            // Probe liveness with a zero-length keepalive frame.
+            out.push_owned(Vec::new());
+            *last_send = now;
+        }
+    }
+}
+
+/// Default socket write/handshake timeout for [`BusClient::connect`].
+/// A hung or half-dead server fails the handshake with a timeout error
+/// instead of blocking the subscriber forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// A remote subscriber receiving bus messages over TCP.
 pub struct BusClient {
     stream: TcpStream,
 }
 
 impl BusClient {
-    /// Connects and registers the given subscription pattern.
+    /// Connects and registers the given subscription pattern, with
+    /// [`DEFAULT_IO_TIMEOUT`] on socket writes.
     ///
     /// # Errors
     ///
     /// Returns connection or handshake I/O errors.
     pub fn connect(addr: SocketAddr, pattern: &str) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, pattern, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// [`BusClient::connect`] with an explicit socket write/handshake
+    /// timeout (`None` blocks writes indefinitely, the pre-timeout
+    /// behaviour; the handshake ack read then falls back to a 10s
+    /// guard). Receive timeouts are per-call — see
+    /// [`BusClient::recv_timeout`] — and unaffected by this setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection or handshake I/O errors.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        pattern: &str,
+        timeout: Option<Duration>,
+    ) -> io::Result<Self> {
         let mut stream = TcpStream::connect(addr)?;
+        stream.set_write_timeout(timeout)?;
         let frame = serde_json::to_vec(pattern)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         write_frame(&mut stream, &frame)?;
         // Wait for the server's empty ack frame: once it arrives the
         // subscription is registered and no published message can race
         // past it.
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_read_timeout(Some(timeout.unwrap_or(Duration::from_secs(10))))?;
         let ack = read_frame(&mut stream)?;
         if !ack.is_empty() {
             return Err(io::Error::new(
@@ -287,6 +486,26 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn silent_server_fails_handshake_instead_of_hanging() {
+        // A listener that accepts and never acks the subscription: the
+        // handshake must fail with a timeout, not block forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = thread::spawn(move || listener.accept());
+        let error =
+            BusClient::connect_with_timeout(addr, "misp.#", Some(Duration::from_millis(100)))
+                .expect_err("silent server must time out the handshake");
+        assert!(
+            matches!(
+                error.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {error:?}"
+        );
+        drop(hold);
     }
 
     #[test]

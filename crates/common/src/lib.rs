@@ -35,6 +35,7 @@
 pub mod frame;
 pub mod observable;
 pub mod resilience;
+pub mod serve;
 pub mod time;
 pub mod uuid;
 

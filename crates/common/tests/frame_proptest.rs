@@ -1,0 +1,144 @@
+//! Property tests for the length-prefixed wire framing, focused on the
+//! invariants the multiplexed serving core leans on:
+//!
+//! - tagged/untagged round-trips are lossless for any payload and any
+//!   trace header, including headers whose ids sit on `u64` bit
+//!   boundaries;
+//! - the `TRACE_FLAG` high bit never collides with a legal length, so a
+//!   length word near the flag boundary either round-trips or fails
+//!   loudly — it can never desync a reader;
+//! - a stream of interleaved tagged and untagged frames (a
+//!   mixed-version federation on one socket) reads back frame-for-frame
+//!   with the right headers.
+
+use std::io::Cursor;
+
+use cais_common::frame::{
+    read_frame, read_frame_traced, write_frame, write_frame_traced, TraceHeader, MAX_FRAME,
+    TRACE_FLAG, TRACE_HEADER_LEN,
+};
+use proptest::prelude::*;
+
+/// Trace ids that stress the encoding: boundary values around every
+/// byte/bit edge plus arbitrary u64s.
+fn edge_u64() -> impl Strategy<Value = u64> {
+    (0u8..8, any::<u64>()).prop_map(|(pick, random)| match pick {
+        0 => 0,
+        1 => 1,
+        2 => u64::from(u32::MAX),
+        3 => u64::from(u32::MAX) + 1,
+        4 => u64::from(TRACE_FLAG),
+        5 => 1u64 << 63,
+        6 => u64::MAX,
+        _ => random,
+    })
+}
+
+proptest! {
+    #[test]
+    fn tagged_roundtrip_is_lossless(
+        trace_id in edge_u64(),
+        span_id in edge_u64(),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let header = TraceHeader { trace_id, span_id };
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, Some(header), &payload).unwrap();
+        prop_assert_eq!(buf.len(), 4 + TRACE_HEADER_LEN + payload.len());
+        let (read_header, read_payload) =
+            read_frame_traced(&mut Cursor::new(buf)).unwrap();
+        prop_assert_eq!(read_header, Some(header));
+        prop_assert_eq!(read_payload, payload);
+    }
+
+    #[test]
+    fn untagged_roundtrip_is_lossless(
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, None, &payload).unwrap();
+        // The untagged encoder stays byte-identical to the legacy one,
+        // so pre-trace peers keep interoperating.
+        let mut legacy = Vec::new();
+        write_frame(&mut legacy, &payload).unwrap();
+        prop_assert_eq!(&buf, &legacy);
+        let (header, read_payload) =
+            read_frame_traced(&mut Cursor::new(buf)).unwrap();
+        prop_assert_eq!(header, None);
+        prop_assert_eq!(read_payload, payload);
+    }
+
+    /// Length words straddling the `TRACE_FLAG` boundary: every word is
+    /// either a valid frame both readers agree on, or an error — never
+    /// a silent desync. The interesting region is lengths near
+    /// `MAX_FRAME` (just below/above the cap) crossed with the flag
+    /// bit, where a buggy mask could read the flag as length bits.
+    #[test]
+    fn length_words_near_the_flag_boundary_never_desync(
+        below_cap in 0u32..=8,
+        above_cap in 0u32..=8,
+        flagged in any::<bool>(),
+        use_cap_side in any::<bool>(),
+    ) {
+        let length = if use_cap_side {
+            MAX_FRAME - below_cap
+        } else {
+            MAX_FRAME + 1 + above_cap
+        };
+        let word = if flagged { length | TRACE_FLAG } else { length };
+        // A header-sized body is plenty: oversize detection must fire
+        // on the length word alone, before any payload is read.
+        let mut buf = word.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; TRACE_HEADER_LEN]);
+        let result = read_frame_traced(&mut Cursor::new(&buf));
+        if length > MAX_FRAME {
+            prop_assert!(result.is_err(), "length {length} past cap must error");
+        } else {
+            // In-cap length, truncated body: must error (EOF), never
+            // hand back a short payload. (Untagged, the 16 header
+            // bytes count as payload; tagged, they are consumed as the
+            // header and the payload is missing entirely.)
+            if length as usize > buf.len() - 4 {
+                prop_assert!(result.is_err(), "truncated frame must error");
+            }
+        }
+        // The legacy reader must reject every flagged word outright:
+        // flag | length always exceeds the cap from its point of view.
+        if flagged {
+            prop_assert!(read_frame(&mut Cursor::new(&buf)).is_err());
+        }
+    }
+
+    /// A single stream interleaving tagged and untagged frames — the
+    /// mixed-version federation case — reads back frame-for-frame.
+    #[test]
+    fn mixed_tagged_untagged_streams_read_back_in_order(
+        frames in prop::collection::vec(
+            (
+                any::<bool>(),
+                edge_u64(),
+                edge_u64(),
+                prop::collection::vec(any::<u8>(), 0..256),
+            ),
+            1..16,
+        ),
+    ) {
+        let expected_header = |tagged: bool, trace_id: u64, span_id: u64| {
+            tagged.then_some(TraceHeader { trace_id, span_id })
+        };
+        let mut buf = Vec::new();
+        for (tagged, trace_id, span_id, payload) in &frames {
+            let header = expected_header(*tagged, *trace_id, *span_id);
+            write_frame_traced(&mut buf, header, payload).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for (tagged, trace_id, span_id, payload) in &frames {
+            let (header, read_payload) = read_frame_traced(&mut cursor).unwrap();
+            prop_assert_eq!(header, expected_header(*tagged, *trace_id, *span_id));
+            prop_assert_eq!(&read_payload, payload);
+        }
+        // Stream fully consumed: no stray bytes between frames.
+        let remaining = cursor.get_ref().len() as u64 - cursor.position();
+        prop_assert_eq!(remaining, 0);
+    }
+}

@@ -28,6 +28,25 @@ pub struct StageLatency {
     pub p99_nanos: u64,
 }
 
+/// One front-end's request-latency row, from its
+/// `serve_request_nanos{server=…}` histogram (request arrival → reply
+/// fully written on the multiplexed serving core).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServingLatency {
+    /// Front-end name (the `server` label): `taxii`, `telemetry`, `bus`.
+    pub server: String,
+    /// Requests answered (histogram sample count).
+    pub requests: u64,
+    /// Mean request→response wall time, nanoseconds.
+    pub mean_nanos: u64,
+    /// Estimated median, nanoseconds.
+    pub p50_nanos: u64,
+    /// Estimated 95th percentile, nanoseconds.
+    pub p95_nanos: u64,
+    /// Estimated 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+}
+
 /// A structured latency view over a telemetry snapshot. Build with
 /// [`LatencyPanel::from_snapshot`], render with [`latency_ascii`],
 /// [`latency_html`] or [`latency_json`].
@@ -36,6 +55,9 @@ pub struct LatencyPanel {
     /// Per-stage rows from the `pipeline_stage_nanos` series, in
     /// alphabetical stage order.
     pub stages: Vec<StageLatency>,
+    /// Per-front-end rows from the `serve_request_nanos` series, in
+    /// alphabetical server order.
+    pub serving: Vec<ServingLatency>,
     /// Every other histogram's percentiles (full series name →
     /// `{p50, p95, p99}`), e.g. share or decay timings.
     pub series: BTreeMap<String, BTreeMap<String, u64>>,
@@ -47,9 +69,14 @@ impl LatencyPanel {
         let quantiles = percentiles(snapshot);
         let mut panel = LatencyPanel::default();
         let mut stages: BTreeMap<String, StageLatency> = BTreeMap::new();
+        let mut serving: BTreeMap<String, ServingLatency> = BTreeMap::new();
         for (name, histogram) in &snapshot.histograms {
             let (base, _) = split_labels(name);
             let ranks = &quantiles[name];
+            let mean = histogram
+                .sum
+                .checked_div(histogram.count)
+                .unwrap_or_default();
             if base == "pipeline_stage_nanos" {
                 if let Some(stage) = label_value(name, "stage") {
                     stages.insert(
@@ -57,10 +84,23 @@ impl LatencyPanel {
                         StageLatency {
                             stage: stage.to_owned(),
                             rounds: histogram.count,
-                            mean_nanos: histogram
-                                .sum
-                                .checked_div(histogram.count)
-                                .unwrap_or_default(),
+                            mean_nanos: mean,
+                            p50_nanos: ranks["p50"],
+                            p95_nanos: ranks["p95"],
+                            p99_nanos: ranks["p99"],
+                        },
+                    );
+                    continue;
+                }
+            }
+            if base == "serve_request_nanos" {
+                if let Some(server) = label_value(name, "server") {
+                    serving.insert(
+                        server.to_owned(),
+                        ServingLatency {
+                            server: server.to_owned(),
+                            requests: histogram.count,
+                            mean_nanos: mean,
                             p50_nanos: ranks["p50"],
                             p95_nanos: ranks["p95"],
                             p99_nanos: ranks["p99"],
@@ -72,6 +112,7 @@ impl LatencyPanel {
             panel.series.insert(name.clone(), ranks.clone());
         }
         panel.stages = stages.into_values().collect();
+        panel.serving = serving.into_values().collect();
         panel
     }
 }
@@ -104,6 +145,24 @@ pub fn latency_ascii(panel: &LatencyPanel) -> String {
             human_nanos(row.p95_nanos),
             human_nanos(row.p99_nanos),
         ));
+    }
+    if !panel.serving.is_empty() {
+        out.push_str("\nserving (request -> response):\n");
+        out.push_str(&format!(
+            "  {:<14} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+            "server", "requests", "mean", "p50", "p95", "p99"
+        ));
+        for row in &panel.serving {
+            out.push_str(&format!(
+                "  {:<14} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+                row.server,
+                row.requests,
+                human_nanos(row.mean_nanos),
+                human_nanos(row.p50_nanos),
+                human_nanos(row.p95_nanos),
+                human_nanos(row.p99_nanos),
+            ));
+        }
     }
     if !panel.series.is_empty() {
         out.push_str("\nother series:\n");
@@ -140,6 +199,25 @@ pub fn latency_html(panel: &LatencyPanel) -> String {
         ));
     }
     out.push_str("</table>\n");
+    if !panel.serving.is_empty() {
+        out.push_str(
+            "<h3>Serving latency</h3>\n<table class=\"serving\">\n\
+             <tr><th>server</th><th>requests</th><th>mean</th>\
+             <th>p50</th><th>p95</th><th>p99</th></tr>\n",
+        );
+        for row in &panel.serving {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                escape(&row.server),
+                row.requests,
+                human_nanos(row.mean_nanos),
+                human_nanos(row.p50_nanos),
+                human_nanos(row.p95_nanos),
+                human_nanos(row.p99_nanos),
+            ));
+        }
+        out.push_str("</table>\n");
+    }
     if !panel.series.is_empty() {
         out.push_str("<h3>other series</h3>\n<ul>\n");
         for (name, ranks) in &panel.series {
@@ -189,6 +267,12 @@ mod tests {
             histogram.record(nanos * 2);
         }
         registry.histogram("share_serialize_nanos").record(5_000);
+        for (server, nanos) in [("taxii", 40_000u64), ("telemetry", 15_000)] {
+            let histogram =
+                registry.histogram(&labeled("serve_request_nanos", &[("server", server)]));
+            histogram.record(nanos);
+            histogram.record(nanos * 3);
+        }
         registry
     }
 
@@ -207,6 +291,20 @@ mod tests {
             .series
             .keys()
             .any(|name| name.starts_with("pipeline_stage_nanos{")));
+
+        let servers: Vec<&str> = panel.serving.iter().map(|r| r.server.as_str()).collect();
+        assert_eq!(servers, ["taxii", "telemetry"], "alphabetical server order");
+        for row in &panel.serving {
+            assert_eq!(row.requests, 2, "{}", row.server);
+            assert!(row.p95_nanos >= row.p50_nanos, "{}", row.server);
+        }
+        assert!(
+            !panel
+                .series
+                .keys()
+                .any(|name| name.starts_with("serve_request_nanos{")),
+            "serving series must not double-report under other series"
+        );
     }
 
     #[test]
@@ -217,11 +315,15 @@ mod tests {
         assert!(text.contains("dedup"));
         assert!(text.contains("p99"));
         assert!(text.contains("share_serialize_nanos"));
+        assert!(text.contains("serving (request -> response):"));
+        assert!(text.contains("telemetry"));
 
         let html = latency_html(&panel);
         assert!(html.contains("<h2>Pipeline latency</h2>"));
         assert!(html.contains("<td>enrich</td>"));
         assert!(html.contains("share_serialize_nanos"));
+        assert!(html.contains("<h3>Serving latency</h3>"));
+        assert!(html.contains("<td>taxii</td>"));
 
         let json: serde_json::Value = serde_json::from_str(&latency_json(&panel)).unwrap();
         assert_eq!(json["stages"].as_array().unwrap().len(), 6);
@@ -229,6 +331,8 @@ mod tests {
         assert!(json["series"]["share_serialize_nanos"]["p50"]
             .as_u64()
             .is_some());
+        assert_eq!(json["serving"].as_array().unwrap().len(), 2);
+        assert!(json["serving"][0]["p99_nanos"].as_u64().is_some());
     }
 
     #[test]

@@ -10,4 +10,6 @@ pub use ascii::ascii;
 pub use health::{health_ascii, health_html, health_json, HealthPanel, StageHealth};
 pub use html::html;
 pub use json::json;
-pub use latency::{latency_ascii, latency_html, latency_json, LatencyPanel, StageLatency};
+pub use latency::{
+    latency_ascii, latency_html, latency_json, LatencyPanel, ServingLatency, StageLatency,
+};

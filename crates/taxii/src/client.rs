@@ -2,6 +2,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use cais_bus::tcp::read_frame;
 use cais_common::frame::write_frame_traced;
@@ -12,6 +13,11 @@ use parking_lot::{Mutex, RwLock};
 use crate::collection::{Collection, Envelope};
 use crate::protocol::{Request, Response};
 
+/// Default socket read/write timeout for [`TaxiiClient::connect`]. A
+/// hung or half-dead server fails the pending call with a timeout error
+/// instead of blocking the caller forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// A synchronous client for [`crate::TaxiiServer`].
 pub struct TaxiiClient {
     stream: Mutex<TcpStream>,
@@ -19,13 +25,26 @@ pub struct TaxiiClient {
 }
 
 impl TaxiiClient {
-    /// Connects to a server.
+    /// Connects to a server with [`DEFAULT_IO_TIMEOUT`] on socket reads
+    /// and writes.
     ///
     /// # Errors
     ///
     /// Returns connection errors.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connects with an explicit socket read/write timeout (`None`
+    /// blocks indefinitely, the pre-timeout behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Option<Duration>) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         Ok(TaxiiClient {
             stream: Mutex::new(stream),
             tracer: RwLock::new(None),
@@ -227,6 +246,27 @@ mod tests {
         }
         let all = client.all_objects(&id).unwrap();
         assert_eq!(all.len(), 250);
+    }
+
+    #[test]
+    fn silent_server_times_out_instead_of_hanging() {
+        // A listener that accepts and then never replies: the pending
+        // call must fail with a timeout, not block forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept());
+        let client =
+            TaxiiClient::connect_with_timeout(addr, Some(std::time::Duration::from_millis(100)))
+                .unwrap();
+        let error = client.discovery().expect_err("silent server must time out");
+        assert!(
+            matches!(
+                error.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {error:?}"
+        );
+        drop(hold);
     }
 
     #[test]

@@ -15,8 +15,11 @@ use std::sync::Arc;
 use std::thread;
 
 use cais_bus::tcp::{read_frame, write_frame};
-use cais_common::frame::read_frame_traced;
+use cais_common::frame::{read_frame_traced, TraceHeader};
 use cais_common::resilience::{FaultKind, FaultPlan};
+use cais_common::serve::{
+    self, FrameService, NoServeMetrics, Outbox, ServeConfig, ServeHandle, ServeMetrics,
+};
 use cais_common::{Timestamp, Uuid};
 use cais_telemetry::{Counter, Registry, TraceContext, Tracer};
 use parking_lot::{Mutex, RwLock};
@@ -324,13 +327,57 @@ impl TaxiiServer {
         }
     }
 
-    /// Binds a listener and serves requests on a background thread for
-    /// the life of the process, returning the bound address.
+    /// Binds a listener and serves requests on the multiplexed core
+    /// ([`cais_common::serve`]) for the life of the process, returning
+    /// the bound address. Use [`TaxiiServer::serve_on_core`] for
+    /// explicit core configuration, `serve_*` metrics and graceful
+    /// shutdown.
     ///
     /// # Errors
     ///
     /// Returns the bind error when the address is unavailable.
     pub fn serve(&self, addr: &str) -> io::Result<SocketAddr> {
+        let handle = self.serve_on_core(addr, ServeConfig::default(), NoServeMetrics)?;
+        let local_addr = handle.local_addr();
+        // Dropping the handle leaves the core's threads detached, which
+        // preserves this method's historical serve-forever contract.
+        drop(handle);
+        Ok(local_addr)
+    }
+
+    /// [`TaxiiServer::serve`] on an explicitly configured serving core,
+    /// returning the [`ServeHandle`] for counters and graceful
+    /// shutdown. Pair with
+    /// `cais_telemetry::RegistryServeMetrics::new(&registry, "taxii")`
+    /// to surface the `serve_*` metric family.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn serve_on_core<M: ServeMetrics>(
+        &self,
+        addr: &str,
+        config: ServeConfig,
+        metrics: M,
+    ) -> io::Result<ServeHandle> {
+        serve::serve(
+            addr,
+            config,
+            TaxiiService {
+                server: self.clone(),
+            },
+            metrics,
+        )
+    }
+
+    /// The historical thread-per-connection accept loop, kept as the
+    /// measured baseline for the multiplexed core (`cais-loadgen`
+    /// compares the two) and for the serving-equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn serve_thread_per_conn(&self, addr: &str) -> io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let server = self.clone();
@@ -456,6 +503,35 @@ impl TaxiiServer {
                     previous = Some(bytes);
                 }
             }
+        }
+    }
+}
+
+/// The TAXII request/response protocol as a [`FrameService`]: each
+/// inbound frame is one request, each reply is the (possibly
+/// page-cached) serialized response, written untagged exactly as the
+/// thread-per-connection loop always has.
+struct TaxiiService {
+    server: TaxiiServer,
+}
+
+impl FrameService for TaxiiService {
+    type Conn = ();
+
+    fn on_connect(&self, _peer: SocketAddr) -> Self::Conn {}
+
+    fn on_frame(
+        &self,
+        _conn: &mut Self::Conn,
+        header: Option<TraceHeader>,
+        payload: Vec<u8>,
+        out: &mut Outbox,
+    ) {
+        let wire = header.map(TraceContext::from_header);
+        match self.server.response_bytes(&payload, wire) {
+            // Cached pages are an `Arc` already — queue them zero-copy.
+            Ok(bytes) => out.push_shared(bytes),
+            Err(_) => out.close(),
         }
     }
 }

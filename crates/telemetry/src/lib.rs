@@ -58,6 +58,7 @@ pub mod expose;
 pub mod flight;
 pub mod perfetto;
 pub mod registry;
+pub mod serve_metrics;
 pub mod server;
 pub mod trace;
 
@@ -68,5 +69,6 @@ pub use registry::{
     label_value, labeled, split_labels, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot,
 };
+pub use serve_metrics::RegistryServeMetrics;
 pub use server::{scrape, TelemetryServer};
 pub use trace::{SpanGuard, TraceContext, TraceEvent, Tracer};

@@ -1,0 +1,195 @@
+//! The [`Registry`]-backed [`ServeMetrics`] implementation.
+//!
+//! The serving core lives in `cais_common::serve` — *below* this crate
+//! — so it reports through the dependency-free
+//! [`cais_common::serve::ServeMetrics`] trait. This module closes the
+//! loop: [`RegistryServeMetrics`] binds those hooks to a [`Registry`],
+//! surfacing the `serve_*` family, labeled by server so the TAXII
+//! front-end, the scrape endpoint and the bus bridge stay separable on
+//! one registry:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `serve_accepted_total{server=…}` | counter | connections accepted |
+//! | `serve_accept_errors_total{server=…}` | counter | transient `accept()` failures (e.g. `EMFILE`) ridden out with backoff |
+//! | `serve_rejected_total{server=…}` | counter | connections closed by the max-connection guard |
+//! | `serve_closed_total{server=…}` | counter | connections closed, any reason |
+//! | `serve_timeouts_total{server=…}` | counter | closes by the idle/stalled-read reaper |
+//! | `serve_connections{server=…}` | gauge | live connections, sampled per sweep |
+//! | `serve_queue_depth_bytes{server=…}` | gauge | queued-but-unwritten outbound bytes |
+//! | `serve_frames_in_total{server=…}` | counter | complete inbound frames parsed |
+//! | `serve_frames_out_total{server=…}` | counter | outbound frames fully written |
+//! | `serve_request_nanos{server=…}` | histogram | request arrival → reply fully written |
+
+use cais_common::serve::ServeMetrics;
+
+use crate::registry::{labeled, Counter, Gauge, Histogram, Registry};
+
+/// [`ServeMetrics`] over a [`Registry`]: the `serve_*` metric family,
+/// labeled with the server's name.
+///
+/// # Examples
+///
+/// ```
+/// use cais_telemetry::{Registry, RegistryServeMetrics};
+///
+/// let registry = Registry::new();
+/// let metrics = RegistryServeMetrics::new(&registry, "taxii");
+/// // Hand `metrics` to `TaxiiServer::serve_on_core` / `serve::serve`.
+/// # let _ = metrics;
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegistryServeMetrics {
+    accepted: Counter,
+    accept_errors: Counter,
+    rejected: Counter,
+    closed: Counter,
+    timeouts: Counter,
+    connections: Gauge,
+    queue_depth: Gauge,
+    frames_in: Counter,
+    frames_out: Counter,
+    request_nanos: Histogram,
+}
+
+impl RegistryServeMetrics {
+    /// Creates (or rebinds) the `serve_*` series for one named server
+    /// on `registry`.
+    pub fn new(registry: &Registry, server: &str) -> Self {
+        let tag = [("server", server)];
+        RegistryServeMetrics {
+            accepted: registry.counter(&labeled("serve_accepted_total", &tag)),
+            accept_errors: registry.counter(&labeled("serve_accept_errors_total", &tag)),
+            rejected: registry.counter(&labeled("serve_rejected_total", &tag)),
+            closed: registry.counter(&labeled("serve_closed_total", &tag)),
+            timeouts: registry.counter(&labeled("serve_timeouts_total", &tag)),
+            connections: registry.gauge(&labeled("serve_connections", &tag)),
+            queue_depth: registry.gauge(&labeled("serve_queue_depth_bytes", &tag)),
+            frames_in: registry.counter(&labeled("serve_frames_in_total", &tag)),
+            frames_out: registry.counter(&labeled("serve_frames_out_total", &tag)),
+            request_nanos: registry.histogram(&labeled("serve_request_nanos", &tag)),
+        }
+    }
+}
+
+impl ServeMetrics for RegistryServeMetrics {
+    fn accepted(&self) {
+        self.accepted.inc();
+    }
+
+    fn accept_error(&self) {
+        self.accept_errors.inc();
+    }
+
+    fn rejected(&self) {
+        self.rejected.inc();
+    }
+
+    fn closed(&self) {
+        self.closed.inc();
+    }
+
+    fn timed_out(&self) {
+        self.timeouts.inc();
+    }
+
+    fn connections(&self, live: i64) {
+        self.connections.set(live);
+    }
+
+    fn queue_depth(&self, bytes: i64) {
+        self.queue_depth.set(bytes);
+    }
+
+    fn frame_in(&self) {
+        self.frames_in.inc();
+    }
+
+    fn frame_out(&self) {
+        self.frames_out.inc();
+    }
+
+    fn request_nanos(&self, nanos: u64) {
+        self.request_nanos.record(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_drive_the_labeled_serve_family() {
+        let registry = Registry::new();
+        let metrics = RegistryServeMetrics::new(&registry, "taxii");
+        metrics.accepted();
+        metrics.accepted();
+        metrics.accept_error();
+        metrics.rejected();
+        metrics.closed();
+        metrics.timed_out();
+        metrics.connections(7);
+        metrics.queue_depth(1024);
+        metrics.frame_in();
+        metrics.frame_out();
+        metrics.request_nanos(5_000);
+
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counters[r#"serve_accepted_total{server="taxii"}"#],
+            2
+        );
+        assert_eq!(
+            snapshot.counters[r#"serve_accept_errors_total{server="taxii"}"#],
+            1
+        );
+        assert_eq!(
+            snapshot.counters[r#"serve_rejected_total{server="taxii"}"#],
+            1
+        );
+        assert_eq!(
+            snapshot.counters[r#"serve_closed_total{server="taxii"}"#],
+            1
+        );
+        assert_eq!(
+            snapshot.counters[r#"serve_timeouts_total{server="taxii"}"#],
+            1
+        );
+        assert_eq!(snapshot.gauges[r#"serve_connections{server="taxii"}"#], 7);
+        assert_eq!(
+            snapshot.gauges[r#"serve_queue_depth_bytes{server="taxii"}"#],
+            1024
+        );
+        assert_eq!(
+            snapshot.counters[r#"serve_frames_in_total{server="taxii"}"#],
+            1
+        );
+        assert_eq!(
+            snapshot.counters[r#"serve_frames_out_total{server="taxii"}"#],
+            1
+        );
+        assert_eq!(
+            snapshot.histograms[r#"serve_request_nanos{server="taxii"}"#].count,
+            1
+        );
+    }
+
+    #[test]
+    fn two_servers_stay_separable() {
+        let registry = Registry::new();
+        let taxii = RegistryServeMetrics::new(&registry, "taxii");
+        let bus = RegistryServeMetrics::new(&registry, "bus");
+        taxii.accepted();
+        bus.accepted();
+        bus.accepted();
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counters[r#"serve_accepted_total{server="taxii"}"#],
+            1
+        );
+        assert_eq!(
+            snapshot.counters[r#"serve_accepted_total{server="bus"}"#],
+            2
+        );
+    }
+}

@@ -28,7 +28,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread;
 use std::time::Duration;
 
-use cais_common::frame::{read_frame, write_frame};
+use cais_common::frame::{read_frame, write_frame, TraceHeader};
+use cais_common::serve::{
+    self, FrameService, NoServeMetrics, Outbox, ServeConfig, ServeHandle, ServeMetrics,
+};
 
 use crate::expose;
 use crate::registry::Registry;
@@ -54,13 +57,60 @@ pub struct TelemetryServer {
 
 impl TelemetryServer {
     /// Binds a listener and answers scrape requests for the lifetime
-    /// of the process. The accept loop runs on a background thread,
-    /// one thread per connection — scrapes are rare and short-lived.
+    /// of the process on the multiplexed core ([`cais_common::serve`]).
+    /// The served registry is **not** self-instrumented with `serve_*`
+    /// metrics by default — a scrape reports exactly what the registry
+    /// holds; use [`TelemetryServer::bind_on_core`] to opt in.
     ///
     /// # Errors
     ///
     /// Returns the bind error when the address is unavailable.
     pub fn bind(registry: Registry, tracer: Option<Tracer>, addr: &str) -> io::Result<Self> {
+        let handle = TelemetryServer::bind_on_core(
+            registry,
+            tracer,
+            addr,
+            ServeConfig::default(),
+            NoServeMetrics,
+        )?;
+        let local_addr = handle.local_addr();
+        // Dropping the handle leaves the core's threads detached, which
+        // preserves this method's historical serve-forever contract.
+        drop(handle);
+        Ok(TelemetryServer { local_addr })
+    }
+
+    /// [`TelemetryServer::bind`] on an explicitly configured serving
+    /// core, returning the [`ServeHandle`] for counters and graceful
+    /// shutdown. Pair with
+    /// [`crate::RegistryServeMetrics::new`]`(&registry, "telemetry")`
+    /// to surface the endpoint's own `serve_*` family.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind_on_core<M: ServeMetrics>(
+        registry: Registry,
+        tracer: Option<Tracer>,
+        addr: &str,
+        config: ServeConfig,
+        metrics: M,
+    ) -> io::Result<ServeHandle> {
+        serve::serve(addr, config, ScrapeService { registry, tracer }, metrics)
+    }
+
+    /// The historical thread-per-connection accept loop, kept as the
+    /// measured baseline for the multiplexed core and for the
+    /// serving-equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind_thread_per_conn(
+        registry: Registry,
+        tracer: Option<Tracer>,
+        addr: &str,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         thread::Builder::new()
@@ -97,6 +147,40 @@ fn accept_loop(listener: TcpListener, registry: Registry, tracer: Option<Tracer>
     }
 }
 
+/// One scrape exchange: the response frame for one command frame, or an
+/// error when the frame is not a JSON string (the connection closes).
+/// Both serving paths (the multiplexed core and the thread-per-conn
+/// baseline) call this, so their responses are identical by
+/// construction.
+fn respond(frame: &[u8], registry: &Registry, tracer: Option<&Tracer>) -> io::Result<Vec<u8>> {
+    let command: String =
+        serde_json::from_slice(frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(match command.as_str() {
+        "prometheus" => expose::prometheus_text(&registry.snapshot()).into_bytes(),
+        "json" => expose::json_text(&registry.snapshot()).into_bytes(),
+        "trace" => {
+            // snapshot(), not drain(): scraping must never consume
+            // another scraper's spans.
+            let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
+            serde_json::to_vec(&events)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
+        "trace_chrome" => {
+            let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
+            crate::perfetto::chrome_trace_json(&events).into_bytes()
+        }
+        "trace_jsonl" => {
+            let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
+            crate::perfetto::chrome_trace_jsonl(&events).into_bytes()
+        }
+        other => serde_json::to_vec(&serde_json::json!({
+            "error": format!("unknown command {other:?}"),
+            "commands": ["prometheus", "json", "trace", "trace_chrome", "trace_jsonl"],
+        }))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+    })
+}
+
 fn serve_client(
     mut stream: TcpStream,
     registry: &Registry,
@@ -104,33 +188,36 @@ fn serve_client(
 ) -> io::Result<()> {
     loop {
         let frame = read_frame(&mut stream)?;
-        let command: String = serde_json::from_slice(&frame)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let response = match command.as_str() {
-            "prometheus" => expose::prometheus_text(&registry.snapshot()).into_bytes(),
-            "json" => expose::json_text(&registry.snapshot()).into_bytes(),
-            "trace" => {
-                // snapshot(), not drain(): scraping must never consume
-                // another scraper's spans.
-                let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
-                serde_json::to_vec(&events)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
-            }
-            "trace_chrome" => {
-                let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
-                crate::perfetto::chrome_trace_json(&events).into_bytes()
-            }
-            "trace_jsonl" => {
-                let events = tracer.map(|t| t.snapshot()).unwrap_or_default();
-                crate::perfetto::chrome_trace_jsonl(&events).into_bytes()
-            }
-            other => serde_json::to_vec(&serde_json::json!({
-                "error": format!("unknown command {other:?}"),
-                "commands": ["prometheus", "json", "trace", "trace_chrome", "trace_jsonl"],
-            }))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
-        };
+        let response = respond(&frame, registry, tracer)?;
         write_frame(&mut stream, &response)?;
+    }
+}
+
+/// The scrape protocol as a [`FrameService`]: strict request/response;
+/// an unparseable command frame closes the connection (exactly as the
+/// baseline loop's error return did), an unknown command answers with
+/// a JSON error and the connection survives.
+struct ScrapeService {
+    registry: Registry,
+    tracer: Option<Tracer>,
+}
+
+impl FrameService for ScrapeService {
+    type Conn = ();
+
+    fn on_connect(&self, _peer: SocketAddr) -> Self::Conn {}
+
+    fn on_frame(
+        &self,
+        _conn: &mut Self::Conn,
+        _header: Option<TraceHeader>,
+        payload: Vec<u8>,
+        out: &mut Outbox,
+    ) {
+        match respond(&payload, &self.registry, self.tracer.as_ref()) {
+            Ok(response) => out.push_owned(response),
+            Err(_) => out.close(),
+        }
     }
 }
 
