@@ -893,6 +893,93 @@ pub fn serve_bench_doc(m: &ServeBenchMeasurement) -> serde_json::Value {
     })
 }
 
+/// Measured inputs for [`federation_bench_doc`], produced by the
+/// `federation_json` binary: a mesh of real framed-TCP federation
+/// peers run to the policy-filtered fixpoint twice — fault-free
+/// (timed: the sync-throughput headline) and under seeded wire chaos
+/// (the convergence-robustness half of the claim).
+#[derive(Debug, Clone, Copy)]
+pub struct FederationBenchMeasurement {
+    /// Peers in the mesh.
+    pub peers: usize,
+    /// Events seeded round-robin across the peers.
+    pub events: usize,
+    /// Rounds the fault-free run needed to reach quiescence.
+    pub healthy_rounds: u32,
+    /// Wall time of the fault-free run to quiescence.
+    pub healthy_nanos: u64,
+    /// Push frames the fault-free run sent.
+    pub healthy_frames: u64,
+    /// Event deliveries (receiver-side inserts) across all peers in
+    /// the fault-free run.
+    pub delivered: u64,
+    /// Rounds the chaos run needed to reach quiescence.
+    pub chaos_rounds: u32,
+    /// Wall time of the chaos run to quiescence.
+    pub chaos_nanos: u64,
+    /// Frames that failed delivery under chaos.
+    pub chaos_failures: u64,
+    /// Delivery retries the chaos run spent.
+    pub chaos_retries: u64,
+    /// Whether the chaos run reached quiescence inside its budget.
+    pub chaos_converged: bool,
+    /// Whether the chaos run's canonical views byte-match the
+    /// fault-free run's — the path-independence claim.
+    pub fixpoints_match: bool,
+    /// Cross-tenant leaks found across both runs (must be 0).
+    pub leaks: usize,
+}
+
+impl FederationBenchMeasurement {
+    /// Event deliveries per second in the fault-free run — the
+    /// headline [`crate::compare`] guards.
+    pub fn deliveries_per_sec(&self) -> f64 {
+        self.delivered as f64 / (self.healthy_nanos as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+
+    /// Extra rounds the chaos schedule cost over the fault-free run.
+    pub fn chaos_round_overhead(&self) -> u32 {
+        self.chaos_rounds.saturating_sub(self.healthy_rounds)
+    }
+}
+
+/// The committed `BENCH_federation.json` schema: mesh shape, the
+/// fault-free run's throughput, the chaos run's cost, and the bars the
+/// run is held to (both runs converge, byte-identical fixpoints, zero
+/// leaks). CI uploads this as an artifact next to the other
+/// `BENCH_*.json` files.
+pub fn federation_bench_doc(m: &FederationBenchMeasurement) -> serde_json::Value {
+    serde_json::json!({
+        "benchmark": "federation_json",
+        "workload": {
+            "peers": m.peers,
+            "topology": "mesh",
+            "events": m.events,
+        },
+        "healthy": {
+            "wall_nanos": m.healthy_nanos,
+            "rounds": m.healthy_rounds,
+            "frames": m.healthy_frames,
+            "delivered": m.delivered,
+            "deliveries_per_sec": m.deliveries_per_sec(),
+        },
+        "chaos": {
+            "wall_nanos": m.chaos_nanos,
+            "rounds": m.chaos_rounds,
+            "round_overhead": m.chaos_round_overhead(),
+            "failures": m.chaos_failures,
+            "retries": m.chaos_retries,
+            "converged": m.chaos_converged,
+        },
+        "bar": {
+            "chaos_converged": m.chaos_converged,
+            "fixpoints_match": m.fixpoints_match,
+            "zero_leaks": m.leaks == 0,
+            "within": m.chaos_converged && m.fixpoints_match && m.leaks == 0,
+        },
+    })
+}
+
 /// Every section in order.
 pub fn full_report() -> String {
     [
@@ -1042,6 +1129,41 @@ mod tests {
         let doc = serve_bench_doc(&lossy);
         assert_eq!(doc["bar"]["zero_dropped"], false);
         assert_eq!(doc["high_scale"]["dropped"], 1);
+    }
+
+    #[test]
+    fn federation_bench_doc_schema() {
+        let m = FederationBenchMeasurement {
+            peers: 8,
+            events: 64,
+            healthy_rounds: 3,
+            healthy_nanos: 1_000_000_000,
+            healthy_frames: 500,
+            delivered: 448,
+            chaos_rounds: 7,
+            chaos_nanos: 2_500_000_000,
+            chaos_failures: 30,
+            chaos_retries: 25,
+            chaos_converged: true,
+            fixpoints_match: true,
+            leaks: 0,
+        };
+        let doc = federation_bench_doc(&m);
+        assert_eq!(doc["benchmark"], "federation_json");
+        assert_eq!(doc["workload"]["peers"], 8);
+        // 448 deliveries over 1 s.
+        assert!((doc["healthy"]["deliveries_per_sec"].as_f64().unwrap() - 448.0).abs() < 1e-9);
+        assert_eq!(doc["chaos"]["round_overhead"], 4);
+        assert_eq!(doc["bar"]["within"], true);
+
+        // Any failed bar fails the aggregate verdict.
+        let leaky = FederationBenchMeasurement { leaks: 1, ..m };
+        assert_eq!(federation_bench_doc(&leaky)["bar"]["within"], false);
+        let diverged = FederationBenchMeasurement {
+            fixpoints_match: false,
+            ..m
+        };
+        assert_eq!(federation_bench_doc(&diverged)["bar"]["within"], false);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! The "federation" panel: cross-instance sharing health rendered next
+//! to the threat dashboard.
+//!
+//! Reassembles the `federation_*` metric family emitted by
+//! `cais-federation` (sync rounds, push traffic, receiver apply
+//! outcomes, policy/hop withholdings, convergence progress) from a
+//! [`cais_telemetry::Snapshot`] — the same data the scrape endpoint
+//! serves — into the view an operator reads during an exchange: is the
+//! federation moving, is anything leaking, has it converged.
+
+use std::collections::BTreeMap;
+
+use cais_telemetry::{split_labels, Snapshot};
+use serde::Serialize;
+
+/// A structured view over the `federation_*` series. Build with
+/// [`FederationPanel::from_snapshot`], render with
+/// [`federation_ascii`], [`federation_html`] or [`federation_json`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FederationPanel {
+    /// Peers currently federated (`federation_peers`).
+    pub peers: i64,
+    /// Sync rounds driven (`federation_rounds_total`).
+    pub rounds: u64,
+    /// Round at which the last run reached quiescence
+    /// (`federation_converged_round`, 0 = not yet converged).
+    pub converged_round: i64,
+    /// Push frames attempted, including retries.
+    pub push_frames: u64,
+    /// Push frames that failed delivery.
+    pub push_failures: u64,
+    /// Delivery retries spent.
+    pub retries: u64,
+    /// Events sent inside acknowledged frames.
+    pub events_sent: u64,
+    /// Receiver tally: first-time inserts.
+    pub events_inserted: u64,
+    /// Receiver tally: merges (new attributes/tags/distribution).
+    pub events_merged: u64,
+    /// Receiver tally: idempotent confirmations of re-deliveries.
+    pub events_unchanged: u64,
+    /// Events a receiver's own tenant policy refused — leak attempts;
+    /// nonzero means a sender is misbehaving.
+    pub events_rejected: u64,
+    /// Events withheld sender-side by tenant policy.
+    pub withheld_policy: u64,
+    /// Events withheld by the distribution hop gate.
+    pub withheld_distribution: u64,
+    /// Any remaining `federation_*` counters, verbatim.
+    pub other: BTreeMap<String, u64>,
+}
+
+impl FederationPanel {
+    /// Extracts the federation series from a snapshot.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut panel = FederationPanel::default();
+        for (name, &value) in &snapshot.counters {
+            let (base, _) = split_labels(name);
+            match base {
+                "federation_rounds_total" => panel.rounds = value,
+                "federation_push_frames_total" => panel.push_frames = value,
+                "federation_push_failures_total" => panel.push_failures = value,
+                "federation_retries_total" => panel.retries = value,
+                "federation_events_sent_total" => panel.events_sent = value,
+                "federation_events_inserted_total" => panel.events_inserted = value,
+                "federation_events_merged_total" => panel.events_merged = value,
+                "federation_events_unchanged_total" => panel.events_unchanged = value,
+                "federation_events_rejected_total" => panel.events_rejected = value,
+                "federation_withheld_policy_total" => panel.withheld_policy = value,
+                "federation_withheld_distribution_total" => panel.withheld_distribution = value,
+                _ if base.starts_with("federation_") => {
+                    panel.other.insert(name.clone(), value);
+                }
+                _ => {}
+            }
+        }
+        for (name, &value) in &snapshot.gauges {
+            let (base, _) = split_labels(name);
+            match base {
+                "federation_peers" => panel.peers = value,
+                "federation_converged_round" => panel.converged_round = value,
+                _ => {}
+            }
+        }
+        panel
+    }
+
+    /// Whether the snapshot carried any federation series at all.
+    pub fn is_empty(&self) -> bool {
+        self == &FederationPanel::default()
+    }
+}
+
+/// Renders the federation panel as terminal text, in the dashboard's
+/// box style.
+pub fn federation_ascii(panel: &FederationPanel) -> String {
+    let mut out = String::new();
+    out.push_str("== CAIS federation ==\n\n");
+    let converged = if panel.converged_round > 0 {
+        format!("converged at round {}", panel.converged_round)
+    } else {
+        "not yet converged".to_owned()
+    };
+    out.push_str(&format!(
+        "  {} peers, {} rounds driven — {}\n\n",
+        panel.peers, panel.rounds, converged
+    ));
+    let mut row = |name: &str, value: u64| {
+        out.push_str(&format!("  {name:<34} {value:>10}\n"));
+    };
+    row("push frames (incl. retries)", panel.push_frames);
+    row("push failures", panel.push_failures);
+    row("retries", panel.retries);
+    row("events sent", panel.events_sent);
+    row("events inserted", panel.events_inserted);
+    row("events merged", panel.events_merged);
+    row("events unchanged (idempotent)", panel.events_unchanged);
+    row("events rejected (leak attempts)", panel.events_rejected);
+    row("withheld by tenant policy", panel.withheld_policy);
+    row("withheld by hop gate", panel.withheld_distribution);
+    for (name, value) in &panel.other {
+        row(name, *value);
+    }
+    out
+}
+
+/// Renders the federation panel as a standalone HTML fragment.
+pub fn federation_html(panel: &FederationPanel) -> String {
+    let mut out = String::new();
+    out.push_str("<section class=\"cais-federation\">\n<h2>Federation</h2>\n");
+    let converged = if panel.converged_round > 0 {
+        format!("converged at round {}", panel.converged_round)
+    } else {
+        "not yet converged".to_owned()
+    };
+    out.push_str(&format!(
+        "<p>{} peers, {} rounds driven &mdash; {}</p>\n",
+        panel.peers,
+        panel.rounds,
+        escape(&converged)
+    ));
+    out.push_str("<table class=\"federation\">\n<tr><th>series</th><th>value</th></tr>\n");
+    let mut row = |name: &str, value: u64| {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td></tr>\n",
+            escape(name),
+            value
+        ));
+    };
+    row("push frames (incl. retries)", panel.push_frames);
+    row("push failures", panel.push_failures);
+    row("retries", panel.retries);
+    row("events sent", panel.events_sent);
+    row("events inserted", panel.events_inserted);
+    row("events merged", panel.events_merged);
+    row("events unchanged (idempotent)", panel.events_unchanged);
+    row("events rejected (leak attempts)", panel.events_rejected);
+    row("withheld by tenant policy", panel.withheld_policy);
+    row("withheld by hop gate", panel.withheld_distribution);
+    for (name, value) in &panel.other {
+        row(name, *value);
+    }
+    out.push_str("</table>\n</section>\n");
+    out
+}
+
+/// Renders the federation panel as pretty-printed JSON.
+pub fn federation_json(panel: &FederationPanel) -> String {
+    serde_json::to_string_pretty(panel).unwrap_or_else(|_| "{}".to_owned())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_telemetry::Registry;
+
+    fn populated_registry() -> Registry {
+        let registry = Registry::new();
+        registry.counter("federation_rounds_total").add(6);
+        registry.counter("federation_push_frames_total").add(40);
+        registry.counter("federation_push_failures_total").add(3);
+        registry.counter("federation_retries_total").add(5);
+        registry.counter("federation_events_sent_total").add(90);
+        registry.counter("federation_events_inserted_total").add(60);
+        registry.counter("federation_events_merged_total").add(4);
+        registry
+            .counter("federation_events_unchanged_total")
+            .add(26);
+        registry.counter("federation_events_rejected_total").add(1);
+        registry.counter("federation_withheld_policy_total").add(7);
+        registry
+            .counter("federation_withheld_distribution_total")
+            .add(2);
+        registry.gauge("federation_peers").set(5);
+        registry.gauge("federation_converged_round").set(6);
+        registry
+    }
+
+    #[test]
+    fn panel_extracts_the_federation_family() {
+        let panel = FederationPanel::from_snapshot(&populated_registry().snapshot());
+        assert_eq!(panel.peers, 5);
+        assert_eq!(panel.rounds, 6);
+        assert_eq!(panel.converged_round, 6);
+        assert_eq!(panel.push_frames, 40);
+        assert_eq!(panel.push_failures, 3);
+        assert_eq!(panel.events_inserted, 60);
+        assert_eq!(panel.events_unchanged, 26);
+        assert_eq!(panel.events_rejected, 1);
+        assert_eq!(panel.withheld_policy, 7);
+        assert_eq!(panel.withheld_distribution, 2);
+        assert!(panel.other.is_empty());
+        assert!(!panel.is_empty());
+    }
+
+    #[test]
+    fn renderers_cover_every_series() {
+        let panel = FederationPanel::from_snapshot(&populated_registry().snapshot());
+        let text = federation_ascii(&panel);
+        assert!(text.contains("CAIS federation"));
+        assert!(text.contains("converged at round 6"));
+        assert!(text.contains("events rejected (leak attempts)"));
+        assert!(text.contains("withheld by hop gate"));
+
+        let html = federation_html(&panel);
+        assert!(html.contains("<h2>Federation</h2>"));
+        assert!(html.contains("<td>events inserted</td><td>60</td>"));
+
+        let json: serde_json::Value = serde_json::from_str(&federation_json(&panel)).unwrap();
+        assert_eq!(json["events_sent"], 90);
+        assert_eq!(json["peers"], 5);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let panel = FederationPanel::from_snapshot(&Registry::new().snapshot());
+        assert!(panel.is_empty());
+        assert!(federation_ascii(&panel).contains("not yet converged"));
+        assert!(federation_html(&panel).contains("cais-federation"));
+    }
+
+    #[test]
+    fn foreign_series_are_ignored_and_unknown_federation_series_kept() {
+        let registry = Registry::new();
+        registry.counter("misp_events_inserted_total").add(9);
+        registry.counter("federation_future_series_total").add(11);
+        let panel = FederationPanel::from_snapshot(&registry.snapshot());
+        assert_eq!(panel.events_inserted, 0);
+        assert_eq!(panel.other["federation_future_series_total"], 11);
+    }
+}

@@ -1,12 +1,14 @@
 //! Renderers of the dashboard state.
 
 mod ascii;
+mod federation;
 mod health;
 mod html;
 mod json;
 mod latency;
 
 pub use ascii::ascii;
+pub use federation::{federation_ascii, federation_html, federation_json, FederationPanel};
 pub use health::{health_ascii, health_html, health_json, HealthPanel, StageHealth};
 pub use html::html;
 pub use json::json;

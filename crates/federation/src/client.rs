@@ -1,0 +1,197 @@
+//! The federation push client: one persistent framed-TCP connection
+//! per directed edge, with seeded chaos injected *at the transport*.
+//!
+//! Unlike the in-proc fault shim in `cais_misp::sync`, the faults here
+//! corrupt real bytes on a real socket: garbage frames reach the
+//! server and get an error reply, truncated frames kill the connection
+//! mid-write (the client transparently reconnects), replays put the
+//! same frame on the wire twice, and lost acks discard a response the
+//! server already acted on. The receiving peer's idempotent merge is
+//! what keeps all of this from corrupting state.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cais_common::frame::{read_frame_traced, write_frame_traced, TraceHeader};
+use cais_common::resilience::FaultKind;
+use cais_misp::event::MispEvent;
+
+use crate::wire::{self, FedRequest, FedResponse};
+
+/// Socket read/write timeout: a stalled peer fails the push (and rides
+/// the retry ladder) instead of hanging the round.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A connected (lazily, reconnecting) push client for one edge.
+#[derive(Debug)]
+pub struct FederationClient {
+    addr: SocketAddr,
+    from_org: String,
+    stream: Option<TcpStream>,
+}
+
+impl FederationClient {
+    /// Creates a client pushing as `from_org` to the peer at `addr`.
+    /// The TCP connection is opened on first use and re-opened after
+    /// transport faults.
+    pub fn new(addr: SocketAddr, from_org: impl Into<String>) -> Self {
+        FederationClient {
+            addr,
+            from_org: from_org.into(),
+            stream: None,
+        }
+    }
+
+    /// The destination address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+            stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("stream just set"))
+    }
+
+    fn drop_connection(&mut self) {
+        self.stream = None;
+    }
+
+    fn transact_bytes(
+        &mut self,
+        header: Option<TraceHeader>,
+        payload: &[u8],
+    ) -> io::Result<FedResponse> {
+        let result = (|| {
+            let stream = self.stream()?;
+            write_frame_traced(stream, header, payload)?;
+            let (_header, response) = read_frame_traced(stream)?;
+            wire::decode_response(&response)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        })();
+        if result.is_err() {
+            // Any transport hiccup poisons the framing state; start
+            // the next attempt on a fresh connection.
+            self.drop_connection();
+        }
+        result
+    }
+
+    /// One request/response exchange with no fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors; the connection is dropped (and will
+    /// be re-opened) after any failure.
+    pub fn request(
+        &mut self,
+        header: Option<TraceHeader>,
+        request: &FedRequest,
+    ) -> io::Result<FedResponse> {
+        self.transact_bytes(header, &wire::encode_request(request))
+    }
+
+    /// Pushes one batch, optionally under an injected fault. Returns
+    /// the peer's ack, or an error the caller's retry ladder absorbs.
+    ///
+    /// Fault semantics at the transport:
+    ///
+    /// * `Error` — the link is partitioned: nothing is sent.
+    /// * `AckLost` — the frame is sent and served; the response is
+    ///   read off the socket and discarded, and the caller sees an
+    ///   error (so it retries a push the peer already applied).
+    /// * `Replay` — the frame goes on the wire twice back-to-back;
+    ///   both responses are read, the second is returned.
+    /// * `Garbage` — the payload is replaced with undecodable bytes;
+    ///   the peer answers [`FedResponse::Error`] without closing.
+    /// * `Truncate` — the frame is cut mid-write and the connection
+    ///   dropped; the peer sees a dead link, the caller reconnects.
+    /// * `Delay` — the push succeeds after a virtual delay the caller
+    ///   routes to its sleeper (handled by the harness, not here).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, injected failures, and
+    /// [`FedResponse::Error`] replies (mapped to `InvalidData`).
+    pub fn push_faulted(
+        &mut self,
+        fault: Option<FaultKind>,
+        header: Option<TraceHeader>,
+        events: Vec<MispEvent>,
+    ) -> io::Result<FedResponse> {
+        let request = FedRequest::Push {
+            from_org: self.from_org.clone(),
+            events,
+        };
+        let payload = wire::encode_request(&request);
+        let response = match fault {
+            None | Some(FaultKind::Delay(_)) => self.transact_bytes(header, &payload)?,
+            Some(FaultKind::Error) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected partition",
+                ));
+            }
+            Some(FaultKind::AckLost) => {
+                let _applied_but_unacked = self.transact_bytes(header, &payload)?;
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "injected ack loss"));
+            }
+            Some(FaultKind::Replay) => {
+                self.transact_bytes(header, &payload)?;
+                self.transact_bytes(header, &payload)?
+            }
+            Some(FaultKind::Garbage) => {
+                let garbage = b"\x01\x02%%% injected garbage %%%\x03".to_vec();
+                self.transact_bytes(header, &garbage)?
+            }
+            Some(FaultKind::Truncate) => {
+                // Write a frame header promising more bytes than we
+                // send, then kill the socket: the peer's read fails
+                // mid-frame and the connection dies.
+                let result = (|| -> io::Result<()> {
+                    let stream = self.stream()?;
+                    let promised = (payload.len().max(8)) as u32;
+                    stream.write_all(&promised.to_be_bytes())?;
+                    stream.write_all(&payload[..payload.len() / 2])?;
+                    stream.flush()
+                })();
+                self.drop_connection();
+                result?;
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "injected truncation",
+                ));
+            }
+        };
+        match response {
+            FedResponse::Error { message } => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, message))
+            }
+            ok => Ok(ok),
+        }
+    }
+}
+
+/// Blocking convenience probe used by tests and the dashboard demo:
+/// one `Status` request on a throwaway connection.
+///
+/// # Errors
+///
+/// Returns transport errors.
+pub fn probe_status(addr: SocketAddr) -> io::Result<FedResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    write_frame_traced(
+        &mut stream,
+        None,
+        &wire::encode_request(&FedRequest::Status),
+    )?;
+    let (_header, response) = read_frame_traced(&mut stream)?;
+    wire::decode_response(&response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}

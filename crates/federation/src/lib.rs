@@ -1,0 +1,81 @@
+//! # cais-federation — N-instance sharing, proven convergent
+//!
+//! Federates N MISP instances ([`cais_misp::MispApi`]) into hub-spoke,
+//! mesh or ring topologies with per-tenant sharing-group policy, over
+//! real framed-TCP endpoints on the multiplexed serving core
+//! ([`cais_common::serve`]).
+//!
+//! The crate's thesis: intelligence sharing across organizations is a
+//! *join-semilattice sync*. Receivers insert unknown events and
+//! otherwise union attributes/tags and take the distribution maximum —
+//! a monotone, commutative, idempotent merge — so whatever the
+//! topology, the fault schedule or the delivery order, every tenant's
+//! policy-filtered view reaches the same fixpoint, byte for byte. The
+//! [`harness`] module turns that claim into executable tests: seeded
+//! chaos ([`cais_common::resilience::FaultPlan`] — partitions, replays,
+//! lost acks, garbage frames) on virtual time, with convergence checked
+//! by comparing canonical per-tenant views ([`view`]) across peers and
+//! against fault-free oracle runs.
+//!
+//! Layer map:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`policy`] | tenants, sharing groups, sender-side filtering |
+//! | [`wire`] | push/status frames over the shared length-prefixed framing |
+//! | [`peer`] | one instance as a [`cais_common::serve::FrameService`] |
+//! | [`client`] | per-edge push client with transport-level fault injection |
+//! | [`topology`] | hub-spoke / mesh / ring edge lists and fault sites |
+//! | [`harness`] | the N-peer convergence harness on virtual time |
+//! | [`view`] | canonical tenant views, generation-guarded byte cache |
+//! | [`metrics`] | the `federation_*` counter/gauge family |
+//!
+//! # Example
+//!
+//! ```
+//! use cais_federation::{FederationHarness, Tenant, Topology};
+//! use cais_common::resilience::{FaultKind, FaultPlan};
+//! use cais_misp::event::Distribution;
+//! use cais_misp::MispEvent;
+//!
+//! // Three tenants, hub-spoke, with the spoke→hub link flapping.
+//! let site = cais_federation::edge_site(Topology::HubSpoke, 1, 0);
+//! let faults = FaultPlan::new(42).fail_first(&site, 2, FaultKind::AckLost);
+//! let tenants = vec![
+//!     Tenant::new("hub", ["fin"]),
+//!     Tenant::new("spoke-a", ["fin"]),
+//!     Tenant::new("spoke-b", ["fin"]),
+//! ];
+//! let mut harness = FederationHarness::in_proc(Topology::HubSpoke, tenants, faults);
+//!
+//! let mut event = MispEvent::new("campaign infra");
+//! event.distribution = Distribution::AllCommunities;
+//! harness.seed_event(1, event)?;
+//!
+//! let report = harness.run_until_quiescent(32);
+//! assert!(report.converged);
+//! assert!(harness.views_identical()); // same bytes on every peer
+//! assert!(harness.leaks().is_empty()); // zero cross-tenant leaks
+//! # Ok::<(), cais_misp::MispError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod harness;
+pub mod metrics;
+pub mod peer;
+pub mod policy;
+pub mod topology;
+pub mod view;
+pub mod wire;
+
+pub use client::{probe_status, FederationClient};
+pub use harness::{ConvergenceReport, FederationHarness, RoundReport, Transport, ROUND_INTERVAL};
+pub use metrics::FederationMetrics;
+pub use peer::FederationPeer;
+pub use policy::{sharing_group_tag, SharingPolicy, Tenant};
+pub use topology::{edge_site, Topology};
+pub use view::{assemble_view, TenantViewCache, ViewCacheStats};
+pub use wire::{FedRequest, FedResponse};

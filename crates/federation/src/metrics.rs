@@ -1,0 +1,61 @@
+//! The `federation_*` metric family.
+//!
+//! One [`FederationMetrics`] handle is shared by the harness, the
+//! clients (send side) and the peers (apply side), so a registry
+//! snapshot shows the whole federation's traffic. The dashboard's
+//! federation panel groups on this prefix.
+
+use cais_telemetry::{Counter, Gauge, Registry};
+
+/// Cached counter/gauge handles for an instrumented federation.
+#[derive(Debug, Clone)]
+pub struct FederationMetrics {
+    /// Sync rounds driven by the harness.
+    pub rounds: Counter,
+    /// Push frames sent (after chunking), including retried frames.
+    pub push_frames: Counter,
+    /// Push frames that failed delivery (injected faults, transport
+    /// errors) and were left for a retry or the next round.
+    pub push_failures: Counter,
+    /// Delivery retries spent across all edges.
+    pub retries: Counter,
+    /// Events sent inside push frames.
+    pub events_sent: Counter,
+    /// Events inserted on receivers (first delivery).
+    pub events_inserted: Counter,
+    /// Events merged on receivers (new attributes/tags/distribution).
+    pub events_merged: Counter,
+    /// Events confirmed unchanged on receivers (idempotent replays).
+    pub events_unchanged: Counter,
+    /// Events a receiver's own tenant policy refused — leak attempts.
+    pub events_rejected: Counter,
+    /// Events withheld sender-side by tenant policy.
+    pub withheld_policy: Counter,
+    /// Events withheld by the distribution hop gate.
+    pub withheld_distribution: Counter,
+    /// Peers currently served by the harness.
+    pub peers: Gauge,
+    /// Round at which the last run reached quiescence (0 = not yet).
+    pub converged_round: Gauge,
+}
+
+impl FederationMetrics {
+    /// Interns the family's handles in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        FederationMetrics {
+            rounds: registry.counter("federation_rounds_total"),
+            push_frames: registry.counter("federation_push_frames_total"),
+            push_failures: registry.counter("federation_push_failures_total"),
+            retries: registry.counter("federation_retries_total"),
+            events_sent: registry.counter("federation_events_sent_total"),
+            events_inserted: registry.counter("federation_events_inserted_total"),
+            events_merged: registry.counter("federation_events_merged_total"),
+            events_unchanged: registry.counter("federation_events_unchanged_total"),
+            events_rejected: registry.counter("federation_events_rejected_total"),
+            withheld_policy: registry.counter("federation_withheld_policy_total"),
+            withheld_distribution: registry.counter("federation_withheld_distribution_total"),
+            peers: registry.gauge("federation_peers"),
+            converged_round: registry.gauge("federation_converged_round"),
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! One federated MISP instance served over framed TCP.
+//!
+//! A [`FederationPeer`] wraps a [`MispApi`] with the peer's tenant
+//! identity, the shared [`SharingPolicy`], and the federation apply
+//! path, and exposes itself as a [`FrameService`] on the multiplexed
+//! serving core ([`cais_common::serve`]) — the same core TAXII and the
+//! telemetry endpoint ride.
+//!
+//! Incoming pushes run the exact apply path in-proc sync uses
+//! ([`cais_misp::sync::apply_remote`]): the hop downgrade applies once
+//! per frame and the store joins duplicates idempotently. On top of
+//! that the peer re-checks every incoming event against its *own*
+//! tenant policy (defense in depth — a buggy or hostile sender cannot
+//! plant out-of-policy intelligence) and tallies refusals as
+//! `rejected` in the ack and `federation_events_rejected_total`.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use cais_common::frame::TraceHeader;
+use cais_common::serve::{self, FrameService, Outbox, ServeConfig, ServeHandle, ServeMetrics};
+use cais_misp::sync::{self, ApplyOutcome};
+use cais_misp::MispApi;
+use cais_telemetry::{Registry, TraceContext, Tracer};
+use parking_lot::RwLock;
+
+use crate::metrics::FederationMetrics;
+use crate::policy::SharingPolicy;
+use crate::wire::{self, FedRequest, FedResponse};
+
+/// One tenant's MISP instance, servable as a federation endpoint.
+#[derive(Clone)]
+pub struct FederationPeer {
+    api: Arc<MispApi>,
+    policy: Arc<RwLock<SharingPolicy>>,
+    metrics: Arc<RwLock<Option<FederationMetrics>>>,
+}
+
+impl FederationPeer {
+    /// Creates a peer for `org`, sharing the federation's policy
+    /// handle. The peer's MISP org doubles as its tenant identity.
+    pub fn new(org: impl Into<String>, policy: Arc<RwLock<SharingPolicy>>) -> Self {
+        FederationPeer {
+            api: Arc::new(MispApi::new(org)),
+            policy,
+            metrics: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// The tenant's organization name.
+    pub fn org(&self) -> String {
+        self.api.org().to_owned()
+    }
+
+    /// The underlying MISP instance.
+    pub fn api(&self) -> &Arc<MispApi> {
+        &self.api
+    }
+
+    /// The shared policy handle.
+    pub fn policy(&self) -> &Arc<RwLock<SharingPolicy>> {
+        &self.policy
+    }
+
+    /// Attaches the `federation_*` metric family (plus the MISP store
+    /// and share families of the wrapped instance).
+    pub fn instrument(&self, registry: &Registry) {
+        self.api.instrument(registry);
+        *self.metrics.write() = Some(FederationMetrics::new(registry));
+    }
+
+    /// Attaches a causal tracer: incoming push frames carrying a trace
+    /// header chain their apply spans onto the sender's span.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        self.api.set_tracer(tracer);
+    }
+
+    fn metrics(&self) -> Option<FederationMetrics> {
+        self.metrics.read().clone()
+    }
+
+    /// Handles one decoded request — shared by the TCP service and any
+    /// in-proc caller (the harness oracle mode drives this directly,
+    /// so oracle and wire runs exercise identical apply logic).
+    pub fn handle(&self, request: &FedRequest, wire_trace: Option<TraceContext>) -> FedResponse {
+        match request {
+            FedRequest::Status => FedResponse::Status {
+                org: self.org(),
+                events: self.api.store().len(),
+                generation: self.api.store().generation(),
+            },
+            FedRequest::Push {
+                from_org: _,
+                events,
+            } => {
+                let metrics = self.metrics();
+                let mut span = self
+                    .api
+                    .tracer()
+                    .map(|t| t.child_of(wire_trace, "federation", "fed_apply"));
+                let parent = span.as_ref().filter(|s| s.sampled()).map(|s| s.context());
+                let own_org = self.org();
+                let (mut inserted, mut merged, mut unchanged, mut withheld, mut rejected) =
+                    (0usize, 0usize, 0usize, 0usize, 0usize);
+                for event in events {
+                    // Defense in depth: the receiving tenant's own
+                    // policy decides what may land, whatever the
+                    // sender chose to transmit.
+                    let Some(filtered) = self.policy.read().filter_for(&own_org, event) else {
+                        rejected += 1;
+                        continue;
+                    };
+                    match sync::apply_remote(&self.api, &filtered, parent) {
+                        Ok(ApplyOutcome::Inserted) => inserted += 1,
+                        Ok(ApplyOutcome::Merged) => merged += 1,
+                        Ok(ApplyOutcome::Unchanged) => unchanged += 1,
+                        Ok(ApplyOutcome::Withheld) => withheld += 1,
+                        Err(error) => {
+                            return FedResponse::Error {
+                                message: format!("apply failed: {error}"),
+                            }
+                        }
+                    }
+                }
+                if let Some(m) = metrics.as_ref() {
+                    m.events_inserted.add(inserted as u64);
+                    m.events_merged.add(merged as u64);
+                    m.events_unchanged.add(unchanged as u64);
+                    m.events_rejected.add(rejected as u64);
+                    m.withheld_distribution.add(withheld as u64);
+                }
+                if let Some(span) = span.as_mut() {
+                    span.field("inserted", inserted);
+                    span.field("unchanged", unchanged);
+                }
+                FedResponse::Ack {
+                    inserted,
+                    merged,
+                    unchanged,
+                    withheld,
+                    rejected,
+                }
+            }
+        }
+    }
+
+    /// Serves the peer on the multiplexed core, returning the handle
+    /// for counters and graceful shutdown. Pair with
+    /// `cais_telemetry::RegistryServeMetrics` for `serve_*` metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn serve_on_core<M: ServeMetrics>(
+        &self,
+        addr: &str,
+        config: ServeConfig,
+        metrics: M,
+    ) -> io::Result<ServeHandle> {
+        serve::serve(addr, config, FedService { peer: self.clone() }, metrics)
+    }
+}
+
+impl std::fmt::Debug for FederationPeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederationPeer")
+            .field("org", &self.api.org())
+            .field("events", &self.api.store().len())
+            .finish()
+    }
+}
+
+/// The federation protocol as a [`FrameService`]: one request frame in,
+/// one response frame out. Undecodable frames (injected garbage) get an
+/// [`FedResponse::Error`] reply and the connection stays open — a
+/// poisoned frame must not take the link down.
+struct FedService {
+    peer: FederationPeer,
+}
+
+impl FrameService for FedService {
+    type Conn = ();
+
+    fn on_connect(&self, _peer: SocketAddr) -> Self::Conn {}
+
+    fn on_frame(
+        &self,
+        _conn: &mut Self::Conn,
+        header: Option<TraceHeader>,
+        payload: Vec<u8>,
+        out: &mut Outbox,
+    ) {
+        let wire_trace = header.map(TraceContext::from_header);
+        let response = match wire::decode_request(&payload) {
+            Ok(request) => self.peer.handle(&request, wire_trace),
+            Err(error) => FedResponse::Error {
+                message: format!("undecodable frame: {error}"),
+            },
+        };
+        out.push_owned(wire::encode_response(&response));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{sharing_group_tag, Tenant};
+    use cais_misp::event::Distribution;
+    use cais_misp::{AttributeCategory, MispAttribute, MispEvent};
+
+    fn policy_with(orgs: &[(&str, &[&str])]) -> Arc<RwLock<SharingPolicy>> {
+        let mut policy = SharingPolicy::new();
+        for (org, groups) in orgs {
+            policy.admit(Tenant::new(*org, groups.iter().copied()));
+        }
+        Arc::new(RwLock::new(policy))
+    }
+
+    fn shared_event(info: &str) -> MispEvent {
+        let mut event = MispEvent::new(info);
+        event.distribution = Distribution::AllCommunities;
+        event.published = true;
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            format!("{info}.example"),
+        ));
+        event
+    }
+
+    #[test]
+    fn push_applies_and_acks() {
+        let policy = policy_with(&[("org-a", &[]), ("org-b", &[])]);
+        let peer = FederationPeer::new("org-b", policy);
+        let request = FedRequest::Push {
+            from_org: "org-a".into(),
+            events: vec![shared_event("one"), shared_event("two")],
+        };
+        match peer.handle(&request, None) {
+            FedResponse::Ack {
+                inserted,
+                unchanged,
+                rejected,
+                ..
+            } => {
+                assert_eq!(inserted, 2);
+                assert_eq!(unchanged, 0);
+                assert_eq!(rejected, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Replaying the same frame confirms idempotently.
+        match peer.handle(&request, None) {
+            FedResponse::Ack {
+                inserted,
+                unchanged,
+                ..
+            } => {
+                assert_eq!(inserted, 0);
+                assert_eq!(unchanged, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(peer.api().store().len(), 2);
+    }
+
+    #[test]
+    fn receiver_rejects_out_of_policy_events() {
+        let policy = policy_with(&[("org-b", &["gov"])]);
+        let peer = FederationPeer::new("org-b", policy);
+        let mut fin_only = shared_event("fin");
+        fin_only.add_tag(sharing_group_tag("fin"));
+        let request = FedRequest::Push {
+            from_org: "org-a".into(),
+            events: vec![fin_only, shared_event("open")],
+        };
+        match peer.handle(&request, None) {
+            FedResponse::Ack {
+                inserted, rejected, ..
+            } => {
+                assert_eq!(inserted, 1);
+                assert_eq!(rejected, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(peer.api().store().len(), 1);
+    }
+
+    #[test]
+    fn status_reports_store_shape() {
+        let policy = policy_with(&[("org-b", &[])]);
+        let peer = FederationPeer::new("org-b", policy);
+        peer.api().add_event(shared_event("one")).unwrap();
+        match peer.handle(&FedRequest::Status, None) {
+            FedResponse::Status { org, events, .. } => {
+                assert_eq!(org, "org-b");
+                assert_eq!(events, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-tenant identity and sharing-group policy.
+//!
+//! Every federation peer serves one [`Tenant`]: an organization plus
+//! the set of sharing groups it belongs to. Events and attributes opt
+//! into groups with `cais:sharing-group="<name>"` machine tags; an
+//! item carrying no group tags is unrestricted. The [`SharingPolicy`]
+//! decides, per receiving tenant, which events may leave a sender and
+//! which attributes ride along — *composed with* (not replacing) the
+//! MISP `Distribution` hop decay, which stays enforced by the sync
+//! apply path.
+//!
+//! Enforcement is sender-side: a peer filters each outgoing batch for
+//! its destination tenant, so bytes a tenant may not see never reach
+//! its socket. Receivers re-check incoming items against their own
+//! tenant as defense in depth (see `peer.rs`), so a compromised or
+//! buggy sender still cannot plant out-of-policy intelligence.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cais_misp::event::MispEvent;
+use cais_misp::{MispAttribute, Tag};
+
+/// The machine-tag namespace/predicate marking sharing-group
+/// membership on events and attributes.
+pub const SHARING_GROUP_NAMESPACE: &str = "cais";
+/// See [`SHARING_GROUP_NAMESPACE`].
+pub const SHARING_GROUP_PREDICATE: &str = "sharing-group";
+
+/// Builds the machine tag placing an event or attribute in a sharing
+/// group.
+///
+/// # Examples
+///
+/// ```
+/// use cais_federation::policy::sharing_group_tag;
+/// assert_eq!(sharing_group_tag("fin-sector").name(), "cais:sharing-group=\"fin-sector\"");
+/// ```
+pub fn sharing_group_tag(group: &str) -> Tag {
+    Tag::machine(SHARING_GROUP_NAMESPACE, SHARING_GROUP_PREDICATE, group)
+}
+
+/// The sharing groups an item's tags place it in (empty = unrestricted).
+fn groups_of(tags: &[Tag]) -> BTreeSet<String> {
+    tags.iter()
+        .filter(|t| {
+            t.namespace() == Some(SHARING_GROUP_NAMESPACE)
+                && t.predicate() == Some(SHARING_GROUP_PREDICATE)
+        })
+        .filter_map(|t| t.value().map(str::to_owned))
+        .collect()
+}
+
+/// One federated organization's identity: its org name and the sharing
+/// groups it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tenant {
+    /// Organization name — also the peer's MISP org.
+    pub org: String,
+    /// Sharing groups the tenant is a member of.
+    pub groups: BTreeSet<String>,
+}
+
+impl Tenant {
+    /// Creates a tenant with the given group memberships.
+    pub fn new<S: Into<String>>(
+        org: impl Into<String>,
+        groups: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Tenant {
+            org: org.into(),
+            groups: groups.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Whether this tenant may see an item restricted to `groups`
+    /// (an empty restriction set is visible to everyone).
+    fn may_see(&self, groups: &BTreeSet<String>) -> bool {
+        groups.is_empty() || groups.iter().any(|g| self.groups.contains(g))
+    }
+}
+
+/// The federation's tenant registry and visibility rules.
+///
+/// Carries a `revision` counter bumped on every membership change, so
+/// byte caches keyed on `(store generation, policy revision)` — the
+/// canonical tenant views in [`crate::view`] — invalidate when a
+/// tenant is admitted or revoked mid-round.
+///
+/// # Examples
+///
+/// ```
+/// use cais_federation::policy::{SharingPolicy, Tenant, sharing_group_tag};
+/// use cais_misp::MispEvent;
+///
+/// let mut policy = SharingPolicy::new();
+/// policy.admit(Tenant::new("org-a", ["fin"]));
+/// policy.admit(Tenant::new("org-b", ["gov"]));
+///
+/// let mut event = MispEvent::new("fin-sector intel");
+/// event.add_tag(sharing_group_tag("fin"));
+/// assert!(policy.event_visible("org-a", &event));
+/// assert!(!policy.event_visible("org-b", &event));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharingPolicy {
+    tenants: BTreeMap<String, Tenant>,
+    revision: u64,
+}
+
+impl SharingPolicy {
+    /// An empty policy: no tenants, so nothing is deliverable.
+    pub fn new() -> Self {
+        SharingPolicy::default()
+    }
+
+    /// Admits (or replaces) a tenant.
+    pub fn admit(&mut self, tenant: Tenant) {
+        self.tenants.insert(tenant.org.clone(), tenant);
+        self.revision += 1;
+    }
+
+    /// Revokes a tenant; from now on it is eligible to receive nothing.
+    /// Returns whether it was present.
+    pub fn revoke(&mut self, org: &str) -> bool {
+        let removed = self.tenants.remove(org).is_some();
+        if removed {
+            self.revision += 1;
+        }
+        removed
+    }
+
+    /// The registered tenant for an org, if any.
+    pub fn tenant(&self, org: &str) -> Option<&Tenant> {
+        self.tenants.get(org)
+    }
+
+    /// Registered tenants in org order.
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.values()
+    }
+
+    /// Membership-change counter, for policy-keyed caches.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Whether the tenant may see the event at all (event-level group
+    /// tags; unknown tenants see nothing).
+    pub fn event_visible(&self, org: &str, event: &MispEvent) -> bool {
+        self.tenants
+            .get(org)
+            .is_some_and(|t| t.may_see(&groups_of(&event.tags)))
+    }
+
+    /// Whether the tenant may see one attribute of a visible event.
+    pub fn attribute_visible(&self, org: &str, attribute: &MispAttribute) -> bool {
+        self.tenants
+            .get(org)
+            .is_some_and(|t| t.may_see(&groups_of(&attribute.tags)))
+    }
+
+    /// The copy of `event` the tenant may receive: `None` when the
+    /// event itself is out of policy (or the tenant is unknown),
+    /// otherwise a clone keeping only the attributes the tenant may
+    /// see — the partial-delivery path for events whose attributes
+    /// split across sharing groups.
+    pub fn filter_for(&self, org: &str, event: &MispEvent) -> Option<MispEvent> {
+        let tenant = self.tenants.get(org)?;
+        if !tenant.may_see(&groups_of(&event.tags)) {
+            return None;
+        }
+        let mut copy = event.clone();
+        copy.attributes
+            .retain(|a| tenant.may_see(&groups_of(&a.tags)));
+        Some(copy)
+    }
+
+    /// Whether a *stored* event on the tenant's own peer is within
+    /// policy — the zero-leak assertion: every event and every
+    /// attribute on a peer must be visible to that peer's tenant.
+    pub fn within_policy(&self, org: &str, event: &MispEvent) -> bool {
+        self.event_visible(org, event)
+            && event
+                .attributes
+                .iter()
+                .all(|a| self.attribute_visible(org, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_misp::AttributeCategory;
+
+    fn tagged_event(event_groups: &[&str]) -> MispEvent {
+        let mut event = MispEvent::new("intel");
+        for group in event_groups {
+            event.add_tag(sharing_group_tag(group));
+        }
+        event
+    }
+
+    fn attr(value: &str, groups: &[&str]) -> MispAttribute {
+        let mut a = MispAttribute::new("domain", AttributeCategory::NetworkActivity, value);
+        for group in groups {
+            a.tags.push(sharing_group_tag(group));
+        }
+        a
+    }
+
+    fn two_tenant_policy() -> SharingPolicy {
+        let mut policy = SharingPolicy::new();
+        policy.admit(Tenant::new("org-a", ["fin"]));
+        policy.admit(Tenant::new("org-b", ["gov"]));
+        policy
+    }
+
+    #[test]
+    fn untagged_items_are_unrestricted() {
+        let policy = two_tenant_policy();
+        let event = tagged_event(&[]);
+        assert!(policy.event_visible("org-a", &event));
+        assert!(policy.event_visible("org-b", &event));
+    }
+
+    #[test]
+    fn group_tags_restrict_events() {
+        let policy = two_tenant_policy();
+        let event = tagged_event(&["fin"]);
+        assert!(policy.event_visible("org-a", &event));
+        assert!(!policy.event_visible("org-b", &event));
+        // Multi-group events are visible to any member group.
+        let both = tagged_event(&["fin", "gov"]);
+        assert!(policy.event_visible("org-a", &both));
+        assert!(policy.event_visible("org-b", &both));
+    }
+
+    #[test]
+    fn unknown_tenants_see_nothing() {
+        let policy = two_tenant_policy();
+        let event = tagged_event(&[]);
+        assert!(!policy.event_visible("org-z", &event));
+        assert!(policy.filter_for("org-z", &event).is_none());
+    }
+
+    #[test]
+    fn filter_splits_attributes_across_groups() {
+        let policy = two_tenant_policy();
+        let mut event = tagged_event(&[]);
+        event.add_attribute(attr("fin.example", &["fin"]));
+        event.add_attribute(attr("gov.example", &["gov"]));
+        event.add_attribute(attr("open.example", &[]));
+
+        let for_a = policy.filter_for("org-a", &event).unwrap();
+        let values: Vec<_> = for_a.attributes.iter().map(|a| a.value.as_str()).collect();
+        assert_eq!(values, ["fin.example", "open.example"]);
+
+        let for_b = policy.filter_for("org-b", &event).unwrap();
+        let values: Vec<_> = for_b.attributes.iter().map(|a| a.value.as_str()).collect();
+        assert_eq!(values, ["gov.example", "open.example"]);
+    }
+
+    #[test]
+    fn revocation_bumps_revision_and_blinds_the_tenant() {
+        let mut policy = two_tenant_policy();
+        let before = policy.revision();
+        assert!(policy.revoke("org-b"));
+        assert!(policy.revision() > before);
+        assert!(!policy.revoke("org-b"));
+        let event = tagged_event(&[]);
+        assert!(!policy.event_visible("org-b", &event));
+    }
+
+    #[test]
+    fn within_policy_checks_attributes_too() {
+        let policy = two_tenant_policy();
+        let mut event = tagged_event(&[]);
+        event.add_attribute(attr("gov.example", &["gov"]));
+        assert!(policy.event_visible("org-a", &event));
+        assert!(!policy.within_policy("org-a", &event));
+        assert!(policy.within_policy("org-b", &event));
+    }
+}

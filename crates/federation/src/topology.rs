@@ -1,0 +1,133 @@
+//! Federation topologies: which peer pushes to which.
+//!
+//! Edges are *directed*: `(src, dst)` means `src` pushes its eligible
+//! events to `dst` each round. The harness walks the edge list in a
+//! fixed order every round, so a seeded [`cais_common::resilience::FaultPlan`]
+//! over per-edge sites replays byte-identically.
+
+use serde::{Deserialize, Serialize};
+
+/// The wiring of an N-peer federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// Peer 0 is the hub: every spoke pushes to the hub and the hub
+    /// pushes to every spoke. Two hops between spokes.
+    HubSpoke,
+    /// Every ordered pair of peers is an edge. One hop everywhere.
+    Mesh,
+    /// Peer `i` pushes to peer `(i + 1) % n` only. Up to `n - 1` hops.
+    Ring,
+}
+
+impl Topology {
+    /// All supported topologies, in display order.
+    pub const ALL: [Topology; 3] = [Topology::HubSpoke, Topology::Mesh, Topology::Ring];
+
+    /// A stable lowercase name (used in fault-site labels and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::HubSpoke => "hub-spoke",
+            Topology::Mesh => "mesh",
+            Topology::Ring => "ring",
+        }
+    }
+
+    /// The directed edge list for `n` peers, in the fixed order the
+    /// harness drives each round.
+    pub fn edges(&self, n: usize) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        if n < 2 {
+            return edges;
+        }
+        match self {
+            Topology::HubSpoke => {
+                for spoke in 1..n {
+                    edges.push((spoke, 0));
+                }
+                for spoke in 1..n {
+                    edges.push((0, spoke));
+                }
+            }
+            Topology::Mesh => {
+                for src in 0..n {
+                    for dst in 0..n {
+                        if src != dst {
+                            edges.push((src, dst));
+                        }
+                    }
+                }
+            }
+            Topology::Ring => {
+                for src in 0..n {
+                    edges.push((src, (src + 1) % n));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The maximum hop count between any two peers — the diameter that
+    /// bounds how many healthy rounds full propagation needs.
+    pub fn diameter(&self, n: usize) -> usize {
+        match self {
+            Topology::HubSpoke => 2.min(n.saturating_sub(1)),
+            Topology::Mesh => 1.min(n.saturating_sub(1)),
+            Topology::Ring => n.saturating_sub(1),
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The fault-injection site label for one directed edge — script
+/// these in a [`cais_common::resilience::FaultPlan`] to break a
+/// specific link.
+pub fn edge_site(topology: Topology, src: usize, dst: usize) -> String {
+    format!("fed.{}.push.{src}->{dst}", topology.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_spoke_edges() {
+        let edges = Topology::HubSpoke.edges(4);
+        assert_eq!(edges.len(), 6);
+        assert!(edges.contains(&(1, 0)) && edges.contains(&(0, 1)));
+        assert!(!edges.contains(&(1, 2))); // spokes never talk directly
+    }
+
+    #[test]
+    fn mesh_edges_are_all_ordered_pairs() {
+        let edges = Topology::Mesh.edges(4);
+        assert_eq!(edges.len(), 12);
+    }
+
+    #[test]
+    fn ring_edges_wrap() {
+        let edges = Topology::Ring.edges(3);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn degenerate_sizes_have_no_edges() {
+        for topology in Topology::ALL {
+            assert!(topology.edges(0).is_empty());
+            assert!(topology.edges(1).is_empty());
+        }
+    }
+
+    #[test]
+    fn site_labels_are_per_edge_and_topology() {
+        assert_eq!(edge_site(Topology::Mesh, 2, 5), "fed.mesh.push.2->5");
+        assert_ne!(
+            edge_site(Topology::Mesh, 1, 2),
+            edge_site(Topology::Ring, 1, 2)
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Canonical per-tenant views: the byte-comparable fixpoint.
+//!
+//! Two converged peers hold *semantically* identical intelligence but
+//! *representationally* different stores: store ids follow insertion
+//! order, `org` is stamped by each receiver, `timestamp` is refreshed
+//! by merge updates, and `distribution` legitimately differs per peer
+//! (hop decay is a property of the path, not the event). The canonical
+//! view serializes exactly the path-independent content — published
+//! events in UUID order, attributes and tags sorted — so "all peers
+//! reached the identical policy-filtered fixpoint" becomes a byte
+//! comparison.
+//!
+//! Views are assembled through a generation-guarded byte cache in the
+//! style of the PR 5 share caches: the memo is keyed on
+//! `(store generation, policy revision)` and replayed as a shared
+//! `Arc<[u8]>` until either the store or the tenant registry moves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cais_common::Timestamp;
+use cais_misp::event::{Analysis, MispEvent, ThreatLevel};
+use cais_misp::{MispApi, MispAttribute};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::policy::SharingPolicy;
+
+/// The path-independent serialization of one attribute.
+///
+/// Owned fields: the vendored serde derive does not support generic
+/// (lifetime-parameterized) types.
+#[derive(Serialize)]
+struct CanonicalAttribute {
+    uuid: String,
+    attr_type: String,
+    category: String,
+    value: String,
+    to_ids: bool,
+    comment: String,
+    tags: Vec<String>,
+}
+
+/// The path-independent serialization of one event. Excluded on
+/// purpose: store `id` (insertion order), `org` (receiver-stamped),
+/// `timestamp` (refreshed by merges), `distribution` (per-path decay).
+#[derive(Serialize)]
+struct CanonicalEvent {
+    uuid: String,
+    info: String,
+    date: Timestamp,
+    threat_level: ThreatLevel,
+    analysis: Analysis,
+    published: bool,
+    attributes: Vec<CanonicalAttribute>,
+    tags: Vec<String>,
+}
+
+fn canonical_attribute(attribute: &MispAttribute) -> CanonicalAttribute {
+    let mut tags: Vec<String> = attribute.tags.iter().map(|t| t.name().to_owned()).collect();
+    tags.sort_unstable();
+    CanonicalAttribute {
+        uuid: attribute.uuid.to_string(),
+        attr_type: attribute.attr_type.clone(),
+        category: format!("{:?}", attribute.category),
+        value: attribute.value.clone(),
+        to_ids: attribute.to_ids,
+        comment: attribute.comment.clone(),
+        tags,
+    }
+}
+
+fn canonical_event(event: &MispEvent) -> CanonicalEvent {
+    let mut attributes: Vec<&MispAttribute> = event.attributes.iter().collect();
+    attributes.sort_unstable_by_key(|a| a.uuid);
+    let mut tags: Vec<String> = event.tags.iter().map(|t| t.name().to_owned()).collect();
+    tags.sort_unstable();
+    CanonicalEvent {
+        uuid: event.uuid.to_string(),
+        info: event.info.clone(),
+        date: event.date,
+        threat_level: event.threat_level,
+        analysis: event.analysis,
+        published: event.published,
+        attributes: attributes.into_iter().map(canonical_attribute).collect(),
+        tags,
+    }
+}
+
+/// Assembles the canonical view for `org` directly, uncached: the
+/// published events the tenant may see, policy-filtered, in UUID
+/// order.
+pub fn assemble_view(api: &MispApi, org: &str, policy: &SharingPolicy) -> Vec<u8> {
+    let snapshot = api.store().snapshot();
+    let mut filtered: Vec<MispEvent> = snapshot
+        .iter()
+        .filter(|v| v.event.published)
+        .filter_map(|v| policy.filter_for(org, &v.event))
+        .collect();
+    filtered.sort_unstable_by_key(|e| e.uuid);
+    let canonical: Vec<CanonicalEvent> = filtered.iter().map(canonical_event).collect();
+    serde_json::to_vec(&canonical).expect("canonical view serializes")
+}
+
+/// Cache replay statistics (PR 5 idiom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewCacheStats {
+    /// Views replayed from the memo.
+    pub hits: u64,
+    /// Views assembled fresh.
+    pub misses: u64,
+}
+
+/// A generation-guarded byte cache of one tenant's canonical view.
+#[derive(Debug, Default)]
+pub struct TenantViewCache {
+    memo: Mutex<Option<Memo>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Memo {
+    generation: u64,
+    revision: u64,
+    bytes: Arc<[u8]>,
+}
+
+impl TenantViewCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TenantViewCache::default()
+    }
+
+    /// The canonical view bytes for `org` on `api` under `policy`,
+    /// replayed from the memo while both the store generation and the
+    /// policy revision are unchanged.
+    pub fn view_bytes(&self, api: &MispApi, org: &str, policy: &SharingPolicy) -> Arc<[u8]> {
+        let generation = api.store().generation();
+        let revision = policy.revision();
+        {
+            let memo = self.memo.lock();
+            if let Some(memo) = memo.as_ref() {
+                if memo.generation == generation && memo.revision == revision {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&memo.bytes);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes: Arc<[u8]> = assemble_view(api, org, policy).into();
+        *self.memo.lock() = Some(Memo {
+            generation,
+            revision,
+            bytes: Arc::clone(&bytes),
+        });
+        bytes
+    }
+
+    /// Replay statistics.
+    pub fn stats(&self) -> ViewCacheStats {
+        ViewCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{sharing_group_tag, Tenant};
+    use cais_misp::event::Distribution;
+    use cais_misp::AttributeCategory;
+
+    fn policy() -> SharingPolicy {
+        let mut p = SharingPolicy::new();
+        p.admit(Tenant::new("org-a", ["fin"]));
+        p
+    }
+
+    fn published(api: &MispApi, info: &str) -> u64 {
+        let mut event = MispEvent::new(info);
+        event.distribution = Distribution::AllCommunities;
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            format!("{info}.example"),
+        ));
+        let id = api.add_event(event).unwrap();
+        api.publish_event(id).unwrap();
+        id
+    }
+
+    #[test]
+    fn view_ignores_receiver_stamped_fields() {
+        // Two stores holding the same events with different orgs, ids
+        // and distributions produce identical canonical bytes.
+        let policy = policy();
+        let a = MispApi::new("org-a");
+        let b = MispApi::new("org-b");
+        let mut event = MispEvent::new("shared");
+        event.distribution = Distribution::AllCommunities;
+        event.published = true;
+        event.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            "shared.example",
+        ));
+        let mut on_b = event.clone();
+        on_b.distribution = Distribution::CommunityOnly; // one hop further
+        a.add_event(event).unwrap();
+        b.add_event(on_b).unwrap();
+        assert_eq!(
+            assemble_view(&a, "org-a", &policy),
+            assemble_view(&b, "org-a", &policy),
+        );
+    }
+
+    #[test]
+    fn view_sorts_attributes_by_uuid() {
+        // Same attributes in different arrival order: same bytes.
+        let policy = policy();
+        let a1 = MispAttribute::new("domain", AttributeCategory::NetworkActivity, "one.example");
+        let a2 = MispAttribute::new("domain", AttributeCategory::NetworkActivity, "two.example");
+        let mut event = MispEvent::new("ordered");
+        event.distribution = Distribution::AllCommunities;
+        event.published = true;
+        let mut swapped = event.clone();
+        event.add_attribute(a1.clone());
+        event.add_attribute(a2.clone());
+        swapped.add_attribute(a2);
+        swapped.add_attribute(a1);
+        let x = MispApi::new("org-a");
+        let y = MispApi::new("org-a");
+        x.add_event(event).unwrap();
+        y.add_event(swapped).unwrap();
+        assert_eq!(
+            assemble_view(&x, "org-a", &policy),
+            assemble_view(&y, "org-a", &policy),
+        );
+    }
+
+    #[test]
+    fn cache_replays_until_store_or_policy_moves() {
+        let mut policy = policy();
+        let api = MispApi::new("org-a");
+        published(&api, "one");
+        let cache = TenantViewCache::new();
+        let first = cache.view_bytes(&api, "org-a", &policy);
+        let second = cache.view_bytes(&api, "org-a", &policy);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats().hits, 1);
+
+        published(&api, "two");
+        let third = cache.view_bytes(&api, "org-a", &policy);
+        assert!(!Arc::ptr_eq(&first, &third));
+
+        policy.admit(Tenant::new("org-b", ["gov"]));
+        let fourth = cache.view_bytes(&api, "org-a", &policy);
+        assert_eq!(cache.stats().misses, 3);
+        // Same tenant rights: same bytes, fresh memo.
+        assert_eq!(&*third, &*fourth);
+    }
+
+    #[test]
+    fn view_is_policy_filtered() {
+        let policy = policy();
+        let api = MispApi::new("org-a");
+        published(&api, "open");
+        let mut tagged = MispEvent::new("gov-only");
+        tagged.distribution = Distribution::AllCommunities;
+        tagged.add_tag(sharing_group_tag("gov"));
+        let id = api.add_event(tagged).unwrap();
+        api.publish_event(id).unwrap();
+        let bytes = assemble_view(&api, "org-a", &policy);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("open"));
+        assert!(!text.contains("gov-only"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The federation wire protocol: JSON payloads over the shared
+//! length-prefixed framing ([`cais_common::frame`]).
+//!
+//! One request frame carries one [`FedRequest`]; the peer answers with
+//! exactly one [`FedResponse`] frame. Push batches are chunked by the
+//! client ([`MAX_BATCH`]) so a frame stays far below the 16 MiB cap.
+//! Frames may carry a trace header (the `TRACE_FLAG` wire path), which
+//! the serving peer turns into the parent context of its apply spans.
+
+use serde::{Deserialize, Serialize};
+
+use cais_misp::event::MispEvent;
+
+/// Maximum events per push frame; senders chunk larger batches.
+pub const MAX_BATCH: usize = 256;
+
+/// A request frame from one federation peer to another.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FedRequest {
+    /// A batch of policy-filtered, hop-eligible events pushed from
+    /// `from_org`. Events carry the sender's *stored* distribution;
+    /// the receiver applies the hop downgrade exactly once per frame.
+    Push {
+        /// The pushing tenant's organization.
+        from_org: String,
+        /// The batch.
+        events: Vec<MispEvent>,
+    },
+    /// Liveness and progress probe.
+    Status,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FedResponse {
+    /// The apply tally for one push frame.
+    Ack {
+        /// Events inserted for the first time.
+        inserted: usize,
+        /// Known events that gained attributes/tags/distribution.
+        merged: usize,
+        /// Known events confirmed unchanged (idempotent re-delivery).
+        unchanged: usize,
+        /// Events the receiver's own hop gate refused
+        /// (`OrganizationOnly` on the wire).
+        withheld: usize,
+        /// Events the receiver's own tenant policy refused — a leak
+        /// attempt by the sender; always zero for a well-behaved peer.
+        rejected: usize,
+    },
+    /// Answer to [`FedRequest::Status`].
+    Status {
+        /// The serving tenant's organization.
+        org: String,
+        /// Events stored.
+        events: usize,
+        /// Store generation.
+        generation: u64,
+    },
+    /// The request could not be served (undecodable frame, apply
+    /// error). The connection stays open.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Serializes a request frame payload.
+pub fn encode_request(request: &FedRequest) -> Vec<u8> {
+    serde_json::to_vec(request).expect("federation request serializes")
+}
+
+/// Parses a request frame payload.
+///
+/// # Errors
+///
+/// Returns the serde error for undecodable bytes (e.g. an injected
+/// garbage frame).
+pub fn decode_request(payload: &[u8]) -> Result<FedRequest, serde_json::Error> {
+    serde_json::from_slice(payload)
+}
+
+/// Serializes a response frame payload.
+pub fn encode_response(response: &FedResponse) -> Vec<u8> {
+    serde_json::to_vec(response).expect("federation response serializes")
+}
+
+/// Parses a response frame payload.
+///
+/// # Errors
+///
+/// Returns the serde error for undecodable bytes.
+pub fn decode_response(payload: &[u8]) -> Result<FedResponse, serde_json::Error> {
+    serde_json::from_slice(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let request = FedRequest::Push {
+            from_org: "org-a".into(),
+            events: vec![MispEvent::new("wire event")],
+        };
+        let decoded = decode_request(&encode_request(&request)).unwrap();
+        match decoded {
+            FedRequest::Push { from_org, events } => {
+                assert_eq!(from_org, "org-a");
+                assert_eq!(events.len(), 1);
+                assert_eq!(events[0].info, "wire event");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let response = FedResponse::Ack {
+            inserted: 1,
+            merged: 2,
+            unchanged: 3,
+            withheld: 0,
+            rejected: 0,
+        };
+        let decoded = decode_response(&encode_response(&response)).unwrap();
+        match decoded {
+            FedResponse::Ack {
+                inserted,
+                merged,
+                unchanged,
+                ..
+            } => {
+                assert_eq!((inserted, merged, unchanged), (1, 2, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_fails_to_decode() {
+        assert!(decode_request(b"\x00\xffnot json").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The headline property: under any seed, any topology and any mix of
+//! *transient* faults, every peer converges to the byte-identical
+//! policy-filtered fixpoint — compared against a fault-free oracle run
+//! of the same schedule — with zero cross-tenant leaks and zero
+//! duplicates after replays and lost acks.
+//!
+//! Transience is the hypothesis that makes the theorem true: a
+//! `fail_first` site exhausts, after which every edge's cursor catches
+//! its source generation in finitely many rounds. (A permanently
+//! partitioned link — `always` — legitimately never converges; see
+//! `permanent_partition_never_converges` below.)
+
+use cais_common::resilience::{FaultKind, FaultPlan};
+use cais_common::Uuid;
+use cais_federation::{FederationHarness, Tenant, Topology};
+use cais_misp::event::Distribution;
+use cais_misp::{AttributeCategory, MispAttribute, MispEvent};
+use proptest::prelude::*;
+
+const MAX_ROUNDS: u32 = 64;
+
+/// The transient fault alphabet the mix samples from.
+const TRANSIENT_KINDS: [FaultKind; 6] = [
+    FaultKind::Error,
+    FaultKind::Garbage,
+    FaultKind::Truncate,
+    FaultKind::Replay,
+    FaultKind::AckLost,
+    FaultKind::Delay(25),
+];
+
+fn tenants(n: usize) -> Vec<Tenant> {
+    (0..n)
+        .map(|i| Tenant::new(format!("org-{i}"), Vec::<String>::new()))
+        .collect()
+}
+
+/// A deterministic broadcast event: the UUID derives from the label so
+/// the chaos run and its oracle seed byte-identical content.
+fn broadcast_event(label: &str) -> MispEvent {
+    let mut event = MispEvent::new(format!("intel {label}"));
+    event.uuid = Uuid::new_v5(label);
+    // Deterministic creation date: the canonical view carries `date`,
+    // and the oracle run is constructed milliseconds after the chaos
+    // run — wall-clock dates would differ across runs (never across
+    // peers, which copy the wire value verbatim).
+    event.date = cais_common::Timestamp::from_ymd_hms(2026, 8, 9, 0, 0, 0);
+    event.distribution = Distribution::AllCommunities;
+    let mut attribute = MispAttribute::new(
+        "domain",
+        AttributeCategory::NetworkActivity,
+        format!("{label}.example"),
+    );
+    attribute.uuid = Uuid::new_v5(&format!("attr:{label}"));
+    event.add_attribute(attribute);
+    event
+}
+
+/// Builds a harness, seeds `events` round-robin across peers, runs to
+/// quiescence and returns (harness, converged).
+fn run(
+    topology: Topology,
+    n: usize,
+    events: usize,
+    faults: FaultPlan,
+    case: u64,
+) -> (FederationHarness, bool) {
+    let mut harness = FederationHarness::in_proc(topology, tenants(n), faults);
+    for e in 0..events {
+        harness
+            .seed_event(e % n, broadcast_event(&format!("case-{case}-ev-{e}")))
+            .unwrap();
+    }
+    let report = harness.run_until_quiescent(MAX_ROUNDS);
+    (harness, report.converged)
+}
+
+proptest! {
+    /// seed × topology × peer count × fault mix: the federation always
+    /// reaches the identical fixpoint the fault-free oracle reaches.
+    #[test]
+    fn chaos_converges_to_the_oracle_fixpoint(
+        seed in 0u64..1_000_000,
+        topology in prop::sample::select(vec![
+            Topology::HubSpoke,
+            Topology::Mesh,
+            Topology::Ring,
+        ]),
+        n in 3usize..=6,
+        events in 1usize..=3,
+        // Up to four transiently-faulted edges: (edge pick, fault
+        // pick, how many calls fail before recovery).
+        mix in prop::collection::vec((0usize..64, 0usize..6, 1u64..=4), 0..4),
+    ) {
+        // Script the sampled mix onto real edge sites.
+        let edges = topology.edges(n);
+        let mut faults = FaultPlan::new(seed);
+        for &(edge_pick, kind_pick, count) in &mix {
+            let (src, dst) = edges[edge_pick % edges.len()];
+            let site = cais_federation::edge_site(topology, src, dst);
+            faults = faults.fail_first(&site, count, TRANSIENT_KINDS[kind_pick]);
+        }
+
+        let (chaos, converged) = run(topology, n, events, faults, seed);
+        prop_assert!(converged, "no quiescence in {MAX_ROUNDS} rounds \
+                     (seed {seed}, {topology}, n={n})");
+
+        // Zero cross-tenant leaks, ever.
+        prop_assert!(chaos.leaks().is_empty(), "leaks: {:?}", chaos.leaks());
+
+        // Zero duplicates: every peer holds exactly the seeded events,
+        // once each, whatever was replayed or re-sent after a lost ack.
+        for peer in 0..n {
+            prop_assert_eq!(chaos.stored_uuids(peer).len(), events);
+            prop_assert_eq!(chaos.peer(peer).api().store().len(), events);
+        }
+
+        // The fixpoint is path-independent: byte-identical to a
+        // fault-free oracle run of the same schedule, peer by peer.
+        let (oracle, oracle_converged) = run(topology, n, events, FaultPlan::healthy(), seed);
+        prop_assert!(oracle_converged);
+        let chaos_views = chaos.canonical_views();
+        let oracle_views = oracle.canonical_views();
+        for peer in 0..n {
+            prop_assert_eq!(
+                String::from_utf8_lossy(&chaos_views[peer]),
+                String::from_utf8_lossy(&oracle_views[peer]),
+                "peer {} diverged from oracle (seed {}, {}, n={})",
+                peer, seed, topology, n
+            );
+        }
+
+        // And since every tenant has equal rights here, all peers
+        // agree with each other too.
+        prop_assert!(chaos.views_identical());
+    }
+}
+
+/// The hypothesis matters: a permanently dead link (non-transient
+/// fault) must *not* report convergence.
+#[test]
+fn permanent_partition_never_converges() {
+    let topology = Topology::Ring;
+    let site = cais_federation::edge_site(topology, 0, 1);
+    let faults = FaultPlan::new(3).always(&site, FaultKind::Error);
+    let mut harness = FederationHarness::in_proc(topology, tenants(3), faults);
+    harness.seed_event(0, broadcast_event("stuck")).unwrap();
+    let report = harness.run_until_quiescent(12);
+    assert!(!report.converged);
+    assert!(!harness.stored_uuids(1).contains(&Uuid::new_v5("stuck")));
+}

@@ -223,7 +223,10 @@ impl MispApi {
         self.share.export_event_bytes(&self.store, id, format)
     }
 
-    fn announce(&self, topic: &str, event_id: u64) {
+    /// Announces an event on the bus (no-op without a broker). Exposed
+    /// crate-internally so the sync apply path can announce merges the
+    /// same way API mutations do.
+    pub(crate) fn announce(&self, topic: &str, event_id: u64) {
         if let Some(broker) = &self.broker {
             // Serialize the payload under the store's read lock instead
             // of cloning the whole event out first.

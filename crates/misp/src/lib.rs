@@ -54,6 +54,6 @@ pub use attribute::{AttributeCategory, MispAttribute};
 pub use error::MispError;
 pub use event::{Analysis, Distribution, MispEvent, ThreatLevel};
 pub use share::{ShareCacheStats, ShareExporter};
-pub use store::{MispStore, StoreSnapshot, VersionedEvent};
-pub use sync::{ResilientSyncReport, SyncReport};
+pub use store::{MergeOutcome, MispStore, StoreSnapshot, VersionedEvent};
+pub use sync::{ApplyOutcome, ResilientSyncReport, SyncReport};
 pub use tag::Tag;

@@ -13,11 +13,38 @@ use std::sync::Arc;
 
 use cais_common::{Timestamp, Uuid};
 use cais_telemetry::{Counter, Registry, TraceContext, Tracer};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::attribute::MispAttribute;
 use crate::error::MispError;
 use crate::event::MispEvent;
+
+/// What [`MispStore::merge_by_uuid`] did with an incoming event copy.
+///
+/// The variants carry the store id of the event the copy landed on (or
+/// confirmed), so callers can announce or trace the affected event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// First delivery of this UUID: inserted as a new event.
+    Inserted(u64),
+    /// The UUID was known and the copy contributed something new
+    /// (attributes, tags, a wider distribution, or a publish).
+    Merged(u64),
+    /// The UUID was known and the copy contributed nothing — the
+    /// idempotent confirm of a replayed or re-delivered copy.
+    Unchanged(u64),
+}
+
+impl MergeOutcome {
+    /// The store id of the affected (or confirmed) event.
+    pub fn event_id(&self) -> u64 {
+        match self {
+            MergeOutcome::Inserted(id) | MergeOutcome::Merged(id) | MergeOutcome::Unchanged(id) => {
+                *id
+            }
+        }
+    }
+}
 
 /// Cached telemetry handles for an instrumented store.
 ///
@@ -165,6 +192,11 @@ pub struct MispStore {
     /// since generation G" in O(changed) instead of walking the store.
     /// Sixteen bytes per mutation, never truncated.
     changes: RwLock<Vec<(u64, u64)>>,
+    /// Serializes [`MispStore::merge_by_uuid`] calls so two concurrent
+    /// deliveries of the same UUID (e.g. two federation edges pushing
+    /// the same event) cannot both take the insert path and duplicate
+    /// it. Plain inserts mint fresh v4 UUIDs and never contend.
+    merge_lock: Mutex<()>,
     metrics: RwLock<Option<StoreMetrics>>,
     tracer: RwLock<Option<Tracer>>,
 }
@@ -272,6 +304,85 @@ impl MispStore {
             span.field("event_id", id);
         }
         Ok(id)
+    }
+
+    /// UUID-atomic insert-or-merge — the apply half of every wire
+    /// delivery (MISP sync push, federation push).
+    ///
+    /// The caller passes the event copy exactly as it should land,
+    /// with the *arrival* distribution already computed for this hop.
+    /// If the UUID is unknown the copy is inserted as-is. If it is
+    /// known, the copy is *joined* into the stored event:
+    ///
+    /// * attributes are unioned by attribute UUID,
+    /// * event tags are unioned,
+    /// * the distribution is raised to `max(stored, incoming)` — never
+    ///   lowered, so a re-delivered copy can never downgrade the hop
+    ///   decay a second time,
+    /// * `published` is set if the copy is published (never cleared).
+    ///
+    /// The join is monotone, commutative and idempotent, so any set of
+    /// deliveries converges to the same stored event regardless of
+    /// order, duplication (replay, lost acks) or interleaving. A copy
+    /// contributing nothing returns [`MergeOutcome::Unchanged`] without
+    /// bumping the event version or store generation.
+    ///
+    /// Calls are serialized on an internal lock so two concurrent
+    /// deliveries of one UUID cannot both insert.
+    ///
+    /// # Errors
+    ///
+    /// Returns attribute-validation errors; an invalid attribute
+    /// rejects the whole copy.
+    pub fn merge_by_uuid(
+        &self,
+        incoming: MispEvent,
+        parent: Option<TraceContext>,
+    ) -> Result<MergeOutcome, MispError> {
+        for attribute in &incoming.attributes {
+            attribute.validate()?;
+        }
+        let _guard = self.merge_lock.lock();
+        let existing_id = self.by_uuid.read().get(&incoming.uuid).copied();
+        let Some(id) = existing_id else {
+            let id = self.insert_with_trace(incoming, parent)?;
+            return Ok(MergeOutcome::Inserted(id));
+        };
+        let current = self
+            .get_arc(id)
+            .ok_or(MispError::EventNotFound { event_id: id })?;
+        let mut new_attributes: Vec<MispAttribute> = incoming
+            .attributes
+            .iter()
+            .filter(|a| !current.attributes.iter().any(|e| e.uuid == a.uuid))
+            .cloned()
+            .collect();
+        let new_tags: Vec<crate::tag::Tag> = incoming
+            .tags
+            .iter()
+            .filter(|t| !current.tags.contains(t))
+            .cloned()
+            .collect();
+        let raise_distribution = incoming.distribution > current.distribution;
+        let set_published = incoming.published && !current.published;
+        if new_attributes.is_empty() && new_tags.is_empty() && !raise_distribution && !set_published
+        {
+            return Ok(MergeOutcome::Unchanged(id));
+        }
+        let distribution = incoming.distribution;
+        self.update(id, move |event| {
+            event.attributes.append(&mut new_attributes);
+            for tag in new_tags {
+                event.add_tag(tag);
+            }
+            if raise_distribution {
+                event.distribution = distribution;
+            }
+            if set_published {
+                event.published = true;
+            }
+        })?;
+        Ok(MergeOutcome::Merged(id))
     }
 
     /// Fetches an event by id, cloning the body. Compatibility shim:

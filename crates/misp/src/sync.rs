@@ -14,11 +14,14 @@
 use std::time::Duration;
 
 use cais_common::resilience::{site_hash, FaultKind, FaultPlan, RetryPolicy, Sleeper};
+use cais_telemetry::TraceContext;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::api::MispApi;
+use crate::error::MispError;
 use crate::event::{Distribution, MispEvent};
+use crate::store::MergeOutcome;
 
 /// The outcome of one synchronization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +44,61 @@ pub fn downgrade(distribution: Distribution) -> Option<Distribution> {
         Distribution::CommunityOnly => Some(Distribution::OrganizationOnly),
         Distribution::ConnectedCommunities => Some(Distribution::CommunityOnly),
         Distribution::AllCommunities => Some(Distribution::AllCommunities),
+    }
+}
+
+/// What [`apply_remote`] did with one wire-delivered event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// First delivery: inserted with the hop-downgraded distribution.
+    Inserted,
+    /// The UUID was known and this delivery contributed something new
+    /// (attributes another path had filtered, a wider distribution).
+    Merged,
+    /// The UUID was known and this delivery contributed nothing — the
+    /// idempotent confirm of a replay or an ack-lost re-delivery.
+    Unchanged,
+    /// The wire distribution does not permit this hop
+    /// (`OrganizationOnly` never leaves an instance).
+    Withheld,
+}
+
+/// Applies one wire-delivered event to `target` — the single apply
+/// path shared by in-proc sync push and the federation TCP service.
+///
+/// The hop downgrade is computed *here, once per delivery*, from the
+/// distribution the event carried on the wire. The insert-or-merge
+/// below ([`crate::store::MispStore::merge_by_uuid`]) joins
+/// distributions with `max` and never lowers a stored one, so a
+/// re-delivered copy (lost ack, replay) confirms idempotently instead
+/// of decaying the event a second hop — the UUID-idempotent confirm
+/// covers the downgrade, not just the insert.
+///
+/// # Errors
+///
+/// Returns attribute-validation errors from the store.
+pub fn apply_remote(
+    target: &MispApi,
+    wire: &MispEvent,
+    parent: Option<TraceContext>,
+) -> Result<ApplyOutcome, MispError> {
+    let Some(arrival_distribution) = downgrade(wire.distribution) else {
+        return Ok(ApplyOutcome::Withheld);
+    };
+    let mut copy = wire.clone();
+    copy.id = 0;
+    copy.org = target.org().to_owned();
+    copy.distribution = arrival_distribution;
+    match target.store().merge_by_uuid(copy, parent)? {
+        MergeOutcome::Inserted(id) => {
+            target.announce("misp.event.created", id);
+            Ok(ApplyOutcome::Inserted)
+        }
+        MergeOutcome::Merged(id) => {
+            target.announce("misp.event.updated", id);
+            Ok(ApplyOutcome::Merged)
+        }
+        MergeOutcome::Unchanged(_) => Ok(ApplyOutcome::Unchanged),
     }
 }
 
@@ -74,27 +132,21 @@ pub fn push(source: &MispApi, target: &MispApi) -> SyncReport {
     // and record each transferred insert as its child.
     let mut span = target.tracer().map(|t| t.root("sync", "sync_push"));
     let parent = span.as_ref().filter(|s| s.sampled()).map(|s| s.context());
-    // Snapshot read: event bodies are borrowed from the store; only
-    // events that actually transfer are cloned.
+    // Snapshot read: event bodies are borrowed from the store; the
+    // apply path clones only events that survive the distribution gate.
     for versioned in source.store().snapshot().iter() {
         let event = &versioned.event;
         if !event.published {
             continue;
         }
         report.considered += 1;
-        let Some(arrival_distribution) = downgrade(event.distribution) else {
-            report.withheld += 1;
-            continue;
-        };
-        if target.store().contains_uuid(&event.uuid) {
-            report.already_present += 1;
-            continue;
-        }
-        let mut transferred: MispEvent = (**event).clone();
-        transferred.id = 0;
-        transferred.distribution = arrival_distribution;
-        if target.add_event_with_trace(transferred, parent).is_ok() {
-            report.transferred += 1;
+        match apply_remote(target, event, parent) {
+            Ok(ApplyOutcome::Withheld) => report.withheld += 1,
+            Ok(ApplyOutcome::Inserted) => report.transferred += 1,
+            Ok(ApplyOutcome::Merged) | Ok(ApplyOutcome::Unchanged) => {
+                report.already_present += 1;
+            }
+            Err(_) => {}
         }
     }
     if let Some(span) = span.as_mut() {
@@ -164,24 +216,20 @@ pub fn push_resilient(
             continue;
         }
         report.base.considered += 1;
-        let Some(arrival_distribution) = downgrade(event.distribution) else {
+        if downgrade(event.distribution).is_none() {
             report.base.withheld += 1;
             continue;
-        };
+        }
         if target.store().contains_uuid(&event.uuid) {
             report.base.already_present += 1;
             continue;
         }
-        // Applies the event unless its UUID already landed (an earlier
-        // ack-lost or replayed delivery); returns whether it inserted.
-        let deliver = || -> bool {
-            if target.store().contains_uuid(&event.uuid) {
-                return false;
-            }
-            let mut transferred: MispEvent = (**event).clone();
-            transferred.id = 0;
-            transferred.distribution = arrival_distribution;
-            target.add_event(transferred).is_ok()
+        // One delivery attempt: the shared apply path downgrades once
+        // per delivery and merges idempotently, so an earlier ack-lost
+        // or replayed copy is confirmed (`Unchanged`), never decayed a
+        // second hop or duplicated.
+        let deliver = || -> ApplyOutcome {
+            apply_remote(target, event, None).unwrap_or(ApplyOutcome::Unchanged)
         };
         let mut acklost_applied = false;
         let outcome = policy.run(&mut rng, sleeper, |_| match plan.next(site) {
@@ -189,13 +237,13 @@ pub fn push_resilient(
                 Err("injected delivery failure")
             }
             Some(FaultKind::AckLost) => {
-                if deliver() {
+                if deliver() == ApplyOutcome::Inserted {
                     acklost_applied = true;
                 }
                 Err("injected ack loss")
             }
             Some(FaultKind::Replay) => {
-                // Delivered twice; the UUID check drops the duplicate.
+                // Delivered twice; the merge confirms the duplicate.
                 deliver();
                 deliver();
                 Ok(())
@@ -433,6 +481,120 @@ mod tests {
         );
         assert_eq!(second.base.transferred, 2);
         assert_eq!(target.store().len(), 2);
+    }
+
+    #[test]
+    fn acklost_redelivery_downgrades_distribution_once() {
+        // Regression: a ConnectedCommunities event arrives one hop down
+        // as CommunityOnly. The ack-lost re-delivery of the same push
+        // must *confirm* that copy, not run the hop decay again and pin
+        // it to OrganizationOnly.
+        let source = MispApi::new("a");
+        let target = MispApi::new("b");
+        published_event(&source, "once", Distribution::ConnectedCommunities);
+        let plan = FaultPlan::new(7).script(
+            "misp.push",
+            vec![
+                Some(FaultKind::AckLost),
+                None,
+                Some(FaultKind::AckLost),
+                None,
+            ],
+        );
+        let report = push_resilient(
+            &source,
+            &target,
+            &plan,
+            "misp.push",
+            &RetryPolicy::fast(3),
+            &RecordingSleeper::default(),
+            42,
+        );
+        assert_eq!(report.redelivered, 1);
+        assert_eq!(target.store().len(), 1);
+        let copy = target.store().snapshot().events()[0].event.clone();
+        assert_eq!(copy.distribution, Distribution::CommunityOnly);
+
+        // A whole replayed *push run* (same frames again) is also a
+        // pure confirm: distribution still decays exactly once.
+        let second = push_resilient(
+            &source,
+            &target,
+            &plan,
+            "misp.push",
+            &RetryPolicy::fast(3),
+            &RecordingSleeper::default(),
+            42,
+        );
+        assert_eq!(second.base.already_present, 1);
+        let copy = target.store().snapshot().events()[0].event.clone();
+        assert_eq!(copy.distribution, Distribution::CommunityOnly);
+    }
+
+    #[test]
+    fn apply_remote_is_idempotent_per_frame() {
+        // Frame-level statement of the same property: applying the
+        // identical wire copy twice inserts once, confirms once, and
+        // never decays the stored distribution past the first hop.
+        let target = MispApi::new("b");
+        let mut wire = MispEvent::new("wire copy");
+        wire.distribution = Distribution::ConnectedCommunities;
+        wire.published = true;
+        wire.add_attribute(MispAttribute::new(
+            "domain",
+            AttributeCategory::NetworkActivity,
+            "wire.example",
+        ));
+        assert_eq!(
+            apply_remote(&target, &wire, None).unwrap(),
+            ApplyOutcome::Inserted
+        );
+        assert_eq!(
+            apply_remote(&target, &wire, None).unwrap(),
+            ApplyOutcome::Unchanged
+        );
+        let copy = target.store().get_by_uuid(&wire.uuid).unwrap();
+        assert_eq!(copy.distribution, Distribution::CommunityOnly);
+        assert_eq!(copy.attributes.len(), 1);
+        assert_eq!(target.store().len(), 1);
+    }
+
+    #[test]
+    fn merge_unions_attributes_and_never_lowers_distribution() {
+        // Two differently filtered copies of one event arrive over two
+        // paths: the store joins them (attribute union, max
+        // distribution) so the fixpoint is path-independent.
+        let target = MispApi::new("b");
+        let mut full = MispEvent::new("joined");
+        full.distribution = Distribution::AllCommunities;
+        full.published = true;
+        let a1 = MispAttribute::new("domain", AttributeCategory::NetworkActivity, "one.example");
+        let a2 = MispAttribute::new("domain", AttributeCategory::NetworkActivity, "two.example");
+        full.add_attribute(a1.clone());
+        full.add_attribute(a2.clone());
+
+        let mut first = full.clone();
+        first.attributes = vec![a1.clone()];
+        // The second copy travelled further: one extra hop of decay.
+        let mut second = full.clone();
+        second.attributes = vec![a2.clone()];
+        second.distribution = Distribution::ConnectedCommunities;
+
+        assert_eq!(
+            apply_remote(&target, &first, None).unwrap(),
+            ApplyOutcome::Inserted
+        );
+        assert_eq!(
+            apply_remote(&target, &second, None).unwrap(),
+            ApplyOutcome::Merged
+        );
+        let copy = target.store().get_by_uuid(&full.uuid).unwrap();
+        assert_eq!(copy.attributes.len(), 2);
+        // AllCommunities survives; the narrower second copy cannot
+        // lower it.
+        assert_eq!(copy.distribution, Distribution::AllCommunities);
+        // Both attributes are correlated/searchable after the merge.
+        assert_eq!(target.store().events_with_value("two.example").len(), 1);
     }
 
     #[test]

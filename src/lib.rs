@@ -23,6 +23,7 @@
 //! | [`taxii`] | `cais-taxii` | TAXII-like sharing |
 //! | [`core`] | `cais-core` | ★ the paper's platform core |
 //! | [`decay`] | `cais-decay` | indicator lifecycle: decay scoring + expiry |
+//! | [`federation`] | `cais-federation` | N-instance sharing with tenant policy |
 //! | [`dashboard`] | `cais-dashboard` | the output module |
 //! | [`telemetry`] | `cais-telemetry` | metrics registry, tracing, scrape endpoint |
 //!
@@ -67,6 +68,7 @@ pub use cais_core as core;
 pub use cais_cvss as cvss;
 pub use cais_dashboard as dashboard;
 pub use cais_decay as decay;
+pub use cais_federation as federation;
 pub use cais_feeds as feeds;
 pub use cais_infra as infra;
 pub use cais_misp as misp;

@@ -1,16 +1,25 @@
 //! Federation scenarios: multiple CAIS platforms exchanging
-//! intelligence over every channel the paper names — MISP sync with
-//! distribution downgrades, the MISP feed loop, STIX bundles over
-//! TAXII — and re-scoring received intelligence against their own
-//! context.
+//! intelligence over every channel the paper names — MISP sync over
+//! real framed-TCP federation peers with distribution downgrades, the
+//! MISP feed loop, STIX bundles over TAXII — and re-scoring received
+//! intelligence against their own context.
 
+use std::sync::Arc;
+
+use cais::common::resilience::FaultPlan;
+use cais::common::serve::{NoServeMetrics, ServeConfig};
 use cais::common::{Observable, ObservableKind};
 use cais::core::Platform;
+use cais::federation::{
+    sharing_group_tag, FedResponse, FederationClient, FederationHarness, FederationPeer,
+    SharingPolicy, Tenant, Topology,
+};
 use cais::feeds::{parse, FeedRecord, ThreatCategory};
 use cais::misp::event::Distribution;
-use cais::misp::{sync, MispApi};
+use cais::misp::{AttributeCategory, MispAttribute, MispEvent};
 use cais::stix::prelude::*;
 use cais::taxii::{Collection, TaxiiClient, TaxiiServer};
+use parking_lot::RwLock;
 
 fn struts_advisory(platform: &Platform) -> FeedRecord {
     FeedRecord::new(
@@ -23,8 +32,20 @@ fn struts_advisory(platform: &Platform) -> FeedRecord {
     .with_description("remote code execution in apache struts")
 }
 
-/// Producer platform → MISP sync → partner → second hop: the
+/// Extracts a push ack or panics with the unexpected response.
+fn ack(response: FedResponse) -> (usize, usize) {
+    match response {
+        FedResponse::Ack {
+            inserted, withheld, ..
+        } => (inserted, withheld),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Producer platform → framed-TCP push → partner → second hop: the
 /// distribution level decays per hop until the intelligence pins.
+/// The in-proc `sync::push` version of this scenario now travels the
+/// real transport — client, server, serving core — end to end.
 #[test]
 fn three_hop_distribution_decay() {
     let mut producer = Platform::paper_use_case();
@@ -41,24 +62,159 @@ fn three_hop_distribution_decay() {
         })
         .unwrap();
 
-    let hop1 = MispApi::new("hop-1");
-    assert_eq!(sync::push(producer.misp(), &hop1).transferred, 1);
-    let on_hop1 = hop1.store().snapshot().events()[0].event.clone();
-    assert_eq!(on_hop1.distribution, Distribution::CommunityOnly);
+    // Three federated hops, each a real TCP endpoint on the serving
+    // core, sharing one all-access policy.
+    let mut policy = SharingPolicy::new();
+    for org in ["hop-1", "hop-2", "hop-3"] {
+        policy.admit(Tenant::new(org, Vec::<String>::new()));
+    }
+    let policy = Arc::new(RwLock::new(policy));
+    let hops: Vec<FederationPeer> = ["hop-1", "hop-2", "hop-3"]
+        .iter()
+        .map(|org| FederationPeer::new(*org, Arc::clone(&policy)))
+        .collect();
+    let handles: Vec<_> = hops
+        .iter()
+        .map(|hop| {
+            hop.serve_on_core("127.0.0.1:0", ServeConfig::default(), NoServeMetrics)
+                .expect("bind federation peer")
+        })
+        .collect();
 
-    hop1.publish_event(on_hop1.id).unwrap();
-    let hop2 = MispApi::new("hop-2");
-    assert_eq!(sync::push(&hop1, &hop2).transferred, 1);
-    let on_hop2 = hop2.store().snapshot().events()[0].event.clone();
+    // Producer → hop-1: ConnectedCommunities arrives CommunityOnly.
+    let wire_event = producer.misp().store().snapshot().events()[0]
+        .event
+        .as_ref()
+        .clone();
+    let mut client = FederationClient::new(handles[0].local_addr(), "producer");
+    let (inserted, _) = ack(client.push_faulted(None, None, vec![wire_event]).unwrap());
+    assert_eq!(inserted, 1);
+    let on_hop1 = hops[0].api().store().snapshot().events()[0]
+        .event
+        .as_ref()
+        .clone();
+    assert_eq!(on_hop1.distribution, Distribution::CommunityOnly);
+    assert!(on_hop1.published, "published state rides the wire");
+
+    // Hop-1 → hop-2: CommunityOnly arrives OrganizationOnly.
+    let mut client = FederationClient::new(handles[1].local_addr(), "hop-1");
+    let (inserted, _) = ack(client.push_faulted(None, None, vec![on_hop1]).unwrap());
+    assert_eq!(inserted, 1);
+    let on_hop2 = hops[1].api().store().snapshot().events()[0]
+        .event
+        .as_ref()
+        .clone();
     assert_eq!(on_hop2.distribution, Distribution::OrganizationOnly);
 
-    // The intelligence itself survived both hops.
+    // The intelligence itself survived both wire hops.
     assert!(on_hop2.threat_score().is_some());
-    hop2.publish_event(on_hop2.id).unwrap();
-    let hop3 = MispApi::new("hop-3");
-    let report = sync::push(&hop2, &hop3);
-    assert_eq!(report.withheld, 1);
-    assert_eq!(hop3.store().len(), 0);
+
+    // Hop-2 → hop-3: OrganizationOnly pins; the receiver's hop gate
+    // withholds it and stores nothing.
+    let mut client = FederationClient::new(handles[2].local_addr(), "hop-2");
+    let (inserted, withheld) = ack(client.push_faulted(None, None, vec![on_hop2]).unwrap());
+    assert_eq!((inserted, withheld), (0, 1));
+    assert_eq!(hops[2].api().store().len(), 0);
+
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+/// An event whose attributes split across sharing groups is partially
+/// delivered: each tenant receives the event with exactly the
+/// attributes its groups allow — over real TCP, with zero leaks.
+#[test]
+fn sharing_groups_split_attributes_across_tenants() {
+    let tenants = vec![
+        Tenant::new("org-fin", ["fin"]),
+        Tenant::new("org-gov", ["gov"]),
+        Tenant::new("org-open", Vec::<String>::new()),
+    ];
+    let mut harness =
+        FederationHarness::tcp(Topology::Mesh, tenants, FaultPlan::healthy()).unwrap();
+
+    // One broadcast event, attributes fanned across groups.
+    let mut event = MispEvent::new("split intel");
+    event.distribution = Distribution::AllCommunities;
+    let mut fin = MispAttribute::new(
+        "domain",
+        AttributeCategory::NetworkActivity,
+        "fin-only.example",
+    );
+    fin.tags.push(sharing_group_tag("fin"));
+    let mut gov = MispAttribute::new(
+        "domain",
+        AttributeCategory::NetworkActivity,
+        "gov-only.example",
+    );
+    gov.tags.push(sharing_group_tag("gov"));
+    let open = MispAttribute::new("domain", AttributeCategory::NetworkActivity, "open.example");
+    event.add_attribute(fin);
+    event.add_attribute(gov);
+    event.add_attribute(open);
+    let uuid = harness.seed_event(0, event).unwrap();
+
+    let report = harness.run_until_quiescent(16);
+    assert!(report.converged, "mesh failed to converge: {report:?}");
+    assert!(harness.leaks().is_empty(), "leaks: {:?}", harness.leaks());
+
+    let values = |peer: usize| -> Vec<String> {
+        let event = harness
+            .peer(peer)
+            .api()
+            .store()
+            .get_by_uuid(&uuid)
+            .expect("event delivered");
+        let mut values: Vec<String> = event.attributes.iter().map(|a| a.value.clone()).collect();
+        values.sort();
+        values
+    };
+    // org-gov got the event, minus the fin-only attribute.
+    assert_eq!(values(1), ["gov-only.example", "open.example"]);
+    // org-open (no groups) got only the unrestricted attribute.
+    assert_eq!(values(2), ["open.example"]);
+    harness.shutdown();
+}
+
+/// A tenant revoked mid-round receives nothing new — its store diff
+/// across later rounds is empty, while the remaining tenants keep
+/// converging.
+#[test]
+fn revoked_tenant_receives_nothing_new() {
+    let tenants = vec![
+        Tenant::new("org-0", Vec::<String>::new()),
+        Tenant::new("org-1", Vec::<String>::new()),
+        Tenant::new("org-2", Vec::<String>::new()),
+    ];
+    let mut harness =
+        FederationHarness::tcp(Topology::Mesh, tenants, FaultPlan::healthy()).unwrap();
+
+    let mut before = MispEvent::new("before revocation");
+    before.distribution = Distribution::AllCommunities;
+    harness.seed_event(0, before).unwrap();
+    assert!(harness.run_until_quiescent(16).converged);
+    let revoked_view = harness.stored_uuids(2);
+    assert_eq!(revoked_view.len(), 1, "org-2 synced while admitted");
+
+    // Revoke org-2 mid-run, then publish more intelligence.
+    assert!(harness.policy().write().revoke("org-2"));
+    for info in ["after one", "after two"] {
+        let mut event = MispEvent::new(info);
+        event.distribution = Distribution::AllCommunities;
+        harness.seed_event(1, event).unwrap();
+    }
+    let report = harness.run_until_quiescent(16);
+    assert!(report.converged);
+
+    // The survivors converged on the new intelligence…
+    assert_eq!(harness.stored_uuids(0).len(), 3);
+    assert_eq!(harness.stored_uuids(1).len(), 3);
+    // …while the revoked tenant's store diff is empty: it kept what it
+    // had and received nothing new.
+    assert_eq!(harness.stored_uuids(2), revoked_view);
+    assert!(harness.leaks().is_empty());
+    harness.shutdown();
 }
 
 /// Producer exports a MISP feed; a downstream platform ingests it with
