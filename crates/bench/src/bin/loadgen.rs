@@ -21,9 +21,11 @@
 //!    request→response latency recorded into the workspace's log₂
 //!    histograms (p50/p95/p99 reported).
 //! 3. A high-scale mixed run against the core alone: `high_scale`
-//!    concurrent connections (target 10k+), 80% pulls / 10% ingests /
-//!    10% telemetry scrapes, every connection expecting exactly one
-//!    response — the run must complete with **zero dropped responses**.
+//!    concurrent connections (target 10k+), 70% pulls / 10% ingests /
+//!    10% match-filtered search polls / 10% telemetry scrapes, every
+//!    connection expecting exactly one response — the run must
+//!    complete with **zero dropped responses**. Search polls' latency
+//!    lands in its own histogram and is reported separately.
 //!
 //! Writes `BENCH_serve.json` (schema in [`cais_bench::report`]), gated
 //! by `bench_compare` on the multiplexed polls/sec headline.
@@ -123,6 +125,7 @@ fn main() {
     let core_hist = registry.histogram("loadgen_poll_nanos");
     let warmup_hist = registry.histogram("loadgen_warmup_nanos");
     let high_scale_hist = registry.histogram("loadgen_high_scale_nanos");
+    let search_hist = registry.histogram("loadgen_search_nanos");
 
     // Warm both servers (page cache, allocator, listener) outside the
     // timed windows; warmup samples stay out of the reported quantiles.
@@ -160,12 +163,22 @@ fn main() {
 
     drain_time_wait();
     eprintln!("loadgen: high-scale mixed run @ {high_scale} concurrent connections…");
-    let (responses, high_scale_nanos) = mixed_high_scale(&fixture, high_scale, &high_scale_hist);
+    let (responses, search_responses, high_scale_nanos) =
+        mixed_high_scale(&fixture, high_scale, &high_scale_hist, &search_hist);
 
     child.kill();
 
     let quantiles = percentiles(&registry.snapshot());
     let ranks = &quantiles["loadgen_poll_nanos"];
+    // Tiny smoke runs may complete zero search polls; report zeros
+    // rather than panicking on the absent histogram.
+    let search_rank = |key: &str| {
+        quantiles
+            .get("loadgen_search_nanos")
+            .and_then(|r| r.get(key))
+            .copied()
+            .unwrap_or(0)
+    };
     let measurement = ServeBenchMeasurement {
         connections,
         polls,
@@ -174,6 +187,10 @@ fn main() {
         p50_nanos: ranks["p50"],
         p95_nanos: ranks["p95"],
         p99_nanos: ranks["p99"],
+        search_polls: search_responses,
+        search_p50_nanos: search_rank("p50"),
+        search_p95_nanos: search_rank("p95"),
+        search_p99_nanos: search_rank("p99"),
         high_scale_connections: high_scale,
         high_scale_expected: high_scale as u64,
         high_scale_responses: responses,
@@ -189,12 +206,14 @@ fn main() {
     }
     eprintln!(
         "loadgen: baseline {:.0} polls/s, multiplexed {:.0} polls/s ({:.1}×); \
-         high-scale {}/{} responses in {:.1}s",
+         high-scale {}/{} responses ({} search polls, p99 {:.1}ms) in {:.1}s",
         measurement.baseline_polls_per_sec(),
         measurement.multiplexed_polls_per_sec(),
         measurement.speedup(),
         responses,
         high_scale,
+        search_responses,
+        measurement.search_p99_nanos as f64 / 1e6,
         high_scale_nanos as f64 / 1e9,
     );
     if measurement.high_scale_dropped() > 0 {
@@ -371,7 +390,13 @@ struct PollConn {
     started: Instant,
     next_check: Instant,
     backoff: Duration,
+    /// Workload slot in the mixed run ([`MIXED_SEARCH`] polls report
+    /// into their own histogram); 0 elsewhere.
+    kind: u8,
 }
+
+/// The mixed run's search-poll slot tag.
+const MIXED_SEARCH: u8 = 1;
 
 /// What one sweep step did to a connection.
 enum Step {
@@ -465,6 +490,7 @@ fn open_conn(addr: SocketAddr, request: &'static [u8]) -> std::io::Result<PollCo
         started: now,
         next_check: now,
         backoff: RECHECK_FLOOR,
+        kind: 0,
     })
 }
 
@@ -573,11 +599,18 @@ fn churn(
     Ok(started.elapsed())
 }
 
-/// The high-scale mixed run: `total` concurrent connections — 80%
-/// pulls, 10% ingests, 10% telemetry scrapes — all connected before
-/// any request completes, each expecting exactly one response. Returns
-/// `(responses received, wall nanos)`.
-fn mixed_high_scale(fixture: &Fixture, total: usize, hist: &Histogram) -> (u64, u64) {
+/// The high-scale mixed run: `total` concurrent connections — 70%
+/// pulls, 10% ingests, 10% match-filtered search polls, 10% telemetry
+/// scrapes — all connected before any request completes, each
+/// expecting exactly one response. Search polls record into
+/// `search_hist`; everything else into `hist`. Returns `(responses
+/// received, search responses received, wall nanos)`.
+fn mixed_high_scale(
+    fixture: &Fixture,
+    total: usize,
+    hist: &Histogram,
+    search_hist: &Histogram,
+) -> (u64, u64, u64) {
     let pull: &'static [u8] = Box::leak(
         framed_request(&serde_json::json!({
             "op": "get-objects",
@@ -594,6 +627,17 @@ fn mixed_high_scale(fixture: &Fixture, total: usize, hist: &Histogram) -> (u64, 
         }))
         .into_boxed_slice(),
     );
+    // A typed query the server compiles and applies per page — the
+    // analyst-search shape of TAXII polling.
+    let search: &'static [u8] = Box::leak(
+        framed_request(&serde_json::json!({
+            "op": "get-objects",
+            "collection": fixture.collection,
+            "match": "type:indicator AND value:100",
+            "limit": 10,
+        }))
+        .into_boxed_slice(),
+    );
     let scrape: &'static [u8] =
         Box::leak(framed_request(&serde_json::json!("prometheus")).into_boxed_slice());
 
@@ -603,14 +647,16 @@ fn mixed_high_scale(fixture: &Fixture, total: usize, hist: &Histogram) -> (u64, 
     // Establish the full connection count first — the point is serving
     // breadth, not a pipelined trickle.
     for i in 0..total {
-        let (addr, request) = match i % 10 {
-            0 => (fixture.core, ingest),
-            1 => (fixture.telemetry, scrape),
-            _ => (fixture.core, pull),
+        let (addr, request, kind) = match i % 10 {
+            0 => (fixture.core, ingest, 0),
+            1 => (fixture.telemetry, scrape, 0),
+            2 => (fixture.core, search, MIXED_SEARCH),
+            _ => (fixture.core, pull, 0),
         };
         loop {
             match open_conn(addr, request) {
-                Ok(conn) => {
+                Ok(mut conn) => {
+                    conn.kind = kind;
                     conns.push(conn);
                     break;
                 }
@@ -628,12 +674,19 @@ fn mixed_high_scale(fixture: &Fixture, total: usize, hist: &Histogram) -> (u64, 
     }
     let mut scratch = vec![0u8; 64 * 1024];
     let mut responses = 0u64;
+    let mut search_responses = 0u64;
     while !conns.is_empty() && Instant::now() < deadline {
         let mut progress = false;
         let now = Instant::now();
         conns.retain_mut(|conn| match step(conn, now, &mut scratch) {
             Ok(Step::Done) => {
-                hist.record(conn.started.elapsed().as_nanos() as u64);
+                let elapsed = conn.started.elapsed().as_nanos() as u64;
+                if conn.kind == MIXED_SEARCH {
+                    search_hist.record(elapsed);
+                    search_responses += 1;
+                } else {
+                    hist.record(elapsed);
+                }
                 responses += 1;
                 progress = true;
                 false
@@ -652,5 +705,9 @@ fn mixed_high_scale(fixture: &Fixture, total: usize, hist: &Histogram) -> (u64, 
             std::thread::sleep(Duration::from_micros(50));
         }
     }
-    (responses, started.elapsed().as_nanos() as u64)
+    (
+        responses,
+        search_responses,
+        started.elapsed().as_nanos() as u64,
+    )
 }

@@ -104,6 +104,7 @@ pub fn headline(doc: &Value) -> Option<(String, f64)> {
         "share_json" => doc.get("warm")?.get("speedup_vs_naive")?.as_f64()?,
         "trace_json" => doc.get("traced")?.get("records_per_sec")?.as_f64()?,
         "serve_json" => doc.get("multiplexed")?.get("polls_per_sec")?.as_f64()?,
+        "search_json" => doc.get("query")?.get("queries_per_sec")?.as_f64()?,
         "federation_json" => doc.get("healthy")?.get("deliveries_per_sec")?.as_f64()?,
         _ => return None,
     };
@@ -193,6 +194,11 @@ mod tests {
             headline(&json!({"benchmark": "federation_json",
                              "healthy": {"deliveries_per_sec": 1_200.0}})),
             Some(("federation_json".to_owned(), 1_200.0))
+        );
+        assert_eq!(
+            headline(&json!({"benchmark": "search_json",
+                             "query": {"queries_per_sec": 24_000.0}})),
+            Some(("search_json".to_owned(), 24_000.0))
         );
         assert_eq!(headline(&json!({"benchmark": "mystery"})), None);
         assert_eq!(headline(&json!({"speedup": 3.0})), None);

@@ -794,7 +794,7 @@ pub const SERVE_BAR_MIN_CONNECTIONS: usize = 1_000;
 /// HTTP-polling shape real TAXII consumers have) driven at
 /// `connections` concurrent connections against the thread-per-
 /// connection baseline and the multiplexed core, plus a high-scale
-/// mixed ingest/pull/scrape run against the core alone.
+/// mixed ingest/pull/search/scrape run against the core alone.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeBenchMeasurement {
     /// Concurrent connections during the baseline-vs-core comparison.
@@ -813,6 +813,15 @@ pub struct ServeBenchMeasurement {
     pub p95_nanos: u64,
     /// Client-observed p99 latency on the core.
     pub p99_nanos: u64,
+    /// Completed search polls (match-filtered pulls) in the high-scale
+    /// mixed run.
+    pub search_polls: u64,
+    /// Client-observed p50 latency of the mixed run's search polls.
+    pub search_p50_nanos: u64,
+    /// Client-observed p95 latency of the search polls.
+    pub search_p95_nanos: u64,
+    /// Client-observed p99 latency of the search polls.
+    pub search_p99_nanos: u64,
     /// Concurrent connections of the high-scale mixed run.
     pub high_scale_connections: usize,
     /// Responses the high-scale run expected (one per connection).
@@ -850,6 +859,7 @@ impl ServeBenchMeasurement {
 
 /// The committed `BENCH_serve.json` schema: the comparison workload,
 /// both sides' throughput, the core's client-observed latency
+/// percentiles, the mixed run's match-filtered search-poll latency
 /// percentiles, the high-scale zero-drop run, and the bars the run is
 /// held to (≥5× pull throughput at ≥1k connections; zero dropped
 /// responses at high scale). CI uploads this as an artifact next to the
@@ -876,6 +886,14 @@ pub fn serve_bench_doc(m: &ServeBenchMeasurement) -> serde_json::Value {
             },
         },
         "speedup": m.speedup(),
+        "search": {
+            "responses": m.search_polls,
+            "latency": {
+                "p50_nanos": m.search_p50_nanos,
+                "p95_nanos": m.search_p95_nanos,
+                "p99_nanos": m.search_p99_nanos,
+            },
+        },
         "high_scale": {
             "connections": m.high_scale_connections,
             "expected_responses": m.high_scale_expected,
@@ -976,6 +994,115 @@ pub fn federation_bench_doc(m: &FederationBenchMeasurement) -> serde_json::Value
             "fixpoints_match": m.fixpoints_match,
             "zero_leaks": m.leaks == 0,
             "within": m.chaos_converged && m.fixpoints_match && m.leaks == 0,
+        },
+    })
+}
+
+/// Client-observed p99 ceiling, in nanoseconds, for one indexed query
+/// over the million-attribute population — the sub-millisecond bar the
+/// `search_json` run is held to while churn writers run concurrently.
+pub const SEARCH_BAR_MAX_P99_NANOS: u64 = 1_000_000;
+
+/// Minimum speedup of an incremental index sync (after ~1% churn) over
+/// a from-scratch rebuild — the point of riding the store changelog.
+pub const SEARCH_BAR_MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
+
+/// Measured inputs for [`search_bench_doc`], produced by the
+/// `search_json` binary: an inverted index built over a
+/// million-attribute store, queried across every language axis while a
+/// churn writer mutates events, then an incremental sync timed against
+/// a full rebuild over the same churn.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchBenchMeasurement {
+    /// Events in the store.
+    pub events: usize,
+    /// Attributes across those events.
+    pub attributes: usize,
+    /// Timed queries executed.
+    pub queries: usize,
+    /// Store mutations the concurrent churn writer landed during the
+    /// timed query window.
+    pub churn_ops: u64,
+    /// Wall time of the cold build (first sync over the full store).
+    pub cold_build_nanos: u64,
+    /// Total wall time of the timed query loop (queries only, syncs
+    /// excluded).
+    pub query_wall_nanos: u64,
+    /// Exact p50 single-query latency.
+    pub p50_nanos: u64,
+    /// Exact p95 single-query latency.
+    pub p95_nanos: u64,
+    /// Exact p99 single-query latency.
+    pub p99_nanos: u64,
+    /// Events returned across all timed queries.
+    pub hits: u64,
+    /// Events churned before the incremental-vs-rebuild comparison.
+    pub churned: usize,
+    /// Wall time of the incremental sync absorbing that churn.
+    pub incremental_sync_nanos: u64,
+    /// Wall time of the from-scratch rebuild over the same store.
+    pub rebuild_nanos: u64,
+    /// Whether indexed results matched the linear-scan oracle on every
+    /// equivalence probe.
+    pub equivalent: bool,
+}
+
+impl SearchBenchMeasurement {
+    /// Queries answered per second — the headline [`crate::compare`]
+    /// guards.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / (self.query_wall_nanos as f64 / 1e9).max(f64::MIN_POSITIVE)
+    }
+
+    /// Incremental-sync speedup over the from-scratch rebuild.
+    pub fn incremental_speedup(&self) -> f64 {
+        self.rebuild_nanos as f64 / (self.incremental_sync_nanos as f64).max(1.0)
+    }
+
+    /// Whether the run clears every bar.
+    pub fn within_bar(&self) -> bool {
+        self.p99_nanos < SEARCH_BAR_MAX_P99_NANOS
+            && self.incremental_speedup() >= SEARCH_BAR_MIN_INCREMENTAL_SPEEDUP
+            && self.equivalent
+    }
+}
+
+/// The committed `BENCH_search.json` schema: workload shape, the cold
+/// build, the under-churn query percentiles, the incremental-vs-rebuild
+/// comparison, the equivalence verdict, and the bars the run is held to
+/// (sub-millisecond p99; ≥5× incremental speedup). CI uploads this as
+/// an artifact next to the other `BENCH_*.json` files.
+pub fn search_bench_doc(m: &SearchBenchMeasurement) -> serde_json::Value {
+    serde_json::json!({
+        "benchmark": "search_json",
+        "workload": {
+            "events": m.events,
+            "attributes": m.attributes,
+            "queries": m.queries,
+            "churn_ops": m.churn_ops,
+        },
+        "cold_build": { "wall_nanos": m.cold_build_nanos },
+        "query": {
+            "wall_nanos": m.query_wall_nanos,
+            "queries_per_sec": m.queries_per_sec(),
+            "hits": m.hits,
+            "latency": {
+                "p50_nanos": m.p50_nanos,
+                "p95_nanos": m.p95_nanos,
+                "p99_nanos": m.p99_nanos,
+            },
+        },
+        "incremental": {
+            "churned": m.churned,
+            "sync_nanos": m.incremental_sync_nanos,
+            "rebuild_nanos": m.rebuild_nanos,
+            "speedup": m.incremental_speedup(),
+        },
+        "equivalence": { "indexed_matches_linear": m.equivalent },
+        "bar": {
+            "max_p99_nanos": SEARCH_BAR_MAX_P99_NANOS,
+            "min_incremental_speedup": SEARCH_BAR_MIN_INCREMENTAL_SPEEDUP,
+            "within": m.within_bar(),
         },
     })
 }
@@ -1105,6 +1232,10 @@ mod tests {
             p50_nanos: 200_000,
             p95_nanos: 900_000,
             p99_nanos: 2_000_000,
+            search_polls: 1_000,
+            search_p50_nanos: 300_000,
+            search_p95_nanos: 1_200_000,
+            search_p99_nanos: 2_500_000,
             high_scale_connections: 10_000,
             high_scale_expected: 10_000,
             high_scale_responses: 10_000,
@@ -1120,6 +1251,8 @@ mod tests {
         assert_eq!(doc["high_scale"]["dropped"], 0);
         assert!(doc["multiplexed"]["polls_per_sec"].as_f64().unwrap() > 0.0);
         assert!(doc["multiplexed"]["latency"]["p99_nanos"].as_u64().unwrap() > 0);
+        assert_eq!(doc["search"]["responses"], 1_000);
+        assert_eq!(doc["search"]["latency"]["p99_nanos"], 2_500_000);
 
         // A lossy high-scale run fails the zero-drop bar.
         let lossy = ServeBenchMeasurement {
@@ -1164,6 +1297,52 @@ mod tests {
             ..m
         };
         assert_eq!(federation_bench_doc(&diverged)["bar"]["within"], false);
+    }
+
+    #[test]
+    fn search_bench_doc_schema() {
+        let m = SearchBenchMeasurement {
+            events: 200_000,
+            attributes: 1_000_000,
+            queries: 5_000,
+            churn_ops: 40_000,
+            cold_build_nanos: 2_000_000_000,
+            query_wall_nanos: 1_000_000_000,
+            p50_nanos: 50_000,
+            p95_nanos: 300_000,
+            p99_nanos: 800_000,
+            hits: 9_000_000,
+            churned: 2_000,
+            incremental_sync_nanos: 20_000_000,
+            rebuild_nanos: 2_000_000_000,
+            equivalent: true,
+        };
+        let doc = search_bench_doc(&m);
+        assert_eq!(doc["benchmark"], "search_json");
+        assert_eq!(doc["workload"]["attributes"], 1_000_000);
+        // 5000 queries over 1 s.
+        assert!((doc["query"]["queries_per_sec"].as_f64().unwrap() - 5_000.0).abs() < 1e-9);
+        assert_eq!(doc["query"]["latency"]["p99_nanos"], 800_000);
+        // 2 s rebuild vs 20 ms sync → 100×, clearing the 5× bar.
+        assert!((doc["incremental"]["speedup"].as_f64().unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(doc["bar"]["within"], true);
+
+        // Any bar breach fails the aggregate verdict.
+        let slow = SearchBenchMeasurement {
+            p99_nanos: SEARCH_BAR_MAX_P99_NANOS,
+            ..m
+        };
+        assert_eq!(search_bench_doc(&slow)["bar"]["within"], false);
+        let thrashing = SearchBenchMeasurement {
+            incremental_sync_nanos: 1_000_000_000,
+            ..m
+        };
+        assert_eq!(search_bench_doc(&thrashing)["bar"]["within"], false);
+        let diverged = SearchBenchMeasurement {
+            equivalent: false,
+            ..m
+        };
+        assert_eq!(search_bench_doc(&diverged)["bar"]["within"], false);
     }
 
     #[test]

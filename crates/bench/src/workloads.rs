@@ -240,6 +240,76 @@ pub fn decay_events(seed: u64, count: usize, now: Timestamp) -> Vec<MispEvent> {
         .collect()
 }
 
+/// Attribute types the search workload draws from, paired with the
+/// category they are filed under — the distribution queries
+/// discriminate on.
+const SEARCH_ATTRIBUTE_POOL: &[(&str, AttributeCategory)] = &[
+    ("domain", AttributeCategory::NetworkActivity),
+    ("ip-dst", AttributeCategory::NetworkActivity),
+    ("url", AttributeCategory::NetworkActivity),
+    ("sha256", AttributeCategory::PayloadDelivery),
+    ("email-src", AttributeCategory::PayloadDelivery),
+    ("vulnerability", AttributeCategory::ExternalAnalysis),
+];
+
+const SEARCH_ORG_POOL: &[&str] = &["CIRCL", "ACME-CSIRT", "fleet-soc", "partner-isac"];
+
+/// `count` events for the search benchmarks, 5 attributes each: typed
+/// attributes drawn from a 6-type pool, an org from a 4-org pool, a
+/// TLP tag plus the `cais-conf` confidence taxonomy, `date` spread
+/// over the 25 days before `now`, and ~10% left unpublished — so
+/// every query-language axis (type, category, tag, org, value, date,
+/// score, published) is selective over the population. Deterministic
+/// apart from per-run UUIDs.
+pub fn search_events(seed: u64, count: usize, now: Timestamp) -> Vec<MispEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tlp = [
+        cais_misp::Tag::tlp_white(),
+        cais_misp::Tag::tlp_green(),
+        cais_misp::Tag::tlp_amber(),
+        cais_misp::Tag::tlp_red(),
+    ];
+    (0..count)
+        .map(|i| {
+            let mut event = MispEvent::new(format!("advisory {i}"));
+            event.org = SEARCH_ORG_POOL[rng.gen_range(0..SEARCH_ORG_POOL.len())].to_owned();
+            event.date = now.add_days(-rng.gen_range(0i64..26));
+            for a in 0..5 {
+                let (attr_type, category) =
+                    SEARCH_ATTRIBUTE_POOL[rng.gen_range(0..SEARCH_ATTRIBUTE_POOL.len())];
+                let value = match attr_type {
+                    "ip-dst" => format!("10.{}.{}.{}", i % 200, (i / 200) % 200, a),
+                    "url" => format!("https://host-{i}.example/path-{a}"),
+                    // The leading letter keeps all-digit hex (which the
+                    // observable detector rejects) out of the pool.
+                    "sha256" => format!("a{:063x}", (i as u128) << 8 | a as u128),
+                    "email-src" => format!("actor-{i}@mail-{a}.example"),
+                    "vulnerability" => format!("CVE-2017-{}", 9000 + (i % 1000)),
+                    _ => format!("host-{i}-{a}.example"),
+                };
+                event.add_attribute(MispAttribute::new(attr_type, category, value));
+            }
+            event.add_tag(tlp[rng.gen_range(0..tlp.len())].clone());
+            if rng.gen_range(0u32..2) == 0 {
+                event.add_tag(cais_misp::Tag::machine(
+                    "cais",
+                    "threat-score",
+                    &format!("{:.2}", rng.gen_range(0.0f64..5.0)),
+                ));
+            }
+            for predicate in ["reliability", "freshness", "corroboration"] {
+                event.add_tag(cais_misp::Tag::machine(
+                    "cais-conf",
+                    predicate,
+                    &rng.gen_range(1u8..6).to_string(),
+                ));
+            }
+            event.published = rng.gen_range(0u32..10) != 0;
+            event
+        })
+        .collect()
+}
+
 /// Mutates roughly `fraction` of the store's events (every k-th id in
 /// id order) by rewriting their `info`, returning how many changed.
 /// `round` disambiguates repeated churn passes so every pass really
@@ -340,6 +410,33 @@ mod tests {
                     .count(),
                 3
             );
+        }
+    }
+
+    #[test]
+    fn search_events_span_every_query_axis() {
+        let now = Timestamp::from_unix_millis(50 * cais_common::time::MILLIS_PER_DAY);
+        let a = search_events(7, 200, now);
+        let b = search_events(7, 200, now);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.info, y.info);
+            assert_eq!(x.org, y.org);
+            assert_eq!(x.date, y.date);
+            assert_eq!(x.tags, y.tags);
+            assert_eq!(x.attributes.len(), 5);
+        }
+        // Both sides of the selective axes are populated.
+        assert!(a.iter().any(|e| e.published) && a.iter().any(|e| !e.published));
+        assert!(a.iter().any(|e| e.threat_score().is_some()));
+        assert!(a.iter().any(|e| e.threat_score().is_none()));
+        assert!(a.iter().any(|e| e.org == "CIRCL") && a.iter().any(|e| e.org != "CIRCL"));
+        let typed = |t: &str| {
+            a.iter()
+                .any(|e| e.attributes.iter().any(|attr| attr.attr_type == t))
+        };
+        for (attr_type, _) in SEARCH_ATTRIBUTE_POOL {
+            assert!(typed(attr_type), "no {attr_type} attribute generated");
         }
     }
 

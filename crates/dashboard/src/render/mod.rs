@@ -6,6 +6,7 @@ mod health;
 mod html;
 mod json;
 mod latency;
+mod search;
 
 pub use ascii::ascii;
 pub use federation::{federation_ascii, federation_html, federation_json, FederationPanel};
@@ -15,3 +16,4 @@ pub use json::json;
 pub use latency::{
     latency_ascii, latency_html, latency_json, LatencyPanel, ServingLatency, StageLatency,
 };
+pub use search::{search_ascii, search_html, search_json, SearchPanel};

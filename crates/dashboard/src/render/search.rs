@@ -1,0 +1,244 @@
+//! The "search" panel: inverted-index health and query latency
+//! rendered next to the threat dashboard.
+//!
+//! Reassembles the `search_*` metric family emitted by `cais-search`
+//! (query counts and hit totals, parse errors, index sync/rebuild
+//! activity, index size, and the `search_query_nanos` latency
+//! histogram) from a [`cais_telemetry::Snapshot`] — the view an
+//! operator reads to answer: are analysts' queries fast, is the index
+//! tracking the store incrementally or thrashing through rebuilds.
+
+use std::collections::BTreeMap;
+
+use cais_telemetry::{split_labels, Snapshot};
+use serde::Serialize;
+
+/// A structured view over the `search_*` series. Build with
+/// [`SearchPanel::from_snapshot`], render with [`search_ascii`],
+/// [`search_html`] or [`search_json`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SearchPanel {
+    /// Queries answered (`search_queries_total`).
+    pub queries: u64,
+    /// Events returned across all queries (`search_hits_total`).
+    pub hits: u64,
+    /// Rejected query strings (`search_parse_errors_total`).
+    pub parse_errors: u64,
+    /// Index sync passes driven (`search_index_syncs_total`).
+    pub syncs: u64,
+    /// Syncs that fell back to a full rebuild
+    /// (`search_index_rebuilds_total`) — after the first fill, nonzero
+    /// growth here means the changelog seam is broken.
+    pub rebuilds: u64,
+    /// Events currently indexed (`search_index_events`).
+    pub indexed_events: i64,
+    /// Distinct interned tokens (`search_index_tokens`).
+    pub indexed_tokens: i64,
+    /// Query latency p50, in nanoseconds (`search_query_nanos`).
+    pub query_p50_nanos: u64,
+    /// Query latency p95, in nanoseconds.
+    pub query_p95_nanos: u64,
+    /// Query latency p99, in nanoseconds.
+    pub query_p99_nanos: u64,
+    /// Any remaining `search_*` counters, verbatim.
+    pub other: BTreeMap<String, u64>,
+}
+
+impl SearchPanel {
+    /// Extracts the search series from a snapshot.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut panel = SearchPanel::default();
+        for (name, &value) in &snapshot.counters {
+            let (base, _) = split_labels(name);
+            match base {
+                "search_queries_total" => panel.queries = value,
+                "search_hits_total" => panel.hits = value,
+                "search_parse_errors_total" => panel.parse_errors = value,
+                "search_index_syncs_total" => panel.syncs = value,
+                "search_index_rebuilds_total" => panel.rebuilds = value,
+                _ if base.starts_with("search_") => {
+                    panel.other.insert(name.clone(), value);
+                }
+                _ => {}
+            }
+        }
+        for (name, &value) in &snapshot.gauges {
+            let (base, _) = split_labels(name);
+            match base {
+                "search_index_events" => panel.indexed_events = value,
+                "search_index_tokens" => panel.indexed_tokens = value,
+                _ => {}
+            }
+        }
+        for (name, histogram) in &snapshot.histograms {
+            let (base, _) = split_labels(name);
+            if base == "search_query_nanos" {
+                panel.query_p50_nanos = histogram.quantile(0.50);
+                panel.query_p95_nanos = histogram.quantile(0.95);
+                panel.query_p99_nanos = histogram.quantile(0.99);
+            }
+        }
+        panel
+    }
+
+    /// Whether the snapshot carried any search series at all.
+    pub fn is_empty(&self) -> bool {
+        self == &SearchPanel::default()
+    }
+}
+
+fn nanos(value: u64) -> String {
+    if value >= 1_000_000 {
+        format!("{:.2}ms", value as f64 / 1e6)
+    } else if value >= 1_000 {
+        format!("{:.1}µs", value as f64 / 1e3)
+    } else {
+        format!("{value}ns")
+    }
+}
+
+/// Renders the search panel as terminal text, in the dashboard's box
+/// style.
+pub fn search_ascii(panel: &SearchPanel) -> String {
+    let mut out = String::new();
+    out.push_str("== CAIS search ==\n\n");
+    out.push_str(&format!(
+        "  {} events indexed under {} tokens — {} syncs, {} rebuilds\n\n",
+        panel.indexed_events, panel.indexed_tokens, panel.syncs, panel.rebuilds
+    ));
+    let mut row = |name: &str, value: String| {
+        out.push_str(&format!("  {name:<34} {value:>10}\n"));
+    };
+    row("queries answered", panel.queries.to_string());
+    row("events returned", panel.hits.to_string());
+    row("parse errors", panel.parse_errors.to_string());
+    row("query latency p50", nanos(panel.query_p50_nanos));
+    row("query latency p95", nanos(panel.query_p95_nanos));
+    row("query latency p99", nanos(panel.query_p99_nanos));
+    for (name, value) in &panel.other {
+        row(name, value.to_string());
+    }
+    out
+}
+
+/// Renders the search panel as a standalone HTML fragment.
+pub fn search_html(panel: &SearchPanel) -> String {
+    let mut out = String::new();
+    out.push_str("<section class=\"cais-search\">\n<h2>Search</h2>\n");
+    out.push_str(&format!(
+        "<p>{} events indexed under {} tokens &mdash; {} syncs, {} rebuilds</p>\n",
+        panel.indexed_events, panel.indexed_tokens, panel.syncs, panel.rebuilds
+    ));
+    out.push_str("<table class=\"search\">\n<tr><th>series</th><th>value</th></tr>\n");
+    let mut row = |name: &str, value: String| {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td></tr>\n",
+            escape(name),
+            escape(&value)
+        ));
+    };
+    row("queries answered", panel.queries.to_string());
+    row("events returned", panel.hits.to_string());
+    row("parse errors", panel.parse_errors.to_string());
+    row("query latency p50", nanos(panel.query_p50_nanos));
+    row("query latency p95", nanos(panel.query_p95_nanos));
+    row("query latency p99", nanos(panel.query_p99_nanos));
+    for (name, value) in &panel.other {
+        row(name, value.to_string());
+    }
+    out.push_str("</table>\n</section>\n");
+    out
+}
+
+/// Renders the search panel as pretty-printed JSON.
+pub fn search_json(panel: &SearchPanel) -> String {
+    serde_json::to_string_pretty(panel).unwrap_or_else(|_| "{}".to_owned())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_telemetry::Registry;
+
+    fn populated_registry() -> Registry {
+        let registry = Registry::new();
+        registry.counter("search_queries_total").add(1_000);
+        registry.counter("search_hits_total").add(12_345);
+        registry.counter("search_parse_errors_total").add(3);
+        registry.counter("search_index_syncs_total").add(64);
+        registry.counter("search_index_rebuilds_total").add(1);
+        registry.gauge("search_index_events").set(200_000);
+        registry.gauge("search_index_tokens").set(450_000);
+        let latency = registry.histogram("search_query_nanos");
+        for _ in 0..99 {
+            latency.record(40_000);
+        }
+        latency.record(900_000);
+        registry
+    }
+
+    #[test]
+    fn panel_extracts_the_search_family() {
+        let panel = SearchPanel::from_snapshot(&populated_registry().snapshot());
+        assert_eq!(panel.queries, 1_000);
+        assert_eq!(panel.hits, 12_345);
+        assert_eq!(panel.parse_errors, 3);
+        assert_eq!(panel.syncs, 64);
+        assert_eq!(panel.rebuilds, 1);
+        assert_eq!(panel.indexed_events, 200_000);
+        assert_eq!(panel.indexed_tokens, 450_000);
+        assert!(panel.query_p50_nanos >= 40_000);
+        assert!(panel.query_p99_nanos >= panel.query_p50_nanos);
+        assert!(panel.other.is_empty());
+        assert!(!panel.is_empty());
+    }
+
+    #[test]
+    fn renderers_cover_every_series() {
+        let panel = SearchPanel::from_snapshot(&populated_registry().snapshot());
+        let text = search_ascii(&panel);
+        assert!(text.contains("CAIS search"));
+        assert!(text.contains("200000 events indexed under 450000 tokens"));
+        assert!(text.contains("queries answered"));
+        assert!(text.contains("query latency p99"));
+
+        let html = search_html(&panel);
+        assert!(html.contains("<h2>Search</h2>"));
+        assert!(html.contains("<td>queries answered</td><td>1000</td>"));
+
+        let json: serde_json::Value = serde_json::from_str(&search_json(&panel)).unwrap();
+        assert_eq!(json["queries"], 1_000);
+        assert_eq!(json["indexed_events"], 200_000);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let panel = SearchPanel::from_snapshot(&Registry::new().snapshot());
+        assert!(panel.is_empty());
+        assert!(search_ascii(&panel).contains("0 events indexed"));
+        assert!(search_html(&panel).contains("cais-search"));
+    }
+
+    #[test]
+    fn foreign_series_are_ignored_and_unknown_search_series_kept() {
+        let registry = Registry::new();
+        registry.counter("misp_events_inserted_total").add(9);
+        registry.counter("search_future_series_total").add(11);
+        let panel = SearchPanel::from_snapshot(&registry.snapshot());
+        assert_eq!(panel.queries, 0);
+        assert_eq!(panel.other["search_future_series_total"], 11);
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert_eq!(nanos(500), "500ns");
+        assert_eq!(nanos(42_000), "42.0µs");
+        assert_eq!(nanos(2_500_000), "2.50ms");
+    }
+}

@@ -19,7 +19,7 @@ use crate::error::MispError;
 use crate::event::MispEvent;
 use crate::export::ExportRegistry;
 use crate::share::ShareExporter;
-use crate::store::{MispStore, SearchQuery};
+use crate::store::{MispStore, SearchBackend, SearchQuery, VersionedEvent};
 
 /// The MISP instance facade: store + cached export front-end + event
 /// bus.
@@ -29,6 +29,7 @@ pub struct MispApi {
     share: ShareExporter,
     broker: Option<Broker>,
     tracer: parking_lot::RwLock<Option<Tracer>>,
+    search_backend: parking_lot::RwLock<Option<Arc<dyn SearchBackend>>>,
 }
 
 impl MispApi {
@@ -40,6 +41,7 @@ impl MispApi {
             share: ShareExporter::default(),
             broker: None,
             tracer: parking_lot::RwLock::new(None),
+            search_backend: parking_lot::RwLock::new(None),
         }
     }
 
@@ -171,19 +173,53 @@ impl MispApi {
         Ok(())
     }
 
-    /// Events whose attributes carry the exact value, as
-    /// `(event_id, event)` pairs.
-    pub fn search_value(&self, value: &str) -> Vec<(u64, MispEvent)> {
-        self.store
-            .events_with_value(value)
-            .into_iter()
-            .filter_map(|id| self.store.get(id).map(|e| (id, e)))
+    /// Attaches a search backend (the `cais-search` inverted index);
+    /// [`MispApi::search`] routes through it from then on. The backend
+    /// must uphold the [`SearchBackend`] equivalence contract against
+    /// [`MispApi::search_linear`].
+    pub fn set_search_backend(&self, backend: Arc<dyn SearchBackend>) {
+        *self.search_backend.write() = Some(backend);
+    }
+
+    /// Events whose attributes carry the exact (normalized) value, as
+    /// zero-clone versioned handles ordered by event id — straight off
+    /// the correlation index, no event walk, no body clones.
+    pub fn search_value(&self, value: &str) -> Vec<VersionedEvent> {
+        let mut ids = self.store.events_with_value(value);
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .filter_map(|id| self.store.versioned(id))
             .collect()
     }
 
-    /// Filtered search over events.
-    pub fn search(&self, query: &SearchQuery) -> Vec<MispEvent> {
-        self.store.search(query)
+    /// Events whose attributes carry the exact value, deep-cloned as
+    /// `(event_id, event)` pairs.
+    #[deprecated(note = "use search_value() for zero-clone versioned results")]
+    pub fn search_value_cloned(&self, value: &str) -> Vec<(u64, MispEvent)> {
+        self.search_value(value)
+            .into_iter()
+            .map(|v| (v.event.id, (*v.event).clone()))
+            .collect()
+    }
+
+    /// Filtered search over events, as zero-clone versioned handles
+    /// ordered by event id. Routes through the attached
+    /// [`SearchBackend`] when one is set (the `cais-search` inverted
+    /// index: O(postings) per term instead of a full scan), else falls
+    /// back to the linear scan — both produce identical results, a
+    /// contract the search crate's equivalence property tests enforce.
+    pub fn search(&self, query: &SearchQuery) -> Vec<VersionedEvent> {
+        if let Some(backend) = self.search_backend.read().clone() {
+            return backend.search_query(&self.store, query);
+        }
+        self.store.search_linear(query)
+    }
+
+    /// Filtered search by linear scan, bypassing any attached backend —
+    /// the reference baseline the indexed path is tested against.
+    pub fn search_linear(&self, query: &SearchQuery) -> Vec<VersionedEvent> {
+        self.store.search_linear(query)
     }
 
     /// The correlations of one event against the rest of the store.

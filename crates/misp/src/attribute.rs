@@ -32,6 +32,23 @@ pub enum AttributeCategory {
     Other,
 }
 
+impl AttributeCategory {
+    /// The MISP display name — identical to the serde wire form
+    /// (`"Network activity"` etc.), so matching on `name()` matches
+    /// what exports and imports carry.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributeCategory::NetworkActivity => "Network activity",
+            AttributeCategory::PayloadDelivery => "Payload delivery",
+            AttributeCategory::ExternalAnalysis => "External analysis",
+            AttributeCategory::PersistenceMechanism => "Persistence mechanism",
+            AttributeCategory::Attribution => "Attribution",
+            AttributeCategory::InternalReference => "Internal reference",
+            AttributeCategory::Other => "Other",
+        }
+    }
+}
+
 /// The attribute types this platform recognizes, a practical subset of
 /// MISP's registry.
 pub const KNOWN_TYPES: &[&str] = &[

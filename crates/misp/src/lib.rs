@@ -28,7 +28,7 @@
 //! let id = api.add_event(event)?;
 //! let found = api.search_value("CVE-2017-9805");
 //! assert_eq!(found.len(), 1);
-//! assert_eq!(found[0].0, id);
+//! assert_eq!(found[0].event.id, id);
 //! # Ok::<(), cais_misp::MispError>(())
 //! ```
 
@@ -54,6 +54,8 @@ pub use attribute::{AttributeCategory, MispAttribute};
 pub use error::MispError;
 pub use event::{Analysis, Distribution, MispEvent, ThreatLevel};
 pub use share::{ShareCacheStats, ShareExporter};
-pub use store::{MergeOutcome, MispStore, StoreSnapshot, VersionedEvent};
+pub use store::{
+    MergeOutcome, MispStore, SearchBackend, SearchQuery, StoreSnapshot, VersionedEvent,
+};
 pub use sync::{ApplyOutcome, ResilientSyncReport, SyncReport};
 pub use tag::Tag;

@@ -105,6 +105,21 @@ pub struct SearchQuery {
     pub published_only: bool,
 }
 
+/// A pluggable index that can answer [`SearchQuery`] filters faster
+/// than the store's linear scan. [`MispApi::search`] routes through an
+/// attached backend when one is set; the contract is strict
+/// equivalence — for any store state and query, the backend must
+/// return exactly the `(event id, version)` pairs
+/// [`MispStore::search_linear`] returns, in the same id order. The
+/// `cais-search` crate's incremental inverted index implements this
+/// and is property-tested against that contract under churn.
+///
+/// [`MispApi::search`]: crate::MispApi::search
+pub trait SearchBackend: Send + Sync {
+    /// Answers `query` over the store's current contents.
+    fn search_query(&self, store: &MispStore, query: &SearchQuery) -> Vec<VersionedEvent>;
+}
+
 /// An event handle plus the version it carried when read. The version
 /// bumps on every [`MispStore::update`], so `(event.uuid, version)`
 /// uniquely identifies serialized bytes of the event body — the export
@@ -620,13 +635,26 @@ impl MispStore {
         out
     }
 
-    /// Runs a filtered search, returning matching events.
+    /// Runs a filtered search, deep-cloning matching events.
+    #[deprecated(note = "use search_linear() for zero-clone versioned results")]
     pub fn search(&self, query: &SearchQuery) -> Vec<MispEvent> {
+        self.search_linear(query)
+            .into_iter()
+            .map(|v| (*v.event).clone())
+            .collect()
+    }
+
+    /// Runs a filtered search by linear scan, returning shared
+    /// (`Arc`) event handles plus their versions, ordered by event id.
+    /// This is the reference evaluation the `cais-search` inverted
+    /// index is property-tested against: the index must return exactly
+    /// these `(id, version)` pairs for the compiled form of `query`.
+    pub fn search_linear(&self, query: &SearchQuery) -> Vec<VersionedEvent> {
         let events = self.events.read();
-        let mut out: Vec<MispEvent> = events
+        let mut out: Vec<VersionedEvent> = events
             .values()
-            .map(|s| &s.event)
-            .filter(|event| {
+            .filter(|s| {
+                let event = &s.event;
                 if query.published_only && !event.published {
                     return false;
                 }
@@ -657,9 +685,12 @@ impl MispStore {
                 }
                 true
             })
-            .map(|event| (**event).clone())
+            .map(|s| VersionedEvent {
+                event: Arc::clone(&s.event),
+                version: s.version,
+            })
             .collect();
-        out.sort_by_key(|e| e.id);
+        out.sort_by_key(|v| v.event.id);
         out
     }
 
@@ -963,31 +994,38 @@ mod tests {
         let plain_id = store.insert(event_with("plain.example")).unwrap();
         store.publish(plain_id).unwrap();
 
-        let by_tag = store.search(&SearchQuery {
+        let by_tag = store.search_linear(&SearchQuery {
             tag: Some("tlp:red".into()),
             ..SearchQuery::default()
         });
         assert_eq!(by_tag.len(), 1);
-        assert!(by_tag[0].info.contains("tagged"));
+        assert!(by_tag[0].event.info.contains("tagged"));
 
-        let published = store.search(&SearchQuery {
+        let published = store.search_linear(&SearchQuery {
             published_only: true,
             ..SearchQuery::default()
         });
         assert_eq!(published.len(), 1);
-        assert_eq!(published[0].id, plain_id);
+        assert_eq!(published[0].event.id, plain_id);
+        // publish() is an update: the version reflects it.
+        assert_eq!(published[0].version, 1);
 
-        let by_value = store.search(&SearchQuery {
+        let by_value = store.search_linear(&SearchQuery {
             value_contains: Some("PLAIN".into()),
             ..SearchQuery::default()
         });
         assert_eq!(by_value.len(), 1);
 
-        let none = store.search(&SearchQuery {
+        let none = store.search_linear(&SearchQuery {
             attr_type: Some("sha256".into()),
             ..SearchQuery::default()
         });
         assert!(none.is_empty());
+
+        // The deprecated cloning shim stays equivalent.
+        #[allow(deprecated)]
+        let cloned = store.search(&SearchQuery::default());
+        assert_eq!(cloned.len(), store.len());
     }
 
     #[test]

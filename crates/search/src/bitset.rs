@@ -1,0 +1,140 @@
+//! Fixed-width bitsets over dense slot ids — the evaluation currency
+//! of the query compiler.
+//!
+//! Generalized from `cais_infra::index::NodeBitset`: same block layout
+//! (64 slots per `u64`, sized lazily to the highest set bit), extended
+//! with the intersection and subtraction the boolean operators need on
+//! top of the union the infra matcher already used.
+
+/// A growable bitset over dense slot ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotBitset {
+    blocks: Vec<u64>,
+}
+
+impl SlotBitset {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        SlotBitset::default()
+    }
+
+    /// Sets one slot's bit, growing the block vector as needed.
+    pub fn set(&mut self, slot: u32) {
+        let (block, bit) = (slot as usize / 64, slot as usize % 64);
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        self.blocks[block] |= 1 << bit;
+    }
+
+    /// Clears one slot's bit (no-op when out of range).
+    pub fn clear(&mut self, slot: u32) {
+        let (block, bit) = (slot as usize / 64, slot as usize % 64);
+        if let Some(b) = self.blocks.get_mut(block) {
+            *b &= !(1 << bit);
+        }
+    }
+
+    /// Whether the slot's bit is set.
+    pub fn contains(&self, slot: u32) -> bool {
+        let (block, bit) = (slot as usize / 64, slot as usize % 64);
+        self.blocks.get(block).is_some_and(|b| b & (1 << bit) != 0)
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &SlotBitset) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (dst, src) in self.blocks.iter_mut().zip(&other.blocks) {
+            *dst |= src;
+        }
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &SlotBitset) {
+        for (i, dst) in self.blocks.iter_mut().enumerate() {
+            *dst &= other.blocks.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &SlotBitset) {
+        for (dst, src) in self.blocks.iter_mut().zip(&other.blocks) {
+            *dst &= !src;
+        }
+    }
+
+    /// Iterates set slots in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut bits = block;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(i as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_contains_clear() {
+        let mut set = SlotBitset::new();
+        assert!(set.is_empty());
+        set.set(0);
+        set.set(63);
+        set.set(64);
+        set.set(1000);
+        assert!(set.contains(63));
+        assert!(set.contains(1000));
+        assert!(!set.contains(999));
+        assert_eq!(set.count(), 4);
+        set.clear(63);
+        assert!(!set.contains(63));
+        assert_eq!(set.ones().collect::<Vec<_>>(), vec![0, 64, 1000]);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = SlotBitset::new();
+        let mut b = SlotBitset::new();
+        for i in [1u32, 5, 200] {
+            a.set(i);
+        }
+        for i in [5u32, 200, 300] {
+            b.set(i);
+        }
+        let mut union = a.clone();
+        union.union_with(&b);
+        assert_eq!(union.ones().collect::<Vec<_>>(), vec![1, 5, 200, 300]);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.ones().collect::<Vec<_>>(), vec![5, 200]);
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        assert_eq!(diff.ones().collect::<Vec<_>>(), vec![1]);
+        // Differently-sized operands never panic or gain phantom bits.
+        let mut short = SlotBitset::new();
+        short.set(2);
+        short.intersect_with(&a);
+        assert!(short.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Parser robustness properties:
+//!
+//! * **Totality**: `Query::parse` never panics — arbitrary byte soup
+//!   yields `Ok` or a positioned `ParseError`.
+//! * **Display identity**: for any AST the generator can build,
+//!   `parse(ast.to_string()) == ast` — the printed form is a lossless
+//!   wire format, so queries survive being logged, shipped in TAXII
+//!   `match` fields, and re-parsed server-side.
+//!
+//! The vendored proptest has no recursive strategies, so ASTs are
+//! hand-assembled by a little stack machine driven by integer opcode
+//! vectors — pushes build leaves, unary/binary ops fold the stack.
+
+use cais_common::Timestamp;
+use cais_search::{Cmp, Field, Query};
+use proptest::prelude::*;
+
+/// Leaf values spanning the quoting edge cases: bare words, colons
+/// (machine tags), whitespace, quotes, backslashes, non-ASCII, empty.
+const VALUES: &[&str] = &[
+    "evil",
+    "c2.example.com",
+    "tlp:red",
+    "cais-conf:reliability=\"4\"",
+    "multi word",
+    "wei\"rd\\back",
+    "päy load",
+    "AND",
+    "",
+];
+
+const FIELDS: &[Field] = &[
+    Field::Type,
+    Field::Category,
+    Field::Tag,
+    Field::Org,
+    Field::Value,
+];
+
+const CMPS: &[Cmp] = &[Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge];
+
+/// One leaf query from an opcode. Never `Query::All` — the empty
+/// rendering only reparses as a whole query, not as a composite child.
+fn leaf(code: u64) -> Query {
+    let value = VALUES[(code / 16) as usize % VALUES.len()].to_owned();
+    match code % 8 {
+        d @ 0..=4 => Query::Term {
+            field: FIELDS[d as usize],
+            value,
+        },
+        5 => Query::Contains(value),
+        6 => Query::Published((code / 16).is_multiple_of(2)),
+        _ => {
+            let cmp = CMPS[(code / 16) as usize % CMPS.len()];
+            if (code / 64).is_multiple_of(2) {
+                // Positive-era instants only: to_rfc3339 four-digit
+                // years are the format parse_rfc3339 accepts.
+                Query::DateRange {
+                    cmp,
+                    instant: Timestamp::from_unix_millis((code % 4_000_000_000_000) as i64),
+                }
+            } else {
+                Query::ScoreRange {
+                    cmp,
+                    score: (code % 2001) as f64 / 10.0 - 100.0,
+                }
+            }
+        }
+    }
+}
+
+/// Folds opcodes into an AST. Binary ops only ever combine two
+/// stack entries, so `And`/`Or` nodes always have ≥2 children — a
+/// single-child composite would print as its child and reparse
+/// shallower than built.
+fn build(codes: &[(u64, u64)]) -> Query {
+    let mut stack: Vec<Query> = Vec::new();
+    for &(op, operand) in codes {
+        match op % 4 {
+            0 | 1 => stack.push(leaf(operand)),
+            2 => match stack.pop() {
+                Some(inner) => stack.push(Query::Not(Box::new(inner))),
+                None => stack.push(leaf(operand)),
+            },
+            _ => {
+                if stack.len() >= 2 {
+                    let rhs = stack.pop().expect("len checked");
+                    let lhs = stack.pop().expect("len checked");
+                    stack.push(if operand % 2 == 0 {
+                        Query::And(vec![lhs, rhs])
+                    } else {
+                        Query::Or(vec![lhs, rhs])
+                    });
+                } else {
+                    stack.push(leaf(operand));
+                }
+            }
+        }
+    }
+    match stack.len() {
+        0 => Query::All,
+        1 => stack.pop().expect("len checked"),
+        _ => Query::And(stack),
+    }
+}
+
+proptest! {
+    #[test]
+    fn parse_is_total_over_arbitrary_input(input in "\\PC{0,60}") {
+        // Ok or Err both fine; a panic fails the test.
+        let _ = Query::parse(&input);
+    }
+
+    #[test]
+    fn parse_is_total_over_operator_soup(
+        pieces in prop::collection::vec(
+            prop::sample::select(vec![
+                "AND", "OR", "NOT", "(", ")", "\"", "\\", "<", ">=", ":",
+                "type:", "score", "date", "published:", "contains:", "a", "\"x",
+            ]),
+            0..12,
+        ),
+    ) {
+        let _ = Query::parse(&pieces.join(" "));
+        let _ = Query::parse(&pieces.join(""));
+    }
+
+    #[test]
+    fn display_reparses_to_the_same_ast(
+        codes in prop::collection::vec((any::<u64>(), any::<u64>()), 0..24),
+    ) {
+        let query = build(&codes);
+        let printed = query.to_string();
+        let reparsed = Query::parse(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(
+            &reparsed,
+            &query,
+            "`{}` reparsed to `{}`",
+            printed,
+            reparsed
+        );
+        // Display is a fixpoint: printing the reparse changes nothing.
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}

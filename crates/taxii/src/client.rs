@@ -123,6 +123,7 @@ impl TaxiiClient {
             collection: *collection,
             added_after,
             object_type: None,
+            match_expr: None,
             limit: 100,
         };
         match Self::expect_ok(self.roundtrip(&request)?)? {
@@ -146,6 +147,33 @@ impl TaxiiClient {
             collection: *collection,
             added_after,
             object_type: Some(object_type.to_owned()),
+            match_expr: None,
+            limit: 100,
+        };
+        match Self::expect_ok(self.roundtrip(&request)?)? {
+            Response::Objects { envelope } => Ok(envelope),
+            other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetches one page of objects matching a `cais-search` query
+    /// expression (e.g. `type:indicator AND value:evil`), evaluated
+    /// server-side. Malformed expressions surface as server errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and server errors.
+    pub fn objects_matching(
+        &self,
+        collection: &Uuid,
+        match_expr: &str,
+        added_after: Option<Timestamp>,
+    ) -> io::Result<Envelope> {
+        let request = Request::GetObjects {
+            collection: *collection,
+            added_after,
+            object_type: None,
+            match_expr: Some(match_expr.to_owned()),
             limit: 100,
         };
         match Self::expect_ok(self.roundtrip(&request)?)? {
@@ -351,5 +379,33 @@ mod type_filter_tests {
         assert!(tools.objects.is_empty());
         // Unfiltered still returns everything.
         assert_eq!(client.objects(&id, None).unwrap().objects.len(), 3);
+    }
+
+    #[test]
+    fn match_expressions_filter_server_side() {
+        let mut server = TaxiiServer::new("match");
+        let id = server.add_collection(Collection::new("stix", "d"));
+        let addr = server.serve("127.0.0.1:0").unwrap();
+        let client = TaxiiClient::connect(addr).unwrap();
+        client
+            .add_objects(
+                &id,
+                vec![
+                    serde_json::json!({"type": "indicator", "name": "evil.example",
+                                       "labels": ["tlp:amber"]}),
+                    serde_json::json!({"type": "indicator", "name": "benign.example"}),
+                    serde_json::json!({"type": "malware", "name": "evil.example"}),
+                ],
+            )
+            .unwrap();
+        let hits = client
+            .objects_matching(&id, "type:indicator AND value:evil", None)
+            .unwrap();
+        assert_eq!(hits.objects.len(), 1);
+        assert_eq!(hits.objects[0]["labels"][0], "tlp:amber");
+        let none = client.objects_matching(&id, "tag:tlp:red", None).unwrap();
+        assert!(none.objects.is_empty());
+        // Malformed expressions surface as server errors, not hangs.
+        assert!(client.objects_matching(&id, "(((", None).is_err());
     }
 }

@@ -73,6 +73,21 @@ impl Collection {
         limit: usize,
         object_type: Option<&str>,
     ) -> Envelope {
+        self.page_matching(added_after, limit, object_type, None)
+    }
+
+    /// [`Collection::page_filtered`] further restricted to objects
+    /// matching a typed [`cais_search::Query`] (the request's `match`
+    /// expression), evaluated structurally over the serialized STIX
+    /// objects. Paging watermarks are computed over the *matching*
+    /// subsequence, so a filtered walk visits every match exactly once.
+    pub fn page_matching(
+        &self,
+        added_after: Option<Timestamp>,
+        limit: usize,
+        object_type: Option<&str>,
+        query: Option<&cais_search::Query>,
+    ) -> Envelope {
         let matching: Vec<&StoredObject> = self
             .objects
             .iter()
@@ -81,6 +96,7 @@ impl Collection {
                 object_type
                     .is_none_or(|ty| o.object.get("type").and_then(|v| v.as_str()) == Some(ty))
             })
+            .filter(|o| query.is_none_or(|q| cais_search::stix_matches(q, &o.object)))
             .collect();
         let more = matching.len() > limit;
         let page: Vec<&StoredObject> = matching.into_iter().take(limit).collect();

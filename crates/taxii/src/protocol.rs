@@ -23,6 +23,11 @@ pub enum Request {
         /// Return only objects of this STIX type (TAXII `match[type]`).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         object_type: Option<String>,
+        /// Return only objects matching this `cais-search` query
+        /// expression (e.g. `type:indicator AND value:evil`), parsed
+        /// server-side; malformed expressions yield an error response.
+        #[serde(default, rename = "match", skip_serializing_if = "Option::is_none")]
+        match_expr: Option<String>,
         /// Page size.
         limit: usize,
     },
@@ -90,10 +95,25 @@ mod tests {
             collection: Uuid::NIL,
             added_after: None,
             object_type: None,
+            match_expr: None,
             limit: 100,
         };
         let json = serde_json::to_value(&req).unwrap();
         assert_eq!(json["op"], "get-objects");
+        // Absent filters stay off the wire entirely.
+        assert!(json.get("match").is_none());
+        let back: Request = serde_json::from_value(json).unwrap();
+        assert_eq!(back, req);
+
+        let req = Request::GetObjects {
+            collection: Uuid::NIL,
+            added_after: None,
+            object_type: None,
+            match_expr: Some("type:indicator AND value:evil".into()),
+            limit: 100,
+        };
+        let json = serde_json::to_value(&req).unwrap();
+        assert_eq!(json["match"], "type:indicator AND value:evil");
         let back: Request = serde_json::from_value(json).unwrap();
         assert_eq!(back, req);
     }

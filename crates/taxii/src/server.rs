@@ -51,6 +51,11 @@ struct PageKey {
     version: u64,
     added_after: Option<Timestamp>,
     object_type: Option<String>,
+    /// The raw `match` expression string. Keyed on the text, not the
+    /// parsed query: distinct spellings of the same query cache
+    /// separately, which is harmless, while equal strings always
+    /// filter identically.
+    match_expr: Option<String>,
     limit: usize,
 }
 
@@ -167,8 +172,13 @@ impl TaxiiServer {
                 collection,
                 added_after,
                 object_type,
+                match_expr,
                 limit,
             } => {
+                let query = match parse_match(match_expr.as_deref()) {
+                    Ok(query) => query,
+                    Err(response) => return response,
+                };
                 let state = self.state.read();
                 let Some(found) = state.collections.iter().find(|c| c.id == collection) else {
                     return Response::Error {
@@ -180,10 +190,11 @@ impl TaxiiServer {
                         message: "collection is not readable".into(),
                     };
                 }
-                let envelope: Envelope = found.page_filtered(
+                let envelope: Envelope = found.page_matching(
                     added_after,
                     limit.clamp(1, MAX_PAGE),
                     object_type.as_deref(),
+                    query.as_ref(),
                 );
                 Response::Objects { envelope }
             }
@@ -219,10 +230,17 @@ impl TaxiiServer {
         collection: Uuid,
         added_after: Option<Timestamp>,
         object_type: Option<String>,
+        match_expr: Option<String>,
         limit: usize,
         wire: Option<TraceContext>,
     ) -> io::Result<Arc<Vec<u8>>> {
         let limit = limit.clamp(1, MAX_PAGE);
+        // Malformed match expressions answer uncached, like the other
+        // error responses.
+        let query = match parse_match(match_expr.as_deref()) {
+            Ok(query) => query,
+            Err(response) => return encode(&response).map(Arc::new),
+        };
         let tracer = self.trace_handle();
         // Version lookup, cache probe, and (on a miss) envelope build
         // all happen under one read guard so a concurrent AddObjects
@@ -247,6 +265,7 @@ impl TaxiiServer {
                 version,
                 added_after,
                 object_type: object_type.clone(),
+                match_expr,
                 limit,
             };
             if let Some(bytes) = self.cache.entries.lock().get(&key) {
@@ -260,7 +279,8 @@ impl TaxiiServer {
                 }
                 return Ok(bytes.clone());
             }
-            let envelope = found.page_filtered(added_after, limit, object_type.as_deref());
+            let envelope =
+                found.page_matching(added_after, limit, object_type.as_deref(), query.as_ref());
             // Chain onto the ingress trace of the first served event
             // (linked under its UUID by the store/share seam); fall
             // back to the request's wire context.
@@ -309,8 +329,16 @@ impl TaxiiServer {
                 collection,
                 added_after,
                 object_type,
+                match_expr,
                 limit,
-            }) => self.get_objects_bytes(collection, added_after, object_type, limit, wire),
+            }) => self.get_objects_bytes(
+                collection,
+                added_after,
+                object_type,
+                match_expr,
+                limit,
+                wire,
+            ),
             Ok(request) => {
                 let mut span = self
                     .trace_handle()
@@ -540,6 +568,20 @@ fn encode(response: &Response) -> io::Result<Vec<u8>> {
     serde_json::to_vec(response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Parses a request's optional `match` expression; malformed input
+/// becomes the error response to return instead of a page.
+fn parse_match(expr: Option<&str>) -> Result<Option<cais_search::Query>, Response> {
+    match expr {
+        None => Ok(None),
+        Some(text) => match cais_search::Query::parse(text) {
+            Ok(query) => Ok(Some(query)),
+            Err(err) => Err(Response::Error {
+                message: format!("malformed match expression: {err}"),
+            }),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,6 +620,7 @@ mod tests {
             collection: id,
             added_after: None,
             object_type: None,
+            match_expr: None,
             limit: 10,
         }) {
             Response::Objects { envelope } => assert_eq!(envelope.objects.len(), 1),
@@ -592,6 +635,7 @@ mod tests {
             collection: Uuid::new_v4(),
             added_after: None,
             object_type: None,
+            match_expr: None,
             limit: 10,
         });
         assert!(matches!(response, Response::Error { .. }));
@@ -619,6 +663,7 @@ mod tests {
             collection: id,
             added_after: None,
             object_type: None,
+            match_expr: None,
             limit: 0, // clamped up to 1
         }) {
             Response::Objects { envelope } => assert_eq!(envelope.objects.len(), 1),
@@ -633,8 +678,12 @@ mod tests {
             collection: id,
             objects: (0..3).map(|i| serde_json::json!({ "i": i })).collect(),
         });
-        let first = server.get_objects_bytes(id, None, None, 10, None).unwrap();
-        let second = server.get_objects_bytes(id, None, None, 10, None).unwrap();
+        let first = server
+            .get_objects_bytes(id, None, None, None, 10, None)
+            .unwrap();
+        let second = server
+            .get_objects_bytes(id, None, None, None, 10, None)
+            .unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(server.page_cache_stats(), (1, 1));
 
@@ -643,7 +692,9 @@ mod tests {
             collection: id,
             objects: vec![serde_json::json!({ "i": 99 })],
         });
-        let third = server.get_objects_bytes(id, None, None, 10, None).unwrap();
+        let third = server
+            .get_objects_bytes(id, None, None, None, 10, None)
+            .unwrap();
         assert!(!Arc::ptr_eq(&first, &third));
         assert_eq!(server.page_cache_stats(), (1, 2));
     }
@@ -659,12 +710,15 @@ mod tests {
             collection: id,
             added_after: None,
             object_type: None,
+            match_expr: None,
             limit: 2,
         }))
         .unwrap();
         // Miss, then hit: both must equal the uncached serialization.
         for _ in 0..2 {
-            let cached = server.get_objects_bytes(id, None, None, 2, None).unwrap();
+            let cached = server
+                .get_objects_bytes(id, None, None, None, 2, None)
+                .unwrap();
             assert_eq!(*cached, direct);
         }
     }
@@ -674,12 +728,82 @@ mod tests {
         let (server, _) = server_with_collection();
         let missing = Uuid::new_v4();
         server
-            .get_objects_bytes(missing, None, None, 10, None)
+            .get_objects_bytes(missing, None, None, None, 10, None)
             .unwrap();
         server
-            .get_objects_bytes(missing, None, None, 10, None)
+            .get_objects_bytes(missing, None, None, None, 10, None)
             .unwrap();
         assert_eq!(server.page_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn match_filtered_pages_are_byte_identical_to_direct_filtering() {
+        let (server, id) = server_with_collection();
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: vec![
+                serde_json::json!({"type": "indicator", "name": "evil.example"}),
+                serde_json::json!({"type": "indicator", "name": "benign.example"}),
+                serde_json::json!({"type": "malware", "name": "evil.example"}),
+            ],
+        });
+        let expr = "type:indicator AND value:evil";
+        // The unindexed reference: filter by hand with the same oracle.
+        let query = cais_search::Query::parse(expr).unwrap();
+        let reference = {
+            let state = server.state.read();
+            let found = state.collections.iter().find(|c| c.id == id).unwrap();
+            let objects: Vec<serde_json::Value> = found
+                .objects
+                .iter()
+                .filter(|o| cais_search::stix_matches(&query, &o.object))
+                .map(|o| o.object.clone())
+                .collect();
+            assert_eq!(objects.len(), 1);
+            serde_json::to_vec(&Response::Objects {
+                envelope: Envelope {
+                    objects,
+                    more: false,
+                    next: None,
+                },
+            })
+            .unwrap()
+        };
+        // Cache miss, then hit: byte-identical to the reference both
+        // times.
+        for _ in 0..2 {
+            let served = server
+                .get_objects_bytes(id, None, None, Some(expr.to_owned()), 10, None)
+                .unwrap();
+            assert_eq!(*served, reference);
+        }
+        assert_eq!(server.page_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn malformed_match_expressions_error_uncached() {
+        let (server, id) = server_with_collection();
+        server.handle(Request::AddObjects {
+            collection: id,
+            objects: vec![serde_json::json!({"type": "indicator"})],
+        });
+        for _ in 0..2 {
+            let bytes = server
+                .get_objects_bytes(id, None, None, Some("(((".to_owned()), 10, None)
+                .unwrap();
+            let response: Response = serde_json::from_slice(&bytes).unwrap();
+            assert!(matches!(response, Response::Error { .. }));
+        }
+        assert_eq!(server.page_cache_stats(), (0, 0));
+        // handle() rejects the same way.
+        let response = server.handle(Request::GetObjects {
+            collection: id,
+            added_after: None,
+            object_type: None,
+            match_expr: Some("(((".into()),
+            limit: 10,
+        });
+        assert!(matches!(response, Response::Error { .. }));
     }
 
     #[test]
@@ -689,10 +813,14 @@ mod tests {
             collection: id,
             objects: vec![serde_json::json!({ "i": 0 })],
         });
-        server.get_objects_bytes(id, None, None, 10, None).unwrap();
+        server
+            .get_objects_bytes(id, None, None, None, 10, None)
+            .unwrap();
         let registry = Registry::new();
         server.instrument(&registry); // pre-loads the earlier miss
-        server.get_objects_bytes(id, None, None, 10, None).unwrap();
+        server
+            .get_objects_bytes(id, None, None, None, 10, None)
+            .unwrap();
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.counters["taxii_page_cache_hits_total"], 1);
         assert_eq!(snapshot.counters["taxii_page_cache_misses_total"], 1);

@@ -20,6 +20,7 @@
 //! | [`nlp`] | `cais-nlp` | threat-keyword classification |
 //! | [`infra`] | `cais-infra` | inventory, sensors, alarms |
 //! | [`misp`] | `cais-misp` | MISP-like TI platform |
+//! | [`search`] | `cais-search` | incremental inverted index + query language |
 //! | [`taxii`] | `cais-taxii` | TAXII-like sharing |
 //! | [`core`] | `cais-core` | ★ the paper's platform core |
 //! | [`decay`] | `cais-decay` | indicator lifecycle: decay scoring + expiry |
@@ -73,6 +74,7 @@ pub use cais_feeds as feeds;
 pub use cais_infra as infra;
 pub use cais_misp as misp;
 pub use cais_nlp as nlp;
+pub use cais_search as search;
 pub use cais_stix as stix;
 pub use cais_taxii as taxii;
 pub use cais_telemetry as telemetry;

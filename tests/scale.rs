@@ -461,6 +461,6 @@ fn misp_store_handles_bulk_search() {
     // Value-index lookups stay exact at volume.
     assert_eq!(api.search_value("shared-c2.example").len(), 300);
     // Correlation across 300 events sharing one value.
-    let any_shared = api.search_value("shared-c2.example")[0].0;
+    let any_shared = api.search_value("shared-c2.example")[0].event.id;
     assert_eq!(api.correlations(any_shared).len(), 299);
 }
